@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments fuzz fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments -scale small
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadGraph -fuzztime=30s ./internal/graph
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,413 @@
+package spanner
+
+import (
+	"io"
+	"math/rand"
+
+	"spanner/internal/baseline"
+	"spanner/internal/core"
+	"spanner/internal/distsim"
+	"spanner/internal/emulator"
+	"spanner/internal/fibonacci"
+	"spanner/internal/graph"
+	"spanner/internal/lower"
+	"spanner/internal/oracle"
+	"spanner/internal/routing"
+	"spanner/internal/seq"
+	"spanner/internal/stream"
+	"spanner/internal/verify"
+	"spanner/internal/wgraph"
+)
+
+// Graph is an immutable simple undirected unweighted graph in CSR form;
+// vertices are 0..N()-1. Construct with NewGraphBuilder or a generator.
+type Graph = graph.Graph
+
+// GraphBuilder accumulates edges and produces an immutable Graph.
+type GraphBuilder = graph.Builder
+
+// EdgeSet is a mutable set of undirected edges — the representation of a
+// spanner. Materialize with ToGraph; query with Has/Len.
+type EdgeSet = graph.EdgeSet
+
+// Unreachable is the distance value for disconnected pairs.
+const Unreachable = graph.Unreachable
+
+// NewGraphBuilder returns a builder for a graph on n vertices.
+func NewGraphBuilder(n int) *GraphBuilder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges [][2]int32) *Graph { return graph.FromEdges(n, edges) }
+
+// Graph generators (see internal/graph for details).
+var (
+	// Gnp returns an Erdős–Rényi random graph G(n,p).
+	Gnp = graph.Gnp
+	// ConnectedGnp returns G(n,p) plus a random spanning tree.
+	ConnectedGnp = graph.ConnectedGnp
+	// Gnm returns a uniform random graph with exactly m edges.
+	Gnm = graph.Gnm
+	// RandomRegular returns a random d-regular graph.
+	RandomRegular = graph.RandomRegular
+	// Grid returns the w×h grid graph.
+	Grid = graph.Grid
+	// Torus returns the w×h torus.
+	Torus = graph.Torus
+	// Ring returns the cycle C_n.
+	Ring = graph.Ring
+	// RingWithChords returns C_n plus random chords.
+	RingWithChords = graph.RingWithChords
+	// Circulant returns C_n(1..w): each vertex adjacent to its w nearest
+	// neighbors on each side.
+	Circulant = graph.Circulant
+	// WattsStrogatz returns a rewired-circulant small-world graph.
+	WattsStrogatz = graph.WattsStrogatz
+	// Communities returns a planted-partition graph (k dense groups).
+	Communities = graph.Communities
+	// Hypercube returns the d-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// Complete returns K_n.
+	Complete = graph.Complete
+	// CompleteBipartite returns K_{a,b}.
+	CompleteBipartite = graph.CompleteBipartite
+	// Path returns the path graph on n vertices.
+	Path = graph.Path
+	// Star returns the star K_{1,n-1}.
+	Star = graph.Star
+	// RandomTree returns a random connected tree.
+	RandomTree = graph.RandomTree
+	// PreferentialAttachment returns a Barabási–Albert-style graph.
+	PreferentialAttachment = graph.PreferentialAttachment
+)
+
+// --- Section 2: linear-size spanners and skeletons ---
+
+// SkeletonOptions configures the Section 2 algorithm. The zero value is a
+// good default (D=4, Capped variant, κ=1).
+type SkeletonOptions = core.Options
+
+// SkeletonVariant selects the termination rule.
+type SkeletonVariant = core.Variant
+
+// Skeleton variants.
+const (
+	// SkeletonPure runs the unmodified tower schedule (Lemmas 5/6).
+	SkeletonPure = core.Pure
+	// SkeletonCapped applies Theorem 2's density-triggered final rounds,
+	// bounding messages to O(log^κ n) words.
+	SkeletonCapped = core.Capped
+)
+
+// SkeletonResult is the outcome of BuildSkeleton.
+type SkeletonResult = core.Result
+
+// SkeletonDistributedResult is the outcome of BuildSkeletonDistributed.
+type SkeletonDistributedResult = core.DistributedResult
+
+// BuildSkeleton computes a linear-size spanner (expected size
+// Dn/e + O(n log D), distortion O(2^{log* n}·log_D n)) sequentially.
+func BuildSkeleton(g *Graph, opts SkeletonOptions) (*SkeletonResult, error) {
+	return core.BuildSkeleton(g, opts)
+}
+
+// BuildSkeletonDistributed runs Theorem 2's message-passing protocol on the
+// synchronous network simulator and reports rounds, messages and maximum
+// message length alongside the spanner.
+func BuildSkeletonDistributed(g *Graph, opts SkeletonOptions) (*SkeletonDistributedResult, error) {
+	return core.BuildSkeletonDistributed(g, opts)
+}
+
+// SkeletonSchedule returns the deterministic Expand-call schedule that
+// BuildSkeleton(Distributed) executes for an n-vertex input.
+func SkeletonSchedule(n int, opts SkeletonOptions) []core.Call {
+	return core.Schedule(n, opts)
+}
+
+// SkeletonSizeBound returns Lemma 6's expected-size bound Dn/e + O(n log D).
+func SkeletonSizeBound(n int, d float64) float64 { return seq.SkeletonSizeBound(n, d) }
+
+// SkeletonDistortionBound returns the analytic distortion bound for the
+// given options (Lemma 5 or Theorem 2 depending on the variant).
+func SkeletonDistortionBound(n int, opts SkeletonOptions) float64 {
+	return core.DistortionBound(n, opts)
+}
+
+// --- Section 4: Fibonacci spanners ---
+
+// FibonacciOptions configures the Fibonacci spanner. The zero value picks
+// the sparsest admissible order log_φ log n and ε = 0.5.
+type FibonacciOptions = fibonacci.Options
+
+// FibonacciResult is the outcome of BuildFibonacci.
+type FibonacciResult = fibonacci.Result
+
+// FibonacciDistributedResult is the outcome of BuildFibonacciDistributed.
+type FibonacciDistributedResult = fibonacci.DistributedResult
+
+// FibonacciParams are the resolved sampling probabilities and radii.
+type FibonacciParams = fibonacci.Params
+
+// BuildFibonacci constructs a Fibonacci spanner sequentially: expected size
+// O((o/ε)^φ · n^{1+1/(F_{o+3}-1)}) with distance-sensitive distortion
+// (Theorem 7).
+func BuildFibonacci(g *Graph, opts FibonacciOptions) (*FibonacciResult, error) {
+	return fibonacci.Build(g, opts)
+}
+
+// BuildFibonacciDistributed constructs the same spanner by message passing
+// (Sect. 4.4), with message cap O(n^{1/t}) when opts.T > 0 and the
+// cessation/Las Vegas repair protocol armed.
+func BuildFibonacciDistributed(g *Graph, opts FibonacciOptions) (*FibonacciDistributedResult, error) {
+	return fibonacci.BuildDistributed(g, opts)
+}
+
+// CombinedResult is Corollary 1's spanner: the union of a near-maximal-
+// order Fibonacci spanner and a Theorem 2 skeleton, giving the corollary's
+// simultaneous distortion profile (O(log n / log log log n) everywhere plus
+// the Fibonacci stages at larger distances).
+type CombinedResult = fibonacci.CombinedResult
+
+// BuildCombined constructs the Corollary 1 spanner.
+func BuildCombined(g *Graph, epsilon float64, seed int64) (*CombinedResult, error) {
+	return fibonacci.BuildCombined(g, epsilon, seed)
+}
+
+// FibonacciStretchBoundAt returns Theorem 7/Corollary 1's multiplicative
+// stretch bound for pairs at original distance d in an order-o spanner with
+// segment parameter ℓ.
+func FibonacciStretchBoundAt(d int64, order, ell int) float64 {
+	return fibonacci.StretchBoundAt(d, order, ell)
+}
+
+// FibonacciDistortionBoundAt returns the corresponding absolute bound on
+// the spanner distance.
+func FibonacciDistortionBoundAt(d int64, order, ell int) float64 {
+	return fibonacci.DistortionBoundAt(d, order, ell)
+}
+
+// --- Baselines (Fig. 1 comparison) ---
+
+// BaswanaSenResult reports a Baswana–Sen (2k−1)-spanner.
+type BaswanaSenResult = baseline.BaswanaSenResult
+
+// GreedyResult reports a greedy girth-based (2k−1)-spanner.
+type GreedyResult = baseline.GreedyResult
+
+// BaswanaSen computes a (2k−1)-spanner with expected size
+// O(kn + log k · n^{1+1/k}).
+func BaswanaSen(g *Graph, k int, seed int64) (*BaswanaSenResult, error) {
+	return baseline.BaswanaSen(g, k, seed)
+}
+
+// BaswanaSenDistributed runs Baswana–Sen through the distributed Expand
+// protocol and reports the communication metrics.
+func BaswanaSenDistributed(g *Graph, k int, seed int64) (*BaswanaSenResult, Metrics, error) {
+	return baseline.BaswanaSenDistributed(g, k, seed)
+}
+
+// Greedy computes the classical girth-based (2k−1)-spanner of Althöfer et
+// al.; at k = log n it is the classical linear-size skeleton.
+func Greedy(g *Graph, k int) (*GreedyResult, error) { return baseline.Greedy(g, k) }
+
+// WeightedGraph is an immutable weighted undirected graph (for the weighted
+// Baswana–Sen baseline, Fig. 1's first row).
+type WeightedGraph = wgraph.WGraph
+
+// WeightedGraphBuilder accumulates weighted edges.
+type WeightedGraphBuilder = wgraph.Builder
+
+// WeightedEdgeSubset is a weighted spanner under construction.
+type WeightedEdgeSubset = wgraph.EdgeSubset
+
+// WeightedBSResult reports a weighted Baswana–Sen run.
+type WeightedBSResult = baseline.WeightedBSResult
+
+// NewWeightedGraphBuilder returns a builder for a weighted graph.
+func NewWeightedGraphBuilder(n int) *WeightedGraphBuilder { return wgraph.NewBuilder(n) }
+
+// RandomWeighted returns a connected random weighted graph with weights in
+// [1, maxW].
+func RandomWeighted(n int, p, maxW float64, rng *rand.Rand) *WeightedGraph {
+	return wgraph.RandomWeighted(n, p, maxW, rng)
+}
+
+// WeightedBaswanaSen computes a (2k−1)-spanner of a weighted graph with
+// expected size O(kn + log k · n^{1+1/k}) (the paper's corrected analysis).
+func WeightedBaswanaSen(g *WeightedGraph, k int, seed int64) (*WeightedBSResult, error) {
+	return baseline.WeightedBaswanaSen(g, k, seed)
+}
+
+// LinearGreedy is Greedy at k = ⌈log₂ n⌉.
+func LinearGreedy(g *Graph) (*GreedyResult, error) { return baseline.LinearGreedy(g) }
+
+// BFSTree returns a shortest-path forest (the sparsest skeleton).
+func BFSTree(g *Graph) *EdgeSet { return baseline.BFSTree(g) }
+
+// --- Section 3: lower bounds ---
+
+// LowerBoundFixture is the graph G(τ,λ,κ) of Fig. 5 with its vertex roles.
+type LowerBoundFixture = lower.Fixture
+
+// LowerBoundExperiment is one run of the symmetric-discard adversary.
+type LowerBoundExperiment = lower.ExperimentResult
+
+// NewLowerBoundFixture builds G(τ,λ,κ).
+func NewLowerBoundFixture(tau, lambda, kappa int) (*LowerBoundFixture, error) {
+	return lower.NewFixture(tau, lambda, kappa)
+}
+
+// Theorem5Fixture instantiates G(τ,λ,κ) with the parameters the proof of
+// Theorem 5 (additive β-spanners) uses.
+func Theorem5Fixture(n int, beta, delta float64) (*LowerBoundFixture, error) {
+	return lower.Theorem5Fixture(n, beta, delta)
+}
+
+// Theorem6Fixture instantiates G(τ,λ,κ) with the parameters the proof of
+// Theorem 6 (sublinear additive spanners) uses.
+func Theorem6Fixture(n int, c, mu, delta float64) (*LowerBoundFixture, error) {
+	return lower.Theorem6Fixture(n, c, mu, delta)
+}
+
+// MinRoundsTheorem5 is Theorem 5's round lower bound Ω(√(n^{1−δ}/β)) for
+// additive β-spanners of size n^{1+δ}.
+func MinRoundsTheorem5(n int, beta, delta float64) float64 {
+	return lower.MinRoundsTheorem5(n, beta, delta)
+}
+
+// MinRoundsTheorem6 is Theorem 6's round lower bound Ω(n^{μ(1−δ)/(1+μ)})
+// for sublinear additive spanners with guarantee d + O(d^{1−μ}).
+func MinRoundsTheorem6(n int, mu, delta float64) float64 {
+	return lower.MinRoundsTheorem6(n, mu, delta)
+}
+
+// --- Applications (Sect. 1 motivation / Sect. 5 open problems) ---
+
+// DistanceOracle is a Thorup–Zwick approximate distance oracle: O(k)-time
+// queries with stretch 2k−1 from O(k·n^{1+1/k}) expected space. The paper's
+// conclusion names these as the most interesting application of spanners.
+type DistanceOracle = oracle.Oracle
+
+// NewDistanceOracle builds an oracle with stretch parameter k.
+func NewDistanceOracle(g *Graph, k int, seed int64) (*DistanceOracle, error) {
+	return oracle.New(g, k, seed)
+}
+
+// NewDistanceOracleDistributed builds the same oracle by message passing
+// (Sect. 4.4's witness waves and pruned cluster floods) and reports the
+// communication costs; with the same seed the result is identical to
+// NewDistanceOracle.
+func NewDistanceOracleDistributed(g *Graph, k int, seed int64) (*DistanceOracle, Metrics, error) {
+	return oracle.NewDistributed(g, k, seed)
+}
+
+// DistanceLabel is a self-contained label from which approximate distances
+// can be computed pairwise with stretch 2k−1 (distance labeling schemes,
+// Sect. 5). Extract with DistanceOracle.Label; combine with QueryLabels.
+type DistanceLabel = oracle.Label
+
+// QueryLabels estimates the distance between two labeled vertices from
+// their labels alone.
+func QueryLabels(a, b *DistanceLabel) int32 { return oracle.QueryLabels(a, b) }
+
+// RoutingScheme is a compact routing scheme with stretch 3 and expected
+// Õ(√n)-word tables (Thorup–Zwick / Cowen style) — the baseline for the
+// paper's closing open problem about (3−ε)-stretch routing.
+type RoutingScheme = routing.Scheme
+
+// RoutingAddress is the constant-size destination header of the scheme.
+type RoutingAddress = routing.Address
+
+// NewRoutingScheme builds routing tables for g.
+func NewRoutingScheme(g *Graph, seed int64) (*RoutingScheme, error) {
+	return routing.New(g, seed)
+}
+
+// Additive2Result reports an additive 2-spanner (Aingworth et al.).
+type Additive2Result = baseline.Additive2Result
+
+// Additive2 computes an additive 2-spanner with size O(n^{3/2}√log n) —
+// sequentially, because Theorem 5 shows no fast distributed construction
+// exists (Ω(n^{1/4}) rounds for β = 2).
+func Additive2(g *Graph, seed int64) *Additive2Result { return baseline.Additive2(g, seed) }
+
+// EmulatorResult is a Thorup–Zwick sublinear-additive emulator: a weighted
+// graph (not a subgraph) whose distances never underestimate and overshoot
+// only sublinearly in the distance. Theorem 6 shows these cannot be built
+// quickly in the distributed model, so the construction is sequential.
+type EmulatorResult = emulator.Result
+
+// BuildEmulator constructs a k-level emulator with expected size
+// O(k·n^{1+1/(2^k−1)}).
+func BuildEmulator(g *Graph, k int, seed int64) (*EmulatorResult, error) {
+	return emulator.Build(g, k, seed)
+}
+
+// StreamSpanner maintains a (2k−1)-spanner of an edge stream with
+// O(n^{1+1/k}) kept edges (related work [5,21]).
+type StreamSpanner = stream.Spanner
+
+// NewStreamSpanner returns an empty streaming spanner over n vertices.
+func NewStreamSpanner(n, k int) (*StreamSpanner, error) { return stream.New(n, k) }
+
+// ProjectivePlaneIncidence returns the girth-6 incidence graph of PG(2,q)
+// with Θ(n^{3/2}) edges — the unconditional k=2 witness of the girth
+// conjecture's size lower bound (any 3-spanner keeps every edge).
+func ProjectivePlaneIncidence(q int) (*Graph, error) {
+	return graph.ProjectivePlaneIncidence(q)
+}
+
+// PlaneOrderFor picks the largest prime plane order fitting n vertices.
+func PlaneOrderFor(n int) int { return graph.PlaneOrderFor(n) }
+
+// BFSOutcome is the result of a distributed multi-source BFS: distances,
+// owning sources, tree parents and the run's communication metrics.
+type BFSOutcome = distsim.BFSResult
+
+// DistributedBFS runs the synchronous multi-source BFS protocol on g with
+// 2-word messages — the building block for broadcast/synchronizer-style
+// applications; running it over a skeleton instead of the full graph trades
+// a bounded round inflation for a proportional message saving.
+func DistributedBFS(g *Graph, sources []int32) (*BFSOutcome, error) {
+	return distsim.RunBFS(g, sources, distsim.Config{})
+}
+
+// --- Verification ---
+
+// MeasureOptions configures Measure.
+type MeasureOptions = verify.Options
+
+// Report summarizes a spanner's size, stretch profile and validity.
+type Report = verify.Report
+
+// Measure compares a spanner edge set against its input graph: subgraph
+// validity, connectivity preservation and the (sampled or exact) stretch
+// profile, including the per-distance rows the Fibonacci experiments plot.
+func Measure(g *Graph, s *EdgeSet, opts MeasureOptions) *Report {
+	return verify.Measure(g, s, opts)
+}
+
+// --- Distributed-model types ---
+
+// Metrics are the cost measures of a distributed run: rounds, messages,
+// words, and the largest message observed (in O(log n)-bit words).
+type Metrics = distsim.Metrics
+
+// ReadGraph parses the plain-text edge-list format ("n <count>" header then
+// "u v" lines; # comments allowed).
+func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadGraph(r) }
+
+// WriteEdgeSet serializes a spanner in the same edge-list format.
+func WriteEdgeSet(w io.Writer, n int, s *EdgeSet) error {
+	_, err := graph.WriteEdgeSetTo(w, n, s)
+	return err
+}
+
+// WriteDOT emits g in Graphviz DOT format, drawing the highlight edge set
+// (e.g. a spanner) bold and everything else gray. highlight may be nil.
+func WriteDOT(w io.Writer, g *Graph, name string, highlight *EdgeSet) error {
+	return g.WriteDOT(w, name, highlight)
+}
+
+// NewRand returns a deterministically seeded RNG, a convenience for
+// reproducible experiments.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

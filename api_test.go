@@ -1,0 +1,295 @@
+package spanner_test
+
+import (
+	"strings"
+	"testing"
+
+	"spanner"
+)
+
+// These tests exercise the public facade end-to-end the way a downstream
+// user would, without touching internal packages.
+
+func TestPublicSkeletonFlow(t *testing.T) {
+	rng := spanner.NewRand(1)
+	g := spanner.ConnectedGnp(500, 0.02, rng)
+	res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 32, Rng: rng})
+	if !rep.Valid || !rep.Connected {
+		t.Fatalf("bad report: %v", rep)
+	}
+	if rep.MaxStretch > res.DistortionBound {
+		t.Fatalf("stretch %v above bound %v", rep.MaxStretch, res.DistortionBound)
+	}
+	if bound := spanner.SkeletonSizeBound(g.N(), 4); float64(rep.SpannerM) > 2*bound {
+		t.Fatalf("size %d far above bound %v", rep.SpannerM, bound)
+	}
+}
+
+func TestPublicSkeletonDistributedFlow(t *testing.T) {
+	rng := spanner.NewRand(2)
+	g := spanner.ConnectedGnp(200, 0.04, rng)
+	res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds == 0 || res.Metrics.MaxMsgWords > res.MaxMsgWords {
+		t.Fatalf("metrics wrong: %+v cap=%d", res.Metrics, res.MaxMsgWords)
+	}
+	if len(spanner.SkeletonSchedule(g.N(), spanner.SkeletonOptions{})) == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestPublicFibonacciFlow(t *testing.T) {
+	rng := spanner.NewRand(3)
+	g := spanner.RingWithChords(300, 60, rng)
+	res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 40, Rng: rng})
+	if !rep.Valid || !rep.Connected {
+		t.Fatalf("bad report: %v", rep)
+	}
+	for _, row := range rep.ByDistance {
+		if row.Pairs == 0 {
+			continue
+		}
+		bound := spanner.FibonacciStretchBoundAt(int64(row.Distance), res.Params.Order, res.Params.Ell)
+		if row.MaxStretch > bound {
+			t.Fatalf("distance %d: stretch %v above Theorem 7 bound %v", row.Distance, row.MaxStretch, bound)
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	rng := spanner.NewRand(4)
+	g := spanner.ConnectedGnp(200, 0.05, rng)
+	bs, err := spanner.BaswanaSen(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := spanner.Greedy(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := spanner.LinearGreedy(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := spanner.BFSTree(g)
+	for name, s := range map[string]*spanner.EdgeSet{
+		"baswana-sen": bs.Spanner, "greedy": gr.Spanner, "linear-greedy": lg.Spanner, "bfs-tree": tree,
+	} {
+		rep := spanner.Measure(g, s, spanner.MeasureOptions{Sources: 16, Rng: rng})
+		if !rep.Valid || !rep.Connected {
+			t.Fatalf("%s: %v", name, rep)
+		}
+	}
+	if tree.Len() != g.N()-1 {
+		t.Fatal("BFS tree size wrong")
+	}
+}
+
+func TestPublicLowerBound(t *testing.T) {
+	f, err := spanner.NewLowerBoundFixture(2, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.DiscardExperiment(2, spanner.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Additive) != 2*res.DroppedCritical {
+		t.Fatalf("experiment inconsistent: %+v", res)
+	}
+	if _, err := spanner.Theorem5Fixture(5000, 4, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spanner.Theorem6Fixture(5000, 2, 0.5, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicOracle(t *testing.T) {
+	rng := spanner.NewRand(6)
+	g := spanner.ConnectedGnp(120, 0.08, rng)
+	o, err := spanner.NewDistanceOracle(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Dist(0, 60)
+	if d > 0 {
+		est := o.Query(0, 60)
+		if est < d || est > 5*d {
+			t.Fatalf("oracle estimate %d outside [δ, 5δ], δ=%d", est, d)
+		}
+	}
+}
+
+func TestPublicLabelsAndRouting(t *testing.T) {
+	rng := spanner.NewRand(8)
+	g := spanner.ConnectedGnp(120, 0.07, rng)
+	o, err := spanner.NewDistanceOracle(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := o.Label(1), o.Label(50)
+	d := g.Dist(1, 50)
+	if got := spanner.QueryLabels(la, lb); got < d || got > 3*d {
+		t.Fatalf("label query %d outside [δ, 3δ], δ=%d", got, d)
+	}
+	rs, err := spanner.NewRoutingScheme(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := rs.Route(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(len(path)-1) > 3*d {
+		t.Fatalf("route length %d above 3δ", len(path)-1)
+	}
+}
+
+func TestPublicAdditive2(t *testing.T) {
+	rng := spanner.NewRand(7)
+	g := spanner.ConnectedGnp(120, 0.25, rng)
+	res := spanner.Additive2(g, 1)
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{})
+	if rep.MaxAdditive > 2 {
+		t.Fatalf("additive distortion %d > 2", rep.MaxAdditive)
+	}
+}
+
+func TestPublicStreamSpanner(t *testing.T) {
+	s, err := spanner.NewStreamSpanner(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Offer(0, 1) || !s.Offer(1, 2) {
+		t.Fatal("fresh edges rejected")
+	}
+	if s.Offer(0, 1) {
+		t.Fatal("duplicate accepted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestPublicProjectivePlane(t *testing.T) {
+	g, err := spanner.ProjectivePlaneIncidence(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Girth() != 6 {
+		t.Fatalf("girth = %d", g.Girth())
+	}
+	if spanner.PlaneOrderFor(g.N()) != 3 {
+		t.Fatal("PlaneOrderFor mismatch")
+	}
+}
+
+func TestPublicDistributedBFS(t *testing.T) {
+	g := spanner.Path(10)
+	res, err := spanner.DistributedBFS(g, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[9] != 9 || res.Metrics.MaxMsgWords != 2 {
+		t.Fatalf("distributed BFS wrong: dist=%d maxMsg=%d", res.Dist[9], res.Metrics.MaxMsgWords)
+	}
+}
+
+func TestPublicWeightedAndEmulator(t *testing.T) {
+	rng := spanner.NewRand(12)
+	wg := spanner.RandomWeighted(100, 0.05, 10, rng)
+	res, err := spanner.WeightedBaswanaSen(wg, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spanner.Len() == 0 {
+		t.Fatal("weighted spanner empty")
+	}
+	g := spanner.ConnectedGnp(100, 0.08, rng)
+	em, err := spanner.BuildEmulator(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Edges == 0 {
+		t.Fatal("emulator empty")
+	}
+	comb, err := spanner.BuildCombined(g, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.StretchBoundAt(1) <= 0 {
+		t.Fatal("combined bound must be positive")
+	}
+}
+
+func TestPublicBoundsAndGenerators(t *testing.T) {
+	if spanner.SkeletonDistortionBound(1000, spanner.SkeletonOptions{}) <= 1 {
+		t.Fatal("distortion bound implausible")
+	}
+	if spanner.FibonacciDistortionBoundAt(5, 2, 8) < 5 {
+		t.Fatal("fibonacci distortion bound below distance")
+	}
+	rng := spanner.NewRand(13)
+	if g := spanner.Gnm(30, 50, rng); g.M() != 50 {
+		t.Fatal("Gnm wrong")
+	}
+	if g, err := spanner.RandomRegular(40, 4, rng); err != nil || g.MaxDegree() != 4 {
+		t.Fatal("RandomRegular wrong")
+	}
+	for _, g := range []*spanner.Graph{
+		spanner.Complete(4), spanner.CompleteBipartite(2, 3), spanner.Star(5),
+		spanner.Ring(6), spanner.Grid(3, 3), spanner.RandomTree(10, rng),
+		spanner.WattsStrogatz(50, 3, 0.2, rng), spanner.Communities(60, 3, 0.2, 0.01, rng),
+		spanner.PreferentialAttachment(50, 2, rng), spanner.RingWithChords(40, 5, rng),
+		spanner.Gnp(30, 0.2, rng),
+	} {
+		if g.N() == 0 {
+			t.Fatal("generator returned empty graph")
+		}
+	}
+	if len(spanner.SkeletonSchedule(1000, spanner.SkeletonOptions{Variant: spanner.SkeletonPure})) == 0 {
+		t.Fatal("pure schedule empty")
+	}
+}
+
+func TestPublicIO(t *testing.T) {
+	g := spanner.Path(4)
+	s := spanner.BFSTree(g)
+	var sb strings.Builder
+	if err := spanner.WriteEdgeSet(&sb, g.N(), s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := spanner.ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M() != 3 {
+		t.Fatalf("round trip lost edges: %d", back.M())
+	}
+}
+
+func TestPublicGraphHelpers(t *testing.T) {
+	b := spanner.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.M() != 1 {
+		t.Fatal("builder failed")
+	}
+	if g2 := spanner.FromEdges(3, [][2]int32{{0, 1}, {1, 2}}); g2.M() != 2 {
+		t.Fatal("FromEdges failed")
+	}
+	if spanner.Hypercube(3).N() != 8 || spanner.Torus(3, 3).M() != 18 {
+		t.Fatal("generator aliases failed")
+	}
+}

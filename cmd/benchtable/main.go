@@ -1,0 +1,130 @@
+// Command benchtable regenerates the paper's Fig. 1 as a measured table:
+// for each algorithm in scope it reports spanner size, observed distortion,
+// and — for the distributed constructions — rounds and maximum message
+// length, across a sweep of graph sizes. The paper's table lists asymptotic
+// guarantees; this one prints what the implementations actually achieve so
+// the qualitative ordering can be checked (experiment E1 in DESIGN.md).
+//
+// Usage:
+//
+//	benchtable [-sizes 1000,2000,4000,8000] [-deg 16] [-seed 1] [-sources 32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"spanner"
+)
+
+func main() {
+	sizes := flag.String("sizes", "1000,2000,4000,8000", "comma-separated vertex counts")
+	deg := flag.Float64("deg", 16, "average degree")
+	family := flag.String("family", spanner.WorkloadGnp, "graph family (see spanner.Workloads)")
+	seed := flag.Int64("seed", 1, "random seed")
+	sources := flag.Int("sources", 32, "BFS sources for stretch sampling")
+	flag.Parse()
+	if err := run(parseSizes(*sizes), *family, *deg, *seed, *sources); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtable:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		if v, err := strconv.Atoi(strings.TrimSpace(part)); err == nil && v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type row struct {
+	algo        string
+	guarantee   string
+	sizeRatio   float64
+	maxStretch  float64
+	avgStretch  float64
+	rounds      int
+	maxMsgWords int
+}
+
+func run(sizes []int, family string, deg float64, seed int64, sources int) error {
+	for _, n := range sizes {
+		g, err := spanner.MakeWorkload(family, n, deg, spanner.NewRand(seed))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("=== n=%d m=%d (%s, avg degree %.1f) ===\n", g.N(), g.M(), family, g.AvgDegree())
+		var rows []row
+
+		measure := func(algo, guarantee string, s *spanner.EdgeSet, rounds, maxMsg int) {
+			rep := spanner.Measure(g, s, spanner.MeasureOptions{Sources: sources, Rng: spanner.NewRand(seed + 7)})
+			rows = append(rows, row{
+				algo: algo, guarantee: guarantee,
+				sizeRatio: rep.SizeRatio(), maxStretch: rep.MaxStretch, avgStretch: rep.AvgStretch,
+				rounds: rounds, maxMsgWords: maxMsg,
+			})
+		}
+
+		sk, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: seed})
+		if err != nil {
+			return err
+		}
+		measure("skeleton (Sect 2, seq)", "O(n) size, O(2^log* n·log n)", sk.Spanner, 0, 0)
+
+		skd, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: 4, Seed: seed})
+		if err != nil {
+			return err
+		}
+		measure("skeleton (Thm 2, dist)", "O(log^κ n)-word msgs", skd.Spanner, skd.Metrics.Rounds, skd.Metrics.MaxMsgWords)
+
+		fib, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		measure(fmt.Sprintf("fibonacci o=%d (Sect 4)", fib.Params.Order),
+			"size n(ε⁻¹loglog n)^φ", fib.Spanner, 0, 0)
+
+		fibd, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{T: 3, Seed: seed})
+		if err != nil {
+			return err
+		}
+		measure("fibonacci (Sect 4.4, dist)", "O(n^{1/t})-word msgs",
+			fibd.Spanner, fibd.Metrics.Rounds, fibd.Metrics.MaxMsgWords)
+
+		for _, k := range []int{2, 3} {
+			bs, m, err := spanner.BaswanaSenDistributed(g, k, seed)
+			if err != nil {
+				return err
+			}
+			measure(fmt.Sprintf("baswana-sen k=%d (dist)", k),
+				fmt.Sprintf("(2k−1)=%d, O(k) time", 2*k-1), bs.Spanner, m.Rounds, m.MaxMsgWords)
+		}
+
+		gr, err := spanner.LinearGreedy(g)
+		if err != nil {
+			return err
+		}
+		measure("greedy k=log n (seq)", "girth>2log n, O(n) size", gr.Spanner, 0, 0)
+		measure("bfs tree", "n−1 edges, diam distortion", spanner.BFSTree(g), 0, 0)
+
+		fmt.Printf("%-28s  %8s  %7s  %7s  %7s  %7s   %s\n",
+			"algorithm", "|S|/n", "max", "avg", "rounds", "maxMsg", "paper guarantee")
+		for _, r := range rows {
+			rounds, msg := "-", "-"
+			if r.rounds > 0 {
+				rounds = strconv.Itoa(r.rounds)
+				msg = strconv.Itoa(r.maxMsgWords)
+			}
+			fmt.Printf("%-28s  %8.3f  %7.2f  %7.3f  %7s  %7s   %s\n",
+				r.algo, r.sizeRatio, r.maxStretch, r.avgStretch, rounds, msg, r.guarantee)
+		}
+		fmt.Println()
+	}
+	return nil
+}

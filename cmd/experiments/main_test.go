@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// TestRunTiny executes every experiment end-to-end at a miniature scale so
+// the reproduction tool itself is covered by `go test ./...`.
+func TestRunTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full experiment pipeline")
+	}
+	cfg := scaleCfg{n: 400, deg: 10, sources: 6, lbRuns: 2, denseDeg: 60}
+	if err := run(cfg, 1); err != nil {
+		t.Fatal(err)
+	}
+}

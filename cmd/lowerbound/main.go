@@ -1,0 +1,146 @@
+// Command lowerbound runs the Section 3 experiments: the symmetric-discard
+// adversary on G(τ,λ,κ) across a τ sweep (Theorems 3/4), and the
+// theorem-parameterized instances for additive (Theorem 5) and sublinear
+// additive (Theorem 6) spanners.
+//
+// Usage:
+//
+//	lowerbound [-mode sweep|thm5|thm6] [-runs 50] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"spanner"
+)
+
+func main() {
+	mode := flag.String("mode", "sweep", "experiment: sweep|thm5|thm6")
+	runs := flag.Int("runs", 50, "trials per configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	c := flag.Float64("c", 2, "compression factor")
+	flag.Parse()
+	var err error
+	switch *mode {
+	case "sweep":
+		err = sweep(*runs, *c, *seed)
+	case "thm5":
+		err = thm5(*runs, *seed)
+	case "thm6":
+		err = thm6(*runs, *seed)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowerbound:", err)
+		os.Exit(1)
+	}
+}
+
+// sweep fixes a vertex budget and shows additive distortion ~ Ω(n/τ²):
+// larger round budgets get quadratically fewer blocks.
+func sweep(runs int, c float64, seed int64) error {
+	rng := spanner.NewRand(seed)
+	const budget = 40000
+	lambda := 8
+	fmt.Printf("additive distortion vs round budget τ at a fixed ≈%d-vertex budget (c=%.1f):\n\n", budget, c)
+	fmt.Printf("  %4s  %6s  %8s  %9s  %10s  %10s\n", "τ", "κ", "n", "δ(u,v)", "E[add]", "measured")
+	for _, tau := range []int{0, 1, 2, 4, 8, 16} {
+		// Choose κ to hit the vertex budget: n ≈ κλ(τ+6).
+		kappa := budget / (lambda * (tau + 6) * 2)
+		if kappa < 2 {
+			kappa = 2
+		}
+		f, err := spanner.NewLowerBoundFixture(tau, lambda, kappa)
+		if err != nil {
+			return err
+		}
+		var sum float64
+		var p float64
+		for r := 0; r < runs; r++ {
+			res, err := f.DiscardExperiment(c, rng)
+			if err != nil {
+				return err
+			}
+			sum += float64(res.Additive)
+			p = res.P
+		}
+		fmt.Printf("  %4d  %6d  %8d  %9d  %10.1f  %10.1f\n",
+			tau, kappa, f.G.N(), f.SpineDistance(), 2*p*float64(kappa), sum/float64(runs))
+	}
+	fmt.Printf("\nThe additive penalty scales with κ ∝ n/τ², i.e. Ω(n^{1-δ}/τ²) — Theorem 4's β.\n")
+	return nil
+}
+
+// thm5 instantiates the Theorem 5 fixtures: any τ-round algorithm with
+// τ below Ω(√(n^{1-δ}/β)) suffers additive distortion above β.
+func thm5(runs int, seed int64) error {
+	rng := spanner.NewRand(seed)
+	delta := 0.1
+	fmt.Printf("Theorem 5: additive β-spanners with size n^{1+δ} (δ=%.1f)\n\n", delta)
+	fmt.Printf("  %8s  %4s  %12s  %12s  %10s\n", "n", "β", "min rounds", "E[additive]", "measured")
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		for _, beta := range []float64{2, 6} {
+			f, err := spanner.Theorem5Fixture(n, beta, delta)
+			if err != nil {
+				return err
+			}
+			var sum float64
+			for r := 0; r < runs; r++ {
+				res, err := f.DiscardExperiment(2, rng)
+				if err != nil {
+					return err
+				}
+				sum += float64(res.Additive)
+			}
+			measured := sum / float64(runs)
+			// The proof forces expected additive distortion 2pκ > β.
+			fmt.Printf("  %8d  %4.0f  %12.1f  %12s  %10.1f%s\n",
+				n, beta, spanner.MinRoundsTheorem5(n, beta, delta),
+				fmt.Sprintf("> β=%.0f", beta), measured,
+				mark(measured > beta, "  (exceeds β ⇒ contradiction)"))
+		}
+	}
+	return nil
+}
+
+// thm6 instantiates the Theorem 6 fixtures against sublinear additive
+// guarantees d + c·d^{1−μ}.
+func thm6(runs int, seed int64) error {
+	rng := spanner.NewRand(seed)
+	delta, mu, cg := 0.1, 0.5, 2.0
+	fmt.Printf("Theorem 6: sublinear additive spanners d + %.0f·d^{1−%.1f}, size n^{1+%.1f}\n\n", cg, mu, delta)
+	fmt.Printf("  %8s  %12s  %12s  %12s  %10s\n", "n", "min rounds", "guarantee", "forced", "measured")
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		f, err := spanner.Theorem6Fixture(n, cg, mu, delta)
+		if err != nil {
+			return err
+		}
+		var sum float64
+		for r := 0; r < runs; r++ {
+			res, err := f.DiscardExperiment(2, rng)
+			if err != nil {
+				return err
+			}
+			sum += float64(res.Additive)
+		}
+		measured := sum / float64(runs)
+		d := float64(f.SpineDistance())
+		guarantee := cg * math.Pow(d, 1-mu)
+		fmt.Printf("  %8d  %12.1f  %12.1f  %12.1f  %10.1f%s\n",
+			n, spanner.MinRoundsTheorem6(n, mu, delta), guarantee,
+			1.5*float64(f.Kappa), measured,
+			mark(measured > guarantee, "  (exceeds guarantee ⇒ contradiction)"))
+	}
+	return nil
+}
+
+func mark(b bool, s string) string {
+	if b {
+		return s
+	}
+	return ""
+}

@@ -1,0 +1,217 @@
+// Command spanner builds any of the module's spanners on a generated graph
+// and reports size, stretch and (for distributed algorithms) communication
+// costs, optionally as JSON.
+//
+// Usage:
+//
+//	spanner -graph gnp -n 10000 -deg 16 -algo skeleton -d 4
+//	spanner -graph torus -n 4096 -algo fibonacci -order 3 -eps 0.5
+//	spanner -graph gnp -n 5000 -deg 20 -algo skeleton-dist -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"spanner"
+)
+
+type output struct {
+	Graph       string  `json:"graph"`
+	N           int     `json:"n"`
+	M           int     `json:"m"`
+	Algo        string  `json:"algo"`
+	SpannerM    int     `json:"spannerEdges"`
+	SizeRatio   float64 `json:"sizeRatio"`
+	MaxStretch  float64 `json:"maxStretch"`
+	AvgStretch  float64 `json:"avgStretch"`
+	MaxAdditive int32   `json:"maxAdditive"`
+	Valid       bool    `json:"valid"`
+	Connected   bool    `json:"connected"`
+	Rounds      int     `json:"rounds,omitempty"`
+	Messages    int64   `json:"messages,omitempty"`
+	MaxMsgWords int     `json:"maxMsgWords,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		graphKind = flag.String("graph", "gnp", "graph family: gnp|grid|torus|ring|chords|circulant|smallworld|communities|hypercube|pa|regular|star|tree|plane")
+		n         = flag.Int("n", 10000, "number of vertices (rounded for structured families)")
+		deg       = flag.Float64("deg", 16, "average degree (gnp/pa/chords)")
+		algo      = flag.String("algo", "skeleton", "algorithm: skeleton|skeleton-dist|fibonacci|fibonacci-dist|combined|baswana-sen|baswana-sen-dist|greedy|linear-greedy|additive2|stream|tree")
+		k         = flag.Int("k", 3, "stretch parameter for baswana-sen/greedy")
+		d         = flag.Int("d", 4, "density parameter D for the skeleton")
+		order     = flag.Int("order", 0, "fibonacci order (0 = sparsest)")
+		eps       = flag.Float64("eps", 0.5, "fibonacci epsilon")
+		tMsg      = flag.Int("t", 0, "fibonacci message exponent t (cap n^{1/t}; 0 = unbounded)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		sources   = flag.Int("sources", 48, "BFS sources for stretch sampling (0 = exact)")
+		asJSON    = flag.Bool("json", false, "emit JSON")
+		inPath    = flag.String("in", "", "read the input graph from an edge-list file instead of generating")
+		savePath  = flag.String("save", "", "write the spanner to an edge-list file")
+		dotPath   = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
+	)
+	flag.Parse()
+
+	var g *spanner.Graph
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var rerr error
+		g, rerr = spanner.ReadGraph(f)
+		if rerr != nil {
+			return rerr
+		}
+		*graphKind = "file:" + *inPath
+	} else {
+		var err error
+		g, err = spanner.MakeWorkload(*graphKind, *n, *deg, spanner.NewRand(*seed))
+		if err != nil {
+			return err
+		}
+	}
+	out := output{Graph: *graphKind, N: g.N(), M: g.M(), Algo: *algo}
+
+	var edges *spanner.EdgeSet
+	switch *algo {
+	case "skeleton":
+		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: *d, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+	case "skeleton-dist":
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: *d, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+		out.Rounds = res.Metrics.Rounds
+		out.Messages = res.Metrics.Messages
+		out.MaxMsgWords = res.Metrics.MaxMsgWords
+	case "fibonacci":
+		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+	case "fibonacci-dist":
+		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+		out.Rounds = res.Metrics.Rounds
+		out.Messages = res.Metrics.Messages
+		out.MaxMsgWords = res.Metrics.MaxMsgWords
+	case "baswana-sen":
+		res, err := spanner.BaswanaSen(g, *k, *seed)
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+	case "baswana-sen-dist":
+		res, m, err := spanner.BaswanaSenDistributed(g, *k, *seed)
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+		out.Rounds = m.Rounds
+		out.Messages = m.Messages
+		out.MaxMsgWords = m.MaxMsgWords
+	case "greedy":
+		res, err := spanner.Greedy(g, *k)
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+	case "linear-greedy":
+		res, err := spanner.LinearGreedy(g)
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+	case "combined":
+		res, err := spanner.BuildCombined(g, *eps, *seed)
+		if err != nil {
+			return err
+		}
+		edges = res.Spanner
+	case "additive2":
+		edges = spanner.Additive2(g, *seed).Spanner
+	case "stream":
+		s, err := spanner.NewStreamSpanner(g.N(), *k)
+		if err != nil {
+			return err
+		}
+		g.ForEachEdge(func(u, v int32) { s.Offer(u, v) })
+		edges = s.Edges()
+	case "tree":
+		edges = spanner.BFSTree(g)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			return err
+		}
+		if err := spanner.WriteEdgeSet(f, g.N(), edges); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			return err
+		}
+		if err := spanner.WriteDOT(f, g, *algo, edges); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	rep := spanner.Measure(g, edges, spanner.MeasureOptions{Sources: *sources, Rng: spanner.NewRand(*seed + 1)})
+	out.SpannerM = rep.SpannerM
+	out.SizeRatio = rep.SizeRatio()
+	out.MaxStretch = rep.MaxStretch
+	out.AvgStretch = rep.AvgStretch
+	out.MaxAdditive = rep.MaxAdditive
+	out.Valid = rep.Valid
+	out.Connected = rep.Connected
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Printf("graph: %s %v\n", out.Graph, g)
+	fmt.Printf("algo:  %s\n", out.Algo)
+	fmt.Printf("result: %v\n", rep)
+	if out.Rounds > 0 {
+		fmt.Printf("distributed: %d rounds, %d messages, max message %d words\n",
+			out.Rounds, out.Messages, out.MaxMsgWords)
+	}
+	return nil
+}

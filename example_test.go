@@ -1,0 +1,84 @@
+package spanner_test
+
+import (
+	"fmt"
+
+	"spanner"
+)
+
+// ExampleBuildSkeleton builds the Section 2 linear-size skeleton and
+// reports its size class.
+func ExampleBuildSkeleton() {
+	g := spanner.ConnectedGnp(2000, 0.01, spanner.NewRand(7))
+	res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 16, Rng: spanner.NewRand(2)})
+	fmt.Println("valid:", rep.Valid, "connected:", rep.Connected)
+	fmt.Println("linear size:", rep.SizeRatio() < 4)
+	fmt.Println("stretch within bound:", rep.MaxStretch <= res.DistortionBound)
+	// Output:
+	// valid: true connected: true
+	// linear size: true
+	// stretch within bound: true
+}
+
+// ExampleBuildFibonacci shows the distance-sensitive distortion of a
+// Fibonacci spanner: stretch at distance 1 is allowed to be larger than at
+// long range.
+func ExampleBuildFibonacci() {
+	g := spanner.Circulant(1000, 12)
+	res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: 2, Ell: 6, Seed: 3})
+	if err != nil {
+		panic(err)
+	}
+	o, ell := res.Params.Order, res.Params.Ell
+	fmt.Println("bound at d=1:", spanner.FibonacciStretchBoundAt(1, o, ell))
+	fmt.Println("bound improves with distance:",
+		spanner.FibonacciStretchBoundAt(1000, o, ell) < spanner.FibonacciStretchBoundAt(1, o, ell))
+	// Output:
+	// bound at d=1: 7
+	// bound improves with distance: true
+}
+
+// ExampleNewLowerBoundFixture runs the Theorem 3 adversary once.
+func ExampleNewLowerBoundFixture() {
+	f, err := spanner.NewLowerBoundFixture(2, 4, 10)
+	if err != nil {
+		panic(err)
+	}
+	res, err := f.DiscardExperiment(2, spanner.NewRand(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("each dropped critical edge costs +2:", int(res.Additive) == 2*res.DroppedCritical)
+	// Output:
+	// each dropped critical edge costs +2: true
+}
+
+// ExampleBaswanaSen builds the classical (2k−1)-spanner baseline.
+func ExampleBaswanaSen() {
+	g := spanner.ConnectedGnp(1000, 0.02, spanner.NewRand(5))
+	res, err := spanner.BaswanaSen(g, 3, 1)
+	if err != nil {
+		panic(err)
+	}
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 16, Rng: spanner.NewRand(6)})
+	fmt.Println("stretch within 2k-1:", rep.MaxStretch <= 5)
+	// Output:
+	// stretch within 2k-1: true
+}
+
+// ExampleNewDistanceOracle answers an approximate distance query.
+func ExampleNewDistanceOracle() {
+	g := spanner.Path(100)
+	o, err := spanner.NewDistanceOracle(g, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	est := o.Query(0, 99)
+	fmt.Println("exact:", 99, "estimate within 3x:", est >= 99 && est <= 297)
+	// Output:
+	// exact: 99 estimate within 3x: true
+}

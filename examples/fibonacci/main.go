@@ -1,0 +1,103 @@
+// Command fibonacci demonstrates the four distortion stages of Fibonacci
+// spanners (Theorem 7): multiplicative stretch that *improves* with the
+// distance being approximated, from O(2^o) on adjacent pairs down toward
+// 1+ε for distant ones. The workload is a torus (a wide spread of pairwise
+// distances) so every stage is populated.
+//
+// Usage:
+//
+//	go run ./examples/fibonacci [-side 48] [-order 3] [-eps 0.5] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spanner"
+)
+
+func main() {
+	side := flag.Int("side", 48, "torus side length (n = side²)")
+	order := flag.Int("order", 3, "spanner order o (0 = sparsest)")
+	eps := flag.Float64("eps", 0.5, "epsilon")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*side, *order, *eps, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(side, order int, eps float64, seed int64) error {
+	g := spanner.Torus(side, side)
+	fmt.Printf("input: %v (torus %dx%d, diameter %d)\n", g, side, side, side)
+
+	res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{
+		Order: order, Epsilon: eps, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	p := res.Params
+	fmt.Printf("fibonacci spanner: o=%d ℓ=%d ε=%.2f  |S|=%d (%.2f per vertex)\n",
+		p.Order, p.Ell, p.Epsilon, res.Spanner.Len(),
+		float64(res.Spanner.Len())/float64(g.N()))
+	fmt.Printf("levels:")
+	for _, ls := range res.Levels {
+		fmt.Printf("  |V%d|=%d", ls.Level, ls.Size)
+	}
+	fmt.Println()
+
+	rng := spanner.NewRand(seed)
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 96, Rng: rng})
+	fmt.Printf("\nstretch by distance (measured vs Theorem 7 bound):\n")
+	fmt.Printf("  %6s  %8s  %10s  %10s  %12s\n", "d", "pairs", "max", "avg", "bound")
+	for _, row := range rep.ByDistance {
+		if row.Pairs == 0 || !interesting(int(row.Distance), side) {
+			continue
+		}
+		bound := spanner.FibonacciStretchBoundAt(int64(row.Distance), p.Order, p.Ell)
+		fmt.Printf("  %6d  %8d  %10.3f  %10.3f  %12.2f\n",
+			row.Distance, row.Pairs, row.MaxStretch, row.AvgStretch, bound)
+	}
+	fmt.Printf("\noverall: %v\n", rep)
+
+	// The distributed construction computes the identical spanner.
+	dres, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{
+		Order: order, Epsilon: eps, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed: |S|=%d in %d rounds, %d messages, max message %d words\n",
+		dres.Spanner.Len(), dres.Metrics.Rounds, dres.Metrics.Messages, dres.Metrics.MaxMsgWords)
+
+	// Sparse inputs are kept nearly whole (S₀ already has linear size); the
+	// size guarantee bites on dense inputs, where the spanner keeps only a
+	// fraction of the edges while preserving the distortion stages.
+	fmt.Printf("\ncompression on a dense input:\n")
+	rng2 := spanner.NewRand(seed + 1)
+	dense := spanner.ConnectedGnp(5000, 300.0/5000, rng2)
+	fres, err := spanner.BuildFibonacci(dense, spanner.FibonacciOptions{Epsilon: 1, Seed: seed})
+	if err != nil {
+		return err
+	}
+	frep := spanner.Measure(dense, fres.Spanner, spanner.MeasureOptions{Sources: 24, Rng: rng2})
+	fmt.Printf("  input %v -> |S|=%d (%.0f%% of m), max stretch %.2f\n",
+		dense, fres.Spanner.Len(),
+		100*float64(fres.Spanner.Len())/float64(dense.M()), frep.MaxStretch)
+	return nil
+}
+
+// interesting thins the distance table to powers-of-two-ish rows.
+func interesting(d, side int) bool {
+	if d <= 4 || d == side {
+		return true
+	}
+	for p := 8; p <= 4096; p *= 2 {
+		if d == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+// Command lowerbound demonstrates the Section 3 time/size/distortion
+// tradeoff on the fixture graph G(τ,λ,κ): an algorithm limited to τ rounds
+// and n^{1+δ} output edges must discard a constant fraction of the critical
+// edges, and every discarded critical edge adds +2 to the spine distance.
+// Sweeping τ shows the additive distortion falling as the round budget
+// grows — exactly the Ω(√(n^{1-δ}/β)) shape of Theorem 5.
+//
+// Usage:
+//
+//	go run ./examples/lowerbound [-lambda 8] [-kappa 32] [-c 2] [-runs 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spanner"
+)
+
+func main() {
+	lambda := flag.Int("lambda", 8, "block width λ")
+	kappa := flag.Int("kappa", 32, "number of blocks κ")
+	c := flag.Float64("c", 2, "compression factor (output ≤ m/c edges)")
+	runs := flag.Int("runs", 50, "trials per τ")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*lambda, *kappa, *c, *runs, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(lambda, kappa int, c float64, runs int, seed int64) error {
+	rng := spanner.NewRand(seed)
+	fmt.Printf("symmetric-discard adversary on G(τ,λ=%d,κ=%d), compression c=%.1f\n\n", lambda, kappa, c)
+	fmt.Printf("  %4s  %8s  %8s  %10s  %12s  %12s\n",
+		"τ", "n", "δ(u,v)", "E[add]", "measured", "per Thm 3")
+	for _, tau := range []int{0, 1, 2, 4, 8, 16, 32} {
+		f, err := spanner.NewLowerBoundFixture(tau, lambda, kappa)
+		if err != nil {
+			return err
+		}
+		var sumAdd float64
+		var pred float64
+		for r := 0; r < runs; r++ {
+			res, err := f.DiscardExperiment(c, rng)
+			if err != nil {
+				return err
+			}
+			sumAdd += float64(res.Additive)
+			pred = res.PredictedDistH - float64(res.DistG)
+		}
+		measured := sumAdd / float64(runs)
+		p := 1 - 1/c - 1/(c*float64(kappa))
+		fmt.Printf("  %4d  %8d  %8d  %10.1f  %12.1f  %12.1f\n",
+			tau, f.G.N(), f.SpineDistance(), 2*p*float64(kappa), measured, pred)
+	}
+	fmt.Printf("\nAs τ grows the same n forces fewer blocks (κ ∝ n/τ²), so a τ-round\n")
+	fmt.Printf("algorithm can be forced into additive distortion Ω(n^{1-δ}/τ²) — Theorems 4-6.\n")
+
+	// Theorem 5 parameterization: the τ below which any additive β-spanner
+	// of size n^{1+δ} must fail.
+	fmt.Printf("\nTheorem 5 instances (additive β-spanners, size n^{1+δ}, δ=0.1):\n")
+	fmt.Printf("  %8s  %6s  %14s\n", "n", "β", "min rounds Ω(·)")
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		for _, beta := range []float64{2, 6} {
+			f, err := spanner.Theorem5Fixture(n, beta, 0.1)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %8d  %6.0f  %14.1f   (fixture: τ=%d λ=%d κ=%d, n'=%d)\n",
+				n, beta, float64(f.Tau+6), f.Tau, f.Lambda, f.Kappa, f.G.N())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+// Command quickstart is a 60-second tour of the public API: generate a
+// random graph, build the paper's linear-size skeleton both sequentially
+// and by message passing, and verify size and distortion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spanner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := spanner.NewRand(42)
+	g := spanner.ConnectedGnp(5000, 0.004, rng) // n=5000, avg degree ≈ 20
+	fmt.Printf("input:  %v (avg degree %.1f)\n", g, g.AvgDegree())
+
+	// Sequential construction (Section 2, D = 4).
+	res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: 1})
+	if err != nil {
+		return err
+	}
+	rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 64, Rng: rng})
+	fmt.Printf("skeleton: %v\n", rep)
+	fmt.Printf("          Lemma 6 size bound %.0f, distortion bound %.1f\n",
+		res.SizeBound, res.DistortionBound)
+
+	// The same algorithm as a distributed protocol with O(log n)-word
+	// messages (Theorem 2).
+	dres, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: 4, Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distributed: |S| = %d, %d rounds, %d messages, max message %d/%d words\n",
+		dres.Spanner.Len(), dres.Metrics.Rounds, dres.Metrics.Messages,
+		dres.Metrics.MaxMsgWords, dres.MaxMsgWords)
+
+	// A Fibonacci spanner (Section 4) on the same graph.
+	fres, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Seed: 1})
+	if err != nil {
+		return err
+	}
+	frep := spanner.Measure(g, fres.Spanner, spanner.MeasureOptions{Sources: 64, Rng: rng})
+	fmt.Printf("fibonacci (o=%d, ℓ=%d): %v\n", fres.Params.Order, fres.Params.Ell, frep)
+	return nil
+}

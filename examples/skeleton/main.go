@@ -1,0 +1,95 @@
+// Command skeleton demonstrates the Section 2 linear-size skeleton in
+// depth: the tower schedule, the size-vs-D tradeoff of Lemma 6, the
+// contrast with the Baswana–Sen and greedy baselines, and the distributed
+// protocol's round/message costs.
+//
+// Usage:
+//
+//	go run ./examples/skeleton [-n 20000] [-deg 16] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spanner"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "number of vertices")
+	deg := flag.Float64("deg", 16, "average degree of the random input")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*n, *deg, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n int, deg float64, seed int64) error {
+	rng := spanner.NewRand(seed)
+	g := spanner.ConnectedGnp(n, deg/float64(n), rng)
+	fmt.Printf("input: %v (avg degree %.1f)\n\n", g, g.AvgDegree())
+
+	// The deterministic Expand schedule every vertex can compute locally.
+	sched := spanner.SkeletonSchedule(n, spanner.SkeletonOptions{D: 4})
+	fmt.Printf("schedule (D=4): %d Expand calls across %d rounds\n",
+		len(sched), sched[len(sched)-1].Round+1)
+	for _, c := range sched {
+		fmt.Printf("  round %d iter %d  p=%.4g%s\n", c.Round, c.Iter, c.P,
+			mark(c.ContractBefore, "  (contract first)"))
+	}
+
+	// Lemma 6: expected size ≈ Dn/e + O(n log D). Sweep D.
+	fmt.Printf("\nsize vs D (Lemma 6; measured vs bound, per vertex):\n")
+	fmt.Printf("  %4s  %10s  %10s\n", "D", "|S|/n", "bound/n")
+	for _, d := range []int{4, 6, 8, 12, 16} {
+		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: d, Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %4d  %10.3f  %10.3f\n", d,
+			float64(res.Spanner.Len())/float64(n), res.SizeBound/float64(n))
+	}
+
+	// Quality vs the baselines.
+	fmt.Printf("\ncomparison (sampled stretch over %d sources):\n", 48)
+	fmt.Printf("  %-22s  %8s  %10s  %10s\n", "algorithm", "|S|/n", "max", "avg")
+	report := func(name string, s *spanner.EdgeSet) {
+		rep := spanner.Measure(g, s, spanner.MeasureOptions{Sources: 48, Rng: rng})
+		fmt.Printf("  %-22s  %8.3f  %10.2f  %10.3f\n", name, rep.SizeRatio(), rep.MaxStretch, rep.AvgStretch)
+	}
+	res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: seed})
+	if err != nil {
+		return err
+	}
+	report("skeleton (Sect. 2)", res.Spanner)
+	bs, err := spanner.BaswanaSen(g, 3, seed)
+	if err != nil {
+		return err
+	}
+	report("baswana-sen k=3", bs.Spanner)
+	lg, err := spanner.LinearGreedy(g)
+	if err != nil {
+		return err
+	}
+	report("greedy k=log n", lg.Spanner)
+	report("bfs tree", spanner.BFSTree(g))
+
+	// Distributed costs (Theorem 2).
+	dres, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: 4, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndistributed run: %d rounds, %d messages (%d words), max message %d words (cap %d)\n",
+		dres.Metrics.Rounds, dres.Metrics.Messages, dres.Metrics.Words,
+		dres.Metrics.MaxMsgWords, dres.MaxMsgWords)
+	return nil
+}
+
+func mark(b bool, s string) string {
+	if b {
+		return s
+	}
+	return ""
+}

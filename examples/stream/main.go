@@ -1,0 +1,57 @@
+// Command stream demonstrates the online (2k−1)-spanner of the paper's
+// related work (Sect. 1.4, Baswana [5] / Elkin [21]): edges arrive one at a
+// time in random order and the algorithm keeps only O(n^{1+1/k}) of them in
+// memory while maintaining the stretch guarantee at every prefix.
+//
+// Usage:
+//
+//	go run ./examples/stream [-n 3000] [-deg 20] [-k 3] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spanner"
+)
+
+func main() {
+	n := flag.Int("n", 3000, "number of vertices")
+	deg := flag.Float64("deg", 20, "average degree")
+	k := flag.Int("k", 3, "stretch parameter (spanner is a (2k-1)-spanner)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*n, *deg, *k, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(n int, deg float64, k int, seed int64) error {
+	rng := spanner.NewRand(seed)
+	g := spanner.ConnectedGnp(n, deg/float64(n), rng)
+	edges := g.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	s, err := spanner.NewStreamSpanner(n, k)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streaming %d edges (random order) through a %d-spanner (memory bound %.0f edges):\n\n",
+		len(edges), 2*k-1, s.SizeBound())
+	fmt.Printf("  %10s  %10s  %10s\n", "offered", "kept", "keep rate")
+	step := len(edges) / 8
+	for i, e := range edges {
+		s.Offer(e[0], e[1])
+		if (i+1)%step == 0 || i == len(edges)-1 {
+			fmt.Printf("  %10d  %10d  %9.1f%%\n", s.Offered(), s.Len(),
+				100*float64(s.Len())/float64(s.Offered()))
+		}
+	}
+
+	rep := spanner.Measure(g, s.Edges(), spanner.MeasureOptions{Sources: 32, Rng: rng})
+	fmt.Printf("\nfinal: %v\n", rep)
+	fmt.Printf("stretch ≤ 2k-1 = %d: %v;  size ≤ n^{1+1/k}+n = %.0f: %v\n",
+		2*k-1, rep.MaxStretch <= float64(2*k-1), s.SizeBound(), float64(s.Len()) <= s.SizeBound())
+	return nil
+}

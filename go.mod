@@ -1,0 +1,3 @@
+module spanner
+
+go 1.22

@@ -1,0 +1,87 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/verify"
+)
+
+func TestAdditive2Guarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := []*graph.Graph{
+		graph.ConnectedGnp(150, 0.3, rng), // dense: many heavy vertices
+		graph.ConnectedGnp(150, 0.05, rng),
+		graph.Complete(40),
+		graph.Star(60),
+		graph.CompleteBipartite(20, 25),
+	}
+	for gi, g := range inputs {
+		res := Additive2(g, int64(gi))
+		rep := verify.Measure(g, res.Spanner, verify.Options{})
+		if !rep.Valid || !rep.Connected {
+			t.Fatalf("input %d: %v", gi, rep)
+		}
+		if rep.MaxAdditive > 2 {
+			t.Fatalf("input %d: additive distortion %d > 2", gi, rep.MaxAdditive)
+		}
+	}
+}
+
+func TestAdditive2SizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGnp(800, 0.15, rng) // m ≈ 48k, heavy vertices exist
+	res := Additive2(g, 3)
+	if float64(res.Spanner.Len()) > res.SizeBound {
+		t.Fatalf("size %d above bound %v", res.Spanner.Len(), res.SizeBound)
+	}
+	// On dense graphs the additive spanner must actually compress.
+	if res.Spanner.Len() >= g.M() {
+		t.Fatalf("no compression: %d of %d edges kept", res.Spanner.Len(), g.M())
+	}
+}
+
+func TestAdditive2SparseKeepsAll(t *testing.T) {
+	// Every vertex light ⇒ identity spanner, zero distortion.
+	g := graph.Ring(50)
+	res := Additive2(g, 1)
+	if res.Spanner.Len() != g.M() {
+		t.Fatalf("sparse input: kept %d of %d", res.Spanner.Len(), g.M())
+	}
+	if len(res.Dominators) != 0 {
+		t.Fatal("no dominators expected when no vertex is heavy")
+	}
+}
+
+func TestAdditive2HeavyCoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGnp(200, 0.4, rng)
+	res := Additive2(g, 5)
+	dom := make(map[int32]bool, len(res.Dominators))
+	for _, w := range res.Dominators {
+		dom[w] = true
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if g.Degree(v) < res.Threshold {
+			continue
+		}
+		covered := false
+		for _, w := range g.Neighbors(v) {
+			if dom[w] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("heavy vertex %d (deg %d) has no dominator neighbor", v, g.Degree(v))
+		}
+	}
+}
+
+func TestAdditive2Empty(t *testing.T) {
+	res := Additive2(graph.Complete(0), 1)
+	if res.Spanner.Len() != 0 {
+		t.Fatal("empty graph should give empty spanner")
+	}
+}

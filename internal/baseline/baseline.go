@@ -1,0 +1,210 @@
+// Package baseline implements the comparison algorithms of the paper's
+// Fig. 1 that are within its own scope:
+//
+//   - BaswanaSen: the randomized (2k−1)-spanner of Baswana and Sen [10],
+//     expressed through the shared cluster.Expand primitive (the paper's
+//     Sect. 2 algorithm is "a distributed version of a clustering technique
+//     due to Baswana and Sen"): k−1 sampling rounds with probability
+//     n^{-1/k} and no contraction, then a final zero-probability round.
+//     Expected size O(k·n + log k·n^{1+1/k}) per the paper's corrected
+//     analysis of Lemma 6.
+//   - Greedy: the classical sequential construction of Althöfer et al. [4]:
+//     scan edges and keep (u,v) iff the current spanner distance exceeds
+//     2k−1. Guarantees girth > 2k, hence size O(n^{1+1/k}); at k = log n it
+//     is the classical linear-size skeleton (the sequential counterpart of
+//     Dubhashi et al. [18]).
+//   - BFSTree: a shortest-path forest — the extreme point of the
+//     sparseness/distortion tradeoff (n−1 edges, distortion up to the
+//     diameter).
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spanner/internal/cluster"
+	"spanner/internal/core"
+	"spanner/internal/distsim"
+	"spanner/internal/graph"
+)
+
+// BaswanaSenResult reports a Baswana–Sen run.
+type BaswanaSenResult struct {
+	Spanner *graph.EdgeSet
+	// K is the stretch parameter: the spanner is a (2k−1)-spanner.
+	K int
+	// SizeBound is the expected-size bound O(kn + ln k·n^{1+1/k}).
+	SizeBound float64
+}
+
+// BaswanaSen computes a (2k−1)-spanner of g with expected size
+// O(kn + log k · n^{1+1/k}) using k−1 Expand calls with sampling
+// probability n^{-1/k} followed by a final zero-probability call, all
+// without contraction.
+func BaswanaSen(g *graph.Graph, k int, seed int64) (*BaswanaSenResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	res := &BaswanaSenResult{K: k}
+	if n == 0 {
+		res.Spanner = graph.NewEdgeSet(0)
+		return res, nil
+	}
+	nf := float64(n)
+	res.SizeBound = float64(k)*nf + (math.Log(float64(k))+1)*math.Pow(nf, 1+1/float64(k))
+
+	rng := rand.New(rand.NewSource(seed))
+	st := cluster.New(g, rng)
+	p := math.Pow(nf, -1/float64(k))
+	for i := 0; i < k-1 && !st.Done(); i++ {
+		st.Expand(p, 0)
+	}
+	if !st.Done() {
+		st.Expand(0, 0)
+	}
+	res.Spanner = st.Spanner()
+	return res, nil
+}
+
+// BaswanaSenDistributed runs the same construction through the distributed
+// Expand protocol of Section 2 (the protocol is agnostic to the schedule).
+// It completes in O(k) cluster-radius-bounded phases; the paper credits
+// [10] with optimal O(k) time.
+func BaswanaSenDistributed(g *graph.Graph, k int, seed int64) (*BaswanaSenResult, distsim.Metrics, error) {
+	var metrics distsim.Metrics
+	if k < 1 {
+		return nil, metrics, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	res := &BaswanaSenResult{K: k}
+	if n == 0 {
+		res.Spanner = graph.NewEdgeSet(0)
+		return res, metrics, nil
+	}
+	nf := float64(n)
+	res.SizeBound = float64(k)*nf + (math.Log(float64(k))+1)*math.Pow(nf, 1+1/float64(k))
+	spanner, metrics, _, err := core.RunExpandSchedule(g, baswanaSenCalls(n, k), seed, 0)
+	if err != nil {
+		return nil, metrics, err
+	}
+	res.Spanner = spanner
+	return res, metrics, nil
+}
+
+// baswanaSenCalls is the k-phase schedule: k−1 calls at n^{-1/k} followed
+// by a zero-probability call, with no contraction.
+func baswanaSenCalls(n, k int) []core.Call {
+	p := math.Pow(float64(n), -1/float64(k))
+	calls := make([]core.Call, 0, k)
+	for i := 0; i < k-1; i++ {
+		calls = append(calls, core.Call{Round: 0, Iter: i + 1, P: p})
+	}
+	return append(calls, core.Call{Round: 0, Iter: k, P: 0})
+}
+
+// GreedyResult reports a greedy spanner run.
+type GreedyResult struct {
+	Spanner *graph.EdgeSet
+	K       int
+	// SizeBound is the girth-based bound: a graph with girth > 2k has at
+	// most n^{1+1/k} + n edges.
+	SizeBound float64
+}
+
+// Greedy computes a (2k−1)-spanner by the classical girth argument: scan
+// the edges (in canonical order) and keep (u,v) iff the spanner distance
+// between u and v currently exceeds 2k−1. The output has girth > 2k.
+func Greedy(g *graph.Graph, k int) (*GreedyResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	nf := float64(n)
+	res := &GreedyResult{
+		K:         k,
+		Spanner:   graph.NewEdgeSet(n),
+		SizeBound: math.Pow(nf, 1+1/float64(k)) + nf,
+	}
+	if n == 0 {
+		return res, nil
+	}
+	// Incremental adjacency of the spanner under construction.
+	adj := make([][]int32, n)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Unreachable
+	}
+	limit := int32(2*k - 1)
+	queue := make([]int32, 0, n)
+	g.ForEachEdge(func(u, v int32) {
+		// Truncated BFS from u in the current spanner, depth ≤ 2k−1.
+		reached := queue[:0]
+		dist[u] = 0
+		reached = append(reached, u)
+		found := false
+		for head := 0; head < len(reached) && !found; head++ {
+			x := reached[head]
+			if dist[x] == limit {
+				continue
+			}
+			for _, y := range adj[x] {
+				if dist[y] != graph.Unreachable {
+					continue
+				}
+				if y == v {
+					found = true
+					break
+				}
+				dist[y] = dist[x] + 1
+				reached = append(reached, y)
+			}
+		}
+		for _, x := range reached {
+			dist[x] = graph.Unreachable
+		}
+		queue = reached // recycle backing array
+		if !found {
+			res.Spanner.Add(u, v)
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+	})
+	return res, nil
+}
+
+// LinearGreedy is Greedy at k = ⌈log₂ n⌉: the classical linear-size
+// skeleton with girth > 2 log n and multiplicative distortion O(log n).
+func LinearGreedy(g *graph.Graph) (*GreedyResult, error) {
+	k := int(math.Ceil(math.Log2(float64(g.N() + 2))))
+	if k < 1 {
+		k = 1
+	}
+	return Greedy(g, k)
+}
+
+// BFSTree returns a shortest-path forest rooted at the minimum vertex of
+// each component: the sparsest connectivity-preserving subgraph.
+func BFSTree(g *graph.Graph) *graph.EdgeSet {
+	n := g.N()
+	s := graph.NewEdgeSet(n)
+	labels, _ := g.ConnectedComponents()
+	roots := make(map[int32]int32)
+	for v := int32(0); int(v) < n; v++ {
+		if _, ok := roots[labels[v]]; !ok {
+			roots[labels[v]] = v
+		}
+	}
+	sources := make([]int32, 0, len(roots))
+	for _, r := range roots {
+		sources = append(sources, r)
+	}
+	_, _, parent := g.MultiSourceBFS(sources)
+	for v := int32(0); int(v) < n; v++ {
+		if parent[v] != graph.Unreachable && parent[v] != v {
+			s.Add(v, parent[v])
+		}
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spanner/internal/seq"
+	"spanner/internal/wgraph"
+)
+
+// Weighted Baswana–Sen: Fig. 1's first row. The paper calls the weighted
+// (2k−1)-spanner of [10] "optimal in all respects, save for a factor of k
+// in the spanner size", and Sect. 2 corrects its size analysis to
+// O(kn + log k · n^{1+1/k}) — the X^t_p bound of Lemma 6 applies verbatim
+// because a vertex's expected edge contribution per phase depends only on
+// the number of adjacent clusters and the sampling probability, not on the
+// weights.
+
+// WeightedBSResult reports a weighted Baswana–Sen run.
+type WeightedBSResult struct {
+	Spanner *wgraph.EdgeSubset
+	K       int
+	// SizeBound is the corrected expected-size bound kn + (ln k+1)·n^{1+1/k}
+	// scaled by the Lemma 6 constant.
+	SizeBound float64
+}
+
+// WeightedBaswanaSen computes a (2k−1)-spanner of a weighted graph. Phases
+// 1..k−1 sample cluster centers with probability n^{-1/k}; a vertex
+// adjacent to a sampled cluster joins along its lightest such edge and also
+// keeps one lightest edge to every cluster that is strictly cheaper; a
+// vertex with no sampled neighbor keeps one lightest edge per adjacent
+// cluster and retires. The final phase connects every surviving vertex to
+// each adjacent cluster by a lightest edge.
+func WeightedBaswanaSen(g *wgraph.WGraph, k int, seed int64) (*WeightedBSResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
+	}
+	n := g.N()
+	res := &WeightedBSResult{K: k, Spanner: wgraph.NewEdgeSubset(n)}
+	if n == 0 {
+		return res, nil
+	}
+	nf := float64(n)
+	// The weighted join rule contributes, besides the joining edge, one
+	// edge per strictly-cheaper adjacent cluster; the expected number of
+	// clusters cheaper than the lightest sampled one is again geometric, so
+	// the X^t_p accounting of Lemma 6 at most doubles.
+	res.SizeBound = float64(k)*nf + 2*seq.XBound(math.Pow(nf, -1/float64(k)), k)*nf
+
+	rng := rand.New(rand.NewSource(seed))
+	p := math.Pow(nf, -1/float64(k))
+
+	const retired = int32(-1)
+	clusterOf := make([]int32, n)
+	for v := range clusterOf {
+		clusterOf[v] = int32(v)
+	}
+	live := g.Edges()
+
+	for phase := 1; phase < k; phase++ {
+		// Sample current clusters.
+		sampled := make(map[int32]bool)
+		seen := make(map[int32]bool)
+		for _, c := range clusterOf {
+			if c == retired || seen[c] {
+				continue
+			}
+			seen[c] = true
+			if rng.Float64() < p {
+				sampled[c] = true
+			}
+		}
+
+		// Per-vertex lightest edge to each adjacent (foreign) cluster.
+		minTo := make([]map[int32]wgraph.Edge, n)
+		addTo := func(v int32, c int32, e wgraph.Edge) {
+			if minTo[v] == nil {
+				minTo[v] = make(map[int32]wgraph.Edge, 4)
+			}
+			if old, ok := minTo[v][c]; !ok || e.W < old.W {
+				minTo[v][c] = e
+			}
+		}
+		for _, e := range live {
+			cu, cv := clusterOf[e.U], clusterOf[e.V]
+			if cu == retired || cv == retired || cu == cv {
+				continue
+			}
+			addTo(e.U, cv, e)
+			addTo(e.V, cu, e)
+		}
+
+		// Simultaneous per-vertex decisions.
+		newCluster := make([]int32, n)
+		copy(newCluster, clusterOf)
+		drops := make([]map[int32]bool, n) // clusters whose edges v discards
+		for v := int32(0); int(v) < n; v++ {
+			c0 := clusterOf[v]
+			if c0 == retired || sampled[c0] {
+				continue
+			}
+			drops[v] = make(map[int32]bool, len(minTo[v])+1)
+			// Lightest edge to a sampled cluster, if any.
+			var joinC int32
+			var joinE wgraph.Edge
+			haveJoin := false
+			for c, e := range minTo[v] {
+				if !sampled[c] {
+					continue
+				}
+				if !haveJoin || e.W < joinE.W || (e.W == joinE.W && c < joinC) {
+					haveJoin, joinC, joinE = true, c, e
+				}
+			}
+			if !haveJoin {
+				// Retire: one lightest edge per adjacent cluster.
+				for c, e := range minTo[v] {
+					res.Spanner.Add(e.U, e.V, e.W)
+					drops[v][c] = true
+				}
+				newCluster[v] = retired
+				continue
+			}
+			res.Spanner.Add(joinE.U, joinE.V, joinE.W)
+			newCluster[v] = joinC
+			drops[v][joinC] = true
+			// Also keep (and discard further edges to) strictly cheaper
+			// clusters — the weighted rule ensuring the stretch argument.
+			for c, e := range minTo[v] {
+				if c != joinC && e.W < joinE.W {
+					res.Spanner.Add(e.U, e.V, e.W)
+					drops[v][c] = true
+				}
+			}
+		}
+
+		// Filter the live edge set.
+		var next []wgraph.Edge
+		for _, e := range live {
+			cu, cv := clusterOf[e.U], clusterOf[e.V]
+			nu, nv := newCluster[e.U], newCluster[e.V]
+			if nu == retired || nv == retired {
+				continue
+			}
+			if nu == nv {
+				continue // intra-cluster after re-clustering
+			}
+			if drops[e.U] != nil && cv != retired && drops[e.U][cv] {
+				continue
+			}
+			if drops[e.V] != nil && cu != retired && drops[e.V][cu] {
+				continue
+			}
+			next = append(next, e)
+		}
+		live = next
+		clusterOf = newCluster
+	}
+
+	// Final phase: lightest edge from every vertex to each adjacent cluster.
+	minTo := make([]map[int32]wgraph.Edge, n)
+	for _, e := range live {
+		cu, cv := clusterOf[e.U], clusterOf[e.V]
+		if cu == retired || cv == retired || cu == cv {
+			continue
+		}
+		for _, side := range []struct {
+			v int32
+			c int32
+		}{{e.U, cv}, {e.V, cu}} {
+			if minTo[side.v] == nil {
+				minTo[side.v] = make(map[int32]wgraph.Edge, 4)
+			}
+			if old, ok := minTo[side.v][side.c]; !ok || e.W < old.W {
+				minTo[side.v][side.c] = e
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range minTo[v] {
+			res.Spanner.Add(e.U, e.V, e.W)
+		}
+	}
+	return res, nil
+}

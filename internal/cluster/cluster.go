@@ -1,0 +1,418 @@
+// Package cluster implements the clustering machinery of Section 2 of the
+// paper: the Expand procedure (Fig. 2) over a contracted graph, and the
+// contraction step between rounds. It is shared by the linear-size skeleton
+// algorithm (which interleaves Expand with contraction on the tower
+// schedule) and by the Baswana–Sen baseline (which calls Expand k times with
+// a fixed probability and never contracts).
+//
+// Terminology follows the paper. The original graph G is fixed. A State
+// holds a contracted graph G' = G_{i,0} whose vertices each represent a set
+// π⁻¹(v) of original vertices spanned by already-selected spanner edges,
+// plus a complete clustering C_{i,j} of the live contracted vertices. Each
+// Expand call samples clusters with probability p and grows the sampled
+// ones by one (contracted) hop; unsampled vertices with no sampled neighbor
+// die, donating one spanner edge to each adjacent cluster (or, above the
+// abort threshold, all their original edges — the paper's message-length
+// escape hatch, which inflates the expected size by o(1)).
+package cluster
+
+import (
+	"math/rand"
+	"sort"
+
+	"spanner/internal/graph"
+)
+
+// Dead marks an original vertex whose contracted representative has died.
+const Dead int32 = -1
+
+// halfEdge is one direction of a contracted edge together with the original
+// edge chosen to represent it ("selecting (u,v) is merely shorthand for
+// selecting a single arbitrary edge among π⁻¹(u)×π⁻¹(v)∩E").
+type halfEdge struct {
+	to      int32
+	origKey int64
+}
+
+// State is the evolving contracted-graph-plus-clustering of the algorithm.
+type State struct {
+	orig    *graph.Graph
+	spanner *graph.EdgeSet
+	rng     *rand.Rand
+
+	// Contracted graph G_{i,0} of the current round.
+	members [][]int32    // contracted vertex -> original members π⁻¹(v)
+	center  []int32      // contracted vertex -> original center vertex
+	adj     [][]halfEdge // contracted adjacency with representative edges
+
+	// Clustering C_{i,j} over the contracted vertices.
+	alive     []bool
+	clusterOf []int32 // contracted vertex -> cluster head (a contracted vertex id)
+	radius    int     // j: cluster radius w.r.t. the contracted graph
+
+	// scratch, stamped per (vertex, call) to deduplicate adjacent clusters.
+	seenStamp []int32
+	seenEdge  []int64
+	stamp     int32
+
+	liveCount   int
+	totalRounds int // contracted rounds completed (number of Contract calls)
+}
+
+// ExpandStats summarizes one Expand call for schedule drivers and tests.
+type ExpandStats struct {
+	SampledClusters int
+	Joined          int
+	Died            int
+	Aborted         int // deaths that triggered the include-all-edges abort
+	EdgesAdded      int
+	ClustersAfter   int
+	LiveAfter       int
+}
+
+// New starts the algorithm on g: every vertex is its own contracted vertex
+// and its own singleton cluster (the pair (G_{0,0}, C_{0,0})).
+func New(g *graph.Graph, rng *rand.Rand) *State {
+	n := g.N()
+	s := &State{
+		orig:      g,
+		spanner:   graph.NewEdgeSet(2 * n),
+		rng:       rng,
+		members:   make([][]int32, n),
+		center:    make([]int32, n),
+		adj:       make([][]halfEdge, n),
+		alive:     make([]bool, n),
+		clusterOf: make([]int32, n),
+		seenStamp: make([]int32, n),
+		seenEdge:  make([]int64, n),
+		liveCount: n,
+	}
+	for v := 0; v < n; v++ {
+		s.members[v] = []int32{int32(v)}
+		s.center[v] = int32(v)
+		s.alive[v] = true
+		s.clusterOf[v] = int32(v)
+		s.seenStamp[v] = -1
+		ns := g.Neighbors(int32(v))
+		s.adj[v] = make([]halfEdge, len(ns))
+		for i, w := range ns {
+			s.adj[v][i] = halfEdge{to: w, origKey: graph.EdgeKey(int32(v), w)}
+		}
+	}
+	return s
+}
+
+// Spanner returns the accumulating set of selected original edges.
+func (s *State) Spanner() *graph.EdgeSet { return s.spanner }
+
+// NumLive returns the number of live contracted vertices.
+func (s *State) NumLive() int { return s.liveCount }
+
+// Done reports whether every vertex has died (the algorithm is finished).
+func (s *State) Done() bool { return s.liveCount == 0 }
+
+// Radius returns j, the cluster radius with respect to the contracted graph
+// accumulated by Expand calls since the last contraction.
+func (s *State) Radius() int { return s.radius }
+
+// Rounds returns the number of contractions performed so far.
+func (s *State) Rounds() int { return s.totalRounds }
+
+// NumClusters returns the number of distinct live clusters.
+func (s *State) NumClusters() int {
+	count := 0
+	for v, a := range s.alive {
+		if a && s.clusterOf[v] == int32(v) {
+			count++
+		}
+	}
+	// Heads may themselves have joined other clusters in a previous call, in
+	// which case cluster identity is carried by the head id even though the
+	// head vertex moved; count distinct ids instead when that happens.
+	if count > 0 {
+		return count
+	}
+	distinct := make(map[int32]struct{})
+	for v, a := range s.alive {
+		if a {
+			distinct[s.clusterOf[v]] = struct{}{}
+		}
+	}
+	return len(distinct)
+}
+
+// ClusterOf returns the cluster head of contracted vertex v, or Dead.
+func (s *State) ClusterOf(v int32) int32 {
+	if !s.alive[v] {
+		return Dead
+	}
+	return s.clusterOf[v]
+}
+
+// SuperOf returns, for each original vertex, the contracted vertex currently
+// representing it (Dead if its representative died). Mainly for tests.
+func (s *State) SuperOf() []int32 {
+	out := make([]int32, s.orig.N())
+	for i := range out {
+		out[i] = Dead
+	}
+	for v := range s.members {
+		if !s.alive[v] {
+			continue
+		}
+		for _, m := range s.members[v] {
+			out[m] = int32(v)
+		}
+	}
+	return out
+}
+
+// Members returns the original vertices represented by contracted vertex v.
+func (s *State) Members(v int32) []int32 { return s.members[v] }
+
+// Center returns the original center vertex of contracted vertex v.
+func (s *State) Center(v int32) int32 { return s.center[v] }
+
+// Expand performs one call to the Expand procedure of Fig. 2 with sampling
+// probability p. abortQ, if positive, is the threshold above which a dying
+// vertex stops enumerating adjacent clusters and instead includes all the
+// original edges incident to π⁻¹(v) (Theorem 2 uses abortQ = 4·sᵢ·ln n).
+func (s *State) Expand(p float64, abortQ int) ExpandStats {
+	var stats ExpandStats
+
+	// Line 1: sample each cluster for inclusion in C_out. The cluster ids
+	// are contracted-vertex ids; only ids actually used as heads matter, but
+	// drawing for every contracted vertex keeps this one pass and keeps the
+	// random stream independent of the clustering structure.
+	sampled := make([]bool, len(s.alive))
+	for v := range sampled {
+		if p > 0 && s.rng.Float64() < p {
+			sampled[v] = true
+		}
+	}
+	headSeen := make(map[int32]struct{})
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		h := s.clusterOf[v]
+		if _, ok := headSeen[h]; !ok {
+			headSeen[h] = struct{}{}
+			if sampled[h] {
+				stats.SampledClusters++
+			}
+		}
+	}
+
+	// Decide every live vertex simultaneously from the pre-call clustering.
+	newCluster := make([]int32, len(s.clusterOf))
+	copy(newCluster, s.clusterOf)
+	died := make([]int32, 0)
+	for v := range s.alive {
+		if !s.alive[v] {
+			continue
+		}
+		c0 := s.clusterOf[v]
+		if sampled[c0] {
+			continue // remains in its (sampled, growing) cluster; zero edges
+		}
+		// Enumerate distinct adjacent clusters with one representative
+		// original edge each.
+		s.stamp++
+		var q int
+		joinTarget := Dead
+		var joinKey int64
+		for _, he := range s.adj[v] {
+			w := he.to
+			if !s.alive[w] {
+				continue
+			}
+			cw := s.clusterOf[w]
+			if cw == c0 {
+				continue
+			}
+			if s.seenStamp[cw] != s.stamp {
+				s.seenStamp[cw] = s.stamp
+				s.seenEdge[cw] = he.origKey
+				q++
+				if sampled[cw] && (joinTarget == Dead || cw < joinTarget) {
+					joinTarget = cw
+					joinKey = he.origKey
+				}
+			}
+		}
+		switch {
+		case joinTarget != Dead:
+			// Line 4: join a sampled adjacent cluster via one spanner edge.
+			s.spanner.AddKey(joinKey)
+			newCluster[v] = joinTarget
+			stats.Joined++
+			stats.EdgesAdded++
+		case abortQ > 0 && q > abortQ:
+			// Theorem 2's escape hatch: q is too large to enumerate within
+			// the message budget, so keep every original edge incident to
+			// π⁻¹(v) and die.
+			for _, m := range s.members[v] {
+				for _, w := range s.orig.Neighbors(m) {
+					s.spanner.Add(m, w)
+					stats.EdgesAdded++
+				}
+			}
+			died = append(died, int32(v))
+			stats.Aborted++
+			stats.Died++
+		default:
+			// Line 7: no sampled cluster in sight; donate one edge to each
+			// adjacent cluster and die.
+			s.stamp++
+			for _, he := range s.adj[v] {
+				w := he.to
+				if !s.alive[w] {
+					continue
+				}
+				cw := s.clusterOf[w]
+				if cw == c0 || s.seenStamp[cw] == s.stamp {
+					continue
+				}
+				s.seenStamp[cw] = s.stamp
+				s.spanner.AddKey(he.origKey)
+				stats.EdgesAdded++
+			}
+			died = append(died, int32(v))
+			stats.Died++
+		}
+	}
+	for _, v := range died {
+		s.alive[v] = false
+		s.liveCount--
+	}
+	s.clusterOf = newCluster
+	s.radius++
+
+	stats.LiveAfter = s.liveCount
+	distinct := make(map[int32]struct{})
+	for v, a := range s.alive {
+		if a {
+			distinct[s.clusterOf[v]] = struct{}{}
+		}
+	}
+	stats.ClustersAfter = len(distinct)
+	return stats
+}
+
+// Contract replaces every cluster of the current clustering by a single
+// contracted vertex (the transition from (G_{i,k}, C_{i,k}) to
+// (G_{i+1,0}, C_{i+1,0})), resetting the clustering to singletons.
+func (s *State) Contract() {
+	newID := make(map[int32]int32)
+	var nNew int32
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		h := s.clusterOf[v]
+		if _, ok := newID[h]; !ok {
+			newID[h] = nNew
+			nNew++
+		}
+	}
+	newMembers := make([][]int32, nNew)
+	newCenter := make([]int32, nNew)
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		id := newID[s.clusterOf[v]]
+		newMembers[id] = append(newMembers[id], s.members[v]...)
+	}
+	for h, id := range newID {
+		newCenter[id] = s.center[h]
+	}
+
+	// Re-derive contracted adjacency, keeping one representative original
+	// edge per contracted pair. G'∘C is simple: loops and duplicates drop.
+	repr := make(map[int64]int64, len(s.adj))
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		cu := newID[s.clusterOf[v]]
+		for _, he := range s.adj[v] {
+			w := he.to
+			if !s.alive[w] || w < int32(v) {
+				continue // each contracted edge considered once (v < w)
+			}
+			cw := newID[s.clusterOf[w]]
+			if cu == cw {
+				continue
+			}
+			k := graph.EdgeKey(cu, cw)
+			if _, ok := repr[k]; !ok {
+				repr[k] = he.origKey
+			}
+		}
+	}
+	// Sort contracted edge keys so adjacency order (and hence which
+	// representative edge Expand encounters first) is deterministic under a
+	// fixed seed regardless of map iteration order.
+	keys := make([]int64, 0, len(repr))
+	for k := range repr {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	newAdj := make([][]halfEdge, nNew)
+	for _, k := range keys {
+		origKey := repr[k]
+		u, v := graph.UnpackEdgeKey(k)
+		newAdj[u] = append(newAdj[u], halfEdge{to: v, origKey: origKey})
+		newAdj[v] = append(newAdj[v], halfEdge{to: u, origKey: origKey})
+	}
+
+	s.members = newMembers
+	s.center = newCenter
+	s.adj = newAdj
+	s.alive = make([]bool, nNew)
+	s.clusterOf = make([]int32, nNew)
+	s.seenStamp = make([]int32, nNew)
+	s.seenEdge = make([]int64, nNew)
+	s.stamp = 0
+	for v := int32(0); v < nNew; v++ {
+		s.alive[v] = true
+		s.clusterOf[v] = v
+		s.seenStamp[v] = -1
+	}
+	s.liveCount = int(nNew)
+	s.radius = 0
+	s.totalRounds++
+}
+
+// MaxClusterRadius measures, in the current spanner, the largest distance
+// from a cluster's original center to any original vertex it represents —
+// the quantity r_{i,j} that Lemmas 2 and 3 bound. It is O(n + |S|) per call
+// and intended for tests and experiments, not the algorithm itself.
+func (s *State) MaxClusterRadius() int32 {
+	if s.spanner.Len() == 0 {
+		return 0
+	}
+	sg := s.spanner.ToGraph(s.orig.N())
+	var maxR int32
+	// Group live contracted vertices by cluster head; all their members are
+	// spanned by one tree centered at the head's original center.
+	clusterMembers := make(map[int32][]int32)
+	for v, a := range s.alive {
+		if !a {
+			continue
+		}
+		h := s.clusterOf[v]
+		clusterMembers[h] = append(clusterMembers[h], s.members[v]...)
+	}
+	for h, ms := range clusterMembers {
+		dist := sg.BFS(s.center[h])
+		for _, m := range ms {
+			if dist[m] > maxR {
+				maxR = dist[m]
+			}
+		}
+	}
+	return maxR
+}

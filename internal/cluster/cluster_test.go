@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/seq"
+)
+
+func TestExpandZeroProbabilityKeepsEverything(t *testing.T) {
+	// With p = 0 and trivial singleton clusters, every vertex dies and
+	// donates one edge to each adjacent (singleton) cluster — i.e. the whole
+	// graph enters the spanner.
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Gnp(60, 0.1, rng)
+	st := New(g, rng)
+	stats := st.Expand(0, 0)
+	if !st.Done() {
+		t.Fatal("p=0 must kill every vertex")
+	}
+	if stats.Died != g.N() || stats.Joined != 0 || stats.SampledClusters != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if st.Spanner().Len() != g.M() {
+		t.Fatalf("spanner has %d edges, want all %d", st.Spanner().Len(), g.M())
+	}
+}
+
+func TestExpandProbabilityOneKeepsEveryoneAlive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Gnp(60, 0.1, rng)
+	st := New(g, rng)
+	stats := st.Expand(1, 0)
+	if st.NumLive() != g.N() {
+		t.Fatal("p=1 must keep everyone alive")
+	}
+	if stats.Died != 0 || stats.EdgesAdded != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if st.Radius() != 1 {
+		t.Fatalf("radius = %d, want 1", st.Radius())
+	}
+}
+
+func TestExpandInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		g := graph.Gnp(80, 0.08, rng)
+		st := New(g, rng)
+		for call := 0; call < 3; call++ {
+			st.Expand(0.3, 0)
+			checkInvariants(t, g, st)
+		}
+	}
+}
+
+// checkInvariants asserts the paper's key invariant: the spanner is a
+// subgraph of G, and for every live cluster C the set π⁻¹(C) is spanned by
+// spanner edges (S contains a spanning tree of π⁻¹(C)).
+func checkInvariants(t *testing.T, g *graph.Graph, st *State) {
+	t.Helper()
+	if !st.Spanner().Subset(g) {
+		t.Fatal("spanner contains non-graph edge")
+	}
+	sg := st.Spanner().ToGraph(g.N())
+	// Group original members by cluster head.
+	byCluster := make(map[int32][]int32)
+	for v := int32(0); int(v) < len(st.alive); v++ {
+		if !st.alive[v] {
+			continue
+		}
+		byCluster[st.clusterOf[v]] = append(byCluster[st.clusterOf[v]], st.members[v]...)
+	}
+	for h, ms := range byCluster {
+		// Heads stay in their own cluster while it lives.
+		if st.ClusterOf(h) != h {
+			t.Fatalf("cluster head %d not in own cluster", h)
+		}
+		dist := sg.BFS(st.center[h])
+		for _, m := range ms {
+			if m != st.center[h] && dist[m] == graph.Unreachable {
+				t.Fatalf("cluster %d: member %d not connected to center %d in spanner", h, m, st.center[h])
+			}
+		}
+	}
+}
+
+func TestMembersPartitionPreservedByContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Gnp(100, 0.06, rng)
+	st := New(g, rng)
+	st.Expand(0.4, 0)
+	st.Expand(0.4, 0)
+	st.Contract()
+
+	seen := make(map[int32]bool)
+	for v := 0; v < st.NumLive(); v++ {
+		for _, m := range st.Members(int32(v)) {
+			if seen[m] {
+				t.Fatalf("original vertex %d in two contracted vertices", m)
+			}
+			seen[m] = true
+		}
+	}
+	// Every original vertex is either dead or in exactly one super vertex.
+	super := st.SuperOf()
+	for v := int32(0); int(v) < g.N(); v++ {
+		if (super[v] != Dead) != seen[v] {
+			t.Fatalf("SuperOf inconsistent at %d", v)
+		}
+	}
+	checkInvariants(t, g, st)
+}
+
+func TestContractEdgesAreRealInterClusterEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Gnp(100, 0.06, rng)
+	st := New(g, rng)
+	st.Expand(0.4, 0)
+	st.Contract()
+	for v := 0; v < st.NumLive(); v++ {
+		for _, he := range st.adj[v] {
+			if he.to == int32(v) {
+				t.Fatal("self-loop survived contraction")
+			}
+			u, w := graph.UnpackEdgeKey(he.origKey)
+			if !g.HasEdge(u, w) {
+				t.Fatalf("representative edge (%d,%d) not in G", u, w)
+			}
+			// Endpoints must lie in the two contracted vertices.
+			super := st.SuperOf()
+			a, b := super[u], super[w]
+			if a == b || a == Dead || b == Dead {
+				t.Fatalf("representative edge (%d,%d) does not cross contracted pair", u, w)
+			}
+			if !((a == int32(v) && b == he.to) || (b == int32(v) && a == he.to)) {
+				t.Fatalf("representative edge (%d,%d) maps to (%d,%d), want (%d,%d)", u, w, a, b, v, he.to)
+			}
+		}
+	}
+}
+
+func TestRadiusGrowthBound(t *testing.T) {
+	// Lemma 2(2): with radius-r contracted vertices and j Expand calls,
+	// the original-graph cluster radius is at most j(2r+1)+r.
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedGnp(150, 0.04, rng)
+	st := New(g, rng)
+	r := int32(0) // radius of contracted vertices w.r.t. G
+	for round := 0; round < 2; round++ {
+		for j := int32(1); j <= 3; j++ {
+			st.Expand(0.5, 0)
+			if st.Done() {
+				return
+			}
+			bound := j*(2*r+1) + r
+			if got := st.MaxClusterRadius(); got > bound {
+				t.Fatalf("round %d iter %d: measured radius %d exceeds Lemma 2 bound %d", round, j, got, bound)
+			}
+		}
+		r = 3*(2*r+1) + r // new contracted vertices inherit the last radius
+		st.Contract()
+	}
+}
+
+func TestAbortRuleAddsAllIncidentEdges(t *testing.T) {
+	// A star center that dies while adjacent to more than abortQ clusters
+	// must include all its incident edges.
+	g := graph.Star(50)
+	rng := rand.New(rand.NewSource(7))
+	st := New(g, rng)
+	stats := st.Expand(0, 5) // p=0: all die; center has q=49 > 5
+	if stats.Aborted == 0 {
+		t.Fatal("expected at least one abort")
+	}
+	if st.Spanner().Len() != g.M() {
+		t.Fatalf("spanner %d edges, want all %d", st.Spanner().Len(), g.M())
+	}
+}
+
+func TestFullRunPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 5; trial++ {
+		g := graph.ConnectedGnp(120, 0.05, rng)
+		st := New(g, rng)
+		for !st.Done() {
+			st.Expand(0.25, 0)
+			if st.Radius() >= 3 && !st.Done() {
+				st.Contract()
+			}
+		}
+		sg := st.Spanner().ToGraph(g.N())
+		if !graph.SameComponents(g, sg) {
+			t.Fatalf("trial %d: spanner broke connectivity", trial)
+		}
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 2} {
+		g := graph.Complete(n)
+		st := New(g, rng)
+		st.Expand(0, 0)
+		if !st.Done() {
+			t.Fatalf("n=%d not done after p=0", n)
+		}
+		if n == 2 && st.Spanner().Len() != 1 {
+			t.Fatal("K2 spanner must keep its edge")
+		}
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := graph.FromEdges(5, [][2]int32{{0, 1}})
+	rng := rand.New(rand.NewSource(10))
+	st := New(g, rng)
+	st.Expand(0, 0)
+	if !st.Done() {
+		t.Fatal("isolated vertices must die under p=0")
+	}
+	if st.Spanner().Len() != 1 {
+		t.Fatalf("spanner = %d edges, want 1", st.Spanner().Len())
+	}
+}
+
+func TestNumClustersAndLiveCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := graph.Gnp(100, 0.08, rng)
+	st := New(g, rng)
+	if st.NumClusters() != 100 || st.NumLive() != 100 {
+		t.Fatal("initial counts wrong")
+	}
+	stats := st.Expand(0.3, 0)
+	if stats.ClustersAfter != st.NumClusters() || stats.LiveAfter != st.NumLive() {
+		t.Fatalf("stats/state disagree: %+v vs (%d, %d)", stats, st.NumClusters(), st.NumLive())
+	}
+	if st.NumClusters() > stats.SampledClusters {
+		t.Fatalf("live clusters %d exceed sampled %d", st.NumClusters(), stats.SampledClusters)
+	}
+	// Live vertices all sit in live clusters headed by themselves-or-others.
+	for v := int32(0); int(v) < 100; v++ {
+		c := st.ClusterOf(v)
+		if c == Dead {
+			continue
+		}
+		if st.ClusterOf(c) != c {
+			t.Fatalf("vertex %d in cluster %d whose head is elsewhere", v, c)
+		}
+	}
+}
+
+func TestSpannerSizeAgainstXBound(t *testing.T) {
+	// Run t Expand calls with fixed p on a dense-ish graph; the per-vertex
+	// expected contribution is bounded by X^t_p (Lemma 6). Allow 2x slack
+	// for variance on a single run.
+	rng := rand.New(rand.NewSource(12))
+	g := graph.Gnp(400, 0.05, rng)
+	p := 0.25
+	calls := 5
+	st := New(g, rng)
+	for i := 0; i < calls && !st.Done(); i++ {
+		st.Expand(p, 0)
+	}
+	// Final p=0 call not included: we bound only the sampled-phase edges.
+	perVertex := float64(st.Spanner().Len()) / float64(g.N())
+	// X^t_p = p⁻¹(ln(t+1) − ζ) + t ≈ 4·(1.79−0.325)+5 ≈ 10.9
+	bound := seq.XBound(p, calls)
+	if perVertex > 2*bound {
+		t.Fatalf("per-vertex contribution %v far above X bound %v", perVertex, bound)
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"spanner/internal/graph"
+)
+
+// expandScenario is a quick.Generator for a random graph plus a random
+// Expand/Contract schedule.
+type expandScenario struct {
+	Seed  int64
+	N     int
+	P     float64
+	Steps []step
+}
+
+type step struct {
+	Expand   bool
+	Prob     float64
+	Contract bool
+}
+
+func (expandScenario) Generate(r *rand.Rand, size int) reflect.Value {
+	s := expandScenario{
+		Seed: r.Int63(),
+		N:    5 + r.Intn(60),
+		P:    0.02 + r.Float64()*0.15,
+	}
+	nSteps := 1 + r.Intn(6)
+	for i := 0; i < nSteps; i++ {
+		s.Steps = append(s.Steps, step{
+			Expand:   true,
+			Prob:     r.Float64() * 0.9,
+			Contract: r.Intn(3) == 0,
+		})
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestQuickExpandInvariants runs random schedules and asserts the paper's
+// key invariants after every operation:
+//  1. the spanner is a subgraph of G;
+//  2. each live cluster's original vertices are connected in the spanner;
+//  3. live/dead states partition the contracted vertices;
+//  4. after a final p=0 call the algorithm is finished and the spanner
+//     preserves the graph's connected components.
+func TestQuickExpandInvariants(t *testing.T) {
+	f := func(sc expandScenario) bool {
+		rng := rand.New(rand.NewSource(sc.Seed))
+		g := graph.Gnp(sc.N, sc.P, rng)
+		st := New(g, rng)
+		for _, s := range sc.Steps {
+			if st.Done() {
+				break
+			}
+			st.Expand(s.Prob, 0)
+			if !st.Spanner().Subset(g) {
+				return false
+			}
+			if !clustersConnected(g, st) {
+				return false
+			}
+			if s.Contract && !st.Done() {
+				st.Contract()
+				if !membershipPartition(g, st) {
+					return false
+				}
+			}
+		}
+		if !st.Done() {
+			st.Expand(0, 0)
+		}
+		if !st.Done() {
+			return false
+		}
+		sg := st.Spanner().ToGraph(g.N())
+		return graph.SameComponents(g, sg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func clustersConnected(g *graph.Graph, st *State) bool {
+	sg := st.Spanner().ToGraph(g.N())
+	byCluster := make(map[int32][]int32)
+	for v := int32(0); int(v) < len(st.alive); v++ {
+		if st.alive[v] {
+			byCluster[st.clusterOf[v]] = append(byCluster[st.clusterOf[v]], st.members[v]...)
+		}
+	}
+	for h, ms := range byCluster {
+		dist := sg.BFS(st.center[h])
+		for _, m := range ms {
+			if m != st.center[h] && dist[m] == graph.Unreachable {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func membershipPartition(g *graph.Graph, st *State) bool {
+	seen := make(map[int32]bool)
+	for v := 0; v < st.NumLive(); v++ {
+		for _, m := range st.Members(int32(v)) {
+			if seen[m] {
+				return false
+			}
+			seen[m] = true
+		}
+	}
+	return len(seen) <= g.N()
+}
+
+// TestQuickExpandStatsConsistent: reported stats agree with state.
+func TestQuickExpandStatsConsistent(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.Gnp(40, 0.1, rng)
+		st := New(g, rng)
+		p := float64(pRaw) / 300.0
+		before := st.NumLive()
+		stats := st.Expand(p, 0)
+		if stats.LiveAfter != st.NumLive() {
+			return false
+		}
+		if stats.Died+stats.LiveAfter != before {
+			return false
+		}
+		return stats.ClustersAfter == st.NumClusters()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

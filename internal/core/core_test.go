@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/seq"
+	"spanner/internal/verify"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := BuildSkeleton(g, Options{D: 3}); err == nil {
+		t.Fatal("D < 4 must be rejected")
+	}
+	if _, err := BuildSkeleton(g, Options{Kappa: -1}); err == nil {
+		t.Fatal("negative kappa must be rejected")
+	}
+	if _, err := BuildSkeleton(g, Options{Variant: 99}); err == nil {
+		t.Fatal("unknown variant must be rejected")
+	}
+}
+
+func TestEmptyAndTrivialGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		g := graph.Complete(n)
+		res, err := BuildSkeleton(g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg := res.Spanner.ToGraph(n)
+		if !graph.SameComponents(g, sg) {
+			t.Fatalf("n=%d: connectivity broken", n)
+		}
+	}
+}
+
+func TestSkeletonValidSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, variant := range []Variant{Pure, Capped} {
+		g := graph.ConnectedGnp(300, 0.05, rng)
+		res, err := BuildSkeleton(g, Options{Variant: variant, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Spanner.Subset(g) {
+			t.Fatalf("variant %d: spanner not a subgraph", variant)
+		}
+	}
+}
+
+func TestSkeletonPreservesConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for seed := int64(0); seed < 8; seed++ {
+		g := graph.ConnectedGnp(200, 0.04, rng)
+		for _, variant := range []Variant{Pure, Capped} {
+			res, err := BuildSkeleton(g, Options{Variant: variant, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sg := res.Spanner.ToGraph(g.N())
+			if !graph.SameComponents(g, sg) {
+				t.Fatalf("seed %d variant %d: connectivity broken", seed, variant)
+			}
+		}
+	}
+}
+
+func TestSkeletonDisconnectedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Two G(n,p) blobs with no inter-edges plus isolated vertices.
+	b := graph.NewBuilder(130)
+	g1 := graph.ConnectedGnp(60, 0.1, rng)
+	g2 := graph.ConnectedGnp(60, 0.1, rng)
+	g1.ForEachEdge(func(u, v int32) { b.AddEdge(u, v) })
+	g2.ForEachEdge(func(u, v int32) { b.AddEdge(u+60, v+60) })
+	g := b.Build()
+	res, err := BuildSkeleton(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SameComponents(g, res.Spanner.ToGraph(130)) {
+		t.Fatal("components not preserved on disconnected input")
+	}
+}
+
+func TestSkeletonSizeNearBound(t *testing.T) {
+	// Average |S| over seeds must stay below Lemma 6's expected-size bound
+	// with modest slack (the bound is an upper bound on the expectation).
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGnp(2000, 0.01, rng) // avg degree ≈ 20
+	for _, d := range []int{4, 8} {
+		total := 0
+		const runs = 5
+		for seed := int64(0); seed < runs; seed++ {
+			res, err := BuildSkeleton(g, Options{D: d, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Spanner.Len()
+		}
+		avg := float64(total) / runs
+		bound := seq.SkeletonSizeBound(g.N(), float64(d))
+		if avg > 1.2*bound {
+			t.Fatalf("D=%d: avg size %v exceeds Lemma 6 bound %v", d, avg, bound)
+		}
+	}
+}
+
+func TestSkeletonStretchWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGnp(400, 0.02, rng)
+	for _, variant := range []Variant{Pure, Capped} {
+		res, err := BuildSkeleton(g, Options{Variant: variant, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := verify.Measure(g, res.Spanner, verify.Options{Sources: 40, Rng: rng})
+		if !rep.Connected || !rep.Valid {
+			t.Fatalf("variant %d: %v", variant, rep)
+		}
+		if rep.MaxStretch > res.DistortionBound {
+			t.Fatalf("variant %d: stretch %v exceeds analytic bound %v", variant, rep.MaxStretch, res.DistortionBound)
+		}
+	}
+}
+
+func TestSkeletonLinearSizeAcrossN(t *testing.T) {
+	// |S|/n must stay essentially flat as n grows (the "linear size" claim),
+	// even as the input density grows.
+	rng := rand.New(rand.NewSource(6))
+	var ratios []float64
+	for _, n := range []int{500, 1000, 2000} {
+		g := graph.ConnectedGnp(n, 12/float64(n), rng)
+		res, err := BuildSkeleton(g, Options{Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratios = append(ratios, float64(res.Spanner.Len())/float64(n))
+	}
+	for _, r := range ratios {
+		if r > 6 {
+			t.Fatalf("size ratio %v not linear-like (ratios %v)", r, ratios)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ConnectedGnp(300, 0.03, rng)
+	r1, err := BuildSkeleton(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BuildSkeleton(g, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Spanner.Len() != r2.Spanner.Len() {
+		t.Fatal("same seed produced different spanners")
+	}
+	for _, k := range r1.Spanner.Keys() {
+		u, v := graph.UnpackEdgeKey(k)
+		if !r2.Spanner.Has(u, v) {
+			t.Fatal("same seed produced different edge sets")
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	// Round 0 must be a single Expand with p = 1/D; round 1 runs with
+	// p = 1/s₁ = 1/D as well; densities multiply by 1/p per call.
+	rng := rand.New(rand.NewSource(8))
+	g := graph.ConnectedGnp(1000, 0.02, rng)
+	res, err := BuildSkeleton(g, Options{D: 4, Variant: Pure, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Calls) == 0 {
+		t.Fatal("no calls recorded")
+	}
+	c0 := res.Calls[0]
+	if c0.Round != 0 || c0.Iter != 1 || math.Abs(c0.P-0.25) > 1e-12 {
+		t.Fatalf("first call = %+v", c0)
+	}
+	if math.Abs(c0.Density-4) > 1e-9 {
+		t.Fatalf("density after first call = %v, want 4", c0.Density)
+	}
+	if res.Calls[1].Round != 1 {
+		t.Fatalf("second call should open round 1, got %+v", res.Calls[1])
+	}
+	last := res.Calls[len(res.Calls)-1]
+	if last.P != 0 {
+		t.Fatalf("final call must have p=0, got %+v", last)
+	}
+	if last.Stats.LiveAfter != 0 {
+		t.Fatal("final call must kill every vertex")
+	}
+}
+
+func TestCappedVariantSwitches(t *testing.T) {
+	// On a big enough graph the capped variant must include calls with
+	// p = (log n)^{-κ}, and the density trigger must be respected.
+	rng := rand.New(rand.NewSource(9))
+	g := graph.ConnectedGnp(3000, 0.004, rng)
+	res, err := BuildSkeleton(g, Options{D: 4, Variant: Capped, Kappa: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(g.N()))
+	pTail := 1 / logn
+	sawTail := false
+	for _, c := range res.Calls {
+		if math.Abs(c.P-pTail) < 1e-9 {
+			sawTail = true
+		}
+	}
+	if !sawTail {
+		t.Fatalf("capped variant never used tail probability %v; calls: %+v", pTail, res.Calls)
+	}
+}
+
+func TestTraceRadiiRespectLemma3(t *testing.T) {
+	// Lemma 3(3): r_{i,j} < 3·2^i·log_D(d_{i,j}). With trace enabled the
+	// measured radii must obey it (they measure the same trees the paper
+	// bounds). The capped tail rounds satisfy the analogous Theorem-2 bound;
+	// we check the pure schedule here.
+	rng := rand.New(rand.NewSource(10))
+	g := graph.ConnectedGnp(800, 0.02, rng)
+	res, err := BuildSkeleton(g, Options{D: 4, Variant: Pure, Seed: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Calls {
+		if c.Density <= 1 {
+			continue
+		}
+		bound := 3 * math.Pow(2, float64(c.Round)) * math.Log(c.Density) / math.Log(4)
+		if float64(c.MaxRadius) > bound {
+			t.Fatalf("call %+v: radius %d exceeds Lemma 3 bound %v", c, c.MaxRadius, bound)
+		}
+	}
+}
+
+func TestAblationDisableAbort(t *testing.T) {
+	// Without the abort rule the algorithm still works (sequentially the
+	// rule exists purely for message-length control).
+	rng := rand.New(rand.NewSource(11))
+	g := graph.ConnectedGnp(300, 0.05, rng)
+	res, err := BuildSkeleton(g, Options{DisableAbort: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SameComponents(g, res.Spanner.ToGraph(g.N())) {
+		t.Fatal("connectivity broken without abort rule")
+	}
+}
+
+func TestDistortionBoundMonotonicity(t *testing.T) {
+	if DistortionBound(1<<20, Options{D: 16, Variant: Pure}) >= DistortionBound(1<<20, Options{D: 4, Variant: Pure}) {
+		t.Fatal("larger D must not increase the distortion bound")
+	}
+	if DistortionBound(100, Options{}) <= 0 {
+		t.Fatal("bound must be positive")
+	}
+	if DistortionBound(1, Options{}) != 1 {
+		t.Fatal("trivial graph bound should be 1")
+	}
+}
+
+func TestHighDegreeStarAndCliqueChain(t *testing.T) {
+	// Structured stress inputs: a big star (one dominant cluster) and a
+	// chain of cliques (many dense clusters).
+	star := graph.Star(500)
+	res, err := BuildSkeleton(star, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SameComponents(star, res.Spanner.ToGraph(star.N())) {
+		t.Fatal("star connectivity broken")
+	}
+
+	b := graph.NewBuilder(100)
+	for c := 0; c < 10; c++ {
+		base := int32(c * 10)
+		for i := int32(0); i < 10; i++ {
+			for j := i + 1; j < 10; j++ {
+				b.AddEdge(base+i, base+j)
+			}
+		}
+		if c > 0 {
+			b.AddEdge(base-1, base)
+		}
+	}
+	chain := b.Build()
+	res2, err := BuildSkeleton(chain, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Measure(chain, res2.Spanner, verify.Options{})
+	if !rep.Connected || !rep.Valid {
+		t.Fatalf("clique chain: %v", rep)
+	}
+	if rep.MaxStretch > res2.DistortionBound {
+		t.Fatalf("clique chain stretch %v above bound %v", rep.MaxStretch, res2.DistortionBound)
+	}
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/verify"
+)
+
+func TestDistributedTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 5} {
+		g := graph.Complete(n)
+		res, err := BuildSkeletonDistributed(g, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !graph.SameComponents(g, res.Spanner.ToGraph(n)) {
+			t.Fatalf("n=%d: connectivity broken", n)
+		}
+	}
+}
+
+func TestDistributedMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.ConnectedGnp(150, 0.05, rng)
+		res, err := BuildSkeletonDistributed(g, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := verify.Measure(g, res.Spanner, verify.Options{Sources: 30, Rng: rng})
+		if !rep.Valid {
+			t.Fatalf("seed %d: spanner not a subgraph: %v", seed, rep)
+		}
+		if !rep.Connected {
+			t.Fatalf("seed %d: connectivity broken: %v", seed, rep)
+		}
+		bound := DistortionBound(g.N(), Options{})
+		if rep.MaxStretch > bound {
+			t.Fatalf("seed %d: stretch %v exceeds bound %v", seed, rep.MaxStretch, bound)
+		}
+		if res.Metrics.CapExceeded != 0 {
+			t.Fatalf("seed %d: %d messages exceeded the cap", seed, res.Metrics.CapExceeded)
+		}
+	}
+}
+
+func TestDistributedMessageCapRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGnp(400, 0.03, rng)
+	res, err := BuildSkeletonDistributed(g, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxMsgWords > res.MaxMsgWords {
+		t.Fatalf("observed message of %d words above cap %d", res.Metrics.MaxMsgWords, res.MaxMsgWords)
+	}
+	if res.Metrics.Rounds == 0 || res.Metrics.Messages == 0 {
+		t.Fatal("no communication recorded")
+	}
+}
+
+func TestDistributedSizeLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ConnectedGnp(800, 0.02, rng) // ~16 avg degree
+	res, err := BuildSkeletonDistributed(g, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.Spanner.Len()) / float64(g.N())
+	if ratio > 6 {
+		t.Fatalf("|S|/n = %v, expected linear-size behavior", ratio)
+	}
+}
+
+func TestDistributedOnStructuredGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	graphs := map[string]*graph.Graph{
+		"star":      graph.Star(200),
+		"ring":      graph.Ring(100),
+		"grid":      graph.Grid(12, 12),
+		"hypercube": graph.Hypercube(7),
+		"tree":      graph.RandomTree(150, rng),
+	}
+	for name, g := range graphs {
+		res, err := BuildSkeletonDistributed(g, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !graph.SameComponents(g, res.Spanner.ToGraph(g.N())) {
+			t.Fatalf("%s: connectivity broken", name)
+		}
+	}
+}
+
+func TestDistributedDisconnected(t *testing.T) {
+	b := graph.NewBuilder(60)
+	for v := int32(1); v < 30; v++ {
+		b.AddEdge(v-1, v)
+	}
+	for v := int32(31); v < 60; v++ {
+		b.AddEdge(v-1, v)
+	}
+	g := b.Build()
+	res, err := BuildSkeletonDistributed(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.SameComponents(g, res.Spanner.ToGraph(60)) {
+		t.Fatal("components not preserved")
+	}
+}
+
+func TestDistributedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGnp(120, 0.06, rng)
+	r1, err := BuildSkeletonDistributed(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := BuildSkeletonDistributed(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Spanner.Len() != r2.Spanner.Len() {
+		t.Fatal("same seed produced different spanner sizes")
+	}
+	for _, k := range r1.Spanner.Keys() {
+		u, v := graph.UnpackEdgeKey(k)
+		if !r2.Spanner.Has(u, v) {
+			t.Fatal("same seed produced different spanners")
+		}
+	}
+	if r1.Metrics != r2.Metrics {
+		t.Fatalf("metrics differ: %+v vs %+v", r1.Metrics, r2.Metrics)
+	}
+}
+
+func TestDistributedRoundsScale(t *testing.T) {
+	// Theorem 2: rounds O(κ⁻¹·2^{log* n}·log n). Sanity: rounds stay well
+	// below n (a trivially-sequential protocol would need Θ(n·calls)).
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedGnp(500, 0.02, rng)
+	res, err := BuildSkeletonDistributed(g, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Rounds > g.N() {
+		t.Fatalf("rounds = %d on n=%d: not sublinear", res.Metrics.Rounds, g.N())
+	}
+}
+
+func TestRunExpandScheduleEmptyInputs(t *testing.T) {
+	g := graph.Path(3)
+	s, m, per, err := RunExpandSchedule(g, nil, 1, 0)
+	if err != nil || s.Len() != 0 || m.Rounds != 0 || per != nil {
+		t.Fatalf("empty schedule should be a no-op: %v %v", m, err)
+	}
+	empty := graph.Complete(0)
+	if _, _, _, err := RunExpandSchedule(empty, Schedule(3, Options{}), 1, 0); err != nil {
+		t.Fatalf("empty graph: %v", err)
+	}
+}
+
+func TestRunExpandScheduleTinyCapFails(t *testing.T) {
+	// Failure injection: a cap below the protocol's fixed message sizes
+	// must surface as a strict-mode error, not silent truncation.
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGnp(50, 0.1, rng)
+	_, _, _, err := RunExpandSchedule(g, Schedule(g.N(), Options{}), 1, 3)
+	if err == nil {
+		t.Fatal("3-word cap must break the protocol loudly")
+	}
+}
+
+func TestRunExpandScheduleUncappedMatchesCapped(t *testing.T) {
+	// With and without a (sufficient) cap the protocol computes the same
+	// spanner: the cap only constrains chunking, not outcomes.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGnp(120, 0.06, rng)
+	sched := Schedule(g.N(), Options{})
+	a, _, _, err := RunExpandSchedule(g, sched, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, _, err := RunExpandSchedule(g, sched, 7, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("cap changed the spanner: %d vs %d", a.Len(), b.Len())
+	}
+	for _, k := range a.Keys() {
+		u, v := graph.UnpackEdgeKey(k)
+		if !b.Has(u, v) {
+			t.Fatal("cap changed the edge set")
+		}
+	}
+}
+
+func TestScheduleDeterministicAndWellFormed(t *testing.T) {
+	for _, n := range []int{1, 10, 1000, 100000} {
+		calls := Schedule(n, Options{})
+		if n > 0 && len(calls) == 0 {
+			t.Fatalf("n=%d: empty schedule", n)
+		}
+		if len(calls) > 0 {
+			last := calls[len(calls)-1]
+			if last.P != 0 {
+				t.Fatalf("n=%d: schedule must end with p=0, got %+v", n, last)
+			}
+			if calls[0].ContractBefore {
+				t.Fatalf("n=%d: first call must not contract", n)
+			}
+		}
+		for i := 1; i < len(calls); i++ {
+			a, b := calls[i-1], calls[i]
+			if b.Round < a.Round {
+				t.Fatalf("rounds not monotone at %d", i)
+			}
+			if b.Round == a.Round && b.Iter != a.Iter+1 {
+				t.Fatalf("iterations not consecutive at %d: %+v -> %+v", i, a, b)
+			}
+			if b.Round > a.Round && !b.ContractBefore {
+				t.Fatalf("round change without contraction at %d", i)
+			}
+		}
+	}
+}
+
+func TestScheduleMatchesSequentialTrace(t *testing.T) {
+	// The sequential builder must execute exactly the precomputed schedule
+	// (modulo early termination when all vertices die).
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ConnectedGnp(600, 0.02, rng)
+	res, err := BuildSkeleton(g, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := Schedule(g.N(), Options{})
+	if len(res.Calls) > len(sched) {
+		t.Fatalf("executed %d calls, schedule has %d", len(res.Calls), len(sched))
+	}
+	for i, c := range res.Calls {
+		s := sched[i]
+		if c.Round != s.Round || c.Iter != s.Iter || c.P != s.P {
+			t.Fatalf("call %d mismatch: ran %+v, scheduled %+v", i, c, s)
+		}
+	}
+}

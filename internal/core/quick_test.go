@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickScheduleInvariants: for arbitrary (n, D, variant), the schedule
+// is well-formed: ends with p=0, density never overshoots n before the
+// final call, rounds/iterations are consistent, and contraction markers
+// align with round changes.
+func TestQuickScheduleInvariants(t *testing.T) {
+	f := func(nRaw uint32, dRaw, vRaw uint8) bool {
+		n := int(nRaw%1_000_000) + 1
+		d := int(dRaw%28) + 4
+		variant := Pure
+		if vRaw%2 == 0 {
+			variant = Capped
+		}
+		calls := Schedule(n, Options{D: d, Variant: variant})
+		if len(calls) == 0 {
+			return false
+		}
+		if calls[len(calls)-1].P != 0 {
+			return false
+		}
+		if calls[0].ContractBefore {
+			return false
+		}
+		density := 1.0
+		for i, c := range calls {
+			if c.P < 0 || c.P > 1 {
+				return false
+			}
+			if i > 0 {
+				prev := calls[i-1]
+				if c.Round < prev.Round {
+					return false
+				}
+				if c.Round == prev.Round && (c.Iter != prev.Iter+1 || c.ContractBefore) {
+					return false
+				}
+				if c.Round > prev.Round && !c.ContractBefore {
+					return false
+				}
+			}
+			if c.P > 0 {
+				// The final zero-probability call fires before the expected
+				// cluster count drops below one.
+				if density*(1/c.P) >= 2*float64(n)*(1/c.P) {
+					return false
+				}
+				density *= 1 / c.P
+			}
+		}
+		// Total Expand calls stay modest: O(log n / log log n + log* n) for
+		// the pure schedule, O(log n) for the capped one.
+		limit := 10*math.Log2(float64(n)+2) + 20
+		return float64(len(calls)) <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistortionBoundPositive: the analytic bound is ≥ 1 and finite
+// for any sane options.
+func TestQuickDistortionBoundPositive(t *testing.T) {
+	f := func(nRaw uint32, dRaw, vRaw uint8) bool {
+		n := int(nRaw % 10_000_000)
+		d := int(dRaw%60) + 4
+		variant := Pure
+		if vRaw%2 == 0 {
+			variant = Capped
+		}
+		b := DistortionBound(n, Options{D: d, Variant: variant})
+		return b >= 1 && !math.IsInf(b, 0) && !math.IsNaN(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+
+	"spanner/internal/seq"
+)
+
+// Call is one scheduled invocation of Expand. The whole schedule is a
+// deterministic function of (n, Options) — this is what lets the paper's
+// processors "perform the sampling steps in all calls to Expand" before the
+// first round of communication: every vertex can compute the schedule
+// locally and pre-draw its sampling decisions against it.
+type Call struct {
+	Round          int     // i
+	Iter           int     // j within the round, starting at 1
+	P              float64 // sampling probability
+	AbortQ         int     // q-threshold for the dying-vertex escape hatch (0 = off)
+	ContractBefore bool    // contract the previous round's clustering first
+}
+
+// Schedule returns the exact sequence of Expand calls BuildSkeleton and the
+// distributed implementation execute for an n-vertex graph.
+func Schedule(n int, opts Options) []Call {
+	opts = opts.withDefaults()
+	if n == 0 {
+		return nil
+	}
+	logn := math.Log2(float64(n))
+	if logn < 1 {
+		logn = 1
+	}
+	logKappa := math.Pow(logn, opts.Kappa)
+	densityCut := logKappa * math.Log2(math.Max(logKappa, 2))
+	capped := opts.Variant == Capped
+
+	abortFor := func(si float64) int {
+		if opts.DisableAbort {
+			return 0
+		}
+		return int(4*si*math.Log(float64(n))) + 1
+	}
+
+	towers := seq.TowerSeq(int64(opts.D), int64(n))
+	density := 1.0
+	var calls []Call
+
+	// cappedTail appends Theorem 2's two final rounds.
+	cappedTail := func(i int) {
+		p := math.Pow(logn, -opts.Kappa)
+		if p >= 1 {
+			p = 0.5
+		}
+		factor := 1 / p
+		for round := 0; round < 2; round++ {
+			target := logn
+			if round == 1 {
+				target = float64(n)
+			}
+			j := 0
+			contract := true
+			for density < target {
+				j++
+				calls = append(calls, Call{
+					Round: i + 1 + round, Iter: j, P: p,
+					AbortQ: abortFor(factor), ContractBefore: contract,
+				})
+				contract = false
+				density *= factor
+			}
+			if round == 1 {
+				calls = append(calls, Call{
+					Round: i + 1 + round, Iter: j + 1, P: 0, ContractBefore: contract,
+				})
+			}
+		}
+	}
+
+	for i := 0; ; i++ {
+		si := float64(towers[minInt(i, len(towers)-1)])
+		iters := 1
+		if i >= 1 {
+			iters = int(minInt64(int64(si)+1, int64(n)))
+		}
+		p := 1 / si
+		contract := i > 0
+		for j := 1; j <= iters; j++ {
+			if capped && density > densityCut {
+				cappedTail(i)
+				return calls
+			}
+			if density*si >= float64(n) {
+				calls = append(calls, Call{Round: i, Iter: j, P: 0, ContractBefore: contract})
+				return calls
+			}
+			calls = append(calls, Call{
+				Round: i, Iter: j, P: p,
+				AbortQ: abortFor(si), ContractBefore: contract,
+			})
+			contract = false
+			density *= si
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package distsim
+
+import "spanner/internal/graph"
+
+// BFSResult is the outcome of RunBFS.
+type BFSResult struct {
+	Dist    []int32 // distance to nearest source; graph.Unreachable if none
+	Nearest []int32 // owning source (min id among nearest); Unreachable if none
+	Parent  []int32 // BFS-tree parent toward the owning source
+	Metrics Metrics
+}
+
+// RunBFS executes the distributed multi-source BFS protocol on g and returns
+// per-vertex distances, owners and parents, mirroring graph.MultiSourceBFS
+// but computed by message passing with 2-word messages. It is the building
+// block the paper uses for "each vertex in V_i notifies its neighbors..."
+// (Sect. 4.4, first stage) and doubles as the engine's reference protocol.
+//
+// In a synchronous flood every distance-d announcement reaches a vertex in
+// the same round, so a node can decide and apply the min-source-id
+// tie-break in a single HandleRound call before making its one announcement.
+func RunBFS(g *graph.Graph, sources []int32, cfg Config) (*BFSResult, error) {
+	return RunBFSRadius(g, sources, 0, cfg)
+}
+
+// RunBFSRadius is RunBFS truncated at the given radius (0 = unbounded):
+// vertices farther than radius from every source keep distance Unreachable.
+// This is the paper's first-stage protocol (Sect. 4.4): "after ℓ^{i-1}
+// steps each v ∈ V knows the first edge on the path P(v, p_i(v)) or knows
+// that δ(v, V_i) ≥ ℓ^{i-1}".
+func RunBFSRadius(g *graph.Graph, sources []int32, radius int64, cfg Config) (*BFSResult, error) {
+	handlers := make([]Handler, g.N())
+	nodes := make([]bfsPatientNode, g.N())
+	for v := range nodes {
+		nodes[v].radius = radius
+	}
+	for _, s := range sources {
+		nodes[s].isSource = true
+	}
+	for v := range handlers {
+		handlers[v] = &nodes[v]
+	}
+	net, err := NewNetwork(g, handlers, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := net.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &BFSResult{
+		Dist:    make([]int32, g.N()),
+		Nearest: make([]int32, g.N()),
+		Parent:  make([]int32, g.N()),
+		Metrics: m,
+	}
+	for v := range nodes {
+		if !nodes[v].decided {
+			res.Dist[v] = graph.Unreachable
+			res.Nearest[v] = graph.Unreachable
+			res.Parent[v] = graph.Unreachable
+			continue
+		}
+		res.Dist[v] = int32(nodes[v].dist)
+		res.Nearest[v] = int32(nodes[v].source)
+		res.Parent[v] = nodes[v].parent
+	}
+	return res, nil
+}
+
+// bfsPatientNode decides its distance on first contact but stays receptive
+// for the rest of that round's arrivals (which the engine batches) and
+// re-announces only once.
+type bfsPatientNode struct {
+	isSource  bool
+	radius    int64 // 0 = unbounded
+	dist      int64
+	source    int64
+	parent    NodeID
+	decided   bool
+	announced bool
+}
+
+func (b *bfsPatientNode) Start(n *NodeCtx) {
+	if b.isSource {
+		b.dist = 0
+		b.source = int64(n.ID())
+		b.parent = n.ID()
+		b.decided = true
+		b.announced = true
+		n.Broadcast(b.source, 0)
+		n.Halt()
+	}
+}
+
+func (b *bfsPatientNode) HandleRound(n *NodeCtx, inbox []Message) {
+	for _, m := range inbox {
+		src, d := m.Data[0], m.Data[1]+1
+		if b.radius > 0 && d > b.radius {
+			continue
+		}
+		switch {
+		case !b.decided:
+			b.dist, b.source, b.parent, b.decided = d, src, m.From, true
+		case d == b.dist && src < b.source:
+			b.source, b.parent = src, m.From
+		}
+	}
+	if b.decided && !b.announced {
+		b.announced = true
+		if b.radius == 0 || b.dist < b.radius {
+			n.Broadcast(b.source, b.dist)
+		}
+		n.Halt()
+	}
+}

@@ -1,0 +1,384 @@
+// Package distsim is the synchronized message-passing substrate every
+// distributed algorithm in this module runs on.
+//
+// The model is the one the paper assumes (Sect. 1.1): the communication
+// network is the input graph itself; each vertex hosts a processor with a
+// unique id; computation proceeds in synchronized rounds in which every
+// processor may send one message to each neighbor; local computation is
+// free. Algorithms are compared by (a) the number of rounds and (b) the
+// maximum message length, measured in words of O(log n) bits — the paper's
+// refinement of Peleg's LOCAL (unbounded) vs CONGEST (unit) dichotomy.
+//
+// A message here is a []int64 payload; its length in words is its length as
+// a slice. The network counts rounds, messages and words, records the
+// largest message observed, and (optionally) rejects messages above a
+// configured cap so protocol bugs surface as errors instead of silently
+// breaking the model.
+//
+// Execution within a round is parallel: node handlers run on a pool of
+// goroutines with a barrier at the round boundary, which is exactly the
+// synchronous model. Handlers therefore must not touch any state other than
+// their own node's. Delivery order is deterministic (inboxes are sorted by
+// sender), so a protocol seeded deterministically produces identical runs.
+package distsim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"spanner/internal/graph"
+)
+
+// NodeID identifies a processor/vertex.
+type NodeID = int32
+
+// Message is a payload delivered along an edge in one round.
+type Message struct {
+	From NodeID
+	Data []int64
+}
+
+// Handler is the per-node protocol logic. Implementations hold all per-node
+// state; the engine guarantees that Start and HandleRound for a given node
+// never run concurrently with each other, but handlers for different nodes
+// run in parallel and must not share mutable state.
+type Handler interface {
+	// Start runs before the first communication round; the node may send its
+	// initial messages through n.
+	Start(n *NodeCtx)
+	// HandleRound runs once per round with the messages delivered this
+	// round, sorted by sender id. It may send messages for the next round.
+	HandleRound(n *NodeCtx, inbox []Message)
+}
+
+// Metrics aggregates the cost measures of a run.
+type Metrics struct {
+	Rounds      int   // communication rounds executed
+	Messages    int64 // total messages sent
+	Words       int64 // total words across all messages
+	MaxMsgWords int   // largest single message observed
+	CapExceeded int64 // messages that exceeded the configured cap
+}
+
+// Trace returns the per-round profile recorded when Config.TraceRounds was
+// set (nil otherwise). Valid after Run returns.
+func (net *Network) Trace() []RoundStats { return net.trace }
+
+// Config tunes a Network.
+type Config struct {
+	// MaxMsgWords caps message length in words; 0 means unbounded (LOCAL
+	// model). Over-cap sends are counted in Metrics.CapExceeded and, if
+	// Strict is set, abort the run with an error.
+	MaxMsgWords int
+	// Strict makes an over-cap message a fatal protocol error.
+	Strict bool
+	// MaxRounds aborts runaway protocols; 0 means the engine's default.
+	MaxRounds int
+	// Workers sets the goroutine pool size; 0 means GOMAXPROCS.
+	Workers int
+	// GoroutinePerNode runs every node as a long-lived goroutine fed by a
+	// channel, one message batch per round — the literal concurrent-process
+	// reading of the model. Results and metrics are identical to the
+	// default pooled mode (asserted in tests); the pooled mode is faster
+	// for large n, this mode maps one-to-one onto the paper's processors.
+	GoroutinePerNode bool
+	// TraceRounds records per-round message counts and word volumes in
+	// Metrics.Trace, for round-profile experiments.
+	TraceRounds bool
+}
+
+// RoundStats is one round's communication volume (with TraceRounds set).
+type RoundStats struct {
+	Round    int
+	Messages int64
+	Words    int64
+}
+
+// Network executes a Handler per vertex of a graph in synchronized rounds.
+type Network struct {
+	g        *graph.Graph
+	cfg      Config
+	handlers []Handler
+	nodes    []NodeCtx
+	inboxes  [][]Message
+	metrics  Metrics
+	trace    []RoundStats
+
+	// goroutine-per-node plumbing (GoroutinePerNode mode).
+	taskIn []chan nodeTask
+	nodeWG sync.WaitGroup
+}
+
+// DefaultMaxRounds bounds runs whose Config.MaxRounds is zero.
+const DefaultMaxRounds = 1 << 20
+
+// NewNetwork creates a network over g where node v runs handlers[v].
+func NewNetwork(g *graph.Graph, handlers []Handler, cfg Config) (*Network, error) {
+	if len(handlers) != g.N() {
+		return nil, fmt.Errorf("distsim: %d handlers for %d vertices", len(handlers), g.N())
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	net := &Network{
+		g:        g,
+		cfg:      cfg,
+		handlers: handlers,
+		nodes:    make([]NodeCtx, g.N()),
+		inboxes:  make([][]Message, g.N()),
+	}
+	for v := range net.nodes {
+		net.nodes[v] = NodeCtx{id: NodeID(v), net: net}
+	}
+	return net, nil
+}
+
+// NodeCtx is the API a handler uses to interact with the network. It is
+// bound to one node and must not be retained across rounds by other nodes.
+type NodeCtx struct {
+	id     NodeID
+	net    *Network
+	outbox []outMsg
+	halted bool
+	awake  bool // request another round even without sending
+}
+
+type outMsg struct {
+	to   NodeID
+	data []int64
+}
+
+// ID returns the node's identity (equal to its vertex id).
+func (n *NodeCtx) ID() NodeID { return n.id }
+
+// Degree returns the node's degree in the communication graph.
+func (n *NodeCtx) Degree() int { return n.net.g.Degree(n.id) }
+
+// Neighbors returns the node's neighbor ids. The slice is shared and
+// read-only.
+func (n *NodeCtx) Neighbors() []NodeID { return n.net.g.Neighbors(n.id) }
+
+// N returns the number of nodes in the network. Knowing n (or an upper
+// bound) is a standard assumption in this model.
+func (n *NodeCtx) N() int { return n.net.g.N() }
+
+// Send transmits data to a neighbor in the next round. Sending to a
+// non-neighbor panics: the communication graph is the input graph by
+// definition of the model, so such a send is a protocol bug.
+func (n *NodeCtx) Send(to NodeID, data ...int64) {
+	if !n.net.g.HasEdge(n.id, to) {
+		panic(fmt.Sprintf("distsim: node %d sent to non-neighbor %d", n.id, to))
+	}
+	n.outbox = append(n.outbox, outMsg{to: to, data: data})
+}
+
+// SendWords is Send for a pre-built payload slice (no copy is taken; the
+// sender must not modify it afterwards).
+func (n *NodeCtx) SendWords(to NodeID, data []int64) {
+	if !n.net.g.HasEdge(n.id, to) {
+		panic(fmt.Sprintf("distsim: node %d sent to non-neighbor %d", n.id, to))
+	}
+	n.outbox = append(n.outbox, outMsg{to: to, data: data})
+}
+
+// Broadcast sends the same payload to every neighbor.
+func (n *NodeCtx) Broadcast(data ...int64) {
+	for _, v := range n.Neighbors() {
+		n.outbox = append(n.outbox, outMsg{to: v, data: data})
+	}
+}
+
+// Halt marks the node finished; its handler will not be called again.
+func (n *NodeCtx) Halt() { n.halted = true }
+
+// WakeNextRound asks the engine to run another round for this node even if
+// no message is in flight to it (used by protocols with silent countdowns).
+func (n *NodeCtx) WakeNextRound() { n.awake = true }
+
+// MaxMsgWords returns the configured message cap (0 = unbounded) so
+// protocols can adapt their chunk sizes to the model.
+func (n *NodeCtx) MaxMsgWords() int { return n.net.cfg.MaxMsgWords }
+
+// nodeTask is one handler invocation dispatched to a node.
+type nodeTask struct {
+	v     int
+	start bool
+	inbox []Message
+}
+
+// Run executes the protocol until every node has halted, no messages are in
+// flight and no node requested wake-up, or until the round limit is hit.
+// It returns the metrics of the run.
+func (net *Network) Run() (Metrics, error) {
+	nVerts := net.g.N()
+	if net.cfg.GoroutinePerNode {
+		net.startNodeGoroutines()
+		defer net.stopNodeGoroutines()
+	}
+	// Round 0: Start on every node.
+	startTasks := make([]nodeTask, 0, nVerts)
+	for v := 0; v < nVerts; v++ {
+		if net.handlers[v] != nil {
+			startTasks = append(startTasks, nodeTask{v: v, start: true})
+		}
+	}
+	net.dispatch(startTasks)
+	for round := 1; ; round++ {
+		if round > net.cfg.MaxRounds {
+			return net.metrics, fmt.Errorf("distsim: exceeded %d rounds", net.cfg.MaxRounds)
+		}
+		// Deliver: move outboxes to inboxes. Serial, in sender order, so each
+		// inbox is automatically sorted by sender.
+		inFlight := false
+		anyAwake := false
+		var roundMsgs, roundWords int64
+		for v := 0; v < nVerts; v++ {
+			node := &net.nodes[v]
+			for _, m := range node.outbox {
+				if err := net.account(len(m.data)); err != nil {
+					return net.metrics, err
+				}
+				roundMsgs++
+				roundWords += int64(len(m.data))
+				net.inboxes[m.to] = append(net.inboxes[m.to], Message{From: node.id, Data: m.data})
+				inFlight = true
+			}
+			node.outbox = node.outbox[:0]
+			if node.awake && !node.halted {
+				anyAwake = true
+			}
+		}
+		if !inFlight && !anyAwake {
+			return net.metrics, nil
+		}
+		net.metrics.Rounds = round
+		if net.cfg.TraceRounds {
+			net.trace = append(net.trace, RoundStats{Round: round, Messages: roundMsgs, Words: roundWords})
+		}
+		// Step: run handlers for nodes with input or wake-ups.
+		tasks := make([]nodeTask, 0, nVerts)
+		for v := 0; v < nVerts; v++ {
+			node := &net.nodes[v]
+			inbox := net.inboxes[v]
+			net.inboxes[v] = nil
+			if node.halted || net.handlers[v] == nil {
+				continue
+			}
+			if len(inbox) == 0 && !node.awake {
+				continue
+			}
+			node.awake = false
+			sort.SliceStable(inbox, func(i, j int) bool { return inbox[i].From < inbox[j].From })
+			tasks = append(tasks, nodeTask{v: v, inbox: inbox})
+		}
+		net.dispatch(tasks)
+	}
+}
+
+// dispatch runs the tasks either on the worker pool or on the per-node
+// goroutines, blocking until every handler has returned (the synchronous
+// round barrier).
+func (net *Network) dispatch(tasks []nodeTask) {
+	if net.cfg.GoroutinePerNode {
+		net.nodeWG.Add(len(tasks))
+		for _, t := range tasks {
+			net.taskIn[t.v] <- t
+		}
+		net.nodeWG.Wait()
+		return
+	}
+	net.parallelTasks(tasks)
+}
+
+// runTask invokes one handler.
+func (net *Network) runTask(t nodeTask) {
+	if t.start {
+		net.handlers[t.v].Start(&net.nodes[t.v])
+		return
+	}
+	net.handlers[t.v].HandleRound(&net.nodes[t.v], t.inbox)
+}
+
+// startNodeGoroutines launches one goroutine per vertex, each consuming
+// tasks from its channel until shutdown.
+func (net *Network) startNodeGoroutines() {
+	n := net.g.N()
+	net.taskIn = make([]chan nodeTask, n)
+	for v := 0; v < n; v++ {
+		net.taskIn[v] = make(chan nodeTask, 1)
+		go func(ch chan nodeTask) {
+			for t := range ch {
+				net.runTask(t)
+				net.nodeWG.Done()
+			}
+		}(net.taskIn[v])
+	}
+}
+
+// stopNodeGoroutines shuts the per-node goroutines down and waits for them
+// to exit (no goroutine outlives Run).
+func (net *Network) stopNodeGoroutines() {
+	for _, ch := range net.taskIn {
+		close(ch)
+	}
+	net.taskIn = nil
+}
+
+// parallelTasks applies the tasks on the worker pool.
+func (net *Network) parallelTasks(tasks []nodeTask) {
+	workers := net.cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			net.runTask(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(tasks) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(tasks) {
+			hi = len(tasks)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(part []nodeTask) {
+			defer wg.Done()
+			for _, t := range part {
+				net.runTask(t)
+			}
+		}(tasks[lo:hi])
+	}
+	wg.Wait()
+}
+
+// account records one message of the given word count in the metrics and
+// enforces the cap.
+func (net *Network) account(words int) error {
+	net.metrics.Messages++
+	net.metrics.Words += int64(words)
+	if words > net.metrics.MaxMsgWords {
+		net.metrics.MaxMsgWords = words
+	}
+	if net.cfg.MaxMsgWords > 0 && words > net.cfg.MaxMsgWords {
+		net.metrics.CapExceeded++
+		if net.cfg.Strict {
+			return fmt.Errorf("distsim: message of %d words exceeds cap %d", words, net.cfg.MaxMsgWords)
+		}
+	}
+	return nil
+}
+
+// Metrics returns the metrics accumulated so far (valid after Run returns).
+func (net *Network) Metrics() Metrics { return net.metrics }

@@ -1,0 +1,104 @@
+package distsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+// TestGoroutinePerNodeMatchesPooled: the two execution modes are
+// observationally identical — same per-vertex results, same metrics.
+func TestGoroutinePerNodeMatchesPooled(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Gnp(150, 0.05, rng)
+	sources := []int32{3, 70, 111}
+	pooled, err := RunBFS(g, sources, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, err := RunBFS(g, sources, Config{GoroutinePerNode: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pooled.Metrics != perNode.Metrics {
+		t.Fatalf("metrics differ: %+v vs %+v", pooled.Metrics, perNode.Metrics)
+	}
+	for v := range pooled.Dist {
+		if pooled.Dist[v] != perNode.Dist[v] ||
+			pooled.Nearest[v] != perNode.Nearest[v] ||
+			pooled.Parent[v] != perNode.Parent[v] {
+			t.Fatalf("results differ at v=%d", v)
+		}
+	}
+}
+
+func TestGoroutinePerNodeWithWakeups(t *testing.T) {
+	g := graph.Path(2)
+	nodes := []countdownNode{{k: 3}, {k: 5}}
+	net, _ := NewNetwork(g, []Handler{&nodes[0], &nodes[1]}, Config{GoroutinePerNode: true})
+	m, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].wakeups != 3 || nodes[1].wakeups != 5 || m.Rounds != 5 {
+		t.Fatalf("wakeups=%d,%d rounds=%d", nodes[0].wakeups, nodes[1].wakeups, m.Rounds)
+	}
+}
+
+func TestGoroutinePerNodeReusableAcrossRuns(t *testing.T) {
+	// Each Run spawns and tears down its goroutines; back-to-back runs on
+	// fresh networks with the same handlers must work.
+	g := graph.Ring(30)
+	for i := 0; i < 3; i++ {
+		res, err := RunBFS(g, []int32{int32(i)}, Config{GoroutinePerNode: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Dist[(i+15)%30] != 15 {
+			t.Fatalf("run %d: wrong distance", i)
+		}
+	}
+}
+
+func TestTraceRounds(t *testing.T) {
+	g := graph.Path(10)
+	handlers := make([]Handler, 10)
+	nodes := make([]bfsPatientNode, 10)
+	nodes[0].isSource = true
+	for v := range handlers {
+		handlers[v] = &nodes[v]
+	}
+	net, err := NewNetwork(g, handlers, Config{TraceRounds: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := net.Trace()
+	if len(trace) != m.Rounds {
+		t.Fatalf("trace has %d rounds, metrics says %d", len(trace), m.Rounds)
+	}
+	var msgs, words int64
+	for i, rs := range trace {
+		if rs.Round != i+1 {
+			t.Fatalf("trace round numbering wrong: %+v", rs)
+		}
+		msgs += rs.Messages
+		words += rs.Words
+	}
+	if msgs != m.Messages || words != m.Words {
+		t.Fatalf("trace totals (%d,%d) != metrics (%d,%d)", msgs, words, m.Messages, m.Words)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g := graph.Path(3)
+	res, err := RunBFS(g, []int32{0}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+}

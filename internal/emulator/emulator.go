@@ -1,0 +1,180 @@
+// Package emulator implements Thorup–Zwick sublinear-additive emulators
+// [39] — the third object class in the paper's taxonomy besides
+// multiplicative and purely additive spanners. An emulator is a *weighted*
+// graph H on the same vertex set (not necessarily a subgraph) whose
+// distances never underestimate and overshoot only by an additive term
+// that is sublinear in the distance: δ_H(u,v) = δ(u,v) + O(d^{1−1/(k−1)}).
+//
+// The paper's Theorem 6 shows exactly these objects admit no fast
+// distributed construction — Ω(n^{μ(1−δ)/(1+μ)}) rounds — which is why this
+// package is sequential-only; it exists so the lower-bound experiments have
+// the real object to point at, and so the "emulators vs spanners" boundary
+// (H need not be a subgraph) is represented in code.
+//
+// Construction (TZ '06 shape): sample a hierarchy A_0 = V ⊇ A_1 ⊇ … ⊇
+// A_{k-1} with |A_{i+1}| ≈ |A_i|·n^{-2^i/(2^k-1)}. For every level i and
+// v ∈ A_i, add weighted edges (v, p_{i+1}(v)) and (v, w) for every w in
+// the pruned ball B_i(v) = {w ∈ A_i : δ(v,w) < δ(v,A_{i+1})}, all weighted
+// by exact distances; at the top level the ball is all of A_{k-1}. The
+// expected size is O(k·n^{1+1/(2^k-1)}).
+package emulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"spanner/internal/graph"
+	"spanner/internal/wgraph"
+)
+
+// Result is a constructed emulator.
+type Result struct {
+	// H is the weighted emulator graph.
+	H *wgraph.WGraph
+	// K is the number of levels.
+	K int
+	// LevelSizes[i] = |A_i|.
+	LevelSizes []int
+	// SizeBound is the expected-size bound O(k·n^{1+1/(2^k-1)}) with the
+	// implementation's constant.
+	SizeBound float64
+	// Edges is the emulator's edge count.
+	Edges int
+}
+
+// Build constructs a k-level emulator of g. k must be at least 2.
+func Build(g *graph.Graph, k int, seed int64) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("emulator: k must be >= 2, got %d", k)
+	}
+	n := g.N()
+	res := &Result{K: k}
+	if n == 0 {
+		res.H = wgraph.NewBuilder(0).Build()
+		return res, nil
+	}
+	nf := float64(n)
+	denom := math.Pow(2, float64(k)) - 1
+	res.SizeBound = 8 * float64(k) * math.Pow(nf, 1+1/denom) * (math.Log(nf) + 1)
+
+	// Sample the hierarchy: P(v ∈ A_{i+1} | v ∈ A_i) = n^{-2^i/(2^k-1)}.
+	rng := rand.New(rand.NewSource(seed))
+	level := make([]int8, n)
+	for v := 0; v < n; v++ {
+		lvl := int8(0)
+		for i := 0; i < k-1; i++ {
+			p := math.Pow(nf, -math.Pow(2, float64(i))/denom)
+			if rng.Float64() < p {
+				lvl = int8(i + 1)
+			} else {
+				break
+			}
+		}
+		level[v] = lvl
+	}
+	levelSets := make([][]int32, k)
+	for v := int32(0); int(v) < n; v++ {
+		for i := 0; i <= int(level[v]); i++ {
+			levelSets[i] = append(levelSets[i], v)
+		}
+	}
+	res.LevelSizes = make([]int, k)
+	for i := range levelSets {
+		res.LevelSizes[i] = len(levelSets[i])
+	}
+
+	b := wgraph.NewBuilder(n)
+	addEdge := func(u, v int32, w int32) {
+		if u != v && w > 0 {
+			_ = b.AddEdge(u, v, float64(w))
+		}
+	}
+
+	// Per level: parent links and pruned balls.
+	for i := 0; i < k; i++ {
+		if len(levelSets[i]) == 0 {
+			continue
+		}
+		var nextDist []int32
+		if i+1 < k && len(levelSets[i+1]) > 0 {
+			d, near, _ := g.MultiSourceBFS(levelSets[i+1])
+			nextDist = d
+			// Parent links: every v ∈ A_i to p_{i+1}(v).
+			for _, v := range levelSets[i] {
+				if d[v] >= 1 && near[v] != graph.Unreachable {
+					addEdge(v, near[v], d[v])
+				}
+			}
+		}
+		// Pruned ball flood among A_i sources, collected at A_i vertices.
+		flood(g, levelSets[i], nextDist, level, int8(i), addEdge)
+	}
+	res.H = b.Build()
+	res.Edges = res.H.M()
+	return res, nil
+}
+
+// flood grows tokens from every source with the Thorup–Zwick pruning rule
+// (forward (w,d) through x only while d < δ(x, A_{i+1})) and emits an
+// emulator edge (v,w,δ) for every v ∈ A_i that hears w's token.
+func flood(g *graph.Graph, sources []int32, nextDist []int32, level []int8,
+	ownerLevel int8, emit func(u, v, w int32)) {
+
+	type info struct {
+		d int32
+	}
+	tokens := make([]map[int32]info, g.N())
+	type entry struct{ x, w int32 }
+	var frontier []entry
+	blocked := func(x int32, d int32) bool {
+		if nextDist == nil {
+			return false
+		}
+		nd := nextDist[x]
+		return nd != graph.Unreachable && nd <= d
+	}
+	for _, w := range sources {
+		if blocked(w, 0) {
+			continue
+		}
+		if tokens[w] == nil {
+			tokens[w] = make(map[int32]info, 4)
+		}
+		tokens[w][w] = info{d: 0}
+		frontier = append(frontier, entry{x: w, w: w})
+	}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []entry
+		for _, e := range frontier {
+			for _, y := range g.Neighbors(e.x) {
+				if blocked(y, d) {
+					continue
+				}
+				if tokens[y] == nil {
+					tokens[y] = make(map[int32]info, 4)
+				}
+				if _, ok := tokens[y][e.w]; ok {
+					continue
+				}
+				tokens[y][e.w] = info{d: d}
+				next = append(next, entry{x: y, w: e.w})
+			}
+		}
+		frontier = next
+	}
+	for x := int32(0); int(x) < g.N(); x++ {
+		if level[x] < ownerLevel || tokens[x] == nil {
+			continue
+		}
+		for w, inf := range tokens[x] {
+			emit(x, w, inf.d)
+		}
+	}
+}
+
+// Query returns δ_H(u,v) by Dijkstra on the emulator. For batch use run
+// H.Dijkstra directly.
+func (r *Result) Query(u, v int32) float64 {
+	return r.H.Dijkstra(u)[v]
+}

@@ -1,0 +1,148 @@
+package emulator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(graph.Path(4), 1, 1); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	res, err := Build(graph.Complete(0), 2, 1)
+	if err != nil || res.Edges != 0 {
+		t.Fatal("empty graph must give empty emulator")
+	}
+}
+
+func TestNeverUnderestimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{2, 3} {
+		g := graph.ConnectedGnp(150, 0.06, rng)
+		res, err := Build(g, k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := int32(0); int(u) < g.N(); u += 11 {
+			dg := g.BFS(u)
+			dh := res.H.Dijkstra(u)
+			for v := 0; v < g.N(); v++ {
+				if dg[v] == graph.Unreachable {
+					continue
+				}
+				if dh[v] < float64(dg[v])-1e-9 {
+					t.Fatalf("k=%d: emulator underestimates (%d,%d): %v < %d", k, u, v, dh[v], dg[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPreservesReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGnp(120, 0.05, rng)
+	res, err := Build(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh := res.H.Dijkstra(0)
+	for v := 0; v < g.N(); v++ {
+		if math.IsInf(dh[v], 1) {
+			t.Fatalf("vertex %d unreachable in emulator of a connected graph", v)
+		}
+	}
+}
+
+func TestSizeWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ConnectedGnp(2000, 0.01, rng)
+	for _, k := range []int{2, 3} {
+		res, err := Build(g, k, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.Edges) > res.SizeBound {
+			t.Fatalf("k=%d: %d edges above bound %v", k, res.Edges, res.SizeBound)
+		}
+	}
+}
+
+// TestAdditiveErrorSublinear checks the emulator's defining property on a
+// long-range workload: the additive error δ_H − δ stays well below linear
+// in δ (a fixed fraction would indicate a multiplicative-only guarantee).
+func TestAdditiveErrorSublinear(t *testing.T) {
+	g := graph.Circulant(1500, 10) // diameter 75: long distances
+	res, err := Build(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErrAt := map[int32]float64{}
+	for u := int32(0); int(u) < g.N(); u += 37 {
+		dg := g.BFS(u)
+		dh := res.H.Dijkstra(u)
+		for v := 0; v < g.N(); v++ {
+			d := dg[v]
+			if d < 1 {
+				continue
+			}
+			errAdd := dh[v] - float64(d)
+			if errAdd < -1e-9 {
+				t.Fatalf("underestimate at (%d,%d)", u, v)
+			}
+			if errAdd > maxErrAt[d] {
+				maxErrAt[d] = errAdd
+			}
+		}
+	}
+	// Sublinearity: at large distances, the error must be a vanishing
+	// fraction of the distance compared to short range.
+	var shortFrac, longFrac float64
+	for d, e := range maxErrAt {
+		frac := e / float64(d)
+		if d <= 5 && frac > shortFrac {
+			shortFrac = frac
+		}
+		if d >= 50 && frac > longFrac {
+			longFrac = frac
+		}
+	}
+	if longFrac > 0.5*shortFrac && longFrac > 0.2 {
+		t.Fatalf("error fraction not decaying: short %v, long %v", shortFrac, longFrac)
+	}
+	// Absolute sanity: error at distance ≥ 50 bounded by k·√d-scale.
+	for d, e := range maxErrAt {
+		if d >= 50 && e > 6*math.Sqrt(float64(d))+6 {
+			t.Fatalf("additive error %v at distance %d above the sublinear envelope", e, d)
+		}
+	}
+}
+
+func TestLevelSizesDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGnp(5000, 0.004, rng)
+	res, err := Build(g, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.LevelSizes); i++ {
+		if res.LevelSizes[i] > res.LevelSizes[i-1] {
+			t.Fatalf("level sizes not nested: %v", res.LevelSizes)
+		}
+	}
+	if res.LevelSizes[0] != g.N() {
+		t.Fatal("A_0 must be V")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGnp(100, 0.08, rng)
+	a, _ := Build(g, 3, 9)
+	b, _ := Build(g, 3, 9)
+	if a.Edges != b.Edges {
+		t.Fatal("same seed produced different emulators")
+	}
+}

@@ -1,0 +1,136 @@
+package fibonacci
+
+import "math"
+
+// This file implements the distortion analysis of Sect. 4.3: the recursive
+// segment bounds C^i_λ and I^i_λ of Lemma 9, their closed forms of
+// Lemma 10, and the per-distance distortion bound of Theorem 7/Corollary 1
+// that tests and experiments check measured stretch against.
+
+// CPrimeConst returns c'_λ = 1 + (2λ+1)/((λ+1)(λ−2)) for λ ≥ 3 (Lemma 10).
+func CPrimeConst(lambda int) float64 {
+	l := float64(lambda)
+	return 1 + (2*l+1)/((l+1)*(l-2))
+}
+
+// CConst returns c_λ = 3 + (6λ−2)/(λ(λ−2)) for λ ≥ 3 (Lemma 10).
+func CConst(lambda int) float64 {
+	l := float64(lambda)
+	return 3 + (6*l-2)/(l*(l-2))
+}
+
+// IBound returns Lemma 10's closed-form bound on I^i_λ, the distance from a
+// segment start to a V_{i+1} "hilltop" when the walk fails.
+func IBound(i, lambda int) float64 {
+	switch lambda {
+	case 1:
+		if i%2 == 0 {
+			return (math.Pow(2, float64(i+2)) - 1) / 3
+		}
+		return (math.Pow(2, float64(i+2)) - 2) / 3
+	case 2:
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1
+		}
+		return (float64(i)+2.0/3)*math.Pow(2, float64(i)) + sign/3
+	default:
+		return CPrimeConst(lambda) * math.Pow(float64(lambda), float64(i))
+	}
+}
+
+// CBound returns Lemma 10's closed-form bound on C^i_λ, the maximum spanner
+// length of a complete i-segment of a path split into λ-power segments.
+func CBound(i, lambda int) float64 {
+	switch lambda {
+	case 1:
+		return math.Pow(2, float64(i+1)) - 1
+	case 2:
+		return 3 * float64(i+1) * math.Pow(2, float64(i))
+	default:
+		l := float64(lambda)
+		li := math.Pow(l, float64(i))
+		a := CConst(lambda) * li
+		b := li + 2*CPrimeConst(lambda)*float64(i)*li/l
+		return math.Min(a, b)
+	}
+}
+
+// IRec and CRec evaluate Lemma 9's recurrences exactly (used by tests to
+// validate the closed forms): I⁰ = 1, I¹ = λ+1, C⁰ = 1, C¹ = λ+2, and for
+// i ≥ 2:
+//
+//	Iⁱ = 2I^{i-2} + I^{i-1} + λ^i + (λ−1)λ^{i-2}
+//	Cⁱ = max(λ·C^{i-1}, (λ−1)C^{i-1} + 2(I^{i-2}+I^{i-1}) + λ^{i-1})
+func IRec(i, lambda int) float64 {
+	iPrev2, iPrev := 1.0, float64(lambda)+1
+	if i == 0 {
+		return iPrev2
+	}
+	if i == 1 {
+		return iPrev
+	}
+	l := float64(lambda)
+	for k := 2; k <= i; k++ {
+		cur := 2*iPrev2 + iPrev + math.Pow(l, float64(k)) + (l-1)*math.Pow(l, float64(k-2))
+		iPrev2, iPrev = iPrev, cur
+	}
+	return iPrev
+}
+
+// CRec evaluates Lemma 9's C recurrence exactly.
+func CRec(i, lambda int) float64 {
+	if i == 0 {
+		return 1
+	}
+	if i == 1 {
+		return float64(lambda) + 2
+	}
+	l := float64(lambda)
+	iPrev2, iPrev := 1.0, l+1 // I^{i-2}, I^{i-1}
+	c := l + 2                // C^{i-1}
+	for k := 2; k <= i; k++ {
+		next := math.Max(l*c, (l-1)*c+2*(iPrev2+iPrev)+math.Pow(l, float64(k-1)))
+		iCur := 2*iPrev2 + iPrev + math.Pow(l, float64(k)) + (l-1)*math.Pow(l, float64(k-2))
+		iPrev2, iPrev = iPrev, iCur
+		c = next
+	}
+	return c
+}
+
+// DistortionBoundAt returns Theorem 7 / Corollary 1's upper bound on
+// δ_S(u,v) for a pair at original distance d, for a spanner of order o with
+// segment parameter ℓ: round d up to λ^o with λ = ⌈d^{1/o}⌉ and apply the
+// C^o_λ bound; distances beyond (ℓ−2)^o are chopped into (ℓ−2)^o-length
+// pieces first.
+func DistortionBoundAt(d int64, order, ell int) float64 {
+	if d <= 0 {
+		return 0
+	}
+	maxLambda := ell - 2
+	if maxLambda < 1 {
+		maxLambda = 1
+	}
+	maxPiece := math.Pow(float64(maxLambda), float64(order))
+	if float64(d) > maxPiece {
+		pieces := math.Ceil(float64(d) / maxPiece)
+		return pieces * CBound(order, maxLambda)
+	}
+	lambda := int(math.Ceil(math.Pow(float64(d), 1/float64(order))))
+	if lambda < 1 {
+		lambda = 1
+	}
+	if lambda > maxLambda {
+		lambda = maxLambda
+	}
+	return CBound(order, lambda)
+}
+
+// StretchBoundAt returns DistortionBoundAt divided by d: the multiplicative
+// stretch bound at distance d.
+func StretchBoundAt(d int64, order, ell int) float64 {
+	if d <= 0 {
+		return 1
+	}
+	return DistortionBoundAt(d, order, ell) / float64(d)
+}

@@ -1,0 +1,96 @@
+package fibonacci
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTheorem7EpsilonStage verifies the last line of Theorem 7: for
+// distance d = (3o/ε')^o the multiplicative stretch bound is at most
+// 1 + ε', for any ε' ∈ [ε, 1] (with ℓ = 3o/ε + 2 large enough).
+func TestTheorem7EpsilonStage(t *testing.T) {
+	for _, o := range []int{2, 3, 4, 5} {
+		for _, eps := range []float64{0.25, 0.5, 1.0} {
+			ell := int(math.Ceil(3*float64(o)/0.25)) + 2 // built for ε = 0.25
+			lambda := int(math.Ceil(3 * float64(o) / eps))
+			if lambda > ell-2 {
+				continue
+			}
+			// Use the C^o_λ second closed form directly, as the theorem's
+			// proof does: stretch ≤ 1 + 2c'_λ·o/λ ≤ 1 + ε'.
+			stretch := CBound(o, lambda) / math.Pow(float64(lambda), float64(o))
+			if stretch > 1+eps+1e-9 {
+				t.Fatalf("o=%d ε'=%v: stretch bound %v exceeds 1+ε'", o, eps, stretch)
+			}
+		}
+	}
+}
+
+// TestTheorem7ThirdStage verifies the 3 + (6λ−2)/(λ(λ−2)) stage: the
+// stretch bound at d = λ^o is at most c_λ, which tends to 3.
+func TestTheorem7ThirdStage(t *testing.T) {
+	o := 4
+	for lambda := 3; lambda <= 12; lambda++ {
+		d := math.Pow(float64(lambda), float64(o))
+		stretch := CBound(o, lambda) / d
+		if stretch > CConst(lambda)+1e-9 {
+			t.Fatalf("λ=%d: stretch %v above c_λ = %v", lambda, stretch, CConst(lambda))
+		}
+	}
+	// 3 + O(2^{-k}) at λ^o with λ = 2^k-ish: stretch approaches 3.
+	if s := CBound(4, 64) / math.Pow(64, 4); s > 3.2 {
+		t.Fatalf("large-λ stretch %v should be close to 3", s)
+	}
+}
+
+// TestQuickDistortionBoundSane: the Corollary 1 bound is always at least
+// the distance itself (stretch ≥ 1) and is monotone under chopping.
+func TestQuickDistortionBoundSane(t *testing.T) {
+	f := func(dRaw uint16, oRaw, ellRaw uint8) bool {
+		d := int64(dRaw%5000) + 1
+		o := int(oRaw%5) + 1
+		ell := int(ellRaw%30) + 3
+		b := DistortionBoundAt(d, o, ell)
+		return b >= float64(d) && !math.IsNaN(b) && !math.IsInf(b, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIBoundMatchesRecurrencesExactlyForSmallCases verifies the exact
+// λ=1 and λ=2 identities of Lemma 10 (not just domination).
+func TestIBoundMatchesRecurrencesExactlyForSmallCases(t *testing.T) {
+	// I^i_1 = (2^{i+2}-1)/3 for even i, (2^{i+2}-2)/3 for odd i — exact.
+	for i := 0; i <= 12; i++ {
+		if IRec(i, 1) != IBound(i, 1) {
+			t.Fatalf("I^%d_1: recurrence %v != closed form %v", i, IRec(i, 1), IBound(i, 1))
+		}
+	}
+	// For λ=2 the paper relaxes the recurrence's λ^i + (λ−1)λ^{i-2} =
+	// (5/4)2^i term to (3/2)2^i before solving, so its closed form is an
+	// upper bound rather than an identity; check domination with the
+	// relaxed recurrence solved exactly.
+	relaxed := func(i int) float64 {
+		a, b := 1.0, 3.0 // I⁰, I¹
+		if i == 0 {
+			return a
+		}
+		for k := 2; k <= i; k++ {
+			a, b = b, 2*a+b+1.5*math.Pow(2, float64(k))
+		}
+		return b
+	}
+	for i := 0; i <= 12; i++ {
+		if math.Abs(relaxed(i)-IBound(i, 2)) > 1e-6 {
+			t.Fatalf("I^%d_2: relaxed recurrence %v != closed form %v", i, relaxed(i), IBound(i, 2))
+		}
+	}
+	// C^i_1 = 2(I^{i-2}+I^{i-1})+1 = 2^{i+1}−1 — exact for i ≥ 2.
+	for i := 2; i <= 12; i++ {
+		if CRec(i, 1) != CBound(i, 1) {
+			t.Fatalf("C^%d_1: recurrence %v != closed form %v", i, CRec(i, 1), CBound(i, 1))
+		}
+	}
+}

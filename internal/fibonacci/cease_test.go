@@ -1,0 +1,78 @@
+package fibonacci
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/distsim"
+	"spanner/internal/graph"
+)
+
+// TestCessationFiresUnderTinyCap drives the ball wave directly with an
+// artificially small message cap so the Monte Carlo cessation rule and the
+// Las Vegas repair demonstrably engage (they never do at the w.h.p. cap).
+func TestCessationFiresUnderTinyCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGnp(120, 0.15, rng)
+	n := g.N()
+	// Every vertex is a source (level 1) and an owner (level 0); radius 3;
+	// no pruning; cap 8 words = 3 tokens per message. Dense neighborhoods
+	// receive many tokens per round, forcing cessation.
+	nodes := make([]fibNode, n)
+	handlers := make([]distsim.Handler, n)
+	for v := 0; v < n; v++ {
+		nodes[v] = fibNode{
+			self:     distsim.NodeID(v),
+			isSource: v%2 == 0,
+			isOwner:  true,
+			radius:   3,
+			distNext: 1<<31 - 1,
+			msgCap:   8,
+			stage:    stageBall,
+		}
+		handlers[v] = &nodes[v]
+	}
+	net, err := distsim.NewNetwork(g, handlers, distsim.Config{MaxMsgWords: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CapExceeded != 0 {
+		t.Fatalf("%d messages exceeded the cap despite cessation", m.CapExceeded)
+	}
+	ceased, repaired, sawNotice := 0, 0, 0
+	for v := range nodes {
+		if nodes[v].ceased {
+			ceased++
+		}
+		if nodes[v].repairing {
+			repaired++
+		}
+		if nodes[v].sawCease {
+			sawNotice++
+		}
+	}
+	if ceased == 0 {
+		t.Fatal("expected cessation under a 3-token cap on a dense graph")
+	}
+	if sawNotice == 0 {
+		t.Fatal("cessation notices must propagate")
+	}
+	if repaired == 0 {
+		t.Fatal("owners with possibly-lost ball members must trigger repair")
+	}
+	// Repairing vertices keep all incident edges — check the output.
+	foundEdges := false
+	for v := range nodes {
+		if nodes[v].repairing && len(nodes[v].outEdges) >= g.Degree(int32(v)) {
+			foundEdges = true
+			break
+		}
+	}
+	if !foundEdges {
+		t.Fatal("repairing vertex did not keep its incident edges")
+	}
+}

@@ -1,0 +1,70 @@
+package fibonacci
+
+import (
+	"math"
+
+	"spanner/internal/core"
+	"spanner/internal/graph"
+	"spanner/internal/seq"
+)
+
+// Corollary 1: "By including such a spanner [Theorem 2's skeleton] with a
+// Fibonacci spanner we obtain the distortion bounds stated in Corollary 1"
+// — the union is simultaneously an O(log n / log log log n)-spanner for all
+// pairs (from the skeleton, with D ≈ log log log n) and enjoys the
+// Fibonacci stages for distances past (log n)^{log_φ 2}.
+
+// CombinedResult is the Corollary 1 spanner: the union of a Fibonacci
+// spanner at (near-)maximal order and a Section 2 skeleton.
+type CombinedResult struct {
+	Spanner *graph.EdgeSet
+	// Fib and Skel are the two constituents' results.
+	Fib  *Result
+	Skel *core.Result
+	// D is the skeleton density parameter used (≈ log log log n, clamped
+	// to the algorithm's minimum of 4).
+	D int
+}
+
+// BuildCombined constructs the Corollary 1 spanner with parameters
+// o = log_φ log n − 2 (clamped to ≥ 1) and ℓ = 3o/ε + 2.
+func BuildCombined(g *graph.Graph, epsilon float64, seed int64) (*CombinedResult, error) {
+	n := g.N()
+	order := seq.MaxOrder(n) - 2
+	if order < 1 {
+		order = 1
+	}
+	fib, err := Build(g, Options{Order: order, Epsilon: epsilon, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	// D = Θ(log log log n): with D ≥ log^(3) n the skeleton's distortion is
+	// O(2^{log* n}·log n / log log log n) (Theorem 2's optimality remark).
+	d := 4
+	if lll := seq.IterLog(float64(maxInt(n, 16)), 3); lll > 4 {
+		d = int(lll)
+	}
+	skel, err := core.BuildSkeleton(g, core.Options{D: d, Seed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	union := graph.NewEdgeSet(fib.Spanner.Len() + skel.Spanner.Len())
+	union.AddAll(fib.Spanner)
+	union.AddAll(skel.Spanner)
+	return &CombinedResult{Spanner: union, Fib: fib, Skel: skel, D: d}, nil
+}
+
+// StretchBoundAt returns Corollary 1's distortion bound at distance d: the
+// better of the skeleton's uniform multiplicative bound and the Fibonacci
+// per-distance bound.
+func (c *CombinedResult) StretchBoundAt(d int64) float64 {
+	fb := StretchBoundAt(d, c.Fib.Params.Order, c.Fib.Params.Ell)
+	return math.Min(fb, c.Skel.DistortionBound)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

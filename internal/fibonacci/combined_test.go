@@ -1,0 +1,85 @@
+package fibonacci
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/verify"
+)
+
+func TestCombinedPerPairBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	inputs := []*graph.Graph{
+		graph.ConnectedGnp(300, 0.04, rng),
+		graph.Circulant(400, 12),
+		graph.Torus(18, 18),
+	}
+	for gi, g := range inputs {
+		res, err := BuildCombined(g, 0.5, int64(gi))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Spanner.Subset(g) {
+			t.Fatal("combined spanner not a subgraph")
+		}
+		sg := res.Spanner.ToGraph(g.N())
+		if !graph.SameComponents(g, sg) {
+			t.Fatalf("input %d: connectivity broken", gi)
+		}
+		for src := int32(0); int(src) < g.N(); src += 13 {
+			dg := g.BFS(src)
+			ds := sg.BFS(src)
+			for v := int32(0); int(v) < g.N(); v++ {
+				if dg[v] < 1 {
+					continue
+				}
+				bound := res.StretchBoundAt(int64(dg[v])) * float64(dg[v])
+				if float64(ds[v]) > bound {
+					t.Fatalf("input %d: pair (%d,%d) δ=%d δ_S=%d above Corollary 1 bound %v",
+						gi, src, v, dg[v], ds[v], bound)
+				}
+			}
+		}
+	}
+}
+
+func TestCombinedImprovesShortRange(t *testing.T) {
+	// The skeleton component caps short-range stretch below the raw
+	// Fibonacci 2^{o+1} bound when the order is large.
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGnp(4000, 0.01, rng)
+	res, err := BuildCombined(g, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawFib := StretchBoundAt(1, res.Fib.Params.Order, res.Fib.Params.Ell)
+	if res.StretchBoundAt(1) > rawFib {
+		t.Fatal("combined bound must not exceed the Fibonacci bound")
+	}
+	if res.StretchBoundAt(1) > res.Skel.DistortionBound {
+		t.Fatal("combined bound must not exceed the skeleton bound")
+	}
+	rep := verify.Measure(g, res.Spanner, verify.Options{Sources: 20, Rng: rng})
+	if !rep.Connected || !rep.Valid {
+		t.Fatalf("combined: %v", rep)
+	}
+	if rep.MaxStretch > res.Skel.DistortionBound {
+		t.Fatalf("measured stretch %v above skeleton bound %v", rep.MaxStretch, res.Skel.DistortionBound)
+	}
+}
+
+func TestCombinedSizeIsSumAtMost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ConnectedGnp(500, 0.05, rng)
+	res, err := BuildCombined(g, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spanner.Len() > res.Fib.Spanner.Len()+res.Skel.Spanner.Len() {
+		t.Fatal("union larger than sum of parts")
+	}
+	if res.Spanner.Len() < res.Fib.Spanner.Len() || res.Spanner.Len() < res.Skel.Spanner.Len() {
+		t.Fatal("union smaller than a part")
+	}
+}

@@ -1,0 +1,360 @@
+package fibonacci
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/seq"
+	"spanner/internal/verify"
+)
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := ResolveParams(0, 1, 0.5, 0, 0); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := ResolveParams(100, 1, 0, 0, 0); err == nil {
+		t.Fatal("epsilon=0 must error")
+	}
+	if _, err := ResolveParams(100, 1, 1.5, 0, 0); err == nil {
+		t.Fatal("epsilon>1 must error")
+	}
+	if _, err := ResolveParams(100, -1, 0.5, 0, 0); err == nil {
+		t.Fatal("negative order must error")
+	}
+	if _, err := ResolveParams(100, 1, 0.5, 0, -1); err == nil {
+		t.Fatal("negative t must error")
+	}
+}
+
+func TestParamsShape(t *testing.T) {
+	p, err := ResolveParams(100000, 3, 0.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order != 3 || len(p.Q) != 4 {
+		t.Fatalf("order %d, |Q| %d", p.Order, len(p.Q))
+	}
+	if p.Q[0] != 1 {
+		t.Fatal("q0 must be 1")
+	}
+	for i := 1; i < len(p.Q); i++ {
+		if p.Q[i] > p.Q[i-1] {
+			t.Fatalf("q not nonincreasing at %d: %v", i, p.Q)
+		}
+		if p.Q[i] < 1.0/100000 {
+			t.Fatalf("q clamped too low at %d", i)
+		}
+	}
+	// q1 = n^{-α}·ℓ^{-φ} with α = 1/(F₆−1) = 1/7.
+	alpha := 1.0 / float64(seq.Fib(6)-1)
+	want := math.Pow(100000, -alpha) * math.Pow(float64(p.Ell), -seq.Phi)
+	if math.Abs(p.Q[1]-want)/want > 1e-9 {
+		t.Fatalf("q1 = %v, want %v", p.Q[1], want)
+	}
+	// ℓ default = 3(o+t)/ε + 2 = 3·3/0.5+2 = 20.
+	if p.Ell != 20 {
+		t.Fatalf("ell = %d, want 20", p.Ell)
+	}
+	if p.Radius[0] != 1 || p.Radius[1] != 20 || p.Radius[2] != 400 {
+		t.Fatalf("radii = %v", p.Radius)
+	}
+}
+
+func TestParamsOrderClamped(t *testing.T) {
+	p, err := ResolveParams(1000, 50, 0.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order > seq.MaxOrder(1000) {
+		t.Fatalf("order %d above max %d", p.Order, seq.MaxOrder(1000))
+	}
+	p2, err := ResolveParams(100000, 0, 0.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.BaseOrd != seq.MaxOrder(100000) {
+		t.Fatal("order 0 must select the max order")
+	}
+}
+
+func TestParamsMessageCapExtension(t *testing.T) {
+	// With t set, consecutive sampling ratios must respect n^{1/t} and the
+	// order grows by at most t.
+	n := 100000
+	for _, tt := range []int{2, 3, 5} {
+		p, err := ResolveParams(n, 4, 0.5, 0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		step := math.Pow(float64(n), 1/float64(tt))
+		for i := 1; i <= p.Order; i++ {
+			if p.Q[i-1]/p.Q[i] > step*(1+1e-9) {
+				t.Fatalf("t=%d: ratio %v at level %d exceeds n^{1/t}=%v", tt, p.Q[i-1]/p.Q[i], i, step)
+			}
+		}
+		if p.Order > p.BaseOrd+tt {
+			t.Fatalf("t=%d: order %d exceeds base %d + t", tt, p.Order, p.BaseOrd)
+		}
+		if p.MessageCap() == 0 {
+			t.Fatal("message cap must be set when t > 0")
+		}
+	}
+}
+
+// TestClosedFormsDominateRecurrences validates Lemma 10 numerically: the
+// closed-form bounds must satisfy the exact Lemma 9 recurrences.
+func TestClosedFormsDominateRecurrences(t *testing.T) {
+	for lambda := 1; lambda <= 8; lambda++ {
+		for i := 0; i <= 8; i++ {
+			if rec, cf := IRec(i, lambda), IBound(i, lambda); rec > cf*(1+1e-9) {
+				t.Fatalf("I^%d_%d: recurrence %v exceeds closed form %v", i, lambda, rec, cf)
+			}
+			if rec, cf := CRec(i, lambda), CBound(i, lambda); rec > cf*(1+1e-9) {
+				t.Fatalf("C^%d_%d: recurrence %v exceeds closed form %v", i, lambda, rec, cf)
+			}
+		}
+	}
+}
+
+func TestBoundBaseCases(t *testing.T) {
+	// I⁰ = 1, I¹ = λ+1, C⁰ = 1, C¹ = λ+2 must be admitted by closed forms.
+	for lambda := 1; lambda <= 6; lambda++ {
+		if IBound(0, lambda) < 1 || CBound(0, lambda) < 1 {
+			t.Fatalf("λ=%d: base bounds too small", lambda)
+		}
+		if IBound(1, lambda) < float64(lambda+1)-1e-9 {
+			t.Fatalf("λ=%d: I¹ bound %v < λ+1", lambda, IBound(1, lambda))
+		}
+		if CBound(1, lambda) < float64(lambda+2)-1e-9 {
+			t.Fatalf("λ=%d: C¹ bound %v < λ+2", lambda, CBound(1, lambda))
+		}
+	}
+	// C^i_1 = 2^{i+1}−1 exactly per Lemma 10.
+	if CBound(4, 1) != 31 {
+		t.Fatalf("C⁴₁ = %v, want 31", CBound(4, 1))
+	}
+}
+
+func TestCConstTendsToThree(t *testing.T) {
+	// c_λ = 3 + (6λ−2)/(λ(λ−2)) → 3 as λ grows (the third distortion stage).
+	prev := math.Inf(1)
+	for _, l := range []int{3, 5, 10, 100, 1000} {
+		c := CConst(l)
+		if c >= prev {
+			t.Fatalf("c_λ not decreasing at %d", l)
+		}
+		prev = c
+	}
+	if CConst(1000) > 3.01 {
+		t.Fatalf("c_1000 = %v, should be near 3", CConst(1000))
+	}
+}
+
+func TestStretchBoundStages(t *testing.T) {
+	// Theorem 7 headline values: stretch bound ≈ 2^{o+1} at d=1,
+	// 3(o+1) at d=2^o, c_λ at d=λ^o, and → 1+ε at d=(3o/ε)^o.
+	o := 4
+	ell := 26 // 3·4/0.5 + 2
+	if got := StretchBoundAt(1, o, ell); got > math.Pow(2, float64(o+1)) {
+		t.Fatalf("d=1 stretch %v above 2^{o+1}", got)
+	}
+	if got := StretchBoundAt(1<<o, o, ell); got > 3*float64(o+1) {
+		t.Fatalf("d=2^o stretch %v above 3(o+1)", got)
+	}
+	d := int64(math.Pow(10, float64(o)))
+	if got := StretchBoundAt(d, o, ell); got > CConst(10)+1e-9 {
+		t.Fatalf("d=10^o stretch %v above c_10 = %v", got, CConst(10))
+	}
+	// Monotone improvement across the stages.
+	s1 := StretchBoundAt(1, o, ell)
+	s2 := StretchBoundAt(1<<o, o, ell)
+	s3 := StretchBoundAt(d, o, ell)
+	if !(s1 > s2 && s2 > s3) {
+		t.Fatalf("stages not improving: %v, %v, %v", s1, s2, s3)
+	}
+}
+
+func TestSampleLevelsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 50000
+	p, err := ResolveParams(n, 3, 0.5, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lv := SampleLevels(n, p, rng)
+	counts := make([]int, p.Order+1)
+	for _, l := range lv {
+		for i := 0; i <= int(l); i++ {
+			counts[i]++
+		}
+	}
+	for i := 1; i <= p.Order; i++ {
+		want := float64(n) * p.Q[i]
+		got := float64(counts[i])
+		if want >= 30 && (got < want/2 || got > 2*want) {
+			t.Fatalf("level %d: %v vertices, expected ≈%v", i, got, want)
+		}
+	}
+}
+
+func TestBuildEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 4} {
+		g := graph.Complete(n)
+		res, err := Build(g, Options{Seed: 1})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if n >= 2 && !graph.SameComponents(g, res.Spanner.ToGraph(n)) {
+			t.Fatalf("n=%d: connectivity broken", n)
+		}
+	}
+}
+
+func TestBuildSubgraphAndConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for seed := int64(0); seed < 5; seed++ {
+		g := graph.ConnectedGnp(300, 0.04, rng)
+		res, err := Build(g, Options{Order: 2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Spanner.Subset(g) {
+			t.Fatal("spanner not a subgraph")
+		}
+		if !graph.SameComponents(g, res.Spanner.ToGraph(g.N())) {
+			t.Fatalf("seed %d: connectivity broken", seed)
+		}
+	}
+}
+
+// TestPerPairDistortionBound is the paper's central deterministic claim:
+// for EVERY pair, δ_S(u,v) ≤ the Theorem 7 bound at distance δ(u,v),
+// regardless of the random level sampling.
+func TestPerPairDistortionBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	inputs := []*graph.Graph{
+		graph.ConnectedGnp(250, 0.03, rng),
+		graph.Torus(16, 16),
+		graph.RingWithChords(200, 30, rng),
+		graph.Grid(20, 12),
+	}
+	for gi, g := range inputs {
+		for _, order := range []int{1, 2, 3} {
+			res, err := Build(g, Options{Order: order, Seed: int64(gi)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sg := res.Spanner.ToGraph(g.N())
+			o, ell := res.Params.Order, res.Params.Ell
+			for src := int32(0); int(src) < g.N(); src += 7 {
+				dg := g.BFS(src)
+				ds := sg.BFS(src)
+				for v := int32(0); int(v) < g.N(); v++ {
+					if dg[v] < 1 {
+						continue
+					}
+					bound := DistortionBoundAt(int64(dg[v]), o, ell)
+					if float64(ds[v]) > bound {
+						t.Fatalf("graph %d order %d: pair (%d,%d) d=%d got δ_S=%d > bound %v",
+							gi, order, src, v, dg[v], ds[v], bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBallSizesNearExpectation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGnp(2000, 0.01, rng)
+	res, err := Build(g, Options{Order: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Params
+	for _, ls := range res.Levels {
+		if ls.Size == 0 || ls.BallSum == 0 {
+			continue
+		}
+		// E|B_{i+1}| ≤ q_i/q_{i+1} per owner (geometric truncation).
+		next := 1 / float64(p.N)
+		if ls.Level+1 <= p.Order {
+			next = p.Q[ls.Level+1]
+		}
+		expect := p.Q[ls.Level] / next
+		owners := 0
+		for _, l := range res.LevelOf {
+			if int(l) >= ls.Level-1 {
+				owners++
+			}
+		}
+		avg := float64(ls.BallSum) / float64(owners)
+		if avg > 4*expect+4 {
+			t.Fatalf("level %d: avg ball %v far above expectation %v", ls.Level, avg, expect)
+		}
+	}
+}
+
+func TestSizeWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGnp(3000, 8.0/3000, rng)
+	var total int
+	const runs = 3
+	for seed := int64(0); seed < runs; seed++ {
+		res, err := Build(g, Options{Order: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += res.Spanner.Len()
+		if seed == 0 {
+			// The bound should comfortably dominate a single run too.
+			if float64(res.Spanner.Len()) > res.Params.SizeBound() {
+				t.Fatalf("size %d above Lemma 8 bound %v", res.Spanner.Len(), res.Params.SizeBound())
+			}
+		}
+	}
+}
+
+func TestVerifyIntegration(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedGnp(400, 0.03, rng)
+	res, err := Build(g, Options{Order: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.Measure(g, res.Spanner, verify.Options{Sources: 25, Rng: rng})
+	if !rep.Valid || !rep.Connected {
+		t.Fatalf("fibonacci spanner report: %v", rep)
+	}
+	// Adjacent pairs: stretch at most 2^{o+1}−1.
+	if len(rep.ByDistance) > 1 {
+		bound := math.Pow(2, float64(res.Params.Order+1)) - 1
+		if rep.ByDistance[1].MaxStretch > bound {
+			t.Fatalf("adjacent stretch %v above %v", rep.ByDistance[1].MaxStretch, bound)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ConnectedGnp(200, 0.05, rng)
+	a, err := Build(g, Options{Order: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(g, Options{Order: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Spanner.Len() != b.Spanner.Len() {
+		t.Fatal("same seed differs")
+	}
+	for _, k := range a.Spanner.Keys() {
+		u, v := graph.UnpackEdgeKey(k)
+		if !b.Spanner.Has(u, v) {
+			t.Fatal("same seed differs in edges")
+		}
+	}
+}

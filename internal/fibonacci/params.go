@@ -1,0 +1,167 @@
+// Package fibonacci implements the paper's second contribution (Section 4):
+// Fibonacci spanners, a family of (α,β)-spanners whose multiplicative
+// distortion improves with the distance being approximated, passing through
+// four discrete stages — O(2^o) for adjacent vertices, 3(o+1) around
+// distance 2^o, tending to 3 for distance λ^o with λ ≥ 3, and tending to
+// 1+ε beyond β = (3o/ε)^o. At order o = log_φ log n the spanner has
+// near-linear expected size O(n(ε⁻¹ log log n)^φ), where φ is the golden
+// ratio.
+//
+// The construction samples a vertex hierarchy V = V₀ ⊇ V₁ ⊇ … ⊇ V_o (with
+// V_{o+1} = ∅) using the Fibonacci-tuned probabilities of Lemma 8 and takes
+// S = ⋃ Sᵢ, where Sᵢ connects every v ∈ V_{i-1} by shortest paths to the
+// ball B_{i+1,ℓ}(v) of Vᵢ-vertices that are both within distance ℓⁱ and
+// closer than the nearest V_{i+1} vertex, plus a shortest-path forest from
+// every vertex to its nearest Vᵢ ancestor p_i(v) when that is within
+// ℓ^{i-1}.
+package fibonacci
+
+import (
+	"fmt"
+	"math"
+
+	"spanner/internal/seq"
+)
+
+// Params holds the resolved construction parameters.
+type Params struct {
+	N       int
+	Order   int     // o (after any message-cap extension)
+	BaseOrd int     // the requested order before extension
+	Epsilon float64 // ε
+	Ell     int     // ℓ
+	T       int     // message-length exponent (0 = unbounded messages)
+	// Q[i] is the sampling probability q_i for levels i = 0..Order (q_0 = 1).
+	Q []float64
+	// Radius[i] = ℓ^i, the ball radius of level i, saturating at MaxInt32.
+	Radius []int64
+}
+
+// ResolveParams computes Lemma 8's sampling probabilities, applying the
+// Sect. 4.4 adjustment when a message cap n^{1/t} is requested: sampling
+// ratios above n^{1/t} are replaced by geometric n^{1/t} steps, increasing
+// the order by at most t.
+func ResolveParams(n, order int, epsilon float64, ell, t int) (*Params, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("fibonacci: need n >= 1, got %d", n)
+	}
+	if epsilon <= 0 || epsilon > 1 {
+		return nil, fmt.Errorf("fibonacci: epsilon must be in (0,1], got %v", epsilon)
+	}
+	maxOrd := seq.MaxOrder(n)
+	if order == 0 {
+		order = maxOrd
+	}
+	if order < 1 {
+		return nil, fmt.Errorf("fibonacci: order must be >= 1, got %d", order)
+	}
+	if order > maxOrd {
+		order = maxOrd
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("fibonacci: t must be >= 0, got %d", t)
+	}
+
+	p := &Params{N: n, BaseOrd: order, Epsilon: epsilon, T: t}
+
+	// ℓ = 3(o+t)/ε + 2 unless overridden (Theorem 8).
+	if ell == 0 {
+		ell = int(math.Ceil(3*float64(order+t)/epsilon)) + 2
+	}
+	if ell < 3 {
+		ell = 3
+	}
+	p.Ell = ell
+
+	// Lemma 8: q_i = n^{-f_i·α} · ℓ^{-g_i·β + h_i}, α = 1/(F_{o+3}-1), β = φ.
+	alpha := 1 / float64(seq.Fib(order+3)-1)
+	lf := float64(ell)
+	nf := float64(n)
+	qs := []float64{1}
+	for i := 1; i <= order; i++ {
+		fi := float64(seq.FibF(i))
+		hi := float64(seq.FibH(i))
+		logq := -fi*alpha*math.Log(nf) + (-fi*seq.Phi+hi)*math.Log(lf)
+		q := math.Exp(logq)
+		qs = append(qs, q)
+	}
+
+	// Sect. 4.4: bound consecutive ratios by n^{1/t}.
+	if t > 0 {
+		step := math.Pow(nf, 1/float64(t))
+		cut := len(qs)
+		for i := 1; i < len(qs); i++ {
+			if qs[i-1]/qs[i] > step {
+				cut = i
+				break
+			}
+		}
+		qs = qs[:cut]
+		for qs[len(qs)-1] > 1/nf {
+			qs = append(qs, qs[len(qs)-1]/step)
+		}
+	}
+
+	// Clamp into [1/n, 1] and enforce monotonicity.
+	for i := 1; i < len(qs); i++ {
+		if qs[i] > qs[i-1] {
+			qs[i] = qs[i-1]
+		}
+		if qs[i] < 1/nf {
+			qs[i] = 1 / nf
+		}
+	}
+	p.Q = qs
+	p.Order = len(qs) - 1
+
+	p.Radius = make([]int64, p.Order+1)
+	r := int64(1)
+	for i := 0; i <= p.Order; i++ {
+		p.Radius[i] = r
+		if r > math.MaxInt32/int64(ell) {
+			r = math.MaxInt32
+		} else {
+			r *= int64(ell)
+		}
+	}
+	return p, nil
+}
+
+// SizeBound returns Lemma 8's expected-size bound
+// o·n + n^{1+1/(F_{o+3}-1)}·ℓ^φ (for the base order).
+func (p *Params) SizeBound() float64 {
+	nf := float64(p.N)
+	exp := 1 + 1/float64(seq.Fib(p.BaseOrd+3)-1)
+	return float64(p.BaseOrd)*nf + math.Pow(nf, exp)*math.Pow(float64(p.Ell), seq.Phi)
+}
+
+// Beta returns the additive term β = (3(o+t)/ε)^{o+t} beyond which the
+// spanner behaves as a (1+ε)-spanner (Theorem 8 / Corollary 2).
+func (p *Params) Beta() float64 {
+	ot := float64(p.BaseOrd + p.T)
+	return math.Pow(3*ot/p.Epsilon, ot)
+}
+
+// MessageCap returns the Sect. 4.4 bound on stage-B message length in words:
+// s = max_i 4·(q_i/q_{i+1})·ln n, with q_{o+1} = 1/n. Zero means unbounded
+// (no t was requested).
+func (p *Params) MessageCap() int {
+	if p.T == 0 {
+		return 0
+	}
+	worst := 0.0
+	for i := 0; i <= p.Order; i++ {
+		next := 1 / float64(p.N)
+		if i+1 <= p.Order {
+			next = p.Q[i+1]
+		}
+		if r := p.Q[i] / next; r > worst {
+			worst = r
+		}
+	}
+	capWords := int(math.Ceil(4 * worst * math.Log(float64(p.N))))
+	if capWords < 8 {
+		capWords = 8
+	}
+	return capWords
+}

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format. If highlight is non-nil,
+// edges in the set are drawn bold (the conventional way to show a spanner
+// inside its graph); all other edges are drawn gray.
+func (g *Graph) WriteDOT(w io.Writer, name string, highlight *EdgeSet) error {
+	bw := bufio.NewWriter(w)
+	if name == "" {
+		name = "G"
+	}
+	if _, err := fmt.Fprintf(bw, "graph %q {\n  node [shape=point];\n", name); err != nil {
+		return err
+	}
+	var loopErr error
+	g.ForEachEdge(func(u, v int32) {
+		if loopErr != nil {
+			return
+		}
+		attr := ""
+		if highlight != nil {
+			if highlight.Has(u, v) {
+				attr = " [penwidth=2]"
+			} else {
+				attr = " [color=gray]"
+			}
+		}
+		_, loopErr = fmt.Fprintf(bw, "  %d -- %d%s;\n", u, v, attr)
+	})
+	if loopErr != nil {
+		return loopErr
+	}
+	if _, err := fmt.Fprintln(bw, "}"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package graph
+
+// EdgeSet is a mutable set of undirected edges, the working representation of
+// a spanner under construction. Edges are stored as canonical EdgeKey values.
+// The zero value is not usable; construct with NewEdgeSet.
+type EdgeSet struct {
+	set map[int64]struct{}
+}
+
+// NewEdgeSet returns an empty edge set with capacity hint sizeHint.
+func NewEdgeSet(sizeHint int) *EdgeSet {
+	return &EdgeSet{set: make(map[int64]struct{}, sizeHint)}
+}
+
+// Add inserts the undirected edge (u,v). Self-loops are ignored so that
+// algorithms may add path endpoints blindly.
+func (s *EdgeSet) Add(u, v int32) {
+	if u == v {
+		return
+	}
+	s.set[EdgeKey(u, v)] = struct{}{}
+}
+
+// AddKey inserts a pre-packed edge key.
+func (s *EdgeSet) AddKey(k int64) { s.set[k] = struct{}{} }
+
+// AddPath inserts every consecutive edge of the vertex path.
+func (s *EdgeSet) AddPath(path []int32) {
+	for i := 1; i < len(path); i++ {
+		s.Add(path[i-1], path[i])
+	}
+}
+
+// AddAll inserts every edge from other.
+func (s *EdgeSet) AddAll(other *EdgeSet) {
+	for k := range other.set {
+		s.set[k] = struct{}{}
+	}
+}
+
+// Has reports whether the undirected edge (u,v) is present.
+func (s *EdgeSet) Has(u, v int32) bool {
+	_, ok := s.set[EdgeKey(u, v)]
+	return ok
+}
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int { return len(s.set) }
+
+// Keys returns the packed edge keys in unspecified order.
+func (s *EdgeSet) Keys() []int64 {
+	ks := make([]int64, 0, len(s.set))
+	for k := range s.set {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+// ForEach calls f once per edge with u < v, in unspecified order.
+func (s *EdgeSet) ForEach(f func(u, v int32)) {
+	for k := range s.set {
+		u, v := UnpackEdgeKey(k)
+		f(u, v)
+	}
+}
+
+// ToGraph materializes the edge set as a graph on n vertices.
+func (s *EdgeSet) ToGraph(n int) *Graph {
+	b := NewBuilder(n)
+	for k := range s.set {
+		u, v := UnpackEdgeKey(k)
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// Subset reports whether every edge of s is an edge of g. Spanners must be
+// subgraphs of their input; verification uses this to catch fabricated edges.
+func (s *EdgeSet) Subset(g *Graph) bool {
+	for k := range s.set {
+		u, v := UnpackEdgeKey(k)
+		if !g.HasEdge(u, v) {
+			return false
+		}
+	}
+	return true
+}

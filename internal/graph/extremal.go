@@ -1,0 +1,69 @@
+package graph
+
+import "fmt"
+
+// Extremal high-girth graphs. The paper's size lower bounds (Sect. 1) rest
+// on Erdős's girth conjecture [25,40]: a graph with girth > 2k can have
+// Ω(n^{1+1/k}) edges, and no (α,β)-spanner with α+β < 2k can discard any
+// edge of such a graph. The k = 2 case is unconditional via the incidence
+// graph of a projective plane, generated here.
+
+// ProjectivePlaneIncidence returns the bipartite point–line incidence graph
+// of the projective plane PG(2,q) for a prime q: each side has q²+q+1
+// vertices (points 0..q²+q and lines q²+q+1..2(q²+q+1)-1), every vertex has
+// degree q+1, the number of edges is (q+1)(q²+q+1) = Θ(n^{3/2}), and the
+// girth is exactly 6. Consequently any 3-spanner (indeed any (α,β)-spanner
+// with α+β < 4 applied to an edge's endpoints) must keep every edge.
+func ProjectivePlaneIncidence(q int) (*Graph, error) {
+	if q < 2 || !isPrime(q) {
+		return nil, fmt.Errorf("graph: projective plane order must be a prime >= 2, got %d", q)
+	}
+	// Normalized homogeneous coordinates over F_q: (1,a,b), (0,1,a), (0,0,1).
+	type triple [3]int
+	coords := make([]triple, 0, q*q+q+1)
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			coords = append(coords, triple{1, a, b})
+		}
+	}
+	for a := 0; a < q; a++ {
+		coords = append(coords, triple{0, 1, a})
+	}
+	coords = append(coords, triple{0, 0, 1})
+
+	side := len(coords) // q²+q+1
+	b := NewBuilder(2 * side)
+	for pi, p := range coords {
+		for li, l := range coords {
+			dot := p[0]*l[0] + p[1]*l[1] + p[2]*l[2]
+			if dot%q == 0 {
+				b.AddEdge(int32(pi), int32(side+li))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// PlaneOrderFor returns the largest prime q with 2(q²+q+1) ≤ n, so callers
+// can pick a plane that fits a vertex budget. Returns 0 if none fits.
+func PlaneOrderFor(n int) int {
+	best := 0
+	for q := 2; 2*(q*q+q+1) <= n; q++ {
+		if isPrime(q) {
+			best = q
+		}
+	}
+	return best
+}
+
+func isPrime(x int) bool {
+	if x < 2 {
+		return false
+	}
+	for d := 2; d*d <= x; d++ {
+		if x%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,50 @@
+package graph
+
+import "testing"
+
+func TestProjectivePlaneValidation(t *testing.T) {
+	for _, q := range []int{0, 1, 4, 6, 9} { // non-primes (incl. prime powers)
+		if _, err := ProjectivePlaneIncidence(q); err == nil {
+			t.Fatalf("q=%d must be rejected", q)
+		}
+	}
+}
+
+func TestProjectivePlaneStructure(t *testing.T) {
+	for _, q := range []int{2, 3, 5, 7} {
+		g, err := ProjectivePlaneIncidence(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		side := q*q + q + 1
+		if g.N() != 2*side {
+			t.Fatalf("q=%d: n=%d, want %d", q, g.N(), 2*side)
+		}
+		if g.M() != (q+1)*side {
+			t.Fatalf("q=%d: m=%d, want %d", q, g.M(), (q+1)*side)
+		}
+		for v := int32(0); int(v) < g.N(); v++ {
+			if g.Degree(v) != q+1 {
+				t.Fatalf("q=%d: degree(%d)=%d, want %d", q, v, g.Degree(v), q+1)
+			}
+		}
+		if girth := g.Girth(); girth != 6 {
+			t.Fatalf("q=%d: girth=%d, want 6", q, girth)
+		}
+		if !g.IsConnected() {
+			t.Fatalf("q=%d: incidence graph must be connected", q)
+		}
+	}
+}
+
+func TestPlaneOrderFor(t *testing.T) {
+	if q := PlaneOrderFor(2 * (7*7 + 7 + 1)); q != 7 {
+		t.Fatalf("PlaneOrderFor exact budget = %d, want 7", q)
+	}
+	if q := PlaneOrderFor(10); q != 0 {
+		t.Fatalf("tiny budget should yield 0, got %d", q)
+	}
+	if q := PlaneOrderFor(10000); q < 31 {
+		t.Fatalf("PlaneOrderFor(10000) = %d, expected at least 31", q)
+	}
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets. `go test` runs the seed corpus as regular tests;
+// `go test -fuzz=FuzzReadGraph ./internal/graph` explores further.
+
+// FuzzReadGraph: the parser must never panic and, on success, produce a
+// graph that round-trips through the writer.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("n 0\n")
+	f.Add("# comment\nn 2\n\n0 1\n")
+	f.Add("n 5\n4 4\n0 4\n")
+	f.Add("garbage")
+	f.Add("n 99999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadGraph(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if _, err := g.WriteTo(&sb); err != nil {
+			t.Fatalf("write after successful read: %v", err)
+		}
+		back, err := ReadGraph(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput:\n%s", err, sb.String())
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %v vs %v", g, back)
+		}
+	})
+}
+
+// FuzzEdgeKey: pack/unpack is a bijection on canonical pairs.
+func FuzzEdgeKey(f *testing.F) {
+	f.Add(int32(0), int32(1))
+	f.Add(int32(5), int32(5))
+	f.Add(int32(1<<30), int32(7))
+	f.Fuzz(func(t *testing.T, a, b int32) {
+		if a < 0 || b < 0 {
+			return
+		}
+		u, v := UnpackEdgeKey(EdgeKey(a, b))
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if u != lo || v != hi {
+			t.Fatalf("EdgeKey(%d,%d) unpacked to (%d,%d)", a, b, u, v)
+		}
+	})
+}
+
+// FuzzBuilder: arbitrary in-range edge lists never break CSR invariants.
+func FuzzBuilder(f *testing.F) {
+	f.Add(uint16(4), []byte{0, 1, 1, 2, 3, 3})
+	f.Add(uint16(1), []byte{})
+	f.Fuzz(func(t *testing.T, nRaw uint16, raw []byte) {
+		n := int(nRaw%64) + 1
+		b := NewBuilder(n)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(int32(int(raw[i])%n), int32(int(raw[i+1])%n))
+		}
+		g := b.Build()
+		// CSR invariants: sorted unique neighbor lists, symmetric edges.
+		for v := int32(0); int(v) < n; v++ {
+			ns := g.Neighbors(v)
+			for i := range ns {
+				if i > 0 && ns[i-1] >= ns[i] {
+					t.Fatal("neighbors not strictly sorted")
+				}
+				if !g.HasEdge(ns[i], v) {
+					t.Fatal("asymmetric edge")
+				}
+			}
+		}
+	})
+}

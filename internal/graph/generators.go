@@ -1,0 +1,394 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file holds the workload generators used across the experiments: random
+// graphs for the size/stretch claims, structured graphs (grids, rings, tori,
+// hypercubes) for the distance-stage measurements, and degenerate families
+// (paths, stars, trees) as test edge cases. All random generators take an
+// explicit *rand.Rand so experiments are reproducible from a seed.
+
+// Gnp returns an Erdős–Rényi random graph G(n,p): each of the n(n-1)/2
+// possible edges is present independently with probability p. For small p the
+// generator uses geometric skipping, so the cost is proportional to the
+// number of edges rather than n².
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	if p <= 0 || n < 2 {
+		return b.Build()
+	}
+	if p >= 1 {
+		return Complete(n)
+	}
+	// Skip-based sampling over the linearized strict upper triangle: jump
+	// ahead by Geometric(p) gaps instead of flipping n(n-1)/2 coins. The
+	// row-advance loop below is amortized O(n) over the whole generation.
+	total := int64(n) * int64(n-1) / 2
+	idx := int64(-1)
+	u := int64(0)
+	rowStart := int64(0)
+	rowLen := int64(n - 1)
+	for {
+		idx += geometricGap(p, rng)
+		if idx >= total {
+			break
+		}
+		for idx >= rowStart+rowLen {
+			rowStart += rowLen
+			rowLen--
+			u++
+		}
+		offset := idx - rowStart
+		b.AddEdge(int32(u), int32(u+1+offset))
+	}
+	return b.Build()
+}
+
+// geometricGap samples from the geometric distribution with success
+// probability p (support 1,2,...): the gap to the next sampled edge.
+func geometricGap(p float64, rng *rand.Rand) int64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	g := int64(math.Floor(math.Log(u)/math.Log1p(-p))) + 1
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Gnm returns a uniformly random simple graph with exactly m edges (or the
+// maximum possible if m exceeds it), sampled by rejection.
+func Gnm(n, m int, rng *rand.Rand) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		m = maxM
+	}
+	seen := make(map[int64]struct{}, m)
+	b := NewBuilder(n)
+	for len(seen) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		k := EdgeKey(u, v)
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular graph on n vertices via the
+// configuration model with edge-swap repair (n*d must be even): a random
+// stub pairing is drawn and defective pairs (self-loops and duplicates)
+// are repaired by swapping endpoints with uniformly random other pairs.
+// Unlike restart-based rejection — whose success probability decays as
+// e^{-(d²-1)/4} — the repair loop handles the d values experiments need.
+func RandomRegular(n, d int, rng *rand.Rand) (*Graph, error) {
+	if n*d%2 != 0 {
+		return nil, fmt.Errorf("graph: random regular requires n*d even, got n=%d d=%d", n, d)
+	}
+	if d >= n {
+		return nil, fmt.Errorf("graph: random regular requires d < n, got n=%d d=%d", n, d)
+	}
+	if d == 0 {
+		return NewBuilder(n).Build(), nil
+	}
+	stubs := make([]int32, n*d)
+	for i := range stubs {
+		stubs[i] = int32(i / d)
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	pairs := len(stubs) / 2
+	u := func(i int) int32 { return stubs[2*i] }
+	v := func(i int) int32 { return stubs[2*i+1] }
+	seen := make(map[int64]int, pairs) // edge key -> multiplicity
+	for i := 0; i < pairs; i++ {
+		if u(i) != v(i) {
+			seen[EdgeKey(u(i), v(i))]++
+		}
+	}
+	defective := func(i int) bool {
+		return u(i) == v(i) || seen[EdgeKey(u(i), v(i))] > 1
+	}
+	remove := func(i int) {
+		if u(i) != v(i) {
+			seen[EdgeKey(u(i), v(i))]--
+		}
+	}
+	add := func(i int) {
+		if u(i) != v(i) {
+			seen[EdgeKey(u(i), v(i))]++
+		}
+	}
+	const maxSwaps = 1 << 22
+	for swaps := 0; ; swaps++ {
+		bad := -1
+		for i := 0; i < pairs; i++ {
+			if defective(i) {
+				bad = i
+				break
+			}
+		}
+		if bad == -1 {
+			break
+		}
+		if swaps > maxSwaps {
+			return nil, fmt.Errorf("graph: random regular repair did not converge (n=%d d=%d)", n, d)
+		}
+		j := rng.Intn(pairs)
+		if j == bad {
+			continue
+		}
+		// Swap the second endpoints of pairs bad and j.
+		remove(bad)
+		remove(j)
+		stubs[2*bad+1], stubs[2*j+1] = stubs[2*j+1], stubs[2*bad+1]
+		add(bad)
+		add(j)
+	}
+	b := NewBuilder(n)
+	for i := 0; i < pairs; i++ {
+		b.AddEdge(u(i), v(i))
+	}
+	return b.Build(), nil
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := int32(0); int(u) < n; u++ {
+		for v := u + 1; int(v) < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b}: vertices 0..a-1 on the left side,
+// a..a+b-1 on the right.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a + b)
+	for u := int32(0); int(u) < a; u++ {
+		for v := int32(a); int(v) < a+b; v++ {
+			bl.AddEdge(u, v)
+		}
+	}
+	return bl.Build()
+}
+
+// Path returns the path graph on n vertices (0-1-2-...-n-1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := int32(1); int(v) < n; v++ {
+		b.AddEdge(v-1, v)
+	}
+	return b.Build()
+}
+
+// Ring returns the cycle C_n.
+func Ring(n int) *Graph {
+	b := NewBuilder(n)
+	for v := int32(1); int(v) < n; v++ {
+		b.AddEdge(v-1, v)
+	}
+	if n > 2 {
+		b.AddEdge(int32(n-1), 0)
+	}
+	return b.Build()
+}
+
+// RingWithChords returns C_n plus `chords` uniformly random chord edges — a
+// small-world workload with a wide spread of pairwise distances, used for the
+// Fibonacci distortion-stage measurements.
+func RingWithChords(n, chords int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := int32(1); int(v) < n; v++ {
+		b.AddEdge(v-1, v)
+	}
+	if n > 2 {
+		b.AddEdge(int32(n-1), 0)
+	}
+	for i := 0; i < chords; i++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// Circulant returns the circulant graph C_n(1..w): vertex i is adjacent to
+// i±1, ..., i±w (mod n). It combines high local density (degree 2w) with
+// diameter ⌈n/(2w)⌉ — a workload where a spanner can drop most local edges
+// while pairwise distances span a wide range.
+func Circulant(n, w int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= w && d <= n/2; d++ {
+			b.AddEdge(int32(v), int32((v+d)%n))
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n-1} centered at vertex 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := int32(1); int(v) < n; v++ {
+		b.AddEdge(0, v)
+	}
+	return b.Build()
+}
+
+// Grid returns the w×h grid graph; vertex (x,y) has id y*w+x.
+func Grid(w, h int) *Graph {
+	b := NewBuilder(w * h)
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				b.AddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				b.AddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the w×h torus (grid with wraparound in both dimensions).
+func Torus(w, h int) *Graph {
+	b := NewBuilder(w * h)
+	id := func(x, y int) int32 { return int32(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddEdge(id(x, y), id((x+1)%w, y))
+			b.AddEdge(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d on 2^d vertices.
+func Hypercube(d int) *Graph {
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if u > v {
+				b.AddEdge(int32(v), int32(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer-like attachment: vertex i (i >= 1) attaches to a uniformly
+// random earlier vertex. (Not the uniform distribution over all labeled
+// trees, but a simple connected baseline adequate for tests.)
+func RandomTree(n int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(v), int32(rng.Intn(v)))
+	}
+	return b.Build()
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: vertices
+// arrive one at a time and connect to k existing vertices chosen proportional
+// to degree (approximated by sampling endpoints of existing edges).
+func PreferentialAttachment(n, k int, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	// endpoint multiset: each edge contributes both endpoints, so uniform
+	// sampling from it is degree-proportional.
+	endpoints := make([]int32, 0, 2*n*k)
+	start := k + 1
+	if start > n {
+		start = n
+	}
+	for v := 1; v < start; v++ {
+		b.AddEdge(int32(v), int32(v-1))
+		endpoints = append(endpoints, int32(v), int32(v-1))
+	}
+	for v := start; v < n; v++ {
+		for i := 0; i < k; i++ {
+			var target int32
+			if len(endpoints) == 0 {
+				target = int32(rng.Intn(v))
+			} else {
+				target = endpoints[rng.Intn(len(endpoints))]
+			}
+			if target == int32(v) {
+				continue
+			}
+			b.AddEdge(int32(v), target)
+			endpoints = append(endpoints, int32(v), target)
+		}
+	}
+	return b.Build()
+}
+
+// WattsStrogatz returns a small-world graph: the circulant C_n(1..w) with
+// each edge's far endpoint rewired to a uniform random vertex with
+// probability beta. High clustering with logarithmic diameter — the
+// classical synchronizer-benchmark topology.
+func WattsStrogatz(n, w int, beta float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= w && d <= n/2; d++ {
+			u := int32(v)
+			target := int32((v + d) % n)
+			if rng.Float64() < beta {
+				target = int32(rng.Intn(n))
+			}
+			b.AddEdge(u, target)
+		}
+	}
+	return b.Build()
+}
+
+// Communities returns a planted-partition graph: k equally sized groups
+// with intra-group edge probability pIn and inter-group probability pOut.
+// Skeletons shine here: dense communities compress, sparse cut edges stay.
+func Communities(n, k int, pIn, pOut float64, rng *rand.Rand) *Graph {
+	b := NewBuilder(n)
+	group := func(v int) int { return v * k / n }
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if group(u) == group(v) {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ConnectedGnp returns G(n,p) with a random spanning tree added so the result
+// is connected — the standard workload for spanner experiments, where
+// distortion is only meaningful within a component.
+func ConnectedGnp(n int, p float64, rng *rand.Rand) *Graph {
+	g := Gnp(n, p, rng)
+	b := NewBuilder(n)
+	g.ForEachEdge(b.AddEdge)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(int32(perm[i]), int32(perm[rng.Intn(i)]))
+	}
+	return b.Build()
+}

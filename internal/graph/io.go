@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Plain-text edge-list serialization, the lingua franca of graph tooling:
+//
+//	# comment lines allowed
+//	n <vertexCount>
+//	<u> <v>
+//	...
+//
+// Vertices are 0-based. WriteTo emits edges with u < v in sorted order so
+// output is canonical; ReadGraph accepts any order and duplicates.
+
+// MaxReadVertices caps the vertex count ReadGraph accepts, so a corrupt or
+// hostile header cannot force a giant allocation (found by fuzzing).
+const MaxReadVertices = 1 << 24
+
+// WriteTo serializes g in the edge-list format. It returns the number of
+// bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	count := func(n int, err error) error {
+		total += int64(n)
+		return err
+	}
+	if err := count(fmt.Fprintf(bw, "n %d\n", g.N())); err != nil {
+		return total, err
+	}
+	var loopErr error
+	g.ForEachEdge(func(u, v int32) {
+		if loopErr != nil {
+			return
+		}
+		loopErr = count(fmt.Fprintf(bw, "%d %d\n", u, v))
+	})
+	if loopErr != nil {
+		return total, loopErr
+	}
+	return total, bw.Flush()
+}
+
+// ReadGraph parses the edge-list format.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if b == nil {
+			if len(fields) != 2 || fields[0] != "n" {
+				return nil, fmt.Errorf("graph: line %d: expected header \"n <count>\", got %q", line, text)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 || n > MaxReadVertices {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count %q (limit %d)", line, fields[1], MaxReadVertices)
+			}
+			b = NewBuilder(n)
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: expected \"u v\", got %q", line, text)
+		}
+		u, err1 := strconv.ParseInt(fields[0], 10, 32)
+		v, err2 := strconv.ParseInt(fields[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("graph: line %d: bad endpoints %q", line, text)
+		}
+		if u < 0 || v < 0 || int(u) >= b.N() || int(v) >= b.N() {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range [0,%d)", line, u, v, b.N())
+		}
+		b.AddEdge(int32(u), int32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input (missing \"n <count>\" header)")
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeSetTo serializes an edge set in the same format (with the given
+// vertex count in the header), so spanners can be saved and reloaded.
+func WriteEdgeSetTo(w io.Writer, n int, s *EdgeSet) (int64, error) {
+	return s.ToGraph(n).WriteTo(w)
+}

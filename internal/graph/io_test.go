@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, g := range []*Graph{
+		Gnp(80, 0.08, rng),
+		Complete(5),
+		NewBuilder(7).Build(), // edgeless
+		Path(3),
+	} {
+		var sb strings.Builder
+		if _, err := g.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadGraph(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.N() != g.N() || back.M() != g.M() {
+			t.Fatalf("round trip changed shape: %v -> %v", g, back)
+		}
+		g.ForEachEdge(func(u, v int32) {
+			if !back.HasEdge(u, v) {
+				t.Fatalf("edge (%d,%d) lost in round trip", u, v)
+			}
+		})
+	}
+}
+
+func TestReadGraphTolerance(t *testing.T) {
+	in := `
+# a comment
+n 4
+
+0 1
+1 0
+2 3
+`
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := []string{
+		"",                 // empty
+		"0 1\n",            // missing header
+		"n x\n",            // bad count
+		"n -3\n",           // negative count
+		"n 3\n0\n",         // short edge line
+		"n 3\n0 9\n",       // out of range
+		"n 3\nzero one\n",  // non-numeric
+		"m 3\n",            // wrong header keyword
+		"n 2 extra\n0 1\n", // malformed header
+	}
+	for _, in := range cases {
+		if _, err := ReadGraph(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q should fail", in)
+		}
+	}
+}
+
+func TestWriteEdgeSetTo(t *testing.T) {
+	s := NewEdgeSet(2)
+	s.Add(0, 2)
+	s.Add(1, 2)
+	var sb strings.Builder
+	if _, err := WriteEdgeSetTo(&sb, 4, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGraph(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 4 || back.M() != 2 || !back.HasEdge(0, 2) {
+		t.Fatalf("edge set round trip wrong: %v", back)
+	}
+}
+
+func TestWriteCanonicalOrder(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{3, 2}, {1, 0}})
+	var a, b strings.Builder
+	if _, err := g.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("output not canonical")
+	}
+	if !strings.Contains(a.String(), "0 1\n2 3\n") {
+		t.Fatalf("unexpected order:\n%s", a.String())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	s := NewEdgeSet(1)
+	s.Add(0, 1)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, "", s); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph \"G\"", "0 -- 1 [penwidth=2];", "1 -- 2 [color=gray];", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	var plain strings.Builder
+	if err := g.WriteDOT(&plain, "p3", nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "penwidth") {
+		t.Fatal("nil highlight should not style edges")
+	}
+}

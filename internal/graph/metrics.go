@@ -1,0 +1,163 @@
+package graph
+
+// Structural metrics: components, diameter, girth. These feed both the
+// verification layer (a spanner must preserve connectivity) and the
+// experiment harness (the lower-bound fixture's diameter appears in
+// Theorem 3's statement).
+
+// ConnectedComponents labels each vertex with a component id in [0,k) and
+// returns the labels together with the number of components k.
+func (g *Graph) ConnectedComponents() (label []int32, count int) {
+	n := g.N()
+	label = make([]int32, n)
+	for i := range label {
+		label[i] = Unreachable
+	}
+	queue := make([]int32, 0, n)
+	for s := int32(0); int(s) < n; s++ {
+		if label[s] != Unreachable {
+			continue
+		}
+		id := int32(count)
+		count++
+		label[s] = id
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range g.Neighbors(u) {
+				if label[v] == Unreachable {
+					label[v] = id
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return label, count
+}
+
+// IsConnected reports whether the graph has at most one connected component.
+func (g *Graph) IsConnected() bool {
+	_, k := g.ConnectedComponents()
+	return k <= 1
+}
+
+// SameComponents reports whether h partitions the vertex set into the same
+// connected components as g (h must have the same vertex count). This is the
+// correctness condition for a skeleton: it may stretch distances but must
+// never disconnect vertices that g connects.
+func SameComponents(g, h *Graph) bool {
+	if g.N() != h.N() {
+		return false
+	}
+	lg, _ := g.ConnectedComponents()
+	lh, _ := h.ConnectedComponents()
+	// Components of h refine components of g when h ⊆ g; equality holds iff
+	// the refinement is trivial in both directions.
+	repGH := make(map[int32]int32)
+	repHG := make(map[int32]int32)
+	for v := range lg {
+		if r, ok := repGH[lg[v]]; ok && r != lh[v] {
+			return false
+		}
+		repGH[lg[v]] = lh[v]
+		if r, ok := repHG[lh[v]]; ok && r != lg[v] {
+			return false
+		}
+		repHG[lh[v]] = lg[v]
+	}
+	return true
+}
+
+// Eccentricity returns the largest finite distance from v.
+func (g *Graph) Eccentricity(v int32) int32 {
+	dist := g.BFS(v)
+	var ecc int32
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter computes the exact diameter (largest pairwise distance within a
+// component) by running a BFS from every vertex. Intended for the small
+// graphs used in tests; use ApproxDiameter for experiment-scale graphs.
+func (g *Graph) Diameter() int32 {
+	var diam int32
+	for v := int32(0); int(v) < g.N(); v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// ApproxDiameter lower-bounds the diameter with the standard double-sweep
+// heuristic (exact on trees): BFS from v0, then BFS from the farthest vertex
+// found.
+func (g *Graph) ApproxDiameter() int32 {
+	if g.N() == 0 {
+		return 0
+	}
+	dist := g.BFS(0)
+	far := int32(0)
+	for v, d := range dist {
+		if d > dist[far] {
+			far = int32(v)
+		}
+	}
+	return g.Eccentricity(far)
+}
+
+// Girth returns the length of the shortest cycle, or Unreachable for a
+// forest. It runs a truncated BFS from each vertex and detects the first
+// cross/back edge, an O(n·m) method adequate for test-sized graphs.
+func (g *Graph) Girth() int32 {
+	best := Unreachable
+	n := g.N()
+	dist := make([]int32, n)
+	parentEdge := make([]int32, n)
+	for src := int32(0); int(src) < n; src++ {
+		for i := range dist {
+			dist[i] = Unreachable
+		}
+		dist[src] = 0
+		parentEdge[src] = -1
+		queue := []int32{src}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			if best != Unreachable && 2*dist[u] >= best {
+				break
+			}
+			for _, v := range g.Neighbors(u) {
+				if v == parentEdge[u] {
+					continue
+				}
+				if dist[v] == Unreachable {
+					dist[v] = dist[u] + 1
+					parentEdge[v] = u
+					queue = append(queue, v)
+					continue
+				}
+				// Cycle through u and v. Its length is at least
+				// dist[u]+dist[v]+1; for BFS this bound is tight enough to
+				// compute the girth when minimized over all sources.
+				cyc := dist[u] + dist[v] + 1
+				if best == Unreachable || cyc < best {
+					best = cyc
+				}
+			}
+		}
+	}
+	return best
+}
+
+// DegreeHistogram returns counts[d] = number of vertices of degree d.
+func (g *Graph) DegreeHistogram() []int {
+	counts := make([]int, g.MaxDegree()+1)
+	for v := int32(0); int(v) < g.N(); v++ {
+		counts[g.Degree(v)]++
+	}
+	return counts
+}

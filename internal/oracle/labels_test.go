@@ -1,0 +1,100 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func TestLabelsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGnp(150, 0.06, rng)
+	o, err := New(g, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]*Label, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		labels[v] = o.Label(v)
+	}
+	for u := int32(0); int(u) < g.N(); u += 3 {
+		for v := int32(0); int(v) < g.N(); v += 7 {
+			want := o.Query(u, v)
+			got := QueryLabels(labels[u], labels[v])
+			if got != want {
+				t.Fatalf("QueryLabels(%d,%d) = %d, oracle says %d", u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestLabelStretchBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k := 2
+	g := graph.ConnectedGnp(120, 0.08, rng)
+	o, err := New(g, k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([]*Label, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		labels[v] = o.Label(v)
+	}
+	for u := int32(0); int(u) < g.N(); u += 5 {
+		dist := g.BFS(u)
+		for v := int32(0); int(v) < g.N(); v++ {
+			if dist[v] < 1 {
+				continue
+			}
+			got := QueryLabels(labels[u], labels[v])
+			if got < dist[v] || got > int32(2*k-1)*dist[v] {
+				t.Fatalf("label query (%d,%d) = %d outside [δ, (2k-1)δ], δ=%d", u, v, got, dist[v])
+			}
+		}
+	}
+}
+
+func TestLabelSizeNearTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ConnectedGnp(2000, 0.01, rng)
+	k := 3
+	o, err := New(g, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(g.N())
+	total := 0
+	for v := int32(0); int(v) < g.N(); v++ {
+		total += o.Label(v).Size()
+	}
+	avg := float64(total) / n
+	// E[label size] = k + O(k·n^{1/k}); allow generous constant.
+	bound := 6 * float64(k) * math.Pow(n, 1/float64(k))
+	if avg > bound {
+		t.Fatalf("avg label size %v above O(k·n^{1/k}) = %v", avg, bound)
+	}
+}
+
+func TestLabelSelfContained(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.ConnectedGnp(60, 0.1, rng)
+	o, err := New(g, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := o.Label(3)
+	want := QueryLabels(l, o.Label(7))
+	// Mutating the extracted label's bunch must not affect the oracle.
+	for w := range l.Bunch {
+		l.Bunch[w] = 999
+	}
+	fresh := o.Label(3)
+	if got := QueryLabels(fresh, o.Label(7)); got != want {
+		t.Fatal("oracle state corrupted by label mutation")
+	}
+	if QueryLabels(l, l) != 0 {
+		t.Fatal("identity label query must be 0")
+	}
+}

@@ -1,0 +1,188 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(graph.Path(3), 0, 1); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	o, err := New(graph.Complete(0), 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 0 {
+		t.Fatal("empty oracle should have no entries")
+	}
+}
+
+func TestExactForK1(t *testing.T) {
+	// k=1 stores every pairwise distance (bunch of every vertex = V).
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGnp(60, 0.1, rng)
+	o, err := New(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := int32(0); int(u) < g.N(); u++ {
+		dist := g.BFS(u)
+		for v := int32(0); int(v) < g.N(); v++ {
+			if got := o.Query(u, v); got != dist[v] {
+				t.Fatalf("k=1 Query(%d,%d) = %d, want exact %d", u, v, got, dist[v])
+			}
+		}
+	}
+}
+
+func TestStretchBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, k := range []int{2, 3, 4} {
+		for seed := int64(0); seed < 3; seed++ {
+			g := graph.ConnectedGnp(150, 0.06, rng)
+			o, err := New(g, k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := int32(0); int(u) < g.N(); u += 5 {
+				dist := g.BFS(u)
+				for v := int32(0); int(v) < g.N(); v++ {
+					if dist[v] < 1 {
+						continue
+					}
+					got := o.Query(u, v)
+					if got == graph.Unreachable {
+						t.Fatalf("k=%d: Query(%d,%d) unreachable but δ=%d", k, u, v, dist[v])
+					}
+					if got < dist[v] {
+						t.Fatalf("k=%d: Query(%d,%d) = %d below true distance %d", k, u, v, got, dist[v])
+					}
+					if float64(got) > float64(2*k-1)*float64(dist[v]) {
+						t.Fatalf("k=%d: Query(%d,%d) = %d exceeds (2k-1)·δ = %d",
+							k, u, v, got, (2*k-1)*int(dist[v]))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuerySymmetryAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.ConnectedGnp(100, 0.08, rng)
+	o, err := New(g, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Query(5, 5) != 0 {
+		t.Fatal("identity query must be 0")
+	}
+	// TZ queries are not guaranteed symmetric in general implementations,
+	// but both directions must obey the stretch bound.
+	d := g.Dist(3, 77)
+	for _, pair := range [][2]int32{{3, 77}, {77, 3}} {
+		got := o.Query(pair[0], pair[1])
+		if got < d || float64(got) > 5*float64(d) {
+			t.Fatalf("Query(%d,%d) = %d out of [δ, 5δ] with δ=%d", pair[0], pair[1], got, d)
+		}
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	b := graph.NewBuilder(20)
+	for v := int32(1); v < 10; v++ {
+		b.AddEdge(v-1, v)
+	}
+	for v := int32(11); v < 20; v++ {
+		b.AddEdge(v-1, v)
+	}
+	g := b.Build()
+	o, err := New(g, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Query(0, 15); got != graph.Unreachable {
+		t.Fatalf("cross-component query = %d, want unreachable", got)
+	}
+	if got := o.Query(0, 9); got == graph.Unreachable {
+		t.Fatal("in-component query must succeed")
+	}
+}
+
+func TestSpaceNearTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGnp(2000, 0.01, rng)
+	n := float64(g.N())
+	for _, k := range []int{2, 3} {
+		var total int
+		const runs = 3
+		for seed := int64(0); seed < runs; seed++ {
+			o, err := New(g, k, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += o.Size()
+		}
+		avg := float64(total) / runs
+		bound := 4 * float64(k) * math.Pow(n, 1+1/float64(k))
+		if avg > bound {
+			t.Fatalf("k=%d: %v bunch entries above O(k·n^{1+1/k}) = %v", k, avg, bound)
+		}
+	}
+}
+
+func TestOracleSpannerIsValidSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedGnp(200, 0.06, rng)
+	k := 3
+	o, err := New(g, k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := o.Spanner()
+	if !s.Subset(g) {
+		t.Fatal("oracle spanner not a subgraph")
+	}
+	sg := s.ToGraph(g.N())
+	if !graph.SameComponents(g, sg) {
+		t.Fatal("oracle spanner disconnects")
+	}
+	// The union of trees and bunch paths supports the query answers, so
+	// spanner distances are bounded by the oracle estimates (≤ (2k−1)δ).
+	for u := int32(0); int(u) < g.N(); u += 11 {
+		dg := g.BFS(u)
+		ds := sg.BFS(u)
+		for v := int32(0); int(v) < g.N(); v++ {
+			if dg[v] < 1 {
+				continue
+			}
+			if float64(ds[v]) > float64(2*k-1)*float64(dg[v]) {
+				t.Fatalf("spanner stretch %d/%d above 2k-1", ds[v], dg[v])
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ConnectedGnp(100, 0.08, rng)
+	a, _ := New(g, 3, 9)
+	b, _ := New(g, 3, 9)
+	if a.Size() != b.Size() {
+		t.Fatal("same seed produced different oracles")
+	}
+	for u := int32(0); u < 100; u += 7 {
+		for v := int32(0); v < 100; v += 5 {
+			if a.Query(u, v) != b.Query(u, v) {
+				t.Fatal("same seed answers differ")
+			}
+		}
+	}
+}

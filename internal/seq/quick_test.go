@@ -1,0 +1,69 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickXBoundMonotone: X^t_p grows with t and shrinks with p — the
+// shape the Lemma 6 summation argument depends on.
+func TestQuickXBoundMonotone(t *testing.T) {
+	f := func(pRaw, tRaw uint8) bool {
+		p := 0.05 + float64(pRaw%90)/100
+		steps := int(tRaw%20) + 1
+		if XBound(p, steps+1) < XBound(p, steps) {
+			return false
+		}
+		return XBound(p/2, steps) >= XBound(p, steps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTowerMonotone: the tower sequence is nondecreasing in i and D.
+func TestQuickTowerMonotone(t *testing.T) {
+	f := func(dRaw, iRaw uint8) bool {
+		d := int64(dRaw%12) + 4
+		i := int(iRaw % 6)
+		if Tower(d, i+1) < Tower(d, i) {
+			return false
+		}
+		return Tower(d+1, i) >= Tower(d, i)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLogStarContract: log* decreases by exactly one under log2 (for
+// x > 1), the defining recurrence.
+func TestQuickLogStarContract(t *testing.T) {
+	f := func(xRaw uint16) bool {
+		x := 2 + float64(xRaw)
+		return LogStar(x) == 1+LogStar(math.Log2(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSkeletonBoundsMonotone: size bound grows with n and D;
+// distortion bound shrinks with D.
+func TestQuickSkeletonBoundsMonotone(t *testing.T) {
+	f := func(nRaw uint16, dRaw uint8) bool {
+		n := int(nRaw%5000) + 10
+		d := float64(dRaw%28) + 4
+		if SkeletonSizeBound(2*n, d) <= SkeletonSizeBound(n, d) {
+			return false
+		}
+		if SkeletonSizeBound(n, d+1) <= SkeletonSizeBound(n, d) {
+			return false
+		}
+		return SkeletonDistortionBound(1<<20, d+4) <= SkeletonDistortionBound(1<<20, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+// Package seq implements the number-theoretic scaffolding of the paper: the
+// tower growth sequence s_i of Section 2 (Lemma 1), iterated logarithms and
+// log*, the Fibonacci machinery of Section 4 (Lemma 8), and the per-vertex
+// edge-contribution bound X^t_p of Lemma 6.
+package seq
+
+import "math"
+
+// Phi is the golden ratio (1+√5)/2, the exponent φ in the Fibonacci spanner
+// size bound O(n(ε⁻¹ log log n)^φ).
+const Phi = 1.6180339887498948482
+
+// Zeta is the constant ζ = ln 2 − 1/e ≈ 0.325 from Lemma 6's bound
+// X^t_p ≤ p⁻¹(ln(t+1) − ζ) + t.
+const Zeta = math.Ln2 - 1/math.E
+
+// TowerCap is the saturation value for the tower sequence. s_i grows as an
+// exponential tower (s₂ = D^D, s₃ = s₂^s₂, ...), so any value beyond the
+// number of vertices is equivalent for the algorithm; we saturate well above
+// any feasible n.
+const TowerCap = int64(1) << 62
+
+// Tower returns the sequence value s_i for parameter D, saturating at
+// TowerCap: s₀ = s₁ = D and s_i = s_{i-1}^{s_{i-1}} for i ≥ 2.
+func Tower(d int64, i int) int64 {
+	if i <= 1 {
+		return d
+	}
+	s := d
+	for k := 2; k <= i; k++ {
+		s = satPow(s, s)
+		if s >= TowerCap {
+			return TowerCap
+		}
+	}
+	return s
+}
+
+// TowerSeq returns s₀..s_k for as long as the values stay below limit; the
+// last returned value is the first to reach or exceed limit (saturated).
+// This is the prefix of the schedule an n-vertex run can ever touch.
+func TowerSeq(d, limit int64) []int64 {
+	seq := []int64{d, d}
+	for seq[len(seq)-1] < limit {
+		next := satPow(seq[len(seq)-1], seq[len(seq)-1])
+		seq = append(seq, next)
+	}
+	return seq
+}
+
+// satPow computes base^exp with saturation at TowerCap.
+func satPow(base, exp int64) int64 {
+	if base <= 1 {
+		return base
+	}
+	result := int64(1)
+	for i := int64(0); i < exp; i++ {
+		if result > TowerCap/base {
+			return TowerCap
+		}
+		result *= base
+	}
+	return result
+}
+
+// LogStar returns log*₂(x): the number of times log₂ must be iterated before
+// the value drops to at most 1. LogStar(1) = 0, LogStar(2) = 1,
+// LogStar(4) = 2, LogStar(16) = 3, LogStar(65536) = 4.
+func LogStar(x float64) int {
+	count := 0
+	for x > 1 {
+		x = math.Log2(x)
+		count++
+	}
+	return count
+}
+
+// IterLog returns log₂ applied i times to x (log^(i) in the paper's
+// "D ≥ log^(i) n" condition of Theorem 2).
+func IterLog(x float64, i int) float64 {
+	for ; i > 0; i-- {
+		x = math.Log2(x)
+	}
+	return x
+}
+
+// Fib returns the k-th Fibonacci number: F₀ = 0, F₁ = 1, F_k = F_{k-1}+F_{k-2}.
+// Saturates at math.MaxInt64 rather than overflowing (k ≤ 91 is exact).
+func Fib(k int) int64 {
+	if k < 0 {
+		return 0
+	}
+	a, b := int64(0), int64(1)
+	for i := 0; i < k; i++ {
+		next := a + b
+		if next < b { // overflow
+			return math.MaxInt64
+		}
+		a, b = b, next
+	}
+	return a
+}
+
+// FibF returns the exponent f_i = F_{i+2} − 1 of Lemma 8 (f₀ = 0, f₁ = 1,
+// f_i = f_{i-1} + f_{i-2} + 1).
+func FibF(i int) int64 { return Fib(i+2) - 1 }
+
+// FibH returns the exponent h_i = F_{i+3} − (i+2) of Lemma 8 (h₀ = h₁ = 0,
+// h_i = h_{i-1} + h_{i-2} + (i−1)).
+func FibH(i int) int64 { return Fib(i+3) - int64(i) - 2 }
+
+// MaxOrder returns the largest admissible Fibonacci spanner order for an
+// n-vertex graph, ⌊log_φ log n⌋ (Sect. 4.1), at least 1.
+func MaxOrder(n int) int {
+	if n < 4 {
+		return 1
+	}
+	o := int(math.Floor(math.Log(math.Log2(float64(n))) / math.Log(Phi)))
+	if o < 1 {
+		o = 1
+	}
+	return o
+}
+
+// XBound returns Lemma 6's inductive bound on the worst-case expected number
+// of spanner edges a single vertex contributes across t calls to Expand with
+// sampling probability p: X^t_p ≤ p⁻¹(ln(t+1) − ζ) + t, for t ≥ 1. For t = 0
+// the contribution is 0.
+func XBound(p float64, t int) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return (math.Log(float64(t+1))-Zeta)/p + float64(t)
+}
+
+// SkeletonSizeBound returns the Lemma 6 expected-size bound for the whole
+// linear-size spanner in closed form:
+// n·(D/e + 1 − 2/e + (1 + 1/D)(ln(D+2) − ζ + 1) + (ln D + 0.2)/D).
+func SkeletonSizeBound(n int, d float64) float64 {
+	return float64(n) * (d/math.E + 1 - 2/math.E +
+		(1+1/d)*(math.Log(d+2)-Zeta+1) + (math.Log(d)+0.2)/d)
+}
+
+// SkeletonDistortionBound returns Lemma 5's distortion bound
+// 3·2^{log* n − log* D + 1}·log_D n for the all-rounds variant of the
+// algorithm (the fixed-schedule analysis; Theorem 2's message-limited variant
+// carries an extra κ⁻¹·2⁶ factor).
+func SkeletonDistortionBound(n int, d float64) float64 {
+	exp := LogStar(float64(n)) - LogStar(d) + 1
+	return 3 * math.Pow(2, float64(exp)) * math.Log(float64(n)) / math.Log(d)
+}

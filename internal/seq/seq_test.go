@@ -1,0 +1,321 @@
+package seq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTowerBase(t *testing.T) {
+	if Tower(4, 0) != 4 || Tower(4, 1) != 4 {
+		t.Fatal("s0 = s1 = D violated")
+	}
+	if Tower(4, 2) != 256 {
+		t.Fatalf("s2 = %d, want 4^4 = 256", Tower(4, 2))
+	}
+	if Tower(4, 3) != TowerCap {
+		t.Fatal("s3 for D=4 should saturate (256^256)")
+	}
+	if Tower(5, 2) != 3125 {
+		t.Fatalf("s2 = %d, want 5^5 = 3125", Tower(5, 2))
+	}
+}
+
+func TestTowerSeq(t *testing.T) {
+	s := TowerSeq(4, 1<<20)
+	// 4, 4, 256, sat — the last element must be the first ≥ limit.
+	if len(s) != 4 || s[0] != 4 || s[1] != 4 || s[2] != 256 {
+		t.Fatalf("TowerSeq = %v", s)
+	}
+	if s[3] < 1<<20 {
+		t.Fatal("final element must reach the limit")
+	}
+	for _, v := range s[:3] {
+		if v >= 1<<20 {
+			t.Fatal("non-final element exceeds limit")
+		}
+	}
+}
+
+// TestLemma1Part1 checks L ≤ log* n − log* D + 1 where n = s₁²···s²_{L-1}·s_L.
+func TestLemma1Part1(t *testing.T) {
+	for _, d := range []int64{4, 5, 8, 16} {
+		// Build n from the first few sequence values while staying in range.
+		s := []int64{Tower(d, 1), Tower(d, 2)}
+		for L := 2; L <= len(s); L++ {
+			n := float64(1)
+			for i := 1; i < L; i++ {
+				n *= float64(s[i-1]) * float64(s[i-1])
+			}
+			n *= float64(s[L-1])
+			bound := LogStar(n) - LogStar(float64(d)) + 1
+			if L > bound {
+				t.Fatalf("D=%d L=%d exceeds Lemma 1(1) bound %d (n=%g)", d, L, bound, n)
+			}
+		}
+	}
+}
+
+// TestLemma1Part2 checks log_b s_i = s₁···s_{i-1}·log_b D for all reachable i.
+func TestLemma1Part2(t *testing.T) {
+	for _, d := range []int64{4, 5, 7} {
+		prod := 1.0
+		for i := 1; i <= 2; i++ { // i=3 saturates for all d ≥ 4
+			si := Tower(d, i)
+			want := prod * math.Log2(float64(d))
+			got := math.Log2(float64(si))
+			if math.Abs(got-want) > 1e-9*want {
+				t.Fatalf("D=%d i=%d: log s_i = %v, want %v", d, i, got, want)
+			}
+			prod *= float64(si)
+		}
+	}
+}
+
+// TestLemma1Part3 checks s_i ≥ 2^{i+1}·s₁···s_{i-1}.
+func TestLemma1Part3(t *testing.T) {
+	for _, d := range []int64{4, 6, 11} {
+		prod := int64(1)
+		for i := 1; i <= 2; i++ {
+			si := Tower(d, i)
+			want := (int64(1) << uint(i+1)) * prod
+			if si < want {
+				t.Fatalf("D=%d i=%d: s_i = %d < %d", d, i, si, want)
+			}
+			prod *= si
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want int
+	}{
+		{1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4}, {0.5, 0}, {3, 2}, {1e9, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.x); got != tt.want {
+			t.Fatalf("LogStar(%v) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestIterLog(t *testing.T) {
+	if got := IterLog(65536, 0); got != 65536 {
+		t.Fatalf("IterLog^0 = %v", got)
+	}
+	if got := IterLog(65536, 1); got != 16 {
+		t.Fatalf("IterLog^1 = %v", got)
+	}
+	if got := IterLog(65536, 2); got != 4 {
+		t.Fatalf("IterLog^2 = %v", got)
+	}
+}
+
+func TestFib(t *testing.T) {
+	want := []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89}
+	for k, w := range want {
+		if got := Fib(k); got != w {
+			t.Fatalf("Fib(%d) = %d, want %d", k, got, w)
+		}
+	}
+	if Fib(-3) != 0 {
+		t.Fatal("negative index should be 0")
+	}
+	if Fib(200) != math.MaxInt64 {
+		t.Fatal("expected saturation for huge k")
+	}
+}
+
+// TestFibClosedForm spot-checks F_k = (φ^k − (1−φ)^k)/√5.
+func TestFibClosedForm(t *testing.T) {
+	for k := 0; k <= 40; k++ {
+		want := (math.Pow(Phi, float64(k)) - math.Pow(1-Phi, float64(k))) / math.Sqrt(5)
+		if math.Abs(float64(Fib(k))-want) > 0.5 {
+			t.Fatalf("Fib(%d) = %d, closed form %v", k, Fib(k), want)
+		}
+	}
+}
+
+// TestFibPhiInequality checks the only Fibonacci property the paper uses:
+// φ·F_k + 1 > F_{k+1} (for k ≥ 1).
+func TestFibPhiInequality(t *testing.T) {
+	for k := 1; k <= 60; k++ {
+		if Phi*float64(Fib(k))+1 <= float64(Fib(k+1)) {
+			t.Fatalf("φF_%d + 1 = %v not > F_%d = %d", k, Phi*float64(Fib(k))+1, k+1, Fib(k+1))
+		}
+	}
+}
+
+// TestFibFRecurrence checks f₀=0, f₁=1, f_i = f_{i-1} + f_{i-2} + 1 and the
+// closed form f_i = F_{i+2} − 1 agree (Lemma 8).
+func TestFibFRecurrence(t *testing.T) {
+	if FibF(0) != 0 || FibF(1) != 1 {
+		t.Fatalf("f0=%d f1=%d", FibF(0), FibF(1))
+	}
+	for i := 2; i <= 40; i++ {
+		if FibF(i) != FibF(i-1)+FibF(i-2)+1 {
+			t.Fatalf("f recurrence fails at i=%d", i)
+		}
+	}
+}
+
+// TestFibHRecurrence checks h₀=h₁=0, h_i = h_{i-1} + h_{i-2} + (i−1) and the
+// closed form h_i = F_{i+3} − (i+2) agree (Lemma 8).
+func TestFibHRecurrence(t *testing.T) {
+	if FibH(0) != 0 || FibH(1) != 0 {
+		t.Fatalf("h0=%d h1=%d", FibH(0), FibH(1))
+	}
+	for i := 2; i <= 40; i++ {
+		if FibH(i) != FibH(i-1)+FibH(i-2)+int64(i-1) {
+			t.Fatalf("h recurrence fails at i=%d", i)
+		}
+	}
+}
+
+func TestMaxOrder(t *testing.T) {
+	if MaxOrder(2) != 1 {
+		t.Fatal("tiny n should clamp to 1")
+	}
+	// log2(1e6) ≈ 19.9, log_φ(19.9) ≈ 6.2 → 6
+	if got := MaxOrder(1_000_000); got != 6 {
+		t.Fatalf("MaxOrder(1e6) = %d, want 6", got)
+	}
+	// Monotone nondecreasing in n.
+	prev := 0
+	for _, n := range []int{4, 16, 256, 65536, 1 << 24} {
+		o := MaxOrder(n)
+		if o < prev {
+			t.Fatalf("MaxOrder not monotone at n=%d", n)
+		}
+		prev = o
+	}
+}
+
+func TestXBoundBasics(t *testing.T) {
+	if XBound(0.5, 0) != 0 {
+		t.Fatal("X^0 should be 0")
+	}
+	// X¹_p = (1−p) + (q−1)(1−p)^{q+1} maximized over q must be below the bound.
+	for _, p := range []float64{0.1, 0.25, 0.5} {
+		worst := 0.0
+		for q := 0; q < 200; q++ {
+			v := (1 - p) + float64(q-1)*math.Pow(1-p, float64(q+1))
+			if v > worst {
+				worst = v
+			}
+		}
+		if worst > XBound(p, 1)+1e-9 {
+			t.Fatalf("p=%v: exact X¹=%v exceeds bound %v", p, worst, XBound(p, 1))
+		}
+	}
+}
+
+// TestXBoundByRecurrence evaluates the exact recurrence (2) from Lemma 6
+// by maximizing over q at each step and checks it never exceeds XBound.
+func TestXBoundByRecurrence(t *testing.T) {
+	for _, p := range []float64{0.1, 0.2, 1.0 / 3, 0.5} {
+		x := 0.0
+		for step := 1; step <= 30; step++ {
+			best := math.Inf(-1)
+			// The maximizer is near q ≈ x + 1/p; scan a safe window.
+			limit := int(x+4/p) + 20
+			for q := 0; q <= limit; q++ {
+				v := x + (1 - p) + (float64(q)-1-x)*math.Pow(1-p, float64(q+1))
+				if v > best {
+					best = v
+				}
+			}
+			x = best
+			if bound := XBound(p, step); x > bound+1e-9 {
+				t.Fatalf("p=%v t=%d: exact X=%v exceeds Lemma 6 bound %v", p, step, x, bound)
+			}
+		}
+	}
+}
+
+// TestXBoundMonteCarlo simulates the Expand edge-contribution process for a
+// vertex against adversarial q sequences and checks the empirical mean stays
+// below the analytic bound.
+func TestXBoundMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := 0.25
+	tSteps := 6
+	// Adversarial-ish q: near the maximizer 1/p + ln t / p.
+	qs := make([]int, tSteps)
+	for i := range qs {
+		qs[i] = int(1/p) + i + 2
+	}
+	const trials = 60000
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		for _, q := range qs {
+			// C0 plus q neighbors, each sampled independently with prob p.
+			c0 := rng.Float64() < p
+			sampledNeighbor := false
+			for j := 0; j < q; j++ {
+				if rng.Float64() < p {
+					sampledNeighbor = true
+				}
+			}
+			switch {
+			case c0:
+				// survives, contributes 0
+			case sampledNeighbor:
+				total++ // joins: 1 edge
+			default:
+				total += float64(q) // dies: q edges
+			}
+			if !c0 && !sampledNeighbor {
+				break // dead: no further contribution
+			}
+		}
+	}
+	mean := total / trials
+	if bound := XBound(p, tSteps); mean > bound {
+		t.Fatalf("Monte Carlo mean %v exceeds bound %v", mean, bound)
+	}
+}
+
+func TestSkeletonSizeBoundShape(t *testing.T) {
+	// The bound is Θ(D) in D and linear in n.
+	b1 := SkeletonSizeBound(1000, 4)
+	b2 := SkeletonSizeBound(2000, 4)
+	if math.Abs(b2-2*b1) > 1e-6 {
+		t.Fatal("size bound must be linear in n")
+	}
+	if SkeletonSizeBound(1000, 16) <= SkeletonSizeBound(1000, 4) {
+		t.Fatal("size bound must grow with D")
+	}
+	// Sanity: close to n(D/e + ln D) for moderate D.
+	d := 8.0
+	approx := 1000 * (d/math.E + math.Log(d))
+	if got := SkeletonSizeBound(1000, d); got < approx || got > 4*approx {
+		t.Fatalf("bound %v implausible vs approx %v", got, approx)
+	}
+}
+
+func TestSkeletonDistortionBoundShape(t *testing.T) {
+	// Increasing D decreases distortion; increasing n increases it.
+	if SkeletonDistortionBound(1<<20, 16) >= SkeletonDistortionBound(1<<20, 4) {
+		t.Fatal("distortion should shrink with D")
+	}
+	if SkeletonDistortionBound(1<<24, 4) <= SkeletonDistortionBound(1<<10, 4) {
+		t.Fatal("distortion should grow with n")
+	}
+}
+
+func TestSatPowGuard(t *testing.T) {
+	if satPow(1, 100) != 1 || satPow(0, 5) != 0 {
+		t.Fatal("satPow must handle base <= 1")
+	}
+	f := func(b uint8) bool {
+		base := int64(b%20) + 2
+		return satPow(base, 1) == base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package stream implements an online (2k−1)-spanner for edge streams, the
+// model of the paper's related work (Sect. 1.4: Baswana [5] and Elkin [21]
+// maintain sparse spanners when "edges arrive one at a time and the
+// algorithm can only keep O(n^{1+1/k}) edges in memory").
+//
+// The algorithm is the classical online variant of the greedy spanner: an
+// arriving edge (u,v) is kept iff the current spanner's u-v distance
+// exceeds 2k−1. The result always has girth > 2k, so its size is
+// O(n^{1+1/k}) by the Moore bound regardless of the stream's length or
+// order, and it is a (2k−1)-spanner of the union of all offered edges: when
+// an edge is rejected a ≤(2k−1)-hop replacement path exists at that moment,
+// and spanner edges are never removed.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"spanner/internal/graph"
+)
+
+// Spanner incrementally maintains a (2k−1)-spanner of the offered edges.
+// It is not safe for concurrent use.
+type Spanner struct {
+	n     int
+	k     int
+	limit int32
+
+	adj     [][]int32
+	edges   *graph.EdgeSet
+	offered int
+
+	// BFS scratch, reused across Offer calls.
+	dist  []int32
+	queue []int32
+}
+
+// New returns an empty spanner over n vertices with stretch 2k−1.
+func New(n, k int) (*Spanner, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("stream: n must be >= 0, got %d", n)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("stream: k must be >= 1, got %d", k)
+	}
+	s := &Spanner{
+		n:     n,
+		k:     k,
+		limit: int32(2*k - 1),
+		adj:   make([][]int32, n),
+		edges: graph.NewEdgeSet(n),
+		dist:  make([]int32, n),
+		queue: make([]int32, 0, n),
+	}
+	for i := range s.dist {
+		s.dist[i] = graph.Unreachable
+	}
+	return s, nil
+}
+
+// Offer processes the next stream edge and reports whether it was kept.
+// Self-loops and duplicates are rejected without affecting the structure.
+func (s *Spanner) Offer(u, v int32) bool {
+	if u == v || u < 0 || v < 0 || int(u) >= s.n || int(v) >= s.n {
+		return false
+	}
+	s.offered++
+	if s.edges.Has(u, v) {
+		return false
+	}
+	if s.withinLimit(u, v) {
+		return false
+	}
+	s.edges.Add(u, v)
+	s.adj[u] = append(s.adj[u], v)
+	s.adj[v] = append(s.adj[v], u)
+	return true
+}
+
+// withinLimit reports whether v is within 2k−1 hops of u in the current
+// spanner, via a truncated BFS over the incremental adjacency.
+func (s *Spanner) withinLimit(u, v int32) bool {
+	reached := s.queue[:0]
+	s.dist[u] = 0
+	reached = append(reached, u)
+	found := false
+	for head := 0; head < len(reached) && !found; head++ {
+		x := reached[head]
+		if s.dist[x] == s.limit {
+			continue
+		}
+		for _, y := range s.adj[x] {
+			if s.dist[y] != graph.Unreachable {
+				continue
+			}
+			if y == v {
+				found = true
+				break
+			}
+			s.dist[y] = s.dist[x] + 1
+			reached = append(reached, y)
+		}
+	}
+	for _, x := range reached {
+		s.dist[x] = graph.Unreachable
+	}
+	s.queue = reached
+	return found
+}
+
+// K returns the stretch parameter.
+func (s *Spanner) K() int { return s.k }
+
+// Len returns the number of edges currently kept.
+func (s *Spanner) Len() int { return s.edges.Len() }
+
+// Offered returns the number of (non-degenerate) edges offered so far.
+func (s *Spanner) Offered() int { return s.offered }
+
+// Edges returns the kept edge set. The caller must not modify it while
+// continuing to Offer.
+func (s *Spanner) Edges() *graph.EdgeSet { return s.edges }
+
+// SizeBound returns the girth-based bound n^{1+1/k} + n valid at any point
+// in the stream.
+func (s *Spanner) SizeBound() float64 {
+	nf := float64(s.n)
+	return math.Pow(nf, 1+1/float64(s.k)) + nf
+}
+
+// FromGraph streams every edge of g in canonical order — the classical
+// offline greedy spanner of Althöfer et al.
+func FromGraph(g *graph.Graph, k int) (*Spanner, error) {
+	s, err := New(g.N(), k)
+	if err != nil {
+		return nil, err
+	}
+	g.ForEachEdge(func(u, v int32) { s.Offer(u, v) })
+	return s, nil
+}

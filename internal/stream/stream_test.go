@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+	"spanner/internal/verify"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(-1, 2); err == nil {
+		t.Fatal("negative n must error")
+	}
+	if _, err := New(5, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+}
+
+func TestDegenerateOffers(t *testing.T) {
+	s, err := New(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offer(2, 2) {
+		t.Fatal("self-loop kept")
+	}
+	if s.Offer(-1, 2) || s.Offer(0, 9) {
+		t.Fatal("out-of-range edge kept")
+	}
+	if !s.Offer(0, 1) {
+		t.Fatal("fresh edge rejected")
+	}
+	if s.Offer(1, 0) {
+		t.Fatal("duplicate edge kept")
+	}
+	if s.Len() != 1 || s.Offered() != 2 {
+		t.Fatalf("len=%d offered=%d", s.Len(), s.Offered())
+	}
+}
+
+func TestStretchAgainstFinalGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, k := range []int{1, 2, 3} {
+		g := graph.ConnectedGnp(150, 0.08, rng)
+		// Offer the edges in a random order (a genuine stream).
+		edges := g.Edges()
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		s, err := New(g.N(), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range edges {
+			s.Offer(e[0], e[1])
+		}
+		rep := verify.Measure(g, s.Edges(), verify.Options{})
+		if !rep.Valid || !rep.Connected {
+			t.Fatalf("k=%d: %v", k, rep)
+		}
+		if rep.MaxStretch > float64(2*k-1) {
+			t.Fatalf("k=%d: stretch %v > 2k-1", k, rep.MaxStretch)
+		}
+		if float64(s.Len()) > s.SizeBound() {
+			t.Fatalf("k=%d: size %d above bound %v", k, s.Len(), s.SizeBound())
+		}
+	}
+}
+
+func TestGirthInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Gnp(80, 0.2, rng)
+	k := 2
+	s, err := FromGraph(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := s.Edges().ToGraph(g.N())
+	if girth := sg.Girth(); girth != graph.Unreachable && girth <= int32(2*k) {
+		t.Fatalf("girth %d not > 2k = %d", girth, 2*k)
+	}
+}
+
+func TestMatchesOfflineGreedyInCanonicalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Gnp(100, 0.1, rng)
+	s, err := FromGraph(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same rule, same order ⇒ same spanner as the baseline greedy.
+	s2, err := New(g.N(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ForEachEdge(func(u, v int32) { s2.Offer(u, v) })
+	if s.Len() != s2.Len() {
+		t.Fatal("repeat run differs")
+	}
+	for _, key := range s.Edges().Keys() {
+		u, v := graph.UnpackEdgeKey(key)
+		if !s2.Edges().Has(u, v) {
+			t.Fatal("edge sets differ")
+		}
+	}
+}
+
+func TestIncrementalConnectivity(t *testing.T) {
+	// Streaming a growing graph: after each prefix, the spanner preserves
+	// the connectivity of the prefix graph.
+	rng := rand.New(rand.NewSource(4))
+	n := 60
+	full := graph.ConnectedGnp(n, 0.1, rng)
+	edges := full.Edges()
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	s, err := New(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := graph.NewEdgeSet(len(edges))
+	for i, e := range edges {
+		s.Offer(e[0], e[1])
+		prefix.Add(e[0], e[1])
+		if i%25 == 0 {
+			pg := prefix.ToGraph(n)
+			sg := s.Edges().ToGraph(n)
+			if !graph.SameComponents(pg, sg) {
+				t.Fatalf("after %d edges: spanner disconnects the prefix", i+1)
+			}
+		}
+	}
+}
+
+func TestRejectedEdgeHasWitnessPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.Gnp(80, 0.15, rng)
+	k := 2
+	s, err := New(g.N(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ForEachEdge(func(u, v int32) {
+		kept := s.Offer(u, v)
+		if !kept {
+			sg := s.Edges().ToGraph(g.N())
+			if d := sg.BFS(u)[v]; d == graph.Unreachable || d > int32(2*k-1) {
+				t.Fatalf("rejected edge (%d,%d) lacks ≤%d-hop witness (d=%d)", u, v, 2*k-1, d)
+			}
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func fullSet(g *graph.Graph) *graph.EdgeSet {
+	s := graph.NewEdgeSet(g.M())
+	g.ForEachEdge(s.Add)
+	return s
+}
+
+func TestIdentitySpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.ConnectedGnp(80, 0.1, rng)
+	rep := Measure(g, fullSet(g), Options{})
+	if !rep.Valid || !rep.Connected {
+		t.Fatalf("identity spanner flagged: %v", rep)
+	}
+	if rep.MaxStretch != 1 || rep.AvgStretch != 1 || rep.MaxAdditive != 0 {
+		t.Fatalf("identity spanner distorted: %v", rep)
+	}
+	if rep.SpannerM != g.M() || rep.SizeRatio() != float64(g.M())/float64(g.N()) {
+		t.Fatalf("size bookkeeping wrong: %v", rep)
+	}
+}
+
+func TestRingMinusEdge(t *testing.T) {
+	g := graph.Ring(10)
+	s := graph.NewEdgeSet(9)
+	g.ForEachEdge(func(u, v int32) {
+		if !(u == 0 && v == 9) {
+			s.Add(u, v)
+		}
+	})
+	rep := Measure(g, s, Options{})
+	if !rep.Connected || !rep.Valid {
+		t.Fatalf("path spanner of ring flagged: %v", rep)
+	}
+	// Removing one ring edge turns distance 1 into 9.
+	if rep.MaxStretch != 9 || rep.MaxAdditive != 8 {
+		t.Fatalf("expected stretch 9/add 8, got %v", rep)
+	}
+	if len(rep.ByDistance) < 2 || rep.ByDistance[1].MaxStretch != 9 {
+		t.Fatalf("per-distance rows wrong: %+v", rep.ByDistance)
+	}
+}
+
+func TestInvalidEdgeDetected(t *testing.T) {
+	g := graph.Path(5)
+	s := fullSet(g)
+	s.Add(0, 4) // not a graph edge
+	rep := Measure(g, s, Options{})
+	if rep.Valid {
+		t.Fatal("fabricated edge not detected")
+	}
+}
+
+func TestDisconnectionDetected(t *testing.T) {
+	g := graph.Path(5)
+	s := graph.NewEdgeSet(2)
+	s.Add(0, 1)
+	s.Add(3, 4) // drops edges (1,2) and (2,3)
+	rep := Measure(g, s, Options{})
+	if rep.Connected {
+		t.Fatal("disconnection not detected")
+	}
+}
+
+func TestSampledSources(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.ConnectedGnp(200, 0.05, rng)
+	rep := Measure(g, fullSet(g), Options{Sources: 10, Rng: rng})
+	if rep.Pairs > 10*g.N() {
+		t.Fatalf("sampled measurement used too many pairs: %d", rep.Pairs)
+	}
+	if rep.MaxStretch != 1 {
+		t.Fatal("identity spanner distorted under sampling")
+	}
+}
+
+func TestPairStretch(t *testing.T) {
+	g := graph.Ring(8)
+	s := graph.NewEdgeSet(7)
+	g.ForEachEdge(func(u, v int32) {
+		if !(u == 0 && v == 7) {
+			s.Add(u, v)
+		}
+	})
+	dG, dS := PairStretch(g, s, 0, 7)
+	if dG != 1 || dS != 7 {
+		t.Fatalf("PairStretch = (%d,%d), want (1,7)", dG, dS)
+	}
+}
+
+func TestWorstPairs(t *testing.T) {
+	g := graph.Ring(12)
+	s := graph.NewEdgeSet(11)
+	g.ForEachEdge(func(u, v int32) {
+		if !(u == 0 && v == 11) {
+			s.Add(u, v)
+		}
+	})
+	sources := make([]int32, g.N())
+	for i := range sources {
+		sources[i] = int32(i)
+	}
+	worst := WorstPairs(g, s, sources, 3)
+	if len(worst) != 3 {
+		t.Fatalf("got %d pairs, want 3", len(worst))
+	}
+	// The removed edge (0,11) is the worst offender: stretch 11.
+	if worst[0].Stretch != 11 {
+		t.Fatalf("worst stretch %v, want 11", worst[0].Stretch)
+	}
+	for i := 1; i < len(worst); i++ {
+		if worst[i].Stretch > worst[i-1].Stretch {
+			t.Fatal("worst pairs not sorted")
+		}
+	}
+}
+
+func TestWorstPairsCapsK(t *testing.T) {
+	g := graph.Path(6)
+	worst := WorstPairs(g, fullSet(g), []int32{0}, 2)
+	if len(worst) > 2 {
+		t.Fatalf("k not respected: %d", len(worst))
+	}
+	for _, wp := range worst {
+		if wp.Stretch != 1 {
+			t.Fatal("identity spanner must have stretch 1 everywhere")
+		}
+	}
+}
+
+func TestStretchHistogram(t *testing.T) {
+	g := graph.Path(5)
+	rep := Measure(g, fullSet(g), Options{})
+	h := rep.StretchHistogram()
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != rep.Pairs {
+		t.Fatalf("histogram total %d != pairs %d", total, rep.Pairs)
+	}
+	if h[1] != rep.Pairs {
+		t.Fatal("identity spanner pairs must land in bucket 1")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	g := graph.Path(3)
+	rep := Measure(g, fullSet(g), Options{})
+	if rep.String() == "" {
+		t.Fatal("empty summary")
+	}
+}

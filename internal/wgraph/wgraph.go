@@ -1,0 +1,235 @@
+// Package wgraph provides weighted undirected graphs and shortest paths.
+// The paper's focus is unweighted graphs, but its Fig. 1 headline for
+// Baswana–Sen [10] is the weighted case ("optimal in all respects, save for
+// a factor of k in the spanner size"), and the corrected size analysis of
+// Lemma 6 applies to it; this substrate supports the weighted Baswana–Sen
+// baseline and its verification.
+package wgraph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Edge is a weighted undirected edge.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// WGraph is an immutable weighted undirected graph in CSR form.
+type WGraph struct {
+	off []int32
+	adj []int32
+	wts []float64
+}
+
+// Builder accumulates weighted edges. Parallel edges keep the lightest;
+// self-loops are dropped.
+type Builder struct {
+	n     int
+	edges map[int64]float64
+}
+
+// NewBuilder returns a builder for a weighted graph on n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[int64]float64)}
+}
+
+// AddEdge records the edge (u,v) with weight w (> 0). The lightest weight
+// wins on duplicates.
+func (b *Builder) AddEdge(u, v int32, w float64) error {
+	if u == v {
+		return nil
+	}
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return fmt.Errorf("wgraph: edge (%d,%d) out of range [0,%d)", u, v, b.n)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("wgraph: edge (%d,%d) has invalid weight %v", u, v, w)
+	}
+	k := key(u, v)
+	if old, ok := b.edges[k]; !ok || w < old {
+		b.edges[k] = w
+	}
+	return nil
+}
+
+func key(u, v int32) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// Build produces the immutable weighted graph.
+func (b *Builder) Build() *WGraph {
+	keys := make([]int64, 0, len(b.edges))
+	for k := range b.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	deg := make([]int32, b.n+1)
+	for _, k := range keys {
+		u, v := int32(k>>32), int32(k&0xffffffff)
+		deg[u+1]++
+		deg[v+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		deg[i] += deg[i-1]
+	}
+	adj := make([]int32, 2*len(keys))
+	wts := make([]float64, 2*len(keys))
+	next := make([]int32, b.n)
+	copy(next, deg[:b.n])
+	for _, k := range keys {
+		u, v := int32(k>>32), int32(k&0xffffffff)
+		w := b.edges[k]
+		adj[next[u]], wts[next[u]] = v, w
+		next[u]++
+		adj[next[v]], wts[next[v]] = u, w
+		next[v]++
+	}
+	return &WGraph{off: deg, adj: adj, wts: wts}
+}
+
+// N returns the number of vertices.
+func (g *WGraph) N() int {
+	if len(g.off) == 0 {
+		return 0
+	}
+	return len(g.off) - 1
+}
+
+// M returns the number of undirected edges.
+func (g *WGraph) M() int { return len(g.adj) / 2 }
+
+// Neighbors returns v's neighbor list (aliased, read-only).
+func (g *WGraph) Neighbors(v int32) []int32 { return g.adj[g.off[v]:g.off[v+1]] }
+
+// Weights returns the weights parallel to Neighbors(v).
+func (g *WGraph) Weights(v int32) []float64 { return g.wts[g.off[v]:g.off[v+1]] }
+
+// Edges returns all edges with U < V.
+func (g *WGraph) Edges() []Edge {
+	out := make([]Edge, 0, g.M())
+	for u := int32(0); int(u) < g.N(); u++ {
+		ns, ws := g.Neighbors(u), g.Weights(u)
+		for i, v := range ns {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: ws[i]})
+			}
+		}
+	}
+	return out
+}
+
+// Inf is the distance reported for unreachable vertices.
+var Inf = math.Inf(1)
+
+// Dijkstra computes single-source shortest-path distances from src.
+func (g *WGraph) Dijkstra(src int32) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{v: src, d: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		ns, ws := g.Neighbors(item.v), g.Weights(item.v)
+		for i, y := range ns {
+			if nd := item.d + ws[i]; nd < dist[y] {
+				dist[y] = nd
+				heap.Push(pq, distItem{v: y, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v int32
+	d float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+// RandomWeighted returns a connected G(n,p)-style graph with uniformly
+// random weights in [1, maxW].
+func RandomWeighted(n int, p float64, maxW float64, rng *rand.Rand) *WGraph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				_ = b.AddEdge(int32(u), int32(v), 1+rng.Float64()*(maxW-1))
+			}
+		}
+	}
+	// Random spanning tree for connectivity.
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		_ = b.AddEdge(int32(perm[i]), int32(perm[rng.Intn(i)]), 1+rng.Float64()*(maxW-1))
+	}
+	return b.Build()
+}
+
+// EdgeSubset is a set of edges of a weighted graph (a spanner in the
+// making), storing the chosen weight per pair.
+type EdgeSubset struct {
+	n   int
+	set map[int64]float64
+}
+
+// NewEdgeSubset returns an empty subset over n vertices.
+func NewEdgeSubset(n int) *EdgeSubset {
+	return &EdgeSubset{n: n, set: make(map[int64]float64)}
+}
+
+// Add inserts the edge (u,v) with weight w (lightest wins).
+func (s *EdgeSubset) Add(u, v int32, w float64) {
+	if u == v {
+		return
+	}
+	k := key(u, v)
+	if old, ok := s.set[k]; !ok || w < old {
+		s.set[k] = w
+	}
+}
+
+// Len returns the number of edges.
+func (s *EdgeSubset) Len() int { return len(s.set) }
+
+// Has reports membership.
+func (s *EdgeSubset) Has(u, v int32) bool {
+	_, ok := s.set[key(u, v)]
+	return ok
+}
+
+// ToGraph materializes the subset.
+func (s *EdgeSubset) ToGraph() *WGraph {
+	b := NewBuilder(s.n)
+	for k, w := range s.set {
+		u, v := int32(k>>32), int32(k&0xffffffff)
+		_ = b.AddEdge(u, v, w)
+	}
+	return b.Build()
+}

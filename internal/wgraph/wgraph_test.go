@@ -1,0 +1,136 @@
+package wgraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddEdge(0, 1, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 0, 1.5); err != nil { // lighter duplicate wins
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(2, 2, 1); err != nil { // self-loop silently dropped
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 9, 1); err == nil {
+		t.Fatal("out-of-range must error")
+	}
+	if err := b.AddEdge(0, 2, -1); err == nil {
+		t.Fatal("non-positive weight must error")
+	}
+	if err := b.AddEdge(0, 2, math.Inf(1)); err == nil {
+		t.Fatal("infinite weight must error")
+	}
+	g := b.Build()
+	if g.N() != 4 || g.M() != 1 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	es := g.Edges()
+	if len(es) != 1 || es[0].W != 1.5 {
+		t.Fatalf("edges = %v", es)
+	}
+}
+
+func TestDijkstraOnWeightedPath(t *testing.T) {
+	b := NewBuilder(4)
+	_ = b.AddEdge(0, 1, 1)
+	_ = b.AddEdge(1, 2, 2)
+	_ = b.AddEdge(2, 3, 3)
+	_ = b.AddEdge(0, 3, 10)
+	g := b.Build()
+	d := g.Dijkstra(0)
+	want := []float64{0, 1, 3, 6}
+	for v, w := range want {
+		if d[v] != w {
+			t.Fatalf("d[%d] = %v, want %v", v, d[v], w)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	_ = b.AddEdge(0, 1, 1)
+	g := b.Build()
+	d := g.Dijkstra(0)
+	if !math.IsInf(d[2], 1) {
+		t.Fatalf("d[2] = %v, want +Inf", d[2])
+	}
+}
+
+// TestDijkstraMatchesBellmanFord cross-validates against an O(nm)
+// reference on random weighted graphs.
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := RandomWeighted(40, 0.15, 10, rng)
+		src := int32(rng.Intn(g.N()))
+		got := g.Dijkstra(src)
+		want := bellmanFord(g, src)
+		for v := range got {
+			if math.Abs(got[v]-want[v]) > 1e-9 && !(math.IsInf(got[v], 1) && math.IsInf(want[v], 1)) {
+				t.Fatalf("trial %d: d[%d] = %v, want %v", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func bellmanFord(g *WGraph, src int32) []float64 {
+	dist := make([]float64, g.N())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	edges := g.Edges()
+	for i := 0; i < g.N(); i++ {
+		changed := false
+		for _, e := range edges {
+			if dist[e.U]+e.W < dist[e.V] {
+				dist[e.V] = dist[e.U] + e.W
+				changed = true
+			}
+			if dist[e.V]+e.W < dist[e.U] {
+				dist[e.U] = dist[e.V] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+func TestRandomWeightedConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomWeighted(100, 0.02, 50, rng)
+	d := g.Dijkstra(0)
+	for v, w := range d {
+		if math.IsInf(w, 1) {
+			t.Fatalf("vertex %d unreachable in connected generator", v)
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.W < 1 || e.W > 50 {
+			t.Fatalf("weight %v out of [1,50]", e.W)
+		}
+	}
+}
+
+func TestEdgeSubset(t *testing.T) {
+	s := NewEdgeSubset(4)
+	s.Add(0, 1, 5)
+	s.Add(1, 0, 3) // lighter duplicate
+	s.Add(2, 2, 1) // ignored
+	if s.Len() != 1 || !s.Has(0, 1) || s.Has(0, 2) {
+		t.Fatalf("subset wrong: len=%d", s.Len())
+	}
+	g := s.ToGraph()
+	if g.M() != 1 || g.Edges()[0].W != 3 {
+		t.Fatalf("ToGraph wrong: %v", g.Edges())
+	}
+}

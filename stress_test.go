@@ -1,0 +1,40 @@
+package spanner_test
+
+import (
+	"testing"
+
+	"spanner"
+)
+
+func TestStressDistributedSkeletonManySeeds(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := spanner.NewRand(seed)
+		var g *spanner.Graph
+		switch seed % 5 {
+		case 0:
+			g = spanner.ConnectedGnp(150, 0.06, rng)
+		case 1:
+			g = spanner.WattsStrogatz(140, 3, 0.2, rng)
+		case 2:
+			g = spanner.Star(120)
+		case 3:
+			g = spanner.Communities(150, 5, 0.2, 0.01, rng)
+		case 4:
+			g = spanner.Gnp(150, 0.03, rng) // possibly disconnected
+		}
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rep := spanner.Measure(g, res.Spanner, spanner.MeasureOptions{Sources: 10, Rng: rng})
+		if !rep.Valid || !rep.Connected {
+			t.Fatalf("seed %d: %v", seed, rep)
+		}
+		if res.Metrics.CapExceeded != 0 || res.Metrics.MaxMsgWords > res.MaxMsgWords {
+			t.Fatalf("seed %d: cap violated", seed)
+		}
+		if rep.MaxStretch > spanner.SkeletonDistortionBound(g.N(), spanner.SkeletonOptions{}) {
+			t.Fatalf("seed %d: stretch %v above bound", seed, rep.MaxStretch)
+		}
+	}
+}

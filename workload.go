@@ -1,0 +1,121 @@
+package spanner
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spanner/internal/graph"
+)
+
+// Workload names accepted by MakeWorkload.
+const (
+	WorkloadGnp         = "gnp"
+	WorkloadGrid        = "grid"
+	WorkloadTorus       = "torus"
+	WorkloadRing        = "ring"
+	WorkloadChords      = "chords"
+	WorkloadCirculant   = "circulant"
+	WorkloadSmallWorld  = "smallworld"
+	WorkloadCommunities = "communities"
+	WorkloadHypercube   = "hypercube"
+	WorkloadPA          = "pa"
+	WorkloadRegular     = "regular"
+	WorkloadStar        = "star"
+	WorkloadTree        = "tree"
+	WorkloadPlane       = "plane"
+)
+
+// MakeWorkload builds a named experiment workload of roughly n vertices and
+// (where applicable) the given average degree. It is the shared generator
+// behind the CLIs and benchmarks; structured families round n to their
+// natural sizes (squares, powers of two, plane orders).
+func MakeWorkload(kind string, n int, deg float64, rng *rand.Rand) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("spanner: workload needs n >= 1, got %d", n)
+	}
+	switch kind {
+	case WorkloadGnp:
+		return graph.ConnectedGnp(n, deg/float64(n), rng), nil
+	case WorkloadGrid:
+		side := intSqrt(n)
+		return graph.Grid(side, side), nil
+	case WorkloadTorus:
+		side := intSqrt(n)
+		return graph.Torus(side, side), nil
+	case WorkloadRing:
+		return graph.Ring(n), nil
+	case WorkloadChords:
+		return graph.RingWithChords(n, int(deg)*n/8, rng), nil
+	case WorkloadCirculant:
+		w := int(deg / 2)
+		if w < 1 {
+			w = 1
+		}
+		return graph.Circulant(n, w), nil
+	case WorkloadSmallWorld:
+		w := int(deg / 2)
+		if w < 1 {
+			w = 1
+		}
+		return graph.WattsStrogatz(n, w, 0.1, rng), nil
+	case WorkloadCommunities:
+		k := intSqrt(n) / 4
+		if k < 2 {
+			k = 2
+		}
+		groupSize := float64(n) / float64(k)
+		pIn := deg / groupSize
+		if pIn > 1 {
+			pIn = 1
+		}
+		return graph.Communities(n, k, pIn, 0.2/float64(n)*float64(k), rng), nil
+	case WorkloadHypercube:
+		d := 0
+		for 1<<(d+1) <= n {
+			d++
+		}
+		return graph.Hypercube(d), nil
+	case WorkloadPA:
+		k := int(deg/2) + 1
+		return graph.PreferentialAttachment(n, k, rng), nil
+	case WorkloadRegular:
+		d := int(deg)
+		if d < 2 {
+			d = 2
+		}
+		if n*d%2 != 0 {
+			d++
+		}
+		return graph.RandomRegular(n, d, rng)
+	case WorkloadStar:
+		return graph.Star(n), nil
+	case WorkloadTree:
+		return graph.RandomTree(n, rng), nil
+	case WorkloadPlane:
+		q := graph.PlaneOrderFor(n)
+		if q == 0 {
+			return nil, fmt.Errorf("spanner: no projective plane fits n=%d (need n >= 14)", n)
+		}
+		return graph.ProjectivePlaneIncidence(q)
+	default:
+		return nil, fmt.Errorf("spanner: unknown workload %q", kind)
+	}
+}
+
+// Workloads lists the names MakeWorkload accepts.
+func Workloads() []string {
+	return []string{
+		WorkloadGnp, WorkloadGrid, WorkloadTorus, WorkloadRing, WorkloadChords,
+		WorkloadCirculant, WorkloadSmallWorld, WorkloadCommunities,
+		WorkloadHypercube, WorkloadPA, WorkloadRegular, WorkloadStar,
+		WorkloadTree, WorkloadPlane,
+	}
+}
+
+func intSqrt(n int) int {
+	s := 1
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}

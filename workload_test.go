@@ -1,0 +1,55 @@
+package spanner_test
+
+import (
+	"testing"
+
+	"spanner"
+)
+
+func TestMakeWorkloadAllFamilies(t *testing.T) {
+	rng := spanner.NewRand(1)
+	for _, kind := range spanner.Workloads() {
+		g, err := spanner.MakeWorkload(kind, 500, 8, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.N() < 2 {
+			t.Fatalf("%s: degenerate graph %v", kind, g)
+		}
+		// Every workload must be usable by the headline algorithm.
+		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if !res.Spanner.Subset(g) {
+			t.Fatalf("%s: invalid spanner", kind)
+		}
+	}
+}
+
+func TestMakeWorkloadErrors(t *testing.T) {
+	rng := spanner.NewRand(2)
+	if _, err := spanner.MakeWorkload("nope", 100, 8, rng); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if _, err := spanner.MakeWorkload(spanner.WorkloadGnp, 0, 8, rng); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := spanner.MakeWorkload(spanner.WorkloadPlane, 5, 8, rng); err == nil {
+		t.Fatal("plane with tiny budget must error")
+	}
+}
+
+func TestMakeWorkloadDeterministic(t *testing.T) {
+	a, err := spanner.MakeWorkload(spanner.WorkloadGnp, 300, 10, spanner.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spanner.MakeWorkload(spanner.WorkloadGnp, 300, 10, spanner.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different workloads")
+	}
+}
