@@ -30,6 +30,7 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+	$(GO) test -race ./internal/distsim/... ./internal/obs/...
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@ import (
 	"spanner/internal/fibonacci"
 	"spanner/internal/graph"
 	"spanner/internal/lower"
+	"spanner/internal/obs"
 	"spanner/internal/oracle"
 	"spanner/internal/routing"
 	"spanner/internal/seq"
@@ -391,6 +392,85 @@ func Measure(g *Graph, s *EdgeSet, opts MeasureOptions) *Report {
 // Metrics are the cost measures of a distributed run: rounds, messages,
 // words, and the largest message observed (in O(log n)-bit words).
 type Metrics = distsim.Metrics
+
+// --- Observability ---
+
+// Observer collects phase spans, engine round events and registry metrics
+// from any pipeline that accepts one (SkeletonOptions.Obs,
+// FibonacciOptions.Obs, the *Obs function variants). A nil *Observer is a
+// valid, near-zero-cost no-op, so instrumented code needs no branches.
+type Observer = obs.Observer
+
+// ObserverSpan is an open phase; see Observer.StartSpan.
+type ObserverSpan = obs.Span
+
+// TraceEvent is one emitted observation (span start/end, point, metric).
+type TraceEvent = obs.Event
+
+// TraceSink receives events from an Observer.
+type TraceSink = obs.Sink
+
+// MemorySink buffers events in memory — for tests and programmatic
+// inspection.
+type MemorySink = obs.MemorySink
+
+// JSONLSink streams events as JSON Lines to a writer.
+type JSONLSink = obs.JSONLSink
+
+// MetricsRegistry is the observer's counter/gauge/histogram registry.
+type MetricsRegistry = obs.Registry
+
+// TraceSummary is the per-phase / per-level / per-round aggregation of a
+// trace, as printed by cmd/tracestats.
+type TraceSummary = obs.TraceSummary
+
+// NewObserver returns an observer fanning events out to the given sinks.
+func NewObserver(sinks ...TraceSink) *Observer { return obs.New(sinks...) }
+
+// NewMemorySink returns an in-memory event buffer.
+func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// NewJSONLSink returns a sink writing one JSON object per event to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// WriteObserverSummary prints the observer's per-phase timing table and
+// metric snapshot in a human-readable form.
+func WriteObserverSummary(w io.Writer, o *Observer) error {
+	return obs.WriteSummary(w, o)
+}
+
+// ReadTrace parses a JSONL trace produced by a JSONLSink.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) { return obs.ReadTrace(r) }
+
+// SummarizeTrace aggregates a trace into per-phase, per-level and per-round
+// cost tables.
+func SummarizeTrace(events []TraceEvent) *TraceSummary { return obs.Summarize(events) }
+
+// StripTraceTimes zeroes wall-clock fields so two traces of the same seeded
+// run compare equal.
+func StripTraceTimes(events []TraceEvent) []TraceEvent { return obs.StripTimes(events) }
+
+// BaswanaSenObs is BaswanaSen with observability.
+func BaswanaSenObs(g *Graph, k int, seed int64, o *Observer) (*BaswanaSenResult, error) {
+	return baseline.BaswanaSenObs(g, k, seed, o)
+}
+
+// BaswanaSenDistributedObs is BaswanaSenDistributed with observability.
+func BaswanaSenDistributedObs(g *Graph, k int, seed int64, o *Observer) (*BaswanaSenResult, Metrics, error) {
+	return baseline.BaswanaSenDistributedObs(g, k, seed, o)
+}
+
+// NewDistanceOracleDistributedObs is NewDistanceOracleDistributed with
+// observability.
+func NewDistanceOracleDistributedObs(g *Graph, k int, seed int64, o *Observer) (*DistanceOracle, Metrics, error) {
+	return oracle.NewDistributedObs(g, k, seed, o)
+}
+
+// StreamFromGraphObs streams every edge of g through a (2k−1) streaming
+// spanner with observability (stream.offered / stream.kept counters).
+func StreamFromGraphObs(g *Graph, k int, o *Observer) (*StreamSpanner, error) {
+	return stream.FromGraphObs(g, k, o)
+}
 
 // ReadGraph parses the plain-text edge-list format ("n <count>" header then
 // "u v" lines; # comments allowed).

@@ -13,6 +13,7 @@ package spanner
 // laptop; crank the constants for larger-scale runs.
 
 import (
+	"io"
 	"math"
 	"testing"
 
@@ -879,6 +880,8 @@ func BenchmarkMeasureSampled(b *testing.B) {
 
 var sinkFixture *lower.Fixture
 
+var sinkEdges *EdgeSet
+
 func BenchmarkLowerBoundFixtureGen(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -888,4 +891,34 @@ func BenchmarkLowerBoundFixtureGen(b *testing.B) {
 		}
 		sinkFixture = f
 	}
+}
+
+// Observability overhead: BuildSkeleton with a nil observer must cost the
+// same as before the instrumentation existed (every obs call is a nil-check
+// no-op), and the sub-benchmark pair quantifies the enabled-path cost.
+// Compare:
+//
+//	go test -bench=ObsOverhead -count=5
+//
+// The noop/baseline delta is the acceptance bound (< 2%).
+func BenchmarkObsOverhead(b *testing.B) {
+	g := ConnectedGnp(4000, 16.0/4000, NewRand(1))
+	run := func(b *testing.B, ob *Observer) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := BuildSkeleton(g, SkeletonOptions{D: 4, Seed: int64(i), Obs: ob})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkEdges = res.Spanner
+		}
+	}
+	b.Run("noop", func(b *testing.B) { run(b, nil) })
+	b.Run("memory-sink", func(b *testing.B) {
+		mem := NewMemorySink()
+		run(b, NewObserver(mem))
+	})
+	b.Run("jsonl-discard", func(b *testing.B) {
+		run(b, NewObserver(NewJSONLSink(io.Discard)))
+	})
 }

@@ -14,9 +14,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime/pprof"
 
 	"spanner"
 )
+
+// ob is the suite-wide observer; nil (a no-op) unless -trace or
+// -metrics-summary is given. Every experiment passes it down via the Obs
+// option or an *Obs variant.
+var ob *spanner.Observer
 
 type scaleCfg struct {
 	n        int     // main G(n,p) size
@@ -34,11 +40,46 @@ var scales = map[string]scaleCfg{
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: small|full")
 	seed := flag.Int64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
+	metricsSummary := flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 	cfg, ok := scales[*scale]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
 		os.Exit(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" || *metricsSummary {
+		var sinks []spanner.TraceSink
+		if *tracePath != "" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			sinks = append(sinks, spanner.NewJSONLSink(tf))
+		}
+		ob = spanner.NewObserver(sinks...)
+		defer func() {
+			ob.Close()
+			if *metricsSummary {
+				spanner.WriteObserverSummary(os.Stderr, ob)
+			}
+		}()
 	}
 	if err := run(cfg, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -77,28 +118,28 @@ func e1Comparison(cfg scaleCfg, seed int64) error {
 		fmt.Printf("| %s | %.3f | %.2f | %.3f | %s | %s |\n",
 			name, rep.SizeRatio(), rep.MaxStretch, rep.AvgStretch, r, m)
 	}
-	sk, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: seed})
+	sk, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: 4, Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}
 	row("skeleton (Sect. 2, seq)", sk.Spanner, 0, 0)
-	skd, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: 4, Seed: seed})
+	skd, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: 4, Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}
 	row("skeleton (Thm 2, dist)", skd.Spanner, skd.Metrics.Rounds, skd.Metrics.MaxMsgWords)
-	fib, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Seed: seed})
+	fib, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}
 	row(fmt.Sprintf("fibonacci o=%d (Sect. 4)", fib.Params.Order), fib.Spanner, 0, 0)
-	fibd, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{T: 3, Seed: seed})
+	fibd, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{T: 3, Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}
 	row("fibonacci (Sect. 4.4, dist, t=3)", fibd.Spanner, fibd.Metrics.Rounds, fibd.Metrics.MaxMsgWords)
 	for _, k := range []int{2, 3} {
-		bs, m, err := spanner.BaswanaSenDistributed(g, k, seed)
+		bs, m, err := spanner.BaswanaSenDistributedObs(g, k, seed, ob)
 		if err != nil {
 			return err
 		}
@@ -122,7 +163,7 @@ func e2SizeVsD(cfg scaleCfg, seed int64) error {
 		total := 0
 		const runs = 3
 		for s := int64(0); s < runs; s++ {
-			res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: d, Seed: seed + s})
+			res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: d, Seed: seed + s, Obs: ob})
 			if err != nil {
 				return err
 			}
@@ -141,7 +182,7 @@ func e3StretchVsN(cfg scaleCfg, seed int64) error {
 	fmt.Printf("| n | size/n | max stretch | analytic bound |\n|---|---|---|---|\n")
 	for _, n := range []int{cfg.n / 8, cfg.n / 4, cfg.n / 2, cfg.n} {
 		g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(int64(n)))
-		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{Seed: seed})
+		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{Seed: seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -156,7 +197,7 @@ func e4RoundsVsN(cfg scaleCfg, seed int64) error {
 	fmt.Printf("| n | rounds | messages | max msg (words) | cap |\n|---|---|---|---|---|\n")
 	for _, n := range []int{cfg.n / 8, cfg.n / 4, cfg.n / 2, cfg.n} {
 		g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(int64(n)))
-		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed})
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -168,7 +209,7 @@ func e4RoundsVsN(cfg scaleCfg, seed int64) error {
 
 func e5Stages(cfg scaleCfg, seed int64) error {
 	g := spanner.Circulant(3000, 30)
-	res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: 3, Ell: 8, Seed: seed})
+	res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: 3, Ell: 8, Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}
@@ -194,7 +235,7 @@ func e6SizeVsOrder(cfg scaleCfg, seed int64) error {
 	fmt.Printf("\n## E6 — Fibonacci size vs order (Lemma 8) on n=%d, m=%d\n\n", g.N(), g.M())
 	fmt.Printf("| o | size | size/n | Lemma 8 bound |\n|---|---|---|---|\n")
 	for _, o := range []int{1, 2, 3, 4} {
-		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: o, Epsilon: 1, Seed: seed})
+		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: o, Epsilon: 1, Seed: seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -211,7 +252,7 @@ func e7MessageCap(cfg scaleCfg, seed int64) error {
 	fmt.Printf("\n## E7 — Fibonacci distributed message caps (Sect. 4.4) on n=%d\n\n", n)
 	fmt.Printf("| t | effective order | cap (words) | observed max | rounds | ceased | repairs |\n|---|---|---|---|---|---|---|\n")
 	for _, t := range []int{2, 3, 4} {
-		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: 2, T: t, Seed: seed})
+		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: 2, T: t, Seed: seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -345,11 +386,11 @@ func e12Ablations(cfg scaleCfg, seed int64) error {
 	g := spanner.ConnectedGnp(n, cfg.deg/float64(n), rng)
 
 	// D4: abort rule on/off.
-	on, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed})
+	on, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}
-	off, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed, DisableAbort: true})
+	off, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: seed, DisableAbort: true, Obs: ob})
 	if err != nil {
 		return err
 	}
@@ -360,7 +401,7 @@ func e12Ablations(cfg scaleCfg, seed int64) error {
 	// D5: cap vs order.
 	fmt.Printf("- D5 cap vs order: ")
 	for _, t := range []int{0, 2, 4} {
-		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: 2, T: t, Seed: seed})
+		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: 2, T: t, Seed: seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -401,7 +442,7 @@ func eExtraApplications(cfg scaleCfg, seed int64) error {
 	}
 
 	// Broadcast over the skeleton.
-	res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{Seed: seed})
+	res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{Seed: seed, Obs: ob})
 	if err != nil {
 		return err
 	}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"spanner"
 )
@@ -44,23 +45,59 @@ func main() {
 
 func run() error {
 	var (
-		graphKind = flag.String("graph", "gnp", "graph family: gnp|grid|torus|ring|chords|circulant|smallworld|communities|hypercube|pa|regular|star|tree|plane")
-		n         = flag.Int("n", 10000, "number of vertices (rounded for structured families)")
-		deg       = flag.Float64("deg", 16, "average degree (gnp/pa/chords)")
-		algo      = flag.String("algo", "skeleton", "algorithm: skeleton|skeleton-dist|fibonacci|fibonacci-dist|combined|baswana-sen|baswana-sen-dist|greedy|linear-greedy|additive2|stream|tree")
-		k         = flag.Int("k", 3, "stretch parameter for baswana-sen/greedy")
-		d         = flag.Int("d", 4, "density parameter D for the skeleton")
-		order     = flag.Int("order", 0, "fibonacci order (0 = sparsest)")
-		eps       = flag.Float64("eps", 0.5, "fibonacci epsilon")
-		tMsg      = flag.Int("t", 0, "fibonacci message exponent t (cap n^{1/t}; 0 = unbounded)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		sources   = flag.Int("sources", 48, "BFS sources for stretch sampling (0 = exact)")
-		asJSON    = flag.Bool("json", false, "emit JSON")
-		inPath    = flag.String("in", "", "read the input graph from an edge-list file instead of generating")
-		savePath  = flag.String("save", "", "write the spanner to an edge-list file")
-		dotPath   = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
+		graphKind      = flag.String("graph", "gnp", "graph family: gnp|grid|torus|ring|chords|circulant|smallworld|communities|hypercube|pa|regular|star|tree|plane")
+		n              = flag.Int("n", 10000, "number of vertices (rounded for structured families)")
+		deg            = flag.Float64("deg", 16, "average degree (gnp/pa/chords)")
+		algo           = flag.String("algo", "skeleton", "algorithm: skeleton|skeleton-dist|fibonacci|fibonacci-dist|combined|baswana-sen|baswana-sen-dist|greedy|linear-greedy|additive2|stream|tree")
+		k              = flag.Int("k", 3, "stretch parameter for baswana-sen/greedy")
+		d              = flag.Int("d", 4, "density parameter D for the skeleton")
+		order          = flag.Int("order", 0, "fibonacci order (0 = sparsest)")
+		eps            = flag.Float64("eps", 0.5, "fibonacci epsilon")
+		tMsg           = flag.Int("t", 0, "fibonacci message exponent t (cap n^{1/t}; 0 = unbounded)")
+		seed           = flag.Int64("seed", 1, "random seed")
+		sources        = flag.Int("sources", 48, "BFS sources for stretch sampling (0 = exact)")
+		asJSON         = flag.Bool("json", false, "emit JSON")
+		inPath         = flag.String("in", "", "read the input graph from an edge-list file instead of generating")
+		savePath       = flag.String("save", "", "write the spanner to an edge-list file")
+		dotPath        = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
+		tracePath      = flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
+		metricsSummary = flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Observer stays nil (a no-op) unless a trace or summary was requested.
+	var ob *spanner.Observer
+	if *tracePath != "" || *metricsSummary {
+		var sinks []spanner.TraceSink
+		if *tracePath != "" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				return err
+			}
+			defer tf.Close()
+			sinks = append(sinks, spanner.NewJSONLSink(tf))
+		}
+		ob = spanner.NewObserver(sinks...)
+		defer func() {
+			ob.Close()
+			if *metricsSummary {
+				spanner.WriteObserverSummary(os.Stderr, ob)
+			}
+		}()
+	}
 
 	var g *spanner.Graph
 	if *inPath != "" {
@@ -87,13 +124,13 @@ func run() error {
 	var edges *spanner.EdgeSet
 	switch *algo {
 	case "skeleton":
-		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: *d, Seed: *seed})
+		res, err := spanner.BuildSkeleton(g, spanner.SkeletonOptions{D: *d, Seed: *seed, Obs: ob})
 		if err != nil {
 			return err
 		}
 		edges = res.Spanner
 	case "skeleton-dist":
-		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: *d, Seed: *seed})
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: *d, Seed: *seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -102,13 +139,13 @@ func run() error {
 		out.Messages = res.Metrics.Messages
 		out.MaxMsgWords = res.Metrics.MaxMsgWords
 	case "fibonacci":
-		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed})
+		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob})
 		if err != nil {
 			return err
 		}
 		edges = res.Spanner
 	case "fibonacci-dist":
-		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed})
+		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob})
 		if err != nil {
 			return err
 		}
@@ -117,13 +154,13 @@ func run() error {
 		out.Messages = res.Metrics.Messages
 		out.MaxMsgWords = res.Metrics.MaxMsgWords
 	case "baswana-sen":
-		res, err := spanner.BaswanaSen(g, *k, *seed)
+		res, err := spanner.BaswanaSenObs(g, *k, *seed, ob)
 		if err != nil {
 			return err
 		}
 		edges = res.Spanner
 	case "baswana-sen-dist":
-		res, m, err := spanner.BaswanaSenDistributed(g, *k, *seed)
+		res, m, err := spanner.BaswanaSenDistributedObs(g, *k, *seed, ob)
 		if err != nil {
 			return err
 		}
@@ -152,11 +189,10 @@ func run() error {
 	case "additive2":
 		edges = spanner.Additive2(g, *seed).Spanner
 	case "stream":
-		s, err := spanner.NewStreamSpanner(g.N(), *k)
+		s, err := spanner.StreamFromGraphObs(g, *k, ob)
 		if err != nil {
 			return err
 		}
-		g.ForEachEdge(func(u, v int32) { s.Offer(u, v) })
 		edges = s.Edges()
 	case "tree":
 		edges = spanner.BFSTree(g)

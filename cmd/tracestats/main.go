@@ -1,0 +1,52 @@
+// Command tracestats reads a JSONL trace produced by the -trace flag of
+// cmd/spanner or cmd/experiments and prints per-phase, per-level and
+// per-round cost tables: how many rounds, messages, words and spanner edges
+// each contraction level or Fibonacci level accounts for.
+//
+// Usage:
+//
+//	spanner -algo skeleton-dist -trace out.jsonl && tracestats out.jsonl
+//	tracestats -rounds < out.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"spanner"
+)
+
+func main() {
+	rounds := flag.Bool("rounds", false, "include the per-round message/word detail")
+	flag.Parse()
+	if err := run(flag.Args(), *rounds); err != nil {
+		fmt.Fprintln(os.Stderr, "tracestats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, rounds bool) error {
+	var in io.Reader = os.Stdin
+	switch len(args) {
+	case 0:
+	case 1:
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	default:
+		return fmt.Errorf("expected at most one trace file, got %d args", len(args))
+	}
+	events, err := spanner.ReadTrace(in)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	return spanner.SummarizeTrace(events).WriteTable(os.Stdout, rounds)
+}

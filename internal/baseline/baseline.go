@@ -27,6 +27,7 @@ import (
 	"spanner/internal/core"
 	"spanner/internal/distsim"
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // BaswanaSenResult reports a Baswana–Sen run.
@@ -43,6 +44,12 @@ type BaswanaSenResult struct {
 // probability n^{-1/k} followed by a final zero-probability call, all
 // without contraction.
 func BaswanaSen(g *graph.Graph, k int, seed int64) (*BaswanaSenResult, error) {
+	return BaswanaSenObs(g, k, seed, nil)
+}
+
+// BaswanaSenObs is BaswanaSen with phase spans and cluster metrics emitted
+// to o (nil disables observability).
+func BaswanaSenObs(g *graph.Graph, k int, seed int64, o *obs.Observer) (*BaswanaSenResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("baseline: k must be >= 1, got %d", k)
 	}
@@ -55,16 +62,28 @@ func BaswanaSen(g *graph.Graph, k int, seed int64) (*BaswanaSenResult, error) {
 	nf := float64(n)
 	res.SizeBound = float64(k)*nf + (math.Log(float64(k))+1)*math.Pow(nf, 1+1/float64(k))
 
+	span := o.StartSpan("baswana_sen.build",
+		obs.I("n", int64(n)), obs.I("m", int64(g.M())), obs.I("k", int64(k)))
 	rng := rand.New(rand.NewSource(seed))
 	st := cluster.New(g, rng)
+	st.SetObserver(o)
 	p := math.Pow(nf, -1/float64(k))
 	for i := 0; i < k-1 && !st.Done(); i++ {
-		st.Expand(p, 0)
+		cspan := span.Child("expand.call", obs.I(obs.AttrLevel, 0),
+			obs.I("iter", int64(i+1)), obs.F("p", p), obs.I(obs.AttrSize, int64(st.NumLive())))
+		stats := st.Expand(p, 0)
+		cspan.End(obs.I(obs.AttrEdges, int64(stats.EdgesAdded)),
+			obs.I("joined", int64(stats.Joined)), obs.I("died", int64(stats.Died)))
 	}
 	if !st.Done() {
-		st.Expand(0, 0)
+		cspan := span.Child("expand.call", obs.I(obs.AttrLevel, 0),
+			obs.I("iter", int64(k)), obs.F("p", 0), obs.I(obs.AttrSize, int64(st.NumLive())))
+		stats := st.Expand(0, 0)
+		cspan.End(obs.I(obs.AttrEdges, int64(stats.EdgesAdded)),
+			obs.I("died", int64(stats.Died)))
 	}
 	res.Spanner = st.Spanner()
+	span.End(obs.I(obs.AttrEdges, int64(res.Spanner.Len())))
 	return res, nil
 }
 
@@ -73,6 +92,12 @@ func BaswanaSen(g *graph.Graph, k int, seed int64) (*BaswanaSenResult, error) {
 // It completes in O(k) cluster-radius-bounded phases; the paper credits
 // [10] with optimal O(k) time.
 func BaswanaSenDistributed(g *graph.Graph, k int, seed int64) (*BaswanaSenResult, distsim.Metrics, error) {
+	return BaswanaSenDistributedObs(g, k, seed, nil)
+}
+
+// BaswanaSenDistributedObs is BaswanaSenDistributed with per-call spans and
+// engine round events emitted to o (nil disables observability).
+func BaswanaSenDistributedObs(g *graph.Graph, k int, seed int64, o *obs.Observer) (*BaswanaSenResult, distsim.Metrics, error) {
 	var metrics distsim.Metrics
 	if k < 1 {
 		return nil, metrics, fmt.Errorf("baseline: k must be >= 1, got %d", k)
@@ -85,7 +110,7 @@ func BaswanaSenDistributed(g *graph.Graph, k int, seed int64) (*BaswanaSenResult
 	}
 	nf := float64(n)
 	res.SizeBound = float64(k)*nf + (math.Log(float64(k))+1)*math.Pow(nf, 1+1/float64(k))
-	spanner, metrics, _, err := core.RunExpandSchedule(g, baswanaSenCalls(n, k), seed, 0)
+	spanner, metrics, _, err := core.RunExpandSchedule(g, baswanaSenCalls(n, k), seed, 0, o, "baswana_sen.dist")
 	if err != nil {
 		return nil, metrics, err
 	}

@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // Dead marks an original vertex whose contracted representative has died.
@@ -57,6 +58,32 @@ type State struct {
 
 	liveCount   int
 	totalRounds int // contracted rounds completed (number of Contract calls)
+
+	// Observability (nil-safe no-ops when no observer is attached).
+	obsv         *obs.Observer
+	cExpandCalls *obs.Counter
+	cEdges       *obs.Counter
+	cDied        *obs.Counter
+	cJoined      *obs.Counter
+	cContracts   *obs.Counter
+	hClusterSize *obs.Histogram
+}
+
+// SetObserver attaches an observer: Expand and Contract then update the
+// cluster.* registry series and emit contraction point events. Call before
+// the first Expand; a nil observer leaves the state un-instrumented.
+func (s *State) SetObserver(o *obs.Observer) {
+	s.obsv = o
+	reg := o.Registry()
+	if reg == nil {
+		return
+	}
+	s.cExpandCalls = reg.Counter("cluster.expand_calls")
+	s.cEdges = reg.Counter("cluster.edges")
+	s.cDied = reg.Counter("cluster.died")
+	s.cJoined = reg.Counter("cluster.joined")
+	s.cContracts = reg.Counter("cluster.contractions")
+	s.hClusterSize = reg.Histogram("cluster.contracted_size")
 }
 
 // ExpandStats summarizes one Expand call for schedule drivers and tests.
@@ -297,6 +324,10 @@ func (s *State) Expand(p float64, abortQ int) ExpandStats {
 		}
 	}
 	stats.ClustersAfter = len(distinct)
+	s.cExpandCalls.Inc()
+	s.cEdges.Add(int64(stats.EdgesAdded))
+	s.cDied.Add(int64(stats.Died))
+	s.cJoined.Add(int64(stats.Joined))
 	return stats
 }
 
@@ -384,6 +415,14 @@ func (s *State) Contract() {
 	s.liveCount = int(nNew)
 	s.radius = 0
 	s.totalRounds++
+	s.cContracts.Inc()
+	if s.obsv != nil {
+		for v := int32(0); v < nNew; v++ {
+			s.hClusterSize.Observe(int64(len(s.members[v])))
+		}
+		s.obsv.Event("cluster.contract",
+			obs.I(obs.AttrLevel, int64(s.totalRounds)), obs.I("vertices", int64(nNew)))
+	}
 }
 
 // MaxClusterRadius measures, in the current spanner, the largest distance

@@ -28,6 +28,7 @@ import (
 
 	"spanner/internal/cluster"
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 	"spanner/internal/seq"
 )
 
@@ -60,6 +61,10 @@ type Options struct {
 	// Trace records per-call diagnostics (measured cluster radii), which is
 	// quadratic-ish and meant for tests and small experiments.
 	Trace bool
+	// Obs, when non-nil, receives phase spans (one per Expand call, labeled
+	// with the contraction level), per-round engine events for the
+	// distributed build, and registry metrics. Nil disables observability.
+	Obs *obs.Observer
 }
 
 // CallRecord captures one Expand call for analysis.
@@ -130,19 +135,32 @@ func BuildSkeleton(g *graph.Graph, opts Options) (*Result, error) {
 		return res, nil
 	}
 
+	span := opts.Obs.StartSpan("skeleton.build",
+		obs.I("n", int64(n)), obs.I("m", int64(g.M())),
+		obs.I("d", int64(opts.D)), obs.I("variant", int64(opts.Variant)))
 	st := cluster.New(g, rng)
+	st.SetObserver(opts.Obs)
 	density := 1.0
-	for _, call := range Schedule(n, opts) {
+	for idx, call := range Schedule(n, opts) {
 		if st.Done() {
 			break
 		}
 		if call.ContractBefore {
 			st.Contract()
 		}
+		cspan := span.Child("expand.call",
+			obs.I("call", int64(idx)), obs.I(obs.AttrLevel, int64(call.Round)),
+			obs.I("iter", int64(call.Iter)), obs.F("p", call.P),
+			obs.I(obs.AttrSize, int64(st.NumLive())))
 		stats := st.Expand(call.P, call.AbortQ)
 		if call.P > 0 {
 			density *= 1 / call.P
 		}
+		cspan.End(obs.I(obs.AttrEdges, int64(stats.EdgesAdded)),
+			obs.I("joined", int64(stats.Joined)), obs.I("died", int64(stats.Died)),
+			obs.I("aborted", int64(stats.Aborted)), obs.F("density", density),
+			obs.I("live_after", int64(stats.LiveAfter)),
+			obs.I("clusters_after", int64(stats.ClustersAfter)))
 		rec := CallRecord{Round: call.Round, Iter: call.Iter, P: call.P, Density: density, Stats: stats}
 		if opts.Trace {
 			rec.MaxRadius = st.MaxClusterRadius()
@@ -151,6 +169,8 @@ func BuildSkeleton(g *graph.Graph, opts Options) (*Result, error) {
 	}
 	res.Rounds = st.Rounds()
 	res.Spanner = st.Spanner()
+	span.End(obs.I(obs.AttrEdges, int64(res.Spanner.Len())),
+		obs.I("levels", int64(res.Rounds)), obs.I("calls", int64(len(res.Calls))))
 	return res, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"spanner/internal/distsim"
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // This file implements Theorem 2's distributed construction of the
@@ -523,7 +524,7 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 	}
 	res.MaxMsgWords = msgCap
 
-	spanner, metrics, perCall, err := RunExpandSchedule(g, res.Calls, opts.Seed, msgCap)
+	spanner, metrics, perCall, err := RunExpandSchedule(g, res.Calls, opts.Seed, msgCap, opts.Obs, "skeleton.dist")
 	if err != nil {
 		return nil, err
 	}
@@ -537,8 +538,10 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 // arbitrary call schedule (the Section 2 skeleton uses the tower schedule;
 // Baswana–Sen is the same protocol over k fixed-probability calls without
 // contraction). The schedule should end with a zero-probability call so
-// every vertex resolves. msgCap <= 0 disables the message cap.
-func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int) (*graph.EdgeSet, distsim.Metrics, []distsim.Metrics, error) {
+// every vertex resolves. msgCap <= 0 disables the message cap. o (nil ok)
+// receives one span per Expand call labeled with the contraction level,
+// nested under a root span named label.
+func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int, o *obs.Observer, label string) (*graph.EdgeSet, distsim.Metrics, []distsim.Metrics, error) {
 	n := g.N()
 	spanner := graph.NewEdgeSet(2 * n)
 	var metrics distsim.Metrics
@@ -546,6 +549,11 @@ func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int) 
 	if n == 0 || len(schedule) == 0 {
 		return spanner, metrics, perCall, nil
 	}
+	if label == "" {
+		label = "expand.schedule"
+	}
+	root := o.StartSpan(label, obs.I("n", int64(n)), obs.I("m", int64(g.M())),
+		obs.I("calls", int64(len(schedule))), obs.I(obs.AttrMaxMsgWords, int64(msgCap)))
 
 	// Pre-draw each vertex's first-unsampled call index against the public
 	// schedule (the paper's line-1 pre-sampling).
@@ -593,31 +601,47 @@ func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int) 
 		if liveCount == 0 {
 			break
 		}
+		cspan := root.Child("expand.call",
+			obs.I("call", int64(idx)), obs.I(obs.AttrLevel, int64(call.Round)),
+			obs.I("iter", int64(call.Iter)), obs.F("p", call.P),
+			obs.I(obs.AttrSize, int64(liveCount)))
 		net, err := distsim.NewNetwork(g, handlers, distsim.Config{
 			MaxMsgWords: msgCap,
 			Strict:      msgCap > 0,
+			Obs:         o,
+			Parent:      cspan,
 		})
 		if err != nil {
 			return nil, metrics, perCall, err
 		}
 		m, err := net.Run()
 		if err != nil {
+			cspan.End(obs.S("error", err.Error()))
+			root.End(obs.S("error", err.Error()))
 			return nil, metrics, perCall, fmt.Errorf("core: distributed Expand call %d: %w", idx, err)
 		}
 		perCall = append(perCall, m)
-		metrics.Rounds += m.Rounds
-		metrics.Messages += m.Messages
-		metrics.Words += m.Words
-		if m.MaxMsgWords > metrics.MaxMsgWords {
-			metrics.MaxMsgWords = m.MaxMsgWords
-		}
-		metrics.CapExceeded += m.CapExceeded
+		metrics.Add(m)
+		edgesBefore := spanner.Len()
+		liveAfter := 0
 		for v := range nodes {
 			for _, k := range nodes[v].outEdges {
 				spanner.AddKey(k)
 			}
 			nodes[v].outEdges = nodes[v].outEdges[:0]
+			if !nodes[v].dead {
+				liveAfter++
+			}
 		}
+		cspan.End(obs.I(obs.AttrRounds, int64(m.Rounds)), obs.I(obs.AttrMessages, m.Messages),
+			obs.I(obs.AttrWords, m.Words), obs.I(obs.AttrMaxMsgWords, int64(m.MaxMsgWords)),
+			obs.I(obs.AttrCapExceeded, m.CapExceeded),
+			obs.I(obs.AttrEdges, int64(spanner.Len()-edgesBefore)),
+			obs.I("live_after", int64(liveAfter)))
 	}
+	root.End(obs.I(obs.AttrEdges, int64(spanner.Len())),
+		obs.I(obs.AttrRounds, int64(metrics.Rounds)), obs.I(obs.AttrMessages, metrics.Messages),
+		obs.I(obs.AttrWords, metrics.Words), obs.I(obs.AttrMaxMsgWords, int64(metrics.MaxMsgWords)),
+		obs.I(obs.AttrCapExceeded, metrics.CapExceeded))
 	return spanner, metrics, perCall, nil
 }

@@ -27,8 +27,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // NodeID identifies a processor/vertex.
@@ -53,13 +55,27 @@ type Handler interface {
 	HandleRound(n *NodeCtx, inbox []Message)
 }
 
-// Metrics aggregates the cost measures of a run.
+// Metrics aggregates the cost measures of a run. It is a value snapshot;
+// the live accumulation inside the Network uses the obs registry's atomic
+// counters, so concurrent readers and the worker pool never race.
 type Metrics struct {
 	Rounds      int   // communication rounds executed
 	Messages    int64 // total messages sent
 	Words       int64 // total words across all messages
 	MaxMsgWords int   // largest single message observed
 	CapExceeded int64 // messages that exceeded the configured cap
+}
+
+// Add accumulates other into m (MaxMsgWords maxes, everything else sums) —
+// the fold every multi-phase driver performs across engine runs.
+func (m *Metrics) Add(other Metrics) {
+	m.Rounds += other.Rounds
+	m.Messages += other.Messages
+	m.Words += other.Words
+	if other.MaxMsgWords > m.MaxMsgWords {
+		m.MaxMsgWords = other.MaxMsgWords
+	}
+	m.CapExceeded += other.CapExceeded
 }
 
 // Trace returns the per-round profile recorded when Config.TraceRounds was
@@ -87,6 +103,14 @@ type Config struct {
 	// TraceRounds records per-round message counts and word volumes in
 	// Metrics.Trace, for round-profile experiments.
 	TraceRounds bool
+	// Obs attaches an observer: the run is wrapped in a span carrying the
+	// final metrics, one "distsim.round" point event is emitted per round,
+	// and the totals are mirrored into the registry's distsim.* series.
+	Obs *obs.Observer
+	// Parent nests the run's span under an enclosing phase span.
+	Parent *obs.Span
+	// Label overrides the run span's name (default "distsim.run").
+	Label string
 }
 
 // RoundStats is one round's communication volume (with TraceRounds set).
@@ -103,8 +127,21 @@ type Network struct {
 	handlers []Handler
 	nodes    []NodeCtx
 	inboxes  [][]Message
-	metrics  Metrics
 	trace    []RoundStats
+
+	// Live metric cells (atomic), consistent under any execution mode.
+	rounds      int64
+	messages    int64
+	words       int64
+	maxMsgWords int64
+	capExceeded int64
+
+	// Registry mirrors (nil-safe no-ops when no observer is attached).
+	regRounds      *obs.Counter
+	regMessages    *obs.Counter
+	regWords       *obs.Counter
+	regCapExceeded *obs.Counter
+	regMaxMsg      *obs.Gauge
 
 	// goroutine-per-node plumbing (GoroutinePerNode mode).
 	taskIn []chan nodeTask
@@ -131,6 +168,13 @@ func NewNetwork(g *graph.Graph, handlers []Handler, cfg Config) (*Network, error
 		handlers: handlers,
 		nodes:    make([]NodeCtx, g.N()),
 		inboxes:  make([][]Message, g.N()),
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		net.regRounds = reg.Counter("distsim.rounds")
+		net.regMessages = reg.Counter("distsim.messages")
+		net.regWords = reg.Counter("distsim.words")
+		net.regCapExceeded = reg.Counter("distsim.cap_exceeded")
+		net.regMaxMsg = reg.Gauge("distsim.max_msg_words")
 	}
 	for v := range net.nodes {
 		net.nodes[v] = NodeCtx{id: NodeID(v), net: net}
@@ -216,6 +260,24 @@ type nodeTask struct {
 // It returns the metrics of the run.
 func (net *Network) Run() (Metrics, error) {
 	nVerts := net.g.N()
+	var span *obs.Span
+	if net.cfg.Obs != nil {
+		label := net.cfg.Label
+		if label == "" {
+			label = "distsim.run"
+		}
+		if net.cfg.Parent != nil {
+			span = net.cfg.Parent.Child(label, obs.I("n", int64(nVerts)))
+		} else {
+			span = net.cfg.Obs.StartSpan(label, obs.I("n", int64(nVerts)))
+		}
+		defer func() {
+			m := net.Metrics()
+			span.End(obs.I(obs.AttrRounds, int64(m.Rounds)), obs.I(obs.AttrMessages, m.Messages),
+				obs.I(obs.AttrWords, m.Words), obs.I(obs.AttrMaxMsgWords, int64(m.MaxMsgWords)),
+				obs.I(obs.AttrCapExceeded, m.CapExceeded))
+		}()
+	}
 	if net.cfg.GoroutinePerNode {
 		net.startNodeGoroutines()
 		defer net.stopNodeGoroutines()
@@ -230,7 +292,7 @@ func (net *Network) Run() (Metrics, error) {
 	net.dispatch(startTasks)
 	for round := 1; ; round++ {
 		if round > net.cfg.MaxRounds {
-			return net.metrics, fmt.Errorf("distsim: exceeded %d rounds", net.cfg.MaxRounds)
+			return net.Metrics(), fmt.Errorf("distsim: exceeded %d rounds", net.cfg.MaxRounds)
 		}
 		// Deliver: move outboxes to inboxes. Serial, in sender order, so each
 		// inbox is automatically sorted by sender.
@@ -241,7 +303,7 @@ func (net *Network) Run() (Metrics, error) {
 			node := &net.nodes[v]
 			for _, m := range node.outbox {
 				if err := net.account(len(m.data)); err != nil {
-					return net.metrics, err
+					return net.Metrics(), err
 				}
 				roundMsgs++
 				roundWords += int64(len(m.data))
@@ -254,9 +316,12 @@ func (net *Network) Run() (Metrics, error) {
 			}
 		}
 		if !inFlight && !anyAwake {
-			return net.metrics, nil
+			return net.Metrics(), nil
 		}
-		net.metrics.Rounds = round
+		atomic.StoreInt64(&net.rounds, int64(round))
+		net.regRounds.Inc()
+		span.Event(obs.RoundEventName, obs.I("round", int64(round)),
+			obs.I(obs.AttrMessages, roundMsgs), obs.I(obs.AttrWords, roundWords))
 		if net.cfg.TraceRounds {
 			net.trace = append(net.trace, RoundStats{Round: round, Messages: roundMsgs, Words: roundWords})
 		}
@@ -364,15 +429,23 @@ func (net *Network) parallelTasks(tasks []nodeTask) {
 }
 
 // account records one message of the given word count in the metrics and
-// enforces the cap.
+// enforces the cap. Accumulation is atomic so the cells stay consistent no
+// matter which goroutine observes them.
 func (net *Network) account(words int) error {
-	net.metrics.Messages++
-	net.metrics.Words += int64(words)
-	if words > net.metrics.MaxMsgWords {
-		net.metrics.MaxMsgWords = words
+	atomic.AddInt64(&net.messages, 1)
+	atomic.AddInt64(&net.words, int64(words))
+	for {
+		cur := atomic.LoadInt64(&net.maxMsgWords)
+		if int64(words) <= cur || atomic.CompareAndSwapInt64(&net.maxMsgWords, cur, int64(words)) {
+			break
+		}
 	}
+	net.regMessages.Inc()
+	net.regWords.Add(int64(words))
+	net.regMaxMsg.SetMax(int64(words))
 	if net.cfg.MaxMsgWords > 0 && words > net.cfg.MaxMsgWords {
-		net.metrics.CapExceeded++
+		atomic.AddInt64(&net.capExceeded, 1)
+		net.regCapExceeded.Inc()
 		if net.cfg.Strict {
 			return fmt.Errorf("distsim: message of %d words exceeds cap %d", words, net.cfg.MaxMsgWords)
 		}
@@ -380,5 +453,14 @@ func (net *Network) account(words int) error {
 	return nil
 }
 
-// Metrics returns the metrics accumulated so far (valid after Run returns).
-func (net *Network) Metrics() Metrics { return net.metrics }
+// Metrics returns a snapshot of the metrics accumulated so far. It is safe
+// to call concurrently with a running protocol.
+func (net *Network) Metrics() Metrics {
+	return Metrics{
+		Rounds:      int(atomic.LoadInt64(&net.rounds)),
+		Messages:    atomic.LoadInt64(&net.messages),
+		Words:       atomic.LoadInt64(&net.words),
+		MaxMsgWords: int(atomic.LoadInt64(&net.maxMsgWords)),
+		CapExceeded: atomic.LoadInt64(&net.capExceeded),
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"spanner/internal/graph"
 )
@@ -381,5 +382,69 @@ func TestBFSDeterministicAcrossWorkerCounts(t *testing.T) {
 	}
 	if a.Metrics != b.Metrics {
 		t.Fatalf("metrics differ: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestMetricsConcurrentReads drives a multi-round flood while another
+// goroutine polls Metrics() — the snapshot is atomic, so under -race this
+// must be clean and every observed value monotone.
+func TestMetricsConcurrentReads(t *testing.T) {
+	g := graph.Ring(64)
+	nodes := make([]floodNode, 64)
+	handlers := make([]Handler, 64)
+	for i := range handlers {
+		nodes[i] = floodNode{ttl: 32}
+		handlers[i] = &nodes[i]
+	}
+	net, err := NewNetwork(g, handlers, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var lastWords int64
+	go func() {
+		defer close(done)
+		for {
+			m := net.Metrics()
+			if m.Words < lastWords {
+				t.Errorf("words went backwards: %d -> %d", lastWords, m.Words)
+				return
+			}
+			lastWords = m.Words
+			if m.Rounds >= 16 {
+				return
+			}
+			time.Sleep(time.Microsecond)
+		}
+	}()
+	m, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if m.Rounds < 16 || m.Words == 0 {
+		t.Fatalf("flood metrics implausible: %+v", m)
+	}
+}
+
+// floodNode re-broadcasts a decrementing hop counter; the flood dies out
+// after ttl rounds.
+type floodNode struct{ ttl int64 }
+
+func (f *floodNode) Start(n *NodeCtx) {
+	if n.ID() == 0 {
+		n.Broadcast(f.ttl)
+	}
+}
+
+func (f *floodNode) HandleRound(n *NodeCtx, inbox []Message) {
+	var maxTTL int64
+	for _, m := range inbox {
+		if m.Data[0] > maxTTL {
+			maxTTL = m.Data[0]
+		}
+	}
+	if maxTTL > 0 {
+		n.Broadcast(maxTTL - 1)
 	}
 }

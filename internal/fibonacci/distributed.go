@@ -7,6 +7,7 @@ import (
 
 	"spanner/internal/distsim"
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // This file implements the distributed construction of Sect. 4.4 on the
@@ -290,6 +291,10 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 	}
 	o := params.Order
 	msgCap := params.MessageCap()
+	span := opts.Obs.StartSpan("fib.build.dist",
+		obs.I("n", int64(n)), obs.I("m", int64(g.M())),
+		obs.I("order", int64(o)), obs.I("ell", int64(params.Ell)),
+		obs.I(obs.AttrMaxMsgWords, int64(msgCap)))
 
 	levelSets := make([][]int32, o+2)
 	for v := int32(0); int(v) < n; v++ {
@@ -317,20 +322,33 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 			continue
 		}
 		r := clampRadius(params.Radius[i-1], n)
-		bres, err := distsim.RunBFSRadius(g, levelSets[i], r, distsim.Config{})
+		pspan := span.Child("fib.parent",
+			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))),
+			obs.I("radius", r))
+		bres, err := distsim.RunBFSRadius(g, levelSets[i], r,
+			distsim.Config{Obs: opts.Obs, Parent: pspan})
 		if err != nil {
+			pspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, fmt.Errorf("fibonacci: parent wave %d: %w", i, err)
 		}
-		addMetrics(i, "parent", bres.Metrics)
 		dists[i] = bres.Dist
+		edgesBefore := res.Spanner.Len()
 		for v := int32(0); int(v) < n; v++ {
 			if d := bres.Dist[v]; d >= 1 && int64(d) <= r {
 				res.Spanner.Add(v, bres.Parent[v])
 			}
 		}
+		pspan.End(obs.I(obs.AttrRounds, int64(bres.Metrics.Rounds)),
+			obs.I(obs.AttrMessages, bres.Metrics.Messages),
+			obs.I(obs.AttrWords, bres.Metrics.Words),
+			obs.I(obs.AttrEdges, int64(res.Spanner.Len()-edgesBefore)))
+		addMetrics(i, "parent", bres.Metrics)
 	}
 
 	// S₀ locally: vertices with δ(v,V₁) ≥ 2 keep all incident edges.
+	s0span := span.Child("fib.s0", obs.I(obs.AttrLevel, 0))
+	s0Before := res.Spanner.Len()
 	for v := int32(0); int(v) < n; v++ {
 		if distAt(dists[1], v) >= 2 {
 			for _, w := range g.Neighbors(v) {
@@ -338,12 +356,14 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 			}
 		}
 	}
+	s0span.End(obs.I(obs.AttrEdges, int64(res.Spanner.Len()-s0Before)))
 
 	// Ball + commit waves per level.
 	for i := 1; i <= o; i++ {
 		if len(levelSets[i]) == 0 {
 			continue
 		}
+		opts.Obs.Registry().Gauge("fib.level_size", obs.Label{Key: "level", Value: itoa(i)}).Set(int64(len(levelSets[i])))
 		nodes := make([]fibNode, n)
 		handlers := make([]distsim.Handler, n)
 		radius := clampRadius(params.Radius[i], n)
@@ -363,17 +383,26 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 			}
 			handlers[v] = &nodes[v]
 		}
-		cfg := distsim.Config{MaxMsgWords: msgCap}
+		bspan := span.Child("fib.ball",
+			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))),
+			obs.I("radius", radius))
+		cfg := distsim.Config{MaxMsgWords: msgCap, Obs: opts.Obs, Parent: bspan}
 		net, err := distsim.NewNetwork(g, handlers, cfg)
 		if err != nil {
+			bspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, err
 		}
 		m, err := net.Run()
 		if err != nil {
+			bspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, fmt.Errorf("fibonacci: ball wave %d: %w", i, err)
 		}
 		addMetrics(i, "ball", m)
 
+		edgesBefore := res.Spanner.Len()
+		ceasedBefore, repairsBefore := res.Ceased, res.Repairs
 		for v := range nodes {
 			if nodes[v].ceased {
 				res.Ceased++
@@ -387,21 +416,44 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 			nodes[v].outEdges = nodes[v].outEdges[:0]
 			nodes[v].stage = stageCommit
 		}
+		bspan.End(obs.I(obs.AttrRounds, int64(m.Rounds)),
+			obs.I(obs.AttrMessages, m.Messages), obs.I(obs.AttrWords, m.Words),
+			obs.I(obs.AttrEdges, int64(res.Spanner.Len()-edgesBefore)),
+			obs.I("ceased", int64(res.Ceased-ceasedBefore)),
+			obs.I("repairs", int64(res.Repairs-repairsBefore)))
 
+		cspan := span.Child("fib.commit",
+			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
+		cfg.Parent = cspan
 		net, err = distsim.NewNetwork(g, handlers, cfg)
 		if err != nil {
+			cspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, err
 		}
 		m, err = net.Run()
 		if err != nil {
+			cspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, fmt.Errorf("fibonacci: commit wave %d: %w", i, err)
 		}
 		addMetrics(i, "commit", m)
+		edgesBefore = res.Spanner.Len()
 		for v := range nodes {
 			for _, k := range nodes[v].outEdges {
 				res.Spanner.AddKey(k)
 			}
 		}
+		cspan.End(obs.I(obs.AttrRounds, int64(m.Rounds)),
+			obs.I(obs.AttrMessages, m.Messages), obs.I(obs.AttrWords, m.Words),
+			obs.I(obs.AttrEdges, int64(res.Spanner.Len()-edgesBefore)))
 	}
+	span.End(obs.I(obs.AttrEdges, int64(res.Spanner.Len())),
+		obs.I(obs.AttrRounds, int64(res.Metrics.Rounds)),
+		obs.I(obs.AttrMessages, res.Metrics.Messages),
+		obs.I(obs.AttrWords, res.Metrics.Words),
+		obs.I(obs.AttrMaxMsgWords, int64(res.Metrics.MaxMsgWords)),
+		obs.I(obs.AttrCapExceeded, res.Metrics.CapExceeded),
+		obs.I("ceased", int64(res.Ceased)), obs.I("repairs", int64(res.Repairs)))
 	return res, nil
 }

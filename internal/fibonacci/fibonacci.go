@@ -2,9 +2,14 @@ package fibonacci
 
 import (
 	"math/rand"
+	"strconv"
 
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
+
+// itoa is strconv.Itoa, local so gauge-label call sites stay short.
+func itoa(i int) string { return strconv.Itoa(i) }
 
 // Options configures Build and BuildDistributed.
 type Options struct {
@@ -27,6 +32,10 @@ type Options struct {
 	// level-i token within ℓ^i regardless of δ(·,V_{i+1}). The spanner can
 	// only gain edges; the point of the ablation is the message blowup.
 	DisablePruning bool
+	// Obs, when non-nil, receives phase spans (one per level, labeled with
+	// the Fibonacci level), per-round engine events for the distributed
+	// build, and registry metrics. Nil disables observability.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +89,9 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 		LevelOf: levelOf,
 	}
 	o := params.Order
+	span := opts.Obs.StartSpan("fib.build",
+		obs.I("n", int64(n)), obs.I("m", int64(g.M())),
+		obs.I("order", int64(o)), obs.I("ell", int64(params.Ell)))
 
 	// Per-level distances δ(·, V_i) with min-id parents, i = 1..o.
 	// dists[i] is nil when V_i is empty (δ = ∞ everywhere).
@@ -101,6 +113,7 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 	}
 
 	// S₀: every vertex with δ(v,V₁) ≥ 2 (or ∞) keeps all incident edges.
+	s0span := span.Child("fib.s0", obs.I(obs.AttrLevel, 0))
 	for v := int32(0); int(v) < n; v++ {
 		d1 := distAt(dists[1], v)
 		if d1 >= 2 {
@@ -109,9 +122,15 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 			}
 		}
 	}
+	s0span.End(obs.I(obs.AttrEdges, int64(res.Spanner.Len())))
 
 	for i := 1; i <= o; i++ {
 		stats := LevelStats{Level: i, Size: len(levelSets[i]), Radius: clampRadius(params.Radius[i], n)}
+		lspan := span.Child("fib.level",
+			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(stats.Size)),
+			obs.I("radius", stats.Radius))
+		opts.Obs.Registry().Gauge("fib.level_size", obs.Label{Key: "level", Value: itoa(i)}).Set(int64(stats.Size))
+		edgesBefore := res.Spanner.Len()
 
 		// Parent forest: union over v of P(v, p_i(v)) for δ(v,V_i) ≤ ℓ^{i-1}.
 		// A vertex u lies on such a path iff δ(u,V_i) ≤ ℓ^{i-1}; its own
@@ -138,8 +157,13 @@ func Build(g *graph.Graph, opts Options) (*Result, error) {
 			stats.BallMax = ballMax
 		}
 		stats.EdgesAfter = res.Spanner.Len()
+		lspan.End(obs.I(obs.AttrEdges, int64(stats.EdgesAfter-edgesBefore)),
+			obs.I("ball_sum", int64(stats.BallSum)), obs.I("ball_max", int64(stats.BallMax)),
+			obs.I("edges_after", int64(stats.EdgesAfter)))
 		res.Levels = append(res.Levels, stats)
 	}
+	span.End(obs.I(obs.AttrEdges, int64(res.Spanner.Len())),
+		obs.I("levels", int64(len(res.Levels))))
 	return res, nil
 }
 

@@ -1,0 +1,100 @@
+package obs
+
+import "strconv"
+
+type attrKind uint8
+
+const (
+	kindInt attrKind = iota
+	kindFloat
+	kindStr
+)
+
+// Attr is one key/value attribute on an event. Values are int64, float64 or
+// string; construct with I, F and S.
+type Attr struct {
+	Key  string
+	kind attrKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// I returns an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, i: v} }
+
+// F returns a float attribute.
+func F(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat, f: v} }
+
+// S returns a string attribute.
+func S(key, v string) Attr { return Attr{Key: key, kind: kindStr, s: v} }
+
+// Value returns the attribute's value as int64, float64 or string.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.i
+	case kindFloat:
+		return a.f
+	default:
+		return a.s
+	}
+}
+
+// Int returns the value coerced to int64 (floats truncate, strings parse
+// best-effort, defaulting to 0).
+func (a Attr) Int() int64 {
+	switch a.kind {
+	case kindInt:
+		return a.i
+	case kindFloat:
+		return int64(a.f)
+	default:
+		v, _ := strconv.ParseInt(a.s, 10, 64)
+		return v
+	}
+}
+
+// Float returns the value coerced to float64.
+func (a Attr) Float() float64 {
+	switch a.kind {
+	case kindInt:
+		return float64(a.i)
+	case kindFloat:
+		return a.f
+	default:
+		v, _ := strconv.ParseFloat(a.s, 64)
+		return v
+	}
+}
+
+// Str returns the value rendered as a string.
+func (a Attr) Str() string {
+	switch a.kind {
+	case kindInt:
+		return strconv.FormatInt(a.i, 10)
+	case kindFloat:
+		return strconv.FormatFloat(a.f, 'g', -1, 64)
+	default:
+		return a.s
+	}
+}
+
+// attrsGet finds the attribute with the given key (ok=false if absent).
+func attrsGet(attrs []Attr, key string) (Attr, bool) {
+	for _, a := range attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// AttrInt looks up key among attrs and returns its integer value (0 if
+// absent).
+func AttrInt(attrs []Attr, key string) int64 {
+	if a, ok := attrsGet(attrs, key); ok {
+		return a.Int()
+	}
+	return 0
+}

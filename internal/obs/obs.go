@@ -1,0 +1,252 @@
+// Package obs is the module's zero-dependency observability layer: a
+// race-safe metrics registry (counters, gauges, histograms with labeled
+// series), a nestable span/phase tracer, and pluggable event sinks
+// (in-memory for tests, JSONL for run artifacts, and a human-readable
+// summary).
+//
+// The paper's claims are cost claims — rounds, message words, expected
+// spanner size per contraction level (Theorem 2, Lemma 6) and per Fibonacci
+// level (Lemma 8) — and this package is what attributes measured cost to
+// algorithm phases. Every builder accepts an optional *Observer; a nil
+// Observer is a valid no-op (every method is nil-receiver safe), so the
+// disabled path costs one pointer test per call site.
+//
+// Event emission is serialized under the Observer's mutex and stamped with
+// a monotonically increasing sequence number, so a deterministically seeded
+// run produces an identical event sequence (modulo timestamps) on every
+// execution — asserted by the trace-determinism tests at the module root.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType classifies trace events.
+type EventType string
+
+// Event types emitted by the tracer and the registry flush.
+const (
+	SpanStart   EventType = "span_start"
+	SpanEnd     EventType = "span_end"
+	Point       EventType = "point"
+	MetricPoint EventType = "metric"
+)
+
+// Event is one trace record. Span-start events carry the phase's input
+// attributes; span-end events carry its outcome attributes plus DurUS;
+// point events mark instants inside a span (e.g. one communication round);
+// metric events are the registry snapshot written at Close/FlushMetrics.
+type Event struct {
+	Seq    int64 // global emission order (deterministic under a fixed seed)
+	TimeUS int64 // microseconds since the Observer was created
+	DurUS  int64 // span duration (span_end only)
+	Type   EventType
+	Name   string
+	Span   int64 // span id (0 for top-level points/metrics)
+	Parent int64 // parent span id (span_start only; 0 = root)
+	Attrs  []Attr
+}
+
+// Sink receives every event an Observer emits. Emit is called under the
+// Observer's lock and must not call back into the Observer.
+type Sink interface {
+	Emit(e Event)
+	// Flush forces buffered output to its destination.
+	Flush() error
+}
+
+// Observer is the hub binding a metrics Registry, the span tracer and the
+// configured sinks. A nil *Observer disables all observability at the cost
+// of a nil check. Observers are safe for concurrent use.
+type Observer struct {
+	mu       sync.Mutex
+	sinks    []Sink
+	reg      *Registry
+	seq      int64
+	nextSpan int64
+	start    time.Time
+	// noClock suppresses TimeUS/DurUS stamping for byte-identical traces.
+	noClock bool
+	// per-name span aggregates for the text summary.
+	spanAgg map[string]*spanAgg
+}
+
+type spanAgg struct {
+	count int64
+	durUS int64
+}
+
+// New creates an Observer writing to the given sinks.
+func New(sinks ...Sink) *Observer {
+	return &Observer{
+		sinks:   sinks,
+		reg:     NewRegistry(),
+		start:   time.Now(),
+		spanAgg: make(map[string]*spanAgg),
+	}
+}
+
+// DisableTimestamps makes subsequent events carry zero TimeUS/DurUS, which
+// renders JSONL traces byte-identical across runs with the same seed.
+func (o *Observer) DisableTimestamps() {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.noClock = true
+	o.mu.Unlock()
+}
+
+// Enabled reports whether the observer is live (non-nil).
+func (o *Observer) Enabled() bool { return o != nil }
+
+// Registry returns the observer's metrics registry (nil for a nil observer;
+// Registry methods are nil-safe too).
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// now returns microseconds since construction (0 with timestamps disabled).
+// Caller holds o.mu.
+func (o *Observer) now() int64 {
+	if o.noClock {
+		return 0
+	}
+	return time.Since(o.start).Microseconds()
+}
+
+// emit assigns the sequence number and fans the event out. Caller must NOT
+// hold o.mu.
+func (o *Observer) emit(e Event) {
+	o.mu.Lock()
+	o.seq++
+	e.Seq = o.seq
+	if e.TimeUS == 0 {
+		e.TimeUS = o.now()
+	}
+	for _, s := range o.sinks {
+		s.Emit(e)
+	}
+	o.mu.Unlock()
+}
+
+// Span is one traced phase. A nil *Span is a valid no-op, so spans can be
+// threaded through call chains unconditionally.
+type Span struct {
+	o      *Observer
+	id     int64
+	name   string
+	startT time.Time
+}
+
+// StartSpan opens a root span.
+func (o *Observer) StartSpan(name string, attrs ...Attr) *Span {
+	return o.startSpan(name, 0, attrs)
+}
+
+// Child opens a span nested under s.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.o.startSpan(name, s.id, attrs)
+}
+
+func (o *Observer) startSpan(name string, parent int64, attrs []Attr) *Span {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	o.nextSpan++
+	id := o.nextSpan
+	o.mu.Unlock()
+	o.emit(Event{Type: SpanStart, Name: name, Span: id, Parent: parent, Attrs: attrs})
+	return &Span{o: o, id: id, name: name, startT: time.Now()}
+}
+
+// End closes the span, attaching the outcome attributes.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	var dur int64
+	s.o.mu.Lock()
+	if !s.o.noClock {
+		dur = time.Since(s.startT).Microseconds()
+	}
+	agg := s.o.spanAgg[s.name]
+	if agg == nil {
+		agg = &spanAgg{}
+		s.o.spanAgg[s.name] = agg
+	}
+	agg.count++
+	agg.durUS += dur
+	s.o.mu.Unlock()
+	s.o.emit(Event{Type: SpanEnd, Name: s.name, Span: s.id, DurUS: dur, Attrs: attrs})
+}
+
+// Event records a point event inside the span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.o.emit(Event{Type: Point, Name: name, Span: s.id, Attrs: attrs})
+}
+
+// Event records a top-level point event.
+func (o *Observer) Event(name string, attrs ...Attr) {
+	if o == nil {
+		return
+	}
+	o.emit(Event{Type: Point, Name: name, Attrs: attrs})
+}
+
+// FlushMetrics emits the current registry snapshot as metric events and
+// flushes every sink. Call at end of run (Close does it for you).
+func (o *Observer) FlushMetrics() error {
+	if o == nil {
+		return nil
+	}
+	for _, mv := range o.reg.Snapshot() {
+		attrs := make([]Attr, 0, len(mv.Labels)+4)
+		attrs = append(attrs, S("kind", mv.Kind))
+		for _, l := range mv.Labels {
+			attrs = append(attrs, S("label."+l.Key, l.Value))
+		}
+		attrs = append(attrs, F("value", mv.Value))
+		if mv.Kind == "histogram" {
+			attrs = append(attrs, I("count", mv.Count), F("min", mv.Min), F("max", mv.Max))
+		}
+		o.emit(Event{Type: MetricPoint, Name: mv.Name, Attrs: attrs})
+	}
+	var err error
+	o.mu.Lock()
+	for _, s := range o.sinks {
+		if e := s.Flush(); e != nil && err == nil {
+			err = e
+		}
+	}
+	o.mu.Unlock()
+	return err
+}
+
+// Close flushes metrics and sinks; the observer remains usable afterwards
+// (a second Close re-snapshots).
+func (o *Observer) Close() error { return o.FlushMetrics() }
+
+// StripTimes returns a copy of events with TimeUS and DurUS zeroed — the
+// canonical form trace-determinism tests compare ("identical modulo
+// timestamps").
+func StripTimes(events []Event) []Event {
+	out := make([]Event, len(events))
+	copy(out, events)
+	for i := range out {
+		out[i].TimeUS = 0
+		out[i].DurUS = 0
+	}
+	return out
+}

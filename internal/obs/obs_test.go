@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilObserverIsNoOp(t *testing.T) {
+	var o *Observer
+	if o.Enabled() {
+		t.Fatal("nil observer reports enabled")
+	}
+	span := o.StartSpan("phase", I("n", 1))
+	span.Event("point")
+	child := span.Child("sub")
+	child.End()
+	span.End(I("edges", 2))
+	o.Event("loose")
+	if reg := o.Registry(); reg != nil {
+		t.Fatal("nil observer has a registry")
+	}
+	var reg *Registry
+	reg.Counter("c").Inc()
+	reg.Gauge("g").Set(3)
+	reg.Histogram("h").Observe(4)
+	if err := o.FlushMetrics(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanNestingAndSeq(t *testing.T) {
+	mem := NewMemorySink()
+	o := New(mem)
+	root := o.StartSpan("root", I("n", 10))
+	child := root.Child("child")
+	child.Event("tick", I("round", 1))
+	child.End(I("edges", 3))
+	root.End()
+	o.Close()
+
+	ev := mem.Events()
+	if len(ev) < 5 {
+		t.Fatalf("expected at least 5 events, got %d", len(ev))
+	}
+	for i, e := range ev {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+	if ev[0].Type != SpanStart || ev[0].Name != "root" {
+		t.Fatalf("first event = %+v, want root span_start", ev[0])
+	}
+	if ev[1].Type != SpanStart || ev[1].Name != "child" || ev[1].Parent != ev[0].Span {
+		t.Fatalf("child start not parented to root: %+v", ev[1])
+	}
+	if ev[2].Type != Point || ev[2].Span != ev[1].Span {
+		t.Fatalf("point not attached to child span: %+v", ev[2])
+	}
+	if ev[3].Type != SpanEnd || ev[3].Span != ev[1].Span {
+		t.Fatalf("child end mismatch: %+v", ev[3])
+	}
+	if got := AttrInt(ev[3].Attrs, "edges"); got != 3 {
+		t.Fatalf("child end edges = %d, want 3", got)
+	}
+}
+
+func TestRegistryConcurrentCounters(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("hits")
+	g := reg.Gauge("peak")
+	h := reg.Histogram("sizes")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(int64(w*1000 + i))
+				h.Observe(int64(i % 10))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 7999 {
+		t.Fatalf("gauge max = %d, want 7999", g.Value())
+	}
+	snap := reg.Snapshot()
+	var hist *MetricValue
+	for i := range snap {
+		if snap[i].Name == "sizes" {
+			hist = &snap[i]
+		}
+	}
+	if hist == nil || hist.Count != 8000 || hist.Min != 0 || hist.Max != 9 {
+		t.Fatalf("histogram snapshot = %+v", hist)
+	}
+}
+
+func TestRegistryLabeledSeries(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("level_size", Label{Key: "level", Value: "1"}).Set(10)
+	reg.Gauge("level_size", Label{Key: "level", Value: "2"}).Set(20)
+	if got := reg.Gauge("level_size", Label{Key: "level", Value: "1"}).Value(); got != 10 {
+		t.Fatalf("series collision: got %d", got)
+	}
+	snap := reg.Snapshot()
+	keys := make([]string, len(snap))
+	for i, mv := range snap {
+		keys[i] = mv.Key()
+	}
+	want := []string{"level_size{level=1}", "level_size{level=2}"}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("snapshot keys = %v, want %v", keys, want)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	o := New(NewJSONLSink(&buf))
+	span := o.StartSpan("skeleton.build", I("n", 100), F("p", 0.25), S("variant", "capped"))
+	span.Event(RoundEventName, I("round", 1), I(AttrWords, 42))
+	span.End(I(AttrEdges, 7))
+	o.Registry().Counter("distsim.words").Add(42)
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 { // start, point, end, metric
+		t.Fatalf("round-tripped %d events, want 4", len(events))
+	}
+	if events[0].Name != "skeleton.build" || AttrInt(events[0].Attrs, "n") != 100 {
+		t.Fatalf("start event corrupted: %+v", events[0])
+	}
+	if got, ok := attrsGet(events[0].Attrs, "p"); !ok || got.Float() != 0.25 {
+		t.Fatalf("float attr corrupted: %+v", events[0].Attrs)
+	}
+	if got, ok := attrsGet(events[0].Attrs, "variant"); !ok || got.Str() != "capped" {
+		t.Fatalf("string attr corrupted: %+v", events[0].Attrs)
+	}
+	if events[3].Type != MetricPoint || AttrInt(events[3].Attrs, "value") != 42 {
+		t.Fatalf("metric event corrupted: %+v", events[3])
+	}
+}
+
+func TestStripTimesDeterminism(t *testing.T) {
+	runOnce := func() []Event {
+		mem := NewMemorySink()
+		o := New(mem)
+		s := o.StartSpan("a", I("n", 5))
+		s.Event("tick", I("round", 1))
+		s.End(I("edges", 2))
+		o.Close()
+		return StripTimes(mem.Events())
+	}
+	a, b := runOnce(), runOnce()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("stripped traces differ:\n%v\n%v", a, b)
+	}
+	for _, e := range a {
+		if e.TimeUS != 0 || e.DurUS != 0 {
+			t.Fatalf("StripTimes left a timestamp: %+v", e)
+		}
+	}
+}
+
+func TestSummarizePerLevel(t *testing.T) {
+	mem := NewMemorySink()
+	o := New(mem)
+	root := o.StartSpan("skeleton.dist")
+	for lvl := 0; lvl < 2; lvl++ {
+		c := root.Child("expand.call", I(AttrLevel, int64(lvl)), I(AttrSize, 100))
+		c.Event(RoundEventName, I("round", 1), I(AttrMessages, 10), I(AttrWords, 30))
+		c.End(I(AttrEdges, int64(5+lvl)), I(AttrRounds, 3), I(AttrMessages, 10), I(AttrWords, 30))
+	}
+	root.End(I(AttrEdges, 11))
+	o.Close()
+
+	sum := Summarize(mem.Events())
+	if ph := sum.Phase("expand.call"); ph.Count != 2 {
+		t.Fatalf("phase table missing expand.call x2: %+v", sum.Phases)
+	}
+	if len(sum.Levels) != 2 {
+		t.Fatalf("level rows = %+v, want 2", sum.Levels)
+	}
+	for i, lr := range sum.Levels {
+		if lr.Level != int64(i) || lr.Edges != int64(5+i) || lr.Rounds != 3 || lr.Words != 30 {
+			t.Fatalf("level row %d = %+v", i, lr)
+		}
+	}
+	if len(sum.Rounds) != 2 {
+		t.Fatalf("round rows = %+v, want 2", sum.Rounds)
+	}
+	var buf strings.Builder
+	if err := sum.WriteTable(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"== phases ==", "== per level ==", "expand.call"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestConcurrentEmitIsSafe(t *testing.T) {
+	mem := NewMemorySink()
+	o := New(mem)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := o.StartSpan("p")
+				s.End()
+			}
+		}()
+	}
+	wg.Wait()
+	o.Close()
+	ev := mem.Events()
+	seen := make(map[int64]bool, len(ev))
+	for _, e := range ev {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if len(ev) != 1600 {
+		t.Fatalf("got %d events, want 1600", len(ev))
+	}
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one dimension of a metric series (e.g. {"level", "3"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Registry holds named metric series. All lookups and updates are safe for
+// concurrent use; updates on the returned Counter/Gauge/Histogram handles
+// are lock-free (counters, gauges) or finely locked (histograms), so the
+// hot path of a parallel worker pool never contends on the registry map.
+// A nil *Registry is a valid no-op source of nil handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	meta     map[string]seriesMeta
+}
+
+type seriesMeta struct {
+	name   string
+	labels []Label
+}
+
+// NewRegistry returns an empty registry. Observers create their own; a
+// standalone registry is useful for private accumulation (distsim keeps its
+// per-run metrics in one even when no observer is attached).
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		meta:     make(map[string]seriesMeta),
+	}
+}
+
+// seriesKey serializes name+labels into the map key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// Counter returns the counter series for name+labels, creating it on first
+// use. Returns nil (a no-op handle) on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+		r.meta[key] = seriesMeta{name: name, labels: labels}
+	}
+	return c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.meta[key] = seriesMeta{name: name, labels: labels}
+	}
+	return g
+}
+
+// Histogram returns the histogram series for name+labels, creating it on
+// first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = &Histogram{}
+		r.hists[key] = h
+		r.meta[key] = seriesMeta{name: name, labels: labels}
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic int64. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct{ v int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	atomic.AddInt64(&c.v, d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.v)
+}
+
+// Gauge is an atomic int64 supporting last-write and running-max updates.
+// The zero value is ready; a nil *Gauge is a no-op.
+type Gauge struct{ v int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	atomic.StoreInt64(&g.v, v)
+}
+
+// SetMax raises the gauge to v if v exceeds the current value (CAS loop, so
+// it is correct under concurrent writers).
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := atomic.LoadInt64(&g.v)
+		if v <= cur || atomic.CompareAndSwapInt64(&g.v, cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.v)
+}
+
+// Histogram records count/sum/min/max plus power-of-two magnitude buckets
+// (bucket i counts observations in [2^i, 2^{i+1})). A nil *Histogram is a
+// no-op.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [48]int64
+}
+
+// Observe records one sample (negative samples clamp to bucket 0).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	b := 0
+	for x := v; x > 1 && b < len(h.buckets)-1; x >>= 1 {
+		b++
+	}
+	h.mu.Lock()
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	h.buckets[b]++
+	h.mu.Unlock()
+}
+
+// snapshot returns count, sum, min, max under the lock.
+func (h *Histogram) snapshot() (count, sum, min, max int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0, 0, 0, 0
+	}
+	return h.count, h.sum, h.min, h.max
+}
+
+// MetricValue is one series' state in a Snapshot.
+type MetricValue struct {
+	Kind   string // "counter" | "gauge" | "histogram"
+	Name   string
+	Labels []Label
+	Value  float64 // counter/gauge value; histogram sum
+	Count  int64   // histogram observation count
+	Min    float64 // histogram min
+	Max    float64 // histogram max
+}
+
+// Key renders the series identity as name{k=v}… for tables and sorting.
+func (m MetricValue) Key() string { return seriesKey(m.Name, m.Labels) }
+
+// Snapshot returns every series' current value, sorted by kind then series
+// key so output is deterministic.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type entry struct {
+		key  string
+		kind string
+	}
+	entries := make([]entry, 0, len(r.meta))
+	for key := range r.counters {
+		entries = append(entries, entry{key, "counter"})
+	}
+	for key := range r.gauges {
+		entries = append(entries, entry{key, "gauge"})
+	}
+	for key := range r.hists {
+		entries = append(entries, entry{key, "histogram"})
+	}
+	counters, gauges, hists, meta := r.counters, r.gauges, r.hists, r.meta
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].kind != entries[j].kind {
+			return entries[i].kind < entries[j].kind
+		}
+		return entries[i].key < entries[j].key
+	})
+	out := make([]MetricValue, 0, len(entries))
+	for _, e := range entries {
+		m := meta[e.key]
+		mv := MetricValue{Kind: e.kind, Name: m.name, Labels: m.labels}
+		switch e.kind {
+		case "counter":
+			mv.Value = float64(counters[e.key].Value())
+		case "gauge":
+			mv.Value = float64(gauges[e.key].Value())
+		case "histogram":
+			count, sum, min, max := hists[e.key].snapshot()
+			mv.Count = count
+			mv.Value = float64(sum)
+			mv.Min = float64(min)
+			mv.Max = float64(max)
+		}
+		out = append(out, mv)
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// MemorySink retains every event in memory — the sink tests use to assert
+// on exact event sequences.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit implements Sink.
+func (m *MemorySink) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Flush implements Sink (no-op).
+func (m *MemorySink) Flush() error { return nil }
+
+// Events returns a copy of the recorded events.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Event, len(m.events))
+	copy(out, m.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// jsonEvent is the wire form of one JSONL trace line. Attrs serialize as a
+// JSON object; encoding/json writes object keys sorted, so lines are
+// deterministic for a deterministic event sequence.
+type jsonEvent struct {
+	Seq    int64          `json:"seq"`
+	TimeUS int64          `json:"ts_us,omitempty"`
+	DurUS  int64          `json:"dur_us,omitempty"`
+	Type   EventType      `json:"type"`
+	Name   string         `json:"name"`
+	Span   int64          `json:"span,omitempty"`
+	Parent int64          `json:"parent,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// JSONLSink streams events as JSON Lines — the run-artifact format
+// cmd/tracestats consumes.
+type JSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLSink returns a sink writing one JSON object per line to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Emit implements Sink. The first write error is latched and reported by
+// Flush; later events are dropped.
+func (j *JSONLSink) Emit(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	je := jsonEvent{
+		Seq: e.Seq, TimeUS: e.TimeUS, DurUS: e.DurUS,
+		Type: e.Type, Name: e.Name, Span: e.Span, Parent: e.Parent,
+	}
+	if len(e.Attrs) > 0 {
+		je.Attrs = make(map[string]any, len(e.Attrs))
+		for _, a := range e.Attrs {
+			je.Attrs[a.Key] = a.Value()
+		}
+	}
+	b, err := json.Marshal(je)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		j.err = err
+	}
+}
+
+// Flush implements Sink.
+func (j *JSONLSink) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}
+
+// WriteSummary renders a human-readable run summary: the per-phase span
+// aggregates followed by the registry snapshot. This is the "-metrics-
+// summary" output of the CLIs.
+func WriteSummary(w io.Writer, o *Observer) error {
+	if o == nil {
+		_, err := fmt.Fprintln(w, "observability disabled")
+		return err
+	}
+	o.mu.Lock()
+	names := make([]string, 0, len(o.spanAgg))
+	for name := range o.spanAgg {
+		names = append(names, name)
+	}
+	aggs := make(map[string]spanAgg, len(o.spanAgg))
+	for name, a := range o.spanAgg {
+		aggs[name] = *a
+	}
+	o.mu.Unlock()
+	sort.Strings(names)
+
+	if len(names) > 0 {
+		if _, err := fmt.Fprintf(w, "%-28s %10s %14s\n", "phase", "count", "total ms"); err != nil {
+			return err
+		}
+		for _, name := range names {
+			a := aggs[name]
+			if _, err := fmt.Fprintf(w, "%-28s %10d %14.3f\n", name, a.count, float64(a.durUS)/1000); err != nil {
+				return err
+			}
+		}
+	}
+	snap := o.Registry().Snapshot()
+	if len(snap) > 0 {
+		if _, err := fmt.Fprintf(w, "%-44s %10s %16s\n", "metric", "kind", "value"); err != nil {
+			return err
+		}
+		for _, mv := range snap {
+			val := fmt.Sprintf("%.0f", mv.Value)
+			if mv.Kind == "histogram" {
+				val = fmt.Sprintf("n=%d sum=%.0f [%.0f,%.0f]", mv.Count, mv.Value, mv.Min, mv.Max)
+			}
+			if _, err := fmt.Fprintf(w, "%-44s %10s %16s\n", mv.Key(), mv.Kind, val); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

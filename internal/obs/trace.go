@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Well-known span attributes every instrumented phase uses, so traces from
+// different algorithms summarize through one code path:
+//
+//	span_start: "level" (contraction round i or Fibonacci level), "size"
+//	            (|V_i|), "call", "iter", "p"
+//	span_end:   "edges" (spanner edges added by the phase), "rounds",
+//	            "messages", "words", "max_msg_words", "cap_exceeded"
+//	point "distsim.round": "round", "messages", "words"
+const (
+	AttrLevel       = "level"
+	AttrSize        = "size"
+	AttrEdges       = "edges"
+	AttrRounds      = "rounds"
+	AttrMessages    = "messages"
+	AttrWords       = "words"
+	AttrMaxMsgWords = "max_msg_words"
+	AttrCapExceeded = "cap_exceeded"
+)
+
+// RoundEventName is the point event distsim emits once per communication
+// round when an observer is attached.
+const RoundEventName = "distsim.round"
+
+// ReadTrace parses a JSONL trace (as written by JSONLSink) back into
+// events. Attribute order within an event is normalized to sorted keys.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal([]byte(raw), &je); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		e := Event{
+			Seq: je.Seq, TimeUS: je.TimeUS, DurUS: je.DurUS,
+			Type: je.Type, Name: je.Name, Span: je.Span, Parent: je.Parent,
+		}
+		if len(je.Attrs) > 0 {
+			keys := make([]string, 0, len(je.Attrs))
+			for k := range je.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				switch v := je.Attrs[k].(type) {
+				case float64:
+					e.Attrs = append(e.Attrs, F(k, v))
+				case string:
+					e.Attrs = append(e.Attrs, S(k, v))
+				case bool:
+					b := int64(0)
+					if v {
+						b = 1
+					}
+					e.Attrs = append(e.Attrs, I(k, b))
+				}
+			}
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// PhaseRow aggregates every span with the same name.
+type PhaseRow struct {
+	Name        string
+	Count       int64
+	DurUS       int64
+	Rounds      int64
+	Messages    int64
+	Words       int64
+	Edges       int64
+	CapExceeded int64
+	MaxMsgWords int64
+}
+
+// LevelRow aggregates spans of one name at one level — the per-contraction-
+// level (Lemma 6) and per-Fibonacci-level (Lemma 8) cost attribution.
+type LevelRow struct {
+	Name     string
+	Level    int64
+	Calls    int64
+	Size     int64 // max "size" start attribute observed (|V_i|)
+	Edges    int64
+	Rounds   int64
+	Messages int64
+	Words    int64
+}
+
+// RoundRow is one communication round's volume from a distsim.round event.
+type RoundRow struct {
+	Round    int64
+	Messages int64
+	Words    int64
+}
+
+// TraceSummary is the per-phase cost table derived from a trace.
+type TraceSummary struct {
+	Phases  []PhaseRow
+	Levels  []LevelRow
+	Rounds  []RoundRow
+	Metrics []MetricValue
+}
+
+// Summarize folds a trace into per-phase, per-level and per-round tables.
+func Summarize(events []Event) *TraceSummary {
+	s := &TraceSummary{}
+	phases := make(map[string]*PhaseRow)
+	type levelKey struct {
+		name  string
+		level int64
+	}
+	levels := make(map[levelKey]*LevelRow)
+	starts := make(map[int64]Event) // span id -> start event
+
+	for _, e := range events {
+		switch e.Type {
+		case SpanStart:
+			starts[e.Span] = e
+		case SpanEnd:
+			p := phases[e.Name]
+			if p == nil {
+				p = &PhaseRow{Name: e.Name}
+				phases[e.Name] = p
+			}
+			p.Count++
+			p.DurUS += e.DurUS
+			p.Rounds += AttrInt(e.Attrs, AttrRounds)
+			p.Messages += AttrInt(e.Attrs, AttrMessages)
+			p.Words += AttrInt(e.Attrs, AttrWords)
+			p.Edges += AttrInt(e.Attrs, AttrEdges)
+			p.CapExceeded += AttrInt(e.Attrs, AttrCapExceeded)
+			if m := AttrInt(e.Attrs, AttrMaxMsgWords); m > p.MaxMsgWords {
+				p.MaxMsgWords = m
+			}
+			start, ok := starts[e.Span]
+			if !ok {
+				break
+			}
+			if _, hasLevel := attrsGet(start.Attrs, AttrLevel); hasLevel {
+				k := levelKey{name: e.Name, level: AttrInt(start.Attrs, AttrLevel)}
+				l := levels[k]
+				if l == nil {
+					l = &LevelRow{Name: k.name, Level: k.level}
+					levels[k] = l
+				}
+				l.Calls++
+				if sz := AttrInt(start.Attrs, AttrSize); sz > l.Size {
+					l.Size = sz
+				}
+				l.Edges += AttrInt(e.Attrs, AttrEdges)
+				l.Rounds += AttrInt(e.Attrs, AttrRounds)
+				l.Messages += AttrInt(e.Attrs, AttrMessages)
+				l.Words += AttrInt(e.Attrs, AttrWords)
+			}
+		case Point:
+			if e.Name == RoundEventName {
+				s.Rounds = append(s.Rounds, RoundRow{
+					Round:    AttrInt(e.Attrs, "round"),
+					Messages: AttrInt(e.Attrs, AttrMessages),
+					Words:    AttrInt(e.Attrs, AttrWords),
+				})
+			}
+		case MetricPoint:
+			mv := MetricValue{Name: e.Name}
+			for _, a := range e.Attrs {
+				switch {
+				case a.Key == "kind":
+					mv.Kind = a.Str()
+				case a.Key == "value":
+					mv.Value = a.Float()
+				case a.Key == "count":
+					mv.Count = a.Int()
+				case a.Key == "min":
+					mv.Min = a.Float()
+				case a.Key == "max":
+					mv.Max = a.Float()
+				case strings.HasPrefix(a.Key, "label."):
+					mv.Labels = append(mv.Labels, Label{Key: strings.TrimPrefix(a.Key, "label."), Value: a.Str()})
+				}
+			}
+			s.Metrics = append(s.Metrics, mv)
+		}
+	}
+
+	for _, p := range phases {
+		s.Phases = append(s.Phases, *p)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool { return s.Phases[i].Name < s.Phases[j].Name })
+	for _, l := range levels {
+		s.Levels = append(s.Levels, *l)
+	}
+	sort.Slice(s.Levels, func(i, j int) bool {
+		if s.Levels[i].Name != s.Levels[j].Name {
+			return s.Levels[i].Name < s.Levels[j].Name
+		}
+		return s.Levels[i].Level < s.Levels[j].Level
+	})
+	return s
+}
+
+// Phase returns the aggregate row for the named span (zero row if absent).
+func (s *TraceSummary) Phase(name string) PhaseRow {
+	for _, p := range s.Phases {
+		if p.Name == name {
+			return p
+		}
+	}
+	return PhaseRow{Name: name}
+}
+
+// Metric returns the flushed registry value for the given series key
+// (ok=false if the trace carries no such metric).
+func (s *TraceSummary) Metric(key string) (MetricValue, bool) {
+	for _, m := range s.Metrics {
+		if m.Key() == key {
+			return m, true
+		}
+	}
+	return MetricValue{}, false
+}
+
+// WriteTable renders the summary as aligned text tables. withRounds also
+// prints the full per-round communication profile.
+func (s *TraceSummary) WriteTable(w io.Writer, withRounds bool) error {
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(w, "== phases ==\n")
+		fmt.Fprintf(w, "%-24s %7s %10s %12s %14s %10s %8s %12s\n",
+			"phase", "count", "rounds", "messages", "words", "edges", "maxmsg", "total ms")
+		for _, p := range s.Phases {
+			fmt.Fprintf(w, "%-24s %7d %10d %12d %14d %10d %8d %12.3f\n",
+				p.Name, p.Count, p.Rounds, p.Messages, p.Words, p.Edges, p.MaxMsgWords,
+				float64(p.DurUS)/1000)
+		}
+	}
+	if len(s.Levels) > 0 {
+		fmt.Fprintf(w, "\n== per level ==\n")
+		fmt.Fprintf(w, "%-24s %6s %7s %10s %10s %12s %14s %10s\n",
+			"phase", "level", "calls", "size", "rounds", "messages", "words", "edges")
+		for _, l := range s.Levels {
+			fmt.Fprintf(w, "%-24s %6d %7d %10d %10d %12d %14d %10d\n",
+				l.Name, l.Level, l.Calls, l.Size, l.Rounds, l.Messages, l.Words, l.Edges)
+		}
+	}
+	if len(s.Rounds) > 0 {
+		var msgs, words, maxWords int64
+		for _, r := range s.Rounds {
+			msgs += r.Messages
+			words += r.Words
+			if r.Words > maxWords {
+				maxWords = r.Words
+			}
+		}
+		fmt.Fprintf(w, "\n== rounds ==\n")
+		fmt.Fprintf(w, "%d rounds, %d messages, %d words (busiest round: %d words)\n",
+			len(s.Rounds), msgs, words, maxWords)
+		if withRounds {
+			fmt.Fprintf(w, "%8s %12s %14s\n", "round", "messages", "words")
+			for i, r := range s.Rounds {
+				fmt.Fprintf(w, "%8d %12d %14d\n", i+1, r.Messages, r.Words)
+			}
+		}
+	}
+	if len(s.Metrics) > 0 {
+		fmt.Fprintf(w, "\n== metrics ==\n")
+		fmt.Fprintf(w, "%-44s %10s %16s\n", "metric", "kind", "value")
+		for _, mv := range s.Metrics {
+			val := fmt.Sprintf("%.0f", mv.Value)
+			if mv.Kind == "histogram" {
+				val = fmt.Sprintf("n=%d sum=%.0f [%.0f,%.0f]", mv.Count, mv.Value, mv.Min, mv.Max)
+			}
+			fmt.Fprintf(w, "%-44s %10s %16s\n", mv.Key(), mv.Kind, val)
+		}
+	}
+	return nil
+}

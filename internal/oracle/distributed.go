@@ -8,6 +8,7 @@ import (
 
 	"spanner/internal/distsim"
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // Distributed construction of the Thorup–Zwick oracle using exactly the
@@ -78,6 +79,12 @@ func (t *tzNode) HandleRound(n *distsim.NodeCtx, inbox []distsim.Message) {
 // the aggregate communication metrics. Given the same seed it computes the
 // same hierarchy, witnesses and bunches as New.
 func NewDistributed(g *graph.Graph, k int, seed int64) (*Oracle, distsim.Metrics, error) {
+	return NewDistributedObs(g, k, seed, nil)
+}
+
+// NewDistributedObs is NewDistributed with per-level witness/flood spans and
+// engine round events emitted to ob (nil disables observability).
+func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Oracle, distsim.Metrics, error) {
 	var total distsim.Metrics
 	if k < 1 {
 		return nil, total, fmt.Errorf("oracle: k must be >= 1, got %d", k)
@@ -140,20 +147,32 @@ func NewDistributed(g *graph.Graph, k int, seed int64) (*Oracle, distsim.Metrics
 		}
 	}
 
+	span := ob.StartSpan("oracle.dist",
+		obs.I("n", int64(n)), obs.I("m", int64(g.M())), obs.I("k", int64(k)))
+
 	// Witness waves: distributed multi-source BFS per level.
 	for i := 0; i < k; i++ {
-		res, err := distsim.RunBFS(g, levelSets[i], distsim.Config{})
+		wspan := span.Child("oracle.witness",
+			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
+		res, err := distsim.RunBFS(g, levelSets[i], distsim.Config{Obs: ob, Parent: wspan})
 		if err != nil {
+			wspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, total, fmt.Errorf("oracle: witness wave %d: %w", i, err)
 		}
 		add(res.Metrics)
 		o.distTo[i] = res.Dist
 		o.witness[i] = res.Nearest
+		edgesBefore := o.spanner.Len()
 		for v := int32(0); int(v) < n; v++ {
 			if res.Dist[v] >= 1 {
 				o.spanner.Add(v, res.Parent[v])
 			}
 		}
+		wspan.End(obs.I(obs.AttrRounds, int64(res.Metrics.Rounds)),
+			obs.I(obs.AttrMessages, res.Metrics.Messages),
+			obs.I(obs.AttrWords, res.Metrics.Words),
+			obs.I(obs.AttrEdges, int64(o.spanner.Len()-edgesBefore)))
 	}
 
 	// Cluster floods per level.
@@ -174,15 +193,23 @@ func NewDistributed(g *graph.Graph, k int, seed int64) (*Oracle, distsim.Metrics
 			}
 			handlers[v] = &nodes[v]
 		}
-		net, err := distsim.NewNetwork(g, handlers, distsim.Config{})
+		fspan := span.Child("oracle.flood",
+			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
+		net, err := distsim.NewNetwork(g, handlers, distsim.Config{Obs: ob, Parent: fspan})
 		if err != nil {
+			fspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, total, err
 		}
 		m, err := net.Run()
 		if err != nil {
+			fspan.End(obs.S("error", err.Error()))
+			span.End(obs.S("error", err.Error()))
 			return nil, total, fmt.Errorf("oracle: cluster flood %d: %w", i, err)
 		}
 		add(m)
+		fspan.End(obs.I(obs.AttrRounds, int64(m.Rounds)),
+			obs.I(obs.AttrMessages, m.Messages), obs.I(obs.AttrWords, m.Words))
 		for v := 0; v < n; v++ {
 			if nodes[v].tokens == nil {
 				continue
@@ -218,5 +245,9 @@ func NewDistributed(g *graph.Graph, k int, seed int64) (*Oracle, distsim.Metrics
 			}
 		}
 	}
+	span.End(obs.I(obs.AttrEdges, int64(o.spanner.Len())),
+		obs.I(obs.AttrRounds, int64(total.Rounds)),
+		obs.I(obs.AttrMessages, total.Messages),
+		obs.I(obs.AttrWords, total.Words))
 	return o, total, nil
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"spanner/internal/graph"
+	"spanner/internal/obs"
 )
 
 // Spanner incrementally maintains a (2k−1)-spanner of the offered edges.
@@ -30,9 +31,23 @@ type Spanner struct {
 	edges   *graph.EdgeSet
 	offered int
 
+	cOffered *obs.Counter
+	cKept    *obs.Counter
+
 	// BFS scratch, reused across Offer calls.
 	dist  []int32
 	queue []int32
+}
+
+// SetObserver registers the stream.offered / stream.kept counters on o's
+// registry (nil detaches). Call before Offer.
+func (s *Spanner) SetObserver(o *obs.Observer) {
+	if reg := o.Registry(); reg != nil {
+		s.cOffered = reg.Counter("stream.offered")
+		s.cKept = reg.Counter("stream.kept")
+	} else {
+		s.cOffered, s.cKept = nil, nil
+	}
 }
 
 // New returns an empty spanner over n vertices with stretch 2k−1.
@@ -65,6 +80,7 @@ func (s *Spanner) Offer(u, v int32) bool {
 		return false
 	}
 	s.offered++
+	s.cOffered.Inc()
 	if s.edges.Has(u, v) {
 		return false
 	}
@@ -74,6 +90,7 @@ func (s *Spanner) Offer(u, v int32) bool {
 	s.edges.Add(u, v)
 	s.adj[u] = append(s.adj[u], v)
 	s.adj[v] = append(s.adj[v], u)
+	s.cKept.Inc()
 	return true
 }
 
@@ -131,10 +148,20 @@ func (s *Spanner) SizeBound() float64 {
 // FromGraph streams every edge of g in canonical order — the classical
 // offline greedy spanner of Althöfer et al.
 func FromGraph(g *graph.Graph, k int) (*Spanner, error) {
+	return FromGraphObs(g, k, nil)
+}
+
+// FromGraphObs is FromGraph with a "stream.build" span and offered/kept
+// counters emitted to o (nil disables observability).
+func FromGraphObs(g *graph.Graph, k int, o *obs.Observer) (*Spanner, error) {
 	s, err := New(g.N(), k)
 	if err != nil {
 		return nil, err
 	}
+	s.SetObserver(o)
+	span := o.StartSpan("stream.build",
+		obs.I("n", int64(g.N())), obs.I("m", int64(g.M())), obs.I("k", int64(k)))
 	g.ForEachEdge(func(u, v int32) { s.Offer(u, v) })
+	span.End(obs.I(obs.AttrEdges, int64(s.Len())), obs.I("offered", int64(s.Offered())))
 	return s, nil
 }

@@ -1,0 +1,169 @@
+package spanner_test
+
+// Integration tests for the observability layer: the trace a distributed
+// build emits must reconcile exactly with the engine's own Metrics, and the
+// event sequence of a seeded run must be deterministic.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"spanner"
+)
+
+func obsAttr(e spanner.TraceEvent, key string) int64 {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Int()
+		}
+	}
+	return 0
+}
+
+// TestTraceTotalsMatchMetrics runs the Theorem 2 protocol with a JSONL
+// trace attached and checks three independent accountings of the same run:
+// the expand.call span attributes, the per-round engine events, and the
+// registry counters all must sum to the Metrics the API returns.
+func TestTraceTotalsMatchMetrics(t *testing.T) {
+	g := spanner.ConnectedGnp(600, 10.0/600, spanner.NewRand(5))
+	var buf bytes.Buffer
+	ob := spanner.NewObserver(spanner.NewJSONLSink(&buf))
+	res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: 5, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := spanner.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := spanner.SummarizeTrace(events)
+
+	// Accounting 1: expand.call span ends.
+	var callRounds, callMsgs, callWords, callEdges int64
+	for _, e := range events {
+		if e.Type != "span_end" || e.Name != "expand.call" {
+			continue
+		}
+		callRounds += obsAttr(e, "rounds")
+		callMsgs += obsAttr(e, "messages")
+		callWords += obsAttr(e, "words")
+		callEdges += obsAttr(e, "edges")
+	}
+	if callRounds != int64(res.Metrics.Rounds) || callMsgs != res.Metrics.Messages || callWords != res.Metrics.Words {
+		t.Fatalf("expand.call totals (r=%d m=%d w=%d) != Metrics (r=%d m=%d w=%d)",
+			callRounds, callMsgs, callWords, res.Metrics.Rounds, res.Metrics.Messages, res.Metrics.Words)
+	}
+	if callEdges != int64(res.Spanner.Len()) {
+		t.Fatalf("expand.call edge deltas sum to %d, spanner has %d", callEdges, res.Spanner.Len())
+	}
+
+	// Accounting 2: per-round engine events.
+	var roundMsgs, roundWords int64
+	roundCount := 0
+	for _, e := range events {
+		if e.Name != "distsim.round" {
+			continue
+		}
+		roundCount++
+		roundMsgs += obsAttr(e, "messages")
+		roundWords += obsAttr(e, "words")
+	}
+	if roundCount != res.Metrics.Rounds || roundMsgs != res.Metrics.Messages || roundWords != res.Metrics.Words {
+		t.Fatalf("round events (n=%d m=%d w=%d) != Metrics (n=%d m=%d w=%d)",
+			roundCount, roundMsgs, roundWords, res.Metrics.Rounds, res.Metrics.Messages, res.Metrics.Words)
+	}
+
+	// Accounting 3: the registry counters flushed into the trace.
+	for key, want := range map[string]int64{
+		"distsim.rounds":   int64(res.Metrics.Rounds),
+		"distsim.messages": res.Metrics.Messages,
+		"distsim.words":    res.Metrics.Words,
+	} {
+		mv, ok := sum.Metric(key)
+		if !ok {
+			t.Fatalf("trace has no %s metric", key)
+		}
+		if int64(mv.Value) != want {
+			t.Fatalf("%s = %v, want %d", key, mv.Value, want)
+		}
+	}
+
+	// The per-level table must attribute every contraction level.
+	if len(sum.Levels) == 0 {
+		t.Fatal("per-level table is empty")
+	}
+	var levelEdges int64
+	expandLevels := 0
+	for _, lr := range sum.Levels {
+		if lr.Name == "expand.call" {
+			expandLevels++
+			levelEdges += lr.Edges
+		}
+	}
+	if expandLevels == 0 || levelEdges != int64(res.Spanner.Len()) {
+		t.Fatalf("level table covers %d levels, %d edges; spanner has %d edges",
+			expandLevels, levelEdges, res.Spanner.Len())
+	}
+}
+
+// TestSkeletonTraceDeterministic asserts that two runs with the same seed
+// emit identical event sequences modulo wall-clock fields.
+func TestSkeletonTraceDeterministic(t *testing.T) {
+	runOnce := func() []spanner.TraceEvent {
+		g := spanner.ConnectedGnp(400, 8.0/400, spanner.NewRand(11))
+		mem := spanner.NewMemorySink()
+		ob := spanner.NewObserver(mem)
+		if _, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{Seed: 11, Obs: ob}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ob.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return spanner.StripTraceTimes(mem.Events())
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if i >= len(b) || !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("traces diverge at event %d:\n%+v\n%+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+}
+
+// TestFibonacciTraceDeterministic is the same property for the Sect. 4.4
+// pipeline (parent, ball and commit waves).
+func TestFibonacciTraceDeterministic(t *testing.T) {
+	runOnce := func() []spanner.TraceEvent {
+		g := spanner.ConnectedGnp(300, 8.0/300, spanner.NewRand(13))
+		mem := spanner.NewMemorySink()
+		ob := spanner.NewObserver(mem)
+		if _, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: 2, Seed: 13, Obs: ob}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ob.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return spanner.StripTraceTimes(mem.Events())
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if i >= len(b) || !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("traces diverge at event %d:\n%+v\n%+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+}
