@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt vet clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck clean
 
 all: build vet test
 
@@ -24,13 +24,27 @@ experiments:
 
 fuzz:
 	$(GO) test -fuzz=FuzzReadGraph -fuzztime=30s ./internal/graph
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=30s ./internal/faults
 
 fmt:
 	gofmt -w .
 
-vet:
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet: fmtcheck
 	$(GO) vet ./...
 	$(GO) test -race ./internal/distsim/... ./internal/obs/...
+	$(GO) test -run Fault -race ./internal/distsim/... ./internal/faults/...
+
+# The robustness gate: every fault-injection, panic-containment and
+# self-healing test under the race detector, plus a short fuzz pass over
+# the fault plan space.
+faultcheck:
+	$(GO) test -run 'Fault|Heal|Stall|Deadline|Panic|Crash|Drop|Resilience' -race \
+		./internal/distsim/... ./internal/faults/... ./internal/verify/... .
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
 
 clean:
 	$(GO) clean ./...

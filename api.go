@@ -8,6 +8,7 @@ import (
 	"spanner/internal/core"
 	"spanner/internal/distsim"
 	"spanner/internal/emulator"
+	"spanner/internal/faults"
 	"spanner/internal/fibonacci"
 	"spanner/internal/graph"
 	"spanner/internal/lower"
@@ -390,8 +391,74 @@ func Measure(g *Graph, s *EdgeSet, opts MeasureOptions) *Report {
 // --- Distributed-model types ---
 
 // Metrics are the cost measures of a distributed run: rounds, messages,
-// words, and the largest message observed (in O(log n)-bit words).
+// words, the largest message observed (in O(log n)-bit words), and the
+// injected-fault tallies when a fault plan was attached.
 type Metrics = distsim.Metrics
+
+// --- Fault injection and self-healing ---
+
+// FaultPlan is a seeded, deterministic fault-injection plan for the
+// synchronous simulator: message drop/duplicate/corrupt/delay
+// probabilities, failed links, and node crash schedules. Attach one via
+// SkeletonOptions.Faults, FibonacciOptions.Faults,
+// BaswanaSenDistOptions.Faults, or NewDistanceOracleFT. A nil or all-zero
+// plan leaves runs byte-identical to the lossless model.
+type FaultPlan = faults.Plan
+
+// FaultCrash is one node's crash window inside a FaultPlan.
+type FaultCrash = faults.Crash
+
+// FaultCounters tallies injected faults by kind; found in Metrics.Faults.
+type FaultCounters = faults.Counters
+
+// ParseFaultPlan parses the CLI fault spec, a comma-separated list such as
+// "drop=0.02,dup=0.01,corrupt=0.001,delay=0.05,delayrounds=3,seed=7,
+// crash=17@3,crash=9@1:5,link=2-11".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faults.Parse(spec) }
+
+// Resilience enables verifier-gated repair of a distributed build: after a
+// faulty run the spanner is checked against the pipeline's stretch bound
+// and healed — distributed retries on the residual subgraph, then a
+// sequential rebuild, then a raw-edge fallback with the degradation
+// recorded. Attach via the same Options as FaultPlan.
+type Resilience = verify.Resilience
+
+// HealReport records what verifier-gated repair did (attempts, violation
+// counts, degradation); found on the distributed results as Health.
+type HealReport = verify.HealReport
+
+// RunError is the typed failure of a simulator run: a contained handler
+// panic attributed to its node and round, or a run-health abort (deadline,
+// stalled rounds). Extract from any distributed build error with
+// AsRunError.
+type RunError = distsim.RunError
+
+// AsRunError extracts a *RunError from an error chain (nil if absent).
+func AsRunError(err error) *RunError { return distsim.AsRunError(err) }
+
+// SpannerViolatedEdges returns the graph edges whose spanner distance
+// exceeds bound — the edge-certificate form of t-spanner verification.
+func SpannerViolatedEdges(g *Graph, s *EdgeSet, bound int) [][2]int32 {
+	return verify.ViolatedEdges(g, s, bound)
+}
+
+// BaswanaSenDistOptions is the fully-optioned configuration of a
+// distributed Baswana–Sen run (seed, observability, faults, resilience).
+type BaswanaSenDistOptions = baseline.DistOptions
+
+// BaswanaSenDistributedOpts is BaswanaSenDistributed with fault injection
+// and self-healing.
+func BaswanaSenDistributedOpts(g *Graph, k int, opts BaswanaSenDistOptions) (*BaswanaSenResult, Metrics, error) {
+	return baseline.BaswanaSenDistributedOpts(g, k, opts)
+}
+
+// NewDistanceOracleFT is the fault-tolerant distributed oracle build: waves
+// run under plan (nil = lossless), and with r non-nil the oracle's spanner
+// is verified against the 2k−1 bound with whole-build retries and a
+// sequential fallback.
+func NewDistanceOracleFT(g *Graph, k int, seed int64, o *Observer, plan *FaultPlan, r *Resilience) (*DistanceOracle, Metrics, *HealReport, error) {
+	return oracle.NewDistributedFT(g, k, seed, o, plan, r)
+}
 
 // --- Observability ---
 

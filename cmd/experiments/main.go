@@ -40,6 +40,7 @@ var scales = map[string]scaleCfg{
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: small|full")
 	seed := flag.Int64("seed", 1, "random seed")
+	faultSweep := flag.Bool("faults", false, "run only the fault-injection sweep (drop rate x stretch violations x repair)")
 	tracePath := flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -80,6 +81,13 @@ func main() {
 				spanner.WriteObserverSummary(os.Stderr, ob)
 			}
 		}()
+	}
+	if *faultSweep {
+		if err := eFaultSweep(cfg, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(cfg, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -538,5 +546,93 @@ func eExtraApplications(cfg scaleCfg, seed int64) error {
 	}
 	fmt.Printf("- Corollary 1 union (fib o=%d + skeleton D=%d): |S| = %d, d=1 stretch bound %.1f\n",
 		comb.Fib.Params.Order, comb.D, comb.Spanner.Len(), comb.StretchBoundAt(1))
+	return nil
+}
+
+// eFaultSweep is the robustness experiment behind EXPERIMENTS.md's "Fault
+// model" section: sweep the message drop rate over the distributed
+// pipelines, measure how many edges violate the stretch bound before
+// repair, and record what verifier-gated healing had to do (attempts,
+// fallback edges, degradation). Run with -faults; it replaces the E1–E12
+// suite for that invocation.
+func eFaultSweep(cfg scaleCfg, seed int64) error {
+	n := cfg.n / 4
+	fmt.Printf("# Fault-injection sweep (n=%d, deg=%.0f, seed %d)\n", n, cfg.deg, seed)
+	fmt.Println("\n## F1: drop rate vs stretch violations and verifier-gated repair")
+	fmt.Println()
+	fmt.Println("| algo | drop | injected | dropped | violations before heal | attempts | fallback edges | degraded | edges |")
+	fmt.Println("|:-----|-----:|---------:|--------:|-----------------------:|---------:|---------------:|:---------|------:|")
+	rates := []float64{0, 0.01, 0.02, 0.05}
+	row := func(algo string, rate float64, m spanner.Metrics, h *spanner.HealReport, edges int) {
+		viol := 0
+		if len(h.Violations) > 0 {
+			viol = h.Violations[0]
+		}
+		fmt.Printf("| %s | %.2f | %d | %d | %d | %d | %d | %v | %d |\n",
+			algo, rate, m.Faults.Total(), m.Faults.DroppedTotal(), viol,
+			h.Attempts, h.FallbackEdges, h.Degraded, edges)
+	}
+	for _, rate := range rates {
+		g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(seed))
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+			Seed: seed, Obs: ob,
+			Faults:     &spanner.FaultPlan{Seed: seed, Drop: rate},
+			Resilience: &spanner.Resilience{},
+		})
+		if err != nil {
+			return err
+		}
+		row("skeleton-dist", rate, res.Metrics, res.Health, res.Spanner.Len())
+	}
+	for _, rate := range rates {
+		g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(seed))
+		res, m, err := spanner.BaswanaSenDistributedOpts(g, 3, spanner.BaswanaSenDistOptions{
+			Seed: seed, Obs: ob,
+			Faults:     &spanner.FaultPlan{Seed: seed, Drop: rate},
+			Resilience: &spanner.Resilience{},
+		})
+		if err != nil {
+			return err
+		}
+		row("baswana-sen-dist k=3", rate, m, res.Health, res.Spanner.Len())
+	}
+	for _, rate := range rates {
+		g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(seed))
+		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{
+			Order: 2, Seed: seed, Obs: ob,
+			Faults:     &spanner.FaultPlan{Seed: seed, Drop: rate},
+			Resilience: &spanner.Resilience{},
+		})
+		if err != nil {
+			return err
+		}
+		row("fibonacci-dist o=2", rate, res.Metrics, res.Health, res.Spanner.Len())
+	}
+
+	fmt.Println("\n## F2: crash-stop of cluster centers (skeleton-dist)")
+	fmt.Println()
+	fmt.Println("| crashes | injected | violations before heal | attempts | degraded | edges |")
+	fmt.Println("|--------:|---------:|-----------------------:|---------:|:---------|------:|")
+	for _, crashes := range []int{1, 4, 16} {
+		g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(seed))
+		plan := &spanner.FaultPlan{Seed: seed}
+		for c := 0; c < crashes; c++ {
+			plan.Crashes = append(plan.Crashes,
+				spanner.FaultCrash{Node: int32((c*n)/crashes + 1), From: 2})
+		}
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+			Seed: seed, Obs: ob, Faults: plan, Resilience: &spanner.Resilience{},
+		})
+		if err != nil {
+			return err
+		}
+		viol := 0
+		if len(res.Health.Violations) > 0 {
+			viol = res.Health.Violations[0]
+		}
+		fmt.Printf("| %d | %d | %d | %d | %v | %d |\n",
+			crashes, res.Metrics.Faults.Total(), viol, res.Health.Attempts,
+			res.Health.Degraded, res.Spanner.Len())
+	}
 	return nil
 }

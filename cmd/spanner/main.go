@@ -34,6 +34,11 @@ type output struct {
 	Rounds      int     `json:"rounds,omitempty"`
 	Messages    int64   `json:"messages,omitempty"`
 	MaxMsgWords int     `json:"maxMsgWords,omitempty"`
+	// Fault injection and self-healing (distributed algorithms with -faults).
+	FaultsInjected int64  `json:"faultsInjected,omitempty"`
+	FaultsDropped  int64  `json:"faultsDropped,omitempty"`
+	BuildErr       string `json:"buildErr,omitempty"`
+	Heal           string `json:"heal,omitempty"`
 }
 
 func main() {
@@ -60,6 +65,8 @@ func run() error {
 		inPath         = flag.String("in", "", "read the input graph from an edge-list file instead of generating")
 		savePath       = flag.String("save", "", "write the spanner to an edge-list file")
 		dotPath        = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
+		faultsSpec     = flag.String("faults", "", "fault-injection spec for distributed algorithms, e.g. drop=0.02,dup=0.01,crash=17@3,link=2-11")
+		heal           = flag.Bool("heal", false, "verify the (possibly faulty) distributed build and repair it until the stretch bound holds")
 		tracePath      = flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
 		metricsSummary = flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -121,6 +128,27 @@ func run() error {
 	}
 	out := output{Graph: *graphKind, N: g.N(), M: g.M(), Algo: *algo}
 
+	plan, err := spanner.ParseFaultPlan(*faultsSpec)
+	if err != nil {
+		return err
+	}
+	var resilience *spanner.Resilience
+	if *heal {
+		resilience = &spanner.Resilience{}
+	}
+	distAlgo := map[string]bool{"skeleton-dist": true, "fibonacci-dist": true, "baswana-sen-dist": true}[*algo]
+	if (!plan.IsZero() || *heal) && !distAlgo {
+		return fmt.Errorf("-faults/-heal apply to distributed algorithms only, not %q", *algo)
+	}
+	recordFaults := func(m spanner.Metrics, healReport *spanner.HealReport, buildErr string) {
+		out.FaultsInjected = m.Faults.Total()
+		out.FaultsDropped = m.Faults.DroppedTotal()
+		out.BuildErr = buildErr
+		if healReport != nil {
+			out.Heal = healReport.String()
+		}
+	}
+
 	var edges *spanner.EdgeSet
 	switch *algo {
 	case "skeleton":
@@ -130,7 +158,8 @@ func run() error {
 		}
 		edges = res.Spanner
 	case "skeleton-dist":
-		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{D: *d, Seed: *seed, Obs: ob})
+		res, err := spanner.BuildSkeletonDistributed(g,
+			spanner.SkeletonOptions{D: *d, Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience})
 		if err != nil {
 			return err
 		}
@@ -138,6 +167,7 @@ func run() error {
 		out.Rounds = res.Metrics.Rounds
 		out.Messages = res.Metrics.Messages
 		out.MaxMsgWords = res.Metrics.MaxMsgWords
+		recordFaults(res.Metrics, res.Health, res.BuildErr)
 	case "fibonacci":
 		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob})
 		if err != nil {
@@ -145,7 +175,8 @@ func run() error {
 		}
 		edges = res.Spanner
 	case "fibonacci-dist":
-		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob})
+		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{
+			Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience})
 		if err != nil {
 			return err
 		}
@@ -153,6 +184,7 @@ func run() error {
 		out.Rounds = res.Metrics.Rounds
 		out.Messages = res.Metrics.Messages
 		out.MaxMsgWords = res.Metrics.MaxMsgWords
+		recordFaults(res.Metrics, res.Health, res.BuildErr)
 	case "baswana-sen":
 		res, err := spanner.BaswanaSenObs(g, *k, *seed, ob)
 		if err != nil {
@@ -160,7 +192,8 @@ func run() error {
 		}
 		edges = res.Spanner
 	case "baswana-sen-dist":
-		res, m, err := spanner.BaswanaSenDistributedObs(g, *k, *seed, ob)
+		res, m, err := spanner.BaswanaSenDistributedOpts(g, *k,
+			spanner.BaswanaSenDistOptions{Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience})
 		if err != nil {
 			return err
 		}
@@ -168,6 +201,7 @@ func run() error {
 		out.Rounds = m.Rounds
 		out.Messages = m.Messages
 		out.MaxMsgWords = m.MaxMsgWords
+		recordFaults(m, res.Health, res.BuildErr)
 	case "greedy":
 		res, err := spanner.Greedy(g, *k)
 		if err != nil {
@@ -248,6 +282,15 @@ func run() error {
 	if out.Rounds > 0 {
 		fmt.Printf("distributed: %d rounds, %d messages, max message %d words\n",
 			out.Rounds, out.Messages, out.MaxMsgWords)
+	}
+	if out.FaultsInjected > 0 {
+		fmt.Printf("faults: %d injected (%d lost), plan %v\n", out.FaultsInjected, out.FaultsDropped, plan)
+	}
+	if out.BuildErr != "" {
+		fmt.Printf("build error (recovered): %s\n", out.BuildErr)
+	}
+	if out.Heal != "" {
+		fmt.Printf("heal:   %s\n", out.Heal)
 	}
 	return nil
 }

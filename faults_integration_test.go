@@ -1,0 +1,273 @@
+package spanner_test
+
+// Fault-injection integration tests over the public API: the zero-plan
+// identity every pipeline must satisfy, the self-healing acceptance
+// scenarios (random drop, crash-stop) for each distributed builder, and the
+// reconciliation of fault counters between the trace and the Metrics.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"spanner"
+)
+
+func edgeKeys(s *spanner.EdgeSet) []int64 {
+	ks := s.Keys()
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// TestZeroFaultPlanIdentity is the PR's acceptance criterion: under a fixed
+// seed, attaching an all-zero FaultPlan must leave every pipeline's spanner
+// and Metrics identical to a run with no plan at all.
+func TestZeroFaultPlanIdentity(t *testing.T) {
+	mkGraph := func() *spanner.Graph {
+		return spanner.ConnectedGnp(500, 8.0/500, spanner.NewRand(17))
+	}
+	zero := func() *spanner.FaultPlan { return &spanner.FaultPlan{Seed: 99} }
+
+	t.Run("skeleton-dist", func(t *testing.T) {
+		run := func(plan *spanner.FaultPlan) (*spanner.EdgeSet, spanner.Metrics) {
+			res, err := spanner.BuildSkeletonDistributed(mkGraph(),
+				spanner.SkeletonOptions{Seed: 17, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Spanner, res.Metrics
+		}
+		s1, m1 := run(nil)
+		s2, m2 := run(zero())
+		if m1 != m2 {
+			t.Fatalf("metrics differ: %+v vs %+v", m1, m2)
+		}
+		if !reflect.DeepEqual(edgeKeys(s1), edgeKeys(s2)) {
+			t.Fatal("zero plan changed the spanner")
+		}
+	})
+	t.Run("fibonacci-dist", func(t *testing.T) {
+		run := func(plan *spanner.FaultPlan) (*spanner.EdgeSet, spanner.Metrics) {
+			res, err := spanner.BuildFibonacciDistributed(mkGraph(),
+				spanner.FibonacciOptions{Order: 2, Seed: 17, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Spanner, res.Metrics
+		}
+		s1, m1 := run(nil)
+		s2, m2 := run(zero())
+		if m1 != m2 {
+			t.Fatalf("metrics differ: %+v vs %+v", m1, m2)
+		}
+		if !reflect.DeepEqual(edgeKeys(s1), edgeKeys(s2)) {
+			t.Fatal("zero plan changed the spanner")
+		}
+	})
+	t.Run("baswana-sen-dist", func(t *testing.T) {
+		run := func(plan *spanner.FaultPlan) (*spanner.EdgeSet, spanner.Metrics) {
+			res, m, err := spanner.BaswanaSenDistributedOpts(mkGraph(), 3,
+				spanner.BaswanaSenDistOptions{Seed: 17, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Spanner, m
+		}
+		s1, m1 := run(nil)
+		s2, m2 := run(zero())
+		if m1 != m2 {
+			t.Fatalf("metrics differ: %+v vs %+v", m1, m2)
+		}
+		if !reflect.DeepEqual(edgeKeys(s1), edgeKeys(s2)) {
+			t.Fatal("zero plan changed the spanner")
+		}
+	})
+	t.Run("oracle", func(t *testing.T) {
+		run := func(plan *spanner.FaultPlan) (*spanner.EdgeSet, spanner.Metrics) {
+			o, m, _, err := spanner.NewDistanceOracleFT(mkGraph(), 3, 17, nil, plan, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return o.Spanner(), m
+		}
+		s1, m1 := run(nil)
+		s2, m2 := run(zero())
+		if m1 != m2 {
+			t.Fatalf("metrics differ: %+v vs %+v", m1, m2)
+		}
+		if !reflect.DeepEqual(edgeKeys(s1), edgeKeys(s2)) {
+			t.Fatal("zero plan changed the spanner")
+		}
+	})
+}
+
+// TestSkeletonSelfHealsUnderDrop is the headline acceptance scenario: 2%
+// message drop on G(2000, 0.01) with Resilience set must end in a verified
+// spanner or an explicitly recorded degradation — never an error, never a
+// panic.
+func TestSkeletonSelfHealsUnderDrop(t *testing.T) {
+	g := spanner.ConnectedGnp(2000, 0.01, spanner.NewRand(3))
+	res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+		Seed:       3,
+		Faults:     &spanner.FaultPlan{Seed: 3, Drop: 0.02},
+		Resilience: &spanner.Resilience{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Health
+	if h == nil || !h.Checked {
+		t.Fatalf("healing did not run: %v", h)
+	}
+	if !h.Verified {
+		t.Fatalf("spanner not verified after healing: %v", h)
+	}
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, h.Bound); len(viol) != 0 {
+		t.Fatalf("%d edges still violate the bound %d", len(viol), h.Bound)
+	}
+	if res.Metrics.Faults.Dropped == 0 {
+		t.Fatal("the drop plan injected nothing; the scenario is vacuous")
+	}
+}
+
+// TestSkeletonCrashStopHeals crash-stops a vertex mid-protocol (after it may
+// have become a sampled cluster center) and checks verifier-gated repair
+// still delivers a valid spanner covering the crashed vertex's edges.
+func TestSkeletonCrashStopHeals(t *testing.T) {
+	g := spanner.ConnectedGnp(500, 10.0/500, spanner.NewRand(7))
+	res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+		Seed: 7,
+		Faults: &spanner.FaultPlan{Seed: 7, Crashes: []spanner.FaultCrash{
+			{Node: 42, From: 2}, // crash-stop in the middle of the first call
+		}},
+		Resilience: &spanner.Resilience{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil || !res.Health.Verified {
+		t.Fatalf("healing failed: %v", res.Health)
+	}
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, res.Health.Bound); len(viol) != 0 {
+		t.Fatalf("%d violated edges remain around the crash", len(viol))
+	}
+}
+
+func TestBaswanaSenSelfHealsUnderDrop(t *testing.T) {
+	g := spanner.ConnectedGnp(600, 8.0/600, spanner.NewRand(5))
+	const k = 3
+	res, _, err := spanner.BaswanaSenDistributedOpts(g, k, spanner.BaswanaSenDistOptions{
+		Seed:       5,
+		Faults:     &spanner.FaultPlan{Seed: 5, Drop: 0.05},
+		Resilience: &spanner.Resilience{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil || !res.Health.Verified {
+		t.Fatalf("healing failed: %v", res.Health)
+	}
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, 2*k-1); len(viol) != 0 {
+		t.Fatalf("%d edges exceed stretch %d after healing", len(viol), 2*k-1)
+	}
+}
+
+func TestFibonacciSelfHealsUnderDrop(t *testing.T) {
+	g := spanner.ConnectedGnp(400, 8.0/400, spanner.NewRand(11))
+	res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{
+		Order:      2,
+		Seed:       11,
+		Faults:     &spanner.FaultPlan{Seed: 11, Drop: 0.03},
+		Resilience: &spanner.Resilience{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Health == nil || !res.Health.Verified {
+		t.Fatalf("healing failed: %v", res.Health)
+	}
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, res.Health.Bound); len(viol) != 0 {
+		t.Fatalf("%d violated edges remain", len(viol))
+	}
+}
+
+func TestOracleSelfHealsUnderDrop(t *testing.T) {
+	g := spanner.ConnectedGnp(400, 8.0/400, spanner.NewRand(13))
+	const k = 3
+	o, _, hr, err := spanner.NewDistanceOracleFT(g, k, 13, nil,
+		&spanner.FaultPlan{Seed: 13, Drop: 0.05}, &spanner.Resilience{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil || hr == nil || !hr.Checked {
+		t.Fatalf("oracle healing did not run: %v", hr)
+	}
+	if !hr.Verified {
+		t.Fatalf("oracle spanner not verified: %v", hr)
+	}
+	if viol := spanner.SpannerViolatedEdges(g, o.Spanner(), 2*k-1); len(viol) != 0 {
+		t.Fatalf("%d edges exceed stretch %d", len(viol), 2*k-1)
+	}
+}
+
+// TestDropSweepNeverPanics walks the 1–5% drop band the experiment recipe
+// sweeps and asserts the verify-gated retry loop converges at every rate.
+func TestDropSweepNeverPanics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is long for -short")
+	}
+	g := spanner.ConnectedGnp(600, 8.0/600, spanner.NewRand(23))
+	for _, rate := range []float64{0.01, 0.02, 0.05} {
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+			Seed:       23,
+			Faults:     &spanner.FaultPlan{Seed: 23, Drop: rate},
+			Resilience: &spanner.Resilience{},
+		})
+		if err != nil {
+			t.Fatalf("drop=%g: %v", rate, err)
+		}
+		if !res.Health.Verified {
+			t.Fatalf("drop=%g: %v", rate, res.Health)
+		}
+	}
+}
+
+// TestFaultTraceReconciliation: the per-run span ends carry the injected
+// fault tallies; summed over the trace they must equal Metrics.Faults.
+func TestFaultTraceReconciliation(t *testing.T) {
+	g := spanner.ConnectedGnp(500, 8.0/500, spanner.NewRand(19))
+	mem := spanner.NewMemorySink()
+	ob := spanner.NewObserver(mem)
+	res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+		Seed:       19,
+		Obs:        ob,
+		Faults:     &spanner.FaultPlan{Seed: 19, Drop: 0.02, Duplicate: 0.01, Corrupt: 0.005, Delay: 0.02},
+		Resilience: &spanner.Resilience{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var dropped, duplicated, corrupted, delayed, total int64
+	for _, e := range mem.Events() {
+		if e.Type != "span_end" || e.Name != "distsim.run" {
+			continue
+		}
+		dropped += obsAttr(e, "faults_dropped")
+		duplicated += obsAttr(e, "faults_duplicated")
+		corrupted += obsAttr(e, "faults_corrupted")
+		delayed += obsAttr(e, "faults_delayed")
+		total += obsAttr(e, "faults")
+	}
+	fc := res.Metrics.Faults
+	if dropped != fc.DroppedTotal() || duplicated != fc.Duplicated ||
+		corrupted != fc.Corrupted || delayed != fc.Delayed || total != fc.Total() {
+		t.Fatalf("trace sums (drop=%d dup=%d corrupt=%d delay=%d total=%d) != Metrics.Faults %+v",
+			dropped, duplicated, corrupted, delayed, total, fc)
+	}
+	if total == 0 {
+		t.Fatal("no faults were traced; the reconciliation is vacuous")
+	}
+}

@@ -26,8 +26,10 @@ import (
 	"spanner/internal/cluster"
 	"spanner/internal/core"
 	"spanner/internal/distsim"
+	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/verify"
 )
 
 // BaswanaSenResult reports a Baswana–Sen run.
@@ -37,6 +39,12 @@ type BaswanaSenResult struct {
 	K int
 	// SizeBound is the expected-size bound O(kn + ln k·n^{1+1/k}).
 	SizeBound float64
+	// Health records verifier-gated repair when DistOptions.Resilience was
+	// set on a distributed run (nil otherwise).
+	Health *verify.HealReport
+	// BuildErr is the error of the initial distributed build that healing
+	// recovered from (empty when the build itself succeeded).
+	BuildErr string
 }
 
 // BaswanaSen computes a (2k−1)-spanner of g with expected size
@@ -98,6 +106,29 @@ func BaswanaSenDistributed(g *graph.Graph, k int, seed int64) (*BaswanaSenResult
 // BaswanaSenDistributedObs is BaswanaSenDistributed with per-call spans and
 // engine round events emitted to o (nil disables observability).
 func BaswanaSenDistributedObs(g *graph.Graph, k int, seed int64, o *obs.Observer) (*BaswanaSenResult, distsim.Metrics, error) {
+	return BaswanaSenDistributedOpts(g, k, DistOptions{Seed: seed, Obs: o})
+}
+
+// DistOptions configures a distributed Baswana–Sen run beyond the stretch
+// parameter: seeding, observability, fault injection and self-healing.
+type DistOptions struct {
+	// Seed seeds the sampling decisions.
+	Seed int64
+	// Obs receives phase spans and engine events (nil disables).
+	Obs *obs.Observer
+	// Faults injects faults into every engine run (nil = lossless model).
+	Faults *faults.Plan
+	// Resilience enables verifier-gated repair against the (2k−1)-stretch
+	// guarantee; nil makes faulty builds fail hard.
+	Resilience *verify.Resilience
+}
+
+// BaswanaSenDistributedOpts is the fully-optioned distributed Baswana–Sen:
+// with opts.Resilience set, a faulty build is verified against the 2k−1
+// bound and healed on the residual subgraph (distributed retries, then a
+// sequential rebuild, then the raw-edge fallback), with the outcome in
+// BaswanaSenResult.Health.
+func BaswanaSenDistributedOpts(g *graph.Graph, k int, opts DistOptions) (*BaswanaSenResult, distsim.Metrics, error) {
 	var metrics distsim.Metrics
 	if k < 1 {
 		return nil, metrics, fmt.Errorf("baseline: k must be >= 1, got %d", k)
@@ -110,11 +141,33 @@ func BaswanaSenDistributedObs(g *graph.Graph, k int, seed int64, o *obs.Observer
 	}
 	nf := float64(n)
 	res.SizeBound = float64(k)*nf + (math.Log(float64(k))+1)*math.Pow(nf, 1+1/float64(k))
-	spanner, metrics, _, err := core.RunExpandSchedule(g, baswanaSenCalls(n, k), seed, 0, o, "baswana_sen.dist")
-	if err != nil {
+	spanner, metrics, _, err := core.RunExpandSchedule(g, baswanaSenCalls(n, k), opts.Seed, 0, opts.Faults, opts.Obs, "baswana_sen.dist")
+	if err != nil && opts.Resilience == nil {
 		return nil, metrics, err
 	}
 	res.Spanner = spanner
+	if err != nil {
+		res.BuildErr = err.Error()
+	}
+	if opts.Resilience != nil {
+		r := *opts.Resilience
+		bound := r.Bound(2*k - 1)
+		res.Health = verify.Heal(g, res.Spanner, bound, r,
+			func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+				seed := opts.Seed + int64(attempt)<<32
+				if attempt >= r.Attempts() {
+					sr, serr := BaswanaSenObs(residual, k, seed, nil)
+					if serr != nil {
+						return nil, serr
+					}
+					return sr.Spanner, nil
+				}
+				sp, m, _, rerr := core.RunExpandSchedule(residual, baswanaSenCalls(residual.N(), k),
+					seed, 0, opts.Faults, opts.Obs, "baswana_sen.heal")
+				metrics.Add(m)
+				return sp, rerr
+			})
+	}
 	return res, metrics, nil
 }
 

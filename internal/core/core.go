@@ -27,9 +27,11 @@ import (
 	"math/rand"
 
 	"spanner/internal/cluster"
+	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
 	"spanner/internal/seq"
+	"spanner/internal/verify"
 )
 
 // Variant selects the termination rule of the schedule.
@@ -65,6 +67,16 @@ type Options struct {
 	// with the contraction level), per-round engine events for the
 	// distributed build, and registry metrics. Nil disables observability.
 	Obs *obs.Observer
+	// Faults attaches a deterministic fault-injection plan to the
+	// distributed build's engine runs (nil, or a zero plan, keeps the
+	// lossless synchronous model). Sequential builds ignore it.
+	Faults *faults.Plan
+	// Resilience enables verifier-gated repair of the distributed build:
+	// after a (possibly faulty) run the spanner is checked against the
+	// analytic distortion bound and rebuilt on the residual subgraph until
+	// it verifies, with the outcome recorded in DistributedResult.Health.
+	// Nil disables healing (faulty builds then fail hard, as before).
+	Resilience *verify.Resilience
 }
 
 // CallRecord captures one Expand call for analysis.

@@ -7,8 +7,10 @@ import (
 	"sort"
 
 	"spanner/internal/distsim"
+	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/verify"
 )
 
 // This file implements Theorem 2's distributed construction of the
@@ -498,6 +500,12 @@ type DistributedResult struct {
 	Calls []Call
 	// MaxMsgWords is the message cap that was enforced.
 	MaxMsgWords int
+	// Health records verifier-gated repair when Options.Resilience was set
+	// (nil otherwise). Degradation is explicit here, never silent.
+	Health *verify.HealReport
+	// BuildErr is the error of the initial distributed build that healing
+	// recovered from (empty when the build itself succeeded).
+	BuildErr string
 }
 
 // BuildSkeletonDistributed runs Theorem 2's protocol on the distsim engine
@@ -524,13 +532,43 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 	}
 	res.MaxMsgWords = msgCap
 
-	spanner, metrics, perCall, err := RunExpandSchedule(g, res.Calls, opts.Seed, msgCap, opts.Obs, "skeleton.dist")
-	if err != nil {
+	spanner, metrics, perCall, err := RunExpandSchedule(g, res.Calls, opts.Seed, msgCap, opts.Faults, opts.Obs, "skeleton.dist")
+	if err != nil && opts.Resilience == nil {
 		return nil, err
 	}
 	res.Spanner = spanner
 	res.Metrics = metrics
 	res.CallMetrics = perCall
+	if err != nil {
+		res.BuildErr = err.Error()
+	}
+	if opts.Resilience != nil {
+		r := *opts.Resilience
+		bound := r.Bound(int(math.Ceil(DistortionBound(n, opts))))
+		res.Health = verify.Heal(g, res.Spanner, bound, r,
+			func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+				seed := opts.Seed + int64(attempt)<<32
+				if attempt >= r.Attempts() {
+					// Last attempt: sequential, fault-free reconstruction on
+					// the residual damage.
+					seqOpts := opts
+					seqOpts.Faults = nil
+					seqOpts.Resilience = nil
+					seqOpts.Seed = seed
+					sr, serr := BuildSkeleton(residual, seqOpts)
+					if serr != nil {
+						return nil, serr
+					}
+					return sr.Spanner, nil
+				}
+				// Distributed retry on the residual subgraph, still under the
+				// fault plan (fresh injector stream, so retries differ).
+				sp, m, _, rerr := RunExpandSchedule(residual, Schedule(residual.N(), opts),
+					seed, msgCap, opts.Faults, opts.Obs, "skeleton.heal")
+				res.Metrics.Add(m)
+				return sp, rerr
+			})
+	}
 	return res, nil
 }
 
@@ -538,10 +576,15 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 // arbitrary call schedule (the Section 2 skeleton uses the tower schedule;
 // Baswana–Sen is the same protocol over k fixed-probability calls without
 // contraction). The schedule should end with a zero-probability call so
-// every vertex resolves. msgCap <= 0 disables the message cap. o (nil ok)
-// receives one span per Expand call labeled with the contraction level,
-// nested under a root span named label.
-func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int, o *obs.Observer, label string) (*graph.EdgeSet, distsim.Metrics, []distsim.Metrics, error) {
+// every vertex resolves. msgCap <= 0 disables the message cap. plan (nil
+// ok) injects faults into every engine run. o (nil ok) receives one span
+// per Expand call labeled with the contraction level, nested under a root
+// span named label.
+//
+// On error the returned edge set is the partial spanner built so far (never
+// nil), so verifier-gated healing can repair the residual damage instead of
+// starting over.
+func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int, plan *faults.Plan, o *obs.Observer, label string) (*graph.EdgeSet, distsim.Metrics, []distsim.Metrics, error) {
 	n := g.N()
 	spanner := graph.NewEdgeSet(2 * n)
 	var metrics distsim.Metrics
@@ -608,17 +651,26 @@ func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int, 
 		net, err := distsim.NewNetwork(g, handlers, distsim.Config{
 			MaxMsgWords: msgCap,
 			Strict:      msgCap > 0,
+			Faults:      plan,
 			Obs:         o,
 			Parent:      cspan,
 		})
 		if err != nil {
-			return nil, metrics, perCall, err
+			return spanner, metrics, perCall, err
 		}
 		m, err := net.Run()
 		if err != nil {
+			// Salvage the edges the protocol committed before the failure:
+			// the partial spanner is the healing layer's starting point.
+			metrics.Add(m)
+			for v := range nodes {
+				for _, k := range nodes[v].outEdges {
+					spanner.AddKey(k)
+				}
+			}
 			cspan.End(obs.S("error", err.Error()))
 			root.End(obs.S("error", err.Error()))
-			return nil, metrics, perCall, fmt.Errorf("core: distributed Expand call %d: %w", idx, err)
+			return spanner, metrics, perCall, fmt.Errorf("core: distributed Expand call %d: %w", idx, err)
 		}
 		perCall = append(perCall, m)
 		metrics.Add(m)

@@ -153,12 +153,12 @@ func TestDistributedRoundsScale(t *testing.T) {
 
 func TestRunExpandScheduleEmptyInputs(t *testing.T) {
 	g := graph.Path(3)
-	s, m, per, err := RunExpandSchedule(g, nil, 1, 0, nil, "")
+	s, m, per, err := RunExpandSchedule(g, nil, 1, 0, nil, nil, "")
 	if err != nil || s.Len() != 0 || m.Rounds != 0 || per != nil {
 		t.Fatalf("empty schedule should be a no-op: %v %v", m, err)
 	}
 	empty := graph.Complete(0)
-	if _, _, _, err := RunExpandSchedule(empty, Schedule(3, Options{}), 1, 0, nil, ""); err != nil {
+	if _, _, _, err := RunExpandSchedule(empty, Schedule(3, Options{}), 1, 0, nil, nil, ""); err != nil {
 		t.Fatalf("empty graph: %v", err)
 	}
 }
@@ -168,7 +168,7 @@ func TestRunExpandScheduleTinyCapFails(t *testing.T) {
 	// must surface as a strict-mode error, not silent truncation.
 	rng := rand.New(rand.NewSource(1))
 	g := graph.ConnectedGnp(50, 0.1, rng)
-	_, _, _, err := RunExpandSchedule(g, Schedule(g.N(), Options{}), 1, 3, nil, "")
+	_, _, _, err := RunExpandSchedule(g, Schedule(g.N(), Options{}), 1, 3, nil, nil, "")
 	if err == nil {
 		t.Fatal("3-word cap must break the protocol loudly")
 	}
@@ -180,11 +180,11 @@ func TestRunExpandScheduleUncappedMatchesCapped(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	g := graph.ConnectedGnp(120, 0.06, rng)
 	sched := Schedule(g.N(), Options{})
-	a, _, _, err := RunExpandSchedule(g, sched, 7, 0, nil, "")
+	a, _, _, err := RunExpandSchedule(g, sched, 7, 0, nil, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, _, err := RunExpandSchedule(g, sched, 7, 64, nil, "")
+	b, _, _, err := RunExpandSchedule(g, sched, 7, 64, nil, nil, "")
 	if err != nil {
 		t.Fatal(err)
 	}

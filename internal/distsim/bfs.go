@@ -44,10 +44,10 @@ func RunBFSRadius(g *graph.Graph, sources []int32, radius int64, cfg Config) (*B
 	if err != nil {
 		return nil, err
 	}
-	m, err := net.Run()
-	if err != nil {
-		return nil, err
-	}
+	m, runErr := net.Run()
+	// On a run failure (fault plan, contained panic, deadline) the partial
+	// result is still returned alongside the error: decided vertices hold
+	// valid distances and parents, which is what healing layers patch from.
 	res := &BFSResult{
 		Dist:    make([]int32, g.N()),
 		Nearest: make([]int32, g.N()),
@@ -65,7 +65,7 @@ func RunBFSRadius(g *graph.Graph, sources []int32, radius int64, cfg Config) (*B
 		res.Nearest[v] = int32(nodes[v].source)
 		res.Parent[v] = nodes[v].parent
 	}
-	return res, nil
+	return res, runErr
 }
 
 // bfsPatientNode decides its distance on first contact but stays receptive

@@ -20,15 +20,26 @@
 // synchronous model. Handlers therefore must not touch any state other than
 // their own node's. Delivery order is deterministic (inboxes are sorted by
 // sender), so a protocol seeded deterministically produces identical runs.
+//
+// The lossless synchronous model can be perturbed by attaching a seeded
+// faults.Plan (Config.Faults): messages are then dropped, duplicated,
+// corrupted or delayed, links fail, and nodes crash on a deterministic
+// schedule, with every injected fault tallied in Metrics.Faults. Handler
+// panics are contained and attributed (*RunError) instead of killing the
+// process, and runs can carry a wall-clock deadline and a stalled-round
+// detector so a wounded protocol cancels gracefully rather than spinning.
 package distsim
 
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
 )
@@ -64,6 +75,9 @@ type Metrics struct {
 	Words       int64 // total words across all messages
 	MaxMsgWords int   // largest single message observed
 	CapExceeded int64 // messages that exceeded the configured cap
+	// Faults tallies injected faults (all zero when no plan is attached, so
+	// fault-free and zero-plan snapshots compare equal).
+	Faults faults.Counters
 }
 
 // Add accumulates other into m (MaxMsgWords maxes, everything else sums) —
@@ -76,6 +90,14 @@ func (m *Metrics) Add(other Metrics) {
 		m.MaxMsgWords = other.MaxMsgWords
 	}
 	m.CapExceeded += other.CapExceeded
+	m.Faults.Add(other.Faults)
+}
+
+// Delivered is the number of messages that reached an inbox: sends plus
+// injected duplicates minus every kind of loss. Without faults it equals
+// Messages.
+func (m Metrics) Delivered() int64 {
+	return m.Messages + m.Faults.Duplicated - m.Faults.DroppedTotal()
 }
 
 // Trace returns the per-round profile recorded when Config.TraceRounds was
@@ -103,6 +125,17 @@ type Config struct {
 	// TraceRounds records per-round message counts and word volumes in
 	// Metrics.Trace, for round-profile experiments.
 	TraceRounds bool
+	// Faults attaches a deterministic fault-injection plan. A nil plan —
+	// or one whose IsZero() holds — leaves the run byte-identical to a
+	// fault-free run; every injected fault is tallied in Metrics.Faults.
+	Faults *faults.Plan
+	// Deadline bounds the run's wall clock; past it the run cancels
+	// gracefully with a *RunError wrapping ErrDeadline. 0 disables.
+	Deadline time.Duration
+	// StallRounds aborts the run (with a *RunError wrapping ErrStalled)
+	// after this many consecutive rounds in which no message was delivered
+	// — a protocol spinning on wake-ups without progress. 0 disables.
+	StallRounds int
 	// Obs attaches an observer: the run is wrapped in a span carrying the
 	// final metrics, one "distsim.round" point event is emitted per round,
 	// and the totals are mirrored into the registry's distsim.* series.
@@ -129,6 +162,17 @@ type Network struct {
 	inboxes  [][]Message
 	trace    []RoundStats
 
+	// Fault injection (nil when Config.Faults is nil or zero, keeping the
+	// fault-free path untouched).
+	inj          *faults.Injector
+	pending      map[int][]pendingMsg // due round -> delayed deliveries
+	pendingCount int
+
+	// First contained failure of the run (handler panic); the smallest
+	// node id of the barrier wins so the attribution is deterministic.
+	errMu  sync.Mutex
+	runErr *RunError
+
 	// Live metric cells (atomic), consistent under any execution mode.
 	rounds      int64
 	messages    int64
@@ -136,16 +180,32 @@ type Network struct {
 	maxMsgWords int64
 	capExceeded int64
 
+	// Fault tallies (atomic; only written from the serial delivery loop but
+	// read by concurrent Metrics snapshots).
+	fDropped      int64
+	fDroppedLink  int64
+	fDroppedCrash int64
+	fDuplicated   int64
+	fCorrupted    int64
+	fDelayed      int64
+
 	// Registry mirrors (nil-safe no-ops when no observer is attached).
 	regRounds      *obs.Counter
 	regMessages    *obs.Counter
 	regWords       *obs.Counter
 	regCapExceeded *obs.Counter
 	regMaxMsg      *obs.Gauge
+	regFaults      *obs.Counter
 
 	// goroutine-per-node plumbing (GoroutinePerNode mode).
 	taskIn []chan nodeTask
 	nodeWG sync.WaitGroup
+}
+
+// pendingMsg is a delayed delivery held for a future round.
+type pendingMsg struct {
+	to  NodeID
+	msg Message
 }
 
 // DefaultMaxRounds bounds runs whose Config.MaxRounds is zero.
@@ -168,6 +228,7 @@ func NewNetwork(g *graph.Graph, handlers []Handler, cfg Config) (*Network, error
 		handlers: handlers,
 		nodes:    make([]NodeCtx, g.N()),
 		inboxes:  make([][]Message, g.N()),
+		inj:      cfg.Faults.NewInjector(),
 	}
 	if reg := cfg.Obs.Registry(); reg != nil {
 		net.regRounds = reg.Counter("distsim.rounds")
@@ -175,6 +236,9 @@ func NewNetwork(g *graph.Graph, handlers []Handler, cfg Config) (*Network, error
 		net.regWords = reg.Counter("distsim.words")
 		net.regCapExceeded = reg.Counter("distsim.cap_exceeded")
 		net.regMaxMsg = reg.Gauge("distsim.max_msg_words")
+		if net.inj != nil {
+			net.regFaults = reg.Counter("distsim.faults.injected")
+		}
 	}
 	for v := range net.nodes {
 		net.nodes[v] = NodeCtx{id: NodeID(v), net: net}
@@ -258,6 +322,12 @@ type nodeTask struct {
 // Run executes the protocol until every node has halted, no messages are in
 // flight and no node requested wake-up, or until the round limit is hit.
 // It returns the metrics of the run.
+//
+// Failures never escape as panics: a panicking handler is recovered and
+// attributed (*RunError with its node and round), run-health aborts
+// (deadline, stall, round limit, strict cap) drain deterministically first,
+// and in every error path the returned Metrics reconcile with the emitted
+// trace.
 func (net *Network) Run() (Metrics, error) {
 	nVerts := net.g.N()
 	var span *obs.Span
@@ -273,49 +343,87 @@ func (net *Network) Run() (Metrics, error) {
 		}
 		defer func() {
 			m := net.Metrics()
-			span.End(obs.I(obs.AttrRounds, int64(m.Rounds)), obs.I(obs.AttrMessages, m.Messages),
+			attrs := []obs.Attr{
+				obs.I(obs.AttrRounds, int64(m.Rounds)), obs.I(obs.AttrMessages, m.Messages),
 				obs.I(obs.AttrWords, m.Words), obs.I(obs.AttrMaxMsgWords, int64(m.MaxMsgWords)),
-				obs.I(obs.AttrCapExceeded, m.CapExceeded))
+				obs.I(obs.AttrCapExceeded, m.CapExceeded),
+			}
+			if net.inj != nil {
+				attrs = append(attrs,
+					obs.I(obs.AttrFaults, m.Faults.Total()),
+					obs.I(obs.AttrFaultsDropped, m.Faults.DroppedTotal()),
+					obs.I(obs.AttrFaultsDuplicated, m.Faults.Duplicated),
+					obs.I(obs.AttrFaultsCorrupted, m.Faults.Corrupted),
+					obs.I(obs.AttrFaultsDelayed, m.Faults.Delayed))
+			}
+			span.End(attrs...)
 		}()
 	}
 	if net.cfg.GoroutinePerNode {
 		net.startNodeGoroutines()
 		defer net.stopNodeGoroutines()
 	}
-	// Round 0: Start on every node.
+	startTime := time.Now()
+	// Round 0: Start on every node (crashed nodes never boot).
 	startTasks := make([]nodeTask, 0, nVerts)
 	for v := 0; v < nVerts; v++ {
-		if net.handlers[v] != nil {
-			startTasks = append(startTasks, nodeTask{v: v, start: true})
+		if net.handlers[v] == nil || net.inj.Crashed(int32(v), 0) {
+			continue
 		}
+		startTasks = append(startTasks, nodeTask{v: v, start: true})
 	}
 	net.dispatch(startTasks)
+	if err := net.takeRunErr(); err != nil {
+		return net.Metrics(), err
+	}
+	stallStreak := 0
 	for round := 1; ; round++ {
 		if round > net.cfg.MaxRounds {
 			return net.Metrics(), fmt.Errorf("distsim: exceeded %d rounds", net.cfg.MaxRounds)
 		}
-		// Deliver: move outboxes to inboxes. Serial, in sender order, so each
-		// inbox is automatically sorted by sender.
-		inFlight := false
+		if net.cfg.Deadline > 0 && time.Since(startTime) > net.cfg.Deadline {
+			return net.Metrics(), &RunError{Node: NoNode, Round: round, Cause: ErrDeadline}
+		}
+		// Deliver: delayed messages due this round first, then move
+		// outboxes to inboxes. Serial, in sender order, so each inbox stays
+		// deterministic (and is sorted by sender before the step).
+		delivered := 0
+		if net.pendingCount > 0 {
+			if due := net.pending[round]; len(due) > 0 {
+				delete(net.pending, round)
+				net.pendingCount -= len(due)
+				for _, d := range due {
+					if net.inj.Crashed(int32(d.to), round) {
+						atomic.AddInt64(&net.fDroppedCrash, 1)
+						net.regFaults.Inc()
+						continue
+					}
+					net.inboxes[d.to] = append(net.inboxes[d.to], d.msg)
+					delivered++
+				}
+			}
+		}
 		anyAwake := false
 		var roundMsgs, roundWords int64
+		var drainErr error
 		for v := 0; v < nVerts; v++ {
 			node := &net.nodes[v]
 			for _, m := range node.outbox {
-				if err := net.account(len(m.data)); err != nil {
-					return net.Metrics(), err
+				if err := net.account(len(m.data)); err != nil && drainErr == nil {
+					// Keep draining: Metrics must reconcile with the trace
+					// even on the strict-cap error path.
+					drainErr = err
 				}
 				roundMsgs++
 				roundWords += int64(len(m.data))
-				net.inboxes[m.to] = append(net.inboxes[m.to], Message{From: node.id, Data: m.data})
-				inFlight = true
+				delivered += net.deliver(round, node.id, m)
 			}
 			node.outbox = node.outbox[:0]
-			if node.awake && !node.halted {
+			if node.awake && !node.halted && !net.inj.Crashed(int32(v), round) {
 				anyAwake = true
 			}
 		}
-		if !inFlight && !anyAwake {
+		if roundMsgs == 0 && delivered == 0 && net.pendingCount == 0 && !anyAwake {
 			return net.Metrics(), nil
 		}
 		atomic.StoreInt64(&net.rounds, int64(round))
@@ -324,6 +432,17 @@ func (net *Network) Run() (Metrics, error) {
 			obs.I(obs.AttrMessages, roundMsgs), obs.I(obs.AttrWords, roundWords))
 		if net.cfg.TraceRounds {
 			net.trace = append(net.trace, RoundStats{Round: round, Messages: roundMsgs, Words: roundWords})
+		}
+		if drainErr != nil {
+			return net.Metrics(), drainErr
+		}
+		if delivered == 0 {
+			stallStreak++
+			if net.cfg.StallRounds > 0 && stallStreak >= net.cfg.StallRounds {
+				return net.Metrics(), &RunError{Node: NoNode, Round: round, Cause: ErrStalled}
+			}
+		} else {
+			stallStreak = 0
 		}
 		// Step: run handlers for nodes with input or wake-ups.
 		tasks := make([]nodeTask, 0, nVerts)
@@ -334,6 +453,9 @@ func (net *Network) Run() (Metrics, error) {
 			if node.halted || net.handlers[v] == nil {
 				continue
 			}
+			if net.inj.Crashed(int32(v), round) {
+				continue // down this round; awake survives for recovery
+			}
 			if len(inbox) == 0 && !node.awake {
 				continue
 			}
@@ -342,7 +464,62 @@ func (net *Network) Run() (Metrics, error) {
 			tasks = append(tasks, nodeTask{v: v, inbox: inbox})
 		}
 		net.dispatch(tasks)
+		if err := net.takeRunErr(); err != nil {
+			return net.Metrics(), err
+		}
 	}
+}
+
+// deliver applies the fault plan to one drained message and returns how
+// many copies landed in an inbox this round.
+func (net *Network) deliver(round int, from NodeID, m outMsg) int {
+	msg := Message{From: from, Data: m.data}
+	if net.inj == nil {
+		net.inboxes[m.to] = append(net.inboxes[m.to], msg)
+		return 1
+	}
+	switch {
+	case net.inj.LinkFailed(int32(from), int32(m.to)):
+		atomic.AddInt64(&net.fDroppedLink, 1)
+		net.regFaults.Inc()
+		return 0
+	case net.inj.Crashed(int32(m.to), round):
+		atomic.AddInt64(&net.fDroppedCrash, 1)
+		net.regFaults.Inc()
+		return 0
+	}
+	fate := net.inj.Fate()
+	if fate.Drop {
+		atomic.AddInt64(&net.fDropped, 1)
+		net.regFaults.Inc()
+		return 0
+	}
+	if fate.Corrupt {
+		msg.Data = net.inj.CorruptWord(m.data)
+		atomic.AddInt64(&net.fCorrupted, 1)
+		net.regFaults.Inc()
+	}
+	if fate.Copies > 1 {
+		atomic.AddInt64(&net.fDuplicated, int64(fate.Copies-1))
+		net.regFaults.Inc()
+	}
+	if fate.DelayRounds > 0 {
+		atomic.AddInt64(&net.fDelayed, int64(fate.Copies))
+		net.regFaults.Inc()
+		if net.pending == nil {
+			net.pending = make(map[int][]pendingMsg)
+		}
+		due := round + fate.DelayRounds
+		for c := 0; c < fate.Copies; c++ {
+			net.pending[due] = append(net.pending[due], pendingMsg{to: m.to, msg: msg})
+		}
+		net.pendingCount += fate.Copies
+		return 0
+	}
+	for c := 0; c < fate.Copies; c++ {
+		net.inboxes[m.to] = append(net.inboxes[m.to], msg)
+	}
+	return fate.Copies
 }
 
 // dispatch runs the tasks either on the worker pool or on the per-node
@@ -360,13 +537,46 @@ func (net *Network) dispatch(tasks []nodeTask) {
 	net.parallelTasks(tasks)
 }
 
-// runTask invokes one handler.
+// runTask invokes one handler, containing any panic: the failure is
+// recorded with node and round attribution instead of killing the process
+// (and, in goroutine-per-node mode, instead of deadlocking the barrier).
 func (net *Network) runTask(t nodeTask) {
+	defer func() {
+		if r := recover(); r != nil {
+			net.recordPanic(t.v, r)
+		}
+	}()
 	if t.start {
 		net.handlers[t.v].Start(&net.nodes[t.v])
 		return
 	}
 	net.handlers[t.v].HandleRound(&net.nodes[t.v], t.inbox)
+}
+
+// recordPanic keeps the failure with the smallest node id of the barrier,
+// so the attribution is deterministic under parallel execution.
+func (net *Network) recordPanic(v int, cause any) {
+	re := &RunError{
+		Node:  NodeID(v),
+		Round: int(atomic.LoadInt64(&net.rounds)),
+		Cause: fmt.Errorf("panic: %v", cause),
+		Stack: debug.Stack(),
+	}
+	net.errMu.Lock()
+	if net.runErr == nil || re.Node < net.runErr.Node {
+		net.runErr = re
+	}
+	net.errMu.Unlock()
+}
+
+// takeRunErr returns the contained failure of the last barrier, if any.
+func (net *Network) takeRunErr() error {
+	net.errMu.Lock()
+	defer net.errMu.Unlock()
+	if net.runErr == nil {
+		return nil
+	}
+	return net.runErr
 }
 
 // startNodeGoroutines launches one goroutine per vertex, each consuming
@@ -462,5 +672,13 @@ func (net *Network) Metrics() Metrics {
 		Words:       atomic.LoadInt64(&net.words),
 		MaxMsgWords: int(atomic.LoadInt64(&net.maxMsgWords)),
 		CapExceeded: atomic.LoadInt64(&net.capExceeded),
+		Faults: faults.Counters{
+			Dropped:      atomic.LoadInt64(&net.fDropped),
+			DroppedLink:  atomic.LoadInt64(&net.fDroppedLink),
+			DroppedCrash: atomic.LoadInt64(&net.fDroppedCrash),
+			Duplicated:   atomic.LoadInt64(&net.fDuplicated),
+			Corrupted:    atomic.LoadInt64(&net.fCorrupted),
+			Delayed:      atomic.LoadInt64(&net.fDelayed),
+		},
 	}
 }

@@ -106,18 +106,25 @@ func (nonNeighborNode) Start(n *NodeCtx) {
 func (nonNeighborNode) HandleRound(n *NodeCtx, inbox []Message) { n.Halt() }
 
 func TestNonNeighborSendPanics(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("expected panic")
-		}
-		if !strings.Contains(r.(string), "non-neighbor") {
-			t.Fatalf("unexpected panic: %v", r)
-		}
-	}()
+	// The illegal send still panics inside the handler, but the engine now
+	// contains it and attributes it: Run returns a *RunError for node 0 at
+	// round 0 (Start) instead of killing the process.
 	g := graph.Path(3)
 	net, _ := NewNetwork(g, []Handler{nonNeighborNode{}, nonNeighborNode{}, nonNeighborNode{}}, Config{Workers: 1})
-	_, _ = net.Run()
+	_, err := net.Run()
+	re := AsRunError(err)
+	if re == nil {
+		t.Fatalf("expected *RunError, got %v", err)
+	}
+	if re.Node != 0 || re.Round != 0 {
+		t.Fatalf("expected failure at node 0 round 0, got node %d round %d", re.Node, re.Round)
+	}
+	if !strings.Contains(re.Error(), "non-neighbor") {
+		t.Fatalf("unexpected cause: %v", re)
+	}
+	if len(re.Stack) == 0 {
+		t.Fatal("expected a captured stack")
+	}
 }
 
 // bigTalker sends an oversized message.

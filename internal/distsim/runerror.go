@@ -1,0 +1,55 @@
+package distsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes for run-level failures (RunError.Node == NoNode).
+var (
+	// ErrDeadline reports that the run exceeded Config.Deadline.
+	ErrDeadline = errors.New("distsim: run deadline exceeded")
+	// ErrStalled reports that Config.StallRounds consecutive rounds passed
+	// without a single message delivered (wake-up spinning).
+	ErrStalled = errors.New("distsim: run stalled")
+)
+
+// NoNode is the RunError.Node value for failures not attributable to one
+// node (deadline, stall).
+const NoNode NodeID = -1
+
+// RunError is the typed failure of a Network.Run: a contained handler
+// panic attributed to its node and round, or a run-health abort (deadline,
+// stalled rounds). The run's Metrics remain valid and reconciled when a
+// RunError is returned — the engine drains deterministically before giving
+// up.
+type RunError struct {
+	// Node is the panicking node, or NoNode for run-level failures.
+	Node NodeID
+	// Round is the engine round in which the failure occurred (0 = Start).
+	Round int
+	// Cause is the recovered panic (wrapped) or a sentinel error.
+	Cause error
+	// Stack is the panicking goroutine's stack, empty for run-level
+	// failures.
+	Stack []byte
+}
+
+func (e *RunError) Error() string {
+	if e.Node == NoNode {
+		return fmt.Sprintf("distsim: run failed at round %d: %v", e.Round, e.Cause)
+	}
+	return fmt.Sprintf("distsim: node %d panicked at round %d: %v", e.Node, e.Round, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Cause }
+
+// AsRunError extracts a *RunError from an error chain (nil if absent).
+func AsRunError(err error) *RunError {
+	var re *RunError
+	if errors.As(err, &re) {
+		return re
+	}
+	return nil
+}

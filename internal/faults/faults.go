@@ -1,0 +1,368 @@
+// Package faults provides a seeded, deterministic fault-injection plan for
+// the distsim engine. The paper's model (Sect. 1.1) is perfectly synchronous
+// and lossless; attaching a Plan to a distsim.Config perturbs that model in
+// controlled, reproducible ways — message drop, duplication, payload
+// corruption, delivery delay, permanent link failures, and crash-stop /
+// crash-recover node schedules — so the degradation of the randomized
+// protocols (and the value of verifier-gated repair) can be measured instead
+// of guessed at.
+//
+// Determinism: every decision is drawn from a private RNG seeded from
+// Plan.Seed and a per-engine-run counter, and the engine consults the
+// injector only from its serial delivery loop. Two pipelines driven by two
+// freshly-created identical Plans therefore inject identical faults. A Plan
+// carries that run counter as internal state, so reusing one Plan value
+// across two pipelines continues the sequence rather than replaying it;
+// create a fresh Plan (or call Reset) when exact reproduction is needed.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"spanner/internal/graph"
+)
+
+// Crash takes one node down for a window of engine rounds. Rounds are the
+// engine's own counter: Start runs at round 0 and the first deliveries
+// happen at round 1. A node that is down skips its handler, and every
+// message addressed to it is dropped (in-flight loss, the crash-stop model);
+// with Until > 0 the node comes back up at that round with its state intact
+// (crash-recover as a freeze: the node loses the messages of the window,
+// not its memory).
+type Crash struct {
+	Node int32
+	// From is the first round the node is down (0 crashes it before Start).
+	From int
+	// Until is the first round the node is back up; 0 means crash-stop.
+	Until int
+}
+
+// Plan is a deterministic fault-injection schedule. The zero value injects
+// nothing and is treated exactly like a nil plan: the engine's execution is
+// byte-identical to a run with no plan attached (asserted in tests).
+type Plan struct {
+	// Seed seeds every probabilistic decision below.
+	Seed int64
+	// Drop is the per-message probability of silent loss.
+	Drop float64
+	// Duplicate is the per-message probability of a second delivery.
+	Duplicate float64
+	// Corrupt is the per-message probability that one payload word is
+	// XOR-scrambled before delivery (the copy is corrupted, never the
+	// sender's buffer).
+	Corrupt float64
+	// Delay is the per-message probability of late delivery, by
+	// DelayRounds rounds (default 1).
+	Delay float64
+	// DelayRounds is how many rounds a delayed message is held.
+	DelayRounds int
+	// Links lists permanently failed edges; messages in either direction
+	// are dropped for the whole run.
+	Links [][2]int32
+	// Crashes schedules node outages, applied to every engine run of a
+	// pipeline (a multi-phase build crashes the node in each phase).
+	Crashes []Crash
+
+	// runs counts injectors handed out, so each engine run of a pipeline
+	// draws from its own stream.
+	runs int64
+}
+
+// IsZero reports whether the plan injects nothing at all.
+func (p *Plan) IsZero() bool {
+	return p == nil ||
+		(p.Drop == 0 && p.Duplicate == 0 && p.Corrupt == 0 && p.Delay == 0 &&
+			len(p.Links) == 0 && len(p.Crashes) == 0)
+}
+
+// Reset rewinds the per-run counter so the plan replays the exact fault
+// sequence it produced after construction.
+func (p *Plan) Reset() { atomic.StoreInt64(&p.runs, 0) }
+
+// String renders the plan compactly (for logs and run artifacts).
+func (p *Plan) String() string {
+	if p.IsZero() {
+		return "faults{none}"
+	}
+	return fmt.Sprintf("faults{seed=%d drop=%g dup=%g corrupt=%g delay=%gx%d links=%d crashes=%d}",
+		p.Seed, p.Drop, p.Duplicate, p.Corrupt, p.Delay, p.delayRounds(), len(p.Links), len(p.Crashes))
+}
+
+func (p *Plan) delayRounds() int {
+	if p.DelayRounds <= 0 {
+		return 1
+	}
+	return p.DelayRounds
+}
+
+func (p *Plan) validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"drop", p.Drop}, {"dup", p.Duplicate}, {"corrupt", p.Corrupt}, {"delay", p.Delay}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("faults: %s probability %g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	for _, c := range p.Crashes {
+		if c.Node < 0 {
+			return fmt.Errorf("faults: crash of negative node %d", c.Node)
+		}
+		if c.Until != 0 && c.Until <= c.From {
+			return fmt.Errorf("faults: crash of node %d recovers at %d, before it begins at %d",
+				c.Node, c.Until, c.From)
+		}
+	}
+	return nil
+}
+
+// Counters tallies the faults actually injected during one or more runs.
+// It rides inside distsim.Metrics so every pipeline reports what it
+// survived.
+type Counters struct {
+	Dropped      int64 // lost to the random drop rule
+	DroppedLink  int64 // lost on a failed link
+	DroppedCrash int64 // lost to a crashed receiver
+	Duplicated   int64 // extra copies delivered
+	Corrupted    int64 // payloads scrambled
+	Delayed      int64 // deliveries held back
+}
+
+// Total is the number of injected fault events.
+func (c Counters) Total() int64 {
+	return c.Dropped + c.DroppedLink + c.DroppedCrash + c.Duplicated + c.Corrupted + c.Delayed
+}
+
+// DroppedTotal is every message that never reached its inbox.
+func (c Counters) DroppedTotal() int64 { return c.Dropped + c.DroppedLink + c.DroppedCrash }
+
+// IsZero reports whether nothing was injected.
+func (c Counters) IsZero() bool { return c == Counters{} }
+
+// Add accumulates other into c (the fold multi-phase drivers perform).
+func (c *Counters) Add(other Counters) {
+	c.Dropped += other.Dropped
+	c.DroppedLink += other.DroppedLink
+	c.DroppedCrash += other.DroppedCrash
+	c.Duplicated += other.Duplicated
+	c.Corrupted += other.Corrupted
+	c.Delayed += other.Delayed
+}
+
+// Fate is the injector's decision for one message.
+type Fate struct {
+	// Drop, when true, loses the message; the reason is in the counters.
+	Drop bool
+	// Copies is 1, or 2 when the message is duplicated.
+	Copies int
+	// DelayRounds is 0 for same-round delivery.
+	DelayRounds int
+	// Corrupt requests one payload word be scrambled (on a copy).
+	Corrupt bool
+}
+
+// Injector applies one Plan to one engine run. It must only be used from a
+// single goroutine (the engine's serial delivery loop); the engine owns the
+// fault counters so snapshots stay race-free.
+type Injector struct {
+	plan *Plan
+	rng  *rand.Rand
+	// crash windows per node, sorted by From; nil when no crashes.
+	crashes map[int32][]Crash
+	links   map[int64]bool
+}
+
+// NewInjector returns the plan's injector for the next engine run, fed by
+// its own deterministic RNG stream. Returns nil for a zero plan, which is
+// how the engine keeps the fault-free fast path byte-identical.
+func (p *Plan) NewInjector() *Injector {
+	if p.IsZero() {
+		return nil
+	}
+	run := atomic.AddInt64(&p.runs, 1)
+	in := &Injector{
+		plan: p,
+		rng:  rand.New(rand.NewSource(mix(p.Seed, run))),
+	}
+	if len(p.Crashes) > 0 {
+		in.crashes = make(map[int32][]Crash, len(p.Crashes))
+		for _, c := range p.Crashes {
+			in.crashes[c.Node] = append(in.crashes[c.Node], c)
+		}
+		for _, w := range in.crashes {
+			sort.Slice(w, func(i, j int) bool { return w[i].From < w[j].From })
+		}
+	}
+	if len(p.Links) > 0 {
+		in.links = make(map[int64]bool, len(p.Links))
+		for _, l := range p.Links {
+			in.links[graph.EdgeKey(l[0], l[1])] = true
+		}
+	}
+	return in
+}
+
+// mix is splitmix64 over the pair (seed, run): independent streams per
+// engine run without the correlation plain addition would give.
+func mix(seed, run int64) int64 {
+	z := uint64(seed) + uint64(run)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Crashed reports whether node v is down during the given round.
+func (in *Injector) Crashed(v int32, round int) bool {
+	if in == nil || in.crashes == nil {
+		return false
+	}
+	for _, c := range in.crashes[v] {
+		if round >= c.From && (c.Until == 0 || round < c.Until) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkFailed reports whether the edge (u,v) is permanently down.
+func (in *Injector) LinkFailed(u, v int32) bool {
+	if in == nil || in.links == nil {
+		return false
+	}
+	return in.links[graph.EdgeKey(u, v)]
+}
+
+// Fate decides one message's outcome. Drawing order is fixed (drop, dup,
+// corrupt, delay) and draws are skipped for zero probabilities, so the
+// stream stays deterministic under any plan.
+func (in *Injector) Fate() Fate {
+	f := Fate{Copies: 1}
+	p := in.plan
+	if p.Drop > 0 && in.rng.Float64() < p.Drop {
+		f.Drop = true
+		return f
+	}
+	if p.Duplicate > 0 && in.rng.Float64() < p.Duplicate {
+		f.Copies = 2
+	}
+	if p.Corrupt > 0 && in.rng.Float64() < p.Corrupt {
+		f.Corrupt = true
+	}
+	if p.Delay > 0 && in.rng.Float64() < p.Delay {
+		f.DelayRounds = p.delayRounds()
+	}
+	return f
+}
+
+// CorruptWord returns a copy of data with one word XOR-scrambled (the
+// original is shared between recipients and must stay intact). Empty
+// payloads are returned unchanged.
+func (in *Injector) CorruptWord(data []int64) []int64 {
+	if len(data) == 0 {
+		return data
+	}
+	out := make([]int64, len(data))
+	copy(out, data)
+	idx := in.rng.Intn(len(out))
+	out[idx] ^= in.rng.Int63() | 1 // always flips at least one bit
+	return out
+}
+
+// Parse builds a Plan from a compact comma-separated spec, the format the
+// -faults CLI flags accept:
+//
+//	drop=0.02,dup=0.01,corrupt=0.001,delay=0.05,delayrounds=3,seed=7
+//	crash=17@3          // node 17 crash-stops at round 3
+//	crash=9@1:5         // node 9 down for rounds [1,5)
+//	link=2-11           // edge {2,11} permanently failed
+//
+// keys may repeat (crash, link). An empty spec yields a zero plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: bad spec element %q (want key=value)", part)
+		}
+		switch key {
+		case "drop", "dup", "corrupt", "delay":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad %s value %q: %w", key, val, err)
+			}
+			switch key {
+			case "drop":
+				p.Drop = f
+			case "dup":
+				p.Duplicate = f
+			case "corrupt":
+				p.Corrupt = f
+			case "delay":
+				p.Delay = f
+			}
+		case "delayrounds":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("faults: bad delayrounds value %q", val)
+			}
+			p.DelayRounds = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faults: bad seed value %q", val)
+			}
+			p.Seed = n
+		case "crash":
+			c, err := parseCrash(val)
+			if err != nil {
+				return nil, err
+			}
+			p.Crashes = append(p.Crashes, c)
+		case "link":
+			us, vs, ok := strings.Cut(val, "-")
+			u, err1 := strconv.Atoi(us)
+			v, err2 := strconv.Atoi(vs)
+			if !ok || err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("faults: bad link value %q (want u-v)", val)
+			}
+			p.Links = append(p.Links, [2]int32{int32(u), int32(v)})
+		default:
+			return nil, fmt.Errorf("faults: unknown spec key %q", key)
+		}
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseCrash(val string) (Crash, error) {
+	node, window, ok := strings.Cut(val, "@")
+	if !ok {
+		return Crash{}, fmt.Errorf("faults: bad crash value %q (want node@from[:until])", val)
+	}
+	n, err := strconv.Atoi(node)
+	if err != nil {
+		return Crash{}, fmt.Errorf("faults: bad crash node %q", node)
+	}
+	c := Crash{Node: int32(n)}
+	from, until, hasUntil := strings.Cut(window, ":")
+	if c.From, err = strconv.Atoi(from); err != nil {
+		return Crash{}, fmt.Errorf("faults: bad crash round %q", from)
+	}
+	if hasUntil {
+		if c.Until, err = strconv.Atoi(until); err != nil {
+			return Crash{}, fmt.Errorf("faults: bad crash recovery round %q", until)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,226 @@
+package faults_test
+
+import (
+	"strings"
+	"testing"
+
+	"spanner/internal/faults"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	p, err := faults.Parse("drop=0.02,dup=0.01,corrupt=0.001,delay=0.05,delayrounds=3,seed=7,crash=17@3,crash=9@1:5,link=2-11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Drop != 0.02 || p.Duplicate != 0.01 || p.Corrupt != 0.001 || p.Delay != 0.05 {
+		t.Fatalf("rates = %+v", p)
+	}
+	if p.DelayRounds != 3 || p.Seed != 7 {
+		t.Fatalf("delayrounds/seed = %+v", p)
+	}
+	if len(p.Crashes) != 2 ||
+		p.Crashes[0] != (faults.Crash{Node: 17, From: 3}) ||
+		p.Crashes[1] != (faults.Crash{Node: 9, From: 1, Until: 5}) {
+		t.Fatalf("crashes = %+v", p.Crashes)
+	}
+	if len(p.Links) != 1 || p.Links[0] != [2]int32{2, 11} {
+		t.Fatalf("links = %+v", p.Links)
+	}
+}
+
+func TestParseEmptyIsZero(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		p, err := faults.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsZero() {
+			t.Fatalf("Parse(%q) = %+v, want zero plan", spec, p)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",          // no key=value
+		"volume=11",         // unknown key
+		"drop=high",         // not a float
+		"drop=1.5",          // outside [0,1]
+		"dup=-0.1",          // outside [0,1]
+		"delayrounds=0",     // must be >= 1
+		"delayrounds=x",     // not an int
+		"seed=pi",           // not an int
+		"crash=17",          // missing @round
+		"crash=x@3",         // bad node
+		"crash=17@x",        // bad round
+		"crash=17@5:5",      // recovers before it begins
+		"crash=17@5:3",      // recovers before it begins
+		"crash=-1@2",        // negative node
+		"link=2",            // missing -v
+		"link=a-b",          // not ints
+		"drop=0.1,,dup=0.1", // empty element
+		"crash=17@1:x",      // bad recovery round
+	} {
+		if _, err := faults.Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var nilPlan *faults.Plan
+	if !nilPlan.IsZero() {
+		t.Fatal("nil plan must be zero")
+	}
+	if !(&faults.Plan{Seed: 99, DelayRounds: 4}).IsZero() {
+		t.Fatal("seed and delayrounds alone inject nothing")
+	}
+	for _, p := range []*faults.Plan{
+		{Drop: 0.1}, {Duplicate: 0.1}, {Corrupt: 0.1}, {Delay: 0.1},
+		{Links: [][2]int32{{0, 1}}}, {Crashes: []faults.Crash{{Node: 1}}},
+	} {
+		if p.IsZero() {
+			t.Fatalf("%+v reported zero", p)
+		}
+	}
+}
+
+func TestZeroPlanInjectorIsNil(t *testing.T) {
+	var nilPlan *faults.Plan
+	if nilPlan.NewInjector() != nil {
+		t.Fatal("nil plan must yield a nil injector")
+	}
+	if (&faults.Plan{Seed: 5}).NewInjector() != nil {
+		t.Fatal("zero plan must yield a nil injector")
+	}
+	var nilInj *faults.Injector
+	if nilInj.Crashed(0, 0) || nilInj.LinkFailed(0, 1) {
+		t.Fatal("nil injector must report no faults")
+	}
+}
+
+func TestCrashedWindows(t *testing.T) {
+	p := &faults.Plan{Crashes: []faults.Crash{
+		{Node: 3, From: 2, Until: 5},
+		{Node: 3, From: 9},           // crash-stop later
+		{Node: 7, From: 0, Until: 1}, // down only for Start
+	}}
+	in := p.NewInjector()
+	wantDown := map[int]bool{2: true, 3: true, 4: true, 9: true, 10: true, 100: true}
+	for round := 0; round <= 12; round++ {
+		down := wantDown[round] || round >= 9
+		if in.Crashed(3, round) != down {
+			t.Fatalf("node 3 round %d: crashed=%v, want %v", round, in.Crashed(3, round), down)
+		}
+	}
+	if !in.Crashed(7, 0) || in.Crashed(7, 1) {
+		t.Fatal("node 7 window [0,1) wrong")
+	}
+	if in.Crashed(4, 2) {
+		t.Fatal("node 4 never crashes")
+	}
+}
+
+func TestLinkFailedIsUndirected(t *testing.T) {
+	in := (&faults.Plan{Links: [][2]int32{{2, 11}}}).NewInjector()
+	if !in.LinkFailed(2, 11) || !in.LinkFailed(11, 2) {
+		t.Fatal("failed link must drop both directions")
+	}
+	if in.LinkFailed(2, 3) || in.LinkFailed(11, 12) {
+		t.Fatal("healthy link reported failed")
+	}
+}
+
+func TestFateDeterminismAndReset(t *testing.T) {
+	mk := func() *faults.Plan {
+		return &faults.Plan{Seed: 42, Drop: 0.3, Duplicate: 0.2, Corrupt: 0.1, Delay: 0.15, DelayRounds: 2}
+	}
+	draw := func(in *faults.Injector) []faults.Fate {
+		out := make([]faults.Fate, 200)
+		for i := range out {
+			out[i] = in.Fate()
+		}
+		return out
+	}
+	p := mk()
+	first := draw(p.NewInjector())
+	fresh := draw(mk().NewInjector())
+	for i := range first {
+		if first[i] != fresh[i] {
+			t.Fatalf("fresh identical plan diverged at draw %d: %+v vs %+v", i, first[i], fresh[i])
+		}
+	}
+	second := draw(p.NewInjector()) // second run of the same plan: its own stream
+	same := true
+	for i := range first {
+		if first[i] != second[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("second injector replayed the first stream (runs counter ignored)")
+	}
+	p.Reset()
+	replay := draw(p.NewInjector())
+	for i := range first {
+		if first[i] != replay[i] {
+			t.Fatalf("Reset did not rewind the stream at draw %d", i)
+		}
+	}
+}
+
+func TestCorruptWordCopies(t *testing.T) {
+	in := (&faults.Plan{Seed: 1, Corrupt: 1}).NewInjector()
+	data := []int64{10, 20, 30}
+	out := in.CorruptWord(data)
+	if &out[0] == &data[0] {
+		t.Fatal("CorruptWord must not scramble in place")
+	}
+	if data[0] != 10 || data[1] != 20 || data[2] != 30 {
+		t.Fatalf("original payload modified: %v", data)
+	}
+	diff := 0
+	for i := range out {
+		if out[i] != data[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("CorruptWord changed %d words, want exactly 1 (%v)", diff, out)
+	}
+	var empty []int64
+	if got := in.CorruptWord(empty); len(got) != 0 {
+		t.Fatalf("empty payload grew: %v", got)
+	}
+}
+
+func TestCountersArithmetic(t *testing.T) {
+	var c faults.Counters
+	if !c.IsZero() || c.Total() != 0 {
+		t.Fatal("zero counters misreport")
+	}
+	c.Add(faults.Counters{Dropped: 1, DroppedLink: 2, DroppedCrash: 3, Duplicated: 4, Corrupted: 5, Delayed: 6})
+	c.Add(faults.Counters{Dropped: 10})
+	if c.DroppedTotal() != 16 {
+		t.Fatalf("DroppedTotal = %d, want 16", c.DroppedTotal())
+	}
+	if c.Total() != 31 {
+		t.Fatalf("Total = %d, want 31", c.Total())
+	}
+	if c.IsZero() {
+		t.Fatal("nonzero counters report zero")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	if got := (&faults.Plan{}).String(); got != "faults{none}" {
+		t.Fatalf("zero plan String = %q", got)
+	}
+	s := (&faults.Plan{Seed: 7, Drop: 0.02, Crashes: []faults.Crash{{Node: 1, From: 2}}}).String()
+	for _, want := range []string{"drop=0.02", "seed=7", "crashes=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

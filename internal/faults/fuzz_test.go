@@ -1,0 +1,110 @@
+package faults_test
+
+// FuzzFaultPlan drives the distsim engine's reference protocol (multi-source
+// BFS) under arbitrary fault plans and asserts the engine's safety
+// contract: Run never panics, never errors on a fault-only plan, and the
+// fault counters it reports are internally consistent with the message
+// totals. The external test package is deliberate — distsim imports faults,
+// so the round trip has to live on this side.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spanner/internal/distsim"
+	"spanner/internal/faults"
+	"spanner/internal/graph"
+)
+
+func FuzzFaultPlan(f *testing.F) {
+	f.Add(int64(1), 0.0, 0.0, 0.0, 0.0, 1, -1)
+	f.Add(int64(7), 0.02, 0.01, 0.001, 0.05, 3, 17)
+	f.Add(int64(9), 1.0, 1.0, 1.0, 1.0, 8, 0)
+	f.Add(int64(-3), 0.5, 0.5, 0.0, 0.9, 2, 39)
+	f.Fuzz(func(t *testing.T, seed int64, drop, dup, corrupt, delay float64, delayRounds, crashNode int) {
+		clamp := func(p float64) float64 {
+			if math.IsNaN(p) || p < 0 {
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		const n = 40
+		plan := &faults.Plan{
+			Seed:        seed,
+			Drop:        clamp(drop),
+			Duplicate:   clamp(dup),
+			Corrupt:     clamp(corrupt),
+			Delay:       clamp(delay),
+			DelayRounds: 1 + abs(delayRounds)%8,
+		}
+		if crashNode >= 0 {
+			plan.Crashes = []faults.Crash{{Node: int32(crashNode % n), From: abs(crashNode) % 5}}
+		}
+		g := graph.Gnp(n, 0.12, rand.New(rand.NewSource(11)))
+		res, err := distsim.RunBFS(g, []int32{0, int32(n / 2)}, distsim.Config{Faults: plan})
+		if err != nil {
+			// Fault injection alone must never fail a run: faults lose or
+			// mangle messages, they do not violate the engine's own rules.
+			t.Fatalf("run failed under plan %v: %v", plan, err)
+		}
+		m := res.Metrics
+		fc := m.Faults
+		for name, v := range map[string]int64{
+			"dropped": fc.Dropped, "dropped_link": fc.DroppedLink, "dropped_crash": fc.DroppedCrash,
+			"duplicated": fc.Duplicated, "corrupted": fc.Corrupted, "delayed": fc.Delayed,
+			"messages": m.Messages, "words": m.Words,
+		} {
+			if v < 0 {
+				t.Fatalf("%s went negative: %d (plan %v)", name, v, plan)
+			}
+		}
+		// Every loss is a copy, and there are Messages + Duplicated copies in
+		// total (a duplicated message delayed into a crash window loses both
+		// copies, so drops can legitimately exceed Messages alone).
+		if fc.DroppedTotal() > m.Messages+fc.Duplicated {
+			t.Fatalf("dropped %d of %d copies (plan %v)", fc.DroppedTotal(), m.Messages+fc.Duplicated, plan)
+		}
+		if fc.Dropped > m.Messages {
+			t.Fatalf("randomly dropped %d of %d messages (plan %v)", fc.Dropped, m.Messages, plan)
+		}
+		if fc.Duplicated > m.Messages || fc.Corrupted > m.Messages+fc.Duplicated {
+			t.Fatalf("duplicate/corrupt exceed sends: %+v of %d (plan %v)", fc, m.Messages, plan)
+		}
+		// Drop is decided before delay, so only surviving copies are held.
+		if fc.Delayed > m.Messages+fc.Duplicated-fc.Dropped {
+			t.Fatalf("delayed %d exceeds surviving copies (%+v, plan %v)", fc.Delayed, m, plan)
+		}
+		if m.Delivered() < 0 {
+			t.Fatalf("Delivered() = %d (plan %v)", m.Delivered(), plan)
+		}
+		// The BFS protocol speaks in 2-word messages only.
+		if m.Words != 2*m.Messages {
+			t.Fatalf("BFS words %d != 2 x %d messages (plan %v)", m.Words, m.Messages, plan)
+		}
+		if m.Messages > 0 && m.MaxMsgWords != 2 {
+			t.Fatalf("BFS max message %d words (plan %v)", m.MaxMsgWords, plan)
+		}
+		// Without corruption, every decided vertex holds a true distance: a
+		// fault plan can only lose information, never invent shorter paths.
+		if plan.Corrupt == 0 {
+			dist, _, _ := g.MultiSourceBFS([]int32{0, int32(n / 2)})
+			for v := 0; v < n; v++ {
+				if res.Dist[v] != graph.Unreachable && res.Dist[v] < dist[v] {
+					t.Fatalf("vertex %d decided distance %d below true %d (plan %v)",
+						v, res.Dist[v], dist[v], plan)
+				}
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

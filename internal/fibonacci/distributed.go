@@ -2,12 +2,14 @@ package fibonacci
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
 	"spanner/internal/distsim"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/verify"
 )
 
 // This file implements the distributed construction of Sect. 4.4 on the
@@ -254,6 +256,12 @@ type DistributedResult struct {
 	// Repairs counts owners that triggered the Las Vegas repair.
 	Ceased  int
 	Repairs int
+	// Health records verifier-gated repair when Options.Resilience was set
+	// (nil otherwise).
+	Health *verify.HealReport
+	// BuildErr is the error of the initial distributed build that healing
+	// recovered from (empty when the build itself succeeded).
+	BuildErr string
 }
 
 // StageMetric labels one engine run.
@@ -268,7 +276,64 @@ type StageMetric struct {
 // s = 4·max_i(q_i/q_{i+1})·ln n words and the cessation/repair protocol is
 // armed; with T = 0 messages are unbounded (the LOCAL model), matching the
 // sequential construction exactly.
+//
+// With opts.Resilience set the (possibly fault-injected) build is verified
+// against the adjacent-pair stretch bound and healed: distributed retries
+// on the residual subgraph, then a sequential rebuild, then the raw-edge
+// fallback, with the outcome recorded in DistributedResult.Health.
 func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) {
+	res, err := buildDistributed(g, opts)
+	if res == nil {
+		return nil, err // configuration error, nothing to heal
+	}
+	if err != nil && opts.Resilience == nil {
+		return nil, err
+	}
+	if err != nil {
+		res.BuildErr = err.Error()
+	}
+	if opts.Resilience != nil {
+		r := *opts.Resilience
+		bound := r.Bound(int(math.Ceil(StretchBoundAt(1, res.Params.Order, res.Params.Ell))))
+		res.Health = verify.Heal(g, res.Spanner, bound, r,
+			func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+				ropts := opts
+				ropts.Resilience = nil
+				ropts.Seed = opts.Seed + int64(attempt)<<32
+				if attempt >= r.Attempts() {
+					ropts.Faults = nil
+					sr, serr := Build(residual, ropts)
+					if serr != nil {
+						return nil, serr
+					}
+					return sr.Spanner, nil
+				}
+				rr, rerr := buildDistributed(residual, ropts)
+				if rr == nil {
+					return nil, rerr
+				}
+				res.Metrics.Add(rr.Metrics)
+				return rr.Spanner, rerr
+			})
+	}
+	return res, nil
+}
+
+// salvageEdges moves committed per-node spanner edges of a failed wave into
+// the partial result — edges a node selected before the failure are valid.
+func salvageEdges(s *graph.EdgeSet, nodes []fibNode) {
+	for v := range nodes {
+		for _, k := range nodes[v].outEdges {
+			s.AddKey(k)
+		}
+		nodes[v].outEdges = nodes[v].outEdges[:0]
+	}
+}
+
+// buildDistributed is the construction itself. On an engine failure it
+// returns the partial result built so far together with the error (a nil
+// result means a configuration error).
+func buildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) {
 	opts = opts.withDefaults()
 	n := g.N()
 	if n == 0 {
@@ -305,13 +370,7 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 
 	addMetrics := func(level int, wave string, m distsim.Metrics) {
 		res.StageMetrics = append(res.StageMetrics, StageMetric{Level: level, Wave: wave, Metrics: m})
-		res.Metrics.Rounds += m.Rounds
-		res.Metrics.Messages += m.Messages
-		res.Metrics.Words += m.Words
-		if m.MaxMsgWords > res.Metrics.MaxMsgWords {
-			res.Metrics.MaxMsgWords = m.MaxMsgWords
-		}
-		res.Metrics.CapExceeded += m.CapExceeded
+		res.Metrics.Add(m)
 	}
 
 	// Parent waves: δ(·,V_i) within ℓ^{i-1} plus parent pointers; also the
@@ -326,11 +385,14 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))),
 			obs.I("radius", r))
 		bres, err := distsim.RunBFSRadius(g, levelSets[i], r,
-			distsim.Config{Obs: opts.Obs, Parent: pspan})
+			distsim.Config{Faults: opts.Faults, Obs: opts.Obs, Parent: pspan})
 		if err != nil {
 			pspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, fmt.Errorf("fibonacci: parent wave %d: %w", i, err)
+			if bres != nil {
+				addMetrics(i, "parent", bres.Metrics)
+			}
+			return res, fmt.Errorf("fibonacci: parent wave %d: %w", i, err)
 		}
 		dists[i] = bres.Dist
 		edgesBefore := res.Spanner.Len()
@@ -386,18 +448,20 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 		bspan := span.Child("fib.ball",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))),
 			obs.I("radius", radius))
-		cfg := distsim.Config{MaxMsgWords: msgCap, Obs: opts.Obs, Parent: bspan}
+		cfg := distsim.Config{MaxMsgWords: msgCap, Faults: opts.Faults, Obs: opts.Obs, Parent: bspan}
 		net, err := distsim.NewNetwork(g, handlers, cfg)
 		if err != nil {
 			bspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, err
+			return res, err
 		}
 		m, err := net.Run()
 		if err != nil {
 			bspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, fmt.Errorf("fibonacci: ball wave %d: %w", i, err)
+			addMetrics(i, "ball", m)
+			salvageEdges(res.Spanner, nodes)
+			return res, fmt.Errorf("fibonacci: ball wave %d: %w", i, err)
 		}
 		addMetrics(i, "ball", m)
 
@@ -429,13 +493,15 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 		if err != nil {
 			cspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, err
+			return res, err
 		}
 		m, err = net.Run()
 		if err != nil {
 			cspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, fmt.Errorf("fibonacci: commit wave %d: %w", i, err)
+			addMetrics(i, "commit", m)
+			salvageEdges(res.Spanner, nodes)
+			return res, fmt.Errorf("fibonacci: commit wave %d: %w", i, err)
 		}
 		addMetrics(i, "commit", m)
 		edgesBefore = res.Spanner.Len()

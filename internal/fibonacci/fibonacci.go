@@ -4,8 +4,10 @@ import (
 	"math/rand"
 	"strconv"
 
+	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/verify"
 )
 
 // itoa is strconv.Itoa, local so gauge-label call sites stay short.
@@ -36,6 +38,15 @@ type Options struct {
 	// the Fibonacci level), per-round engine events for the distributed
 	// build, and registry metrics. Nil disables observability.
 	Obs *obs.Observer
+	// Faults attaches a deterministic fault-injection plan to the
+	// distributed build's engine waves (nil, or a zero plan, keeps the
+	// lossless model). Build ignores it.
+	Faults *faults.Plan
+	// Resilience enables verifier-gated repair of the distributed build
+	// against the adjacent-pair stretch bound StretchBoundAt(1, o, ℓ); the
+	// outcome lands in DistributedResult.Health. Nil makes faulty builds
+	// fail hard.
+	Resilience *verify.Resilience
 }
 
 func (o Options) withDefaults() Options {

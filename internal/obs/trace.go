@@ -15,7 +15,10 @@ import (
 //	span_start: "level" (contraction round i or Fibonacci level), "size"
 //	            (|V_i|), "call", "iter", "p"
 //	span_end:   "edges" (spanner edges added by the phase), "rounds",
-//	            "messages", "words", "max_msg_words", "cap_exceeded"
+//	            "messages", "words", "max_msg_words", "cap_exceeded";
+//	            runs with a fault plan attached additionally carry "faults"
+//	            (total injected) and its breakdown "faults_dropped",
+//	            "faults_duplicated", "faults_corrupted", "faults_delayed"
 //	point "distsim.round": "round", "messages", "words"
 const (
 	AttrLevel       = "level"
@@ -26,6 +29,12 @@ const (
 	AttrWords       = "words"
 	AttrMaxMsgWords = "max_msg_words"
 	AttrCapExceeded = "cap_exceeded"
+
+	AttrFaults           = "faults"
+	AttrFaultsDropped    = "faults_dropped"
+	AttrFaultsDuplicated = "faults_duplicated"
+	AttrFaultsCorrupted  = "faults_corrupted"
+	AttrFaultsDelayed    = "faults_delayed"
 )
 
 // RoundEventName is the point event distsim emits once per communication
@@ -93,6 +102,13 @@ type PhaseRow struct {
 	Edges       int64
 	CapExceeded int64
 	MaxMsgWords int64
+
+	// Fault-injection breakdown (all zero in fault-free traces).
+	Faults           int64
+	FaultsDropped    int64
+	FaultsDuplicated int64
+	FaultsCorrupted  int64
+	FaultsDelayed    int64
 }
 
 // LevelRow aggregates spans of one name at one level — the per-contraction-
@@ -151,6 +167,11 @@ func Summarize(events []Event) *TraceSummary {
 			p.Words += AttrInt(e.Attrs, AttrWords)
 			p.Edges += AttrInt(e.Attrs, AttrEdges)
 			p.CapExceeded += AttrInt(e.Attrs, AttrCapExceeded)
+			p.Faults += AttrInt(e.Attrs, AttrFaults)
+			p.FaultsDropped += AttrInt(e.Attrs, AttrFaultsDropped)
+			p.FaultsDuplicated += AttrInt(e.Attrs, AttrFaultsDuplicated)
+			p.FaultsCorrupted += AttrInt(e.Attrs, AttrFaultsCorrupted)
+			p.FaultsDelayed += AttrInt(e.Attrs, AttrFaultsDelayed)
 			if m := AttrInt(e.Attrs, AttrMaxMsgWords); m > p.MaxMsgWords {
 				p.MaxMsgWords = m
 			}
@@ -230,6 +251,16 @@ func (s *TraceSummary) Phase(name string) PhaseRow {
 	return PhaseRow{Name: name}
 }
 
+// TotalFaults sums injected faults across all phases (0 for fault-free
+// traces — the faults table is omitted then).
+func (s *TraceSummary) TotalFaults() int64 {
+	var total int64
+	for _, p := range s.Phases {
+		total += p.Faults
+	}
+	return total
+}
+
 // Metric returns the flushed registry value for the given series key
 // (ok=false if the trace carries no such metric).
 func (s *TraceSummary) Metric(key string) (MetricValue, bool) {
@@ -280,6 +311,18 @@ func (s *TraceSummary) WriteTable(w io.Writer, withRounds bool) error {
 			for i, r := range s.Rounds {
 				fmt.Fprintf(w, "%8d %12d %14d\n", i+1, r.Messages, r.Words)
 			}
+		}
+	}
+	if s.TotalFaults() > 0 {
+		fmt.Fprintf(w, "\n== faults ==\n")
+		fmt.Fprintf(w, "%-24s %10s %10s %12s %11s %9s\n",
+			"phase", "injected", "dropped", "duplicated", "corrupted", "delayed")
+		for _, p := range s.Phases {
+			if p.Faults == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-24s %10d %10d %12d %11d %9d\n",
+				p.Name, p.Faults, p.FaultsDropped, p.FaultsDuplicated, p.FaultsCorrupted, p.FaultsDelayed)
 		}
 	}
 	if len(s.Metrics) > 0 {

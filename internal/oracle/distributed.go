@@ -7,8 +7,10 @@ import (
 	"sort"
 
 	"spanner/internal/distsim"
+	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/verify"
 )
 
 // Distributed construction of the Thorup–Zwick oracle using exactly the
@@ -85,6 +87,56 @@ func NewDistributed(g *graph.Graph, k int, seed int64) (*Oracle, distsim.Metrics
 // NewDistributedObs is NewDistributed with per-level witness/flood spans and
 // engine round events emitted to ob (nil disables observability).
 func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Oracle, distsim.Metrics, error) {
+	return newDistributed(g, k, seed, ob, nil)
+}
+
+// NewDistributedFT is the fault-tolerant distributed construction: every
+// engine wave runs under plan (nil = lossless), and with r non-nil the
+// finished oracle's spanner is verified against the 2k-1 stretch bound.
+// The oracle's bunch structure cannot be patched edge-by-edge the way the
+// spanner pipelines heal, so repair is whole-build: up to r.Attempts()
+// distributed builds (each under a fresh fault stream), then the sequential
+// fault-free construction, with the outcome recorded in the HealReport.
+func NewDistributedFT(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *faults.Plan, r *verify.Resilience) (*Oracle, distsim.Metrics, *verify.HealReport, error) {
+	var total distsim.Metrics
+	if r == nil {
+		o, m, err := newDistributed(g, k, seed, ob, plan)
+		return o, m, nil, err
+	}
+	bound := r.Bound(2*k - 1)
+	hr := &verify.HealReport{Bound: bound, Checked: true}
+	for attempt := 0; attempt < r.Attempts(); attempt++ {
+		if attempt > 0 {
+			hr.Attempts++
+		}
+		o, m, err := newDistributed(g, k, seed, ob, plan)
+		total.Add(m)
+		if err != nil {
+			hr.RetryErrors = append(hr.RetryErrors, err.Error())
+			continue
+		}
+		viol := len(verify.ViolatedEdges(g, o.Spanner(), bound))
+		hr.Violations = append(hr.Violations, viol)
+		if viol == 0 {
+			hr.Verified = true
+			return o, total, hr, nil
+		}
+	}
+	// The distributed protocol never converged under the plan: fall back to
+	// the sequential construction and record the degradation.
+	hr.Attempts++
+	hr.Degraded = true
+	o, err := New(g, k, seed)
+	if err != nil {
+		return nil, total, hr, err
+	}
+	hr.Violations = append(hr.Violations, len(verify.ViolatedEdges(g, o.Spanner(), bound)))
+	hr.Verified = hr.Violations[len(hr.Violations)-1] == 0
+	return o, total, hr, nil
+}
+
+// newDistributed is the construction shared by the public variants.
+func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *faults.Plan) (*Oracle, distsim.Metrics, error) {
 	var total distsim.Metrics
 	if k < 1 {
 		return nil, total, fmt.Errorf("oracle: k must be >= 1, got %d", k)
@@ -138,14 +190,7 @@ func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Or
 		}
 	}
 
-	add := func(m distsim.Metrics) {
-		total.Rounds += m.Rounds
-		total.Messages += m.Messages
-		total.Words += m.Words
-		if m.MaxMsgWords > total.MaxMsgWords {
-			total.MaxMsgWords = m.MaxMsgWords
-		}
-	}
+	add := func(m distsim.Metrics) { total.Add(m) }
 
 	span := ob.StartSpan("oracle.dist",
 		obs.I("n", int64(n)), obs.I("m", int64(g.M())), obs.I("k", int64(k)))
@@ -154,7 +199,7 @@ func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Or
 	for i := 0; i < k; i++ {
 		wspan := span.Child("oracle.witness",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
-		res, err := distsim.RunBFS(g, levelSets[i], distsim.Config{Obs: ob, Parent: wspan})
+		res, err := distsim.RunBFS(g, levelSets[i], distsim.Config{Faults: plan, Obs: ob, Parent: wspan})
 		if err != nil {
 			wspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
@@ -195,7 +240,7 @@ func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Or
 		}
 		fspan := span.Child("oracle.flood",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
-		net, err := distsim.NewNetwork(g, handlers, distsim.Config{Obs: ob, Parent: fspan})
+		net, err := distsim.NewNetwork(g, handlers, distsim.Config{Faults: plan, Obs: ob, Parent: fspan})
 		if err != nil {
 			fspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))

@@ -1,0 +1,173 @@
+package verify
+
+import (
+	"sort"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func starSpanner() (*graph.Graph, *graph.EdgeSet) {
+	g := graph.Complete(4)
+	s := graph.NewEdgeSet(4)
+	s.Add(0, 1)
+	s.Add(0, 2)
+	s.Add(0, 3)
+	return g, s
+}
+
+func sortedEdges(es [][2]int32) [][2]int32 {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	return es
+}
+
+func TestViolatedEdges(t *testing.T) {
+	g, s := starSpanner()
+	if viol := ViolatedEdges(g, s, 2); len(viol) != 0 {
+		t.Fatalf("star stretches K4 by 2, got violations %v", viol)
+	}
+	viol := sortedEdges(ViolatedEdges(g, s, 1))
+	want := [][2]int32{{1, 2}, {1, 3}, {2, 3}}
+	if len(viol) != len(want) {
+		t.Fatalf("violations = %v, want %v", viol, want)
+	}
+	for i := range want {
+		if viol[i] != want[i] {
+			t.Fatalf("violations = %v, want %v", viol, want)
+		}
+	}
+}
+
+func TestViolatedEdgesEmptySpanner(t *testing.T) {
+	g := graph.Path(3)
+	s := graph.NewEdgeSet(0)
+	if viol := ViolatedEdges(g, s, 5); len(viol) != g.M() {
+		t.Fatalf("empty spanner violates every edge, got %v", viol)
+	}
+}
+
+func TestHealAlreadyValid(t *testing.T) {
+	g, s := starSpanner()
+	rep := Heal(g, s, 2, Resilience{}, func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+		t.Fatal("rebuild must not run for a valid spanner")
+		return nil, nil
+	})
+	if rep.Attempts != 0 || !rep.Verified || rep.Degraded || len(rep.Violations) != 1 || rep.Violations[0] != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestHealConvergesOnResidual(t *testing.T) {
+	g, s := starSpanner()
+	var residualEdges int
+	rep := Heal(g, s, 1, Resilience{}, func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+		residualEdges = residual.M()
+		// A fully successful rebuild: keep every residual edge.
+		patch := graph.NewEdgeSet(residual.M())
+		residual.ForEachEdge(patch.Add)
+		return patch, nil
+	})
+	if residualEdges != 3 {
+		t.Fatalf("residual had %d edges, want the 3 violated ones", residualEdges)
+	}
+	if rep.Attempts != 1 || !rep.Verified || rep.Degraded || rep.FallbackEdges != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if got := []int{rep.Violations[0], rep.Violations[1]}; got[0] != 3 || got[1] != 0 {
+		t.Fatalf("violation trajectory = %v", rep.Violations)
+	}
+	if s.Len() != 6 {
+		t.Fatalf("healed spanner has %d edges, want all 6 of K4", s.Len())
+	}
+}
+
+func TestHealFallbackDegrades(t *testing.T) {
+	g, s := starSpanner()
+	calls := 0
+	rep := Heal(g, s, 1, Resilience{MaxAttempts: 2}, func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt %d on call %d", attempt, calls)
+		}
+		return graph.NewEdgeSet(0), nil // a rebuild that never helps
+	})
+	if calls != 2 {
+		t.Fatalf("rebuild ran %d times, want 2", calls)
+	}
+	if !rep.Degraded || !rep.Verified || rep.FallbackEdges != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// Trajectory: initial check, two futile attempts, post-fallback recheck.
+	want := []int{3, 3, 3, 0}
+	if len(rep.Violations) != len(want) {
+		t.Fatalf("violation trajectory = %v", rep.Violations)
+	}
+	for i := range want {
+		if rep.Violations[i] != want[i] {
+			t.Fatalf("violation trajectory = %v, want %v", rep.Violations, want)
+		}
+	}
+}
+
+func TestHealKeepsPartialPatchOnError(t *testing.T) {
+	g, s := starSpanner()
+	rep := Heal(g, s, 1, Resilience{MaxAttempts: 1}, func(residual *graph.Graph, attempt int) (*graph.EdgeSet, error) {
+		// A crashed rebuild that still salvaged one edge.
+		patch := graph.NewEdgeSet(1)
+		patch.Add(1, 2)
+		return patch, errFake
+	})
+	if len(rep.RetryErrors) != 1 || rep.RetryErrors[0] != errFake.Error() {
+		t.Fatalf("retry errors = %v", rep.RetryErrors)
+	}
+	// The salvaged edge counted: only {1,3} and {2,3} were left for the
+	// fallback.
+	if rep.FallbackEdges != 2 || !rep.Degraded || !rep.Verified {
+		t.Fatalf("report = %+v", rep)
+	}
+	if !s.Has(1, 2) {
+		t.Fatal("partial patch was discarded")
+	}
+}
+
+var errFake = &fakeErr{}
+
+type fakeErr struct{}
+
+func (*fakeErr) Error() string { return "simulated rebuild crash" }
+
+func TestResilienceBoundAndAttempts(t *testing.T) {
+	var nilR *Resilience
+	if nilR.Bound(5) != 5 {
+		t.Fatal("nil Resilience must pass the pipeline bound through")
+	}
+	if (&Resilience{}).Bound(5) != 5 {
+		t.Fatal("zero MaxStretch must pass the pipeline bound through")
+	}
+	if (&Resilience{MaxStretch: 3}).Bound(5) != 3 {
+		t.Fatal("MaxStretch must override the pipeline bound")
+	}
+	if (Resilience{}).Attempts() != 3 {
+		t.Fatalf("default attempts = %d, want 3", (Resilience{}).Attempts())
+	}
+	if (Resilience{MaxAttempts: 7}).Attempts() != 7 {
+		t.Fatal("explicit MaxAttempts ignored")
+	}
+}
+
+func TestHealReportString(t *testing.T) {
+	var nilRep *HealReport
+	if nilRep.String() != "heal{unchecked}" {
+		t.Fatalf("nil report String = %q", nilRep.String())
+	}
+	g, s := starSpanner()
+	rep := Heal(g, s, 2, Resilience{}, nil)
+	if rep.String() == "" || rep.String() == "heal{unchecked}" {
+		t.Fatalf("report String = %q", rep.String())
+	}
+}
