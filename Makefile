@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck check clean
 
 all: build vet test
 
@@ -38,13 +38,22 @@ vet: fmtcheck
 	$(GO) test -race ./internal/distsim/... ./internal/obs/...
 	$(GO) test -run Fault -race ./internal/distsim/... ./internal/faults/...
 
-# The robustness gate: every fault-injection, panic-containment and
-# self-healing test under the race detector, plus a short fuzz pass over
-# the fault plan space.
+# The robustness gate: every fault-injection, panic-containment,
+# self-healing, reliable-transport and checkpoint/resume test under the
+# race detector, plus short fuzz passes over the fault-plan space and the
+# reliable link protocol.
 faultcheck:
-	$(GO) test -run 'Fault|Heal|Stall|Deadline|Panic|Crash|Drop|Resilience' -race \
-		./internal/distsim/... ./internal/faults/... ./internal/verify/... .
+	gofmt -l internal/reliable internal/verify internal/distsim internal/core | \
+		{ ! grep .; } || { echo "gofmt needed (see above)" >&2; exit 1; }
+	$(GO) vet ./internal/reliable/... ./internal/verify/... ./internal/distsim/... ./internal/core/...
+	$(GO) test -run 'Fault|Heal|Stall|Deadline|Panic|Crash|Drop|Resilience|Reliable|Wrap|Checkpoint|Resume|Degrad|Dup|Abandon' -race \
+		./internal/distsim/... ./internal/faults/... ./internal/verify/... \
+		./internal/reliable/... ./internal/core/... .
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
+	$(GO) test -fuzz=FuzzReliableLink -fuzztime=10s ./internal/reliable
+
+# The full gate: build, vet, unit tests, then the robustness suite.
+check: build vet test faultcheck
 
 clean:
 	$(GO) clean ./...

@@ -14,6 +14,7 @@ import (
 	"spanner/internal/lower"
 	"spanner/internal/obs"
 	"spanner/internal/oracle"
+	"spanner/internal/reliable"
 	"spanner/internal/routing"
 	"spanner/internal/seq"
 	"spanner/internal/stream"
@@ -450,6 +451,49 @@ type BaswanaSenDistOptions = baseline.DistOptions
 // and self-healing.
 func BaswanaSenDistributedOpts(g *Graph, k int, opts BaswanaSenDistOptions) (*BaswanaSenResult, Metrics, error) {
 	return baseline.BaswanaSenDistributedOpts(g, k, opts)
+}
+
+// --- Reliable transport, checkpointing and graceful degradation ---
+
+// ReliablePolicy configures the reliable-delivery layer: retransmission
+// timeouts (exponential backoff with deterministic jitter), retry budget,
+// peer patience and heartbeat cadence. The zero value picks sensible
+// defaults scaled to the graph. Attach via SkeletonOptions.Reliable,
+// FibonacciOptions.Reliable, BaswanaSenDistOptions.Reliable, or
+// NewDistanceOracleReliable.
+type ReliablePolicy = reliable.Policy
+
+// TransportStats tallies the reliable layer's wire activity (frames,
+// retransmits, acks, duplicates suppressed, checksum drops, abandoned
+// links); found in Metrics.Transport. On a clean completed run
+// Delivered == Messages — the exactly-once ledger.
+type TransportStats = distsim.TransportStats
+
+// DegradationReport is the typed outcome of a gracefully-degraded build:
+// the cause (link abandonment or build error), the unverified edges of the
+// partial spanner, and a sampled achieved stretch. Returned on the
+// distributed results when Degrade is set and the run fell short.
+type DegradationReport = verify.DegradationReport
+
+// Snapshotter is implemented by handlers whose state can be serialized at
+// a round boundary, enabling engine checkpointing and Resume.
+type Snapshotter = distsim.Snapshotter
+
+// CheckpointConfig asks the engine to persist handler state every Every
+// rounds into Dir; attach via the simulator Config or the pipeline
+// CheckpointDir/CheckpointEvery options.
+type CheckpointConfig = distsim.CheckpointConfig
+
+// LatestCheckpoint returns the most recent checkpoint file in dir.
+func LatestCheckpoint(dir string) (string, error) { return distsim.LatestCheckpoint(dir) }
+
+// NewDistanceOracleReliable is the distributed oracle build over the
+// reliable transport: every wave is wrapped in the retransmission layer so
+// the build completes exactly under plan's drop/delay/duplicate/corrupt
+// faults; if links are abandoned the partial result carries a
+// DegradationReport instead of failing.
+func NewDistanceOracleReliable(g *Graph, k int, seed int64, o *Observer, plan *FaultPlan, pol ReliablePolicy) (*DistanceOracle, Metrics, *DegradationReport, error) {
+	return oracle.NewDistributedReliable(g, k, seed, o, plan, pol)
 }
 
 // NewDistanceOracleFT is the fault-tolerant distributed oracle build: waves

@@ -19,9 +19,12 @@ import (
 
 	"spanner/internal/cluster"
 	"spanner/internal/core"
+	"spanner/internal/distsim"
+	"spanner/internal/faults"
 	"spanner/internal/fibonacci"
 	"spanner/internal/graph"
 	"spanner/internal/lower"
+	"spanner/internal/reliable"
 	"spanner/internal/seq"
 	"spanner/internal/verify"
 )
@@ -920,5 +923,47 @@ func BenchmarkObsOverhead(b *testing.B) {
 	})
 	b.Run("jsonl-discard", func(b *testing.B) {
 		run(b, NewObserver(NewJSONLSink(io.Discard)))
+	})
+}
+
+// Reliable-transport overhead: the cost of interposing the retry/backoff
+// layer on a multi-source BFS wave, against the bare engine. The
+// wrapped-lossless case isolates the synchronizer/framing tax; the
+// wrapped-drop case adds real retransmission work under 10% loss. Compare:
+//
+//	go test -bench=ReliableOverhead -count=5
+func BenchmarkReliableOverhead(b *testing.B) {
+	g := ConnectedGnp(2000, 8.0/2000, NewRand(1))
+	sources := []int32{0, 13, 977}
+	run := func(b *testing.B, plan *faults.Plan, wrap bool) {
+		b.ReportAllocs()
+		var wireWords, protoWords int64
+		for i := 0; i < b.N; i++ {
+			cfg := distsim.Config{}
+			if plan != nil {
+				p := *plan // each run consumes a plan run index; keep them independent
+				cfg.Faults = &p
+			}
+			var wrapFn func([]distsim.Handler) []distsim.Handler
+			if wrap {
+				sess := reliable.NewSession(g.N(), reliable.Policy{Seed: int64(i), Slack: 32})
+				cfg.Transport = sess
+				wrapFn = sess.WrapAll
+			}
+			res, err := distsim.RunBFSRadiusWrapped(g, sources, 0, cfg, wrapFn)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wireWords += res.Metrics.Words
+			protoWords += res.Metrics.ProtocolWords()
+		}
+		if protoWords > 0 {
+			b.ReportMetric(float64(wireWords)/float64(protoWords), "wire-words/proto-word")
+		}
+	}
+	b.Run("lossless", func(b *testing.B) { run(b, nil, false) })
+	b.Run("wrapped-lossless", func(b *testing.B) { run(b, nil, true) })
+	b.Run("wrapped-drop10", func(b *testing.B) {
+		run(b, &faults.Plan{Seed: 7, Drop: 0.10}, true)
 	})
 }

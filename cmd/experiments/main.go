@@ -41,6 +41,7 @@ func main() {
 	scale := flag.String("scale", "small", "experiment scale: small|full")
 	seed := flag.Int64("seed", 1, "random seed")
 	faultSweep := flag.Bool("faults", false, "run only the fault-injection sweep (drop rate x stretch violations x repair)")
+	lossSweep := flag.Bool("loss-sweep", false, "run only the loss-rate sweep comparing heal-only recovery against the reliable transport")
 	tracePath := flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -84,6 +85,13 @@ func main() {
 	}
 	if *faultSweep {
 		if err := eFaultSweep(cfg, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *lossSweep {
+		if err := eLossSweep(cfg, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -546,6 +554,63 @@ func eExtraApplications(cfg scaleCfg, seed int64) error {
 	}
 	fmt.Printf("- Corollary 1 union (fib o=%d + skeleton D=%d): |S| = %d, d=1 stretch bound %.1f\n",
 		comb.Fib.Params.Order, comb.D, comb.Spanner.Len(), comb.StretchBoundAt(1))
+	return nil
+}
+
+// eLossSweep is the experiment behind EXPERIMENTS.md's "Reliability model"
+// section: sweep the message loss rate over the distributed skeleton and
+// compare the two recovery strategies head to head. Heal-only lets the lossy
+// run corrupt the spanner and repairs it afterwards (verifier-gated
+// retries); the reliable transport retransmits under the protocol so the
+// build completes exactly — at a measurable wire-word overhead. Run with
+// -loss-sweep; it replaces the E1–E12 suite for that invocation.
+func eLossSweep(cfg scaleCfg, seed int64) error {
+	n := cfg.n / 8
+	g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(seed))
+	fmt.Printf("# Loss-rate sweep: heal-only vs reliable transport (n=%d, m=%d, seed %d)\n\n", g.N(), g.M(), seed)
+
+	lossless, err := spanner.BuildSkeletonDistributed(g,
+		spanner.SkeletonOptions{Seed: seed, Obs: ob})
+	if err != nil {
+		return err
+	}
+	baseWords := lossless.Metrics.Words
+
+	fmt.Println("| drop | heal: clean | viol. before heal | attempts | reliable: clean | retransmits | wire words / lossless | abandoned |")
+	fmt.Println("|-----:|:-----------|------------------:|---------:|:----------------|------------:|----------------------:|----------:|")
+	for _, rate := range []float64{0, 0.02, 0.05, 0.10, 0.15, 0.20} {
+		healed, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+			Seed: seed, Obs: ob,
+			Faults:     &spanner.FaultPlan{Seed: seed, Drop: rate},
+			Resilience: &spanner.Resilience{},
+		})
+		if err != nil {
+			return err
+		}
+		healViol := 0
+		if len(healed.Health.Violations) > 0 {
+			healViol = healed.Health.Violations[0]
+		}
+		// "Clean" for heal-only means the faulty run already verified with
+		// no repair work; for reliable it means no degradation was reported.
+		healClean := healed.Health.Verified && healed.Health.Attempts == 0 && healViol == 0
+
+		rel, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+			Seed: seed, Obs: ob,
+			Faults:   &spanner.FaultPlan{Seed: seed, Drop: rate},
+			Reliable: &spanner.ReliablePolicy{Seed: seed, Slack: 64},
+			Degrade:  true,
+		})
+		if err != nil {
+			return err
+		}
+		relClean := rel.Degradation == nil && len(rel.Abandoned) == 0 && rel.BuildErr == ""
+		fmt.Printf("| %.2f | %v | %d | %d | %v | %d | %.2fx | %d |\n",
+			rate, healClean, healViol, healed.Health.Attempts,
+			relClean, rel.Metrics.Transport.Retransmits,
+			float64(rel.Metrics.Words)/float64(baseWords),
+			len(rel.Abandoned))
+	}
 	return nil
 }
 

@@ -7,6 +7,9 @@
 //	spanner -graph gnp -n 10000 -deg 16 -algo skeleton -d 4
 //	spanner -graph torus -n 4096 -algo fibonacci -order 3 -eps 0.5
 //	spanner -graph gnp -n 5000 -deg 20 -algo skeleton-dist -json
+//	spanner -algo skeleton-dist -faults drop=0.1,delay=0.1 -reliable -slack 48
+//	spanner -algo skeleton-dist -checkpoint-dir /tmp/ckpt -checkpoint-every 32
+//	spanner -algo skeleton-dist -checkpoint-dir /tmp/ckpt -resume
 package main
 
 import (
@@ -39,6 +42,12 @@ type output struct {
 	FaultsDropped  int64  `json:"faultsDropped,omitempty"`
 	BuildErr       string `json:"buildErr,omitempty"`
 	Heal           string `json:"heal,omitempty"`
+	// Reliable transport and graceful degradation (-reliable).
+	ProtocolMessages int64  `json:"protocolMessages,omitempty"`
+	Retransmits      int64  `json:"retransmits,omitempty"`
+	Delivered        int64  `json:"delivered,omitempty"`
+	LinksAbandoned   int64  `json:"linksAbandoned,omitempty"`
+	Degradation      string `json:"degradation,omitempty"`
 }
 
 func main() {
@@ -67,6 +76,11 @@ func run() error {
 		dotPath        = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
 		faultsSpec     = flag.String("faults", "", "fault-injection spec for distributed algorithms, e.g. drop=0.02,dup=0.01,crash=17@3,link=2-11")
 		heal           = flag.Bool("heal", false, "verify the (possibly faulty) distributed build and repair it until the stretch bound holds")
+		reliableFlag   = flag.Bool("reliable", false, "run distributed builds over the reliable transport (retry/backoff; completes exactly under message faults, degrades gracefully on dead links)")
+		checkpointDir  = flag.String("checkpoint-dir", "", "persist call manifests and round-boundary checkpoints here (skeleton-dist, baswana-sen-dist)")
+		checkpointEach = flag.Int("checkpoint-every", 64, "engine rounds between checkpoints inside each call")
+		resume         = flag.Bool("resume", false, "resume a killed run from the newest state in -checkpoint-dir")
+		slack          = flag.Int("slack", 0, "reliable-transport quiescence margin in rounds; must be >= the graph diameter (0 = safe default n, slow — use a small multiple of the expected diameter)")
 		tracePath      = flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
 		metricsSummary = flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
 		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -140,12 +154,37 @@ func run() error {
 	if (!plan.IsZero() || *heal) && !distAlgo {
 		return fmt.Errorf("-faults/-heal apply to distributed algorithms only, not %q", *algo)
 	}
+	if *reliableFlag && !distAlgo {
+		return fmt.Errorf("-reliable applies to distributed algorithms only, not %q", *algo)
+	}
+	ckptAlgo := map[string]bool{"skeleton-dist": true, "baswana-sen-dist": true}[*algo]
+	if (*checkpointDir != "" || *resume) && !ckptAlgo {
+		return fmt.Errorf("-checkpoint-dir/-resume apply to skeleton-dist and baswana-sen-dist only, not %q", *algo)
+	}
+	if *resume && *checkpointDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+	if *slack != 0 && !*reliableFlag {
+		return fmt.Errorf("-slack applies only with -reliable")
+	}
+	// With the reliable transport armed, dead links degrade into a partial
+	// spanner plus a typed report instead of a build error.
+	var pol *spanner.ReliablePolicy
+	if *reliableFlag {
+		pol = &spanner.ReliablePolicy{Seed: *seed, Slack: *slack}
+	}
 	recordFaults := func(m spanner.Metrics, healReport *spanner.HealReport, buildErr string) {
 		out.FaultsInjected = m.Faults.Total()
 		out.FaultsDropped = m.Faults.DroppedTotal()
 		out.BuildErr = buildErr
 		if healReport != nil {
 			out.Heal = healReport.String()
+		}
+		if m.Transport.Wrapped {
+			out.ProtocolMessages = m.Transport.Messages
+			out.Retransmits = m.Transport.Retransmits
+			out.Delivered = m.Transport.Delivered
+			out.LinksAbandoned = m.Transport.LinksAbandoned
 		}
 	}
 
@@ -158,8 +197,10 @@ func run() error {
 		}
 		edges = res.Spanner
 	case "skeleton-dist":
-		res, err := spanner.BuildSkeletonDistributed(g,
-			spanner.SkeletonOptions{D: *d, Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience})
+		res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+			D: *d, Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience,
+			Reliable: pol, Degrade: pol != nil,
+			CheckpointDir: *checkpointDir, CheckpointEvery: *checkpointEach, Resume: *resume})
 		if err != nil {
 			return err
 		}
@@ -168,6 +209,9 @@ func run() error {
 		out.Messages = res.Metrics.Messages
 		out.MaxMsgWords = res.Metrics.MaxMsgWords
 		recordFaults(res.Metrics, res.Health, res.BuildErr)
+		if res.Degradation != nil {
+			out.Degradation = res.Degradation.String()
+		}
 	case "fibonacci":
 		res, err := spanner.BuildFibonacci(g, spanner.FibonacciOptions{Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob})
 		if err != nil {
@@ -176,7 +220,8 @@ func run() error {
 		edges = res.Spanner
 	case "fibonacci-dist":
 		res, err := spanner.BuildFibonacciDistributed(g, spanner.FibonacciOptions{
-			Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience})
+			Order: *order, Epsilon: *eps, T: *tMsg, Seed: *seed, Obs: ob,
+			Faults: plan, Resilience: resilience, Reliable: pol, Degrade: pol != nil})
 		if err != nil {
 			return err
 		}
@@ -185,6 +230,9 @@ func run() error {
 		out.Messages = res.Metrics.Messages
 		out.MaxMsgWords = res.Metrics.MaxMsgWords
 		recordFaults(res.Metrics, res.Health, res.BuildErr)
+		if res.Degradation != nil {
+			out.Degradation = res.Degradation.String()
+		}
 	case "baswana-sen":
 		res, err := spanner.BaswanaSenObs(g, *k, *seed, ob)
 		if err != nil {
@@ -192,8 +240,10 @@ func run() error {
 		}
 		edges = res.Spanner
 	case "baswana-sen-dist":
-		res, m, err := spanner.BaswanaSenDistributedOpts(g, *k,
-			spanner.BaswanaSenDistOptions{Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience})
+		res, m, err := spanner.BaswanaSenDistributedOpts(g, *k, spanner.BaswanaSenDistOptions{
+			Seed: *seed, Obs: ob, Faults: plan, Resilience: resilience,
+			Reliable: pol, Degrade: pol != nil,
+			CheckpointDir: *checkpointDir, CheckpointEvery: *checkpointEach, Resume: *resume})
 		if err != nil {
 			return err
 		}
@@ -202,6 +252,9 @@ func run() error {
 		out.Messages = m.Messages
 		out.MaxMsgWords = m.MaxMsgWords
 		recordFaults(m, res.Health, res.BuildErr)
+		if res.Degradation != nil {
+			out.Degradation = res.Degradation.String()
+		}
 	case "greedy":
 		res, err := spanner.Greedy(g, *k)
 		if err != nil {
@@ -286,11 +339,18 @@ func run() error {
 	if out.FaultsInjected > 0 {
 		fmt.Printf("faults: %d injected (%d lost), plan %v\n", out.FaultsInjected, out.FaultsDropped, plan)
 	}
+	if out.Delivered > 0 || out.Retransmits > 0 {
+		fmt.Printf("transport: %d protocol messages, %d delivered, %d retransmits, %d links abandoned\n",
+			out.ProtocolMessages, out.Delivered, out.Retransmits, out.LinksAbandoned)
+	}
 	if out.BuildErr != "" {
 		fmt.Printf("build error (recovered): %s\n", out.BuildErr)
 	}
 	if out.Heal != "" {
 		fmt.Printf("heal:   %s\n", out.Heal)
+	}
+	if out.Degradation != "" {
+		fmt.Printf("degraded: %s\n", out.Degradation)
 	}
 	return nil
 }

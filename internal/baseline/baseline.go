@@ -29,6 +29,7 @@ import (
 	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/reliable"
 	"spanner/internal/verify"
 )
 
@@ -42,6 +43,12 @@ type BaswanaSenResult struct {
 	// Health records verifier-gated repair when DistOptions.Resilience was
 	// set on a distributed run (nil otherwise).
 	Health *verify.HealReport
+	// Abandoned lists links the reliable transport gave up on
+	// (DistOptions.Reliable runs only).
+	Abandoned [][2]int32
+	// Degradation reports what remains unverified when DistOptions.Degrade
+	// absorbed a build failure or link abandonment (nil on clean runs).
+	Degradation *verify.DegradationReport
 	// BuildErr is the error of the initial distributed build that healing
 	// recovered from (empty when the build itself succeeded).
 	BuildErr string
@@ -121,6 +128,17 @@ type DistOptions struct {
 	// Resilience enables verifier-gated repair against the (2k−1)-stretch
 	// guarantee; nil makes faulty builds fail hard.
 	Resilience *verify.Resilience
+	// Reliable wraps every Expand call in the reliable transport so the
+	// protocol completes exactly under wire faults instead of being healed.
+	Reliable *reliable.Policy
+	// Degrade makes a failed or link-abandoning build return the partial
+	// spanner plus BaswanaSenResult.Degradation instead of an error.
+	Degrade bool
+	// CheckpointDir/CheckpointEvery persist call-boundary manifests and
+	// engine checkpoints; Resume restarts from the latest ones.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
 }
 
 // BaswanaSenDistributedOpts is the fully-optioned distributed Baswana–Sen:
@@ -141,13 +159,30 @@ func BaswanaSenDistributedOpts(g *graph.Graph, k int, opts DistOptions) (*Baswan
 	}
 	nf := float64(n)
 	res.SizeBound = float64(k)*nf + (math.Log(float64(k))+1)*math.Pow(nf, 1+1/float64(k))
-	spanner, metrics, _, err := core.RunExpandSchedule(g, baswanaSenCalls(n, k), opts.Seed, 0, opts.Faults, opts.Obs, "baswana_sen.dist")
-	if err != nil && opts.Resilience == nil {
+	sr, err := core.RunExpandScheduleOpts(g, baswanaSenCalls(n, k), core.ScheduleOpts{
+		Seed: opts.Seed, Faults: opts.Faults, Obs: opts.Obs, Label: "baswana_sen.dist",
+		Reliable:      opts.Reliable,
+		CheckpointDir: opts.CheckpointDir, CheckpointEvery: opts.CheckpointEvery,
+		Resume: opts.Resume,
+	})
+	metrics = sr.Metrics
+	if err != nil && opts.Resilience == nil && !opts.Degrade {
 		return nil, metrics, err
 	}
-	res.Spanner = spanner
+	res.Spanner = sr.Spanner
+	for _, l := range sr.Abandoned {
+		res.Abandoned = append(res.Abandoned, [2]int32{int32(l[0]), int32(l[1])})
+	}
 	if err != nil {
 		res.BuildErr = err.Error()
+	}
+	if opts.Degrade && (err != nil || len(res.Abandoned) > 0) {
+		cause, detail := verify.CauseAbandoned, ""
+		if err != nil {
+			cause, detail = verify.CauseBuildError, err.Error()
+		}
+		res.Degradation = verify.Degrade(g, res.Spanner, 2*k-1, cause, detail,
+			res.Abandoned, 64, opts.Seed)
 	}
 	if opts.Resilience != nil {
 		r := *opts.Resilience
@@ -162,10 +197,11 @@ func BaswanaSenDistributedOpts(g *graph.Graph, k int, opts DistOptions) (*Baswan
 					}
 					return sr.Spanner, nil
 				}
-				sp, m, _, rerr := core.RunExpandSchedule(residual, baswanaSenCalls(residual.N(), k),
-					seed, 0, opts.Faults, opts.Obs, "baswana_sen.heal")
-				metrics.Add(m)
-				return sp, rerr
+				hr, rerr := core.RunExpandScheduleOpts(residual, baswanaSenCalls(residual.N(), k),
+					core.ScheduleOpts{Seed: seed, Faults: opts.Faults, Obs: opts.Obs,
+						Label: "baswana_sen.heal", Reliable: opts.Reliable})
+				metrics.Add(hr.Metrics)
+				return hr.Spanner, rerr
 			})
 	}
 	return res, metrics, nil

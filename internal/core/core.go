@@ -30,6 +30,7 @@ import (
 	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/reliable"
 	"spanner/internal/seq"
 	"spanner/internal/verify"
 )
@@ -77,6 +78,28 @@ type Options struct {
 	// it verifies, with the outcome recorded in DistributedResult.Health.
 	// Nil disables healing (faulty builds then fail hard, as before).
 	Resilience *verify.Resilience
+	// Reliable wraps every engine run of the distributed build in the
+	// reliable transport (internal/reliable): retransmission with backoff
+	// recovers drop/duplicate/corrupt/delay faults at the wire, so the
+	// protocol completes exactly instead of being healed after the fact.
+	// Nil runs handlers directly on the (possibly lossy) network.
+	Reliable *reliable.Policy
+	// Degrade switches the distributed build's failure contract: instead of
+	// returning an error when an engine run fails or the transport abandons
+	// links, the build returns the partial spanner it constructed plus a
+	// typed DegradationReport (DistributedResult.Degradation) stating what
+	// remains unverified. False keeps the hard-failure contract.
+	Degrade bool
+	// CheckpointDir, with CheckpointEvery > 0, persists the distributed
+	// build's state to disk: a call-boundary manifest before every Expand
+	// call plus an engine checkpoint every CheckpointEvery rounds inside
+	// each call.
+	CheckpointDir   string
+	CheckpointEvery int
+	// Resume restarts a killed run from the latest manifest/checkpoint in
+	// CheckpointDir instead of starting over; the completed run is
+	// byte-identical to an uninterrupted one.
+	Resume bool
 }
 
 // CallRecord captures one Expand call for analysis.

@@ -1,9 +1,7 @@
 package core
 
 import (
-	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"spanner/internal/distsim"
@@ -489,6 +487,10 @@ func (s *skelNode) die(n *distsim.NodeCtx, keepAll bool) {
 	s.dead = true
 }
 
+// degradeSample is the edge-sample size degradation reports use to estimate
+// achieved stretch.
+const degradeSample = 64
+
 // DistributedResult reports a distributed skeleton run.
 type DistributedResult struct {
 	Spanner *graph.EdgeSet
@@ -503,6 +505,14 @@ type DistributedResult struct {
 	// Health records verifier-gated repair when Options.Resilience was set
 	// (nil otherwise). Degradation is explicit here, never silent.
 	Health *verify.HealReport
+	// Abandoned lists the directed links the reliable transport gave up on
+	// (Options.Reliable runs only; empty after a clean run).
+	Abandoned [][2]distsim.NodeID
+	// Degradation is the graceful-degradation report: set when
+	// Options.Degrade is true and the build failed or abandoned links, in
+	// which case Spanner is the partial result and the error is absorbed
+	// here instead of returned.
+	Degradation *verify.DegradationReport
 	// BuildErr is the error of the initial distributed build that healing
 	// recovered from (empty when the build itself succeeded).
 	BuildErr string
@@ -532,15 +542,36 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 	}
 	res.MaxMsgWords = msgCap
 
-	spanner, metrics, perCall, err := RunExpandSchedule(g, res.Calls, opts.Seed, msgCap, opts.Faults, opts.Obs, "skeleton.dist")
-	if err != nil && opts.Resilience == nil {
+	sr, err := RunExpandScheduleOpts(g, res.Calls, ScheduleOpts{
+		Seed: opts.Seed, MsgCap: msgCap, Faults: opts.Faults, Obs: opts.Obs,
+		Label: "skeleton.dist", Reliable: opts.Reliable,
+		CheckpointDir: opts.CheckpointDir, CheckpointEvery: opts.CheckpointEvery,
+		Resume: opts.Resume,
+	})
+	if err != nil && opts.Resilience == nil && !opts.Degrade {
 		return nil, err
 	}
-	res.Spanner = spanner
-	res.Metrics = metrics
-	res.CallMetrics = perCall
+	res.Spanner = sr.Spanner
+	res.Metrics = sr.Metrics
+	res.CallMetrics = sr.PerCall
+	res.Abandoned = sr.Abandoned
 	if err != nil {
 		res.BuildErr = err.Error()
+	}
+	if opts.Degrade && (err != nil || len(sr.Abandoned) > 0) {
+		// Graceful degradation: absorb the failure into a typed report on
+		// the partial spanner instead of an error.
+		cause, detail := verify.CauseAbandoned, ""
+		if err != nil {
+			cause, detail = verify.CauseBuildError, err.Error()
+		}
+		abandoned := make([][2]int32, len(sr.Abandoned))
+		for i, l := range sr.Abandoned {
+			abandoned[i] = [2]int32{int32(l[0]), int32(l[1])}
+		}
+		bound := int(math.Ceil(DistortionBound(n, opts)))
+		res.Degradation = verify.Degrade(g, res.Spanner, bound, cause, detail,
+			abandoned, degradeSample, opts.Seed)
 	}
 	if opts.Resilience != nil {
 		r := *opts.Resilience
@@ -562,11 +593,13 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 					return sr.Spanner, nil
 				}
 				// Distributed retry on the residual subgraph, still under the
-				// fault plan (fresh injector stream, so retries differ).
-				sp, m, _, rerr := RunExpandSchedule(residual, Schedule(residual.N(), opts),
-					seed, msgCap, opts.Faults, opts.Obs, "skeleton.heal")
-				res.Metrics.Add(m)
-				return sp, rerr
+				// fault plan (fresh injector stream, so retries differ) and,
+				// when configured, under the reliable transport.
+				hr, rerr := RunExpandScheduleOpts(residual, Schedule(residual.N(), opts),
+					ScheduleOpts{Seed: seed, MsgCap: msgCap, Faults: opts.Faults,
+						Obs: opts.Obs, Label: "skeleton.heal", Reliable: opts.Reliable})
+				res.Metrics.Add(hr.Metrics)
+				return hr.Spanner, rerr
 			})
 	}
 	return res, nil
@@ -585,115 +618,8 @@ func BuildSkeletonDistributed(g *graph.Graph, opts Options) (*DistributedResult,
 // nil), so verifier-gated healing can repair the residual damage instead of
 // starting over.
 func RunExpandSchedule(g *graph.Graph, schedule []Call, seed int64, msgCap int, plan *faults.Plan, o *obs.Observer, label string) (*graph.EdgeSet, distsim.Metrics, []distsim.Metrics, error) {
-	n := g.N()
-	spanner := graph.NewEdgeSet(2 * n)
-	var metrics distsim.Metrics
-	var perCall []distsim.Metrics
-	if n == 0 || len(schedule) == 0 {
-		return spanner, metrics, perCall, nil
-	}
-	if label == "" {
-		label = "expand.schedule"
-	}
-	root := o.StartSpan(label, obs.I("n", int64(n)), obs.I("m", int64(g.M())),
-		obs.I("calls", int64(len(schedule))), obs.I(obs.AttrMaxMsgWords, int64(msgCap)))
-
-	// Pre-draw each vertex's first-unsampled call index against the public
-	// schedule (the paper's line-1 pre-sampling).
-	rng := rand.New(rand.NewSource(seed))
-	taus := make([]int64, n)
-	for v := 0; v < n; v++ {
-		tau := int64(len(schedule) - 1)
-		for idx, c := range schedule {
-			if !(rng.Float64() < c.P) {
-				tau = int64(idx)
-				break
-			}
-		}
-		taus[v] = tau
-	}
-
-	nodes := make([]skelNode, n)
-	handlers := make([]distsim.Handler, n)
-	for v := 0; v < n; v++ {
-		nodes[v] = skelNode{
-			self:        distsim.NodeID(v),
-			superCenter: int32(v),
-			cluster:     int32(v),
-			clusterTau:  taus[v],
-			p1:          distsim.NodeID(v),
-			p2:          distsim.NodeID(v),
-			children2:   make(map[distsim.NodeID]bool),
-		}
-		handlers[v] = &nodes[v]
-	}
-
-	for idx, call := range schedule {
-		if call.ContractBefore {
-			for v := range nodes {
-				nodes[v].contractLocal()
-			}
-		}
-		liveCount := 0
-		for v := range nodes {
-			if !nodes[v].dead {
-				nodes[v].resetCall(int64(idx), call.AbortQ, msgCap)
-				liveCount++
-			}
-		}
-		if liveCount == 0 {
-			break
-		}
-		cspan := root.Child("expand.call",
-			obs.I("call", int64(idx)), obs.I(obs.AttrLevel, int64(call.Round)),
-			obs.I("iter", int64(call.Iter)), obs.F("p", call.P),
-			obs.I(obs.AttrSize, int64(liveCount)))
-		net, err := distsim.NewNetwork(g, handlers, distsim.Config{
-			MaxMsgWords: msgCap,
-			Strict:      msgCap > 0,
-			Faults:      plan,
-			Obs:         o,
-			Parent:      cspan,
-		})
-		if err != nil {
-			return spanner, metrics, perCall, err
-		}
-		m, err := net.Run()
-		if err != nil {
-			// Salvage the edges the protocol committed before the failure:
-			// the partial spanner is the healing layer's starting point.
-			metrics.Add(m)
-			for v := range nodes {
-				for _, k := range nodes[v].outEdges {
-					spanner.AddKey(k)
-				}
-			}
-			cspan.End(obs.S("error", err.Error()))
-			root.End(obs.S("error", err.Error()))
-			return spanner, metrics, perCall, fmt.Errorf("core: distributed Expand call %d: %w", idx, err)
-		}
-		perCall = append(perCall, m)
-		metrics.Add(m)
-		edgesBefore := spanner.Len()
-		liveAfter := 0
-		for v := range nodes {
-			for _, k := range nodes[v].outEdges {
-				spanner.AddKey(k)
-			}
-			nodes[v].outEdges = nodes[v].outEdges[:0]
-			if !nodes[v].dead {
-				liveAfter++
-			}
-		}
-		cspan.End(obs.I(obs.AttrRounds, int64(m.Rounds)), obs.I(obs.AttrMessages, m.Messages),
-			obs.I(obs.AttrWords, m.Words), obs.I(obs.AttrMaxMsgWords, int64(m.MaxMsgWords)),
-			obs.I(obs.AttrCapExceeded, m.CapExceeded),
-			obs.I(obs.AttrEdges, int64(spanner.Len()-edgesBefore)),
-			obs.I("live_after", int64(liveAfter)))
-	}
-	root.End(obs.I(obs.AttrEdges, int64(spanner.Len())),
-		obs.I(obs.AttrRounds, int64(metrics.Rounds)), obs.I(obs.AttrMessages, metrics.Messages),
-		obs.I(obs.AttrWords, metrics.Words), obs.I(obs.AttrMaxMsgWords, int64(metrics.MaxMsgWords)),
-		obs.I(obs.AttrCapExceeded, metrics.CapExceeded))
-	return spanner, metrics, perCall, nil
+	r, err := RunExpandScheduleOpts(g, schedule, ScheduleOpts{
+		Seed: seed, MsgCap: msgCap, Faults: plan, Obs: o, Label: label,
+	})
+	return r.Spanner, r.Metrics, r.PerCall, err
 }

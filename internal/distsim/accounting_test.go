@@ -1,0 +1,92 @@
+package distsim
+
+import (
+	"testing"
+
+	"spanner/internal/faults"
+	"spanner/internal/graph"
+)
+
+// Fault-accounting regression tests: Metrics.Delivered() is defined as
+// sends plus injected duplicates minus every kind of loss, and that ledger
+// must reconcile with what handlers actually saw — in particular when an
+// injected duplicate lands inside a crash window and is itself dropped.
+
+// tallyNode broadcasts once and then counts every arrival without ever
+// halting, so deliveries injected arbitrarily late (delays, post-crash
+// retransmits) are still observed — unlike pingNode, which halts after its
+// first round and would miss them.
+type tallyNode struct {
+	received int
+}
+
+func (p *tallyNode) Start(n *NodeCtx) { n.Broadcast(int64(n.ID())) }
+
+func (p *tallyNode) HandleRound(n *NodeCtx, inbox []Message) {
+	p.received += len(inbox)
+}
+
+func runPingAccounting(t *testing.T, g *graph.Graph, plan *faults.Plan) (Metrics, int64) {
+	t.Helper()
+	nodes := make([]tallyNode, g.N())
+	handlers := make([]Handler, g.N())
+	for v := range handlers {
+		handlers[v] = &nodes[v]
+	}
+	net, err := NewNetwork(g, handlers, Config{Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := net.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int64
+	for v := range nodes {
+		seen += int64(nodes[v].received)
+	}
+	return m, seen
+}
+
+// A send aimed into a crash window is dropped before duplication can fork
+// it, so the ledger nets the whole event as one crash drop and Delivered()
+// still equals exactly what the inboxes saw.
+func TestDupIntoCrashWindowReconciles(t *testing.T) {
+	g := graph.Complete(4)
+	plan := &faults.Plan{Seed: 6, Duplicate: 1,
+		Crashes: []faults.Crash{{Node: 1, From: 1, Until: 1 << 30}}}
+	m, seen := runPingAccounting(t, g, plan)
+	if m.Faults.Duplicated == 0 {
+		t.Fatal("no duplicates injected; test is vacuous")
+	}
+	if m.Faults.DroppedCrash == 0 {
+		t.Fatal("no crash-window drops; the duplicate never met the crash")
+	}
+	if got := m.Delivered(); got != seen {
+		t.Fatalf("Delivered() = %d but handlers saw %d (metrics %+v)", got, seen, m)
+	}
+}
+
+// The reconciliation holds across arbitrary mixes of drop, duplicate, delay,
+// link failure and crash windows: whatever the injector does, the ledger
+// and the handlers agree message for message.
+func TestFaultMixReconciliation(t *testing.T) {
+	g := graph.Circulant(12, 2)
+	plans := []*faults.Plan{
+		{Seed: 1, Drop: 0.3, Duplicate: 0.3},
+		{Seed: 2, Duplicate: 0.5, Delay: 0.5, DelayRounds: 3},
+		{Seed: 3, Drop: 0.2, Duplicate: 0.4, Delay: 0.3, DelayRounds: 2,
+			Crashes: []faults.Crash{{Node: 2, From: 1, Until: 3}, {Node: 7, From: 0, Until: 1 << 30}}},
+		{Seed: 4, Duplicate: 1, Links: [][2]int32{{0, 1}, {5, 6}}},
+		{Seed: 5, Drop: 0.5, Duplicate: 0.5, Delay: 0.5, DelayRounds: 4,
+			Links:   [][2]int32{{3, 4}},
+			Crashes: []faults.Crash{{Node: 9, From: 1, Until: 2}}},
+	}
+	for _, plan := range plans {
+		m, seen := runPingAccounting(t, g, plan)
+		if got := m.Delivered(); got != seen {
+			t.Errorf("plan seed %d: Delivered() = %d but handlers saw %d (faults %+v)",
+				plan.Seed, got, seen, m.Faults)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package distsim
 
-import "spanner/internal/graph"
+import (
+	"fmt"
+
+	"spanner/internal/graph"
+)
 
 // BFSResult is the outcome of RunBFS.
 type BFSResult struct {
@@ -29,6 +33,15 @@ func RunBFS(g *graph.Graph, sources []int32, cfg Config) (*BFSResult, error) {
 // steps each v ∈ V knows the first edge on the path P(v, p_i(v)) or knows
 // that δ(v, V_i) ≥ ℓ^{i-1}".
 func RunBFSRadius(g *graph.Graph, sources []int32, radius int64, cfg Config) (*BFSResult, error) {
+	return RunBFSRadiusWrapped(g, sources, radius, cfg, nil)
+}
+
+// RunBFSRadiusWrapped is RunBFSRadius with a handler-wrapping hook: wrap
+// (when non-nil) receives the BFS handlers and returns the slice actually
+// installed on the network — how a reliable transport layer interposes
+// without this package importing it.
+func RunBFSRadiusWrapped(g *graph.Graph, sources []int32, radius int64, cfg Config,
+	wrap func([]Handler) []Handler) (*BFSResult, error) {
 	handlers := make([]Handler, g.N())
 	nodes := make([]bfsPatientNode, g.N())
 	for v := range nodes {
@@ -39,6 +52,9 @@ func RunBFSRadius(g *graph.Graph, sources []int32, radius int64, cfg Config) (*B
 	}
 	for v := range handlers {
 		handlers[v] = &nodes[v]
+	}
+	if wrap != nil {
+		handlers = wrap(handlers)
 	}
 	net, err := NewNetwork(g, handlers, cfg)
 	if err != nil {
@@ -113,4 +129,35 @@ func (b *bfsPatientNode) HandleRound(n *NodeCtx, inbox []Message) {
 		}
 		n.Halt()
 	}
+}
+
+// Snapshot serializes the node for round-boundary checkpointing.
+func (b *bfsPatientNode) Snapshot() []int64 {
+	flags := int64(0)
+	if b.isSource {
+		flags |= 1
+	}
+	if b.decided {
+		flags |= 2
+	}
+	if b.announced {
+		flags |= 4
+	}
+	return []int64{flags, b.radius, b.dist, b.source, int64(b.parent)}
+}
+
+// Restore rebuilds the node from a Snapshot.
+func (b *bfsPatientNode) Restore(state []int64) error {
+	if len(state) != 5 {
+		return fmt.Errorf("distsim: bfs snapshot has %d words, want 5", len(state))
+	}
+	flags := state[0]
+	b.isSource = flags&1 != 0
+	b.decided = flags&2 != 0
+	b.announced = flags&4 != 0
+	b.radius = state[1]
+	b.dist = state[2]
+	b.source = state[3]
+	b.parent = NodeID(state[4])
+	return nil
 }

@@ -1,0 +1,210 @@
+package distsim
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spanner/internal/faults"
+	"spanner/internal/graph"
+)
+
+// ckptTestGraph is the fixed graph the checkpoint tests run BFS on: big
+// enough for multi-round waves, small enough that resuming from every
+// boundary stays fast.
+func ckptTestGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomRegular(36, 4, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("RandomRegular: %v", err)
+	}
+	return g
+}
+
+func ckptBFSHandlers(g *graph.Graph) []Handler {
+	nodes := make([]bfsPatientNode, g.N())
+	nodes[0].isSource = true
+	nodes[7].isSource = true
+	handlers := make([]Handler, g.N())
+	for v := range handlers {
+		handlers[v] = &nodes[v]
+	}
+	return handlers
+}
+
+// finalSnapshots captures every handler's protocol state after a run; two
+// runs are result-identical iff these streams match word for word.
+func finalSnapshots(t *testing.T, handlers []Handler) [][]int64 {
+	t.Helper()
+	out := make([][]int64, len(handlers))
+	for v, h := range handlers {
+		s, ok := h.(Snapshotter)
+		if !ok {
+			t.Fatalf("handler %d (%T) is not a Snapshotter", v, h)
+		}
+		out[v] = s.Snapshot()
+	}
+	return out
+}
+
+func runCkptBFS(t *testing.T, g *graph.Graph, cfg Config) (Metrics, []RoundStats, [][]int64) {
+	t.Helper()
+	handlers := ckptBFSHandlers(g)
+	net, err := NewNetwork(g, handlers, cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	m, err := net.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m, net.Trace(), finalSnapshots(t, handlers)
+}
+
+// assertResumeMatches resumes from every checkpoint in dir and demands the
+// continued run reproduce the uninterrupted run's metrics, round trace and
+// final handler state exactly — the kill-at-every-boundary contract.
+func assertResumeMatches(t *testing.T, g *graph.Graph, dir string, mkCfg func() Config,
+	wantM Metrics, wantTrace []RoundStats, wantState [][]int64) {
+	t.Helper()
+	ckpts, err := Checkpoints(dir)
+	if err != nil {
+		t.Fatalf("Checkpoints: %v", err)
+	}
+	if len(ckpts) < 2 {
+		t.Fatalf("expected multiple checkpoints in %s, got %d", dir, len(ckpts))
+	}
+	for _, path := range ckpts {
+		handlers := ckptBFSHandlers(g)
+		net, err := ResumeFrom(g, handlers, mkCfg(), path)
+		if err != nil {
+			t.Fatalf("ResumeFrom(%s): %v", filepath.Base(path), err)
+		}
+		m, err := net.Run()
+		if err != nil {
+			t.Fatalf("resumed Run from %s: %v", filepath.Base(path), err)
+		}
+		if m != wantM {
+			t.Errorf("resume from %s: metrics = %+v, want %+v", filepath.Base(path), m, wantM)
+		}
+		if !reflect.DeepEqual(net.Trace(), wantTrace) {
+			t.Errorf("resume from %s: round trace diverged", filepath.Base(path))
+		}
+		if got := finalSnapshots(t, handlers); !reflect.DeepEqual(got, wantState) {
+			t.Errorf("resume from %s: final handler state diverged", filepath.Base(path))
+		}
+	}
+}
+
+// TestCheckpointResumeDeterminism kills a fault-free BFS at every round
+// boundary and resumes it: metrics, trace and results must be byte-identical
+// to the uninterrupted run.
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	g := ckptTestGraph(t)
+	wantM, wantTrace, wantState := runCkptBFS(t, g, Config{TraceRounds: true})
+
+	dir := t.TempDir()
+	cm, ctrace, cstate := runCkptBFS(t, g, Config{
+		TraceRounds: true,
+		Checkpoint:  &CheckpointConfig{Dir: dir, Every: 2},
+	})
+	if cm != wantM || !reflect.DeepEqual(ctrace, wantTrace) || !reflect.DeepEqual(cstate, wantState) {
+		t.Fatal("enabling checkpointing changed the run")
+	}
+
+	// Preserve the original artifacts: resumed runs rewrite the later
+	// checkpoint files, and those rewrites must be byte-identical too.
+	orig := map[string][]byte{}
+	ckpts, err := Checkpoints(dir)
+	if err != nil {
+		t.Fatalf("Checkpoints: %v", err)
+	}
+	for _, p := range ckpts {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		orig[p] = raw
+	}
+
+	mkCfg := func() Config {
+		return Config{TraceRounds: true, Checkpoint: &CheckpointConfig{Dir: dir, Every: 2}}
+	}
+	assertResumeMatches(t, g, dir, mkCfg, wantM, wantTrace, wantState)
+
+	for _, p := range ckpts {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if !reflect.DeepEqual(raw, orig[p]) {
+			t.Errorf("resumed run rewrote %s differently", filepath.Base(p))
+		}
+	}
+}
+
+// TestCheckpointResumeUnderFaults is the same contract with an active fault
+// injector: the checkpoint position-restores the fault RNG and the delayed-
+// delivery queue, so the resumed run replays the exact same fault sequence.
+func TestCheckpointResumeUnderFaults(t *testing.T) {
+	g := ckptTestGraph(t)
+	// Each network consumes a run index from its plan, so every run gets a
+	// fresh plan value with identical parameters (same seed => same faults).
+	mkPlan := func() *faults.Plan {
+		return &faults.Plan{Seed: 3, Drop: 0.05, Duplicate: 0.04, Delay: 0.10, DelayRounds: 2}
+	}
+	wantM, wantTrace, wantState := runCkptBFS(t, g, Config{TraceRounds: true, Faults: mkPlan()})
+	if wantM.Faults.Dropped+wantM.Faults.Delayed+wantM.Faults.Duplicated == 0 {
+		t.Fatal("fault plan injected nothing; test is vacuous")
+	}
+
+	dir := t.TempDir()
+	cm, ctrace, cstate := runCkptBFS(t, g, Config{
+		TraceRounds: true,
+		Faults:      mkPlan(),
+		Checkpoint:  &CheckpointConfig{Dir: dir, Every: 2},
+	})
+	if cm != wantM || !reflect.DeepEqual(ctrace, wantTrace) || !reflect.DeepEqual(cstate, wantState) {
+		t.Fatal("enabling checkpointing changed the faulty run")
+	}
+
+	mkCfg := func() Config {
+		return Config{TraceRounds: true, Faults: mkPlan(),
+			Checkpoint: &CheckpointConfig{Dir: dir, Every: 2}}
+	}
+	assertResumeMatches(t, g, dir, mkCfg, wantM, wantTrace, wantState)
+}
+
+// TestResumeGuards covers the refusal paths: no checkpoints, a checkpoint
+// for the wrong graph, and a faulty checkpoint resumed without its plan.
+func TestResumeGuards(t *testing.T) {
+	g := ckptTestGraph(t)
+	if _, err := Resume(g, ckptBFSHandlers(g), Config{}); err == nil {
+		t.Error("Resume without a checkpoint dir should fail")
+	}
+	if _, err := Resume(g, ckptBFSHandlers(g), Config{
+		Checkpoint: &CheckpointConfig{Dir: t.TempDir(), Every: 2},
+	}); err == nil {
+		t.Error("Resume from an empty dir should fail")
+	}
+
+	dir := t.TempDir()
+	runCkptBFS(t, g, Config{
+		Faults:     &faults.Plan{Seed: 3, Drop: 0.05},
+		Checkpoint: &CheckpointConfig{Dir: dir, Every: 2},
+	})
+	other := graph.Ring(10)
+	handlers := ckptBFSHandlers(other)
+	if _, err := Resume(other, handlers, Config{
+		Checkpoint: &CheckpointConfig{Dir: dir, Every: 2},
+	}); err == nil {
+		t.Error("Resume against a different graph should fail")
+	}
+	if _, err := Resume(g, ckptBFSHandlers(g), Config{
+		Checkpoint: &CheckpointConfig{Dir: dir, Every: 2},
+	}); err == nil {
+		t.Error("Resume of a faulty run without its plan should fail")
+	}
+}

@@ -78,6 +78,11 @@ type Metrics struct {
 	// Faults tallies injected faults (all zero when no plan is attached, so
 	// fault-free and zero-plan snapshots compare equal).
 	Faults faults.Counters
+	// Transport is the protocol-level ledger of the reliable transport when
+	// one was attached (Config.Transport); the zero value (Wrapped false)
+	// means the handlers spoke to the wire directly and Messages/Words above
+	// already are the protocol costs.
+	Transport TransportStats
 }
 
 // Add accumulates other into m (MaxMsgWords maxes, everything else sums) —
@@ -91,6 +96,25 @@ func (m *Metrics) Add(other Metrics) {
 	}
 	m.CapExceeded += other.CapExceeded
 	m.Faults.Add(other.Faults)
+	m.Transport.Add(other.Transport)
+}
+
+// ProtocolMessages is the algorithm's own message count: the transport's
+// exactly-once ledger when a reliable layer was attached, the raw engine
+// count otherwise.
+func (m Metrics) ProtocolMessages() int64 {
+	if m.Transport.Wrapped {
+		return m.Transport.Messages
+	}
+	return m.Messages
+}
+
+// ProtocolWords is the algorithm's own word count (see ProtocolMessages).
+func (m Metrics) ProtocolWords() int64 {
+	if m.Transport.Wrapped {
+		return m.Transport.Words
+	}
+	return m.Words
 }
 
 // Delivered is the number of messages that reached an inbox: sends plus
@@ -136,6 +160,16 @@ type Config struct {
 	// after this many consecutive rounds in which no message was delivered
 	// — a protocol spinning on wake-ups without progress. 0 disables.
 	StallRounds int
+	// Transport, when non-nil, is the reliable transport session whose
+	// wrappers run inside this network. The engine snapshots its protocol-
+	// level stats into Metrics.Transport and onto the run span, keeping wire
+	// costs and algorithm costs separately legible.
+	Transport TransportReporter
+	// Checkpoint, when non-nil, persists the full deterministic run state
+	// (engine + handler snapshots) every Every rounds into Dir, from which
+	// Resume restarts a killed run byte-identically. Handlers must implement
+	// Snapshotter.
+	Checkpoint *CheckpointConfig
 	// Obs attaches an observer: the run is wrapped in a span carrying the
 	// final metrics, one "distsim.round" point event is emitted per round,
 	// and the totals are mirrored into the registry's distsim.* series.
@@ -200,6 +234,11 @@ type Network struct {
 	// goroutine-per-node plumbing (GoroutinePerNode mode).
 	taskIn []chan nodeTask
 	nodeWG sync.WaitGroup
+
+	// Resume state: when > 0 the network was built by Resume and Run skips
+	// Start, continuing the loop at this round with restored engine state.
+	resumeRound int
+	stallStreak int
 }
 
 // pendingMsg is a delayed delivery held for a future round.
@@ -213,6 +252,13 @@ const DefaultMaxRounds = 1 << 20
 
 // NewNetwork creates a network over g where node v runs handlers[v].
 func NewNetwork(g *graph.Graph, handlers []Handler, cfg Config) (*Network, error) {
+	return newNetwork(g, handlers, cfg, true)
+}
+
+// newNetwork is NewNetwork with control over injector creation: Resume
+// position-restores the injector from the checkpoint instead of consuming a
+// fresh run from the plan.
+func newNetwork(g *graph.Graph, handlers []Handler, cfg Config, makeInjector bool) (*Network, error) {
 	if len(handlers) != g.N() {
 		return nil, fmt.Errorf("distsim: %d handlers for %d vertices", len(handlers), g.N())
 	}
@@ -228,7 +274,9 @@ func NewNetwork(g *graph.Graph, handlers []Handler, cfg Config) (*Network, error
 		handlers: handlers,
 		nodes:    make([]NodeCtx, g.N()),
 		inboxes:  make([][]Message, g.N()),
-		inj:      cfg.Faults.NewInjector(),
+	}
+	if makeInjector {
+		net.inj = cfg.Faults.NewInjector()
 	}
 	if reg := cfg.Obs.Registry(); reg != nil {
 		net.regRounds = reg.Counter("distsim.rounds")
@@ -254,6 +302,11 @@ type NodeCtx struct {
 	outbox []outMsg
 	halted bool
 	awake  bool // request another round even without sending
+
+	// Interceptor plumbing (SetInterceptor in transport.go): while non-nil,
+	// sends/halt/wake are captured instead of reaching the engine.
+	icept    SendInterceptor
+	iceptCap int
 }
 
 type outMsg struct {
@@ -282,6 +335,10 @@ func (n *NodeCtx) Send(to NodeID, data ...int64) {
 	if !n.net.g.HasEdge(n.id, to) {
 		panic(fmt.Sprintf("distsim: node %d sent to non-neighbor %d", n.id, to))
 	}
+	if n.icept != nil {
+		n.icept.InterceptSend(to, data)
+		return
+	}
 	n.outbox = append(n.outbox, outMsg{to: to, data: data})
 }
 
@@ -291,26 +348,54 @@ func (n *NodeCtx) SendWords(to NodeID, data []int64) {
 	if !n.net.g.HasEdge(n.id, to) {
 		panic(fmt.Sprintf("distsim: node %d sent to non-neighbor %d", n.id, to))
 	}
+	if n.icept != nil {
+		n.icept.InterceptSend(to, data)
+		return
+	}
 	n.outbox = append(n.outbox, outMsg{to: to, data: data})
 }
 
 // Broadcast sends the same payload to every neighbor.
 func (n *NodeCtx) Broadcast(data ...int64) {
+	if n.icept != nil {
+		for _, v := range n.Neighbors() {
+			n.icept.InterceptSend(v, data)
+		}
+		return
+	}
 	for _, v := range n.Neighbors() {
 		n.outbox = append(n.outbox, outMsg{to: v, data: data})
 	}
 }
 
 // Halt marks the node finished; its handler will not be called again.
-func (n *NodeCtx) Halt() { n.halted = true }
+func (n *NodeCtx) Halt() {
+	if n.icept != nil {
+		n.icept.InterceptHalt()
+		return
+	}
+	n.halted = true
+}
 
 // WakeNextRound asks the engine to run another round for this node even if
 // no message is in flight to it (used by protocols with silent countdowns).
-func (n *NodeCtx) WakeNextRound() { n.awake = true }
+func (n *NodeCtx) WakeNextRound() {
+	if n.icept != nil {
+		n.icept.InterceptWake()
+		return
+	}
+	n.awake = true
+}
 
 // MaxMsgWords returns the configured message cap (0 = unbounded) so
-// protocols can adapt their chunk sizes to the model.
-func (n *NodeCtx) MaxMsgWords() int { return n.net.cfg.MaxMsgWords }
+// protocols can adapt their chunk sizes to the model. Under an interceptor
+// it reports the transport's protocol-level cap instead of the wire cap.
+func (n *NodeCtx) MaxMsgWords() int {
+	if n.icept != nil {
+		return n.iceptCap
+	}
+	return n.net.cfg.MaxMsgWords
+}
 
 // nodeTask is one handler invocation dispatched to a node.
 type nodeTask struct {
@@ -356,6 +441,15 @@ func (net *Network) Run() (Metrics, error) {
 					obs.I(obs.AttrFaultsCorrupted, m.Faults.Corrupted),
 					obs.I(obs.AttrFaultsDelayed, m.Faults.Delayed))
 			}
+			if m.Transport.Wrapped {
+				attrs = append(attrs,
+					obs.I(obs.AttrTransportMessages, m.Transport.Messages),
+					obs.I(obs.AttrTransportWords, m.Transport.Words),
+					obs.I(obs.AttrTransportVRounds, int64(m.Transport.VirtualRounds)),
+					obs.I(obs.AttrTransportRetransmits, m.Transport.Retransmits),
+					obs.I(obs.AttrTransportAcks, m.Transport.Acks),
+					obs.I(obs.AttrTransportAbandoned, m.Transport.LinksAbandoned))
+			}
 			span.End(attrs...)
 		}()
 	}
@@ -364,20 +458,37 @@ func (net *Network) Run() (Metrics, error) {
 		defer net.stopNodeGoroutines()
 	}
 	startTime := time.Now()
-	// Round 0: Start on every node (crashed nodes never boot).
-	startTasks := make([]nodeTask, 0, nVerts)
-	for v := 0; v < nVerts; v++ {
-		if net.handlers[v] == nil || net.inj.Crashed(int32(v), 0) {
-			continue
+	firstRound := 1
+	if net.resumeRound > 0 {
+		// Resumed run: engine and handler state were restored by Resume;
+		// Start already ran in the original execution.
+		firstRound = net.resumeRound
+	} else {
+		if err := net.checkpointable(); err != nil {
+			return net.Metrics(), err
 		}
-		startTasks = append(startTasks, nodeTask{v: v, start: true})
+		// Round 0: Start on every node (crashed nodes never boot).
+		startTasks := make([]nodeTask, 0, nVerts)
+		for v := 0; v < nVerts; v++ {
+			if net.handlers[v] == nil || net.inj.Crashed(int32(v), 0) {
+				continue
+			}
+			startTasks = append(startTasks, nodeTask{v: v, start: true})
+		}
+		net.dispatch(startTasks)
+		if err := net.takeRunErr(); err != nil {
+			return net.Metrics(), err
+		}
 	}
-	net.dispatch(startTasks)
-	if err := net.takeRunErr(); err != nil {
-		return net.Metrics(), err
-	}
-	stallStreak := 0
-	for round := 1; ; round++ {
+	stallStreak := net.stallStreak
+	for round := firstRound; ; round++ {
+		if cc := net.cfg.Checkpoint; cc != nil && cc.Every > 0 && round > 1 &&
+			round > net.resumeRound && (round-1)%cc.Every == 0 {
+			net.stallStreak = stallStreak
+			if err := net.writeCheckpoint(round); err != nil {
+				return net.Metrics(), fmt.Errorf("distsim: checkpoint at round %d: %w", round, err)
+			}
+		}
 		if round > net.cfg.MaxRounds {
 			return net.Metrics(), fmt.Errorf("distsim: exceeded %d rounds", net.cfg.MaxRounds)
 		}
@@ -666,7 +777,13 @@ func (net *Network) account(words int) error {
 // Metrics returns a snapshot of the metrics accumulated so far. It is safe
 // to call concurrently with a running protocol.
 func (net *Network) Metrics() Metrics {
+	var ts TransportStats
+	if net.cfg.Transport != nil {
+		ts = net.cfg.Transport.TransportStats()
+		ts.Wrapped = true
+	}
 	return Metrics{
+		Transport:   ts,
 		Rounds:      int(atomic.LoadInt64(&net.rounds)),
 		Messages:    atomic.LoadInt64(&net.messages),
 		Words:       atomic.LoadInt64(&net.words),

@@ -84,6 +84,24 @@ func (p *Plan) IsZero() bool {
 // sequence it produced after construction.
 func (p *Plan) Reset() { atomic.StoreInt64(&p.runs, 0) }
 
+// Runs returns how many injectors the plan has handed out so far. Pipeline
+// checkpoints record it so a resumed pipeline re-runs its in-flight engine
+// call under the same fault stream.
+func (p *Plan) Runs() int64 {
+	if p == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&p.runs)
+}
+
+// SetRuns rewinds (or fast-forwards) the per-run counter to a checkpointed
+// value; the next NewInjector draws stream n+1.
+func (p *Plan) SetRuns(n int64) {
+	if p != nil {
+		atomic.StoreInt64(&p.runs, n)
+	}
+}
+
 // String renders the plan compactly (for logs and run artifacts).
 func (p *Plan) String() string {
 	if p.IsZero() {
@@ -171,11 +189,25 @@ type Fate struct {
 // fault counters so snapshots stay race-free.
 type Injector struct {
 	plan *Plan
+	run  int64
+	src  *countingSource
 	rng  *rand.Rand
 	// crash windows per node, sorted by From; nil when no crashes.
 	crashes map[int32][]Crash
 	links   map[int64]bool
 }
+
+// countingSource wraps the plan's rand source and counts state advances, so
+// an injector's RNG position is serializable: math/rand exposes no state,
+// but a fresh source advanced the same number of times is in the same state.
+type countingSource struct {
+	s     rand.Source64
+	draws int64
+}
+
+func (c *countingSource) Int63() int64    { c.draws++; return c.s.Int63() }
+func (c *countingSource) Uint64() uint64  { c.draws++; return c.s.Uint64() }
+func (c *countingSource) Seed(seed int64) { c.s.Seed(seed) }
 
 // NewInjector returns the plan's injector for the next engine run, fed by
 // its own deterministic RNG stream. Returns nil for a zero plan, which is
@@ -184,10 +216,46 @@ func (p *Plan) NewInjector() *Injector {
 	if p.IsZero() {
 		return nil
 	}
-	run := atomic.AddInt64(&p.runs, 1)
+	return p.injectorForRun(atomic.AddInt64(&p.runs, 1))
+}
+
+// InjectorForRun rebuilds the injector of a checkpointed engine run: stream
+// `run`, advanced by `draws` RNG state transitions — exactly the injector
+// state at checkpoint time. The plan's run counter is raised to at least
+// run, so a resumed pipeline continues with fresh streams afterwards.
+func (p *Plan) InjectorForRun(run, draws int64) *Injector {
+	if p.IsZero() {
+		return nil
+	}
+	for {
+		cur := atomic.LoadInt64(&p.runs)
+		if cur >= run || atomic.CompareAndSwapInt64(&p.runs, cur, run) {
+			break
+		}
+	}
+	in := p.injectorForRun(run)
+	for i := int64(0); i < draws; i++ {
+		in.src.s.Int63() // advance without counting; counter set below
+	}
+	in.src.draws = draws
+	return in
+}
+
+// State reports the injector's run number and RNG position for checkpoints.
+func (in *Injector) State() (run, draws int64) {
+	if in == nil {
+		return 0, 0
+	}
+	return in.run, in.src.draws
+}
+
+func (p *Plan) injectorForRun(run int64) *Injector {
+	src := &countingSource{s: rand.NewSource(mix(p.Seed, run)).(rand.Source64)}
 	in := &Injector{
 		plan: p,
-		rng:  rand.New(rand.NewSource(mix(p.Seed, run))),
+		run:  run,
+		src:  src,
+		rng:  rand.New(src),
 	}
 	if len(p.Crashes) > 0 {
 		in.crashes = make(map[int32][]Crash, len(p.Crashes))

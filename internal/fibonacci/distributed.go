@@ -9,6 +9,7 @@ import (
 	"spanner/internal/distsim"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/reliable"
 	"spanner/internal/verify"
 )
 
@@ -256,6 +257,12 @@ type DistributedResult struct {
 	// Repairs counts owners that triggered the Las Vegas repair.
 	Ceased  int
 	Repairs int
+	// Abandoned lists links the reliable transport gave up on
+	// (Options.Reliable runs only; empty after a clean run).
+	Abandoned [][2]int32
+	// Degradation reports what remains unverified when Options.Degrade
+	// absorbed a build failure or link abandonment (nil on clean runs).
+	Degradation *verify.DegradationReport
 	// Health records verifier-gated repair when Options.Resilience was set
 	// (nil otherwise).
 	Health *verify.HealReport
@@ -286,11 +293,22 @@ func BuildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 	if res == nil {
 		return nil, err // configuration error, nothing to heal
 	}
-	if err != nil && opts.Resilience == nil {
+	if err != nil && opts.Resilience == nil && !opts.Degrade {
 		return nil, err
 	}
 	if err != nil {
 		res.BuildErr = err.Error()
+	}
+	if opts.Degrade && (err != nil || len(res.Abandoned) > 0) {
+		// Graceful degradation: the partial spanner plus a typed report
+		// replace the error.
+		cause, detail := verify.CauseAbandoned, ""
+		if err != nil {
+			cause, detail = verify.CauseBuildError, err.Error()
+		}
+		bound := int(math.Ceil(StretchBoundAt(1, res.Params.Order, res.Params.Ell)))
+		res.Degradation = verify.Degrade(g, res.Spanner, bound, cause, detail,
+			res.Abandoned, 64, opts.Seed)
 	}
 	if opts.Resilience != nil {
 		r := *opts.Resilience
@@ -373,6 +391,26 @@ func buildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 		res.Metrics.Add(m)
 	}
 
+	// Reliable-transport plumbing: each engine wave gets a fresh session
+	// (wrapper state is per-run) seeded deterministically from the wave
+	// counter, and its abandoned links are folded into the result.
+	waveIdx := int64(0)
+	newWaveSession := func(innerCap int) *reliable.Session {
+		pol := *opts.Reliable
+		if pol.InnerCap == 0 {
+			pol.InnerCap = innerCap
+		}
+		return reliable.NewSession(n, pol.ForRun(waveIdx))
+	}
+	noteAbandoned := func(sess *reliable.Session) {
+		if sess == nil {
+			return
+		}
+		for _, l := range sess.Abandoned() {
+			res.Abandoned = append(res.Abandoned, [2]int32{int32(l[0]), int32(l[1])})
+		}
+	}
+
 	// Parent waves: δ(·,V_i) within ℓ^{i-1} plus parent pointers; also the
 	// pruning distances for level i−1's ball wave.
 	dists := make([][]int32, o+2)
@@ -384,8 +422,17 @@ func buildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 		pspan := span.Child("fib.parent",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))),
 			obs.I("radius", r))
-		bres, err := distsim.RunBFSRadius(g, levelSets[i], r,
-			distsim.Config{Faults: opts.Faults, Obs: opts.Obs, Parent: pspan})
+		pcfg := distsim.Config{Faults: opts.Faults, Obs: opts.Obs, Parent: pspan}
+		var pwrap func([]distsim.Handler) []distsim.Handler
+		var psess *reliable.Session
+		if opts.Reliable != nil {
+			psess = newWaveSession(0)
+			pcfg.Transport = psess
+			pwrap = psess.WrapAll
+		}
+		waveIdx++
+		bres, err := distsim.RunBFSRadiusWrapped(g, levelSets[i], r, pcfg, pwrap)
+		noteAbandoned(psess)
 		if err != nil {
 			pspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
@@ -449,13 +496,23 @@ func buildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))),
 			obs.I("radius", radius))
 		cfg := distsim.Config{MaxMsgWords: msgCap, Faults: opts.Faults, Obs: opts.Obs, Parent: bspan}
-		net, err := distsim.NewNetwork(g, handlers, cfg)
+		engineHandlers := handlers
+		var bsess *reliable.Session
+		if opts.Reliable != nil {
+			bsess = newWaveSession(msgCap)
+			engineHandlers = bsess.WrapAll(handlers)
+			cfg.MaxMsgWords = 0
+			cfg.Transport = bsess
+		}
+		waveIdx++
+		net, err := distsim.NewNetwork(g, engineHandlers, cfg)
 		if err != nil {
 			bspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
 			return res, err
 		}
 		m, err := net.Run()
+		noteAbandoned(bsess)
 		if err != nil {
 			bspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
@@ -488,14 +545,24 @@ func buildDistributed(g *graph.Graph, opts Options) (*DistributedResult, error) 
 
 		cspan := span.Child("fib.commit",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
-		cfg.Parent = cspan
-		net, err = distsim.NewNetwork(g, handlers, cfg)
+		ccfg := distsim.Config{MaxMsgWords: msgCap, Faults: opts.Faults, Obs: opts.Obs, Parent: cspan}
+		engineHandlers = handlers
+		var csess *reliable.Session
+		if opts.Reliable != nil {
+			csess = newWaveSession(msgCap)
+			engineHandlers = csess.WrapAll(handlers)
+			ccfg.MaxMsgWords = 0
+			ccfg.Transport = csess
+		}
+		waveIdx++
+		net, err = distsim.NewNetwork(g, engineHandlers, ccfg)
 		if err != nil {
 			cspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
 			return res, err
 		}
 		m, err = net.Run()
+		noteAbandoned(csess)
 		if err != nil {
 			cspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))

@@ -7,6 +7,7 @@ import (
 	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/reliable"
 	"spanner/internal/verify"
 )
 
@@ -47,6 +48,15 @@ type Options struct {
 	// outcome lands in DistributedResult.Health. Nil makes faulty builds
 	// fail hard.
 	Resilience *verify.Resilience
+	// Reliable wraps every engine wave of the distributed build in the
+	// reliable transport: retransmission recovers wire faults so the waves
+	// complete exactly rather than being healed afterwards. Each wave gets
+	// an independent jitter stream derived from the policy seed.
+	Reliable *reliable.Policy
+	// Degrade makes a failed or link-abandoning distributed build return
+	// its partial spanner plus DistributedResult.Degradation instead of an
+	// error.
+	Degrade bool
 }
 
 func (o Options) withDefaults() Options {

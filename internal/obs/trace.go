@@ -35,6 +35,15 @@ const (
 	AttrFaultsDuplicated = "faults_duplicated"
 	AttrFaultsCorrupted  = "faults_corrupted"
 	AttrFaultsDelayed    = "faults_delayed"
+
+	// Reliable-transport attrs (distsim.run spans whose Config.Transport was
+	// set): the protocol-level costs vs the wire-level overhead.
+	AttrTransportMessages    = "transport_messages"
+	AttrTransportWords       = "transport_words"
+	AttrTransportVRounds     = "transport_vrounds"
+	AttrTransportRetransmits = "transport_retransmits"
+	AttrTransportAcks        = "transport_acks"
+	AttrTransportAbandoned   = "transport_abandoned"
 )
 
 // RoundEventName is the point event distsim emits once per communication

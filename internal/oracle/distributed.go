@@ -10,6 +10,7 @@ import (
 	"spanner/internal/faults"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
+	"spanner/internal/reliable"
 	"spanner/internal/verify"
 )
 
@@ -87,7 +88,28 @@ func NewDistributed(g *graph.Graph, k int, seed int64) (*Oracle, distsim.Metrics
 // NewDistributedObs is NewDistributed with per-level witness/flood spans and
 // engine round events emitted to ob (nil disables observability).
 func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Oracle, distsim.Metrics, error) {
-	return newDistributed(g, k, seed, ob, nil)
+	o, m, _, err := newDistributed(g, k, seed, ob, nil, nil)
+	return o, m, err
+}
+
+// NewDistributedReliable runs every engine wave under the reliable
+// transport: the construction completes exactly under drop/duplicate/
+// corrupt/delay plans with no repairs. If the transport had to abandon
+// links (unrecoverable loss), the oracle is returned anyway — partial —
+// together with a DegradationReport quantifying what its spanner misses
+// against the 2k−1 bound; the report is nil after a clean run.
+func NewDistributedReliable(g *graph.Graph, k int, seed int64, ob *obs.Observer,
+	plan *faults.Plan, pol reliable.Policy) (*Oracle, distsim.Metrics, *verify.DegradationReport, error) {
+	o, m, abandoned, err := newDistributed(g, k, seed, ob, plan, &pol)
+	if err != nil {
+		return o, m, nil, err
+	}
+	var rep *verify.DegradationReport
+	if len(abandoned) > 0 {
+		rep = verify.Degrade(g, o.Spanner(), 2*k-1, verify.CauseAbandoned, "",
+			abandoned, 64, seed)
+	}
+	return o, m, rep, nil
 }
 
 // NewDistributedFT is the fault-tolerant distributed construction: every
@@ -100,7 +122,7 @@ func NewDistributedObs(g *graph.Graph, k int, seed int64, ob *obs.Observer) (*Or
 func NewDistributedFT(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *faults.Plan, r *verify.Resilience) (*Oracle, distsim.Metrics, *verify.HealReport, error) {
 	var total distsim.Metrics
 	if r == nil {
-		o, m, err := newDistributed(g, k, seed, ob, plan)
+		o, m, _, err := newDistributed(g, k, seed, ob, plan, nil)
 		return o, m, nil, err
 	}
 	bound := r.Bound(2*k - 1)
@@ -109,7 +131,7 @@ func NewDistributedFT(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan 
 		if attempt > 0 {
 			hr.Attempts++
 		}
-		o, m, err := newDistributed(g, k, seed, ob, plan)
+		o, m, _, err := newDistributed(g, k, seed, ob, plan, nil)
 		total.Add(m)
 		if err != nil {
 			hr.RetryErrors = append(hr.RetryErrors, err.Error())
@@ -135,11 +157,14 @@ func NewDistributedFT(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan 
 	return o, total, hr, nil
 }
 
-// newDistributed is the construction shared by the public variants.
-func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *faults.Plan) (*Oracle, distsim.Metrics, error) {
+// newDistributed is the construction shared by the public variants. With
+// pol non-nil every wave runs under the reliable transport (independent
+// per-wave jitter streams); the returned slice lists abandoned links.
+func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *faults.Plan, pol *reliable.Policy) (*Oracle, distsim.Metrics, [][2]int32, error) {
 	var total distsim.Metrics
+	var abandoned [][2]int32
 	if k < 1 {
-		return nil, total, fmt.Errorf("oracle: k must be >= 1, got %d", k)
+		return nil, total, nil, fmt.Errorf("oracle: k must be >= 1, got %d", k)
 	}
 	n := g.N()
 	o := &Oracle{
@@ -152,7 +177,7 @@ func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *f
 		spanner: graph.NewEdgeSet(2 * n),
 	}
 	if n == 0 {
-		return o, total, nil
+		return o, total, nil, nil
 	}
 	// Identical sampling to New (same seed ⇒ same hierarchy).
 	rng := rand.New(rand.NewSource(seed))
@@ -195,15 +220,40 @@ func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *f
 	span := ob.StartSpan("oracle.dist",
 		obs.I("n", int64(n)), obs.I("m", int64(g.M())), obs.I("k", int64(k)))
 
+	// Reliable-transport plumbing: a fresh session per wave, seeded from a
+	// deterministic wave counter, with abandoned links folded together.
+	waveIdx := int64(0)
+	newWaveSession := func() *reliable.Session {
+		return reliable.NewSession(n, pol.ForRun(waveIdx))
+	}
+	noteAbandoned := func(sess *reliable.Session) {
+		if sess == nil {
+			return
+		}
+		for _, l := range sess.Abandoned() {
+			abandoned = append(abandoned, [2]int32{int32(l[0]), int32(l[1])})
+		}
+	}
+
 	// Witness waves: distributed multi-source BFS per level.
 	for i := 0; i < k; i++ {
 		wspan := span.Child("oracle.witness",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
-		res, err := distsim.RunBFS(g, levelSets[i], distsim.Config{Faults: plan, Obs: ob, Parent: wspan})
+		wcfg := distsim.Config{Faults: plan, Obs: ob, Parent: wspan}
+		var wwrap func([]distsim.Handler) []distsim.Handler
+		var wsess *reliable.Session
+		if pol != nil {
+			wsess = newWaveSession()
+			wcfg.Transport = wsess
+			wwrap = wsess.WrapAll
+		}
+		waveIdx++
+		res, err := distsim.RunBFSRadiusWrapped(g, levelSets[i], 0, wcfg, wwrap)
+		noteAbandoned(wsess)
 		if err != nil {
 			wspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, total, fmt.Errorf("oracle: witness wave %d: %w", i, err)
+			return nil, total, abandoned, fmt.Errorf("oracle: witness wave %d: %w", i, err)
 		}
 		add(res.Metrics)
 		o.distTo[i] = res.Dist
@@ -240,17 +290,27 @@ func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *f
 		}
 		fspan := span.Child("oracle.flood",
 			obs.I(obs.AttrLevel, int64(i)), obs.I(obs.AttrSize, int64(len(levelSets[i]))))
-		net, err := distsim.NewNetwork(g, handlers, distsim.Config{Faults: plan, Obs: ob, Parent: fspan})
+		fcfg := distsim.Config{Faults: plan, Obs: ob, Parent: fspan}
+		engineHandlers := handlers
+		var fsess *reliable.Session
+		if pol != nil {
+			fsess = newWaveSession()
+			engineHandlers = fsess.WrapAll(handlers)
+			fcfg.Transport = fsess
+		}
+		waveIdx++
+		net, err := distsim.NewNetwork(g, engineHandlers, fcfg)
 		if err != nil {
 			fspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, total, err
+			return nil, total, abandoned, err
 		}
 		m, err := net.Run()
+		noteAbandoned(fsess)
 		if err != nil {
 			fspan.End(obs.S("error", err.Error()))
 			span.End(obs.S("error", err.Error()))
-			return nil, total, fmt.Errorf("oracle: cluster flood %d: %w", i, err)
+			return nil, total, abandoned, fmt.Errorf("oracle: cluster flood %d: %w", i, err)
 		}
 		add(m)
 		fspan.End(obs.I(obs.AttrRounds, int64(m.Rounds)),
@@ -294,5 +354,5 @@ func newDistributed(g *graph.Graph, k int, seed int64, ob *obs.Observer, plan *f
 		obs.I(obs.AttrRounds, int64(total.Rounds)),
 		obs.I(obs.AttrMessages, total.Messages),
 		obs.I(obs.AttrWords, total.Words))
-	return o, total, nil
+	return o, total, abandoned, nil
 }

@@ -1,0 +1,242 @@
+// Package reliable is a reliable-delivery layer between distsim.Handlers
+// and the lossy network: an α-synchronizer with per-link sequence numbers,
+// cumulative acknowledgements, retransmission under exponential backoff with
+// deterministic jitter, duplicate suppression and checksum-guarded decoding.
+//
+// Wrapping the handler slice of any existing protocol
+// (reliable.Wrap(handlers, policy)) lets it run to completion — unmodified —
+// over a faults.Plan that drops, duplicates, corrupts and delays wire
+// messages: the wrapper batches each inner round's sends per link, tags the
+// batch with its virtual round number (which doubles as the link sequence
+// number), and releases inner round t+1 only once the round-t batch of every
+// live neighbor has arrived, so the inner protocol observes exactly the
+// lossless synchronous semantics it was written for.
+//
+// Termination piggybacks a last-active watermark on every batch: once no
+// inner activity (send or wake-up) has occurred for Slack virtual rounds —
+// Slack defaults to n, an upper bound on the diameter, so the watermark has
+// propagated everywhere — wrappers stop advancing and go silent, waking only
+// to retransmit or to re-acknowledge a peer whose ack was lost. Wrappers
+// never Halt, so a quiesced node still answers late retransmissions.
+//
+// Loss that cannot be repaired is bounded: a batch resent MaxRetries times
+// without an ack, or a neighbor silent for PeerPatience ticks while awaited,
+// abandons the link. Abandoned links are removed from round gating (the
+// protocol degrades rather than deadlocks) and reported through the Session
+// for the caller's DegradationReport.
+//
+// Costs stay legible: the engine's Metrics.Messages/Words count the wire
+// (batches, acks, retransmissions); the Session implements
+// distsim.TransportReporter, so Metrics.Transport carries the exactly-once
+// protocol-level ledger — after a run with no abandoned links,
+// Transport.Delivered == Transport.Messages whatever the fault plan did.
+package reliable
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"spanner/internal/distsim"
+)
+
+// Policy tunes the transport. The zero value means "all defaults" (resolved
+// against the network size by the Session).
+type Policy struct {
+	// InitialRTO is the retransmission timeout, in ticks (engine rounds
+	// observed by the sender), for the first resend of a batch. Default 4.
+	InitialRTO int
+	// MaxRTO caps the exponential backoff. Default 64.
+	MaxRTO int
+	// Jitter adds a deterministic per-node 0..Jitter ticks to each resend
+	// deadline, decorrelating retransmission bursts. Default 2.
+	Jitter int
+	// MaxRetries is the per-batch resend budget; one more timeout abandons
+	// the link. Default 24.
+	MaxRetries int
+	// PeerPatience abandons a link after this many ticks spent blocked on a
+	// batch the peer never sent without any sign of life from it (a crashed
+	// or partitioned neighbor). Default 1024.
+	PeerPatience int
+	// Heartbeat is how often, in ticks, a blocked node reassures its live
+	// neighbors (resetting their patience timers), so a stall behind one
+	// dead link cannot cascade into abandoning healthy links. Default
+	// 4×InitialRTO.
+	Heartbeat int
+	// Slack is the number of inner rounds without protocol activity after
+	// which wrappers quiesce. It must be at least the network diameter for
+	// the activity watermark to propagate; 0 means n, which is always safe.
+	Slack int
+	// InnerCap is the message cap, in words, the inner protocol sees through
+	// NodeCtx.MaxMsgWords and is judged against (Transport.CapExceeded);
+	// the engine's own wire cap should be disabled under wrapping. 0 means
+	// unbounded.
+	InnerCap int
+	// Seed derives the per-node jitter streams. Runs with equal seeds are
+	// byte-identical.
+	Seed int64
+}
+
+// withDefaults resolves zero fields against the network size.
+func (p Policy) withDefaults(n int) Policy {
+	if p.InitialRTO <= 0 {
+		p.InitialRTO = 4
+	}
+	if p.MaxRTO < p.InitialRTO {
+		p.MaxRTO = 64
+		if p.MaxRTO < p.InitialRTO {
+			p.MaxRTO = p.InitialRTO
+		}
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter == 0 {
+		p.Jitter = 2
+	}
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 24
+	}
+	if p.PeerPatience <= 0 {
+		p.PeerPatience = 1024
+	}
+	if p.Heartbeat <= 0 {
+		p.Heartbeat = 4 * p.InitialRTO
+	}
+	if p.Slack <= 0 {
+		p.Slack = n
+		if p.Slack < 1 {
+			p.Slack = 1
+		}
+	}
+	return p
+}
+
+// ForRun derives a policy whose jitter streams are independent from this
+// one's — multi-phase drivers give each engine run its own, the way
+// faults.Plan derives per-run injectors.
+func (p Policy) ForRun(run int64) Policy {
+	p.Seed = int64(splitmix(uint64(p.Seed) + uint64(run)*0x9e3779b97f4a7c15))
+	return p
+}
+
+// splitmix is the splitmix64 output function, the node-local deterministic
+// jitter generator (state is a single word, so it checkpoints trivially).
+func splitmix(x uint64) uint64 {
+	z := x + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Session owns one wrapped run: the per-node wrappers, the resolved policy,
+// and the abandoned-link ledger. Attach it as Config.Transport so the
+// engine snapshots the protocol-level stats into Metrics.Transport.
+type Session struct {
+	policy Policy
+	nodes  []*node
+
+	mu        sync.Mutex
+	abandoned map[[2]distsim.NodeID]struct{}
+}
+
+// Wrap builds a Session over n nodes and wraps the handler slice: element v
+// becomes the reliable wrapper of handlers[v] (nil handlers pass through).
+// The returned slice goes to distsim.NewNetwork; the Session goes to
+// Config.Transport.
+func Wrap(handlers []distsim.Handler, p Policy) ([]distsim.Handler, *Session) {
+	s := NewSession(len(handlers), p)
+	return s.WrapAll(handlers), s
+}
+
+// NewSession prepares a session for a network of n nodes.
+func NewSession(n int, p Policy) *Session {
+	return &Session{
+		policy:    p.withDefaults(n),
+		abandoned: make(map[[2]distsim.NodeID]struct{}),
+	}
+}
+
+// Policy returns the session's resolved policy.
+func (s *Session) Policy() Policy { return s.policy }
+
+// WrapAll wraps every handler of the slice (see Wrap).
+func (s *Session) WrapAll(handlers []distsim.Handler) []distsim.Handler {
+	out := make([]distsim.Handler, len(handlers))
+	for v, h := range handlers {
+		if h == nil {
+			continue
+		}
+		out[v] = s.wrapOne(h, distsim.NodeID(v))
+	}
+	return out
+}
+
+func (s *Session) wrapOne(h distsim.Handler, id distsim.NodeID) *node {
+	nd := &node{
+		sess:  s,
+		inner: h,
+		id:    id,
+		la:    -1,
+	}
+	s.mu.Lock()
+	s.nodes = append(s.nodes, nd)
+	s.mu.Unlock()
+	return nd
+}
+
+// reportAbandoned records the directed link u->w as given up.
+func (s *Session) reportAbandoned(u, w distsim.NodeID) {
+	s.mu.Lock()
+	s.abandoned[[2]distsim.NodeID{u, w}] = struct{}{}
+	s.mu.Unlock()
+}
+
+// Abandoned lists the abandoned directed links, sorted, for degradation
+// reports. Empty after a clean run.
+func (s *Session) Abandoned() [][2]distsim.NodeID {
+	s.mu.Lock()
+	out := make([][2]distsim.NodeID, 0, len(s.abandoned))
+	for l := range s.abandoned {
+		out = append(out, l)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// CapExceeded is the number of inner messages that exceeded Policy.InnerCap
+// (the strictness decision is the caller's, after the run).
+func (s *Session) CapExceeded() int64 { return s.TransportStats().CapExceeded }
+
+// TransportStats folds the per-node ledgers; safe to call concurrently with
+// a running protocol (distsim.TransportReporter).
+func (s *Session) TransportStats() distsim.TransportStats {
+	s.mu.Lock()
+	nodes := s.nodes
+	abandoned := int64(len(s.abandoned))
+	s.mu.Unlock()
+	ts := distsim.TransportStats{Wrapped: true, LinksAbandoned: abandoned}
+	for _, nd := range nodes {
+		ts.Messages += atomic.LoadInt64(&nd.stInnerMsgs)
+		ts.Words += atomic.LoadInt64(&nd.stInnerWords)
+		ts.Delivered += atomic.LoadInt64(&nd.stDelivered)
+		ts.CapExceeded += atomic.LoadInt64(&nd.stCapExceeded)
+		ts.Retransmits += atomic.LoadInt64(&nd.stRetransmits)
+		ts.Acks += atomic.LoadInt64(&nd.stAcks)
+		ts.Heartbeats += atomic.LoadInt64(&nd.stHeartbeats)
+		ts.DupBatches += atomic.LoadInt64(&nd.stDupBatches)
+		ts.ChecksumDrops += atomic.LoadInt64(&nd.stChecksumDrops)
+		if mw := int(atomic.LoadInt64(&nd.stMaxMsgWords)); mw > ts.MaxMsgWords {
+			ts.MaxMsgWords = mw
+		}
+		if vr := int(atomic.LoadInt64(&nd.stVRounds)); vr > ts.VirtualRounds {
+			ts.VirtualRounds = vr
+		}
+	}
+	return ts
+}

@@ -1,0 +1,289 @@
+package reliable
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/distsim"
+	"spanner/internal/faults"
+	"spanner/internal/graph"
+)
+
+// testPolicy keeps runs short: small RTOs and budgets sized for unit-test
+// graphs.
+func testPolicy(seed int64) Policy {
+	return Policy{InitialRTO: 2, MaxRTO: 16, Jitter: 1, MaxRetries: 10,
+		PeerPatience: 200, Seed: seed}
+}
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.RandomRegular(32, 4, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatalf("graph: %v", err)
+	}
+	return g
+}
+
+func runBFS(t *testing.T, g *graph.Graph, plan *faults.Plan, pol *Policy) (*distsim.BFSResult, *Session) {
+	t.Helper()
+	var sess *Session
+	var wrap func([]distsim.Handler) []distsim.Handler
+	cfg := distsim.Config{Faults: plan}
+	if pol != nil {
+		sess = NewSession(g.N(), *pol)
+		cfg.Transport = sess
+		wrap = sess.WrapAll
+	}
+	res, err := distsim.RunBFSRadiusWrapped(g, []int32{0, 5}, 0, cfg, wrap)
+	if err != nil {
+		t.Fatalf("bfs: %v", err)
+	}
+	return res, sess
+}
+
+func sameBFS(t *testing.T, want, got *distsim.BFSResult) {
+	t.Helper()
+	for v := range want.Dist {
+		if want.Dist[v] != got.Dist[v] || want.Nearest[v] != got.Nearest[v] {
+			t.Fatalf("vertex %d: got dist=%d src=%d, want dist=%d src=%d",
+				v, got.Dist[v], got.Nearest[v], want.Dist[v], want.Nearest[v])
+		}
+	}
+}
+
+// The wrapped protocol on a lossless network must compute the same result,
+// and the transport ledger must equal the unwrapped engine costs.
+func TestWrapLosslessEquivalence(t *testing.T) {
+	g := testGraph(t)
+	plain, _ := runBFS(t, g, nil, nil)
+	pol := testPolicy(3)
+	wrapped, _ := runBFS(t, g, nil, &pol)
+	sameBFS(t, plain, wrapped)
+	tr := wrapped.Metrics.Transport
+	if !tr.Wrapped {
+		t.Fatal("transport stats not attached")
+	}
+	if tr.Messages != plain.Metrics.Messages || tr.Words != plain.Metrics.Words {
+		t.Fatalf("protocol ledger %d msgs/%d words, unwrapped engine %d/%d",
+			tr.Messages, tr.Words, plain.Metrics.Messages, plain.Metrics.Words)
+	}
+	if tr.Delivered != tr.Messages {
+		t.Fatalf("Delivered %d != Messages %d on a completed run", tr.Delivered, tr.Messages)
+	}
+	if tr.MaxMsgWords != plain.Metrics.MaxMsgWords {
+		t.Fatalf("MaxMsgWords %d != %d", tr.MaxMsgWords, plain.Metrics.MaxMsgWords)
+	}
+	if tr.LinksAbandoned != 0 {
+		t.Fatalf("abandoned %d links on a lossless run", tr.LinksAbandoned)
+	}
+	if wrapped.Metrics.ProtocolMessages() != plain.Metrics.Messages {
+		t.Fatalf("ProtocolMessages %d != %d", wrapped.Metrics.ProtocolMessages(), plain.Metrics.Messages)
+	}
+}
+
+// Under a hostile drop/duplicate/corrupt/delay plan the wrapped protocol
+// still computes the exact lossless result, with exactly-once delivery.
+func TestWrapUnderFaults(t *testing.T) {
+	g := testGraph(t)
+	plain, _ := runBFS(t, g, nil, nil)
+	plan := &faults.Plan{Seed: 11, Drop: 0.10, Duplicate: 0.05, Corrupt: 0.05,
+		Delay: 0.10, DelayRounds: 3}
+	pol := testPolicy(4)
+	wrapped, sess := runBFS(t, g, plan, &pol)
+	sameBFS(t, plain, wrapped)
+	tr := wrapped.Metrics.Transport
+	if tr.Messages != plain.Metrics.Messages {
+		t.Fatalf("protocol messages %d, want %d", tr.Messages, plain.Metrics.Messages)
+	}
+	if tr.Delivered != tr.Messages {
+		t.Fatalf("Delivered %d != Messages %d: transport lost or double-delivered", tr.Delivered, tr.Messages)
+	}
+	if tr.LinksAbandoned != 0 || len(sess.Abandoned()) != 0 {
+		t.Fatalf("abandoned links under a recoverable plan: %v", sess.Abandoned())
+	}
+	if tr.Retransmits == 0 {
+		t.Fatal("a 10% drop plan should force retransmissions")
+	}
+	if tr.ChecksumDrops == 0 {
+		t.Fatal("a 5% corruption plan should trip checksums")
+	}
+	if tr.DupBatches == 0 {
+		t.Fatal("a 5% duplicate plan should exercise dup suppression")
+	}
+	if wrapped.Metrics.Faults.DroppedTotal() == 0 {
+		t.Fatal("plan injected no drops — test is vacuous")
+	}
+}
+
+// A permanently failed link cannot be recovered: the transport must abandon
+// it (bounded retry budget / peer patience) and the run must still
+// terminate instead of deadlocking.
+func TestDeadLinkAbandonment(t *testing.T) {
+	g := testGraph(t)
+	dead := [2]int32{0, g.Neighbors(0)[0]}
+	plan := &faults.Plan{Seed: 5, Links: [][2]int32{dead}}
+	pol := testPolicy(9)
+	wrapped, sess := runBFS(t, g, plan, &pol)
+	ab := sess.Abandoned()
+	if len(ab) == 0 {
+		t.Fatal("dead link was never abandoned")
+	}
+	for _, l := range ab {
+		if !(l[0] == dead[0] && l[1] == dead[1]) && !(l[0] == dead[1] && l[1] == dead[0]) {
+			t.Fatalf("abandoned healthy link %v (dead link is %v)", l, dead)
+		}
+	}
+	if wrapped.Metrics.Transport.LinksAbandoned == 0 {
+		t.Fatal("LinksAbandoned not reported in metrics")
+	}
+	// Every vertex still decides: the protocol degrades, not deadlocks.
+	for v := range wrapped.Dist {
+		if wrapped.Dist[v] == graph.Unreachable {
+			t.Fatalf("vertex %d undecided after graceful degradation", v)
+		}
+	}
+}
+
+// Wrapping composes with crash-recover windows: the crashed node's peers
+// retransmit until it returns, and the result is still exact.
+func TestWrapCrashRecovery(t *testing.T) {
+	g := testGraph(t)
+	plain, _ := runBFS(t, g, nil, nil)
+	plan := &faults.Plan{Seed: 2, Drop: 0.05,
+		Crashes: []faults.Crash{{Node: 3, From: 2, Until: 40}}}
+	pol := testPolicy(6)
+	wrapped, sess := runBFS(t, g, plan, &pol)
+	sameBFS(t, plain, wrapped)
+	if len(sess.Abandoned()) != 0 {
+		t.Fatalf("abandoned links despite recovery window: %v", sess.Abandoned())
+	}
+}
+
+// A duplicate retransmission landing inside a crash window must not break
+// the exactly-once ledger: when the node recovers, retransmits fill the gap,
+// duplicate frames are suppressed by sequence number, and on completion
+// Delivered == Messages — the dup-into-crash-window regression.
+func TestWrapDupIntoCrashWindow(t *testing.T) {
+	g := testGraph(t)
+	plain, _ := runBFS(t, g, nil, nil)
+	plan := &faults.Plan{Seed: 8, Duplicate: 0.30, Drop: 0.05,
+		Crashes: []faults.Crash{{Node: 4, From: 1, Until: 30}}}
+	pol := testPolicy(12)
+	wrapped, sess := runBFS(t, g, plan, &pol)
+	sameBFS(t, plain, wrapped)
+	tr := wrapped.Metrics.Transport
+	if wrapped.Metrics.Faults.Duplicated == 0 || wrapped.Metrics.Faults.DroppedCrash == 0 {
+		t.Fatalf("plan exercised no dup-into-crash path: %+v", wrapped.Metrics.Faults)
+	}
+	if tr.DupBatches == 0 {
+		t.Fatal("no duplicate frames suppressed")
+	}
+	if tr.Delivered != tr.Messages {
+		t.Fatalf("Delivered %d != Messages %d after crash recovery", tr.Delivered, tr.Messages)
+	}
+	if len(sess.Abandoned()) != 0 {
+		t.Fatalf("abandoned links despite recovery window: %v", sess.Abandoned())
+	}
+}
+
+// Determinism: identical seeds produce identical metrics, wire costs
+// included.
+func TestWrapDeterminism(t *testing.T) {
+	g := testGraph(t)
+	run := func() distsim.Metrics {
+		plan := &faults.Plan{Seed: 11, Drop: 0.10, Delay: 0.05, DelayRounds: 2}
+		pol := testPolicy(4)
+		res, _ := runBFS(t, g, plan, &pol)
+		return res.Metrics
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identically-seeded runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// FuzzReliableLink drives the transport across arbitrary fault mixes: the
+// run must terminate, deliver exactly-once whenever nothing was abandoned,
+// and never abandon links when the plan is loss-free.
+func FuzzReliableLink(f *testing.F) {
+	f.Add(int64(1), 0.1, 0.05, 0.05, 0.1)
+	f.Add(int64(2), 0.0, 0.0, 0.0, 0.0)
+	f.Add(int64(3), 0.3, 0.2, 0.1, 0.3)
+	f.Add(int64(4), 0.0, 0.5, 0.0, 0.0)
+	f.Add(int64(5), 0.0, 0.0, 0.5, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, drop, dup, corrupt, delay float64) {
+		clamp := func(p float64) float64 {
+			if p != p || p < 0 {
+				return 0
+			}
+			if p > 0.35 {
+				return 0.35
+			}
+			return p
+		}
+		g := graph.Ring(16)
+		plan := &faults.Plan{Seed: seed, Drop: clamp(drop), Duplicate: clamp(dup),
+			Corrupt: clamp(corrupt), Delay: clamp(delay), DelayRounds: 2}
+		handlers := make([]distsim.Handler, g.N())
+		nodes := make([]countingEcho, g.N())
+		for v := range handlers {
+			handlers[v] = &nodes[v]
+		}
+		wrapped, sess := Wrap(handlers, Policy{InitialRTO: 2, MaxRTO: 8, Jitter: 1,
+			MaxRetries: 12, PeerPatience: 300, Seed: seed})
+		net, err := distsim.NewNetwork(g, wrapped, distsim.Config{
+			Faults: plan, Transport: sess, MaxRounds: 200000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := net.Run()
+		if err != nil {
+			t.Fatalf("run failed under %v: %v", plan, err)
+		}
+		tr := m.Transport
+		if len(sess.Abandoned()) == 0 {
+			if tr.Delivered != tr.Messages {
+				t.Fatalf("no abandonment but Delivered %d != Messages %d", tr.Delivered, tr.Messages)
+			}
+			// With every link intact the run must be exact: each node hears
+			// each of the three waves once per neighbor.
+			for v := range nodes {
+				if want := 2 * 3; nodes[v].got != want {
+					t.Fatalf("node %d received %d inner messages, want %d", v, nodes[v].got, want)
+				}
+			}
+		}
+		if plan.IsZero() && (tr.Retransmits != 0 || tr.LinksAbandoned != 0) {
+			t.Fatalf("fault-free run retransmitted %d / abandoned %d", tr.Retransmits, tr.LinksAbandoned)
+		}
+	})
+}
+
+// countingEcho floods three waves around the ring, counting exact inner
+// deliveries: each node should hear each wave once per neighbor.
+type countingEcho struct {
+	round int64
+	got   int
+}
+
+func (c *countingEcho) Start(n *distsim.NodeCtx) {
+	n.Broadcast(0)
+}
+
+func (c *countingEcho) HandleRound(n *distsim.NodeCtx, inbox []distsim.Message) {
+	for _, m := range inbox {
+		c.got++
+		if m.Data[0] < 2 && m.Data[0] == c.round {
+			c.round++
+			n.Broadcast(c.round)
+		}
+	}
+}
+
+func (c *countingEcho) Snapshot() []int64 { return []int64{c.round, int64(c.got)} }
+func (c *countingEcho) Restore(s []int64) error {
+	c.round, c.got = s[0], int(s[1])
+	return nil
+}

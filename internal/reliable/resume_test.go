@@ -1,0 +1,87 @@
+package reliable
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"spanner/internal/distsim"
+	"spanner/internal/faults"
+	"spanner/internal/graph"
+)
+
+// The wrapper chains handler snapshots behind its transport state, so
+// checkpointing composes with reliable delivery: a wrapped, faulty run
+// killed at any round boundary resumes to the exact metrics and protocol
+// state of the uninterrupted run — retransmission queues, reorder buffers
+// and the exactly-once ledger included.
+func TestWrappedCheckpointResume(t *testing.T) {
+	g := graph.Ring(16)
+	mkPlan := func() *faults.Plan {
+		return &faults.Plan{Seed: 13, Drop: 0.12, Duplicate: 0.05, Delay: 0.10, DelayRounds: 2}
+	}
+	pol := Policy{InitialRTO: 2, MaxRTO: 8, Jitter: 1, MaxRetries: 12,
+		PeerPatience: 300, Seed: 21}
+
+	run := func(ckpt *distsim.CheckpointConfig, resumePath string) (distsim.Metrics, [][]int64) {
+		t.Helper()
+		handlers := make([]distsim.Handler, g.N())
+		nodes := make([]countingEcho, g.N())
+		for v := range handlers {
+			handlers[v] = &nodes[v]
+		}
+		wrapped, sess := Wrap(handlers, pol)
+		cfg := distsim.Config{Faults: mkPlan(), Transport: sess, Checkpoint: ckpt}
+		var net *distsim.Network
+		var err error
+		if resumePath != "" {
+			net, err = distsim.ResumeFrom(g, wrapped, cfg, resumePath)
+		} else {
+			net, err = distsim.NewNetwork(g, wrapped, cfg)
+		}
+		if err != nil {
+			t.Fatalf("network: %v", err)
+		}
+		m, err := net.Run()
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		if len(sess.Abandoned()) != 0 {
+			t.Fatalf("abandoned links under a recoverable plan: %v", sess.Abandoned())
+		}
+		state := make([][]int64, len(wrapped))
+		for v, h := range wrapped {
+			state[v] = h.(distsim.Snapshotter).Snapshot()
+		}
+		return m, state
+	}
+
+	wantM, wantState := run(nil, "")
+	if wantM.Transport.Retransmits == 0 {
+		t.Fatal("plan forced no retransmissions; test is vacuous")
+	}
+
+	dir := t.TempDir()
+	ckpt := &distsim.CheckpointConfig{Dir: dir, Every: 3}
+	cm, cstate := run(ckpt, "")
+	if cm != wantM || !reflect.DeepEqual(cstate, wantState) {
+		t.Fatal("enabling checkpointing changed the wrapped run")
+	}
+
+	ckpts, err := distsim.Checkpoints(dir)
+	if err != nil {
+		t.Fatalf("Checkpoints: %v", err)
+	}
+	if len(ckpts) < 3 {
+		t.Fatalf("expected several checkpoints, got %d", len(ckpts))
+	}
+	for _, path := range ckpts {
+		m, state := run(ckpt, path)
+		if m != wantM {
+			t.Errorf("resume from %s: metrics = %+v, want %+v", filepath.Base(path), m, wantM)
+		}
+		if !reflect.DeepEqual(state, wantState) {
+			t.Errorf("resume from %s: wrapper/protocol state diverged", filepath.Base(path))
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spanner/internal/graph"
+)
+
+// Graceful degradation contract. When a distributed build exhausts its retry
+// budget or abandons links, pipelines return the partial spanner they built
+// together with a DegradationReport instead of an error: the caller learns
+// exactly what is unverified (and can feed the report into Heal), and a
+// clean run is distinguishable from a degraded one by Complete alone.
+
+// Degradation causes, in the order a build can hit them.
+const (
+	// CauseAbandoned: the reliable transport gave up on one or more links
+	// (retry budget or peer patience exhausted) and excluded them from round
+	// gating; messages across those links were lost.
+	CauseAbandoned = "link-abandonment"
+	// CauseBuildError: an engine run failed outright (crash plan, deadline,
+	// contained panic) and the pipeline salvaged the edges built so far.
+	CauseBuildError = "build-error"
+)
+
+// maxReportedEdges caps the edge list embedded in a report; UnverifiedCount
+// always holds the full count.
+const maxReportedEdges = 32
+
+// DegradationReport states what a partial spanner is and is not good for.
+type DegradationReport struct {
+	// Cause is one of the Cause* constants; Detail carries the underlying
+	// error text or transport diagnostics.
+	Cause  string
+	Detail string
+	// AbandonedLinks lists the directed links the reliable transport gave up
+	// on (empty when degradation came from an engine error alone).
+	AbandonedLinks [][2]int32
+	// TargetStretch is the bound the pipeline was building toward.
+	TargetStretch int
+	// UnverifiedCount is the number of graph edges whose spanner stretch
+	// exceeds TargetStretch (the edge-certificate form of verification);
+	// UnverifiedEdges holds the first maxReportedEdges of them.
+	UnverifiedCount int
+	UnverifiedEdges [][2]int32
+	// SampledEdges is the size of the random edge sample used to estimate
+	// achieved stretch; AchievedStretch is the worst stretch observed on the
+	// sample, or -1 when a sampled edge is disconnected in the spanner.
+	SampledEdges    int
+	AchievedStretch int
+	// Complete is true when every edge verifies despite the degradation —
+	// the partial spanner happens to satisfy the full guarantee.
+	Complete bool
+}
+
+// String renders a one-line summary for logs and CLI output.
+func (d *DegradationReport) String() string {
+	if d == nil {
+		return "degradation{none}"
+	}
+	return fmt.Sprintf("degradation{cause=%s abandoned=%d target=%d unverified=%d sampled=%d achieved=%d complete=%v}",
+		d.Cause, len(d.AbandonedLinks), d.TargetStretch, d.UnverifiedCount,
+		d.SampledEdges, d.AchievedStretch, d.Complete)
+}
+
+// Degrade builds the report for partial spanner s of g against the stretch
+// bound: a full edge-certificate check for the unverified set, plus a
+// seeded sample of up to sample graph edges whose exact spanner stretch
+// estimates what the partial build achieves. abandoned comes from the
+// reliable transport's session (nil when degradation is an engine error).
+func Degrade(g *graph.Graph, s *graph.EdgeSet, bound int, cause, detail string,
+	abandoned [][2]int32, sample int, seed int64) *DegradationReport {
+	rep := &DegradationReport{
+		Cause:          cause,
+		Detail:         detail,
+		AbandonedLinks: abandoned,
+		TargetStretch:  bound,
+	}
+	viol := ViolatedEdges(g, s, bound)
+	rep.UnverifiedCount = len(viol)
+	rep.UnverifiedEdges = viol
+	if len(viol) > maxReportedEdges {
+		rep.UnverifiedEdges = viol[:maxReportedEdges:maxReportedEdges]
+	}
+	rep.Complete = len(viol) == 0
+
+	if sample > 0 && g.M() > 0 {
+		edges := make([][2]int32, 0, g.M())
+		g.ForEachEdge(func(u, v int32) { edges = append(edges, [2]int32{u, v}) })
+		if sample > len(edges) {
+			sample = len(edges)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		sg := s.ToGraph(g.N())
+		for i := 0; i < sample; i++ {
+			e := edges[rng.Intn(len(edges))]
+			d := sg.Dist(e[0], e[1])
+			if d == graph.Unreachable {
+				rep.AchievedStretch = -1
+			} else if rep.AchievedStretch >= 0 && int(d) > rep.AchievedStretch {
+				rep.AchievedStretch = int(d)
+			}
+		}
+		rep.SampledEdges = sample
+	}
+	return rep
+}

@@ -1,0 +1,191 @@
+package spanner_test
+
+// Reliable-transport acceptance tests over the public API: each distributed
+// builder, wrapped in the retransmission layer, must complete *exactly*
+// under a hostile 10% drop + 10% delay plan — same spanner as the lossless
+// run, verifier-clean, with zero Heal repairs, zero abandoned links and an
+// intact exactly-once ledger. This is the contract that distinguishes
+// reliable delivery (completion) from self-healing (repair after the fact).
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"spanner"
+)
+
+func reliableAcceptancePlan() *spanner.FaultPlan {
+	return &spanner.FaultPlan{Seed: 31, Drop: 0.10, Delay: 0.10, DelayRounds: 3}
+}
+
+// checkTransport asserts the run actually fought the plan and won: faults
+// were injected, frames were retransmitted, and the protocol ledger closed
+// with every message delivered exactly once.
+func checkTransport(t *testing.T, m spanner.Metrics) {
+	t.Helper()
+	tr := m.Transport
+	if !tr.Wrapped {
+		t.Fatal("transport stats not attached; the run was not wrapped")
+	}
+	if m.Faults.DroppedTotal() == 0 || m.Faults.Delayed == 0 {
+		t.Fatalf("plan injected nothing (faults %+v); the scenario is vacuous", m.Faults)
+	}
+	if tr.Retransmits == 0 {
+		t.Fatal("10% drop forced no retransmissions")
+	}
+	if tr.Delivered != tr.Messages {
+		t.Fatalf("exactly-once ledger broken: Delivered %d != Messages %d", tr.Delivered, tr.Messages)
+	}
+	if tr.LinksAbandoned != 0 {
+		t.Fatalf("%d links abandoned under a recoverable plan", tr.LinksAbandoned)
+	}
+}
+
+func TestReliableSkeletonCompletesUnderFaults(t *testing.T) {
+	g := spanner.ConnectedGnp(400, 8.0/400, spanner.NewRand(31))
+	opts := spanner.SkeletonOptions{Seed: 31}
+	lossless, err := spanner.BuildSkeletonDistributed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Faults = reliableAcceptancePlan()
+	opts.Reliable = &spanner.ReliablePolicy{Seed: 31, Slack: 48}
+	res, err := spanner.BuildSkeletonDistributed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(edgeKeys(lossless.Spanner), edgeKeys(res.Spanner)) {
+		t.Fatal("reliable run under faults diverged from the lossless spanner")
+	}
+	if res.Health != nil {
+		t.Fatalf("Heal ran (%+v); reliable delivery should have made it unnecessary", res.Health)
+	}
+	if len(res.Abandoned) != 0 || res.Degradation != nil {
+		t.Fatalf("degradation on a recoverable plan: %v / %v", res.Abandoned, res.Degradation)
+	}
+	bound := int(math.Ceil(spanner.SkeletonDistortionBound(g.N(), opts)))
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, bound); len(viol) != 0 {
+		t.Fatalf("%d edges violate the distortion bound %d", len(viol), bound)
+	}
+	checkTransport(t, res.Metrics)
+}
+
+func TestReliableFibonacciCompletesUnderFaults(t *testing.T) {
+	g := spanner.ConnectedGnp(300, 8.0/300, spanner.NewRand(37))
+	opts := spanner.FibonacciOptions{Order: 2, Seed: 37}
+	lossless, err := spanner.BuildFibonacciDistributed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Faults = reliableAcceptancePlan()
+	opts.Reliable = &spanner.ReliablePolicy{Seed: 37, Slack: 48}
+	res, err := spanner.BuildFibonacciDistributed(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(edgeKeys(lossless.Spanner), edgeKeys(res.Spanner)) {
+		t.Fatal("reliable run under faults diverged from the lossless spanner")
+	}
+	if res.Health != nil {
+		t.Fatalf("Heal ran (%+v) despite reliable delivery", res.Health)
+	}
+	if len(res.Abandoned) != 0 || res.Degradation != nil {
+		t.Fatalf("degradation on a recoverable plan: %v / %v", res.Abandoned, res.Degradation)
+	}
+	bound := int(math.Ceil(spanner.FibonacciDistortionBoundAt(1, res.Params.Order, res.Params.Ell)))
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, bound); len(viol) != 0 {
+		t.Fatalf("%d edges violate the stage-1 bound %d", len(viol), bound)
+	}
+	checkTransport(t, res.Metrics)
+}
+
+func TestReliableBaswanaSenCompletesUnderFaults(t *testing.T) {
+	g := spanner.ConnectedGnp(400, 8.0/400, spanner.NewRand(41))
+	const k = 3
+	lossless, _, err := spanner.BaswanaSenDistributedOpts(g, k,
+		spanner.BaswanaSenDistOptions{Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, m, err := spanner.BaswanaSenDistributedOpts(g, k, spanner.BaswanaSenDistOptions{
+		Seed:     41,
+		Faults:   reliableAcceptancePlan(),
+		Reliable: &spanner.ReliablePolicy{Seed: 41, Slack: 48},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(edgeKeys(lossless.Spanner), edgeKeys(res.Spanner)) {
+		t.Fatal("reliable run under faults diverged from the lossless spanner")
+	}
+	if res.Health != nil {
+		t.Fatalf("Heal ran (%+v) despite reliable delivery", res.Health)
+	}
+	if len(res.Abandoned) != 0 || res.Degradation != nil {
+		t.Fatalf("degradation on a recoverable plan: %v / %v", res.Abandoned, res.Degradation)
+	}
+	if viol := spanner.SpannerViolatedEdges(g, res.Spanner, 2*k-1); len(viol) != 0 {
+		t.Fatalf("%d edges exceed stretch %d", len(viol), 2*k-1)
+	}
+	checkTransport(t, m)
+}
+
+func TestReliableOracleCompletesUnderFaults(t *testing.T) {
+	g := spanner.ConnectedGnp(300, 8.0/300, spanner.NewRand(43))
+	const k = 3
+	lossless, _, err := spanner.NewDistanceOracleDistributed(g, k, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, m, rep, err := spanner.NewDistanceOracleReliable(g, k, 43, nil,
+		reliableAcceptancePlan(), spanner.ReliablePolicy{Seed: 43, Slack: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != nil {
+		t.Fatalf("degradation report on a recoverable plan: %v", rep)
+	}
+	if !reflect.DeepEqual(edgeKeys(lossless.Spanner()), edgeKeys(o.Spanner())) {
+		t.Fatal("reliable oracle under faults diverged from the lossless build")
+	}
+	if viol := spanner.SpannerViolatedEdges(g, o.Spanner(), 2*k-1); len(viol) != 0 {
+		t.Fatalf("%d edges exceed stretch %d", len(viol), 2*k-1)
+	}
+	checkTransport(t, m)
+}
+
+// TestReliableDegradationContract kills a link permanently: the reliable
+// build must abandon it within the retry budget and return a partial spanner
+// with a typed DegradationReport instead of an error.
+func TestReliableDegradationContract(t *testing.T) {
+	g := spanner.ConnectedGnp(300, 8.0/300, spanner.NewRand(47))
+	dead := [2]int32{0, g.Neighbors(0)[0]}
+	res, err := spanner.BuildSkeletonDistributed(g, spanner.SkeletonOptions{
+		Seed:     47,
+		Faults:   &spanner.FaultPlan{Seed: 47, Links: [][2]int32{dead}},
+		Reliable: &spanner.ReliablePolicy{Seed: 47, MaxRetries: 6, PeerPatience: 64, Slack: 48},
+		Degrade:  true,
+	})
+	if err != nil {
+		t.Fatalf("degradation contract violated with an error: %v", err)
+	}
+	if len(res.Abandoned) == 0 {
+		t.Fatal("dead link was never abandoned")
+	}
+	rep := res.Degradation
+	if rep == nil {
+		t.Fatal("no DegradationReport on a degraded build")
+	}
+	if rep.Cause != "link-abandonment" {
+		t.Fatalf("cause = %q, want link-abandonment", rep.Cause)
+	}
+	if res.Spanner.Len() == 0 {
+		t.Fatal("partial spanner is empty")
+	}
+	if rep.Complete {
+		if viol := spanner.SpannerViolatedEdges(g, res.Spanner, rep.TargetStretch); len(viol) != 0 {
+			t.Fatalf("report claims completeness but %d edges violate", len(viol))
+		}
+	}
+}
