@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve check clean
 
 all: build vet test
 
@@ -51,9 +51,19 @@ faultcheck:
 		./internal/reliable/... ./internal/core/... .
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
 	$(GO) test -fuzz=FuzzReliableLink -fuzztime=10s ./internal/reliable
+	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=10s ./internal/artifact
 
-# The full gate: build, vet, unit tests, then the robustness suite.
-check: build vet test faultcheck
+# The serving-layer gate: artifact codec, query engine and daemon tests
+# under the race detector, plus the root round-trip/hot-swap integration
+# tests.
+serve:
+	$(GO) vet ./internal/artifact/... ./internal/serve/... ./cmd/spannerd/...
+	$(GO) test -race ./internal/artifact/... ./internal/serve/... ./cmd/spannerd/...
+	$(GO) test -run 'Serve|Artifact' -race .
+
+# The full gate: build, vet, unit tests, then the robustness and serving
+# suites.
+check: build vet test faultcheck serve
 
 clean:
 	$(GO) clean ./...

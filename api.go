@@ -4,6 +4,7 @@ import (
 	"io"
 	"math/rand"
 
+	"spanner/internal/artifact"
 	"spanner/internal/baseline"
 	"spanner/internal/core"
 	"spanner/internal/distsim"
@@ -17,6 +18,7 @@ import (
 	"spanner/internal/reliable"
 	"spanner/internal/routing"
 	"spanner/internal/seq"
+	"spanner/internal/serve"
 	"spanner/internal/stream"
 	"spanner/internal/verify"
 	"spanner/internal/wgraph"
@@ -602,3 +604,69 @@ func WriteDOT(w io.Writer, g *Graph, name string, highlight *EdgeSet) error {
 // NewRand returns a deterministically seeded RNG, a convenience for
 // reproducible experiments.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// --- Serving layer: persistent artifacts and the query engine ---
+
+// Artifact is a completed build frozen into one loadable unit: the input
+// graph, the spanner edge set, a distance oracle and a routing scheme, with
+// the metadata (algorithm, k, seed) that produced them. Save/LoadArtifact
+// persist it as a single checksummed file.
+type Artifact = artifact.Artifact
+
+// BuildArtifact assembles an Artifact from a graph and its spanner by
+// constructing the oracle and routing scheme (deterministic given seed).
+func BuildArtifact(g *Graph, spanner *EdgeSet, algo string, k int, seed int64) (*Artifact, error) {
+	return artifact.Build(g, spanner, algo, k, seed)
+}
+
+// SaveArtifact writes an artifact to path atomically (temp file + rename),
+// with a checksum footer verified on load.
+func SaveArtifact(path string, a *Artifact) error { return artifact.Save(path, a) }
+
+// LoadArtifact reads an artifact written by SaveArtifact. Corrupt,
+// truncated or version-skewed files fail with the artifact package's typed
+// errors — never a panic.
+func LoadArtifact(path string) (*Artifact, error) { return artifact.Load(path) }
+
+// ServeEngine is the concurrent query engine over a loaded artifact:
+// sharded workers, per-shard LRU result caches, bounded queues with
+// admission control, and atomic artifact hot-swap under live traffic.
+type ServeEngine = serve.Engine
+
+// ServeConfig tunes a ServeEngine; the zero value picks defaults.
+type ServeConfig = serve.Config
+
+// ServeRequest is one query (type + endpoint pair + optional deadline).
+type ServeRequest = serve.Request
+
+// ServeReply is one query's outcome, stamped with the snapshot generation
+// that answered it.
+type ServeReply = serve.Reply
+
+// ServeQueryType selects the table a request consults.
+type ServeQueryType = serve.QueryType
+
+// Query types.
+const (
+	// ServeQueryDist asks the distance oracle (stretch ≤ 2k−1).
+	ServeQueryDist = serve.QueryDist
+	// ServeQueryPath asks for an explicit shortest path in the spanner.
+	ServeQueryPath = serve.QueryPath
+	// ServeQueryRoute asks for the compact-routing hop sequence.
+	ServeQueryRoute = serve.QueryRoute
+)
+
+// Typed serving errors, matchable with errors.Is.
+var (
+	// ErrServeOverloaded reports a full shard queue (admission control).
+	ErrServeOverloaded = serve.ErrOverloaded
+	// ErrServeDeadline reports a deadline that expired while queued.
+	ErrServeDeadline = serve.ErrDeadline
+	// ErrServeClosed reports a query submitted after Close.
+	ErrServeClosed = serve.ErrClosed
+)
+
+// NewServeEngine starts a query engine over the artifact.
+func NewServeEngine(a *Artifact, cfg ServeConfig) (*ServeEngine, error) {
+	return serve.New(a, cfg)
+}

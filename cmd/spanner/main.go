@@ -73,6 +73,9 @@ func run() error {
 		asJSON         = flag.Bool("json", false, "emit JSON")
 		inPath         = flag.String("in", "", "read the input graph from an edge-list file instead of generating")
 		savePath       = flag.String("save", "", "write the spanner to an edge-list file")
+		saveArtifact   = flag.String("save-artifact", "", "write a serving artifact (graph + spanner + distance oracle + routing scheme) for cmd/spannerd")
+		loadArtifact   = flag.String("load-artifact", "", "skip building: load a saved artifact and re-measure it (ignores -graph/-algo)")
+		oracleK        = flag.Int("oracle-k", 3, "distance-oracle stretch parameter for -save-artifact")
 		dotPath        = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
 		faultsSpec     = flag.String("faults", "", "fault-injection spec for distributed algorithms, e.g. drop=0.02,dup=0.01,crash=17@3,link=2-11")
 		heal           = flag.Bool("heal", false, "verify the (possibly faulty) distributed build and repair it until the stretch bound holds")
@@ -118,6 +121,33 @@ func run() error {
 				spanner.WriteObserverSummary(os.Stderr, ob)
 			}
 		}()
+	}
+
+	// -load-artifact short-circuits the whole build: measure the saved
+	// spanner against its saved graph and exit.
+	if *loadArtifact != "" {
+		art, err := spanner.LoadArtifact(*loadArtifact)
+		if err != nil {
+			return err
+		}
+		out := output{Graph: "artifact:" + *loadArtifact, N: art.Graph.N(), M: art.Graph.M(), Algo: art.Algo}
+		rep := spanner.Measure(art.Graph, art.Spanner, spanner.MeasureOptions{Sources: *sources, Rng: spanner.NewRand(*seed + 1)})
+		out.SpannerM = rep.SpannerM
+		out.SizeRatio = rep.SizeRatio()
+		out.MaxStretch = rep.MaxStretch
+		out.AvgStretch = rep.AvgStretch
+		out.MaxAdditive = rep.MaxAdditive
+		out.Valid = rep.Valid
+		out.Connected = rep.Connected
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		}
+		fmt.Printf("artifact: %s (algo %s, k=%d, seed %d)\n", *loadArtifact, art.Algo, art.K, art.Seed)
+		fmt.Printf("graph: %d vertices, %d edges\n", out.N, out.M)
+		fmt.Printf("result: %v\n", rep)
+		return nil
 	}
 
 	var g *spanner.Graph
@@ -298,6 +328,16 @@ func run() error {
 		}
 		if err := f.Close(); err != nil {
 			return err
+		}
+	}
+
+	if *saveArtifact != "" {
+		art, err := spanner.BuildArtifact(g, edges, *algo, *oracleK, *seed)
+		if err != nil {
+			return fmt.Errorf("building artifact: %w", err)
+		}
+		if err := spanner.SaveArtifact(*saveArtifact, art); err != nil {
+			return fmt.Errorf("saving artifact: %w", err)
 		}
 	}
 

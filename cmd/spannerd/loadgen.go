@@ -1,0 +1,272 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"spanner/internal/artifact"
+	"spanner/internal/serve"
+)
+
+// loadConfig parameterizes one load-generator run.
+type loadConfig struct {
+	Mode     string        // "closed" | "open"
+	Conc     int           // closed-loop worker count
+	Rate     float64       // open-loop arrivals per second
+	Duration time.Duration // run length
+	Mix      [3]int        // weights per query type (dist, path, route)
+	Seed     int64
+	SwapEach time.Duration // hot-swap interval (0 = never)
+	Artifact string        // artifact path, reloaded for swaps
+}
+
+// parseMix parses "dist=8,path=1,route=1" into per-type weights. Omitted
+// types get weight 0; at least one weight must be positive.
+func parseMix(s string) ([3]int, error) {
+	var mix [3]int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return mix, fmt.Errorf("bad mix entry %q (want type=weight)", part)
+		}
+		typ, err := serve.ParseQueryType(strings.TrimSpace(name))
+		if err != nil {
+			return mix, fmt.Errorf("bad mix type %q", name)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || w < 0 {
+			return mix, fmt.Errorf("bad mix weight %q", val)
+		}
+		mix[typ] = w
+	}
+	if mix[0]+mix[1]+mix[2] <= 0 {
+		return mix, errors.New("mix has no positive weight")
+	}
+	return mix, nil
+}
+
+// typeStats accumulates one query type's outcomes.
+type typeStats struct {
+	latencies []time.Duration // successful queries only
+	ok        int64
+	cached    int64
+	noroute   int64
+	rejected  int64 // overload + deadline + closed
+}
+
+// loadReport is the printable outcome of a run.
+type loadReport struct {
+	cfg     loadConfig
+	elapsed time.Duration
+	stats   [3]typeStats
+	swaps   int
+}
+
+// workload deterministically generates the query stream: pair selection is
+// Zipf-flavored (a small hot set plus a uniform tail) so caches see realistic
+// skew, and the type follows the configured mix.
+type workload struct {
+	rng *rand.Rand
+	n   int32
+	mix [3]int
+	tot int
+	hot [][2]int32
+}
+
+func newWorkload(n int32, mix [3]int, seed int64) *workload {
+	rng := rand.New(rand.NewSource(seed))
+	hot := make([][2]int32, 256)
+	for i := range hot {
+		hot[i] = [2]int32{rng.Int31n(n), rng.Int31n(n)}
+	}
+	return &workload{rng: rng, n: n, mix: mix, tot: mix[0] + mix[1] + mix[2], hot: hot}
+}
+
+func (w *workload) next() serve.Request {
+	r := w.rng.Intn(w.tot)
+	var typ serve.QueryType
+	switch {
+	case r < w.mix[0]:
+		typ = serve.QueryDist
+	case r < w.mix[0]+w.mix[1]:
+		typ = serve.QueryPath
+	default:
+		typ = serve.QueryRoute
+	}
+	var u, v int32
+	if w.rng.Intn(4) == 0 { // 25% of traffic hits the hot set
+		p := w.hot[w.rng.Intn(len(w.hot))]
+		u, v = p[0], p[1]
+	} else {
+		u, v = w.rng.Int31n(w.n), w.rng.Int31n(w.n)
+	}
+	return serve.Request{Type: typ, U: u, V: v}
+}
+
+// runLoad drives the engine and gathers stats. Closed loop: Conc workers
+// each issuing back-to-back queries. Open loop: arrivals on a fixed-rate
+// clock, each served on its own goroutine (late completions still count).
+func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
+	if cfg.Mode != "closed" && cfg.Mode != "open" {
+		return nil, fmt.Errorf("unknown loadgen mode %q", cfg.Mode)
+	}
+	snapN := int32(eng.Snapshot().N())
+	rep := &loadReport{cfg: cfg}
+
+	stop := make(chan struct{})
+	var swapWG sync.WaitGroup
+	if cfg.SwapEach > 0 {
+		swapWG.Add(1)
+		go func() {
+			defer swapWG.Done()
+			tick := time.NewTicker(cfg.SwapEach)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					a, err := artifact.Load(cfg.Artifact)
+					if err != nil {
+						continue
+					}
+					if _, err := eng.Swap(a); err == nil {
+						rep.swaps++
+					}
+				}
+			}
+		}()
+	}
+
+	type sample struct {
+		typ serve.QueryType
+		lat time.Duration
+		rep serve.Reply
+	}
+	results := make(chan sample, 4096)
+	var collectWG sync.WaitGroup
+	collectWG.Add(1)
+	go func() {
+		defer collectWG.Done()
+		for s := range results {
+			st := &rep.stats[s.typ]
+			switch {
+			case s.rep.Err == nil:
+				st.ok++
+				st.latencies = append(st.latencies, s.lat)
+				if s.rep.Cached {
+					st.cached++
+				}
+			case errors.Is(s.rep.Err, serve.ErrNoRoute):
+				st.noroute++
+				st.latencies = append(st.latencies, s.lat)
+			default:
+				st.rejected++
+			}
+		}
+	}()
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var genWG sync.WaitGroup
+	switch cfg.Mode {
+	case "closed":
+		for i := 0; i < cfg.Conc; i++ {
+			genWG.Add(1)
+			go func(id int) {
+				defer genWG.Done()
+				w := newWorkload(snapN, cfg.Mix, cfg.Seed+int64(id))
+				for time.Now().Before(deadline) {
+					req := w.next()
+					t0 := time.Now()
+					r := eng.Query(req)
+					results <- sample{req.Type, time.Since(t0), r}
+				}
+			}(i)
+		}
+	case "open":
+		w := newWorkload(snapN, cfg.Mix, cfg.Seed)
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		var inflight sync.WaitGroup
+		for time.Now().Before(deadline) {
+			<-tick.C
+			req := w.next()
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				t0 := time.Now()
+				r := eng.Query(req)
+				results <- sample{req.Type, time.Since(t0), r}
+			}()
+		}
+		inflight.Wait()
+	}
+	genWG.Wait()
+	close(stop)
+	swapWG.Wait()
+	close(results)
+	collectWG.Wait()
+	rep.elapsed = time.Since(start)
+	return rep, nil
+}
+
+// pct returns the p-th percentile of sorted latencies.
+func pct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// write prints the per-type latency table and the run summary.
+func (r *loadReport) write(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: mode=%s duration=%v mix=dist:%d,path:%d,route:%d",
+		r.cfg.Mode, r.elapsed.Round(time.Millisecond), r.cfg.Mix[0], r.cfg.Mix[1], r.cfg.Mix[2])
+	if r.cfg.Mode == "closed" {
+		fmt.Fprintf(w, " conc=%d", r.cfg.Conc)
+	} else {
+		fmt.Fprintf(w, " rate=%.0f/s", r.cfg.Rate)
+	}
+	if r.swaps > 0 {
+		fmt.Fprintf(w, " swaps=%d", r.swaps)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %10s %10s %10s %12s\n",
+		"type", "queries", "cached", "noroute", "rejected", "p50", "p95", "p99", "qps")
+	var total int64
+	for t := serve.QueryType(0); t < 3; t++ {
+		st := &r.stats[t]
+		n := int64(len(st.latencies)) + st.rejected
+		if n == 0 {
+			continue
+		}
+		total += n
+		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
+		qps := float64(len(st.latencies)) / r.elapsed.Seconds()
+		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %10v %10v %10v %12.0f\n",
+			t, n, st.cached, st.noroute, st.rejected,
+			pct(st.latencies, 0.50).Round(time.Microsecond),
+			pct(st.latencies, 0.95).Round(time.Microsecond),
+			pct(st.latencies, 0.99).Round(time.Microsecond),
+			qps)
+	}
+	fmt.Fprintf(w, "total: %d queries in %v (%.0f qps)\n",
+		total, r.elapsed.Round(time.Millisecond), float64(total)/r.elapsed.Seconds())
+}

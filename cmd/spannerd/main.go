@@ -1,0 +1,123 @@
+// Command spannerd serves distance, path and route queries over a saved
+// build artifact (see cmd/spanner -save-artifact) through an HTTP/JSON API,
+// or — with -loadgen — drives the embedded engine with a closed- or
+// open-loop workload and prints latency/throughput tables.
+//
+// Serve:
+//
+//	spannerd -artifact build.spanart -addr :8080 -shards 8
+//	curl 'localhost:8080/query?type=dist&u=3&v=77'
+//	curl -X POST localhost:8080/swap -d '{"artifact":"next.spanart"}'
+//
+// Load harness:
+//
+//	spannerd -artifact build.spanart -loadgen -mode closed -conc 32 -duration 10s
+//	spannerd -artifact build.spanart -loadgen -mode open -rate 5000 -mix dist=8,path=1,route=1
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spanner/internal/artifact"
+	"spanner/internal/obs"
+	"spanner/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spannerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		artPath  = flag.String("artifact", "", "saved build artifact to serve (required)")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		shards   = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+		cache    = flag.Int("cache", 0, "per-shard per-type LRU size (0 = default, <0 disables)")
+		deadline = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+
+		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
+		mode     = flag.String("mode", "closed", "loadgen mode: closed (fixed concurrency) | open (fixed arrival rate)")
+		conc     = flag.Int("conc", 16, "loadgen closed-loop concurrency")
+		rate     = flag.Float64("rate", 1000, "loadgen open-loop arrival rate (queries/sec)")
+		duration = flag.Duration("duration", 5*time.Second, "loadgen run length")
+		mix      = flag.String("mix", "dist=8,path=1,route=1", "loadgen query mix weights")
+		seed     = flag.Int64("seed", 1, "loadgen workload seed")
+		swapEach = flag.Duration("swap-every", 0, "loadgen: hot-swap the artifact at this interval (0 = never)")
+	)
+	flag.Parse()
+
+	if *artPath == "" {
+		return errors.New("-artifact is required")
+	}
+	art, err := artifact.Load(*artPath)
+	if err != nil {
+		return fmt.Errorf("loading artifact: %w", err)
+	}
+	ob := obs.New()
+	eng, err := serve.New(art, serve.Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		CacheSize:       *cache,
+		DefaultDeadline: *deadline,
+		Obs:             ob,
+	})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	fmt.Fprintf(os.Stderr, "spannerd: loaded %s (algo=%s n=%d spanner=%d edges), generation %d\n",
+		*artPath, art.Algo, art.Graph.N(), art.Spanner.Len(), eng.SnapshotID())
+
+	if *loadgen {
+		cfg := loadConfig{
+			Mode:     *mode,
+			Conc:     *conc,
+			Rate:     *rate,
+			Duration: *duration,
+			Seed:     *seed,
+			SwapEach: *swapEach,
+			Artifact: *artPath,
+		}
+		if cfg.Mix, err = parseMix(*mix); err != nil {
+			return err
+		}
+		rep, err := runLoad(eng, cfg)
+		if err != nil {
+			return err
+		}
+		rep.write(os.Stdout)
+		return nil
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(eng, ob).routes()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "spannerd: listening on %s\n", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "spannerd: %v, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return nil
+	}
+}

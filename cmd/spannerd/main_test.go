@@ -1,0 +1,284 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spanner/internal/artifact"
+	"spanner/internal/graph"
+	"spanner/internal/obs"
+	"spanner/internal/serve"
+)
+
+func testArtifact(t testing.TB, n int, seed int64) *artifact.Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ConnectedGnp(n, 8/float64(n), rng)
+	sp := graph.NewEdgeSet(g.N())
+	_, parent := g.BFSWithParents(0)
+	for v := int32(0); int(v) < g.N(); v++ {
+		if parent[v] != graph.Unreachable && parent[v] != v {
+			sp.Add(v, parent[v])
+		}
+	}
+	a, err := artifact.Build(g, sp, "test", 3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func testServer(t *testing.T, a *artifact.Artifact) (*httptest.Server, *serve.Engine) {
+	t.Helper()
+	ob := obs.New()
+	eng, err := serve.New(a, serve.Config{Shards: 2, CacheSize: 64, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(eng, ob).routes())
+	t.Cleanup(func() { ts.Close(); eng.Close() })
+	return ts, eng
+}
+
+func TestQueryEndpointMatchesOracle(t *testing.T) {
+	a := testArtifact(t, 100, 1)
+	ts, _ := testServer(t, a)
+
+	resp, err := http.Get(ts.URL + "/query?type=dist&u=3&v=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rep replyJSON
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if want := a.Oracle.Query(3, 42); rep.Dist != want {
+		t.Fatalf("served dist %d, oracle says %d", rep.Dist, want)
+	}
+	if rep.Type != "dist" || rep.U != 3 || rep.V != 42 || rep.Snapshot == 0 {
+		t.Fatalf("malformed reply: %+v", rep)
+	}
+
+	// POST form of the same query.
+	body, _ := json.Marshal(queryJSON{Type: "route", U: 3, V: 42})
+	resp2, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var rep2 replyJSON
+	if err := json.NewDecoder(resp2.Body).Decode(&rep2); err != nil {
+		t.Fatal(err)
+	}
+	if wp, werr := a.Routing.Route(3, 42); werr == nil {
+		if int(rep2.Dist) != len(wp)-1 || len(rep2.Path) != len(wp) {
+			t.Fatalf("served route %+v, direct route has %d hops", rep2, len(wp)-1)
+		}
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	a := testArtifact(t, 50, 2)
+	ts, _ := testServer(t, a)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/query?type=dist&u=0&v=999999", http.StatusBadRequest}, // vertex range
+		{"/query?type=bogus&u=0&v=1", http.StatusBadRequest},     // bad type
+		{"/query?type=dist&u=zz&v=1", http.StatusBadRequest},     // unparseable
+	}
+	for _, c := range cases {
+		resp, err := http.Get(ts.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Fatalf("%s: status %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	a := testArtifact(t, 80, 3)
+	ts, _ := testServer(t, a)
+	qs := []queryJSON{
+		{Type: "dist", U: 1, V: 2},
+		{Type: "nope", U: 3, V: 4}, // parse failure must not shift replies
+		{Type: "path", U: 5, V: 6},
+	}
+	body, _ := json.Marshal(qs)
+	resp, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var reps []replyJSON
+	if err := json.NewDecoder(resp.Body).Decode(&reps); err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("got %d replies", len(reps))
+	}
+	if want := a.Oracle.Query(1, 2); reps[0].Dist != want || reps[0].Err != "" {
+		t.Fatalf("batch[0] = %+v, want dist %d", reps[0], want)
+	}
+	if reps[1].Err == "" {
+		t.Fatal("batch[1] should carry the parse error")
+	}
+	if reps[2].Type != "path" || reps[2].U != 5 {
+		t.Fatalf("batch[2] out of order: %+v", reps[2])
+	}
+}
+
+func TestHealthzMetriczAndSwap(t *testing.T) {
+	a := testArtifact(t, 60, 4)
+	ts, eng := testServer(t, a)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health["status"] != "ok" || health["n"].(float64) != 60 {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	// Generate traffic, then metricz must report it.
+	for i := 0; i < 10; i++ {
+		r, err := http.Get(ts.URL + fmt.Sprintf("/query?type=dist&u=%d&v=%d", i, 59-i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	resp, err = http.Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics []map[string]any
+	json.NewDecoder(resp.Body).Decode(&metrics)
+	resp.Body.Close()
+	foundQueries := false
+	for _, m := range metrics {
+		if m["series"] == "serve.queries{type=dist}" && m["value"].(float64) >= 10 {
+			foundQueries = true
+		}
+	}
+	if !foundQueries {
+		t.Fatalf("metricz missing serve.queries{type=dist} >= 10: %v", metrics)
+	}
+
+	// Swap in a re-built artifact from disk.
+	a2, err := artifact.Build(a.Graph, a.Spanner, "test", 3, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "next.spanart")
+	if err := artifact.Save(path, a2); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.SnapshotID()
+	body, _ := json.Marshal(map[string]string{"artifact": path})
+	resp, err = http.Post(ts.URL+"/swap", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swapped map[string]any
+	json.NewDecoder(resp.Body).Decode(&swapped)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status %d: %v", resp.StatusCode, swapped)
+	}
+	if int64(swapped["snapshot"].(float64)) <= before {
+		t.Fatal("swap did not advance the generation")
+	}
+	if eng.SnapshotID() <= before {
+		t.Fatal("engine generation unchanged after swap")
+	}
+
+	// Swap with a garbage file must fail typed, not crash.
+	badPath := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(badPath, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	body, _ = json.Marshal(map[string]string{"artifact": badPath})
+	resp, err = http.Post(ts.URL+"/swap", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad-artifact swap: status %d", resp.StatusCode)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("dist=8,path=1,route=1")
+	if err != nil || mix != [3]int{8, 1, 1} {
+		t.Fatalf("mix %v err %v", mix, err)
+	}
+	if _, err := parseMix("dist=0,path=0,route=0"); err == nil {
+		t.Fatal("all-zero mix must be rejected")
+	}
+	if _, err := parseMix("bogus=3"); err == nil {
+		t.Fatal("unknown type must be rejected")
+	}
+}
+
+func TestLoadgenSmoke(t *testing.T) {
+	a := testArtifact(t, 120, 5)
+	eng, err := serve.New(a, serve.Config{Shards: 2, CacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	path := filepath.Join(t.TempDir(), "a.spanart")
+	if err := artifact.Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"closed", "open"} {
+		rep, err := runLoad(eng, loadConfig{
+			Mode:     mode,
+			Conc:     4,
+			Rate:     2000,
+			Duration: 200 * time.Millisecond,
+			Mix:      [3]int{2, 1, 1},
+			Seed:     1,
+			SwapEach: 50 * time.Millisecond,
+			Artifact: path,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rep.write(&buf)
+		out := buf.String()
+		if !strings.Contains(out, "p50") || !strings.Contains(out, "total:") {
+			t.Fatalf("%s: malformed report:\n%s", mode, out)
+		}
+		total := int64(0)
+		for i := range rep.stats {
+			total += int64(len(rep.stats[i].latencies)) + rep.stats[i].rejected
+		}
+		if total == 0 {
+			t.Fatalf("%s: loadgen issued no queries", mode)
+		}
+	}
+}

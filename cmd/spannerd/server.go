@@ -1,0 +1,257 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"spanner/internal/artifact"
+	"spanner/internal/graph"
+	"spanner/internal/obs"
+	"spanner/internal/serve"
+)
+
+// server wires the engine into HTTP handlers. All responses are JSON.
+type server struct {
+	eng *serve.Engine
+	ob  *obs.Observer
+}
+
+func newServer(eng *serve.Engine, ob *obs.Observer) *server {
+	return &server{eng: eng, ob: ob}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/swap", s.handleSwap)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metricz", s.handleMetricz)
+	return mux
+}
+
+// queryJSON is the wire form of a request (POST /query and /batch entries).
+type queryJSON struct {
+	Type string `json:"type"`
+	U    int32  `json:"u"`
+	V    int32  `json:"v"`
+	// DeadlineMS, when positive, bounds queueing+execution time.
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+}
+
+// replyJSON is the wire form of a reply.
+type replyJSON struct {
+	Type     string  `json:"type"`
+	U        int32   `json:"u"`
+	V        int32   `json:"v"`
+	Dist     int32   `json:"dist"`
+	Path     []int32 `json:"path,omitempty"`
+	Bound    *int32  `json:"bound,omitempty"`
+	Cached   bool    `json:"cached"`
+	Snapshot int64   `json:"snapshot"`
+	Err      string  `json:"err,omitempty"`
+}
+
+func toWire(r serve.Reply) replyJSON {
+	w := replyJSON{
+		Type:     r.Type.String(),
+		U:        r.U,
+		V:        r.V,
+		Dist:     r.Dist,
+		Path:     r.Path,
+		Cached:   r.Cached,
+		Snapshot: r.SnapshotID,
+	}
+	if r.Type == serve.QueryRoute && r.Bound != graph.Unreachable {
+		b := r.Bound
+		w.Bound = &b
+	}
+	if r.Err != nil {
+		w.Err = r.Err.Error()
+	}
+	return w
+}
+
+// statusFor maps typed engine errors to HTTP status codes. ErrNoRoute is a
+// valid answer about the graph, not a server failure, so it stays 200.
+func statusFor(err error) int {
+	switch {
+	case err == nil, errors.Is(err, serve.ErrNoRoute):
+		return http.StatusOK
+	case errors.Is(err, serve.ErrBadVertex), errors.Is(err, serve.ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrDeadline):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"err": msg})
+}
+
+func (q queryJSON) toRequest() (serve.Request, error) {
+	typ, err := serve.ParseQueryType(q.Type)
+	if err != nil {
+		return serve.Request{}, fmt.Errorf("%w: %q", err, q.Type)
+	}
+	req := serve.Request{Type: typ, U: q.U, V: q.V}
+	if q.DeadlineMS > 0 {
+		req.Deadline = time.Now().Add(time.Duration(q.DeadlineMS) * time.Millisecond)
+	}
+	return req, nil
+}
+
+// handleQuery answers one query. GET takes ?type=dist&u=3&v=77
+// (&deadlineMs=50); POST takes the same fields as JSON.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var q queryJSON
+	switch r.Method {
+	case http.MethodGet:
+		q.Type = r.URL.Query().Get("type")
+		u, errU := strconv.ParseInt(r.URL.Query().Get("u"), 10, 32)
+		v, errV := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
+		if errU != nil || errV != nil {
+			writeError(w, http.StatusBadRequest, "u and v must be int32")
+			return
+		}
+		q.U, q.V = int32(u), int32(v)
+		if d := r.URL.Query().Get("deadlineMs"); d != "" {
+			ms, err := strconv.ParseInt(d, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad deadlineMs")
+				return
+			}
+			q.DeadlineMS = ms
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	req, err := q.toRequest()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	reply := s.eng.Query(req)
+	writeJSON(w, statusFor(reply.Err), toWire(reply))
+}
+
+// handleBatch answers a JSON array of queries in one round trip; replies
+// come back in input order. The HTTP status reflects parse errors only —
+// per-query failures are per-reply err fields.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var qs []queryJSON
+	if err := json.NewDecoder(r.Body).Decode(&qs); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	reqs := make([]serve.Request, len(qs))
+	replies := make([]replyJSON, len(qs))
+	bad := make([]bool, len(qs))
+	for i, q := range qs {
+		req, err := q.toRequest()
+		if err != nil {
+			bad[i] = true
+			replies[i] = replyJSON{Type: q.Type, U: q.U, V: q.V, Err: err.Error()}
+			continue
+		}
+		reqs[i] = req
+	}
+	// Engine-side batch for the parseable entries.
+	idx := make([]int, 0, len(qs))
+	sub := make([]serve.Request, 0, len(qs))
+	for i := range reqs {
+		if !bad[i] {
+			idx = append(idx, i)
+			sub = append(sub, reqs[i])
+		}
+	}
+	for j, rep := range s.eng.QueryBatch(sub) {
+		replies[idx[j]] = toWire(rep)
+	}
+	writeJSON(w, http.StatusOK, replies)
+}
+
+// handleSwap loads a new artifact from disk and hot-swaps it under live
+// traffic. POST {"artifact": "path"}.
+func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var body struct {
+		Artifact string `json:"artifact"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Artifact == "" {
+		writeError(w, http.StatusBadRequest, `want {"artifact":"path"}`)
+		return
+	}
+	art, err := artifact.Load(body.Artifact)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "loading artifact: "+err.Error())
+		return
+	}
+	gen, err := s.eng.Swap(art)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot": gen,
+		"algo":     art.Algo,
+		"n":        art.Graph.N(),
+		"spanner":  art.Spanner.Len(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.eng.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"snapshot": snap.ID,
+		"algo":     snap.Art.Algo,
+		"n":        snap.N(),
+	})
+}
+
+// handleMetricz dumps the observer registry: every serve.* counter and
+// latency histogram as JSON.
+func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	type metricJSON struct {
+		Kind   string  `json:"kind"`
+		Series string  `json:"series"`
+		Value  float64 `json:"value"`
+		Count  int64   `json:"count,omitempty"`
+		Min    float64 `json:"min,omitempty"`
+		Max    float64 `json:"max,omitempty"`
+	}
+	snap := s.ob.Registry().Snapshot()
+	out := make([]metricJSON, len(snap))
+	for i, m := range snap {
+		out[i] = metricJSON{Kind: m.Kind, Series: m.Key(), Value: m.Value, Count: m.Count, Min: m.Min, Max: m.Max}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,320 @@
+// Package artifact persists a completed build — the input graph, the
+// spanner edge set, a Thorup–Zwick distance oracle and a compact routing
+// scheme — as one versioned, checksummed binary file, so that building
+// (an expensive one-time distributed computation) and serving (cheap
+// queries against the result) are decoupled processes: a build farm writes
+// artifacts, query daemons memory-load and hot-swap them.
+//
+// The format follows the repo's word-stream conventions (the reliable
+// transport's wire frames and the distsim checkpoints): the artifact is a
+// flat little-endian int64 stream with a magic word, a version word,
+// length-prefixed sections, and an FNV-1a checksum footer over everything
+// before it. Encoding is deterministic — the same build always produces the
+// same bytes — and decoding is bounds-checked: truncated, corrupted or
+// version-skewed inputs return typed errors and never panic (fuzzed by
+// FuzzArtifactDecode).
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"spanner/internal/graph"
+	"spanner/internal/oracle"
+	"spanner/internal/routing"
+)
+
+const (
+	// magic spells "SPANART1" as little-endian ASCII.
+	magic   int64 = 0x3154_5241_4e41_5053
+	version int64 = 1
+)
+
+// Typed decode failures, matchable with errors.Is through any wrapping.
+var (
+	// ErrTruncated reports input shorter than its own length prefixes claim.
+	ErrTruncated = errors.New("artifact: truncated input")
+	// ErrChecksum reports an FNV footer mismatch (bit rot, torn write).
+	ErrChecksum = errors.New("artifact: checksum mismatch")
+	// ErrMagic reports input that is not an artifact at all.
+	ErrMagic = errors.New("artifact: bad magic (not an artifact file)")
+	// ErrVersion reports an artifact written by an incompatible format
+	// version.
+	ErrVersion = errors.New("artifact: unsupported format version")
+	// ErrCorrupt reports structurally invalid content behind a valid
+	// checksum (hand-edited or adversarial input).
+	ErrCorrupt = errors.New("artifact: corrupt content")
+)
+
+// Artifact is a complete, self-contained serving snapshot.
+type Artifact struct {
+	// Algo records which builder produced Spanner (provenance only).
+	Algo string
+	// Seed is the RNG seed the oracle and routing scheme were built with.
+	Seed int64
+	// K is the oracle's stretch parameter (stretch 2K−1).
+	K int
+
+	Graph   *graph.Graph
+	Spanner *graph.EdgeSet
+	Oracle  *oracle.Oracle
+	Routing *routing.Scheme
+}
+
+// Build assembles an artifact from a finished spanner construction: it
+// builds the distance oracle and routing scheme over g (deterministically
+// from seed) and bundles them with the spanner for serving.
+func Build(g *graph.Graph, spanner *graph.EdgeSet, algo string, k int, seed int64) (*Artifact, error) {
+	if g == nil || spanner == nil {
+		return nil, fmt.Errorf("artifact: Build requires a graph and a spanner")
+	}
+	orc, err := oracle.New(g, k, seed)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := routing.New(g, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{Algo: algo, Seed: seed, K: k, Graph: g, Spanner: spanner, Oracle: orc, Routing: rt}, nil
+}
+
+// fnvWords folds FNV-1a over a word slice — the same integrity footer the
+// reliable wire format and the distsim checkpoints use.
+func fnvWords(words []int64) int64 {
+	h := uint64(1469598103934665603)
+	for _, w := range words {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= uint64(byte(uint64(w) >> shift))
+			h *= 1099511628211
+		}
+	}
+	return int64(h)
+}
+
+// Words serializes the artifact to its word stream (without the checksum
+// footer Marshal appends).
+func (a *Artifact) Words() []int64 {
+	ow := a.Oracle.Words()
+	rw := a.Routing.Words()
+	n := a.Graph.N()
+	m := a.Graph.M()
+	w := make([]int64, 0, 10+len(a.Algo)+m+a.Spanner.Len()+len(ow)+len(rw))
+	w = append(w, magic, version, a.Seed, int64(a.K), int64(len(a.Algo)))
+	for i := 0; i < len(a.Algo); i++ {
+		w = append(w, int64(a.Algo[i]))
+	}
+	w = append(w, int64(n), int64(m))
+	a.Graph.ForEachEdge(func(u, v int32) { w = append(w, graph.EdgeKey(u, v)) })
+	spk := a.Spanner.Keys()
+	sort.Slice(spk, func(i, j int) bool { return spk[i] < spk[j] })
+	w = append(w, int64(len(spk)))
+	w = append(w, spk...)
+	w = append(w, int64(len(ow)))
+	w = append(w, ow...)
+	w = append(w, int64(len(rw)))
+	w = append(w, rw...)
+	return w
+}
+
+// Marshal renders the artifact as its on-disk bytes: the word stream plus
+// FNV footer, little-endian.
+func (a *Artifact) Marshal() []byte {
+	words := a.Words()
+	words = append(words, fnvWords(words))
+	buf := make([]byte, 8*len(words))
+	for i, v := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// reader consumes the artifact word stream with bounds checking.
+type reader struct {
+	buf []int64
+	pos int
+	err error
+}
+
+func (r *reader) get() int64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.err = fmt.Errorf("%w: offset %d", ErrTruncated, r.pos)
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+// count reads a length prefix and validates it against the remaining words
+// (at wordsPerEntry words each), so corrupt prefixes cannot trigger huge
+// allocations.
+func (r *reader) count(wordsPerEntry int) int {
+	n := r.get()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || int64(wordsPerEntry)*n > int64(len(r.buf)-r.pos) {
+		r.err = fmt.Errorf("%w: length %d at offset %d", ErrTruncated, n, r.pos)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) slice(n int) []int64 {
+	if r.err != nil {
+		return nil
+	}
+	s := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return s
+}
+
+// Unmarshal decodes artifact bytes produced by Marshal. All failures are
+// typed (ErrTruncated, ErrChecksum, ErrMagic, ErrVersion, ErrCorrupt or a
+// wrapped section error); malformed input never panics.
+func Unmarshal(data []byte) (*Artifact, error) {
+	if len(data)%8 != 0 || len(data) < 8*8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	words := make([]int64, len(data)/8)
+	for i := range words {
+		words[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	body, sum := words[:len(words)-1], words[len(words)-1]
+	if body[0] != magic {
+		return nil, ErrMagic
+	}
+	if body[1] != version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, body[1], version)
+	}
+	if fnvWords(body) != sum {
+		return nil, ErrChecksum
+	}
+	r := &reader{buf: body, pos: 2}
+	a := &Artifact{Seed: r.get()}
+	k := r.get()
+	if r.err == nil && (k < 1 || k > 64) {
+		return nil, fmt.Errorf("%w: implausible oracle parameter k=%d", ErrCorrupt, k)
+	}
+	a.K = int(k)
+	nameLen := r.count(1)
+	name := make([]byte, nameLen)
+	for i := range name {
+		c := r.get()
+		if r.err == nil && (c < 0 || c > 255) {
+			return nil, fmt.Errorf("%w: algo name byte %d", ErrCorrupt, c)
+		}
+		name[i] = byte(c)
+	}
+	a.Algo = string(name)
+	n := r.get()
+	if r.err == nil && (n < 0 || n > 1<<31-1) {
+		return nil, fmt.Errorf("%w: vertex count %d", ErrCorrupt, n)
+	}
+	m := r.count(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	b := graph.NewBuilder(int(n))
+	prev := int64(-1)
+	for i := 0; i < m; i++ {
+		key := r.get()
+		if r.err != nil {
+			return nil, r.err
+		}
+		u, v := graph.UnpackEdgeKey(key)
+		if key <= prev || u < 0 || v < 0 || int64(u) >= n || int64(v) >= n || u == v {
+			return nil, fmt.Errorf("%w: graph edge key %d at index %d", ErrCorrupt, key, i)
+		}
+		prev = key
+		b.AddEdge(u, v)
+	}
+	a.Graph = b.Build()
+	if a.Graph.M() != m {
+		return nil, fmt.Errorf("%w: %d duplicate graph edges", ErrCorrupt, m-a.Graph.M())
+	}
+	sp := r.count(1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	a.Spanner = graph.NewEdgeSet(sp)
+	prev = -1
+	for i := 0; i < sp; i++ {
+		key := r.get()
+		if r.err != nil {
+			return nil, r.err
+		}
+		u, v := graph.UnpackEdgeKey(key)
+		if key <= prev || u < 0 || v < 0 || int64(u) >= n || int64(v) >= n || u == v {
+			return nil, fmt.Errorf("%w: spanner edge key %d at index %d", ErrCorrupt, key, i)
+		}
+		if !a.Graph.HasEdge(u, v) {
+			return nil, fmt.Errorf("%w: spanner edge (%d,%d) is not a graph edge", ErrCorrupt, u, v)
+		}
+		prev = key
+		a.Spanner.AddKey(key)
+	}
+	ow := r.slice(r.count(1))
+	rw := r.slice(r.count(1))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing words", ErrCorrupt, len(body)-r.pos)
+	}
+	var err error
+	if a.Oracle, err = oracle.FromWords(a.Graph, ow); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if a.Routing, err = routing.FromWords(a.Graph, rw); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return a, nil
+}
+
+// Save writes the artifact to path via a temp file and rename, so a killed
+// writer never leaves a torn file under the final name (the same discipline
+// as distsim.WriteWordsFile).
+func Save(path string, a *Artifact) error {
+	buf := a.Marshal()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".artifact-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load memory-loads an artifact file written by Save.
+func Load(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	a, err := Unmarshal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return a, nil
+}

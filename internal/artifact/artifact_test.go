@@ -1,0 +1,192 @@
+package artifact
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+// testArtifact builds a small deterministic artifact for tests.
+func testArtifact(t testing.TB, n int, k int, seed int64) *Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ConnectedGnp(n, 12/float64(n), rng)
+	a, err := Build(g, bfsSpanner(g), "test", k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// bfsSpanner returns a small valid spanner (a BFS forest plus some extra
+// edges) so the artifact's Spanner section is non-trivial.
+func bfsSpanner(g *graph.Graph) *graph.EdgeSet {
+	s := graph.NewEdgeSet(g.N())
+	seen := make([]bool, g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		if seen[v] {
+			continue
+		}
+		_, parent := g.BFSWithParents(v)
+		for u := int32(0); int(u) < g.N(); u++ {
+			if parent[u] != graph.Unreachable {
+				seen[u] = true
+				if parent[u] != u {
+					s.Add(u, parent[u])
+				}
+			}
+		}
+	}
+	// A few non-tree edges exercise the subset check.
+	g.ForEachEdge(func(u, v int32) {
+		if (u+v)%7 == 0 {
+			s.Add(u, v)
+		}
+	})
+	return s
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	a := testArtifact(t, 150, 3, 9)
+	data := a.Marshal()
+	b, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Algo != a.Algo || b.Seed != a.Seed || b.K != a.K {
+		t.Fatalf("metadata changed: %+v", b)
+	}
+	if b.Graph.N() != a.Graph.N() || b.Graph.M() != a.Graph.M() {
+		t.Fatal("graph changed")
+	}
+	if b.Spanner.Len() != a.Spanner.Len() {
+		t.Fatal("spanner changed")
+	}
+	for u := int32(0); int(u) < a.Graph.N(); u += 3 {
+		for v := int32(0); int(v) < a.Graph.N(); v += 5 {
+			if a.Oracle.Query(u, v) != b.Oracle.Query(u, v) {
+				t.Fatalf("oracle answer changed at (%d,%d)", u, v)
+			}
+			p1, e1 := a.Routing.Route(u, v)
+			p2, e2 := b.Routing.Route(u, v)
+			if (e1 == nil) != (e2 == nil) || len(p1) != len(p2) {
+				t.Fatalf("route changed at (%d,%d)", u, v)
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("route hop changed at (%d,%d)[%d]", u, v, i)
+				}
+			}
+		}
+	}
+	// Deterministic bytes: re-marshaling the decoded artifact is identical.
+	data2 := b.Marshal()
+	if len(data) != len(data2) {
+		t.Fatal("marshal length unstable")
+	}
+	for i := range data {
+		if data[i] != data2[i] {
+			t.Fatalf("marshal differs at byte %d", i)
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	a := testArtifact(t, 80, 2, 4)
+	path := filepath.Join(t.TempDir(), "build.art")
+	if err := Save(path, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Graph.M() != a.Graph.M() || b.Spanner.Len() != a.Spanner.Len() {
+		t.Fatal("load changed content")
+	}
+	// No temp droppings left behind.
+	matches, _ := filepath.Glob(filepath.Join(filepath.Dir(path), ".artifact-*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+func TestTypedDecodeErrors(t *testing.T) {
+	a := testArtifact(t, 60, 2, 2)
+	data := a.Marshal()
+
+	if _, err := Unmarshal(data[:40]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short input: got %v, want ErrTruncated", err)
+	}
+	if _, err := Unmarshal(data[:len(data)-8]); err == nil {
+		t.Fatal("dropped footer must error")
+	}
+
+	flip := func(off int, f func([]byte)) []byte {
+		cp := append([]byte(nil), data...)
+		f(cp[off:])
+		return cp
+	}
+	if _, err := Unmarshal(flip(0, func(b []byte) { b[0] ^= 0xff })); !errors.Is(err, ErrMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+	if _, err := Unmarshal(flip(8, func(b []byte) { b[0] = 99 })); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: got %v", err)
+	}
+	if _, err := Unmarshal(flip(len(data)/2, func(b []byte) { b[0] ^= 1 })); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("flipped body bit: got %v", err)
+	}
+
+	// Structurally invalid content behind a recomputed (valid) checksum.
+	words := a.Words()
+	words[3] = 99 // implausible k
+	bad := wordsToBytes(words)
+	if _, err := Unmarshal(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("implausible k: got %v", err)
+	}
+
+	if err := os.WriteFile(filepath.Join(t.TempDir(), "x"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.art")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+// wordsToBytes reseals a word stream with a fresh checksum, for building
+// adversarial-but-checksummed inputs.
+func wordsToBytes(words []int64) []byte {
+	sealed := append(append([]int64(nil), words...), fnvWords(words))
+	buf := make([]byte, 8*len(sealed))
+	for i, v := range sealed {
+		for s := 0; s < 8; s++ {
+			buf[8*i+s] = byte(uint64(v) >> (8 * s))
+		}
+	}
+	return buf
+}
+
+func BenchmarkArtifactCodec(b *testing.B) {
+	a := testArtifact(b, 2000, 3, 1)
+	data := a.Marshal()
+	b.Run("marshal", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = a.Marshal()
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Unmarshal(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

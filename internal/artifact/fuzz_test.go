@@ -1,0 +1,46 @@
+package artifact
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzArtifactDecode asserts the decode contract: Unmarshal never panics,
+// and every failure is one of the package's typed errors. Seeds include a
+// valid artifact (so the fuzzer starts deep inside the format), every
+// prefix-truncation class, and version/magic skew.
+func FuzzArtifactDecode(f *testing.F) {
+	a := testArtifact(f, 40, 2, 1)
+	valid := a.Marshal()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-8]) // footer gone
+	f.Add(valid[:len(valid)/2]) // body truncated
+	f.Add(valid[:16])           // header only
+	f.Add([]byte{})
+	skew := append([]byte(nil), valid...)
+	skew[8] = 0x7f // version word
+	f.Add(skew)
+	junk := append([]byte(nil), valid...)
+	junk[0] ^= 0xff // magic word
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Unmarshal(data)
+		if err == nil {
+			if b == nil || b.Graph == nil || b.Spanner == nil || b.Oracle == nil || b.Routing == nil {
+				t.Fatal("nil-field artifact decoded without error")
+			}
+			// A successfully decoded artifact must re-marshal cleanly.
+			if len(b.Marshal()) == 0 {
+				t.Fatal("decoded artifact re-marshals to nothing")
+			}
+			return
+		}
+		for _, typed := range []error{ErrTruncated, ErrChecksum, ErrMagic, ErrVersion, ErrCorrupt} {
+			if errors.Is(err, typed) {
+				return
+			}
+		}
+		t.Fatalf("untyped decode error: %v", err)
+	})
+}

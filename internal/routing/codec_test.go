@@ -1,0 +1,110 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func TestCodecRoundTripIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ConnectedGnp(150, 0.05, rng)
+	s, err := New(g, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := s.Words()
+	s2, err := FromWords(g, words)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(s2.Landmarks()) != len(s.Landmarks()) {
+		t.Fatal("landmark set changed")
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		if s2.AddressOf(v) != s.AddressOf(v) {
+			t.Fatalf("address of %d changed", v)
+		}
+		if s2.TableSize(v) != s.TableSize(v) {
+			t.Fatalf("table size of %d changed: %d vs %d", v, s2.TableSize(v), s.TableSize(v))
+		}
+	}
+	for u := int32(0); int(u) < g.N(); u += 3 {
+		for v := int32(0); int(v) < g.N(); v += 5 {
+			// Hop-for-hop identity of the full route, not just success.
+			p1, e1 := s.Route(u, v)
+			p2, e2 := s2.Route(u, v)
+			if (e1 == nil) != (e2 == nil) {
+				t.Fatalf("Route(%d,%d) error changed: %v vs %v", u, v, e1, e2)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("Route(%d,%d) length changed", u, v)
+			}
+			for i := range p1 {
+				if p1[i] != p2[i] {
+					t.Fatalf("Route(%d,%d) hop %d changed: %d vs %d", u, v, i, p1[i], p2[i])
+				}
+			}
+			a := s.AddressOf(v)
+			h1, ok1 := s.NextHop(u, a)
+			h2, ok2 := s2.NextHop(u, a)
+			if h1 != h2 || ok1 != ok2 {
+				t.Fatalf("NextHop(%d,%d) changed", u, v)
+			}
+		}
+	}
+	// Determinism of the stream itself.
+	reenc := s2.Words()
+	if len(reenc) != len(words) {
+		t.Fatal("stream length unstable")
+	}
+	for i := range words {
+		if words[i] != reenc[i] {
+			t.Fatalf("stream differs at word %d", i)
+		}
+	}
+}
+
+func TestCodecRejectsCorruptStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.ConnectedGnp(40, 0.1, rng)
+	s, err := New(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := s.Words()
+	if _, err := FromWords(g, words[:len(words)/3]); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+	if _, err := FromWords(graph.Path(5), words); err == nil {
+		t.Fatal("wrong graph size must error")
+	}
+	bad := append([]int64(nil), words...)
+	bad[2] = int64(g.N()) + 5 // out-of-range landmark
+	if _, err := FromWords(g, bad); err == nil {
+		t.Fatal("out-of-range landmark must error")
+	}
+}
+
+func TestLandmarkDistancesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := graph.ConnectedGnp(120, 0.05, rng)
+	s, err := New(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dists := s.LandmarkDistances()
+	if len(dists) != len(s.Landmarks()) {
+		t.Fatal("one array per landmark expected")
+	}
+	for t2, l := range s.Landmarks() {
+		want := g.BFS(l)
+		for v := 0; v < g.N(); v++ {
+			if dists[t2][v] != want[v] {
+				t.Fatalf("landmark %d: depth of %d = %d, want BFS distance %d",
+					l, v, dists[t2][v], want[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used result cache. Each shard
+// owns one per query type and is driven by a single worker goroutine, so no
+// locking is needed on the hot path.
+type lruCache struct {
+	cap int
+	ll  *list.List
+	m   map[int64]*list.Element
+}
+
+type lruEntry struct {
+	key int64
+	val cacheVal
+}
+
+// cacheVal is a memoized query outcome (everything except per-request
+// bookkeeping like latency and snapshot id).
+type cacheVal struct {
+	dist  int32
+	bound int32
+	path  []int32
+	err   error
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[int64]*list.Element, capacity)}
+}
+
+func (c *lruCache) get(key int64) (cacheVal, bool) {
+	el, ok := c.m[key]
+	if !ok {
+		return cacheVal{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) put(key int64, v cacheVal) {
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = v
+		return
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		if back != nil {
+			c.ll.Remove(back)
+			delete(c.m, back.Value.(*lruEntry).key)
+		}
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, val: v})
+}
+
+func (c *lruCache) reset() {
+	c.ll.Init()
+	clear(c.m)
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

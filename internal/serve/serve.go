@@ -1,0 +1,444 @@
+// Package serve is the query-serving subsystem: a concurrent, sharded
+// query engine over a loaded build artifact. It is the consumption side of
+// the build-once/query-many split the paper's applications motivate — the
+// distributed builders produce a spanner, distance oracle and routing
+// scheme once; this engine answers millions of Dist/Path/Route queries
+// against the frozen result.
+//
+// Architecture. An Engine owns a fixed set of shards. Each shard is one
+// worker goroutine with a bounded request queue and private LRU result
+// caches (one per query type), so the hot path touches no locks: requests
+// hash to a shard by endpoint pair (concentrating repeats on the same
+// cache), the worker answers from cache or computes against the current
+// Snapshot, and replies flow back through per-request WaitGroups. Admission
+// control is at enqueue time — a full queue rejects with ErrOverloaded
+// rather than building unbounded backlog — and requests whose deadline
+// passed while queued are rejected with ErrDeadline instead of wasting
+// compute on answers nobody is waiting for.
+//
+// Hot swap. The current Snapshot hangs off an atomic pointer. Swap installs
+// a new generation in one store; each request pins the snapshot pointer
+// once at execution start, so in-flight queries finish on the generation
+// they started with while new requests see the new one — no locks, no
+// drain, no dropped or torn answers. Shard caches are keyed to the snapshot
+// generation and self-invalidate on first use after a swap.
+//
+// All counters and latency histograms flow through internal/obs; a nil
+// Observer disables them at the cost of nil checks.
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spanner/internal/artifact"
+	"spanner/internal/graph"
+	"spanner/internal/obs"
+)
+
+// QueryType selects which table a request consults.
+type QueryType uint8
+
+const (
+	// QueryDist is an approximate distance from the Thorup–Zwick oracle
+	// (stretch ≤ 2K−1, O(K) time).
+	QueryDist QueryType = iota
+	// QueryPath is an explicit shortest path inside the spanner subgraph.
+	QueryPath
+	// QueryRoute is the compact-routing path: the hop sequence a packet
+	// takes using only per-vertex Õ(√n) tables and the destination address.
+	QueryRoute
+	numQueryTypes
+)
+
+var queryTypeNames = [numQueryTypes]string{"dist", "path", "route"}
+
+func (t QueryType) String() string {
+	if t < numQueryTypes {
+		return queryTypeNames[t]
+	}
+	return "invalid"
+}
+
+// ParseQueryType parses "dist", "path" or "route".
+func ParseQueryType(s string) (QueryType, error) {
+	for i, name := range queryTypeNames {
+		if s == name {
+			return QueryType(i), nil
+		}
+	}
+	return 0, ErrBadQuery
+}
+
+// Typed rejection errors, matchable with errors.Is.
+var (
+	// ErrOverloaded reports a full shard queue (admission control).
+	ErrOverloaded = errors.New("serve: overloaded, shard queue full")
+	// ErrDeadline reports a request whose deadline expired while queued.
+	ErrDeadline = errors.New("serve: deadline exceeded before execution")
+	// ErrClosed reports a request submitted after Close began.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrBadVertex reports an endpoint outside the snapshot's vertex range.
+	ErrBadVertex = errors.New("serve: vertex out of range")
+	// ErrBadQuery reports an unknown query type.
+	ErrBadQuery = errors.New("serve: unknown query type")
+	// ErrNoRoute reports a routing failure (disconnected endpoints or a
+	// corrupt header); wraps the routing package's error text.
+	ErrNoRoute = errors.New("serve: no route")
+)
+
+// Request is one query.
+type Request struct {
+	Type QueryType
+	U, V int32
+	// Deadline, when non-zero, rejects the request if it is still queued at
+	// that instant. The zero value applies Config.DefaultDeadline.
+	Deadline time.Time
+}
+
+// Reply is one query's outcome.
+type Reply struct {
+	Type QueryType
+	U, V int32
+	// Dist is the oracle estimate (QueryDist) or the hop length of the
+	// returned path (QueryPath/QueryRoute); graph.Unreachable when there is
+	// no path.
+	Dist int32
+	// Path is the vertex sequence for QueryPath/QueryRoute (nil for
+	// QueryDist or unreachable pairs).
+	Path []int32
+	// Bound is QueryRoute's cached-landmark-distance upper bound on the
+	// landmark route (graph.Unreachable when undefined).
+	Bound int32
+	// Cached reports whether the answer came from the shard's LRU.
+	Cached bool
+	// SnapshotID identifies the artifact generation that answered.
+	SnapshotID int64
+	// Err is nil on success or one of the typed errors above.
+	Err error
+}
+
+// Config tunes an Engine. The zero value picks sensible defaults.
+type Config struct {
+	// Shards is the number of worker goroutines (and cache partitions);
+	// 0 means GOMAXPROCS.
+	Shards int
+	// QueueDepth is each shard's bounded queue length; 0 means 1024.
+	QueueDepth int
+	// CacheSize is each shard's per-query-type LRU capacity; 0 means 4096,
+	// negative disables caching.
+	CacheSize int
+	// DefaultDeadline, when positive, is applied to requests with a zero
+	// Deadline.
+	DefaultDeadline time.Duration
+	// Obs receives serve.* counters and latency histograms (nil = off).
+	Obs *obs.Observer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	return c
+}
+
+// task is one queued unit of work: the request, where to write the reply,
+// and the WaitGroup to release when done.
+type task struct {
+	req   Request
+	reply *Reply
+	wg    *sync.WaitGroup
+}
+
+type shard struct {
+	ch     chan task
+	caches [numQueryTypes]*lruCache
+	// epoch is the snapshot generation the caches hold answers for; a
+	// mismatch on dequeue resets them (hot-swap invalidation).
+	epoch   int64
+	scratch pathScratch
+}
+
+// Engine is the sharded query engine. Create with New, stop with Close.
+type Engine struct {
+	cfg     Config
+	snap    atomic.Pointer[Snapshot]
+	snapSeq atomic.Int64
+	shards  []*shard
+	wg      sync.WaitGroup
+
+	// mu guards closed against concurrent submits racing channel close.
+	mu     sync.RWMutex
+	closed bool
+
+	// testHook, when non-nil, runs at the start of each task execution;
+	// tests use it to hold a worker busy and back up a queue
+	// deterministically.
+	testHook func()
+
+	// Metrics (nil-safe no-ops without an Observer).
+	queries   [numQueryTypes]*obs.Counter
+	hits      [numQueryTypes]*obs.Counter
+	misses    [numQueryTypes]*obs.Counter
+	latency   [numQueryTypes]*obs.Histogram
+	rejects   map[string]*obs.Counter
+	swaps     *obs.Counter
+	batches   *obs.Histogram
+	routeHops *obs.Histogram
+	routeGain *obs.Histogram
+}
+
+// New builds an engine over the artifact and starts its shard workers.
+func New(a *artifact.Artifact, cfg Config) (*Engine, error) {
+	if a == nil || a.Graph == nil || a.Spanner == nil || a.Oracle == nil || a.Routing == nil {
+		return nil, errors.New("serve: incomplete artifact")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{cfg: cfg, rejects: make(map[string]*obs.Counter)}
+	reg := cfg.Obs.Registry()
+	for t := QueryType(0); t < numQueryTypes; t++ {
+		lbl := obs.Label{Key: "type", Value: t.String()}
+		e.queries[t] = reg.Counter("serve.queries", lbl)
+		e.hits[t] = reg.Counter("serve.cache.hits", lbl)
+		e.misses[t] = reg.Counter("serve.cache.misses", lbl)
+		e.latency[t] = reg.Histogram("serve.latency_us", lbl)
+	}
+	for _, reason := range []string{"overload", "deadline", "vertex", "type", "closed"} {
+		e.rejects[reason] = reg.Counter("serve.rejects", obs.Label{Key: "reason", Value: reason})
+	}
+	e.swaps = reg.Counter("serve.swaps")
+	e.batches = reg.Histogram("serve.batch_size")
+	e.routeHops = reg.Histogram("serve.route.hops")
+	e.routeGain = reg.Histogram("serve.route.bound_minus_hops")
+
+	e.snap.Store(newSnapshot(a, e.snapSeq.Add(1)))
+	e.shards = make([]*shard, cfg.Shards)
+	for i := range e.shards {
+		s := &shard{ch: make(chan task, cfg.QueueDepth)}
+		if cfg.CacheSize > 0 {
+			for t := range s.caches {
+				s.caches[t] = newLRU(cfg.CacheSize)
+			}
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.worker(s)
+	}
+	return e, nil
+}
+
+// Snapshot returns the current serving generation.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// SnapshotID returns the current generation number.
+func (e *Engine) SnapshotID() int64 { return e.snap.Load().ID }
+
+// Swap atomically installs a new artifact under live traffic and returns
+// the new generation id. Requests already executing finish on the old
+// snapshot; requests dequeued afterwards see the new one. The old snapshot
+// is garbage once its last in-flight query completes.
+func (e *Engine) Swap(a *artifact.Artifact) (int64, error) {
+	if a == nil || a.Graph == nil || a.Spanner == nil || a.Oracle == nil || a.Routing == nil {
+		return 0, errors.New("serve: incomplete artifact")
+	}
+	snap := newSnapshot(a, e.snapSeq.Add(1))
+	e.snap.Store(snap)
+	e.swaps.Inc()
+	return snap.ID, nil
+}
+
+// shardFor hashes an endpoint pair to a shard, so repeated queries for the
+// same pair land on the same cache.
+func (e *Engine) shardFor(u, v int32) *shard {
+	h := uint32(u)*2654435761 ^ uint32(v)*0x85ebca6b
+	h ^= h >> 16
+	return e.shards[h%uint32(len(e.shards))]
+}
+
+// submit enqueues a request. On rejection it fills the reply and returns
+// false without touching wg; on success the worker will Done wg.
+func (e *Engine) submit(req Request, r *Reply, wg *sync.WaitGroup) bool {
+	if req.Type >= numQueryTypes {
+		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrBadQuery}
+		e.rejects["type"].Inc()
+		return false
+	}
+	if req.Deadline.IsZero() && e.cfg.DefaultDeadline > 0 {
+		req.Deadline = time.Now().Add(e.cfg.DefaultDeadline)
+	}
+	s := e.shardFor(req.U, req.V)
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrClosed}
+		e.rejects["closed"].Inc()
+		return false
+	}
+	select {
+	case s.ch <- task{req: req, reply: r, wg: wg}:
+		e.mu.RUnlock()
+		return true
+	default:
+		e.mu.RUnlock()
+		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrOverloaded}
+		e.rejects["overload"].Inc()
+		return false
+	}
+}
+
+// Query answers one request, blocking until it completes or is rejected.
+func (e *Engine) Query(req Request) Reply {
+	var r Reply
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if e.submit(req, &r, &wg) {
+		wg.Wait()
+	}
+	return r
+}
+
+// QueryBatch answers a batch, fanning the requests across shards and
+// gathering all replies (order matches the input). Rejections surface as
+// per-reply errors, never as lost entries.
+func (e *Engine) QueryBatch(reqs []Request) []Reply {
+	replies := make([]Reply, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		if !e.submit(reqs[i], &replies[i], &wg) {
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	e.batches.Observe(int64(len(reqs)))
+	return replies
+}
+
+// Dist answers a distance query.
+func (e *Engine) Dist(u, v int32) (int32, error) {
+	r := e.Query(Request{Type: QueryDist, U: u, V: v})
+	return r.Dist, r.Err
+}
+
+// Path answers a spanner-path query.
+func (e *Engine) Path(u, v int32) ([]int32, error) {
+	r := e.Query(Request{Type: QueryPath, U: u, V: v})
+	return r.Path, r.Err
+}
+
+// Route answers a compact-routing query.
+func (e *Engine) Route(u, v int32) ([]int32, error) {
+	r := e.Query(Request{Type: QueryRoute, U: u, V: v})
+	return r.Path, r.Err
+}
+
+// Close stops admission and drains: queued requests are still answered,
+// then the workers exit. Safe to call twice.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for _, s := range e.shards {
+		close(s.ch)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+func (e *Engine) worker(s *shard) {
+	defer e.wg.Done()
+	for t := range s.ch {
+		e.process(s, t)
+	}
+}
+
+func cacheKey(u, v int32) int64 { return int64(u)<<32 | int64(uint32(v)) }
+
+func (e *Engine) process(s *shard, t task) {
+	defer t.wg.Done()
+	if h := e.testHook; h != nil {
+		h()
+	}
+	start := time.Now()
+	req := t.req
+	r := t.reply
+	*r = Reply{Type: req.Type, U: req.U, V: req.V}
+	if !req.Deadline.IsZero() && time.Now().After(req.Deadline) {
+		r.Err = ErrDeadline
+		e.rejects["deadline"].Inc()
+		return
+	}
+	snap := e.snap.Load()
+	r.SnapshotID = snap.ID
+	if s.epoch != snap.ID {
+		for _, c := range s.caches {
+			if c != nil {
+				c.reset()
+			}
+		}
+		s.epoch = snap.ID
+	}
+	if n := int32(snap.N()); req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
+		r.Err = ErrBadVertex
+		e.rejects["vertex"].Inc()
+		return
+	}
+	key := cacheKey(req.U, req.V)
+	if c := s.caches[req.Type]; c != nil {
+		if cv, ok := c.get(key); ok {
+			r.Dist, r.Bound, r.Path, r.Err = cv.dist, cv.bound, cv.path, cv.err
+			r.Cached = true
+			e.hits[req.Type].Inc()
+			e.queries[req.Type].Inc()
+			e.latency[req.Type].Observe(time.Since(start).Microseconds())
+			return
+		}
+		e.misses[req.Type].Inc()
+	}
+
+	var cv cacheVal
+	cv.bound = graph.Unreachable
+	switch req.Type {
+	case QueryDist:
+		cv.dist = snap.Art.Oracle.Query(req.U, req.V)
+	case QueryPath:
+		cv.path = snap.spannerPath(req.U, req.V, &s.scratch)
+		if cv.path == nil {
+			cv.dist = graph.Unreachable
+		} else {
+			cv.dist = int32(len(cv.path) - 1)
+		}
+	case QueryRoute:
+		path, err := snap.Art.Routing.Route(req.U, req.V)
+		cv.bound = snap.RouteBound(req.U, req.V)
+		if err != nil {
+			cv.dist = graph.Unreachable
+			cv.err = errors.Join(ErrNoRoute, err)
+		} else {
+			cv.path = path
+			cv.dist = int32(len(path) - 1)
+			e.routeHops.Observe(int64(len(path) - 1))
+			if cv.bound != graph.Unreachable {
+				e.routeGain.Observe(int64(cv.bound) - int64(len(path)-1))
+			}
+		}
+	}
+	if c := s.caches[req.Type]; c != nil {
+		c.put(key, cv)
+	}
+	r.Dist, r.Bound, r.Path, r.Err = cv.dist, cv.bound, cv.path, cv.err
+	e.queries[req.Type].Inc()
+	e.latency[req.Type].Observe(time.Since(start).Microseconds())
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"spanner/internal/artifact"
+	"spanner/internal/graph"
+)
+
+// Snapshot is one immutable serving generation: a loaded artifact plus the
+// derived read-only structures queries touch — the spanner materialized as
+// a CSR graph for path queries, and the cached landmark distance arrays of
+// the routing scheme. Everything in a snapshot is built once at load/swap
+// time and only read afterwards, which is what makes lock-free sharing
+// across shards (and the atomic hot-swap) safe.
+type Snapshot struct {
+	// ID is the engine-assigned generation number, monotonically increasing
+	// across swaps. Replies carry it so clients can tell which generation
+	// answered.
+	ID int64
+	// Art is the loaded build artifact.
+	Art *artifact.Artifact
+
+	// spanner is Art.Spanner materialized as a graph, the structure Path
+	// queries BFS over.
+	spanner *graph.Graph
+	// lmDist[t][v] is the cached distance from v to routing landmark t —
+	// computed once here so Route replies can attach the landmark-route
+	// bound without per-query tree walks.
+	lmDist [][]int32
+}
+
+func newSnapshot(a *artifact.Artifact, id int64) *Snapshot {
+	return &Snapshot{
+		ID:      id,
+		Art:     a,
+		spanner: a.Spanner.ToGraph(a.Graph.N()),
+		lmDist:  a.Routing.LandmarkDistances(),
+	}
+}
+
+// N returns the vertex count of the snapshot's graph.
+func (s *Snapshot) N() int { return s.Art.Graph.N() }
+
+// SpannerGraph returns the materialized spanner.
+func (s *Snapshot) SpannerGraph() *graph.Graph { return s.spanner }
+
+// RouteBound returns the cached-landmark-distance upper bound on the
+// landmark-phase route u→ℓ_v→v, or graph.Unreachable when either endpoint
+// cannot reach v's landmark. The actual route is never longer than this
+// unless it is shorter via a vicinity ball.
+func (s *Snapshot) RouteBound(u, v int32) int32 {
+	addr := s.Art.Routing.AddressOf(v)
+	if addr.Landmark == graph.Unreachable {
+		return graph.Unreachable
+	}
+	t, ok := s.Art.Routing.LandmarkIndexOf(addr.Landmark)
+	if !ok {
+		return graph.Unreachable
+	}
+	du, dv := s.lmDist[t][u], s.lmDist[t][v]
+	if du == graph.Unreachable || dv == graph.Unreachable {
+		return graph.Unreachable
+	}
+	return du + dv
+}
+
+// pathScratch is per-shard BFS state for Path queries, reused across
+// requests so the steady-state hot path allocates only the result slice.
+type pathScratch struct {
+	dist   []int32
+	parent []int32
+	queue  []int32
+}
+
+func (ps *pathScratch) ensure(n int) {
+	if len(ps.dist) >= n {
+		return
+	}
+	ps.dist = make([]int32, n)
+	ps.parent = make([]int32, n)
+	for i := 0; i < n; i++ {
+		ps.dist[i] = graph.Unreachable
+	}
+	ps.queue = make([]int32, 0, 256)
+}
+
+// spannerPath computes the shortest u→v path inside the snapshot's spanner
+// by BFS with deterministic (first-discovery) parents, early-exiting once v
+// is settled. Returns nil when v is unreachable in the spanner. The scratch
+// arrays are reset via the reached list before returning.
+func (s *Snapshot) spannerPath(u, v int32, ps *pathScratch) []int32 {
+	if u == v {
+		return []int32{u}
+	}
+	g := s.spanner
+	ps.ensure(g.N())
+	dist, parent := ps.dist, ps.parent
+	queue := ps.queue[:0]
+	dist[u] = 0
+	parent[u] = u
+	queue = append(queue, u)
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		x := queue[head]
+		dx := dist[x]
+		for _, y := range g.Neighbors(x) {
+			if dist[y] != graph.Unreachable {
+				continue
+			}
+			dist[y] = dx + 1
+			parent[y] = x
+			if y == v {
+				found = true
+				break
+			}
+			queue = append(queue, y)
+		}
+	}
+	var path []int32
+	if found {
+		// Walk v back to u, then reverse in place.
+		for x := v; ; x = parent[x] {
+			path = append(path, x)
+			if x == u {
+				break
+			}
+		}
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+	}
+	// Reset scratch for the next query (v may have been settled without
+	// being enqueued).
+	for _, x := range queue {
+		dist[x] = graph.Unreachable
+	}
+	dist[v] = graph.Unreachable
+	ps.queue = queue[:0]
+	return path
+}
