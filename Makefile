@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic check clean
 
 all: build vet test
 
@@ -8,7 +8,7 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 test-short:
 	$(GO) test -short ./...
@@ -52,6 +52,7 @@ faultcheck:
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/faults
 	$(GO) test -fuzz=FuzzReliableLink -fuzztime=10s ./internal/reliable
 	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=10s ./internal/artifact
+	$(GO) test -fuzz=FuzzDeltaDecode -fuzztime=10s ./internal/artifact
 
 # The serving-layer gate: artifact codec, query engine and daemon tests
 # under the race detector, plus the root round-trip/hot-swap integration
@@ -61,9 +62,20 @@ serve:
 	$(GO) test -race ./internal/artifact/... ./internal/serve/... ./cmd/spannerd/...
 	$(GO) test -run 'Serve|Artifact' -race .
 
-# The full gate: build, vet, unit tests, then the robustness and serving
-# suites.
-check: build vet test faultcheck serve
+# The dynamic-updates gate: maintainer, update-stream/log and delta-codec
+# tests under the race detector (including the delta-apply/LRU-eviction
+# regression race in internal/serve), plus the root acceptance tests:
+# per-batch bound maintenance, byte-identical delta round trips, and
+# /update under concurrent load.
+dynamic:
+	$(GO) vet ./internal/dynamic/... ./internal/artifact/... ./internal/serve/...
+	$(GO) test -race ./internal/dynamic/... ./internal/artifact/...
+	$(GO) test -run 'Delta|Update' -race ./internal/serve/... ./cmd/spannerd/...
+	$(GO) test -run 'Dynamic|Delta|Churn' -race .
+
+# The full gate: build, vet, unit tests, then the robustness, serving and
+# dynamic suites.
+check: build vet test faultcheck serve dynamic
 
 clean:
 	$(GO) clean ./...

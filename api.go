@@ -8,6 +8,7 @@ import (
 	"spanner/internal/baseline"
 	"spanner/internal/core"
 	"spanner/internal/distsim"
+	"spanner/internal/dynamic"
 	"spanner/internal/emulator"
 	"spanner/internal/faults"
 	"spanner/internal/fibonacci"
@@ -628,6 +629,14 @@ func SaveArtifact(path string, a *Artifact) error { return artifact.Save(path, a
 // errors — never a panic.
 func LoadArtifact(path string) (*Artifact, error) { return artifact.Load(path) }
 
+// MarshalArtifact encodes an artifact into the same checksummed word-stream
+// form SaveArtifact writes, without touching the filesystem.
+func MarshalArtifact(a *Artifact) []byte { return a.Marshal() }
+
+// UnmarshalArtifact decodes a MarshalArtifact blob, verifying magic,
+// version and checksum with the artifact package's typed errors.
+func UnmarshalArtifact(data []byte) (*Artifact, error) { return artifact.Unmarshal(data) }
+
 // ServeEngine is the concurrent query engine over a loaded artifact:
 // sharded workers, per-shard LRU result caches, bounded queues with
 // admission control, and atomic artifact hot-swap under live traffic.
@@ -670,3 +679,129 @@ var (
 func NewServeEngine(a *Artifact, cfg ServeConfig) (*ServeEngine, error) {
 	return serve.New(a, cfg)
 }
+
+// --- Dynamic updates: batched edge churn over a maintained spanner ---
+
+// DynamicOp distinguishes edge insertions from deletions in an update
+// stream.
+type DynamicOp = dynamic.Op
+
+// Update operations.
+const (
+	// DynamicInsert adds an edge to the maintained graph.
+	DynamicInsert = dynamic.OpInsert
+	// DynamicDelete removes an edge from the maintained graph.
+	DynamicDelete = dynamic.OpDelete
+)
+
+// DynamicUpdate is one edge insertion or deletion.
+type DynamicUpdate = dynamic.Update
+
+// DynamicBatch is an ordered group of updates applied atomically: all
+// deletions first, then all insertions.
+type DynamicBatch = dynamic.Batch
+
+// DynamicConfig tunes a DynamicMaintainer; the zero value derives the
+// stretch bound from the initial spanner and uses default policies.
+type DynamicConfig = dynamic.Config
+
+// DynamicRebuildPolicy decides when incremental repair escalates to a full
+// rebuild (size ratio, accumulated repairs, batch count).
+type DynamicRebuildPolicy = dynamic.RebuildPolicy
+
+// DynamicMaintainer holds a graph plus a spanner certified at a fixed
+// stretch bound, and keeps the certificate valid across update batches:
+// insertions are filtered against coverage, deletions trigger localized
+// verifier-gated repair, and a rebuild policy bounds drift.
+type DynamicMaintainer = dynamic.Maintainer
+
+// DynamicBatchReport describes what one ApplyBatch did: admitted/filtered
+// insertions, repair scope, rebuild escalation, and the net graph/spanner
+// key diffs (the raw material of an artifact delta).
+type DynamicBatchReport = dynamic.BatchReport
+
+// UpdateStreamConfig parameterizes a seeded replayable update stream.
+type UpdateStreamConfig = dynamic.StreamConfig
+
+// Typed dynamic errors, matchable with errors.Is.
+var (
+	// ErrDynamicBadUpdate reports an out-of-range or self-loop update.
+	ErrDynamicBadUpdate = dynamic.ErrBadUpdate
+	// ErrDynamicInvalidSpanner reports an initial spanner that fails its
+	// own stretch certificate.
+	ErrDynamicInvalidSpanner = dynamic.ErrInvalidSpanner
+)
+
+// NewDynamicMaintainer starts incremental maintenance of spanner over g.
+// Both are cloned; the maintainer owns its copies.
+func NewDynamicMaintainer(g *Graph, spanner *EdgeSet, cfg DynamicConfig) (*DynamicMaintainer, error) {
+	return dynamic.NewMaintainer(g, spanner, cfg)
+}
+
+// DeriveStretchBound computes the worst-case spanner distance over graph
+// edges — the tightest odd-ish bound the spanner already certifies.
+func DeriveStretchBound(g *Graph, spanner *EdgeSet) (int, error) {
+	return dynamic.DeriveBound(g, spanner)
+}
+
+// GenerateUpdateStream produces a seeded, replayable batch stream against
+// g: insertions of absent edges, deletions of present ones, tracked
+// against the evolving edge set so every update is applicable in order.
+func GenerateUpdateStream(g *Graph, cfg UpdateStreamConfig) ([]DynamicBatch, error) {
+	return dynamic.GenerateStream(g, cfg)
+}
+
+// ParseUpdateStreamSpec parses "batches=8,size=64,insert=0.5" into a
+// stream config (seed is threaded separately so one global -seed governs
+// every randomized stage).
+func ParseUpdateStreamSpec(spec string) (UpdateStreamConfig, error) {
+	return dynamic.ParseStreamSpec(spec)
+}
+
+// UpdateLogWriter appends checksummed batch segments to an update log.
+type UpdateLogWriter = dynamic.LogWriter
+
+// CreateUpdateLog creates (truncates) an append-only update log.
+func CreateUpdateLog(path string) (*UpdateLogWriter, error) {
+	return dynamic.CreateLog(path)
+}
+
+// ReadUpdateLog replays an update log, returning every intact batch in
+// order. A torn or corrupt tail returns the valid prefix plus a typed
+// error (ErrUpdateLogTruncated and friends).
+func ReadUpdateLog(path string) ([]DynamicBatch, error) {
+	return dynamic.ReadLog(path)
+}
+
+// Typed update-log errors.
+var (
+	// ErrUpdateLogTruncated reports a torn tail (valid prefix returned).
+	ErrUpdateLogTruncated = dynamic.ErrLogTruncated
+	// ErrUpdateLogChecksum reports a segment failing its FNV footer.
+	ErrUpdateLogChecksum = dynamic.ErrLogChecksum
+)
+
+// ArtifactDelta is a patch between two artifact generations: ordered
+// checksummed segments of graph/spanner key edits bound to the base's
+// checksum. Apply reproduces the target artifact byte-identically.
+type ArtifactDelta = artifact.Delta
+
+// ArtifactDeltaSegment is one batch worth of edits inside a delta.
+type ArtifactDeltaSegment = artifact.DeltaSegment
+
+// ErrDeltaBaseMismatch reports a delta applied to an artifact other than
+// its base generation.
+var ErrDeltaBaseMismatch = artifact.ErrBaseMismatch
+
+// DiffArtifacts computes the single-segment delta turning base into next.
+func DiffArtifacts(base, next *Artifact) (*ArtifactDelta, error) {
+	return artifact.Diff(base, next)
+}
+
+// SaveDelta writes a delta atomically (temp file + rename) with a
+// checksum footer.
+func SaveDelta(path string, d *ArtifactDelta) error { return artifact.SaveDelta(path, d) }
+
+// LoadDelta reads a delta written by SaveDelta; corruption yields the
+// artifact package's typed errors, never a panic.
+func LoadDelta(path string) (*ArtifactDelta, error) { return artifact.LoadDelta(path) }

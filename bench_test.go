@@ -15,7 +15,9 @@ package spanner
 import (
 	"io"
 	"math"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"spanner/internal/cluster"
 	"spanner/internal/core"
@@ -966,4 +968,201 @@ func BenchmarkReliableOverhead(b *testing.B) {
 	b.Run("wrapped-drop10", func(b *testing.B) {
 		run(b, &faults.Plan{Seed: 7, Drop: 0.10}, true)
 	})
+}
+
+// --- Serving-layer and dynamic-maintenance benchmarks ---
+//
+// These cover the layers above the constructions: the artifact codec and
+// query engine (the serving layer) and the batched update maintainer (the
+// dynamic layer). cmd/benchtable -perf prints the same measurements as a
+// table via testing.Benchmark.
+
+var (
+	sinkBytes []byte
+	sinkArt   *Artifact
+)
+
+// perfGraph is the shared workload for the serving/dynamic benchmarks:
+// large enough that oracle construction and repair balls are non-trivial,
+// small enough that the delta-apply path (which rebuilds the oracle) stays
+// in benchmark range.
+func perfGraph(b *testing.B) (*Graph, *EdgeSet) {
+	b.Helper()
+	g := ConnectedGnp(2000, 16.0/2000, NewRand(1))
+	res, err := BaswanaSen(g, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, res.Spanner
+}
+
+// Serving throughput: sustained concurrent distance queries against a
+// loaded artifact (sharded workers, per-shard LRU caches). ns/op under
+// RunParallel is the per-query cost with every core hammering the engine.
+func BenchmarkServeThroughput(b *testing.B) {
+	g, s := perfGraph(b)
+	art, err := BuildArtifact(g, s, "baswana-sen", 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewServeEngine(art, ServeConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+
+	var seeds, fails atomic.Int64
+	nn := int32(g.N())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := NewRand(100 + seeds.Add(1))
+		for pb.Next() {
+			r := eng.Query(ServeRequest{Type: ServeQueryDist, U: rng.Int31n(nn), V: rng.Int31n(nn)})
+			if r.Err != nil {
+				fails.Add(1)
+			}
+		}
+	})
+	if f := fails.Load(); f > 0 {
+		b.Fatalf("%d of %d queries failed", f, b.N)
+	}
+}
+
+// Artifact codec: encode/decode of the single-file build artifact (graph +
+// spanner + oracle + routing as one checksummed word stream), and the delta
+// path — patching a base artifact to the next generation, which replays the
+// deterministic oracle/routing construction.
+func BenchmarkArtifactCodec(b *testing.B) {
+	g, s := perfGraph(b)
+	art, err := BuildArtifact(g, s, "baswana-sen", 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := MarshalArtifact(art)
+
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkBytes = MarshalArtifact(art)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := UnmarshalArtifact(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkArt = a
+		}
+	})
+
+	// Churn a few batches to get a genuinely different generation, then
+	// benchmark patching the base up to it.
+	m, err := NewDynamicMaintainer(g, s, DynamicConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream, err := GenerateUpdateStream(g, UpdateStreamConfig{Seed: 2, Batches: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bt := range stream {
+		if _, err := m.ApplyBatch(bt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	next, err := BuildArtifact(m.Graph(), m.Spanner(), "baswana-sen", 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := DiffArtifacts(art, next)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("delta-apply", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a, err := d.Apply(art)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkArt = a
+		}
+		b.ReportMetric(float64(len(d.Marshal()))/float64(len(blob)), "delta-bytes/artifact-bytes")
+	})
+}
+
+// Dynamic maintenance: amortized per-batch cost of the incremental
+// maintainer (witness-certificate filtering + localized repair) against
+// rebuilding a spanner of the repair stretch class from scratch. The
+// subsystem's reason to exist is incremental ≪ rebuild, so the parent
+// measures both once and fails if the ordering is violated (the D1
+// acceptance criterion; EXPERIMENTS.md records the table).
+func BenchmarkDynamicUpdate(b *testing.B) {
+	g, s := perfGraph(b)
+	bound, err := DeriveStretchBound(g, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kRepair := (bound + 1) / 2
+
+	b.Run("incremental-b32", func(b *testing.B) {
+		m, err := NewDynamicMaintainer(g, s, DynamicConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stream, err := GenerateUpdateStream(g, UpdateStreamConfig{Seed: 1, Batches: b.N, BatchSize: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.ApplyBatch(stream[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rebuild-b32", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := Greedy(g, kRepair)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sinkEdges = r.Spanner
+		}
+	})
+
+	// Asserted direction: a short measured run, independent of -benchtime.
+	m, err := NewDynamicMaintainer(g, s, DynamicConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const probe = 16
+	stream, err := GenerateUpdateStream(g, UpdateStreamConfig{Seed: 3, Batches: probe, BatchSize: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Now()
+	for _, bt := range stream {
+		if _, err := m.ApplyBatch(bt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	incPerBatch := time.Since(t0) / probe
+	t1 := time.Now()
+	if _, err := Greedy(m.Graph(), kRepair); err != nil {
+		b.Fatal(err)
+	}
+	rebuild := time.Since(t1)
+	b.Logf("amortized incremental %v/batch vs full rebuild %v (%.0fx)",
+		incPerBatch, rebuild, float64(rebuild)/float64(incPerBatch))
+	if incPerBatch >= rebuild {
+		b.Errorf("incremental maintenance (%v/batch) not cheaper than a full rebuild (%v)", incPerBatch, rebuild)
+	}
 }

@@ -8,6 +8,13 @@
 // Usage:
 //
 //	benchtable [-sizes 1000,2000,4000,8000] [-deg 16] [-seed 1] [-sources 32]
+//
+// With -perf it instead measures the layers above the constructions — the
+// serving engine's query throughput, the artifact codec (encode, decode,
+// delta apply), and dynamic maintenance against a from-scratch rebuild —
+// the same quantities the root BenchmarkServeThroughput,
+// BenchmarkArtifactCodec and BenchmarkDynamicUpdate report, printed as one
+// table. -perf uses the first -sizes entry as its graph size.
 package main
 
 import (
@@ -26,7 +33,15 @@ func main() {
 	family := flag.String("family", spanner.WorkloadGnp, "graph family (see spanner.Workloads)")
 	seed := flag.Int64("seed", 1, "random seed")
 	sources := flag.Int("sources", 32, "BFS sources for stretch sampling")
+	perf := flag.Bool("perf", false, "measure the serving/codec/dynamic layers instead of Fig. 1")
 	flag.Parse()
+	if *perf {
+		if err := runPerf(parseSizes(*sizes), *deg, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtable:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(parseSizes(*sizes), *family, *deg, *seed, *sources); err != nil {
 		fmt.Fprintln(os.Stderr, "benchtable:", err)
 		os.Exit(1)

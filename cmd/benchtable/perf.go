@@ -1,0 +1,172 @@
+package main
+
+// The -perf mode: a measured table for the serving and dynamic layers,
+// produced with testing.Benchmark over the public facade so the numbers
+// match the root benchmark suite (BenchmarkServeThroughput,
+// BenchmarkArtifactCodec, BenchmarkDynamicUpdate) run by `make bench`.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spanner"
+)
+
+// runPerf builds one artifact at the first requested size and times every
+// layer against it: concurrent serving, codec round trips, delta apply,
+// and incremental maintenance vs a from-scratch rebuild.
+func runPerf(sizes []int, deg float64, seed int64) error {
+	n := 2000
+	if len(sizes) > 0 {
+		n = sizes[0]
+	}
+	g := spanner.ConnectedGnp(n, deg/float64(n), spanner.NewRand(seed))
+	base, err := spanner.BaswanaSen(g, 2, seed)
+	if err != nil {
+		return err
+	}
+	art, err := spanner.BuildArtifact(g, base.Spanner, "baswana-sen", 2, seed)
+	if err != nil {
+		return err
+	}
+	blob := spanner.MarshalArtifact(art)
+	fmt.Printf("=== serving / codec / dynamic performance (n=%d m=%d |S|=%d, artifact %s, seed %d) ===\n",
+		g.N(), g.M(), base.Spanner.Len(), sizeOf(len(blob)), seed)
+	fmt.Printf("%-34s %14s   %s\n", "operation", "per op", "notes")
+
+	row := func(name string, r testing.BenchmarkResult, notes string) time.Duration {
+		per := time.Duration(r.NsPerOp())
+		fmt.Printf("%-34s %14v   %s\n", name, per, notes)
+		return per
+	}
+
+	// Serving: concurrent distance queries, all cores.
+	eng, err := spanner.NewServeEngine(art, spanner.ServeConfig{})
+	if err != nil {
+		return err
+	}
+	var benchErr error
+	qres := testing.Benchmark(func(b *testing.B) {
+		var seeds, fails atomic.Int64
+		nn := int32(g.N())
+		b.RunParallel(func(pb *testing.PB) {
+			rng := spanner.NewRand(100 + seeds.Add(1))
+			for pb.Next() {
+				r := eng.Query(spanner.ServeRequest{Type: spanner.ServeQueryDist, U: rng.Int31n(nn), V: rng.Int31n(nn)})
+				if r.Err != nil {
+					fails.Add(1)
+				}
+			}
+		})
+		if f := fails.Load(); f > 0 && benchErr == nil {
+			benchErr = fmt.Errorf("%d of %d queries failed", f, b.N)
+		}
+	})
+	eng.Close()
+	if benchErr != nil {
+		return benchErr
+	}
+	row("serve: dist query (parallel)", qres, fmt.Sprintf("%.2gM queries/s sustained", 1e3/float64(qres.NsPerOp())))
+
+	// Codec: encode and decode of the full artifact.
+	enc := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			blob = spanner.MarshalArtifact(art)
+		}
+	})
+	row("artifact: encode", enc, mbps(len(blob), enc))
+	dec := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.UnmarshalArtifact(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	row("artifact: decode", dec, mbps(len(blob), dec))
+
+	// Delta: churn a few batches, diff the generations, time the patch.
+	m, err := spanner.NewDynamicMaintainer(g, base.Spanner, spanner.DynamicConfig{})
+	if err != nil {
+		return err
+	}
+	stream, err := spanner.GenerateUpdateStream(g, spanner.UpdateStreamConfig{Seed: seed + 1, Batches: 4})
+	if err != nil {
+		return err
+	}
+	for _, bt := range stream {
+		if _, err := m.ApplyBatch(bt); err != nil {
+			return err
+		}
+	}
+	next, err := spanner.BuildArtifact(m.Graph(), m.Spanner(), "baswana-sen", 2, seed)
+	if err != nil {
+		return err
+	}
+	d, err := spanner.DiffArtifacts(art, next)
+	if err != nil {
+		return err
+	}
+	dapply := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Apply(art); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	row("artifact: delta apply", dapply,
+		fmt.Sprintf("%s delta vs %s full (%d updates)", sizeOf(len(d.Marshal())), sizeOf(len(blob)), d.Updates()))
+
+	// Dynamic: amortized incremental batch vs rebuilding the repair class.
+	bound, err := spanner.DeriveStretchBound(g, base.Spanner)
+	if err != nil {
+		return err
+	}
+	kRepair := (bound + 1) / 2
+	inc := testing.Benchmark(func(b *testing.B) {
+		mm, err := spanner.NewDynamicMaintainer(g, base.Spanner, spanner.DynamicConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := spanner.GenerateUpdateStream(g, spanner.UpdateStreamConfig{Seed: seed, Batches: b.N, BatchSize: 32})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := mm.ApplyBatch(st[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	incPer := row("dynamic: apply batch (32 upd)", inc, fmt.Sprintf("stretch bound %d maintained", bound))
+	reb := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spanner.Greedy(g, kRepair); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rebuildPer := time.Duration(reb.NsPerOp())
+	row("dynamic: full rebuild", reb,
+		fmt.Sprintf("greedy k=%d; %.0fx amortization per batch", kRepair, float64(rebuildPer)/float64(incPer)))
+	return nil
+}
+
+// mbps formats a result's throughput over a payload of the given size.
+func mbps(bytes int, r testing.BenchmarkResult) string {
+	return fmt.Sprintf("%.0f MB/s over %s", float64(bytes)/float64(r.NsPerOp())*1e3, sizeOf(bytes))
+}
+
+// sizeOf renders a byte count human-readably.
+func sizeOf(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

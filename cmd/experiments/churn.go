@@ -1,0 +1,168 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"spanner"
+)
+
+// eChurnSweep is the experiment behind EXPERIMENTS.md's "D1" table: sweep
+// the update-batch size over a live serving engine and measure what dynamic
+// maintenance costs end to end — per-batch apply latency (maintainer +
+// delta hot-swap), query tail latency sampled under churn, and spanner size
+// drift against a from-scratch rebuild of the final graph. Run with -churn;
+// it replaces the E1–E12 suite for that invocation.
+func eChurnSweep(cfg scaleCfg, seed int64) error {
+	// Half the suite scale: large enough that radius-bound repair balls are
+	// genuinely local (a fraction of the graph), which is the regime where
+	// incremental maintenance beats rebuilding.
+	n := cfg.n / 2
+	g := spanner.ConnectedGnp(n, cfg.deg/float64(n), spanner.NewRand(seed))
+	fmt.Printf("# D1 — churn sweep: update rate vs query latency vs size drift (n=%d, m=%d, seed %d)\n\n", g.N(), g.M(), seed)
+	fmt.Println("| batch size | batches | admitted | filtered | repaired | rebuilds | maintain p50 | maintain p99 | swap p99 | query p99 under churn | size vs rebuild | rebuild cost |")
+	fmt.Println("|-----------:|--------:|---------:|---------:|---------:|---------:|-------------:|-------------:|---------:|----------------------:|----------------:|-------------:|")
+
+	for _, batchSize := range []int{8, 32, 128} {
+		if err := churnRow(g, seed, batchSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// churnRow runs one sweep point: a fixed update budget split into batches
+// of the given size, applied to a maintainer feeding deltas into a serving
+// engine while query workers sample tail latency.
+func churnRow(g *spanner.Graph, seed int64, batchSize int) error {
+	base, err := spanner.BaswanaSen(g, 2, seed)
+	if err != nil {
+		return err
+	}
+	const updateBudget = 512
+	batches := (updateBudget + batchSize - 1) / batchSize
+
+	m, err := spanner.NewDynamicMaintainer(g, base.Spanner, spanner.DynamicConfig{})
+	if err != nil {
+		return err
+	}
+	stream, err := spanner.GenerateUpdateStream(g, spanner.UpdateStreamConfig{
+		Seed: seed, Batches: batches, BatchSize: batchSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	art, err := spanner.BuildArtifact(g, base.Spanner, "baswana-sen", 2, seed)
+	if err != nil {
+		return err
+	}
+	eng, err := spanner.NewServeEngine(art, spanner.ServeConfig{})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+
+	// Query workers hammer the engine for the whole churn window; their
+	// latencies are the "under churn" tail.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	queryLat := make([][]time.Duration, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := spanner.NewRand(seed + int64(id))
+			nn := int32(g.N())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				rep := eng.Query(spanner.ServeRequest{Type: spanner.ServeQueryDist, U: rng.Int31n(nn), V: rng.Int31n(nn)})
+				if rep.Err == nil {
+					queryLat[id] = append(queryLat[id], time.Since(t0))
+				}
+			}
+		}(w)
+	}
+
+	// maintainLat is the incremental maintenance cost (the thing amortized
+	// against a full rebuild); swapLat is the serving-side delta apply,
+	// dominated by the deterministic oracle/routing reconstruction a plain
+	// /swap would pay too — the delta's win there is wire size, not CPU.
+	var admitted, filtered, repaired, rebuilds int
+	maintainLat := make([]time.Duration, 0, len(stream))
+	swapLat := make([]time.Duration, 0, len(stream))
+	for _, b := range stream {
+		t0 := time.Now()
+		rep, err := m.ApplyBatch(b)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		maintainLat = append(maintainLat, time.Since(t0))
+		d := &spanner.ArtifactDelta{
+			BaseSum:  eng.Snapshot().Art.Checksum(),
+			Segments: []spanner.ArtifactDeltaSegment{rep.Segment()},
+		}
+		t1 := time.Now()
+		if _, err := eng.ApplyDelta(d); err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		swapLat = append(swapLat, time.Since(t1))
+		admitted += rep.Admitted
+		filtered += rep.Filtered
+		repaired += rep.RepairedEdges
+		if rep.Rebuilt {
+			rebuilds++
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	var allQ []time.Duration
+	for _, l := range queryLat {
+		allQ = append(allQ, l...)
+	}
+	sort.Slice(allQ, func(i, j int) bool { return allQ[i] < allQ[j] })
+	sort.Slice(maintainLat, func(i, j int) bool { return maintainLat[i] < maintainLat[j] })
+	sort.Slice(swapLat, func(i, j int) bool { return swapLat[i] < swapLat[j] })
+
+	// Size drift: the maintained spanner against a from-scratch rebuild of
+	// the final graph at the repair stretch class, and what that rebuild
+	// costs in wall time (the amortization argument for deltas).
+	finalG := m.Graph()
+	kRepair := (m.Bound() + 1) / 2
+	t0 := time.Now()
+	fresh, err := spanner.Greedy(finalG, kRepair)
+	if err != nil {
+		return err
+	}
+	rebuildCost := time.Since(t0)
+	drift := float64(m.Size()) / float64(fresh.Spanner.Len())
+
+	fmt.Printf("| %d | %d | %d | %d | %d | %d | %v | %v | %v | %v | %.2fx | %v |\n",
+		batchSize, len(stream), admitted, filtered, repaired, rebuilds,
+		pctDur(maintainLat, 0.50).Round(time.Microsecond),
+		pctDur(maintainLat, 0.99).Round(time.Microsecond),
+		pctDur(swapLat, 0.99).Round(time.Microsecond),
+		pctDur(allQ, 0.99).Round(time.Microsecond),
+		drift, rebuildCost.Round(time.Millisecond))
+	return nil
+}
+
+// pctDur returns the p-th percentile of sorted durations.
+func pctDur(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))]
+}

@@ -42,6 +42,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	faultSweep := flag.Bool("faults", false, "run only the fault-injection sweep (drop rate x stretch violations x repair)")
 	lossSweep := flag.Bool("loss-sweep", false, "run only the loss-rate sweep comparing heal-only recovery against the reliable transport")
+	churnSweep := flag.Bool("churn", false, "run only the dynamic-update churn sweep (batch size x apply/query latency x size drift)")
 	tracePath := flag.String("trace", "", "write a JSONL phase/metrics trace (summarize with cmd/tracestats)")
 	metricsSummary := flag.Bool("metrics-summary", false, "print the per-phase timing and metrics tables to stderr")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -92,6 +93,13 @@ func main() {
 	}
 	if *lossSweep {
 		if err := eLossSweep(cfg, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *churnSweep {
+		if err := eChurnSweep(cfg, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

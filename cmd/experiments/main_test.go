@@ -13,3 +13,14 @@ func TestRunTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestChurnSweepTiny covers the -churn sweep (serve engine + maintainer +
+// delta apply under query load) at a miniature scale.
+func TestChurnSweepTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the churn sweep pipeline")
+	}
+	if err := eChurnSweep(scaleCfg{n: 800, deg: 8}, 1); err != nil {
+		t.Fatal(err)
+	}
+}

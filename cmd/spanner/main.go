@@ -48,6 +48,15 @@ type output struct {
 	Delivered        int64  `json:"delivered,omitempty"`
 	LinksAbandoned   int64  `json:"linksAbandoned,omitempty"`
 	Degradation      string `json:"degradation,omitempty"`
+	// Dynamic updates (-update-stream / -apply-delta).
+	UpdateBatches int `json:"updateBatches,omitempty"`
+	Admitted      int `json:"updatesAdmitted,omitempty"`
+	Filtered      int `json:"updatesFiltered,omitempty"`
+	Repaired      int `json:"updatesRepaired,omitempty"`
+	Rebuilds      int `json:"updateRebuilds,omitempty"`
+	DynamicBound  int `json:"dynamicBound,omitempty"`
+	DeltaSegments int `json:"deltaSegments,omitempty"`
+	DeltaUpdates  int `json:"deltaUpdates,omitempty"`
 }
 
 func main() {
@@ -76,6 +85,10 @@ func run() error {
 		saveArtifact   = flag.String("save-artifact", "", "write a serving artifact (graph + spanner + distance oracle + routing scheme) for cmd/spannerd")
 		loadArtifact   = flag.String("load-artifact", "", "skip building: load a saved artifact and re-measure it (ignores -graph/-algo)")
 		oracleK        = flag.Int("oracle-k", 3, "distance-oracle stretch parameter for -save-artifact")
+		updateStream   = flag.String("update-stream", "", "after building, drive a seeded churn stream through the dynamic maintainer, e.g. batches=16,size=32,insert=0.5 (seeded by -seed)")
+		updateLog      = flag.String("update-log", "", "with -update-stream: append every generated batch to this checksummed replayable log")
+		saveDelta      = flag.String("save-delta", "", "with -update-stream: write the accumulated artifact delta (base = pre-churn build) to this file")
+		applyDelta     = flag.String("apply-delta", "", "with -load-artifact: apply this delta to the loaded artifact before measuring")
 		dotPath        = flag.String("dot", "", "write the graph with the spanner highlighted to a Graphviz DOT file")
 		faultsSpec     = flag.String("faults", "", "fault-injection spec for distributed algorithms, e.g. drop=0.02,dup=0.01,crash=17@3,link=2-11")
 		heal           = flag.Bool("heal", false, "verify the (possibly faulty) distributed build and repair it until the stretch bound holds")
@@ -123,14 +136,43 @@ func run() error {
 		}()
 	}
 
+	if *applyDelta != "" && *loadArtifact == "" {
+		return fmt.Errorf("-apply-delta requires -load-artifact")
+	}
+	if (*saveDelta != "" || *updateLog != "") && *updateStream == "" {
+		return fmt.Errorf("-save-delta/-update-log require -update-stream")
+	}
+	if *updateStream != "" && *loadArtifact != "" {
+		return fmt.Errorf("-update-stream applies to built spanners, not -load-artifact (use -apply-delta)")
+	}
+
 	// -load-artifact short-circuits the whole build: measure the saved
-	// spanner against its saved graph and exit.
+	// spanner against its saved graph and exit. With -apply-delta the
+	// loaded artifact is first patched forward — the same operation the
+	// serving daemon's /update endpoint performs in memory.
 	if *loadArtifact != "" {
 		art, err := spanner.LoadArtifact(*loadArtifact)
 		if err != nil {
 			return err
 		}
 		out := output{Graph: "artifact:" + *loadArtifact, N: art.Graph.N(), M: art.Graph.M(), Algo: art.Algo}
+		if *applyDelta != "" {
+			d, err := spanner.LoadDelta(*applyDelta)
+			if err != nil {
+				return err
+			}
+			if art, err = d.Apply(art); err != nil {
+				return fmt.Errorf("applying delta: %w", err)
+			}
+			out.M = art.Graph.M()
+			out.DeltaSegments = len(d.Segments)
+			out.DeltaUpdates = d.Updates()
+		}
+		if *saveArtifact != "" {
+			if err := spanner.SaveArtifact(*saveArtifact, art); err != nil {
+				return fmt.Errorf("saving artifact: %w", err)
+			}
+		}
 		rep := spanner.Measure(art.Graph, art.Spanner, spanner.MeasureOptions{Sources: *sources, Rng: spanner.NewRand(*seed + 1)})
 		out.SpannerM = rep.SpannerM
 		out.SizeRatio = rep.SizeRatio()
@@ -145,6 +187,9 @@ func run() error {
 			return enc.Encode(out)
 		}
 		fmt.Printf("artifact: %s (algo %s, k=%d, seed %d)\n", *loadArtifact, art.Algo, art.K, art.Seed)
+		if out.DeltaSegments > 0 {
+			fmt.Printf("delta: %s (%d segments, %d updates)\n", *applyDelta, out.DeltaSegments, out.DeltaUpdates)
+		}
 		fmt.Printf("graph: %d vertices, %d edges\n", out.N, out.M)
 		fmt.Printf("result: %v\n", rep)
 		return nil
@@ -341,6 +386,74 @@ func run() error {
 		}
 	}
 
+	// -update-stream: churn the freshly built spanner through the dynamic
+	// maintainer. The stream is generated from -seed alone (replayable); the
+	// -save-artifact above (if any) captured the pre-churn base, so the
+	// -save-delta patch applies onto it to reproduce the post-churn build.
+	if *updateStream != "" {
+		streamCfg, err := spanner.ParseUpdateStreamSpec(*updateStream)
+		if err != nil {
+			return err
+		}
+		streamCfg.Seed = *seed
+		batches, err := spanner.GenerateUpdateStream(g, streamCfg)
+		if err != nil {
+			return err
+		}
+		var lw *spanner.UpdateLogWriter
+		if *updateLog != "" {
+			if lw, err = spanner.CreateUpdateLog(*updateLog); err != nil {
+				return err
+			}
+		}
+		m, err := spanner.NewDynamicMaintainer(g, edges, spanner.DynamicConfig{VerifyEach: true, Obs: ob})
+		if err != nil {
+			return fmt.Errorf("dynamic maintainer over %s spanner: %w", *algo, err)
+		}
+		var segs []spanner.ArtifactDeltaSegment
+		for i, b := range batches {
+			if lw != nil {
+				if err := lw.Append(b); err != nil {
+					return err
+				}
+			}
+			rep, err := m.ApplyBatch(b)
+			if err != nil {
+				return fmt.Errorf("update batch %d: %w", i, err)
+			}
+			if !rep.Verified() {
+				return fmt.Errorf("update batch %d: %d certificate violations after repair", i, rep.PostViolations)
+			}
+			segs = append(segs, rep.Segment())
+			out.UpdateBatches++
+			out.Admitted += rep.Admitted
+			out.Filtered += rep.Filtered
+			out.Repaired += rep.RepairedEdges
+			if rep.Rebuilt {
+				out.Rebuilds++
+			}
+		}
+		if lw != nil {
+			if err := lw.Close(); err != nil {
+				return err
+			}
+		}
+		out.DynamicBound = m.Bound()
+		if *saveDelta != "" {
+			base, err := spanner.BuildArtifact(g, edges, *algo, *oracleK, *seed)
+			if err != nil {
+				return fmt.Errorf("building delta base: %w", err)
+			}
+			d := &spanner.ArtifactDelta{BaseSum: base.Checksum(), Segments: segs}
+			if err := spanner.SaveDelta(*saveDelta, d); err != nil {
+				return fmt.Errorf("saving delta: %w", err)
+			}
+		}
+		// Measure (and -dot) the post-churn state the maintainer certifies.
+		g, edges = m.Graph(), m.Spanner()
+		out.M = g.M()
+	}
+
 	if *dotPath != "" {
 		f, err := os.Create(*dotPath)
 		if err != nil {
@@ -391,6 +504,10 @@ func run() error {
 	}
 	if out.Degradation != "" {
 		fmt.Printf("degraded: %s\n", out.Degradation)
+	}
+	if out.UpdateBatches > 0 {
+		fmt.Printf("dynamic: %d batches at bound %d: admitted=%d filtered=%d repaired=%d rebuilds=%d\n",
+			out.UpdateBatches, out.DynamicBound, out.Admitted, out.Filtered, out.Repaired, out.Rebuilds)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"spanner/internal/artifact"
+	"spanner/internal/dynamic"
 	"spanner/internal/serve"
 )
 
@@ -25,6 +26,12 @@ type loadConfig struct {
 	Seed     int64
 	SwapEach time.Duration // hot-swap interval (0 = never)
 	Artifact string        // artifact path, reloaded for swaps
+
+	// ChurnEach applies one dynamic update batch at this interval (0 =
+	// never); Churn parameterizes the generated stream, seeded by Seed so
+	// churn runs are byte-reproducible like the query workload.
+	ChurnEach time.Duration
+	Churn     dynamic.StreamConfig
 }
 
 // parseMix parses "dist=8,path=1,route=1" into per-type weights. Omitted
@@ -71,6 +78,15 @@ type loadReport struct {
 	elapsed time.Duration
 	stats   [3]typeStats
 	swaps   int
+
+	// Churn accounting (ChurnEach > 0 only).
+	updates    int
+	updateErrs int
+	admitted   int64
+	filtered   int64
+	repaired   int64
+	rebuilds   int64
+	updateLat  []time.Duration
 }
 
 // workload deterministically generates the query stream: pair selection is
@@ -149,6 +165,60 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 		}()
 	}
 
+	var churnWG sync.WaitGroup
+	if cfg.ChurnEach > 0 {
+		// Build the maintainer and the full seeded stream up front so the
+		// churn applied under load is byte-reproducible from cfg.Seed alone.
+		base := eng.Snapshot().Art
+		m, err := dynamic.NewMaintainer(base.Graph, base.Spanner, dynamic.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("loadgen churn: %w", err)
+		}
+		streamCfg := cfg.Churn
+		streamCfg.Seed = cfg.Seed
+		batches, err := dynamic.GenerateStream(base.Graph, streamCfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen churn: %w", err)
+		}
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			tick := time.NewTicker(cfg.ChurnEach)
+			defer tick.Stop()
+			for _, b := range batches {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+				}
+				batchRep, err := m.ApplyBatch(b)
+				if err != nil {
+					rep.updateErrs++
+					continue
+				}
+				d := &artifact.Delta{
+					BaseSum:  eng.Snapshot().Art.Checksum(),
+					Segments: []artifact.DeltaSegment{batchRep.Segment()},
+				}
+				t0 := time.Now()
+				if _, err := eng.ApplyDelta(d); err != nil {
+					// A concurrent -swap-every reload moves the base from
+					// under the maintainer; surface it rather than hide it.
+					rep.updateErrs++
+					continue
+				}
+				rep.updates++
+				rep.updateLat = append(rep.updateLat, time.Since(t0))
+				rep.admitted += int64(batchRep.Admitted)
+				rep.filtered += int64(batchRep.Filtered)
+				rep.repaired += int64(batchRep.RepairedEdges)
+				if batchRep.Rebuilt {
+					rep.rebuilds++
+				}
+			}
+		}()
+	}
+
 	type sample struct {
 		typ serve.QueryType
 		lat time.Duration
@@ -220,6 +290,7 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 	genWG.Wait()
 	close(stop)
 	swapWG.Wait()
+	churnWG.Wait()
 	close(results)
 	collectWG.Wait()
 	rep.elapsed = time.Since(start)
@@ -269,4 +340,10 @@ func (r *loadReport) write(w io.Writer) {
 	}
 	fmt.Fprintf(w, "total: %d queries in %v (%.0f qps)\n",
 		total, r.elapsed.Round(time.Millisecond), float64(total)/r.elapsed.Seconds())
+	if r.updates > 0 || r.updateErrs > 0 {
+		sort.Slice(r.updateLat, func(i, j int) bool { return r.updateLat[i] < r.updateLat[j] })
+		fmt.Fprintf(w, "updates: %d applied, %d failed; admitted=%d filtered=%d repaired=%d rebuilds=%d; apply p50=%v p99=%v\n",
+			r.updates, r.updateErrs, r.admitted, r.filtered, r.repaired, r.rebuilds,
+			pct(r.updateLat, 0.50).Round(time.Microsecond), pct(r.updateLat, 0.99).Round(time.Microsecond))
+	}
 }

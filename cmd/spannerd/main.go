@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"spanner/internal/artifact"
+	"spanner/internal/dynamic"
 	"spanner/internal/obs"
 	"spanner/internal/serve"
 )
@@ -47,14 +48,16 @@ func run() error {
 		cache    = flag.Int("cache", 0, "per-shard per-type LRU size (0 = default, <0 disables)")
 		deadline = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
 
-		loadgen  = flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
-		mode     = flag.String("mode", "closed", "loadgen mode: closed (fixed concurrency) | open (fixed arrival rate)")
-		conc     = flag.Int("conc", 16, "loadgen closed-loop concurrency")
-		rate     = flag.Float64("rate", 1000, "loadgen open-loop arrival rate (queries/sec)")
-		duration = flag.Duration("duration", 5*time.Second, "loadgen run length")
-		mix      = flag.String("mix", "dist=8,path=1,route=1", "loadgen query mix weights")
-		seed     = flag.Int64("seed", 1, "loadgen workload seed")
-		swapEach = flag.Duration("swap-every", 0, "loadgen: hot-swap the artifact at this interval (0 = never)")
+		loadgen   = flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
+		mode      = flag.String("mode", "closed", "loadgen mode: closed (fixed concurrency) | open (fixed arrival rate)")
+		conc      = flag.Int("conc", 16, "loadgen closed-loop concurrency")
+		rate      = flag.Float64("rate", 1000, "loadgen open-loop arrival rate (queries/sec)")
+		duration  = flag.Duration("duration", 5*time.Second, "loadgen run length")
+		mix       = flag.String("mix", "dist=8,path=1,route=1", "loadgen query mix weights")
+		seed      = flag.Int64("seed", 1, "loadgen workload and churn seed (byte-reproducible streams)")
+		swapEach  = flag.Duration("swap-every", 0, "loadgen: hot-swap the artifact at this interval (0 = never)")
+		churnEach = flag.Duration("churn-every", 0, "loadgen: apply a dynamic update batch at this interval (0 = never)")
+		churnSpec = flag.String("churn", "", "loadgen churn stream spec, e.g. batches=16,size=32,insert=0.5 (seeded by -seed)")
 	)
 	flag.Parse()
 
@@ -82,16 +85,23 @@ func run() error {
 
 	if *loadgen {
 		cfg := loadConfig{
-			Mode:     *mode,
-			Conc:     *conc,
-			Rate:     *rate,
-			Duration: *duration,
-			Seed:     *seed,
-			SwapEach: *swapEach,
-			Artifact: *artPath,
+			Mode:      *mode,
+			Conc:      *conc,
+			Rate:      *rate,
+			Duration:  *duration,
+			Seed:      *seed,
+			SwapEach:  *swapEach,
+			ChurnEach: *churnEach,
+			Artifact:  *artPath,
 		}
 		if cfg.Mix, err = parseMix(*mix); err != nil {
 			return err
+		}
+		if cfg.Churn, err = dynamic.ParseStreamSpec(*churnSpec); err != nil {
+			return err
+		}
+		if *churnSpec != "" && cfg.ChurnEach == 0 {
+			cfg.ChurnEach = time.Second
 		}
 		rep, err := runLoad(eng, cfg)
 		if err != nil {

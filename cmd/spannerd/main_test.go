@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"spanner/internal/artifact"
+	"spanner/internal/dynamic"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
 	"spanner/internal/serve"
@@ -280,5 +281,166 @@ func TestLoadgenSmoke(t *testing.T) {
 		if total == 0 {
 			t.Fatalf("%s: loadgen issued no queries", mode)
 		}
+	}
+}
+
+// testDeltaFile diffs the artifact against a one-spanner-edge-smaller next
+// generation and writes the delta to disk, returning the path and next.
+func testDeltaFile(t *testing.T, a *artifact.Artifact) (string, *artifact.Artifact) {
+	t.Helper()
+	keys := a.Spanner.Keys()
+	min := keys[0]
+	for _, k := range keys {
+		if k < min {
+			min = k
+		}
+	}
+	span := a.Spanner.Clone()
+	span.RemoveKey(min)
+	next, err := artifact.Build(a.Graph, span, a.Algo, a.K, a.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := artifact.Diff(a, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "patch.spandelta")
+	if err := artifact.SaveDelta(path, d); err != nil {
+		t.Fatal(err)
+	}
+	return path, next
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	a := testArtifact(t, 100, 7)
+	ts, eng := testServer(t, a)
+	deltaPath, next := testDeltaFile(t, a)
+	gen0 := eng.SnapshotID()
+
+	resp, err := http.Post(ts.URL+"/update", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"delta":%q}`, deltaPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Snapshot int64 `json:"snapshot"`
+		Updates  int   `json:"updates"`
+		Spanner  int   `json:"spanner"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Snapshot != gen0+1 || body.Updates == 0 {
+		t.Fatalf("update reply %+v after generation %d", body, gen0)
+	}
+	if body.Spanner != next.Spanner.Len() {
+		t.Fatalf("spanner size %d, patched artifact has %d", body.Spanner, next.Spanner.Len())
+	}
+	// Served answers now match the patched generation.
+	var rep replyJSON
+	r2, err := http.Get(ts.URL + "/query?type=dist&u=1&v=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if err := json.NewDecoder(r2.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if want := next.Oracle.Query(1, 9); rep.Dist != want {
+		t.Fatalf("served dist %d after update, patched oracle says %d", rep.Dist, want)
+	}
+
+	// Re-applying the same delta: the base has moved -> 409.
+	r3, err := http.Post(ts.URL+"/update", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"delta":%q}`, deltaPath)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusConflict {
+		t.Fatalf("stale delta status %d, want 409", r3.StatusCode)
+	}
+}
+
+func TestUpdateEndpointErrors(t *testing.T) {
+	a := testArtifact(t, 60, 9)
+	ts, _ := testServer(t, a)
+
+	// Not a delta file at all.
+	garbage := filepath.Join(t.TempDir(), "junk.spandelta")
+	if err := os.WriteFile(garbage, []byte("not a delta"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/update", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"delta":%q}`, garbage)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("garbage delta status %d, want 422", resp.StatusCode)
+	}
+	// Bad request body.
+	r2, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body status %d, want 400", r2.StatusCode)
+	}
+	// Wrong method.
+	r3, err := http.Get(ts.URL + "/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status %d, want 405", r3.StatusCode)
+	}
+}
+
+// TestLoadgenChurnSmoke drives the loadgen with live churn: seeded update
+// batches applied through ApplyDelta while queries run, with the report
+// carrying the update accounting.
+func TestLoadgenChurnSmoke(t *testing.T) {
+	a := testArtifact(t, 120, 11)
+	eng, err := serve.New(a, serve.Config{Shards: 2, CacheSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cfg := loadConfig{
+		Mode:      "closed",
+		Conc:      4,
+		Duration:  400 * time.Millisecond,
+		Mix:       [3]int{2, 1, 1},
+		Seed:      3,
+		ChurnEach: 40 * time.Millisecond,
+		Churn:     dynamic.StreamConfig{Batches: 6, BatchSize: 8},
+	}
+	rep, err := runLoad(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.updates == 0 {
+		t.Fatal("churn loadgen applied no updates")
+	}
+	if rep.updateErrs != 0 {
+		t.Fatalf("%d delta applies failed without a competing swap", rep.updateErrs)
+	}
+	var buf bytes.Buffer
+	rep.write(&buf)
+	if !strings.Contains(buf.String(), "updates: ") {
+		t.Fatalf("report missing update line:\n%s", buf.String())
+	}
+	// The engine's live generation advanced once per applied update.
+	if eng.SnapshotID() != int64(1+rep.updates) {
+		t.Fatalf("generation %d after %d updates", eng.SnapshotID(), rep.updates)
 	}
 }

@@ -29,6 +29,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/swap", s.handleSwap)
+	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	return mux
@@ -224,6 +225,46 @@ func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		"algo":     art.Algo,
 		"n":        art.Graph.N(),
 		"spanner":  art.Spanner.Len(),
+	})
+}
+
+// handleUpdate loads a delta from disk and applies it to the live snapshot
+// — the same zero-dropped-query hot swap as /swap, but patch-sized on the
+// wire. POST {"delta": "path"}. A delta bound to a generation that is no
+// longer live answers 409 so a retrying updater knows to re-diff.
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var body struct {
+		Delta string `json:"delta"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Delta == "" {
+		writeError(w, http.StatusBadRequest, `want {"delta":"path"}`)
+		return
+	}
+	d, err := artifact.LoadDelta(body.Delta)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "loading delta: "+err.Error())
+		return
+	}
+	gen, err := s.eng.ApplyDelta(d)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, artifact.ErrBaseMismatch) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	snap := s.eng.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"snapshot": gen,
+		"segments": len(d.Segments),
+		"updates":  d.Updates(),
+		"m":        snap.Art.Graph.M(),
+		"spanner":  snap.Art.Spanner.Len(),
 	})
 }
 

@@ -1,0 +1,326 @@
+package artifact
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"spanner/internal/graph"
+	"spanner/internal/oracle"
+	"spanner/internal/routing"
+)
+
+const (
+	// deltaMagic spells "SPANDLT1" as little-endian ASCII.
+	deltaMagic   int64 = 0x3154_4c44_4e41_5053
+	deltaVersion int64 = 1
+)
+
+// ErrBaseMismatch reports a delta applied to an artifact that is not the
+// base generation it was diffed against.
+var ErrBaseMismatch = errors.New("artifact: delta base checksum mismatch")
+
+// SegmentStats carries the dynamic maintainer's accounting through the
+// codec so serving daemons can expose admitted/filtered/repaired counters
+// for deltas they did not compute themselves.
+type SegmentStats struct {
+	Admitted, Filtered, Repaired, Rebuilds int64
+}
+
+// DeltaSegment is one ordered patch: edge keys to add to / delete from the
+// graph and the spanner. Keys are canonical (u<v packed), sorted strictly
+// increasing within each list — the deterministic-encoding contract the
+// base codec already follows.
+type DeltaSegment struct {
+	Stats              SegmentStats
+	GraphAdd, GraphDel []int64
+	SpanAdd, SpanDel   []int64
+}
+
+// Updates returns the total number of edge-key operations in the segment.
+func (s *DeltaSegment) Updates() int {
+	return len(s.GraphAdd) + len(s.GraphDel) + len(s.SpanAdd) + len(s.SpanDel)
+}
+
+// Delta is a base generation reference plus ordered patch segments. Apply
+// is strict: the base artifact's checksum must match BaseSum, and every
+// patch operation must be consistent with the state it patches.
+type Delta struct {
+	// BaseSum is the FNV checksum (Artifact.Checksum) of the base
+	// generation this delta applies to.
+	BaseSum  int64
+	Segments []DeltaSegment
+}
+
+// Updates returns the total edge-key operations across all segments.
+func (d *Delta) Updates() int {
+	total := 0
+	for i := range d.Segments {
+		total += d.Segments[i].Updates()
+	}
+	return total
+}
+
+// Checksum returns the FNV-1a checksum of the artifact's word stream — the
+// generation identity deltas bind to. Two artifacts have equal checksums
+// iff they marshal to identical bytes.
+func (a *Artifact) Checksum() int64 { return fnvWords(a.Words()) }
+
+// Diff computes the single-segment delta that patches base into next. Both
+// artifacts must be over the same vertex count; oracle and routing words
+// are not diffed — Apply rebuilds them deterministically from the patched
+// graph and the base's K and Seed.
+func Diff(base, next *Artifact) (*Delta, error) {
+	if base == nil || next == nil {
+		return nil, errors.New("artifact: Diff requires two artifacts")
+	}
+	if base.Graph.N() != next.Graph.N() {
+		return nil, fmt.Errorf("artifact: Diff across vertex counts (%d vs %d)", base.Graph.N(), next.Graph.N())
+	}
+	var seg DeltaSegment
+	baseEdges := graph.NewEdgeSet(base.Graph.M())
+	base.Graph.ForEachEdge(func(u, v int32) { baseEdges.Add(u, v) })
+	nextEdges := graph.NewEdgeSet(next.Graph.M())
+	next.Graph.ForEachEdge(func(u, v int32) { nextEdges.Add(u, v) })
+	nextEdges.ForEach(func(u, v int32) {
+		if !baseEdges.Has(u, v) {
+			seg.GraphAdd = append(seg.GraphAdd, graph.EdgeKey(u, v))
+		}
+	})
+	baseEdges.ForEach(func(u, v int32) {
+		if !nextEdges.Has(u, v) {
+			seg.GraphDel = append(seg.GraphDel, graph.EdgeKey(u, v))
+		}
+	})
+	next.Spanner.ForEach(func(u, v int32) {
+		if !base.Spanner.Has(u, v) {
+			seg.SpanAdd = append(seg.SpanAdd, graph.EdgeKey(u, v))
+		}
+	})
+	base.Spanner.ForEach(func(u, v int32) {
+		if !next.Spanner.Has(u, v) {
+			seg.SpanDel = append(seg.SpanDel, graph.EdgeKey(u, v))
+		}
+	})
+	sortInt64(seg.GraphAdd)
+	sortInt64(seg.GraphDel)
+	sortInt64(seg.SpanAdd)
+	sortInt64(seg.SpanDel)
+	return &Delta{BaseSum: base.Checksum(), Segments: []DeltaSegment{seg}}, nil
+}
+
+// Apply patches base with the delta's segments in order and returns a new
+// artifact: the patched graph and spanner, with the oracle and routing
+// scheme rebuilt deterministically from the base's K and Seed — so applying
+// a Diff(base, next) reproduces next byte-identically. Apply is strict:
+// ErrBaseMismatch when base is not the bound generation, ErrCorrupt when a
+// patch op conflicts with the state it patches (double add, missing
+// delete, spanner edge outside the graph).
+func (d *Delta) Apply(base *Artifact) (*Artifact, error) {
+	if base == nil {
+		return nil, errors.New("artifact: Apply requires a base artifact")
+	}
+	if got := base.Checksum(); got != d.BaseSum {
+		return nil, fmt.Errorf("%w: base has %#x, delta wants %#x", ErrBaseMismatch, uint64(got), uint64(d.BaseSum))
+	}
+	n := base.Graph.N()
+	edges := graph.NewEdgeSet(base.Graph.M())
+	base.Graph.ForEachEdge(func(u, v int32) { edges.Add(u, v) })
+	span := base.Spanner.Clone()
+	for si := range d.Segments {
+		seg := &d.Segments[si]
+		for _, k := range seg.GraphAdd {
+			if err := checkKey(k, n, si, "graph add"); err != nil {
+				return nil, err
+			}
+			if edges.HasKey(k) {
+				return nil, fmt.Errorf("%w: segment %d adds existing graph edge %d", ErrCorrupt, si, k)
+			}
+			edges.AddKey(k)
+		}
+		for _, k := range seg.GraphDel {
+			if err := checkKey(k, n, si, "graph del"); err != nil {
+				return nil, err
+			}
+			if !edges.HasKey(k) {
+				return nil, fmt.Errorf("%w: segment %d deletes absent graph edge %d", ErrCorrupt, si, k)
+			}
+			edges.RemoveKey(k)
+		}
+		for _, k := range seg.SpanAdd {
+			if err := checkKey(k, n, si, "spanner add"); err != nil {
+				return nil, err
+			}
+			if span.HasKey(k) {
+				return nil, fmt.Errorf("%w: segment %d adds existing spanner edge %d", ErrCorrupt, si, k)
+			}
+			span.AddKey(k)
+		}
+		for _, k := range seg.SpanDel {
+			if err := checkKey(k, n, si, "spanner del"); err != nil {
+				return nil, err
+			}
+			if !span.HasKey(k) {
+				return nil, fmt.Errorf("%w: segment %d deletes absent spanner edge %d", ErrCorrupt, si, k)
+			}
+			span.RemoveKey(k)
+		}
+	}
+	g := edges.ToGraph(n)
+	if !span.Subset(g) {
+		return nil, fmt.Errorf("%w: patched spanner has edges outside the patched graph", ErrCorrupt)
+	}
+	orc, err := oracle.New(g, base.K, base.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: rebuild oracle after delta: %w", err)
+	}
+	rt, err := routing.New(g, base.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: rebuild routing after delta: %w", err)
+	}
+	return &Artifact{Algo: base.Algo, Seed: base.Seed, K: base.K, Graph: g, Spanner: span, Oracle: orc, Routing: rt}, nil
+}
+
+func checkKey(k int64, n, seg int, what string) error {
+	u, v := graph.UnpackEdgeKey(k)
+	if u < 0 || v < 0 || int(u) >= n || int(v) >= n || u >= v {
+		return fmt.Errorf("%w: segment %d %s key %d out of range", ErrCorrupt, seg, what, k)
+	}
+	return nil
+}
+
+// Words serializes the delta (without the checksum footer Marshal appends):
+//
+//	deltaMagic | deltaVersion | baseSum | segCount |
+//	per segment: 4 stats words, then 4 × (len | keys...) in the order
+//	GraphAdd GraphDel SpanAdd SpanDel
+func (d *Delta) Words() []int64 {
+	w := []int64{deltaMagic, deltaVersion, d.BaseSum, int64(len(d.Segments))}
+	for i := range d.Segments {
+		seg := &d.Segments[i]
+		w = append(w, seg.Stats.Admitted, seg.Stats.Filtered, seg.Stats.Repaired, seg.Stats.Rebuilds)
+		for _, list := range [][]int64{seg.GraphAdd, seg.GraphDel, seg.SpanAdd, seg.SpanDel} {
+			w = append(w, int64(len(list)))
+			w = append(w, list...)
+		}
+	}
+	return w
+}
+
+// Marshal renders the delta as bytes: word stream plus FNV footer.
+func (d *Delta) Marshal() []byte {
+	words := d.Words()
+	words = append(words, fnvWords(words))
+	buf := make([]byte, 8*len(words))
+	for i, v := range words {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(v))
+	}
+	return buf
+}
+
+// UnmarshalDelta decodes delta bytes produced by Marshal. Failures are
+// typed (ErrTruncated, ErrChecksum, ErrMagic, ErrVersion, ErrCorrupt) and
+// malformed input never panics (fuzzed by FuzzDeltaDecode).
+func UnmarshalDelta(data []byte) (*Delta, error) {
+	if len(data)%8 != 0 || len(data) < 5*8 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(data))
+	}
+	words := make([]int64, len(data)/8)
+	for i := range words {
+		words[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	body, sum := words[:len(words)-1], words[len(words)-1]
+	if body[0] != deltaMagic {
+		return nil, fmt.Errorf("%w: not a delta file", ErrMagic)
+	}
+	if body[1] != deltaVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, body[1], deltaVersion)
+	}
+	if fnvWords(body) != sum {
+		return nil, ErrChecksum
+	}
+	r := &reader{buf: body, pos: 2}
+	d := &Delta{BaseSum: r.get()}
+	segs := r.count(8) // each segment holds at least 4 stats + 4 length words
+	if r.err != nil {
+		return nil, r.err
+	}
+	d.Segments = make([]DeltaSegment, segs)
+	for si := 0; si < segs; si++ {
+		seg := &d.Segments[si]
+		seg.Stats = SegmentStats{Admitted: r.get(), Filtered: r.get(), Repaired: r.get(), Rebuilds: r.get()}
+		if r.err == nil && (seg.Stats.Admitted < 0 || seg.Stats.Filtered < 0 || seg.Stats.Repaired < 0 || seg.Stats.Rebuilds < 0) {
+			return nil, fmt.Errorf("%w: segment %d has negative stats", ErrCorrupt, si)
+		}
+		for li, dst := range []*[]int64{&seg.GraphAdd, &seg.GraphDel, &seg.SpanAdd, &seg.SpanDel} {
+			cnt := r.count(1)
+			keys := r.slice(cnt)
+			if r.err != nil {
+				return nil, r.err
+			}
+			prev := int64(-1)
+			for _, k := range keys {
+				u, v := graph.UnpackEdgeKey(k)
+				if k <= prev || u < 0 || v <= u {
+					return nil, fmt.Errorf("%w: segment %d list %d key %d not sorted canonical", ErrCorrupt, si, li, k)
+				}
+				prev = k
+			}
+			if cnt > 0 {
+				*dst = append([]int64(nil), keys...)
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing words", ErrCorrupt, len(body)-r.pos)
+	}
+	return d, nil
+}
+
+// SaveDelta writes the delta to path via temp file and rename (the same
+// torn-write discipline as Save).
+func SaveDelta(path string, d *Delta) error {
+	buf := d.Marshal()
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".delta-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadDelta memory-loads a delta file written by SaveDelta.
+func LoadDelta(path string) (*Delta, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := UnmarshalDelta(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func sortInt64(ks []int64) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+}

@@ -1,0 +1,219 @@
+package artifact
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+// testDeltaPair builds a base artifact and a structurally different next
+// generation over the same vertex set: an edge removed from graph+spanner,
+// an edge added to both, and a spanner-only admission.
+func testDeltaPair(t testing.TB) (*Artifact, *Artifact) {
+	t.Helper()
+	base := testArtifact(t, 60, 2, 5)
+	n := base.Graph.N()
+	edges := graph.NewEdgeSet(base.Graph.M())
+	base.Graph.ForEachEdge(func(u, v int32) { edges.Add(u, v) })
+	span := base.Spanner.Clone()
+
+	// Remove one spanner edge from both graph and spanner — the canonical
+	// minimum key, so the fixture is stable across map iteration order.
+	keys := span.Keys()
+	min := keys[0]
+	for _, k := range keys {
+		if k < min {
+			min = k
+		}
+	}
+	ru, rv := graph.UnpackEdgeKey(min)
+	edges.Remove(ru, rv)
+	span.Remove(ru, rv)
+
+	// Add one fresh edge to graph and spanner.
+	var au, av int32 = -1, -1
+	for u := int32(0); u < int32(n) && au < 0; u++ {
+		for v := u + 1; v < int32(n); v++ {
+			if !edges.Has(u, v) && !(u == ru && v == rv) {
+				au, av = u, v
+				break
+			}
+		}
+	}
+	edges.Add(au, av)
+	span.Add(au, av)
+
+	next, err := Build(edges.ToGraph(n), span, base.Algo, base.K, base.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base, next
+}
+
+// TestDeltaDiffApplyRoundTrip is the acceptance check for the delta codec:
+// Diff(base, next) applied to base must reproduce next byte-identically,
+// including the rebuilt oracle and routing sections.
+func TestDeltaDiffApplyRoundTrip(t *testing.T) {
+	base, next := testDeltaPair(t)
+	d, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Updates() == 0 {
+		t.Fatal("diff of different artifacts is empty")
+	}
+	got, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), next.Marshal()) {
+		t.Fatal("Apply(Diff(base,next), base) is not byte-identical to next")
+	}
+}
+
+// TestDeltaCodecRoundTrip checks encode/decode fidelity: a decoded delta
+// applies onto its base with a byte-identical result.
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	base, next := testDeltaPair(t)
+	d, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Segments[0].Stats = SegmentStats{Admitted: 3, Filtered: 7, Repaired: 1, Rebuilds: 0}
+	decoded, err := UnmarshalDelta(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.BaseSum != d.BaseSum || decoded.Segments[0].Stats != d.Segments[0].Stats {
+		t.Fatalf("decoded delta drifted: %+v vs %+v", decoded, d)
+	}
+	if !bytes.Equal(decoded.Marshal(), d.Marshal()) {
+		t.Fatal("re-marshal is not byte-identical")
+	}
+	got, err := decoded.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Marshal(), next.Marshal()) {
+		t.Fatal("decoded delta does not apply byte-identically")
+	}
+}
+
+func TestDeltaSaveLoad(t *testing.T) {
+	base, next := testDeltaPair(t)
+	d, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "patch.spandelta")
+	if err := SaveDelta(path, d); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDelta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded.Marshal(), d.Marshal()) {
+		t.Fatal("save/load round trip drifted")
+	}
+}
+
+func TestDeltaBaseMismatch(t *testing.T) {
+	base, next := testDeltaPair(t)
+	d, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(next); !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("apply to wrong base: %v", err)
+	}
+	// Applying twice: the first apply moves the generation, so the second
+	// must refuse.
+	moved, err := d.Apply(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Apply(moved); !errors.Is(err, ErrBaseMismatch) {
+		t.Fatalf("re-apply onto moved base: %v", err)
+	}
+}
+
+func TestDeltaApplyStrict(t *testing.T) {
+	base, next := testDeltaPair(t)
+	fresh := func() *Delta {
+		d, err := Diff(base, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	// Adding an edge that already exists.
+	d := fresh()
+	var existing int64
+	base.Graph.ForEachEdge(func(u, v int32) { existing = graph.EdgeKey(u, v) })
+	d.Segments[0].GraphAdd = []int64{existing}
+	if _, err := d.Apply(base); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double add: %v", err)
+	}
+	// Deleting an absent edge.
+	d = fresh()
+	d.Segments[0].GraphDel = []int64{graph.EdgeKey(0, int32(base.Graph.N()-1))}
+	if !base.Graph.HasEdge(0, int32(base.Graph.N()-1)) {
+		if _, err := d.Apply(base); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("absent delete: %v", err)
+		}
+	}
+	// Spanner edge outside the patched graph.
+	d = fresh()
+	d.Segments[0].SpanAdd = append([]int64(nil), d.Segments[0].GraphDel...)
+	if len(d.Segments[0].SpanAdd) > 0 {
+		if _, err := d.Apply(base); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("spanner edge outside graph: %v", err)
+		}
+	}
+	// Out-of-range key.
+	d = fresh()
+	d.Segments[0].GraphAdd = []int64{graph.EdgeKey(0, int32(base.Graph.N()))}
+	if _, err := d.Apply(base); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range key: %v", err)
+	}
+}
+
+func TestDeltaDecodeTypedErrors(t *testing.T) {
+	base, next := testDeltaPair(t)
+	d, err := Diff(base, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := d.Marshal()
+
+	if _, err := UnmarshalDelta(valid[:16]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short input: %v", err)
+	}
+	if _, err := UnmarshalDelta(valid[:len(valid)-8]); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("missing footer: %v", err)
+	}
+	junk := append([]byte(nil), valid...)
+	junk[0] ^= 0xff
+	if _, err := UnmarshalDelta(junk); !errors.Is(err, ErrMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	skew := append([]byte(nil), valid...)
+	skew[8] = 0x7f
+	if _, err := UnmarshalDelta(skew); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version skew: %v", err)
+	}
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)/2] ^= 0x01
+	if _, err := UnmarshalDelta(flip); err == nil {
+		t.Fatal("bit flip decoded cleanly")
+	}
+	// Unsorted keys behind a valid checksum.
+	bad := &Delta{BaseSum: d.BaseSum, Segments: []DeltaSegment{{GraphAdd: []int64{graph.EdgeKey(3, 4), graph.EdgeKey(1, 2)}}}}
+	if _, err := UnmarshalDelta(bad.Marshal()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unsorted keys: %v", err)
+	}
+}

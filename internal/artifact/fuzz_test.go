@@ -44,3 +44,46 @@ func FuzzArtifactDecode(f *testing.F) {
 		t.Fatalf("untyped decode error: %v", err)
 	})
 }
+
+// FuzzDeltaDecode asserts the same decode contract for the delta codec:
+// UnmarshalDelta never panics, and every failure is a typed error. Seeds
+// cover a real diff, truncation classes, and magic/version skew.
+func FuzzDeltaDecode(f *testing.F) {
+	base, next := testDeltaPair(f)
+	d, err := Diff(base, next)
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid := d.Marshal()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-8]) // footer gone
+	f.Add(valid[:len(valid)/2]) // body truncated
+	f.Add(valid[:16])           // header only
+	f.Add([]byte{})
+	skew := append([]byte(nil), valid...)
+	skew[8] = 0x7f // version word
+	f.Add(skew)
+	junk := append([]byte(nil), valid...)
+	junk[0] ^= 0xff // magic word
+	f.Add(junk)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := UnmarshalDelta(data)
+		if err == nil {
+			if d == nil {
+				t.Fatal("nil delta decoded without error")
+			}
+			// A successfully decoded delta must re-marshal byte-identically.
+			if len(data) != len(d.Marshal()) {
+				t.Fatal("decoded delta re-marshals to a different length")
+			}
+			return
+		}
+		for _, typed := range []error{ErrTruncated, ErrChecksum, ErrMagic, ErrVersion, ErrCorrupt} {
+			if errors.Is(err, typed) {
+				return
+			}
+		}
+		t.Fatalf("untyped delta decode error: %v", err)
+	})
+}

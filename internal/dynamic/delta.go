@@ -1,0 +1,26 @@
+package dynamic
+
+import "spanner/internal/artifact"
+
+// Segment converts the batch's net edge deltas into an artifact patch
+// segment, carrying the maintainer's accounting in the stats words. The
+// report's key slices are already sorted canonical keys, so the segment
+// satisfies the delta codec's encoding contract as-is.
+func (r *BatchReport) Segment() artifact.DeltaSegment {
+	rebuilds := int64(0)
+	if r.Rebuilt {
+		rebuilds = 1
+	}
+	return artifact.DeltaSegment{
+		Stats: artifact.SegmentStats{
+			Admitted: int64(r.Admitted),
+			Filtered: int64(r.Filtered),
+			Repaired: int64(r.RepairedEdges),
+			Rebuilds: rebuilds,
+		},
+		GraphAdd: r.GraphAdd,
+		GraphDel: r.GraphDel,
+		SpanAdd:  r.SpanAdd,
+		SpanDel:  r.SpanDel,
+	}
+}

@@ -1,0 +1,133 @@
+package dynamic
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testLogBatches() []Batch {
+	return []Batch{
+		{{Op: OpInsert, U: 0, V: 3}, {Op: OpDelete, U: 1, V: 2}},
+		{{Op: OpDelete, U: 0, V: 3}},
+		{{Op: OpInsert, U: 2, V: 5}, {Op: OpInsert, U: 4, V: 7}, {Op: OpDelete, U: 2, V: 5}},
+	}
+}
+
+func writeTestLog(t *testing.T, batches []Batch) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "updates.spanlog")
+	w, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	want := testLogBatches()
+	got, err := ReadLog(writeTestLog(t, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLogTornTail checks the crash-recovery contract: a torn final segment
+// degrades to the valid prefix plus a typed error, never to garbage.
+func TestLogTornTail(t *testing.T) {
+	want := testLogBatches()
+	path := writeTestLog(t, want)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the last segment (it has 3+3+1 = 7 words).
+	got, err := DecodeLog(data[:len(data)-20])
+	if !errors.Is(err, ErrLogTruncated) && !errors.Is(err, ErrLogChecksum) {
+		t.Fatalf("torn tail error: %v", err)
+	}
+	if !reflect.DeepEqual(got, want[:2]) {
+		t.Fatalf("torn tail prefix:\n got %+v\nwant %+v", got, want[:2])
+	}
+}
+
+func TestLogChecksumCorruption(t *testing.T) {
+	want := testLogBatches()
+	path := writeTestLog(t, want)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte inside the second segment. Segment 1 occupies
+	// 3+2+1 = 6 words; corrupt a word within segment 2.
+	data[8*7+3] ^= 0xff
+	got, err := DecodeLog(data)
+	if !errors.Is(err, ErrLogChecksum) && !errors.Is(err, ErrLogMagic) &&
+		!errors.Is(err, ErrLogOrder) && !errors.Is(err, ErrLogCorrupt) && !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("corruption error: %v", err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], want[0]) {
+		t.Fatalf("corrupt log prefix: %+v", got)
+	}
+}
+
+func TestLogBadMagic(t *testing.T) {
+	path := writeTestLog(t, testLogBatches())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	got, err := DecodeLog(data)
+	if !errors.Is(err, ErrLogMagic) {
+		t.Fatalf("bad magic error: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("batches decoded past bad magic: %d", len(got))
+	}
+}
+
+func TestLogReplayThroughMaintainer(t *testing.T) {
+	// A generated stream written to the log and read back replays to the
+	// same maintained spanner as the in-memory stream.
+	m1, g := testMaintainer(t, 100, 11, Config{})
+	batches, err := GenerateStream(g, StreamConfig{Seed: 11, Batches: 4, BatchSize: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := ReadLog(writeTestLog(t, batches))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewMaintainer(g, m1.Spanner(), Config{Bound: m1.Bound()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batches {
+		if _, err := m1.ApplyBatch(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m2.ApplyBatch(replay[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k1, k2 := m1.Spanner().Keys(), m2.Spanner().Keys()
+	sortKeys(k1)
+	sortKeys(k2)
+	if !reflect.DeepEqual(k1, k2) {
+		t.Fatal("log replay diverged from the in-memory stream")
+	}
+}

@@ -1,0 +1,167 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"spanner/internal/graph"
+)
+
+// StreamConfig parameterizes a synthetic churn stream. The zero value (plus
+// a seed) is usable. Streams are byte-reproducible: the same graph, seed and
+// parameters always generate the same batches, independent of map iteration
+// order or GOMAXPROCS.
+type StreamConfig struct {
+	// Seed drives the stream's randomness (the repo-wide -seed convention).
+	Seed int64
+	// Batches is the number of update batches (default 8).
+	Batches int
+	// BatchSize is the number of updates per batch (default 32).
+	BatchSize int
+	// InsertFrac is the probability an update is an insertion (default 0.5).
+	InsertFrac float64
+}
+
+func (c StreamConfig) withDefaults() StreamConfig {
+	if c.Batches <= 0 {
+		c.Batches = 8
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.InsertFrac <= 0 {
+		c.InsertFrac = 0.5
+	}
+	if c.InsertFrac > 1 {
+		c.InsertFrac = 1
+	}
+	return c
+}
+
+// GenerateStream produces a replayable churn stream against g: every delete
+// hits an edge present at that point of the stream, every insert a
+// non-edge, so replaying the stream through a Maintainer sees no duplicate
+// inserts or missed deletes. The evolving edge set starts from g's edges in
+// canonical order.
+func GenerateStream(g *graph.Graph, cfg StreamConfig) ([]Batch, error) {
+	if g == nil {
+		return nil, errors.New("dynamic: nil graph")
+	}
+	n := int32(g.N())
+	if n < 2 {
+		return nil, fmt.Errorf("dynamic: need at least 2 vertices to generate updates, have %d", n)
+	}
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Evolving edge list + membership set, deterministic initial order.
+	keys := make([]int64, 0, g.M())
+	g.ForEachEdge(func(u, v int32) { keys = append(keys, graph.EdgeKey(u, v)) })
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	present := make(map[int64]int, len(keys)) // key -> index in keys
+	for i, k := range keys {
+		present[k] = i
+	}
+
+	insert := func() (Update, bool) {
+		// Rejection-sample a non-edge; give up on very dense graphs.
+		for tries := 0; tries < 64; tries++ {
+			u := rng.Int31n(n)
+			v := rng.Int31n(n)
+			if u == v {
+				continue
+			}
+			k := graph.EdgeKey(u, v)
+			if _, ok := present[k]; ok {
+				continue
+			}
+			present[k] = len(keys)
+			keys = append(keys, k)
+			cu, cv := graph.UnpackEdgeKey(k)
+			return Update{Op: OpInsert, U: cu, V: cv}, true
+		}
+		return Update{}, false
+	}
+	del := func() (Update, bool) {
+		if len(keys) == 0 {
+			return Update{}, false
+		}
+		i := rng.Intn(len(keys))
+		k := keys[i]
+		last := len(keys) - 1
+		keys[i] = keys[last]
+		present[keys[i]] = i
+		keys = keys[:last]
+		delete(present, k)
+		u, v := graph.UnpackEdgeKey(k)
+		return Update{Op: OpDelete, U: u, V: v}, true
+	}
+
+	batches := make([]Batch, cfg.Batches)
+	for bi := range batches {
+		b := make(Batch, 0, cfg.BatchSize)
+		for len(b) < cfg.BatchSize {
+			var up Update
+			var ok bool
+			if rng.Float64() < cfg.InsertFrac {
+				if up, ok = insert(); !ok {
+					up, ok = del()
+				}
+			} else {
+				if up, ok = del(); !ok {
+					up, ok = insert()
+				}
+			}
+			if !ok {
+				return nil, errors.New("dynamic: graph too dense and too sparse at once; cannot generate updates")
+			}
+			b = append(b, up)
+		}
+		batches[bi] = b
+	}
+	return batches, nil
+}
+
+// ParseStreamSpec parses a "batches=8,size=64,insert=0.5" spec into a
+// StreamConfig. The seed is not part of the spec — it threads in from the
+// global -seed flag so churn experiments follow the repo seeding contract.
+func ParseStreamSpec(spec string) (StreamConfig, error) {
+	var cfg StreamConfig
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return cfg, fmt.Errorf("dynamic: bad stream spec element %q (want key=value)", part)
+		}
+		key, val := strings.TrimSpace(kv[0]), strings.TrimSpace(kv[1])
+		switch key {
+		case "batches":
+			v, err := strconv.Atoi(val)
+			if err != nil || v <= 0 {
+				return cfg, fmt.Errorf("dynamic: bad batches %q", val)
+			}
+			cfg.Batches = v
+		case "size":
+			v, err := strconv.Atoi(val)
+			if err != nil || v <= 0 {
+				return cfg, fmt.Errorf("dynamic: bad size %q", val)
+			}
+			cfg.BatchSize = v
+		case "insert":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v <= 0 || v > 1 {
+				return cfg, fmt.Errorf("dynamic: bad insert fraction %q", val)
+			}
+			cfg.InsertFrac = v
+		default:
+			return cfg, fmt.Errorf("dynamic: unknown stream spec key %q", key)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,102 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"spanner/internal/graph"
+)
+
+func streamGraph(t testing.TB, n int, seed int64) *graph.Graph {
+	t.Helper()
+	return graph.ConnectedGnp(n, 8/float64(n), rand.New(rand.NewSource(seed)))
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	g := streamGraph(t, 200, 4)
+	cfg := StreamConfig{Seed: 42, Batches: 6, BatchSize: 30}
+	a, err := GenerateStream(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different streams")
+	}
+	cfg.Seed = 43
+	c, err := GenerateStream(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestGenerateStreamValidity replays the stream against an edge set and
+// checks the generator's contract: every insert hits a non-edge, every
+// delete an existing edge, at the point of the stream it occurs.
+func TestGenerateStreamValidity(t *testing.T) {
+	g := streamGraph(t, 150, 5)
+	batches, err := GenerateStream(g, StreamConfig{Seed: 5, Batches: 10, BatchSize: 40, InsertFrac: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 10 {
+		t.Fatalf("%d batches, want 10", len(batches))
+	}
+	es := graph.NewEdgeSet(g.M())
+	g.ForEachEdge(func(u, v int32) { es.Add(u, v) })
+	for bi, b := range batches {
+		if len(b) != 40 {
+			t.Fatalf("batch %d has %d updates, want 40", bi, len(b))
+		}
+		for _, up := range b {
+			if up.U < 0 || int(up.U) >= g.N() || up.V < 0 || int(up.V) >= g.N() || up.U == up.V {
+				t.Fatalf("batch %d: out-of-range update %+v", bi, up)
+			}
+			switch up.Op {
+			case OpInsert:
+				if es.Has(up.U, up.V) {
+					t.Fatalf("batch %d: insert of existing edge (%d,%d)", bi, up.U, up.V)
+				}
+				es.Add(up.U, up.V)
+			case OpDelete:
+				if !es.Has(up.U, up.V) {
+					t.Fatalf("batch %d: delete of absent edge (%d,%d)", bi, up.U, up.V)
+				}
+				es.Remove(up.U, up.V)
+			default:
+				t.Fatalf("batch %d: bad op %v", bi, up.Op)
+			}
+		}
+	}
+}
+
+func TestGenerateStreamTinyGraph(t *testing.T) {
+	if _, err := GenerateStream(graph.FromEdges(1, nil), StreamConfig{Seed: 1}); err == nil {
+		t.Fatal("1-vertex graph accepted")
+	}
+}
+
+func TestParseStreamSpec(t *testing.T) {
+	cfg, err := ParseStreamSpec("batches=4, size=16, insert=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Batches != 4 || cfg.BatchSize != 16 || cfg.InsertFrac != 0.25 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+	if cfg, err = ParseStreamSpec(""); err != nil || cfg.Batches != 0 {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+	for _, bad := range []string{"batches", "batches=0", "size=-1", "insert=0", "insert=1.5", "what=2"} {
+		if _, err := ParseStreamSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -38,6 +38,31 @@ func (s *EdgeSet) AddAll(other *EdgeSet) {
 	}
 }
 
+// Remove deletes the undirected edge (u,v); removing an absent edge is a
+// no-op. Dynamic maintenance uses this to apply deletion batches.
+func (s *EdgeSet) Remove(u, v int32) {
+	delete(s.set, EdgeKey(u, v))
+}
+
+// RemoveKey deletes a pre-packed edge key.
+func (s *EdgeSet) RemoveKey(k int64) { delete(s.set, k) }
+
+// HasKey reports whether a pre-packed edge key is present.
+func (s *EdgeSet) HasKey(k int64) bool {
+	_, ok := s.set[k]
+	return ok
+}
+
+// Clone returns an independent copy of the set. Mutating subsystems clone
+// their inputs so callers keep an unmodified view.
+func (s *EdgeSet) Clone() *EdgeSet {
+	c := NewEdgeSet(len(s.set))
+	for k := range s.set {
+		c.set[k] = struct{}{}
+	}
+	return c
+}
+
 // Has reports whether the undirected edge (u,v) is present.
 func (s *EdgeSet) Has(u, v int32) bool {
 	_, ok := s.set[EdgeKey(u, v)]

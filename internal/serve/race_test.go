@@ -85,3 +85,75 @@ func TestConcurrentReadersRace(t *testing.T) {
 		t.Fatal("concurrent reads mutated the artifact")
 	}
 }
+
+// TestDeltaApplyEvictionRace pins the interaction the epoch design leaves
+// implicit: per-shard caches self-invalidate on the first dequeue after a
+// generation change, and with a tiny capacity the LRU is simultaneously
+// evicting under reader pressure. A delta apply (patch + swap) landing in
+// the middle must not tear either structure. Run via `make dynamic`
+// (go test -race).
+func TestDeltaApplyEvictionRace(t *testing.T) {
+	a := testArtifact(t, 100, 13)
+	fwd, back, _ := testDelta(t, a)
+	// CacheSize 4 forces eviction on nearly every put; QueueDepth is large
+	// so no reads are rejected while an apply rebuilds the oracle.
+	e, err := New(a, Config{Shards: 2, QueueDepth: 4096, CacheSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const readers = 8
+	const iters = 300
+	n := int32(a.Graph.N())
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			x := uint32(seed)*2654435761 + 1
+			next := func() int32 {
+				x ^= x << 13
+				x ^= x >> 17
+				x ^= x << 5
+				return int32(x % uint32(n))
+			}
+			for i := 0; i < iters; i++ {
+				u, v := next(), next()
+				var rep Reply
+				switch i % 3 {
+				case 0:
+					rep = e.Query(Request{Type: QueryDist, U: u, V: v})
+				case 1:
+					rep = e.Query(Request{Type: QueryPath, U: u, V: v})
+				default:
+					rep = e.Query(Request{Type: QueryRoute, U: u, V: v})
+				}
+				if rep.Err != nil {
+					t.Errorf("query failed under delta churn: %v", rep.Err)
+					return
+				}
+			}
+		}(int32(r + 1))
+	}
+	// Apply deltas back and forth while the readers churn the caches. Each
+	// apply binds to the then-current generation, so alternating fwd/back
+	// always matches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 6; i++ {
+			var err error
+			if i%2 == 0 {
+				_, err = e.ApplyDelta(fwd)
+			} else {
+				_, err = e.ApplyDelta(back)
+			}
+			if err != nil {
+				t.Errorf("delta apply %d failed: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -195,6 +195,17 @@ type Engine struct {
 	batches   *obs.Histogram
 	routeHops *obs.Histogram
 	routeGain *obs.Histogram
+
+	// updateMu serializes ApplyDelta calls: each delta binds to a specific
+	// base generation, so concurrent applies must observe each other.
+	updateMu    sync.Mutex
+	updates     *obs.Counter
+	updateErrs  *obs.Counter
+	updateUS    *obs.Histogram
+	updAdmitted *obs.Counter
+	updFiltered *obs.Counter
+	updRepaired *obs.Counter
+	updRebuilds *obs.Counter
 }
 
 // New builds an engine over the artifact and starts its shard workers.
@@ -216,6 +227,13 @@ func New(a *artifact.Artifact, cfg Config) (*Engine, error) {
 		e.rejects[reason] = reg.Counter("serve.rejects", obs.Label{Key: "reason", Value: reason})
 	}
 	e.swaps = reg.Counter("serve.swaps")
+	e.updates = reg.Counter("serve.updates")
+	e.updateErrs = reg.Counter("serve.update.errors")
+	e.updateUS = reg.Histogram("serve.update.latency_us")
+	e.updAdmitted = reg.Counter("serve.update.admitted")
+	e.updFiltered = reg.Counter("serve.update.filtered")
+	e.updRepaired = reg.Counter("serve.update.repaired")
+	e.updRebuilds = reg.Counter("serve.update.rebuilds")
 	e.batches = reg.Histogram("serve.batch_size")
 	e.routeHops = reg.Histogram("serve.route.hops")
 	e.routeGain = reg.Histogram("serve.route.bound_minus_hops")

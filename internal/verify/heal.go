@@ -92,6 +92,9 @@ func ViolatedEdges(g *graph.Graph, s *graph.EdgeSet, bound int) [][2]int32 {
 	dist := sg.NewDistScratch()
 	var viol [][2]int32
 	for u := int32(0); int(u) < g.N(); u++ {
+		if len(g.Neighbors(u)) == 0 {
+			continue
+		}
 		reached := sg.TruncatedBFS(u, int32(bound), dist, nil)
 		for _, v := range g.Neighbors(u) {
 			if v > u && dist[v] == graph.Unreachable {
