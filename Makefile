@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck check clean
 
 all: build vet test
 
@@ -73,9 +73,19 @@ dynamic:
 	$(GO) test -run 'Delta|Update' -race ./internal/serve/... ./cmd/spannerd/...
 	$(GO) test -run 'Dynamic|Delta|Churn' -race .
 
-# The full gate: build, vet, unit tests, then the robustness, serving and
-# dynamic suites.
-check: build vet test faultcheck serve dynamic
+# The observability gate: histogram/tracer/SLO/Prometheus unit tests and
+# the daemon's metrics endpoints under the race detector, the spannertop
+# and tracestats tooling tests, the root trace-vs-histogram reconciliation
+# test, and the benchmark-backed ≤5% serving-overhead bar.
+obscheck:
+	$(GO) vet ./internal/obs/... ./cmd/spannerd/... ./cmd/spannertop/... ./cmd/tracestats/...
+	$(GO) test -race ./internal/obs/... ./cmd/spannerd/... ./cmd/spannertop/... ./cmd/tracestats/...
+	$(GO) test -run 'Obs|Trace|Metric|SLO|Prometheus' -race ./internal/serve/... .
+	$(GO) test -run TestObservabilityOverhead -count=1 ./internal/serve/
+
+# The full gate: build, vet, unit tests, then the robustness, serving,
+# dynamic and observability suites.
+check: build vet test faultcheck serve dynamic obscheck
 
 clean:
 	$(GO) clean ./...

@@ -564,6 +564,76 @@ func SummarizeTrace(events []TraceEvent) *TraceSummary { return obs.Summarize(ev
 // run compare equal.
 func StripTraceTimes(events []TraceEvent) []TraceEvent { return obs.StripTimes(events) }
 
+// LatencyHistogram is a lock-free log-bucketed (HDR-style) histogram with
+// bounded relative quantile error and mergeable snapshots.
+type LatencyHistogram = obs.Histogram
+
+// LatencyHistSnapshot is an immutable histogram snapshot supporting
+// Quantile, Merge and Sub (interval differencing).
+type LatencyHistSnapshot = obs.HistSnapshot
+
+// NewLatencyHistogram returns an empty histogram ready for concurrent use.
+func NewLatencyHistogram() *LatencyHistogram { return obs.NewHistogram() }
+
+// RequestTracer hands out request-scoped trace contexts for the serving
+// stack: propagated request ids, per-phase durations, deterministic 1-in-N
+// span sampling and a threshold-triggered slow-query log.
+type RequestTracer = obs.ReqTracer
+
+// RequestTrace is one request's trace context.
+type RequestTrace = obs.ReqTrace
+
+// RequestTracerConfig tunes a RequestTracer.
+type RequestTracerConfig = obs.ReqTracerConfig
+
+// RequestPhase indexes one phase of a served request's lifecycle.
+type RequestPhase = obs.ReqPhase
+
+// Request lifecycle phases, in execution order.
+const (
+	ReqPhaseAdmission = obs.ReqPhaseAdmission
+	ReqPhaseQueue     = obs.ReqPhaseQueue
+	ReqPhaseShard     = obs.ReqPhaseShard
+	ReqPhaseCache     = obs.ReqPhaseCache
+	ReqPhaseOracle    = obs.ReqPhaseOracle
+)
+
+// NewRequestTracer returns a tracer emitting sampled span trees into o.
+func NewRequestTracer(o *Observer, cfg RequestTracerConfig) *RequestTracer {
+	return obs.NewReqTracer(o, cfg)
+}
+
+// SLOMonitor tracks rolling-window availability and latency objectives with
+// multi-window burn-rate alerting (spannerd's /slo endpoint).
+type SLOMonitor = obs.SLOMonitor
+
+// SLOConfig parameterizes an SLOMonitor.
+type SLOConfig = obs.SLOConfig
+
+// SLOReport is the monitor's multi-window burn-rate report.
+type SLOReport = obs.SLOReport
+
+// NewSLOMonitor returns a monitor with the given objectives.
+func NewSLOMonitor(cfg SLOConfig) *SLOMonitor { return obs.NewSLOMonitor(cfg) }
+
+// WritePrometheusMetrics renders a registry snapshot in the Prometheus text
+// exposition format (what spannerd's /metricz?format=prom serves).
+func WritePrometheusMetrics(w io.Writer, snap []MetricValue) error {
+	return obs.WritePrometheus(w, snap)
+}
+
+// ParsePrometheusMetrics strictly parses Prometheus text exposition output;
+// any malformed line is an error naming its line number.
+func ParsePrometheusMetrics(r io.Reader) ([]PromMetricSample, error) {
+	return obs.ParsePrometheusText(r)
+}
+
+// PromMetricSample is one parsed exposition sample.
+type PromMetricSample = obs.PromSample
+
+// MetricValue is one registry snapshot entry.
+type MetricValue = obs.MetricValue
+
 // BaswanaSenObs is BaswanaSen with observability.
 func BaswanaSenObs(g *Graph, k int, seed int64, o *Observer) (*BaswanaSenResult, error) {
 	return baseline.BaswanaSenObs(g, k, seed, o)
@@ -673,6 +743,9 @@ var (
 	ErrServeDeadline = serve.ErrDeadline
 	// ErrServeClosed reports a query submitted after Close.
 	ErrServeClosed = serve.ErrClosed
+	// ErrServeNoRoute reports disconnected endpoints — a valid answer
+	// about the graph, not a serving failure.
+	ErrServeNoRoute = serve.ErrNoRoute
 )
 
 // NewServeEngine starts a query engine over the artifact.

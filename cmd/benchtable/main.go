@@ -14,7 +14,9 @@
 // delta apply), and dynamic maintenance against a from-scratch rebuild —
 // the same quantities the root BenchmarkServeThroughput,
 // BenchmarkArtifactCodec and BenchmarkDynamicUpdate report, printed as one
-// table. -perf uses the first -sizes entry as its graph size.
+// table. -perf uses the first -sizes entry as its graph size; add
+// -json out.json to sweep every -sizes entry and write a machine-readable
+// report (suite x family x size with ns/op and p50/p95/p99 per operation).
 package main
 
 import (
@@ -34,9 +36,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	sources := flag.Int("sources", 32, "BFS sources for stretch sampling")
 	perf := flag.Bool("perf", false, "measure the serving/codec/dynamic layers instead of Fig. 1")
+	jsonOut := flag.String("json", "", "with -perf: also write a machine-readable report (suite x family x size, ns/op + percentiles) to this path")
 	flag.Parse()
 	if *perf {
-		if err := runPerf(parseSizes(*sizes), *deg, *seed); err != nil {
+		if err := runPerf(parseSizes(*sizes), *family, *deg, *seed, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtable:", err)
 			os.Exit(1)
 		}

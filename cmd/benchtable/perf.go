@@ -4,9 +4,17 @@ package main
 // produced with testing.Benchmark over the public facade so the numbers
 // match the root benchmark suite (BenchmarkServeThroughput,
 // BenchmarkArtifactCodec, BenchmarkDynamicUpdate) run by `make bench`.
+//
+// Each operation is additionally timed per iteration into a mergeable
+// latency histogram, so -json reports carry tail percentiles (p50/p95/p99)
+// alongside the mean ns/op that testing.Benchmark produces.
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"os"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,48 +22,126 @@ import (
 	"spanner"
 )
 
-// runPerf builds one artifact at the first requested size and times every
-// layer against it: concurrent serving, codec round trips, delta apply,
-// and incremental maintenance vs a from-scratch rebuild.
-func runPerf(sizes []int, deg float64, seed int64) error {
-	n := 2000
-	if len(sizes) > 0 {
-		n = sizes[0]
+// perfEntry is one (suite, op, family, size) cell of the machine-readable
+// perf report.
+type perfEntry struct {
+	Suite   string `json:"suite"`
+	Op      string `json:"op"`
+	Family  string `json:"family"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Ops     int64  `json:"ops"`
+	P50NS   int64  `json:"p50_ns"`
+	P95NS   int64  `json:"p95_ns"`
+	P99NS   int64  `json:"p99_ns"`
+	Notes   string `json:"notes,omitempty"`
+}
+
+// perfReport is the top-level BENCH_PR6.json document.
+type perfReport struct {
+	Benchmark  string      `json:"benchmark"`
+	GoVersion  string      `json:"go_version"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Seed       int64       `json:"seed"`
+	AvgDegree  float64     `json:"avg_degree"`
+	Entries    []perfEntry `json:"entries"`
+}
+
+// runPerf times every serving/codec/dynamic layer. The printed table uses
+// the first requested size; with -json every size in -sizes is measured
+// and the full suite × family × size grid is written to the given path.
+func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath string) error {
+	if len(sizes) == 0 {
+		sizes = []int{2000}
 	}
-	g := spanner.ConnectedGnp(n, deg/float64(n), spanner.NewRand(seed))
-	base, err := spanner.BaswanaSen(g, 2, seed)
+	perfSizes := sizes[:1]
+	if jsonPath != "" {
+		perfSizes = sizes
+	}
+	var entries []perfEntry
+	for _, n := range perfSizes {
+		es, err := perfSize(n, family, deg, seed)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, es...)
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	rep := perfReport{
+		Benchmark:  "benchtable -perf",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		AvgDegree:  deg,
+		Entries:    entries,
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d entries to %s\n", len(entries), jsonPath)
+	return nil
+}
+
+// perfSize builds one artifact at the given size and times every layer
+// against it: concurrent serving, codec round trips, delta apply, and
+// incremental maintenance vs a from-scratch rebuild.
+func perfSize(n int, family string, deg float64, seed int64) ([]perfEntry, error) {
+	g, err := spanner.MakeWorkload(family, n, deg, spanner.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	base, err := spanner.BaswanaSen(g, 2, seed)
+	if err != nil {
+		return nil, err
 	}
 	art, err := spanner.BuildArtifact(g, base.Spanner, "baswana-sen", 2, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	blob := spanner.MarshalArtifact(art)
 	fmt.Printf("=== serving / codec / dynamic performance (n=%d m=%d |S|=%d, artifact %s, seed %d) ===\n",
 		g.N(), g.M(), base.Spanner.Len(), sizeOf(len(blob)), seed)
 	fmt.Printf("%-34s %14s   %s\n", "operation", "per op", "notes")
 
-	row := func(name string, r testing.BenchmarkResult, notes string) time.Duration {
+	var entries []perfEntry
+	row := func(suite, op, name string, r testing.BenchmarkResult, h *spanner.LatencyHistogram, notes string) time.Duration {
 		per := time.Duration(r.NsPerOp())
 		fmt.Printf("%-34s %14v   %s\n", name, per, notes)
+		s := h.Snapshot()
+		entries = append(entries, perfEntry{
+			Suite: suite, Op: op, Family: family, N: g.N(), M: g.M(),
+			NsPerOp: r.NsPerOp(), Ops: int64(r.N),
+			P50NS: s.Quantile(0.50), P95NS: s.Quantile(0.95), P99NS: s.Quantile(0.99),
+			Notes: notes,
+		})
 		return per
 	}
 
-	// Serving: concurrent distance queries, all cores.
+	// Serving: concurrent distance queries, all cores. ErrNoRoute is a
+	// valid answer on families with isolated components, not a failure.
 	eng, err := spanner.NewServeEngine(art, spanner.ServeConfig{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var benchErr error
+	qhist := spanner.NewLatencyHistogram()
 	qres := testing.Benchmark(func(b *testing.B) {
 		var seeds, fails atomic.Int64
 		nn := int32(g.N())
 		b.RunParallel(func(pb *testing.PB) {
 			rng := spanner.NewRand(100 + seeds.Add(1))
 			for pb.Next() {
+				t0 := time.Now()
 				r := eng.Query(spanner.ServeRequest{Type: spanner.ServeQueryDist, U: rng.Int31n(nn), V: rng.Int31n(nn)})
-				if r.Err != nil {
+				qhist.Observe(time.Since(t0).Nanoseconds())
+				if r.Err != nil && !errors.Is(r.Err, spanner.ErrServeNoRoute) {
 					fails.Add(1)
 				}
 			}
@@ -66,64 +152,75 @@ func runPerf(sizes []int, deg float64, seed int64) error {
 	})
 	eng.Close()
 	if benchErr != nil {
-		return benchErr
+		return nil, benchErr
 	}
-	row("serve: dist query (parallel)", qres, fmt.Sprintf("%.2gM queries/s sustained", 1e3/float64(qres.NsPerOp())))
+	row("serve", "dist_query_parallel", "serve: dist query (parallel)", qres, qhist,
+		fmt.Sprintf("%.2gM queries/s sustained", 1e3/float64(qres.NsPerOp())))
 
 	// Codec: encode and decode of the full artifact.
+	ehist := spanner.NewLatencyHistogram()
 	enc := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			blob = spanner.MarshalArtifact(art)
+			ehist.Observe(time.Since(t0).Nanoseconds())
 		}
 	})
-	row("artifact: encode", enc, mbps(len(blob), enc))
+	row("codec", "encode", "artifact: encode", enc, ehist, mbps(len(blob), enc))
+	dhist := spanner.NewLatencyHistogram()
 	dec := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			if _, err := spanner.UnmarshalArtifact(blob); err != nil {
 				b.Fatal(err)
 			}
+			dhist.Observe(time.Since(t0).Nanoseconds())
 		}
 	})
-	row("artifact: decode", dec, mbps(len(blob), dec))
+	row("codec", "decode", "artifact: decode", dec, dhist, mbps(len(blob), dec))
 
 	// Delta: churn a few batches, diff the generations, time the patch.
 	m, err := spanner.NewDynamicMaintainer(g, base.Spanner, spanner.DynamicConfig{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	stream, err := spanner.GenerateUpdateStream(g, spanner.UpdateStreamConfig{Seed: seed + 1, Batches: 4})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, bt := range stream {
 		if _, err := m.ApplyBatch(bt); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	next, err := spanner.BuildArtifact(m.Graph(), m.Spanner(), "baswana-sen", 2, seed)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	d, err := spanner.DiffArtifacts(art, next)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	ahist := spanner.NewLatencyHistogram()
 	dapply := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			if _, err := d.Apply(art); err != nil {
 				b.Fatal(err)
 			}
+			ahist.Observe(time.Since(t0).Nanoseconds())
 		}
 	})
-	row("artifact: delta apply", dapply,
+	row("codec", "delta_apply", "artifact: delta apply", dapply, ahist,
 		fmt.Sprintf("%s delta vs %s full (%d updates)", sizeOf(len(d.Marshal())), sizeOf(len(blob)), d.Updates()))
 
 	// Dynamic: amortized incremental batch vs rebuilding the repair class.
 	bound, err := spanner.DeriveStretchBound(g, base.Spanner)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	kRepair := (bound + 1) / 2
+	ihist := spanner.NewLatencyHistogram()
 	inc := testing.Benchmark(func(b *testing.B) {
 		mm, err := spanner.NewDynamicMaintainer(g, base.Spanner, spanner.DynamicConfig{})
 		if err != nil {
@@ -135,23 +232,29 @@ func runPerf(sizes []int, deg float64, seed int64) error {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			if _, err := mm.ApplyBatch(st[i]); err != nil {
 				b.Fatal(err)
 			}
+			ihist.Observe(time.Since(t0).Nanoseconds())
 		}
 	})
-	incPer := row("dynamic: apply batch (32 upd)", inc, fmt.Sprintf("stretch bound %d maintained", bound))
+	incPer := row("dynamic", "apply_batch_32", "dynamic: apply batch (32 upd)", inc, ihist,
+		fmt.Sprintf("stretch bound %d maintained", bound))
+	rhist := spanner.NewLatencyHistogram()
 	reb := testing.Benchmark(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
 			if _, err := spanner.Greedy(g, kRepair); err != nil {
 				b.Fatal(err)
 			}
+			rhist.Observe(time.Since(t0).Nanoseconds())
 		}
 	})
 	rebuildPer := time.Duration(reb.NsPerOp())
-	row("dynamic: full rebuild", reb,
+	row("dynamic", "full_rebuild", "dynamic: full rebuild", reb, rhist,
 		fmt.Sprintf("greedy k=%d; %.0fx amortization per batch", kRepair, float64(rebuildPer)/float64(incPer)))
-	return nil
+	return entries, nil
 }
 
 // mbps formats a result's throughput over a payload of the given size.

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -13,6 +12,7 @@ import (
 
 	"spanner/internal/artifact"
 	"spanner/internal/dynamic"
+	"spanner/internal/obs"
 	"spanner/internal/serve"
 )
 
@@ -63,13 +63,16 @@ func parseMix(s string) ([3]int, error) {
 	return mix, nil
 }
 
-// typeStats accumulates one query type's outcomes.
+// typeStats accumulates one query type's outcomes. Latencies go into a
+// log-bucketed histogram (nanoseconds, answered queries only) instead of an
+// unbounded sample slice, so percentiles cost O(buckets) and long runs stay
+// flat on memory.
 type typeStats struct {
-	latencies []time.Duration // successful queries only
-	ok        int64
-	cached    int64
-	noroute   int64
-	rejected  int64 // overload + deadline + closed
+	lat      *obs.Histogram
+	ok       int64
+	cached   int64
+	noroute  int64
+	rejected int64 // overload + deadline + closed
 }
 
 // loadReport is the printable outcome of a run.
@@ -86,7 +89,15 @@ type loadReport struct {
 	filtered   int64
 	repaired   int64
 	rebuilds   int64
-	updateLat  []time.Duration
+	updateLat  *obs.Histogram
+}
+
+func newLoadReport(cfg loadConfig) *loadReport {
+	rep := &loadReport{cfg: cfg, updateLat: obs.NewHistogram()}
+	for i := range rep.stats {
+		rep.stats[i].lat = obs.NewHistogram()
+	}
+	return rep
 }
 
 // workload deterministically generates the query stream: pair selection is
@@ -138,7 +149,7 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 		return nil, fmt.Errorf("unknown loadgen mode %q", cfg.Mode)
 	}
 	snapN := int32(eng.Snapshot().N())
-	rep := &loadReport{cfg: cfg}
+	rep := newLoadReport(cfg)
 
 	stop := make(chan struct{})
 	var swapWG sync.WaitGroup
@@ -208,7 +219,7 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 					continue
 				}
 				rep.updates++
-				rep.updateLat = append(rep.updateLat, time.Since(t0))
+				rep.updateLat.Observe(time.Since(t0).Nanoseconds())
 				rep.admitted += int64(batchRep.Admitted)
 				rep.filtered += int64(batchRep.Filtered)
 				rep.repaired += int64(batchRep.RepairedEdges)
@@ -234,13 +245,13 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 			switch {
 			case s.rep.Err == nil:
 				st.ok++
-				st.latencies = append(st.latencies, s.lat)
+				st.lat.Observe(s.lat.Nanoseconds())
 				if s.rep.Cached {
 					st.cached++
 				}
 			case errors.Is(s.rep.Err, serve.ErrNoRoute):
 				st.noroute++
-				st.latencies = append(st.latencies, s.lat)
+				st.lat.Observe(s.lat.Nanoseconds())
 			default:
 				st.rejected++
 			}
@@ -297,13 +308,9 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 	return rep, nil
 }
 
-// pct returns the p-th percentile of sorted latencies.
-func pct(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(p * float64(len(sorted)-1))
-	return sorted[i]
+// pct reads the p-th percentile out of a latency histogram snapshot.
+func pct(s *obs.HistSnapshot, p float64) time.Duration {
+	return time.Duration(s.Quantile(p))
 }
 
 // write prints the per-type latency table and the run summary.
@@ -324,26 +331,26 @@ func (r *loadReport) write(w io.Writer) {
 	var total int64
 	for t := serve.QueryType(0); t < 3; t++ {
 		st := &r.stats[t]
-		n := int64(len(st.latencies)) + st.rejected
+		snap := st.lat.Snapshot()
+		n := snap.Count + st.rejected
 		if n == 0 {
 			continue
 		}
 		total += n
-		sort.Slice(st.latencies, func(i, j int) bool { return st.latencies[i] < st.latencies[j] })
-		qps := float64(len(st.latencies)) / r.elapsed.Seconds()
+		qps := float64(snap.Count) / r.elapsed.Seconds()
 		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %10v %10v %10v %12.0f\n",
 			t, n, st.cached, st.noroute, st.rejected,
-			pct(st.latencies, 0.50).Round(time.Microsecond),
-			pct(st.latencies, 0.95).Round(time.Microsecond),
-			pct(st.latencies, 0.99).Round(time.Microsecond),
+			pct(snap, 0.50).Round(time.Microsecond),
+			pct(snap, 0.95).Round(time.Microsecond),
+			pct(snap, 0.99).Round(time.Microsecond),
 			qps)
 	}
 	fmt.Fprintf(w, "total: %d queries in %v (%.0f qps)\n",
 		total, r.elapsed.Round(time.Millisecond), float64(total)/r.elapsed.Seconds())
 	if r.updates > 0 || r.updateErrs > 0 {
-		sort.Slice(r.updateLat, func(i, j int) bool { return r.updateLat[i] < r.updateLat[j] })
+		uSnap := r.updateLat.Snapshot()
 		fmt.Fprintf(w, "updates: %d applied, %d failed; admitted=%d filtered=%d repaired=%d rebuilds=%d; apply p50=%v p99=%v\n",
 			r.updates, r.updateErrs, r.admitted, r.filtered, r.repaired, r.rebuilds,
-			pct(r.updateLat, 0.50).Round(time.Microsecond), pct(r.updateLat, 0.99).Round(time.Microsecond))
+			pct(uSnap, 0.50).Round(time.Microsecond), pct(uSnap, 0.99).Round(time.Microsecond))
 	}
 }

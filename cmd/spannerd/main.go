@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +49,13 @@ func run() error {
 		cache    = flag.Int("cache", 0, "per-shard per-type LRU size (0 = default, <0 disables)")
 		deadline = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
 
+		traceSample = flag.Int("trace-sample", 64, "emit a span tree for 1 in N requests (0 = off)")
+		slowQuery   = flag.Duration("slow-query", 25*time.Millisecond, "log any request slower than this with its phase breakdown (0 = off)")
+		sloWindow   = flag.Duration("slo-window", time.Hour, "SLO long observation window (fast window = 1/12th)")
+		sloAvail    = flag.Float64("slo-availability", 0.999, "SLO availability objective (fraction of requests that must not fail)")
+		sloLatObj   = flag.Float64("slo-latency-objective", 0.99, "SLO latency objective (fraction of requests under -slo-latency-threshold)")
+		sloLatTh    = flag.Duration("slo-latency-threshold", 50*time.Millisecond, "SLO latency objective threshold")
+
 		loadgen   = flag.Bool("loadgen", false, "run the load generator instead of the HTTP server")
 		mode      = flag.String("mode", "closed", "loadgen mode: closed (fixed concurrency) | open (fixed arrival rate)")
 		conc      = flag.Int("conc", 16, "loadgen closed-loop concurrency")
@@ -68,20 +76,37 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("loading artifact: %w", err)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	ob := obs.New()
+	var tracer *obs.ReqTracer
+	if *traceSample > 0 || *slowQuery > 0 {
+		tracer = obs.NewReqTracer(ob, obs.ReqTracerConfig{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *slowQuery,
+			Logger:        logger,
+		})
+	}
+	slo := obs.NewSLOMonitor(obs.SLOConfig{
+		Availability:     *sloAvail,
+		LatencyObjective: *sloLatObj,
+		LatencyThreshold: *sloLatTh,
+		Window:           *sloWindow,
+	})
 	eng, err := serve.New(art, serve.Config{
 		Shards:          *shards,
 		QueueDepth:      *queue,
 		CacheSize:       *cache,
 		DefaultDeadline: *deadline,
 		Obs:             ob,
+		Tracer:          tracer,
+		SLO:             slo,
 	})
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	fmt.Fprintf(os.Stderr, "spannerd: loaded %s (algo=%s n=%d spanner=%d edges), generation %d\n",
-		*artPath, art.Algo, art.Graph.N(), art.Spanner.Len(), eng.SnapshotID())
+	logger.Info("artifact loaded", "path", *artPath, "algo", art.Algo,
+		"n", art.Graph.N(), "spanner", art.Spanner.Len(), "generation", eng.SnapshotID())
 
 	if *loadgen {
 		cfg := loadConfig{
@@ -111,10 +136,13 @@ func run() error {
 		return nil
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(eng, ob).routes()}
+	srv := &http.Server{Addr: *addr, Handler: newServer(eng, ob, serverOpts{
+		tracer: tracer, slo: slo, logger: logger,
+	}).routes()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "spannerd: listening on %s\n", *addr)
+	logger.Info("listening", "addr", *addr,
+		"trace_sample", *traceSample, "slow_query", *slowQuery, "slo_window", *sloWindow)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -122,7 +150,7 @@ func run() error {
 	case err := <-errc:
 		return err
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "spannerd: %v, draining\n", sig)
+		logger.Info("draining", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

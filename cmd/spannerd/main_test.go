@@ -45,7 +45,7 @@ func testServer(t *testing.T, a *artifact.Artifact) (*httptest.Server, *serve.En
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(eng, ob).routes())
+	ts := httptest.NewServer(newServer(eng, ob, serverOpts{}).routes())
 	t.Cleanup(func() { ts.Close(); eng.Close() })
 	return ts, eng
 }
@@ -276,7 +276,7 @@ func TestLoadgenSmoke(t *testing.T) {
 		}
 		total := int64(0)
 		for i := range rep.stats {
-			total += int64(len(rep.stats[i].latencies)) + rep.stats[i].rejected
+			total += rep.stats[i].lat.Count() + rep.stats[i].rejected
 		}
 		if total == 0 {
 			t.Fatalf("%s: loadgen issued no queries", mode)

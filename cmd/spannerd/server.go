@@ -1,9 +1,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -14,15 +16,37 @@ import (
 	"spanner/internal/serve"
 )
 
-// server wires the engine into HTTP handlers. All responses are JSON.
+// serverOpts carries the optional observability plumbing: the request
+// tracer (shared with the engine), the SLO monitor (shared with the engine,
+// which does the recording) and the structured logger.
+type serverOpts struct {
+	tracer *obs.ReqTracer
+	slo    *obs.SLOMonitor
+	logger *slog.Logger
+}
+
+// server wires the engine into HTTP handlers. All responses are JSON
+// (except /metricz?format=prom).
 type server struct {
 	eng *serve.Engine
 	ob  *obs.Observer
+	serverOpts
 }
 
-func newServer(eng *serve.Engine, ob *obs.Observer) *server {
-	return &server{eng: eng, ob: ob}
+func newServer(eng *serve.Engine, ob *obs.Observer, opts serverOpts) *server {
+	if opts.logger == nil {
+		opts.logger = slog.New(discardHandler{})
+	}
+	return &server{eng: eng, ob: ob, serverOpts: opts}
 }
+
+// discardHandler is a no-op slog handler so s.logger is never nil.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(_ context.Context, _ slog.Level) bool  { return false }
+func (discardHandler) Handle(_ context.Context, _ slog.Record) error { return nil }
+func (d discardHandler) WithAttrs(_ []slog.Attr) slog.Handler        { return d }
+func (d discardHandler) WithGroup(_ string) slog.Handler             { return d }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
@@ -32,6 +56,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
+	mux.HandleFunc("/slo", s.handleSLO)
 	return mux
 }
 
@@ -152,7 +177,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Request-scoped trace with a propagated (or generated) request id. The
+	// engine stamps phases and the outcome; the handler owns start/finish,
+	// so the id flows from the HTTP layer through the shard worker.
+	var rt *obs.ReqTrace
+	if s.tracer != nil {
+		rt = s.tracer.Start(req.Type.String(), req.U, req.V, r.Header.Get("X-Request-Id"))
+		w.Header().Set("X-Request-Id", rt.ID)
+		req.Trace = rt
+	}
 	reply := s.eng.Query(req)
+	s.tracer.Finish(rt)
 	writeJSON(w, statusFor(reply.Err), toWire(reply))
 }
 
@@ -220,6 +255,8 @@ func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	s.logger.Info("artifact swapped", "snapshot", gen, "algo", art.Algo,
+		"n", art.Graph.N(), "spanner", art.Spanner.Len())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot": gen,
 		"algo":     art.Algo,
@@ -259,6 +296,8 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := s.eng.Snapshot()
+	s.logger.Info("delta applied", "snapshot", gen, "segments", len(d.Segments),
+		"updates", d.Updates(), "spanner", snap.Art.Spanner.Len())
 	writeJSON(w, http.StatusOK, map[string]any{
 		"snapshot": gen,
 		"segments": len(d.Segments),
@@ -268,31 +307,76 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz reports liveness plus the SLO verdict: a monitor in "page"
+// answers 503/degraded so load balancers shed before users notice.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	sloStatus := s.slo.Report().Status
+	status, state := http.StatusOK, "ok"
+	if sloStatus == "page" {
+		status, state = http.StatusServiceUnavailable, "degraded"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"slo":      sloStatus,
 		"snapshot": snap.ID,
 		"algo":     snap.Art.Algo,
 		"n":        snap.N(),
 	})
 }
 
-// handleMetricz dumps the observer registry: every serve.* counter and
-// latency histogram as JSON.
-func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	type metricJSON struct {
-		Kind   string  `json:"kind"`
-		Series string  `json:"series"`
-		Value  float64 `json:"value"`
-		Count  int64   `json:"count,omitempty"`
-		Min    float64 `json:"min,omitempty"`
-		Max    float64 `json:"max,omitempty"`
+// handleSLO serves the full multi-window burn-rate report.
+func (s *server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slo.Report())
+}
+
+// metricJSON is one /metricz JSON entry. Histogram series carry the full
+// mergeable snapshot (hist) so pollers like spannertop can diff scrapes and
+// compute interval quantiles, plus convenience percentiles.
+type metricJSON struct {
+	Kind   string            `json:"kind"`
+	Series string            `json:"series"`
+	Value  float64           `json:"value"`
+	Count  int64             `json:"count,omitempty"`
+	Min    float64           `json:"min,omitempty"`
+	Max    float64           `json:"max,omitempty"`
+	P50    int64             `json:"p50,omitempty"`
+	P95    int64             `json:"p95,omitempty"`
+	P99    int64             `json:"p99,omitempty"`
+	Hist   *obs.HistSnapshot `json:"hist,omitempty"`
+}
+
+// scrape refreshes point-in-time gauges (shard queue depths) and snapshots
+// the registry.
+func (s *server) scrape() []obs.MetricValue {
+	reg := s.ob.Registry()
+	for i, d := range s.eng.QueueDepths() {
+		reg.Gauge("serve.queue_depth", obs.Label{Key: "shard", Value: strconv.Itoa(i)}).Set(int64(d))
 	}
-	snap := s.ob.Registry().Snapshot()
+	return reg.Snapshot()
+}
+
+// handleMetricz dumps the observer registry: every serve.* counter, gauge
+// and latency histogram. Default is JSON (with full histogram snapshots);
+// ?format=prom answers the Prometheus text exposition format.
+func (s *server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	snap := s.scrape()
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w, snap); err != nil {
+			s.logger.Error("metricz exposition failed", "err", err)
+		}
+		return
+	}
 	out := make([]metricJSON, len(snap))
 	for i, m := range snap {
 		out[i] = metricJSON{Kind: m.Kind, Series: m.Key(), Value: m.Value, Count: m.Count, Min: m.Min, Max: m.Max}
+		if m.Hist != nil && m.Count > 0 {
+			out[i].P50 = m.Hist.Quantile(0.50)
+			out[i].P95 = m.Hist.Quantile(0.95)
+			out[i].P99 = m.Hist.Quantile(0.99)
+			out[i].Hist = m.Hist
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -1,7 +1,12 @@
 // Command tracestats reads a JSONL trace produced by the -trace flag of
 // cmd/spanner or cmd/experiments and prints per-phase, per-level and
 // per-round cost tables: how many rounds, messages, words and spanner edges
-// each contraction level or Fibonacci level accounts for.
+// each contraction level or Fibonacci level accounts for. Traces containing
+// serve-layer request spans (spannerd's sampled serve.request trees) get an
+// extra per-request-phase table with nanosecond-resolution averages.
+//
+// Malformed trace lines are an error (non-zero exit naming the line), not a
+// silent skip — a truncated or corrupted trace should fail loudly.
 //
 // Usage:
 //
@@ -21,13 +26,13 @@ import (
 func main() {
 	rounds := flag.Bool("rounds", false, "include the per-round message/word detail")
 	flag.Parse()
-	if err := run(flag.Args(), *rounds); err != nil {
+	if err := run(flag.Args(), *rounds, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tracestats:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, rounds bool) error {
+func run(args []string, rounds bool, out io.Writer) error {
 	var in io.Reader = os.Stdin
 	switch len(args) {
 	case 0:
@@ -48,5 +53,5 @@ func run(args []string, rounds bool) error {
 	if len(events) == 0 {
 		return fmt.Errorf("trace is empty")
 	}
-	return spanner.SummarizeTrace(events).WriteTable(os.Stdout, rounds)
+	return spanner.SummarizeTrace(events).WriteTable(out, rounds)
 }

@@ -98,3 +98,12 @@ func AttrInt(attrs []Attr, key string) int64 {
 	}
 	return 0
 }
+
+// AttrStr looks up key among attrs and returns its string value ("" if
+// absent).
+func AttrStr(attrs []Attr, key string) string {
+	if a, ok := attrsGet(attrs, key); ok {
+		return a.Str()
+	}
+	return ""
+}

@@ -1,0 +1,331 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Log-bucketed (HDR-style) histogram layout. Values are bucketed by a
+// power-of-two exponent with histSub linear sub-buckets per octave, so every
+// bucket's width is at most 1/histSub of its lower bound: quantile estimates
+// carry a bounded relative error of ≤ 1/(2·histSub) ≈ 1.6% (absolute error
+// ≤ 0.5 for values below 2·histSub, which the exact small-value buckets
+// represent precisely).
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // 32 linear sub-buckets per octave
+	// histNumBuckets covers the full non-negative int64 range:
+	// the largest index is maxShift*histSub + (2*histSub - 1) with
+	// maxShift = 63 - 1 - histSubBits.
+	histNumBuckets = (63-histSubBits)*histSub + histSub
+)
+
+// histIndex maps a non-negative sample to its bucket. Values below
+// 2·histSub are stored exactly (index = value); larger values keep their
+// top histSubBits+1 significant bits.
+func histIndex(v int64) int {
+	u := uint64(v)
+	shift := bits.Len64(u) - 1 - histSubBits
+	if shift <= 0 {
+		return int(u)
+	}
+	return shift*histSub + int(u>>uint(shift))
+}
+
+// histBounds returns the closed value range [lo, hi] a bucket covers.
+func histBounds(idx int) (lo, hi int64) {
+	if idx < 2*histSub {
+		return int64(idx), int64(idx)
+	}
+	shift := idx/histSub - 1
+	m := int64(idx - shift*histSub)
+	lo = m << uint(shift)
+	hi = ((m + 1) << uint(shift)) - 1
+	return lo, hi
+}
+
+// Histogram is a lock-free log-bucketed latency/size histogram: count, sum,
+// min, max plus HDR-style buckets (see histIndex). Every update is a handful
+// of atomic adds — no locks, so concurrent workers on the serve hot path
+// never contend. Negative samples clamp to zero. The zero value is ready to
+// use; a nil *Histogram is a no-op.
+type Histogram struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	// min/max are stored as value+1 so 0 means "no sample yet" (samples are
+	// clamped non-negative, so value+1 is always positive once set).
+	minP    atomic.Int64
+	maxP    atomic.Int64
+	buckets [histNumBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty standalone histogram (registry-less use,
+// e.g. the load generator's latency accounting).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample (negative samples clamp to 0).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[histIndex(v)].Add(1)
+	p := v + 1
+	for {
+		cur := h.minP.Load()
+		if (cur != 0 && cur <= p) || h.minP.CompareAndSwap(cur, p) {
+			break
+		}
+	}
+	for {
+		cur := h.maxP.Load()
+		if cur >= p || h.maxP.CompareAndSwap(cur, p) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot captures the histogram's current state. Under concurrent writers
+// the snapshot is a consistent-enough point-in-time view (individual atomics
+// are read without a global lock); once writers quiesce it is exact.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	if h == nil {
+		return &HistSnapshot{}
+	}
+	s := &HistSnapshot{
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Counts: make([]int64, histNumBuckets),
+	}
+	if p := h.minP.Load(); p > 0 {
+		s.Min = p - 1
+	}
+	if p := h.maxP.Load(); p > 0 {
+		s.Max = p - 1
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			s.Counts[i] = n
+		}
+	}
+	return s
+}
+
+// Quantile is a convenience for h.Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// HistSnapshot is a frozen, mergeable view of a Histogram. Snapshots from
+// different histograms (per-shard, per-process) Merge into one distribution;
+// Sub diffs two snapshots of the same histogram into the distribution of
+// the interval between them (how spannertop turns cumulative scrapes into
+// live percentiles).
+type HistSnapshot struct {
+	Count  int64
+	Sum    int64
+	Min    int64
+	Max    int64
+	Counts []int64 // dense per-bucket counts, len histNumBuckets (nil = empty)
+}
+
+// Mean returns the average sample (0 when empty).
+func (s *HistSnapshot) Mean() float64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) as the midpoint of the
+// bucket holding that rank, clamped to the observed [Min, Max]. The relative
+// error is bounded by the bucket width: ≤ 1/(2·histSub) of the true value.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s == nil || s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= rank {
+			lo, hi := histBounds(i)
+			mid := lo + (hi-lo)/2
+			if mid < s.Min {
+				mid = s.Min
+			}
+			if mid > s.Max {
+				mid = s.Max
+			}
+			return mid
+		}
+	}
+	return s.Max
+}
+
+// Merge adds o's samples into s (s is mutated; o is not).
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min, s.Max = o.Min, o.Max
+	} else {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if len(s.Counts) == 0 {
+		s.Counts = make([]int64, histNumBuckets)
+	}
+	for i, n := range o.Counts {
+		if n != 0 {
+			s.Counts[i] += n
+		}
+	}
+}
+
+// Sub returns the distribution of samples recorded between prev and s (two
+// snapshots of the same histogram, prev taken earlier). Min/Max of the
+// interval are approximated from the surviving buckets' bounds.
+func (s *HistSnapshot) Sub(prev *HistSnapshot) *HistSnapshot {
+	d := &HistSnapshot{Counts: make([]int64, histNumBuckets)}
+	if s == nil {
+		return d
+	}
+	d.Count = s.Count
+	d.Sum = s.Sum
+	if prev != nil {
+		d.Count -= prev.Count
+		d.Sum -= prev.Sum
+	}
+	if d.Count <= 0 {
+		return &HistSnapshot{}
+	}
+	first, last := -1, -1
+	for i := range s.Counts {
+		n := s.Counts[i]
+		if prev != nil && i < len(prev.Counts) {
+			n -= prev.Counts[i]
+		}
+		if n > 0 {
+			d.Counts[i] = n
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first >= 0 {
+		d.Min, _ = histBounds(first)
+		_, d.Max = histBounds(last)
+	}
+	return d
+}
+
+// CumulativeBuckets folds the snapshot into cumulative counts at
+// power-of-two upper bounds — the Prometheus histogram exposition shape.
+// A bucket's samples count toward a boundary only when the whole bucket
+// lies at or below it, so wide buckets resolve conservatively upward. The
+// final entry's boundary exceeds Max and its count equals Count (it plays
+// the "+Inf" role for exposition).
+func (s *HistSnapshot) CumulativeBuckets() []HistBucket {
+	if s == nil || s.Count == 0 {
+		return nil
+	}
+	type bc struct{ hi, n int64 }
+	var bcs []bc
+	for i, n := range s.Counts {
+		if n != 0 {
+			_, hi := histBounds(i)
+			bcs = append(bcs, bc{hi, n})
+		}
+	}
+	var out []HistBucket
+	var cum int64
+	j := 0
+	for next := int64(1); ; next *= 2 {
+		for j < len(bcs) && bcs[j].hi <= next {
+			cum += bcs[j].n
+			j++
+		}
+		out = append(out, HistBucket{Le: next, Count: cum})
+		if next > s.Max || next > math.MaxInt64/2 {
+			return out
+		}
+	}
+}
+
+// HistBucket is one cumulative bucket: Count samples ≤ Le.
+type HistBucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"n"`
+}
+
+// histSnapshotJSON is the compact wire form: only non-zero buckets travel,
+// as [index, count] pairs.
+type histSnapshotJSON struct {
+	Count   int64      `json:"count"`
+	Sum     int64      `json:"sum"`
+	Min     int64      `json:"min"`
+	Max     int64      `json:"max"`
+	Buckets [][2]int64 `json:"b,omitempty"`
+}
+
+// MarshalJSON writes the compact sparse form (non-zero buckets only).
+func (s *HistSnapshot) MarshalJSON() ([]byte, error) {
+	js := histSnapshotJSON{Count: s.Count, Sum: s.Sum, Min: s.Min, Max: s.Max}
+	for i, n := range s.Counts {
+		if n != 0 {
+			js.Buckets = append(js.Buckets, [2]int64{int64(i), n})
+		}
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON reads the compact sparse form back into a dense snapshot.
+func (s *HistSnapshot) UnmarshalJSON(data []byte) error {
+	var js histSnapshotJSON
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	s.Count, s.Sum, s.Min, s.Max = js.Count, js.Sum, js.Min, js.Max
+	s.Counts = make([]int64, histNumBuckets)
+	for _, b := range js.Buckets {
+		if b[0] < 0 || b[0] >= histNumBuckets {
+			return fmt.Errorf("obs: histogram bucket index %d out of range", b[0])
+		}
+		s.Counts[b[0]] = b[1]
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistQuantileErrorBounds checks the advertised accuracy contract against
+// an exact sorted-slice reference: relative error ≤ 1/(2·histSub) for large
+// values, exact for values below 2·histSub.
+func TestHistQuantileErrorBounds(t *testing.T) {
+	const relBound = 1.0/(2*histSub) + 1e-9
+	dists := map[string]func(r *rand.Rand) int64{
+		"uniform":   func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exp":       func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"small":     func(r *rand.Rand) int64 { return r.Int63n(2 * histSub) },
+		"heavytail": func(r *rand.Rand) int64 { return int64(math.Pow(10, 2+6*r.Float64())) },
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			h := NewHistogram()
+			vals := make([]int64, 20_000)
+			for i := range vals {
+				vals[i] = gen(r)
+				h.Observe(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			snap := h.Snapshot()
+			if snap.Count != int64(len(vals)) {
+				t.Fatalf("count = %d, want %d", snap.Count, len(vals))
+			}
+			for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+				got := snap.Quantile(q)
+				rank := int(math.Ceil(q * float64(len(vals))))
+				if rank > 0 {
+					rank--
+				}
+				exact := vals[rank]
+				if exact < 2*histSub {
+					// Small values occupy exact unit buckets; the only slack
+					// is the clamp to the observed min/max.
+					if got != exact {
+						t.Errorf("q=%v: got %d, want exactly %d", q, got, exact)
+					}
+					continue
+				}
+				relErr := math.Abs(float64(got-exact)) / float64(exact)
+				if relErr > relBound {
+					t.Errorf("q=%v: got %d, exact %d, rel err %.5f > %.5f",
+						q, got, exact, relErr, relBound)
+				}
+			}
+		})
+	}
+}
+
+func TestHistSumMinMax(t *testing.T) {
+	h := NewHistogram()
+	var sum int64
+	for _, v := range []int64{7, 0, 99, 1 << 40, 3} {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Sum != sum || s.Min != 0 || s.Max != 1<<40 || s.Count != 5 {
+		t.Fatalf("snapshot = %+v, want sum=%d min=0 max=%d count=5", s, sum, int64(1)<<40)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", h.Count())
+	}
+	// Negative observations clamp to zero rather than corrupting state.
+	h.Observe(-12)
+	if s := h.Snapshot(); s.Min != 0 || s.Count != 6 {
+		t.Fatalf("after negative observe: %+v", s)
+	}
+}
+
+func TestHistNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(5) // must not panic
+	if h.Count() != 0 {
+		t.Fatal("nil histogram should count 0")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// TestHistConcurrentRecordMerge hammers one histogram from many goroutines
+// (exercising the lock-free paths under -race) and checks that merging
+// per-goroutine histograms agrees with the shared one.
+func TestHistConcurrentRecordMerge(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 5_000
+	)
+	shared := NewHistogram()
+	locals := make([]*Histogram, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		locals[w] = NewHistogram()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				v := r.Int63n(1 << 30)
+				shared.Observe(v)
+				locals[w].Observe(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	merged := NewHistogram().Snapshot()
+	for _, l := range locals {
+		merged.Merge(l.Snapshot())
+	}
+	got := shared.Snapshot()
+	if got.Count != merged.Count || got.Sum != merged.Sum || got.Min != merged.Min || got.Max != merged.Max {
+		t.Fatalf("shared {c=%d s=%d min=%d max=%d} != merged {c=%d s=%d min=%d max=%d}",
+			got.Count, got.Sum, got.Min, got.Max, merged.Count, merged.Sum, merged.Min, merged.Max)
+	}
+	for i := range got.Counts {
+		if got.Counts[i] != merged.Counts[i] {
+			t.Fatalf("bucket %d: shared %d != merged %d", i, got.Counts[i], merged.Counts[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got.Quantile(q) != merged.Quantile(q) {
+			t.Fatalf("q=%v: shared %d != merged %d", q, got.Quantile(q), merged.Quantile(q))
+		}
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	h := NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	prev := h.Snapshot()
+	for i := int64(1000); i < 1050; i++ {
+		h.Observe(i)
+	}
+	diff := h.Snapshot().Sub(prev)
+	if diff.Count != 50 {
+		t.Fatalf("interval count = %d, want 50", diff.Count)
+	}
+	if q := diff.Quantile(0.5); q < 1000 || q > 1050 {
+		t.Fatalf("interval median = %d, want within [1000,1050]", q)
+	}
+	// Sub against nil is the snapshot itself.
+	if full := h.Snapshot().Sub(nil); full.Count != 150 {
+		t.Fatalf("Sub(nil) count = %d, want 150", full.Count)
+	}
+}
+
+func TestHistCumulativeBuckets(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{1, 1, 2, 3, 500, 70_000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	bs := s.CumulativeBuckets()
+	if len(bs) == 0 {
+		t.Fatal("no cumulative buckets")
+	}
+	var prevLe, prevN int64 = -1, -1
+	for _, b := range bs {
+		if b.Le <= prevLe {
+			t.Fatalf("le boundaries not increasing: %d after %d", b.Le, prevLe)
+		}
+		if b.Count < prevN {
+			t.Fatalf("cumulative counts decreasing: %d after %d", b.Count, prevN)
+		}
+		prevLe, prevN = b.Le, b.Count
+	}
+	if last := bs[len(bs)-1]; last.Count != s.Count {
+		t.Fatalf("final cumulative bucket %d != count %d", last.Count, s.Count)
+	}
+	// Spot-check: everything ≤ 4 is the four small values.
+	for _, b := range bs {
+		if b.Le == 4 && b.Count != 4 {
+			t.Fatalf("le=4 bucket = %d, want 4", b.Count)
+		}
+	}
+}
+
+func TestHistSnapshotJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		h.Observe(r.Int63n(1 << 20))
+	}
+	s := h.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistSnapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count != s.Count || back.Sum != s.Sum || back.Min != s.Min || back.Max != s.Max {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, s)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.95} {
+		if back.Quantile(q) != s.Quantile(q) {
+			t.Fatalf("q=%v: %d != %d after round trip", q, back.Quantile(q), s.Quantile(q))
+		}
+	}
+	// Malformed bucket indexes must be rejected, not silently dropped.
+	if err := new(HistSnapshot).UnmarshalJSON([]byte(`{"count":1,"b":[[99999999,1]]}`)); err == nil {
+		t.Fatal("want error for out-of-range bucket index")
+	}
+}
+
+func TestHistIndexBounds(t *testing.T) {
+	for _, v := range []int64{0, 1, histSub, 2*histSub - 1, 2 * histSub, 1000, 1 << 20, 1<<62 + 12345, math.MaxInt64} {
+		idx := histIndex(v)
+		if idx < 0 || idx >= histNumBuckets {
+			t.Fatalf("v=%d: index %d out of range", v, idx)
+		}
+		lo, hi := histBounds(idx)
+		if v < lo || v > hi {
+			t.Fatalf("v=%d not within bucket [%d,%d] (idx %d)", v, lo, hi, idx)
+		}
+	}
+}

@@ -134,6 +134,58 @@ func (o *Observer) emit(e Event) {
 	o.mu.Unlock()
 }
 
+// SpanRec is one retrospective span in a RecordSpanTree batch.
+type SpanRec struct {
+	Name                 string
+	Dur                  time.Duration
+	StartAttrs, EndAttrs []Attr
+}
+
+// RecordSpanTree records a root span plus its children in one locked
+// batch — one clock read and one mutex acquisition for the whole tree,
+// instead of per event. The request tracer uses this so emitting a sampled
+// request's six-span tree stays cheap enough for production sampling
+// rates. Returns the root span id.
+func (o *Observer) RecordSpanTree(root SpanRec, children []SpanRec) int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	ts := o.now()
+	emit := func(e Event) {
+		o.seq++
+		e.Seq = o.seq
+		e.TimeUS = ts
+		for _, s := range o.sinks {
+			s.Emit(e)
+		}
+	}
+	rec := func(r SpanRec, parent int64) int64 {
+		o.nextSpan++
+		id := o.nextSpan
+		durUS := r.Dur.Microseconds()
+		if o.noClock {
+			durUS = 0
+		}
+		agg := o.spanAgg[r.Name]
+		if agg == nil {
+			agg = &spanAgg{}
+			o.spanAgg[r.Name] = agg
+		}
+		agg.count++
+		agg.durUS += durUS
+		emit(Event{Type: SpanStart, Name: r.Name, Span: id, Parent: parent, Attrs: r.StartAttrs})
+		emit(Event{Type: SpanEnd, Name: r.Name, Span: id, DurUS: durUS, Attrs: r.EndAttrs})
+		return id
+	}
+	rootID := rec(root, 0)
+	for _, c := range children {
+		rec(c, rootID)
+	}
+	o.mu.Unlock()
+	return rootID
+}
+
 // Span is one traced phase. A nil *Span is a valid no-op, so spans can be
 // threaded through call chains unconditionally.
 type Span struct {
@@ -189,6 +241,37 @@ func (s *Span) End(attrs ...Attr) {
 	s.o.emit(Event{Type: SpanEnd, Name: s.name, Span: s.id, DurUS: dur, Attrs: attrs})
 }
 
+// RecordSpan retrospectively emits a completed span — a start/end pair with
+// an explicit duration — under the given parent span id (0 = root), and
+// returns the new span's id so children can be recorded beneath it.
+// Request-scoped tracing replays a request's phase timeline through this
+// after the request completes, keeping span bookkeeping off the hot path.
+// startAttrs ride on the span_start event (inputs), endAttrs on span_end
+// (outcomes), matching live spans.
+func (o *Observer) RecordSpan(name string, parent int64, dur time.Duration, startAttrs, endAttrs []Attr) int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	o.nextSpan++
+	id := o.nextSpan
+	durUS := dur.Microseconds()
+	if o.noClock {
+		durUS = 0
+	}
+	agg := o.spanAgg[name]
+	if agg == nil {
+		agg = &spanAgg{}
+		o.spanAgg[name] = agg
+	}
+	agg.count++
+	agg.durUS += durUS
+	o.mu.Unlock()
+	o.emit(Event{Type: SpanStart, Name: name, Span: id, Parent: parent, Attrs: startAttrs})
+	o.emit(Event{Type: SpanEnd, Name: name, Span: id, DurUS: durUS, Attrs: endAttrs})
+	return id
+}
+
 // Event records a point event inside the span.
 func (s *Span) Event(name string, attrs ...Attr) {
 	if s == nil {
@@ -220,6 +303,12 @@ func (o *Observer) FlushMetrics() error {
 		attrs = append(attrs, F("value", mv.Value))
 		if mv.Kind == "histogram" {
 			attrs = append(attrs, I("count", mv.Count), F("min", mv.Min), F("max", mv.Max))
+			if mv.Hist != nil && mv.Count > 0 {
+				attrs = append(attrs,
+					I("p50", mv.Hist.Quantile(0.50)),
+					I("p95", mv.Hist.Quantile(0.95)),
+					I("p99", mv.Hist.Quantile(0.99)))
+			}
 		}
 		o.emit(Event{Type: MetricPoint, Name: mv.Name, Attrs: attrs})
 	}

@@ -1,0 +1,276 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) over a registry snapshot, plus
+// a strict parser for it. The exposition is what /metricz?format=prom
+// serves; the parser is what the round-trip tests and `make obscheck` use
+// to prove the output is machine-consumable, and what spannertop falls back
+// to when pointed at a non-JSON metrics source.
+
+// promName sanitizes a series name into the Prometheus metric-name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted names map dots to
+// underscores (serve.latency_us -> serve_latency_us).
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels renders a label set (plus optional extra pair) as {k="v",...};
+// empty input renders as "".
+func promLabels(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, promName(l.Key), promEscape(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, promEscape(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format. Counters and gauges emit one sample each; histograms
+// emit cumulative `_bucket` samples at power-of-two `le` boundaries plus
+// `_sum` and `_count`. Families are announced once with # TYPE.
+func WritePrometheus(w io.Writer, snap []MetricValue) error {
+	bw := bufio.NewWriter(w)
+	typed := make(map[string]bool)
+	announce := func(name, kind string) {
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+		}
+	}
+	for _, mv := range snap {
+		name := promName(mv.Name)
+		switch mv.Kind {
+		case "counter":
+			announce(name, "counter")
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(mv.Labels, "", ""), promFloat(mv.Value))
+		case "gauge":
+			announce(name, "gauge")
+			fmt.Fprintf(bw, "%s%s %s\n", name, promLabels(mv.Labels, "", ""), promFloat(mv.Value))
+		case "histogram":
+			announce(name, "histogram")
+			if mv.Hist != nil {
+				for _, b := range mv.Hist.CumulativeBuckets() {
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", name,
+						promLabels(mv.Labels, "le", strconv.FormatInt(b.Le, 10)), b.Count)
+				}
+			}
+			// The exposition format requires the +Inf bucket == _count.
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", name, promLabels(mv.Labels, "le", "+Inf"), mv.Count)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", name, promLabels(mv.Labels, "", ""), promFloat(mv.Value))
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, promLabels(mv.Labels, "", ""), mv.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// promFloat renders a value the way Prometheus clients do: integers stay
+// integral, everything else uses the shortest round-trip form.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromSample is one parsed exposition line: a fully-qualified sample name
+// (including _bucket/_sum/_count suffixes), its labels, and the value.
+type PromSample struct {
+	Name   string
+	Labels []Label
+	Value  float64
+}
+
+// Label returns the sample's value for a label key ("" if absent).
+func (s PromSample) Label(key string) string {
+	for _, l := range s.Labels {
+		if l.Key == key {
+			return l.Value
+		}
+	}
+	return ""
+}
+
+// ParsePrometheusText parses text exposition output strictly: every
+// non-comment line must be a well-formed sample, every # line a HELP/TYPE
+// comment, and every label set syntactically valid — a malformed line is an
+// error naming its line number, never a silent skip.
+func ParsePrometheusText(r io.Reader) ([]PromSample, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var out []PromSample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			if !strings.HasPrefix(rest, "TYPE ") && !strings.HasPrefix(rest, "HELP ") {
+				return nil, fmt.Errorf("obs: prom line %d: comment is neither TYPE nor HELP: %q", line, text)
+			}
+			continue
+		}
+		s, err := parsePromSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("obs: prom line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromSample(text string) (PromSample, error) {
+	var s PromSample
+	nameEnd := strings.IndexAny(text, "{ ")
+	if nameEnd <= 0 {
+		return s, fmt.Errorf("missing metric name: %q", text)
+	}
+	s.Name = text[:nameEnd]
+	for _, r := range s.Name {
+		if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return s, fmt.Errorf("invalid metric name %q", s.Name)
+		}
+	}
+	rest := text[nameEnd:]
+	if rest[0] == '{' {
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return s, fmt.Errorf("unterminated label set: %q", text)
+		}
+		labels, err := parsePromLabels(rest[1:close])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[close+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is legal; take the first field as the value.
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return s, fmt.Errorf("want value [timestamp], got %q", rest)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromValue(f string) (float64, error) {
+	switch f {
+	case "+Inf", "Inf":
+		return inf(1), nil
+	case "-Inf":
+		return inf(-1), nil
+	}
+	return strconv.ParseFloat(f, 64)
+}
+
+func inf(sign int) float64 {
+	v := 0.0
+	return float64(sign) / v
+}
+
+func parsePromLabels(body string) ([]Label, error) {
+	var labels []Label
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=': %q", body[i:])
+		}
+		key := strings.TrimSpace(body[i : i+eq])
+		if key == "" {
+			return nil, fmt.Errorf("empty label key in %q", body)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return nil, fmt.Errorf("label value for %q not quoted", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return nil, fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := body[i]
+			if c == '\\' && i+1 < len(body) {
+				switch body[i+1] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(body[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		if i < len(body) {
+			if body[i] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels in %q", body)
+			}
+			i++
+		}
+	}
+	return labels, nil
+}
+
+// PromSamplesByName groups parsed samples by metric name for assertions.
+func PromSamplesByName(samples []PromSample) map[string][]PromSample {
+	m := make(map[string][]PromSample)
+	for _, s := range samples {
+		m[s.Name] = append(m[s.Name], s)
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPrometheusRoundTrip writes a mixed registry snapshot in exposition
+// format and re-parses it with the strict parser, checking the structural
+// invariants Prometheus itself enforces.
+func TestPrometheusRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.requests_total", Label{Key: "type", Value: "dist"}).Add(41)
+	reg.Counter("serve.requests_total", Label{Key: "type", Value: "path"}).Add(7)
+	reg.Gauge("serve.queue_depth", Label{Key: "shard", Value: "0"}).Set(3)
+	h := reg.Histogram("serve.latency_us", Label{Key: "type", Value: "dist"})
+	var sum int64
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 3)
+		sum += i * 3
+	}
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	samples, err := ParsePrometheusText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round trip failed to parse:\n%s\nerr: %v", text, err)
+	}
+	byName := PromSamplesByName(samples)
+
+	// Counters survive with their labels.
+	ctrs := byName["serve_requests_total"]
+	if len(ctrs) != 2 {
+		t.Fatalf("want 2 counter samples, got %d", len(ctrs))
+	}
+	got := map[string]float64{}
+	for _, s := range ctrs {
+		got[s.Label("type")] = s.Value
+	}
+	if got["dist"] != 41 || got["path"] != 7 {
+		t.Fatalf("counter values = %v", got)
+	}
+
+	// Gauge.
+	gs := byName["serve_queue_depth"]
+	if len(gs) != 1 || gs[0].Value != 3 || gs[0].Label("shard") != "0" {
+		t.Fatalf("gauge samples = %+v", gs)
+	}
+
+	// Histogram: cumulative, monotone, +Inf == _count, _sum == total.
+	buckets := byName["serve_latency_us_bucket"]
+	if len(buckets) < 3 {
+		t.Fatalf("want several _bucket samples, got %d", len(buckets))
+	}
+	var sawInf bool
+	prev := -1.0
+	for _, b := range buckets {
+		if b.Label("type") != "dist" {
+			t.Fatalf("bucket lost its series label: %+v", b)
+		}
+		le := b.Label("le")
+		if le == "+Inf" {
+			sawInf = true
+			if b.Value != 1000 {
+				t.Fatalf("+Inf bucket = %v, want 1000", b.Value)
+			}
+			continue
+		}
+		if _, err := strconv.ParseInt(le, 10, 64); err != nil {
+			t.Fatalf("non-integer le %q", le)
+		}
+		if b.Value < prev {
+			t.Fatalf("buckets not cumulative: %v after %v", b.Value, prev)
+		}
+		prev = b.Value
+	}
+	if !sawInf {
+		t.Fatal("missing +Inf bucket")
+	}
+	if s := byName["serve_latency_us_sum"]; len(s) != 1 || s[0].Value != float64(sum) {
+		t.Fatalf("_sum = %+v, want %d", s, sum)
+	}
+	if c := byName["serve_latency_us_count"]; len(c) != 1 || c[0].Value != 1000 {
+		t.Fatalf("_count = %+v, want 1000", c)
+	}
+
+	// TYPE lines are announced once per family.
+	if n := strings.Count(text, "# TYPE serve_requests_total counter"); n != 1 {
+		t.Fatalf("TYPE announced %d times:\n%s", n, text)
+	}
+}
+
+func TestPromNameAndEscape(t *testing.T) {
+	if n := promName("serve.latency_us"); n != "serve_latency_us" {
+		t.Fatalf("promName = %q", n)
+	}
+	if n := promName("9bad-name"); n != "_bad_name" {
+		t.Fatalf("promName = %q", n)
+	}
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	reg.Counter("c", Label{Key: "msg", Value: "a\"b\\c\nd"}).Inc()
+	if err := WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples, err := ParsePrometheusText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Label("msg") != "a\"b\\c\nd" {
+		t.Fatalf("escaped label did not round trip: %+v", samples)
+	}
+}
+
+func TestParsePrometheusTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"no_value_here",
+		"bad{unterminated=\"x\" 1",
+		"bad{key=unquoted} 1",
+		"bad{=\"v\"} 1",
+		"ok 1 2 3",
+		"# FREEFORM comment",
+		"métric 1",
+	}
+	for _, c := range cases {
+		if _, err := ParsePrometheusText(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("want parse error for %q", c)
+		}
+	}
+	// Valid edge cases must pass.
+	valid := "# HELP x y\n# TYPE x counter\nx 1\nx{a=\"b\"} 2.5 1712345\nnan_metric NaN\ninf_metric +Inf\n"
+	samples, err := ParsePrometheusText(strings.NewReader(valid))
+	if err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("want 4 samples, got %d", len(samples))
+	}
+	if !math.IsInf(samples[3].Value, 1) {
+		t.Fatalf("+Inf value parsed as %v", samples[3].Value)
+	}
+}

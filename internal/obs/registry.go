@@ -15,8 +15,8 @@ type Label struct {
 
 // Registry holds named metric series. All lookups and updates are safe for
 // concurrent use; updates on the returned Counter/Gauge/Histogram handles
-// are lock-free (counters, gauges) or finely locked (histograms), so the
-// hot path of a parallel worker pool never contends on the registry map.
+// are all lock-free atomics, so the hot path of a parallel worker pool
+// never contends on the registry map.
 // A nil *Registry is a valid no-op source of nil handles.
 type Registry struct {
 	mu       sync.Mutex
@@ -170,54 +170,6 @@ func (g *Gauge) Value() int64 {
 	return atomic.LoadInt64(&g.v)
 }
 
-// Histogram records count/sum/min/max plus power-of-two magnitude buckets
-// (bucket i counts observations in [2^i, 2^{i+1})). A nil *Histogram is a
-// no-op.
-type Histogram struct {
-	mu      sync.Mutex
-	count   int64
-	sum     int64
-	min     int64
-	max     int64
-	buckets [48]int64
-}
-
-// Observe records one sample (negative samples clamp to bucket 0).
-func (h *Histogram) Observe(v int64) {
-	if h == nil {
-		return
-	}
-	b := 0
-	for x := v; x > 1 && b < len(h.buckets)-1; x >>= 1 {
-		b++
-	}
-	h.mu.Lock()
-	if h.count == 0 {
-		h.min, h.max = v, v
-	} else {
-		if v < h.min {
-			h.min = v
-		}
-		if v > h.max {
-			h.max = v
-		}
-	}
-	h.count++
-	h.sum += v
-	h.buckets[b]++
-	h.mu.Unlock()
-}
-
-// snapshot returns count, sum, min, max under the lock.
-func (h *Histogram) snapshot() (count, sum, min, max int64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
-		return 0, 0, 0, 0
-	}
-	return h.count, h.sum, h.min, h.max
-}
-
 // MetricValue is one series' state in a Snapshot.
 type MetricValue struct {
 	Kind   string // "counter" | "gauge" | "histogram"
@@ -227,6 +179,9 @@ type MetricValue struct {
 	Count  int64   // histogram observation count
 	Min    float64 // histogram min
 	Max    float64 // histogram max
+	// Hist is the full bucket snapshot (histograms only): quantiles,
+	// merge and interval-diff all come from it.
+	Hist *HistSnapshot
 }
 
 // Key renders the series identity as name{k=v}… for tables and sorting.
@@ -272,11 +227,12 @@ func (r *Registry) Snapshot() []MetricValue {
 		case "gauge":
 			mv.Value = float64(gauges[e.key].Value())
 		case "histogram":
-			count, sum, min, max := hists[e.key].snapshot()
-			mv.Count = count
-			mv.Value = float64(sum)
-			mv.Min = float64(min)
-			mv.Max = float64(max)
+			hs := hists[e.key].Snapshot()
+			mv.Count = hs.Count
+			mv.Value = float64(hs.Sum)
+			mv.Min = float64(hs.Min)
+			mv.Max = float64(hs.Max)
+			mv.Hist = hs
 		}
 		out = append(out, mv)
 	}

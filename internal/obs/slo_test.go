@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestSLOConfigDefaults(t *testing.T) {
+	m := NewSLOMonitor(SLOConfig{})
+	cfg := m.Config()
+	if cfg.Availability != 0.999 || cfg.LatencyObjective != 0.99 ||
+		cfg.LatencyThreshold != 50*time.Millisecond || cfg.Window != time.Hour ||
+		cfg.PageBurn != 14.4 || cfg.WarnBurn != 6 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+func TestSLOHealthyTraffic(t *testing.T) {
+	clk := newManualClock()
+	m := NewSLOMonitor(SLOConfig{Window: time.Minute, Now: clk.Now})
+	for i := 0; i < 600; i++ {
+		m.Record(false, time.Millisecond)
+		if i%10 == 9 {
+			clk.Advance(time.Second)
+		}
+	}
+	r := m.Report()
+	if r.Status != "ok" {
+		t.Fatalf("status = %q, want ok", r.Status)
+	}
+	if r.Long.Availability != 1 || r.Long.LatencyCompliance != 1 {
+		t.Fatalf("long window = %+v", r.Long)
+	}
+	if r.Long.AvailabilityBurn != 0 || r.MaxBurn() != 0 {
+		t.Fatalf("burn = %v / %v, want 0", r.Long.AvailabilityBurn, r.MaxBurn())
+	}
+}
+
+// TestSLOBurnRateDeterministic drives a fixed error pattern through a manual
+// clock and asserts the exact burn rates and status transitions, plus a
+// byte-stable JSON encoding for /slo.
+func TestSLOBurnRateDeterministic(t *testing.T) {
+	clk := newManualClock()
+	m := NewSLOMonitor(SLOConfig{
+		Availability:     0.99, // 1% error budget
+		LatencyObjective: 0.99,
+		LatencyThreshold: 10 * time.Millisecond,
+		Window:           2 * time.Minute, // fast window = 10s
+		Now:              clk.Now,
+	})
+	// 20% errors sustained for the whole window: burn = 0.20/0.01 = 20 in
+	// both windows -> page.
+	for s := 0; s < 120; s++ {
+		for i := 0; i < 10; i++ {
+			m.Record(i < 2, time.Millisecond)
+		}
+		clk.Advance(time.Second)
+	}
+	r := m.Report()
+	if math.Abs(r.Fast.AvailabilityBurn-20) > 1e-9 || math.Abs(r.Long.AvailabilityBurn-20) > 1e-9 {
+		t.Fatalf("burn fast=%v long=%v, want 20", r.Fast.AvailabilityBurn, r.Long.AvailabilityBurn)
+	}
+	if r.Status != "page" {
+		t.Fatalf("status = %q, want page", r.Status)
+	}
+	if math.Abs(r.MaxBurn()-20) > 1e-9 {
+		t.Fatalf("MaxBurn = %v, want 20", r.MaxBurn())
+	}
+
+	// Errors stop. The fast window drains first: the monitor must drop from
+	// page (both windows burning) to ok-or-warn once the fast burn clears,
+	// even while the long window still remembers the incident.
+	for s := 0; s < 15; s++ {
+		for i := 0; i < 10; i++ {
+			m.Record(false, time.Millisecond)
+		}
+		clk.Advance(time.Second)
+	}
+	r = m.Report()
+	if r.Fast.AvailabilityBurn != 0 {
+		t.Fatalf("fast burn after recovery = %v, want 0", r.Fast.AvailabilityBurn)
+	}
+	if r.Status == "page" {
+		t.Fatalf("still paging after fast window recovered: %+v", r)
+	}
+	if r.Long.Errors == 0 {
+		t.Fatal("long window forgot the incident too early")
+	}
+
+	// JSON encoding is deterministic for a deterministic report.
+	j1, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(m.Report())
+	if string(j1) != string(j2) {
+		t.Fatalf("report JSON unstable:\n%s\n%s", j1, j2)
+	}
+	for _, key := range []string{"objective_availability", "fast", "long", "availability_burn", "status"} {
+		if !json.Valid(j1) || !containsJSONKey(j1, key) {
+			t.Fatalf("report JSON missing %q: %s", key, j1)
+		}
+	}
+}
+
+func containsJSONKey(j []byte, key string) bool {
+	return json.Valid(j) && (string(j) != "" && (stringContains(string(j), `"`+key+`"`)))
+}
+
+func stringContains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	clk := newManualClock()
+	m := NewSLOMonitor(SLOConfig{
+		LatencyThreshold: 5 * time.Millisecond,
+		LatencyObjective: 0.9, // 10% budget
+		Window:           time.Minute,
+		Now:              clk.Now,
+	})
+	// Half the requests are slow: latency burn = 0.5/0.1 = 5 -> below warn(6).
+	for s := 0; s < 60; s++ {
+		clk.Advance(time.Second)
+		m.Record(false, time.Millisecond)
+		m.Record(false, 20*time.Millisecond)
+	}
+	r := m.Report()
+	if math.Abs(r.Long.LatencyBurn-5) > 1e-9 {
+		t.Fatalf("latency burn = %v, want 5", r.Long.LatencyBurn)
+	}
+	if r.Status != "ok" {
+		t.Fatalf("status = %q, want ok below warn threshold", r.Status)
+	}
+	if r.Long.Slow != 60 {
+		t.Fatalf("slow = %d, want 60", r.Long.Slow)
+	}
+}
+
+func TestSLOWindowExpiry(t *testing.T) {
+	clk := newManualClock()
+	m := NewSLOMonitor(SLOConfig{Window: 30 * time.Second, Now: clk.Now})
+	m.Record(true, time.Millisecond)
+	clk.Advance(31 * time.Second)
+	r := m.Report()
+	if r.Long.Total != 0 || r.Long.Errors != 0 {
+		t.Fatalf("stale cells leaked into window: %+v", r.Long)
+	}
+	if r.Status != "ok" {
+		t.Fatalf("status = %q", r.Status)
+	}
+}
+
+func TestSLONilMonitor(t *testing.T) {
+	var m *SLOMonitor
+	m.Record(true, time.Second) // no panic
+	if r := m.Report(); r.Status != "disabled" {
+		t.Fatalf("nil report status = %q", r.Status)
+	}
+}

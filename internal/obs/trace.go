@@ -44,7 +44,33 @@ const (
 	AttrTransportRetransmits = "transport_retransmits"
 	AttrTransportAcks        = "transport_acks"
 	AttrTransportAbandoned   = "transport_abandoned"
+
+	// Serve-layer request-trace attrs (spans recorded by ReqTracer.Finish):
+	// the propagated request id on serve.request span starts, and the
+	// nanosecond-resolution duration each serve.* span carries on its end
+	// event (sub-microsecond phases would vanish in DurUS).
+	AttrReqID = "req_id"
+	AttrDurNS = "dur_ns"
 )
+
+// ServeRequestSpan is the root span ReqTracer.Finish records per sampled
+// request; its children are "serve."+phase for each ReqPhase.
+const ServeRequestSpan = "serve.request"
+
+// IsServePhaseSpan reports whether a span name belongs to the serve request
+// lifecycle (serve.request or one of its phase children) — these summarize
+// into their own nanosecond-resolution table.
+func IsServePhaseSpan(name string) bool {
+	if name == ServeRequestSpan {
+		return true
+	}
+	for _, p := range reqPhaseNames {
+		if name == "serve."+p {
+			return true
+		}
+	}
+	return false
+}
 
 // RoundEventName is the point event distsim emits once per communication
 // round when an observer is attached.
@@ -66,6 +92,14 @@ func ReadTrace(r io.Reader) ([]Event, error) {
 		var je jsonEvent
 		if err := json.Unmarshal([]byte(raw), &je); err != nil {
 			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		switch je.Type {
+		case SpanStart, SpanEnd, Point, MetricPoint:
+		default:
+			return nil, fmt.Errorf("obs: trace line %d: unknown event type %q", line, je.Type)
+		}
+		if je.Name == "" {
+			return nil, fmt.Errorf("obs: trace line %d: event has no name", line)
 		}
 		e := Event{
 			Seq: je.Seq, TimeUS: je.TimeUS, DurUS: je.DurUS,
@@ -105,6 +139,7 @@ type PhaseRow struct {
 	Name        string
 	Count       int64
 	DurUS       int64
+	DurNS       int64 // nanosecond-resolution total (serve.* request spans)
 	Rounds      int64
 	Messages    int64
 	Words       int64
@@ -171,6 +206,7 @@ func Summarize(events []Event) *TraceSummary {
 			}
 			p.Count++
 			p.DurUS += e.DurUS
+			p.DurNS += AttrInt(e.Attrs, AttrDurNS)
 			p.Rounds += AttrInt(e.Attrs, AttrRounds)
 			p.Messages += AttrInt(e.Attrs, AttrMessages)
 			p.Words += AttrInt(e.Attrs, AttrWords)
@@ -282,16 +318,41 @@ func (s *TraceSummary) Metric(key string) (MetricValue, bool) {
 }
 
 // WriteTable renders the summary as aligned text tables. withRounds also
-// prints the full per-round communication profile.
+// prints the full per-round communication profile. Serve-layer request
+// spans get their own nanosecond-resolution table instead of drowning as
+// zero-duration rows in the build-phase table.
 func (s *TraceSummary) WriteTable(w io.Writer, withRounds bool) error {
-	if len(s.Phases) > 0 {
+	var build, serve []PhaseRow
+	for _, p := range s.Phases {
+		if IsServePhaseSpan(p.Name) {
+			serve = append(serve, p)
+		} else {
+			build = append(build, p)
+		}
+	}
+	if len(build) > 0 {
 		fmt.Fprintf(w, "== phases ==\n")
 		fmt.Fprintf(w, "%-24s %7s %10s %12s %14s %10s %8s %12s\n",
 			"phase", "count", "rounds", "messages", "words", "edges", "maxmsg", "total ms")
-		for _, p := range s.Phases {
+		for _, p := range build {
 			fmt.Fprintf(w, "%-24s %7d %10d %12d %14d %10d %8d %12.3f\n",
 				p.Name, p.Count, p.Rounds, p.Messages, p.Words, p.Edges, p.MaxMsgWords,
 				float64(p.DurUS)/1000)
+		}
+	}
+	if len(serve) > 0 {
+		if len(build) > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "== serve phases ==\n")
+		fmt.Fprintf(w, "%-24s %9s %12s %12s\n", "phase", "requests", "total ms", "avg us")
+		for _, p := range serve {
+			avg := 0.0
+			if p.Count > 0 {
+				avg = float64(p.DurNS) / float64(p.Count) / 1e3
+			}
+			fmt.Fprintf(w, "%-24s %9d %12.3f %12.2f\n",
+				p.Name, p.Count, float64(p.DurNS)/1e6, avg)
 		}
 	}
 	if len(s.Levels) > 0 {

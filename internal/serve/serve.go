@@ -97,6 +97,12 @@ type Request struct {
 	// Deadline, when non-zero, rejects the request if it is still queued at
 	// that instant. The zero value applies Config.DefaultDeadline.
 	Deadline time.Time
+	// Trace, when non-nil, is a caller-owned request trace (e.g. started by
+	// an HTTP handler with a propagated request id). The engine stamps phase
+	// durations and the outcome into it but never finishes it — the caller
+	// does. When nil and Config.Tracer is set, the engine starts and
+	// finishes its own trace for the request.
+	Trace *obs.ReqTrace
 }
 
 // Reply is one query's outcome.
@@ -136,6 +142,18 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// Obs receives serve.* counters and latency histograms (nil = off).
 	Obs *obs.Observer
+	// Tracer enables request-scoped tracing. Requests that arrive with a
+	// caller-owned Trace (HTTP handlers always attach one) get full
+	// per-phase timing, the slow-query log and — when sampled — a span
+	// tree. Requests without one are traced for a deterministic 1-in-N
+	// sample per the tracer's config; the unsampled majority runs at
+	// bare-engine cost. Per-phase serve.phase_ns histograms are fed by
+	// every traced request (nil = off).
+	Tracer *obs.ReqTracer
+	// SLO, when non-nil, receives one availability/latency observation per
+	// engine-owned request (requests carrying a caller-owned Trace are the
+	// caller's to record, with the caller's notion of total latency).
+	SLO *obs.SLOMonitor
 }
 
 func (c Config) withDefaults() Config {
@@ -152,11 +170,18 @@ func (c Config) withDefaults() Config {
 }
 
 // task is one queued unit of work: the request, where to write the reply,
-// and the WaitGroup to release when done.
+// and the WaitGroup to release when done. When tracing or SLO recording is
+// on, it also carries the request's trace context and submit/enqueue
+// instants so the worker can attribute queue wait.
 type task struct {
 	req   Request
 	reply *Reply
 	wg    *sync.WaitGroup
+
+	rt    *obs.ReqTrace
+	owned bool      // engine started rt and must finish it
+	t0    time.Time // submit entry (request start for engine-owned timing)
+	enq   time.Time // enqueue instant (queue wait = dequeue - enq)
 }
 
 type shard struct {
@@ -184,6 +209,11 @@ type Engine struct {
 	// tests use it to hold a worker busy and back up a queue
 	// deterministically.
 	testHook func()
+
+	// Request-scoped observability (all nil-safe).
+	tracer  *obs.ReqTracer
+	slo     *obs.SLOMonitor
+	phaseNS [obs.NumReqPhases]*obs.Histogram
 
 	// Metrics (nil-safe no-ops without an Observer).
 	queries   [numQueryTypes]*obs.Counter
@@ -237,6 +267,11 @@ func New(a *artifact.Artifact, cfg Config) (*Engine, error) {
 	e.batches = reg.Histogram("serve.batch_size")
 	e.routeHops = reg.Histogram("serve.route.hops")
 	e.routeGain = reg.Histogram("serve.route.bound_minus_hops")
+	e.tracer = cfg.Tracer
+	e.slo = cfg.SLO
+	for p := obs.ReqPhase(0); p < obs.NumReqPhases; p++ {
+		e.phaseNS[p] = reg.Histogram("serve.phase_ns", obs.Label{Key: "phase", Value: p.String()})
+	}
 
 	e.snap.Store(newSnapshot(a, e.snapSeq.Add(1)))
 	e.shards = make([]*shard, cfg.Shards)
@@ -282,16 +317,57 @@ func (e *Engine) shardFor(u, v int32) *shard {
 	return e.shards[h%uint32(len(e.shards))]
 }
 
+// sloFailed reports whether a reply counts against the availability
+// objective. ErrNoRoute is a valid answer about the graph, not a failure.
+func sloFailed(err error) bool {
+	return err != nil && !errors.Is(err, ErrNoRoute)
+}
+
+// reject finishes a rejected request's observability: outcome into the
+// trace, the owned trace closed, and an SLO availability miss. Rejections
+// are off the hot path, so the clock read here is fine.
+func (e *Engine) reject(t *task) {
+	t.rt.Outcome(false, t.reply.Err)
+	if t.owned {
+		e.tracer.Finish(t.rt)
+	}
+	if e.slo != nil {
+		now := time.Now()
+		var lat time.Duration
+		if !t.t0.IsZero() {
+			lat = now.Sub(t.t0)
+		}
+		e.slo.RecordAt(true, lat, now)
+	}
+}
+
 // submit enqueues a request. On rejection it fills the reply and returns
 // false without touching wg; on success the worker will Done wg.
+//
+// Observability cost discipline: a request is traced when the caller
+// supplied a Trace (HTTP handlers always do) or when the tracer's 1-in-N
+// sampler fires. Only traced requests read the clock here; the unsampled
+// majority pays one atomic add and reuses the two clock reads the worker
+// makes anyway, keeping full observability within a few percent of a bare
+// engine (asserted by TestObservabilityOverhead).
 func (e *Engine) submit(req Request, r *Reply, wg *sync.WaitGroup) bool {
+	t := task{req: req, reply: r, wg: wg, rt: req.Trace}
+	if t.rt != nil {
+		t.t0 = time.Now()
+	} else if rt, ok := e.tracer.Sample(req.Type.String(), req.U, req.V); ok {
+		t.rt = rt
+		t.owned = true
+		t.t0 = rt.Start()
+	}
 	if req.Type >= numQueryTypes {
 		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrBadQuery}
 		e.rejects["type"].Inc()
+		e.reject(&t)
 		return false
 	}
 	if req.Deadline.IsZero() && e.cfg.DefaultDeadline > 0 {
 		req.Deadline = time.Now().Add(e.cfg.DefaultDeadline)
+		t.req.Deadline = req.Deadline
 	}
 	s := e.shardFor(req.U, req.V)
 	e.mu.RLock()
@@ -299,16 +375,26 @@ func (e *Engine) submit(req Request, r *Reply, wg *sync.WaitGroup) bool {
 		e.mu.RUnlock()
 		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrClosed}
 		e.rejects["closed"].Inc()
+		e.reject(&t)
 		return false
 	}
+	if t.rt != nil {
+		// Admission covers type/deadline checks and shard hashing up to the
+		// enqueue attempt.
+		t.enq = time.Now()
+		d := t.enq.Sub(t.t0)
+		t.rt.Phase(obs.ReqPhaseAdmission, d)
+		e.phaseNS[obs.ReqPhaseAdmission].Observe(d.Nanoseconds())
+	}
 	select {
-	case s.ch <- task{req: req, reply: r, wg: wg}:
+	case s.ch <- t:
 		e.mu.RUnlock()
 		return true
 	default:
 		e.mu.RUnlock()
 		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrOverloaded}
 		e.rejects["overload"].Inc()
+		e.reject(&t)
 		return false
 	}
 }
@@ -384,18 +470,44 @@ func (e *Engine) worker(s *shard) {
 
 func cacheKey(u, v int32) int64 { return int64(u)<<32 | int64(uint32(v)) }
 
+// finish closes out a completed (not rejected-at-admission) task's
+// observability: outcome into the trace, the owned trace finished, and the
+// SLO observation. Traced requests report full submit-to-completion
+// latency; untraced ones report the worker's dequeue-to-completion span —
+// the same two clock reads the engine makes regardless of observability.
+func (e *Engine) finish(t *task, start, end time.Time) {
+	t.rt.Outcome(t.reply.Cached, t.reply.Err)
+	if t.owned {
+		e.tracer.FinishAt(t.rt, end)
+	}
+	if e.slo != nil {
+		lat := end.Sub(start)
+		if !t.t0.IsZero() {
+			lat = end.Sub(t.t0)
+		}
+		e.slo.RecordAt(sloFailed(t.reply.Err), lat, end)
+	}
+}
+
 func (e *Engine) process(s *shard, t task) {
 	defer t.wg.Done()
 	if h := e.testHook; h != nil {
 		h()
 	}
 	start := time.Now()
+	traced := t.rt != nil
+	if traced {
+		d := start.Sub(t.enq)
+		t.rt.Phase(obs.ReqPhaseQueue, d)
+		e.phaseNS[obs.ReqPhaseQueue].Observe(d.Nanoseconds())
+	}
 	req := t.req
 	r := t.reply
 	*r = Reply{Type: req.Type, U: req.U, V: req.V}
-	if !req.Deadline.IsZero() && time.Now().After(req.Deadline) {
+	if !req.Deadline.IsZero() && start.After(req.Deadline) {
 		r.Err = ErrDeadline
 		e.rejects["deadline"].Inc()
+		e.finish(&t, start, start)
 		return
 	}
 	snap := e.snap.Load()
@@ -408,9 +520,22 @@ func (e *Engine) process(s *shard, t task) {
 		}
 		s.epoch = snap.ID
 	}
+	badVertex := false
 	if n := int32(snap.N()); req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
+		badVertex = true
+	}
+	// Shard dispatch: epoch check, cache invalidation, vertex validation.
+	afterShard := start
+	if traced {
+		afterShard = time.Now()
+		d := afterShard.Sub(start)
+		t.rt.Phase(obs.ReqPhaseShard, d)
+		e.phaseNS[obs.ReqPhaseShard].Observe(d.Nanoseconds())
+	}
+	if badVertex {
 		r.Err = ErrBadVertex
 		e.rejects["vertex"].Inc()
+		e.finish(&t, start, afterShard)
 		return
 	}
 	key := cacheKey(req.U, req.V)
@@ -420,10 +545,22 @@ func (e *Engine) process(s *shard, t task) {
 			r.Cached = true
 			e.hits[req.Type].Inc()
 			e.queries[req.Type].Inc()
-			e.latency[req.Type].Observe(time.Since(start).Microseconds())
+			end := time.Now()
+			if traced {
+				d := end.Sub(afterShard)
+				t.rt.Phase(obs.ReqPhaseCache, d)
+				e.phaseNS[obs.ReqPhaseCache].Observe(d.Nanoseconds())
+			}
+			e.latency[req.Type].Observe(end.Sub(start).Microseconds())
+			e.finish(&t, start, end)
 			return
 		}
 		e.misses[req.Type].Inc()
+	}
+	afterLookup := afterShard
+	if traced {
+		afterLookup = time.Now()
+		t.rt.Phase(obs.ReqPhaseCache, afterLookup.Sub(afterShard))
 	}
 
 	var cv cacheVal
@@ -453,10 +590,35 @@ func (e *Engine) process(s *shard, t task) {
 			}
 		}
 	}
+	afterOracle := afterLookup
+	if traced {
+		afterOracle = time.Now()
+		d := afterOracle.Sub(afterLookup)
+		t.rt.Phase(obs.ReqPhaseOracle, d)
+		e.phaseNS[obs.ReqPhaseOracle].Observe(d.Nanoseconds())
+	}
 	if c := s.caches[req.Type]; c != nil {
 		c.put(key, cv)
 	}
 	r.Dist, r.Bound, r.Path, r.Err = cv.dist, cv.bound, cv.path, cv.err
 	e.queries[req.Type].Inc()
-	e.latency[req.Type].Observe(time.Since(start).Microseconds())
+	end := time.Now()
+	if traced {
+		// The miss-path cache phase is lookup + insert: add the insert tail.
+		d := end.Sub(afterOracle)
+		t.rt.Phase(obs.ReqPhaseCache, d)
+		e.phaseNS[obs.ReqPhaseCache].Observe(afterLookup.Sub(afterShard).Nanoseconds() + d.Nanoseconds())
+	}
+	e.latency[req.Type].Observe(end.Sub(start).Microseconds())
+	e.finish(&t, start, end)
+}
+
+// QueueDepths reports each shard's current queued-request count; index i is
+// shard i. Spannertop renders these as the shard backlog gauge.
+func (e *Engine) QueueDepths() []int {
+	d := make([]int, len(e.shards))
+	for i, s := range e.shards {
+		d[i] = len(s.ch)
+	}
+	return d
 }
