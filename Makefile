@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck check clean
 
 all: build vet test
 
@@ -53,6 +53,7 @@ faultcheck:
 	$(GO) test -fuzz=FuzzReliableLink -fuzztime=10s ./internal/reliable
 	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=10s ./internal/artifact
 	$(GO) test -fuzz=FuzzDeltaDecode -fuzztime=10s ./internal/artifact
+	$(GO) test -fuzz=FuzzUpdateLogRecovery -fuzztime=10s ./internal/dynamic
 
 # The serving-layer gate: artifact codec, query engine and daemon tests
 # under the race detector, plus the root round-trip/hot-swap integration
@@ -83,9 +84,22 @@ obscheck:
 	$(GO) test -run 'Obs|Trace|Metric|SLO|Prometheus' -race ./internal/serve/... .
 	$(GO) test -run TestObservabilityOverhead -count=1 ./internal/serve/
 
+# The serving-resilience gate: the chaos substrate, crash recovery and
+# retrying-client unit tests under the race detector, then the chaos
+# acceptance suite (zero wrong answers under every seeded failure class,
+# every degraded answer flagged, recovery falls back to the last good
+# generation, drain completes in-flight work) and the benchmark-backed
+# ≤5% resilience-overhead bar.
+chaoscheck:
+	$(GO) vet ./internal/httpchaos/... ./internal/recovery/... ./client/...
+	$(GO) test -race ./internal/httpchaos/... ./internal/recovery/... ./client/...
+	$(GO) test -run 'Chaos|Drain|FallsBack|RecoveredDeltas|Brownout|BatchLimit|Degraded|Recovery|Resilience|Priority' -race \
+		./cmd/spannerd/... ./internal/dynamic/... ./internal/serve/...
+	$(GO) test -run TestResilienceOverhead -count=1 ./internal/serve/
+
 # The full gate: build, vet, unit tests, then the robustness, serving,
-# dynamic and observability suites.
-check: build vet test faultcheck serve dynamic obscheck
+# dynamic, observability and serving-resilience suites.
+check: build vet test faultcheck serve dynamic obscheck chaoscheck
 
 clean:
 	$(GO) clean ./...

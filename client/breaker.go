@@ -1,0 +1,103 @@
+package client
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker. Closed passes traffic
+// and counts consecutive failures; Threshold of them opens the circuit,
+// which sheds every call locally (ErrUnavailable, no network) until
+// Cooldown elapses. The first call after cooldown is the half-open probe:
+// its success closes the circuit, its failure reopens it for another full
+// cooldown. One probe at a time — a thundering herd re-arriving at a
+// recovering server is exactly what the breaker exists to prevent.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu          sync.Mutex
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a call may proceed right now.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe in flight at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success reports a completed call; any success fully closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.consecutive = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+// failure reports a failed call (transport error or 5xx — failures that
+// suggest the server is down, not that the request was wrong).
+func (b *breaker) failure() {
+	b.mu.Lock()
+	b.consecutive++
+	switch {
+	case b.state == breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	case b.state == breakerClosed && b.consecutive >= b.threshold:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the state name (for Stats and the loadgen taxonomy).
+func (b *breaker) snapshot() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

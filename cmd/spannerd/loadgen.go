@@ -67,12 +67,23 @@ func parseMix(s string) ([3]int, error) {
 // log-bucketed histogram (nanoseconds, answered queries only) instead of an
 // unbounded sample slice, so percentiles cost O(buckets) and long runs stay
 // flat on memory.
+//
+// Failures are split by the error taxonomy the resilience layer acts on:
+// timeout (deadline expired while queued), rejected (admission control —
+// overload, brownout shed, engine closed) and transport (everything else:
+// faults that are neither the client's pacing nor the server's shedding).
+// Degraded counts successful answers served as landmark upper bounds under
+// brownout — they are in ok and in the latency histogram, flagged here so a
+// sweep can see how much of its "availability" was approximate.
 type typeStats struct {
-	lat      *obs.Histogram
-	ok       int64
-	cached   int64
-	noroute  int64
-	rejected int64 // overload + deadline + closed
+	lat       *obs.Histogram
+	ok        int64
+	cached    int64
+	degraded  int64
+	noroute   int64
+	timeout   int64
+	rejected  int64
+	transport int64
 }
 
 // loadReport is the printable outcome of a run.
@@ -249,11 +260,20 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 				if s.rep.Cached {
 					st.cached++
 				}
+				if s.rep.Degraded {
+					st.degraded++
+				}
 			case errors.Is(s.rep.Err, serve.ErrNoRoute):
 				st.noroute++
 				st.lat.Observe(s.lat.Nanoseconds())
-			default:
+			case errors.Is(s.rep.Err, serve.ErrDeadline):
+				st.timeout++
+			case errors.Is(s.rep.Err, serve.ErrOverloaded),
+				errors.Is(s.rep.Err, serve.ErrBrownout),
+				errors.Is(s.rep.Err, serve.ErrClosed):
 				st.rejected++
+			default:
+				st.transport++
 			}
 		}
 	}()
@@ -326,20 +346,20 @@ func (r *loadReport) write(w io.Writer) {
 		fmt.Fprintf(w, " swaps=%d", r.swaps)
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %10s %10s %10s %12s\n",
-		"type", "queries", "cached", "noroute", "rejected", "p50", "p95", "p99", "qps")
+	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %8s %8s %9s %10s %10s %10s %12s\n",
+		"type", "queries", "cached", "degraded", "noroute", "timeout", "rejected", "transport", "p50", "p95", "p99", "qps")
 	var total int64
 	for t := serve.QueryType(0); t < 3; t++ {
 		st := &r.stats[t]
 		snap := st.lat.Snapshot()
-		n := snap.Count + st.rejected
+		n := snap.Count + st.timeout + st.rejected + st.transport
 		if n == 0 {
 			continue
 		}
 		total += n
 		qps := float64(snap.Count) / r.elapsed.Seconds()
-		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %10v %10v %10v %12.0f\n",
-			t, n, st.cached, st.noroute, st.rejected,
+		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %8d %8d %9d %10v %10v %10v %12.0f\n",
+			t, n, st.cached, st.degraded, st.noroute, st.timeout, st.rejected, st.transport,
 			pct(snap, 0.50).Round(time.Microsecond),
 			pct(snap, 0.95).Round(time.Microsecond),
 			pct(snap, 0.99).Round(time.Microsecond),

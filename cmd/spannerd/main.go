@@ -9,6 +9,16 @@
 //	curl 'localhost:8080/query?type=dist&u=3&v=77'
 //	curl -X POST localhost:8080/swap -d '{"artifact":"next.spanart"}'
 //
+// Crash-safe serving from a directory (startup integrity scan, corrupt
+// files quarantined, newest intact generation served, verified deltas
+// replayed, restarts budgeted):
+//
+//	spannerd -artifact-dir /var/lib/spanner -supervise 3
+//
+// Fault injection on the serve path (deterministic, seeded):
+//
+//	spannerd -artifact build.spanart -chaos 'reset=0.01,err5xx=0.02,truncate=0.01,seed=7'
+//
 // Load harness:
 //
 //	spannerd -artifact build.spanart -loadgen -mode closed -conc 32 -duration 10s
@@ -21,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -29,7 +40,9 @@ import (
 
 	"spanner/internal/artifact"
 	"spanner/internal/dynamic"
+	"spanner/internal/httpchaos"
 	"spanner/internal/obs"
+	"spanner/internal/recovery"
 	"spanner/internal/serve"
 )
 
@@ -40,14 +53,86 @@ func main() {
 	}
 }
 
+// daemonConfig is the resolved flag set the serving path runs from; one
+// value per supervised attempt keeps restart behavior identical to a cold
+// start.
+type daemonConfig struct {
+	artPath, artDir string
+	addr            string
+	chaos           *httpchaos.Plan
+	drainTimeout    time.Duration
+
+	engine engineFlags
+	logger *slog.Logger
+}
+
+// engineFlags carries the engine + observability tuning shared by the
+// serving and loadgen paths.
+type engineFlags struct {
+	shards, queue, cache int
+	deadline             time.Duration
+	maxBatch             int
+	brownoutPoll         time.Duration
+
+	traceSample int
+	slowQuery   time.Duration
+	sloWindow   time.Duration
+	sloAvail    float64
+	sloLatObj   float64
+	sloLatTh    time.Duration
+}
+
+// buildEngine assembles the observability stack and the engine over an
+// artifact.
+func (ef engineFlags) buildEngine(art *artifact.Artifact, logger *slog.Logger) (*serve.Engine, *obs.Observer, *obs.ReqTracer, *obs.SLOMonitor, error) {
+	ob := obs.New()
+	var tracer *obs.ReqTracer
+	if ef.traceSample > 0 || ef.slowQuery > 0 {
+		tracer = obs.NewReqTracer(ob, obs.ReqTracerConfig{
+			SampleEvery:   ef.traceSample,
+			SlowThreshold: ef.slowQuery,
+			Logger:        logger,
+		})
+	}
+	slo := obs.NewSLOMonitor(obs.SLOConfig{
+		Availability:     ef.sloAvail,
+		LatencyObjective: ef.sloLatObj,
+		LatencyThreshold: ef.sloLatTh,
+		Window:           ef.sloWindow,
+	})
+	eng, err := serve.New(art, serve.Config{
+		Shards:          ef.shards,
+		QueueDepth:      ef.queue,
+		CacheSize:       ef.cache,
+		DefaultDeadline: ef.deadline,
+		MaxBatch:        ef.maxBatch,
+		BrownoutPoll:    ef.brownoutPoll,
+		Obs:             ob,
+		Tracer:          tracer,
+		SLO:             slo,
+	})
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return eng, ob, tracer, slo, nil
+}
+
 func run() error {
 	var (
-		artPath  = flag.String("artifact", "", "saved build artifact to serve (required)")
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		shards   = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 0, "per-shard queue depth (0 = default)")
-		cache    = flag.Int("cache", 0, "per-shard per-type LRU size (0 = default, <0 disables)")
-		deadline = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+		artPath = flag.String("artifact", "", "saved build artifact to serve")
+		artDir  = flag.String("artifact-dir", "", "serve from a directory: integrity-scan it, quarantine corrupt files, resume the newest intact generation")
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+
+		supervise = flag.Int("supervise", 0, "restart budget after server crashes (requires -artifact-dir; each restart rescans and resumes the last verified generation)")
+		chaosSpec = flag.String("chaos", "", "inject seeded serve-path faults, e.g. reset=0.01,err5xx=0.02,truncate=0.01,seed=7 (see internal/httpchaos)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+
+		shards       = flag.Int("shards", 0, "engine shards (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "per-shard queue depth (0 = default)")
+		cache        = flag.Int("cache", 0, "per-shard per-type LRU size (0 = default, <0 disables)")
+		deadline     = flag.Duration("deadline", 0, "default per-query deadline (0 = none)")
+		maxBatch     = flag.Int("max-batch", 0, "largest accepted /batch size (0 = default 1024; shrinks to a quarter under brownout)")
+		brownoutPoll = flag.Duration("brownout-poll", time.Second, "SLO brownout controller poll interval (0 = controller off)")
 
 		traceSample = flag.Int("trace-sample", 64, "emit a span tree for 1 in N requests (0 = off)")
 		slowQuery   = flag.Duration("slow-query", 25*time.Millisecond, "log any request slower than this with its phase breakdown (0 = off)")
@@ -69,46 +154,27 @@ func run() error {
 	)
 	flag.Parse()
 
-	if *artPath == "" {
-		return errors.New("-artifact is required")
-	}
-	art, err := artifact.Load(*artPath)
-	if err != nil {
-		return fmt.Errorf("loading artifact: %w", err)
-	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	ob := obs.New()
-	var tracer *obs.ReqTracer
-	if *traceSample > 0 || *slowQuery > 0 {
-		tracer = obs.NewReqTracer(ob, obs.ReqTracerConfig{
-			SampleEvery:   *traceSample,
-			SlowThreshold: *slowQuery,
-			Logger:        logger,
-		})
+	ef := engineFlags{
+		shards: *shards, queue: *queue, cache: *cache, deadline: *deadline,
+		maxBatch: *maxBatch, brownoutPoll: *brownoutPoll,
+		traceSample: *traceSample, slowQuery: *slowQuery,
+		sloWindow: *sloWindow, sloAvail: *sloAvail, sloLatObj: *sloLatObj, sloLatTh: *sloLatTh,
 	}
-	slo := obs.NewSLOMonitor(obs.SLOConfig{
-		Availability:     *sloAvail,
-		LatencyObjective: *sloLatObj,
-		LatencyThreshold: *sloLatTh,
-		Window:           *sloWindow,
-	})
-	eng, err := serve.New(art, serve.Config{
-		Shards:          *shards,
-		QueueDepth:      *queue,
-		CacheSize:       *cache,
-		DefaultDeadline: *deadline,
-		Obs:             ob,
-		Tracer:          tracer,
-		SLO:             slo,
-	})
-	if err != nil {
-		return err
-	}
-	defer eng.Close()
-	logger.Info("artifact loaded", "path", *artPath, "algo", art.Algo,
-		"n", art.Graph.N(), "spanner", art.Spanner.Len(), "generation", eng.SnapshotID())
 
 	if *loadgen {
+		if *artPath == "" {
+			return errors.New("-artifact is required for -loadgen")
+		}
+		art, err := artifact.Load(*artPath)
+		if err != nil {
+			return fmt.Errorf("loading artifact: %w", err)
+		}
+		eng, _, _, _, err := ef.buildEngine(art, logger)
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
 		cfg := loadConfig{
 			Mode:      *mode,
 			Conc:      *conc,
@@ -136,26 +202,155 @@ func run() error {
 		return nil
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(eng, ob, serverOpts{
-		tracer: tracer, slo: slo, logger: logger,
-	}).routes()}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr,
-		"trace_sample", *traceSample, "slow_query", *slowQuery, "slo_window", *sloWindow)
+	if *artPath == "" && *artDir == "" {
+		return errors.New("-artifact or -artifact-dir is required")
+	}
+	if *supervise > 0 && *artDir == "" {
+		return errors.New("-supervise requires -artifact-dir (restarts resume from the scanned directory)")
+	}
+	var chaosPlan *httpchaos.Plan
+	if *chaosSpec != "" {
+		p, err := httpchaos.Parse(*chaosSpec)
+		if err != nil {
+			return fmt.Errorf("-chaos: %w", err)
+		}
+		chaosPlan = p
+		logger.Warn("serve-path chaos injection enabled", "spec", *chaosSpec)
+	}
+	cfg := daemonConfig{
+		artPath: *artPath, artDir: *artDir, addr: *addr,
+		chaos: chaosPlan, drainTimeout: *drain,
+		engine: ef, logger: logger,
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	// The supervised serve loop: a clean drain (signal) exits; a crashed
+	// server restarts within the budget, rescanning the artifact directory
+	// so each attempt resumes from the last generation that verifies.
+	for attempt := 0; ; attempt++ {
+		err := serveOnce(cfg, sigc)
+		if err == nil {
+			return nil
+		}
+		if attempt >= *supervise {
+			return err
+		}
+		logger.Error("server died; restarting from last verified generation",
+			"err", err, "attempt", attempt+1, "budget", *supervise)
+	}
+}
+
+// loadServingArtifact resolves what to serve: -artifact loads one file;
+// -artifact-dir runs the crash-recovery scan — corrupt artifacts and
+// deltas are quarantined, a damaged update log is repaired to its
+// replayable prefix, and the newest intact generation wins.
+func loadServingArtifact(cfg daemonConfig) (*artifact.Artifact, *recovery.Report, error) {
+	if cfg.artDir == "" {
+		a, err := artifact.Load(cfg.artPath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loading artifact: %w", err)
+		}
+		return a, nil, nil
+	}
+	rep, err := recovery.Scan(cfg.artDir, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, q := range rep.Quarantined {
+		cfg.logger.Warn("quarantined corrupt serving file", "path", q.Path, "to", q.To, "cause", q.Err)
+	}
+	if rep.Log != nil && rep.Log.Damaged {
+		cfg.logger.Warn("update log repaired", "report", rep.Log.String())
+	}
+	lg := rep.LastGood()
+	if lg == nil {
+		return nil, nil, fmt.Errorf("no intact artifact in %s (%d quarantined)", cfg.artDir, len(rep.Quarantined))
+	}
+	cfg.logger.Info("recovery scan complete", "summary", rep.String(), "serving", lg.Path)
+	return lg.Art, rep, nil
+}
+
+// applyRecoveredDeltas chains the scan's verified deltas onto the running
+// engine: whichever delta binds to the current generation's checksum is
+// applied, then the chain continues from the new generation. Bounded by the
+// delta count — a delta either advances the generation or is skipped.
+func applyRecoveredDeltas(eng *serve.Engine, rep *recovery.Report, logger *slog.Logger) {
+	if rep == nil {
+		return
+	}
+	for range rep.Deltas {
+		applied := false
+		for _, d := range rep.DeltasFor(eng.Snapshot().Art.Checksum()) {
+			gen, err := eng.ApplyDelta(d.Delta)
+			if err != nil {
+				logger.Warn("recovered delta rejected", "path", d.Path, "err", err)
+				continue
+			}
+			logger.Info("recovered delta replayed", "path", d.Path, "snapshot", gen)
+			applied = true
+			break
+		}
+		if !applied {
+			return
+		}
+	}
+}
+
+// serveOnce runs one full server lifetime: load (or recover) the artifact,
+// build the engine, serve until a shutdown signal or a server error, drain.
+// Returns nil on a clean drain.
+func serveOnce(cfg daemonConfig, sigc <-chan os.Signal) error {
+	art, rep, err := loadServingArtifact(cfg)
+	if err != nil {
+		return err
+	}
+	eng, ob, tracer, slo, err := cfg.engine.buildEngine(art, cfg.logger)
+	if err != nil {
+		return err
+	}
+	applyRecoveredDeltas(eng, rep, cfg.logger)
+	cfg.logger.Info("artifact loaded", "algo", art.Algo,
+		"n", art.Graph.N(), "spanner", art.Spanner.Len(), "generation", eng.SnapshotID())
+
+	var handler http.Handler = newServer(eng, ob, serverOpts{
+		tracer: tracer, slo: slo, logger: cfg.logger,
+	}).routes()
+	if cfg.chaos != nil {
+		handler = cfg.chaos.Middleware(handler)
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		eng.Close()
+		return err
+	}
+	cfg.logger.Info("listening", "addr", ln.Addr().String())
+	return serveUntilSignal(&http.Server{Handler: handler}, ln, eng, sigc, cfg.drainTimeout, cfg.logger)
+}
+
+// serveUntilSignal serves until a shutdown signal or a server error, then
+// drains in the only safe order: the listener stops accepting and every
+// in-flight handler runs to completion (srv.Shutdown) BEFORE the engine
+// closes. Closing the engine first would answer "engine closed" to exactly
+// the requests a graceful drain exists to finish — the regression
+// TestDrainCompletesInflightBatch pins down.
+func serveUntilSignal(srv *http.Server, ln net.Listener, eng *serve.Engine, sigc <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		// The listener died on its own; nothing is accepting, so draining
+		// the engine is safe and keeps queued replies from being lost.
+		eng.Close()
 		return err
 	case sig := <-sigc:
 		logger.Info("draining", "signal", sig.String())
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			return err
-		}
-		return nil
+		err := srv.Shutdown(ctx)
+		// Only now — with no handler left in flight — drain the workers.
+		eng.Close()
+		return err
 	}
 }

@@ -67,6 +67,9 @@ type queryJSON struct {
 	V    int32  `json:"v"`
 	// DeadlineMS, when positive, bounds queueing+execution time.
 	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+	// Priority is ""/"high" (protected) or "low" (shed first when the
+	// server browns out).
+	Priority string `json:"priority,omitempty"`
 }
 
 // replyJSON is the wire form of a reply.
@@ -78,6 +81,7 @@ type replyJSON struct {
 	Path     []int32 `json:"path,omitempty"`
 	Bound    *int32  `json:"bound,omitempty"`
 	Cached   bool    `json:"cached"`
+	Degraded bool    `json:"degraded,omitempty"`
 	Snapshot int64   `json:"snapshot"`
 	Err      string  `json:"err,omitempty"`
 }
@@ -90,6 +94,7 @@ func toWire(r serve.Reply) replyJSON {
 		Dist:     r.Dist,
 		Path:     r.Path,
 		Cached:   r.Cached,
+		Degraded: r.Degraded,
 		Snapshot: r.SnapshotID,
 	}
 	if r.Type == serve.QueryRoute && r.Bound != graph.Unreachable {
@@ -110,6 +115,10 @@ func statusFor(err error) int {
 		return http.StatusOK
 	case errors.Is(err, serve.ErrBadVertex), errors.Is(err, serve.ErrBadQuery):
 		return http.StatusBadRequest
+	case errors.Is(err, serve.ErrBrownout):
+		// Deliberate shed, not an outage: 429 tells well-behaved clients to
+		// back off without tripping their circuit breakers.
+		return http.StatusTooManyRequests
 	case errors.Is(err, serve.ErrOverloaded), errors.Is(err, serve.ErrClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrDeadline):
@@ -134,7 +143,11 @@ func (q queryJSON) toRequest() (serve.Request, error) {
 	if err != nil {
 		return serve.Request{}, fmt.Errorf("%w: %q", err, q.Type)
 	}
-	req := serve.Request{Type: typ, U: q.U, V: q.V}
+	prio, err := serve.ParsePriority(q.Priority)
+	if err != nil {
+		return serve.Request{}, fmt.Errorf("bad priority %q", q.Priority)
+	}
+	req := serve.Request{Type: typ, U: q.U, V: q.V, Priority: prio}
 	if q.DeadlineMS > 0 {
 		req.Deadline = time.Now().Add(time.Duration(q.DeadlineMS) * time.Millisecond)
 	}
@@ -155,6 +168,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		q.U, q.V = int32(u), int32(v)
+		q.Priority = r.URL.Query().Get("priority")
 		if d := r.URL.Query().Get("deadlineMs"); d != "" {
 			ms, err := strconv.ParseInt(d, 10, 64)
 			if err != nil {
@@ -202,6 +216,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var qs []queryJSON
 	if err := json.NewDecoder(r.Body).Decode(&qs); err != nil {
 		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	// The advertised batch limit shrinks under brownout: refusing one large
+	// batch sheds hundreds of queries without touching interactive traffic.
+	if max := s.eng.MaxBatch(); len(qs) > max {
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("batch of %d exceeds the current limit of %d", len(qs), max))
 		return
 	}
 	reqs := make([]serve.Request, len(qs))
@@ -319,6 +340,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{
 		"status":   state,
 		"slo":      sloStatus,
+		"brownout": s.eng.Brownout(),
 		"snapshot": snap.ID,
 		"algo":     snap.Art.Algo,
 		"n":        snap.N(),

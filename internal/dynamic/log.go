@@ -71,25 +71,41 @@ func CreateLog(path string) (*LogWriter, error) {
 	return &LogWriter{f: f}, nil
 }
 
-// Append writes one batch as a checksummed segment and syncs it to disk, so
-// a crash after Append returns never loses that segment.
-func (w *LogWriter) Append(b Batch) error {
-	w.seq++
+// segmentWords encodes one batch as its checksummed segment words — the
+// unit Append writes and the recovery path re-encodes to prove a salvaged
+// prefix is byte-identical to what the writer put down.
+func segmentWords(seq int64, b Batch) ([]int64, error) {
 	words := make([]int64, 0, len(b)+4)
-	words = append(words, logMagic, w.seq, int64(len(b)))
+	words = append(words, logMagic, seq, int64(len(b)))
 	for _, up := range b {
 		key := graph.EdgeKey(up.U, up.V)
 		if key&^keyMask != 0 {
-			return fmt.Errorf("dynamic: vertex id %d too large for the update log format", up.U)
+			return nil, fmt.Errorf("dynamic: vertex id %d too large for the update log format", up.U)
 		}
 		words = append(words, int64(up.Op)<<opShift|key)
 	}
 	words = append(words, fnvWords(words))
+	return words, nil
+}
+
+// wordsBytes renders words little-endian, the log's on-disk form.
+func wordsBytes(words []int64) []byte {
 	buf := make([]byte, 8*len(words))
 	for i, wd := range words {
 		binary.LittleEndian.PutUint64(buf[8*i:], uint64(wd))
 	}
-	if _, err := w.f.Write(buf); err != nil {
+	return buf
+}
+
+// Append writes one batch as a checksummed segment and syncs it to disk, so
+// a crash after Append returns never loses that segment.
+func (w *LogWriter) Append(b Batch) error {
+	words, err := segmentWords(w.seq+1, b)
+	if err != nil {
+		return err
+	}
+	w.seq++
+	if _, err := w.f.Write(wordsBytes(words)); err != nil {
 		return fmt.Errorf("dynamic: append update log: %w", err)
 	}
 	return w.f.Sync()
@@ -112,54 +128,64 @@ func ReadLog(path string) ([]Batch, error) {
 
 // DecodeLog decodes an update log from bytes; see ReadLog.
 func DecodeLog(data []byte) ([]Batch, error) {
-	if len(data)%8 != 0 {
-		// Keep whole words; the ragged tail is torn.
-		data = data[:len(data)-len(data)%8]
-	}
+	batches, _, err := decodeSegments(logWords(data))
+	return batches, err
+}
+
+// logWords converts log bytes to whole little-endian words; a ragged tail
+// (a torn partial word) is dropped here and surfaces as a torn segment.
+func logWords(data []byte) []int64 {
+	data = data[:len(data)-len(data)%8]
 	words := make([]int64, len(data)/8)
 	for i := range words {
 		words[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
 	}
-	var batches []Batch
+	return words
+}
+
+// decodeSegments walks segments from the head, returning every fully valid
+// batch, the word offset where the valid prefix ends, and the typed error
+// that stopped the walk (nil when the whole input parsed).
+func decodeSegments(words []int64) (batches []Batch, validWords int, err error) {
 	pos := 0
 	for pos < len(words) {
 		// Header: magic, seq, count.
 		if len(words)-pos < 3 {
-			return batches, fmt.Errorf("%w: %d trailing words", ErrLogTruncated, len(words)-pos)
+			return batches, pos, fmt.Errorf("%w: %d trailing words", ErrLogTruncated, len(words)-pos)
 		}
 		if words[pos] != logMagic {
-			return batches, fmt.Errorf("%w: segment %d", ErrLogMagic, len(batches)+1)
+			return batches, pos, fmt.Errorf("%w: segment %d", ErrLogMagic, len(batches)+1)
 		}
 		seq := words[pos+1]
 		if seq != int64(len(batches)+1) {
-			return batches, fmt.Errorf("%w: segment %d has seq %d", ErrLogOrder, len(batches)+1, seq)
+			return batches, pos, fmt.Errorf("%w: segment %d has seq %d", ErrLogOrder, len(batches)+1, seq)
 		}
 		count := words[pos+2]
 		if count < 0 || count > int64(len(words)-pos-3) {
-			return batches, fmt.Errorf("%w: segment %d claims %d updates", ErrLogTruncated, seq, count)
+			return batches, pos, fmt.Errorf("%w: segment %d claims %d updates", ErrLogTruncated, seq, count)
 		}
 		end := pos + 3 + int(count)
 		if end >= len(words) { // footer word must follow
-			return batches, fmt.Errorf("%w: segment %d footer missing", ErrLogTruncated, seq)
+			return batches, pos, fmt.Errorf("%w: segment %d footer missing", ErrLogTruncated, seq)
 		}
 		if got, want := words[end], fnvWords(words[pos:end]); got != want {
-			return batches, fmt.Errorf("%w: segment %d", ErrLogChecksum, seq)
+			return batches, pos, fmt.Errorf("%w: segment %d", ErrLogChecksum, seq)
 		}
 		b := make(Batch, 0, count)
 		for _, w := range words[pos+3 : end] {
 			op := Op(uint64(w) >> opShift)
 			if op > OpDelete {
-				return batches, fmt.Errorf("%w: segment %d has op %d", ErrLogCorrupt, seq, op)
+				return batches, pos, fmt.Errorf("%w: segment %d has op %d", ErrLogCorrupt, seq, op)
 			}
 			key := w & keyMask
 			u, v := graph.UnpackEdgeKey(key)
 			if u < 0 || v <= u {
-				return batches, fmt.Errorf("%w: segment %d has edge key %d", ErrLogCorrupt, seq, key)
+				return batches, pos, fmt.Errorf("%w: segment %d has edge key %d", ErrLogCorrupt, seq, key)
 			}
 			b = append(b, Update{Op: op, U: u, V: v})
 		}
 		batches = append(batches, b)
 		pos = end + 1
 	}
-	return batches, nil
+	return batches, pos, nil
 }

@@ -1,0 +1,72 @@
+package dynamic
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUpdateLogRecovery fuzzes the recovery decoder over arbitrary bytes —
+// valid logs, torn tails, bit flips and garbage — and checks the recovery
+// invariants that the serving stack's crash path depends on:
+//
+//  1. never panic;
+//  2. the replayable prefix re-encodes to exactly the bytes it was decoded
+//     from (recovery returns what the writer wrote, bit for bit);
+//  3. the report is self-consistent (prefix length bounded and
+//     word-aligned, batch count matches, damage flagged iff the prefix is
+//     proper);
+//  4. re-decoding the claimed valid prefix succeeds cleanly with the same
+//     batches (repair-then-read can never fail).
+func FuzzUpdateLogRecovery(f *testing.F) {
+	valid, err := EncodeLog([]Batch{
+		{{Op: OpInsert, U: 1, V: 2}, {Op: OpDelete, U: 3, V: 4}},
+		{{Op: OpInsert, U: 2, V: 9}},
+		{{Op: OpInsert, U: 0, V: 1}, {Op: OpInsert, U: 5, V: 8}, {Op: OpDelete, U: 2, V: 9}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn tail, mid-word
+	f.Add(valid[:len(valid)-8]) // torn tail, word-aligned (footer gone)
+	midflip := bytes.Clone(valid)
+	midflip[len(midflip)/2] ^= 0x40 // mid-file corruption
+	f.Add(midflip)
+	f.Add([]byte{})
+	f.Add([]byte("not an update log at all, but longer than one word"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batches, rep := DecodeLogRecover(data)
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		if len(batches) != rep.Replayable {
+			t.Fatalf("%d batches vs Replayable=%d", len(batches), rep.Replayable)
+		}
+		if rep.ValidPrefixBytes < 0 || rep.ValidPrefixBytes > int64(len(data)) || rep.ValidPrefixBytes%8 != 0 {
+			t.Fatalf("implausible valid prefix %d of %d bytes", rep.ValidPrefixBytes, len(data))
+		}
+		if rep.Damaged != (rep.ValidPrefixBytes != int64(len(data))) {
+			t.Fatalf("Damaged=%v but prefix %d of %d bytes", rep.Damaged, rep.ValidPrefixBytes, len(data))
+		}
+		if rep.TornTail && rep.Salvaged != 0 {
+			t.Fatalf("torn tail with %d salvaged segments", rep.Salvaged)
+		}
+		// Invariant 2: byte-exact re-encoding of the replayable prefix.
+		reenc, err := EncodeLog(batches)
+		if err != nil {
+			t.Fatalf("re-encoding replayable batches: %v", err)
+		}
+		if !bytes.Equal(reenc, data[:rep.ValidPrefixBytes]) {
+			t.Fatalf("replayable prefix not byte-identical: %d vs %d bytes", len(reenc), rep.ValidPrefixBytes)
+		}
+		// Invariant 4: the valid prefix decodes clean (what RepairLog keeps).
+		again, err := DecodeLog(data[:rep.ValidPrefixBytes])
+		if err != nil {
+			t.Fatalf("valid prefix fails clean decode: %v", err)
+		}
+		if len(again) != len(batches) {
+			t.Fatalf("clean decode of prefix yields %d batches, recovery said %d", len(again), len(batches))
+		}
+	})
+}

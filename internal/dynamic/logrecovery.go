@@ -1,0 +1,218 @@
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Crash-safe recovery for the append-only update log. ReadLog/DecodeLog
+// stop at the first damage and hand back the valid prefix; this file adds
+// the full recovery contract the serving stack needs after a crash or disk
+// fault:
+//
+//   - DecodeLogRecover/RecoverLog classify the damage (torn tail from a
+//     writer that died mid-append vs mid-file corruption under an intact
+//     length), scan past it for structurally valid segments, and return a
+//     typed LogRecoveryReport.
+//   - RepairLog rewrites the log to exactly its replayable prefix with the
+//     temp-file+rename discipline, so the file is append-safe again.
+//   - OpenLog opens a log for continued appending, repairing damage first
+//     and continuing the sequence from the last replayable segment.
+//
+// Replay safety: segments found beyond a corrupt region are *salvageable
+// evidence* (they prove the damage is local), but they are never replayed —
+// edge churn is order-dependent, and applying batch k+1 without batch k
+// would silently diverge from the maintainer that wrote the log. Recovery
+// therefore restores the longest exactly-replayable prefix, reports what it
+// skipped, and leaves "re-sync from a full artifact" to the caller.
+
+// LogRecoveryReport describes what a recovery pass found and kept.
+type LogRecoveryReport struct {
+	// Replayable is the number of segments (batches) replayable from the
+	// head; ValidPrefixBytes is their exact on-disk length.
+	Replayable       int
+	ValidPrefixBytes int64
+	// Damaged reports whether anything beyond the valid prefix existed.
+	Damaged bool
+	// TornTail is true when the damage is a writer that died mid-append:
+	// the valid prefix is followed only by an incomplete segment (or a
+	// ragged partial word), with nothing valid after it.
+	TornTail bool
+	// Salvaged counts structurally valid segments found beyond the first
+	// corrupt region — present means mid-file corruption, not a torn tail.
+	// They are reported, never replayed (see the package comment above).
+	Salvaged int
+	// SkippedWords is how many words the resync scan stepped over between
+	// the valid prefix and the end of input (includes salvaged segments).
+	SkippedWords int
+	// Cause is the typed decode error that ended the valid prefix (nil for
+	// an undamaged log): ErrLogTruncated, ErrLogChecksum, ErrLogMagic,
+	// ErrLogOrder or ErrLogCorrupt.
+	Cause error
+}
+
+// String renders the report for logs.
+func (r *LogRecoveryReport) String() string {
+	if !r.Damaged {
+		return fmt.Sprintf("updatelog{clean, %d segments}", r.Replayable)
+	}
+	kind := "mid-file corruption"
+	if r.TornTail {
+		kind = "torn tail"
+	}
+	return fmt.Sprintf("updatelog{%s after segment %d: kept %dB, skipped %d words, %d unreplayable segments salvageable, cause: %v}",
+		kind, r.Replayable, r.ValidPrefixBytes, r.SkippedWords, r.Salvaged, r.Cause)
+}
+
+// DecodeLogRecover decodes as much of a damaged update log as is safe to
+// replay and classifies the damage. It never fails: arbitrary bytes yield
+// an empty replayable prefix and a report. The returned batches equal
+// DecodeLog's valid prefix; the report adds the forensic detail.
+func DecodeLogRecover(data []byte) ([]Batch, *LogRecoveryReport) {
+	words := logWords(data)
+	batches, valid, cause := decodeSegments(words)
+	rep := &LogRecoveryReport{
+		Replayable:       len(batches),
+		ValidPrefixBytes: int64(8 * valid),
+		Cause:            cause,
+	}
+	if cause == nil && len(data)%8 == 0 {
+		return batches, rep
+	}
+	rep.Damaged = true
+	rep.SkippedWords = len(words) - valid
+	if cause == nil {
+		// Whole-word prefix parsed clean; only a ragged partial word is torn.
+		rep.TornTail = true
+		rep.Cause = fmt.Errorf("%w: %d-byte partial word", ErrLogTruncated, len(data)%8)
+		return batches, rep
+	}
+	// Resync scan: walk forward from the first damaged word looking for
+	// structurally valid segments (magic + sane count + matching footer).
+	// Their seq numbers are beyond a gap, so they are counted, not kept.
+	for pos := valid; pos < len(words); {
+		if words[pos] != logMagic {
+			pos++
+			continue
+		}
+		if n, ok := validSegmentAt(words, pos); ok {
+			rep.Salvaged++
+			pos += n
+		} else {
+			pos++
+		}
+	}
+	rep.TornTail = rep.Salvaged == 0 && errors.Is(cause, ErrLogTruncated)
+	return batches, rep
+}
+
+// validSegmentAt reports whether a structurally valid segment starts at
+// pos, and its word length (header + payload + footer) if so.
+func validSegmentAt(words []int64, pos int) (int, bool) {
+	if len(words)-pos < 4 || words[pos] != logMagic {
+		return 0, false
+	}
+	count := words[pos+2]
+	if count < 0 || count > int64(len(words)-pos-4) {
+		return 0, false
+	}
+	end := pos + 3 + int(count)
+	if words[end] != fnvWords(words[pos:end]) {
+		return 0, false
+	}
+	return int(count) + 4, true
+}
+
+// EncodeLog renders batches as the exact bytes a LogWriter would append —
+// the deterministic inverse of DecodeLog, used by the recovery fuzzer to
+// prove a replayed prefix is byte-identical to what was written.
+func EncodeLog(batches []Batch) ([]byte, error) {
+	var words []int64
+	for i, b := range batches {
+		seg, err := segmentWords(int64(i+1), b)
+		if err != nil {
+			return nil, err
+		}
+		words = append(words, seg...)
+	}
+	return wordsBytes(words), nil
+}
+
+// RecoverLog reads a possibly damaged update log and returns its
+// replayable prefix with the recovery report. The file is not modified;
+// call RepairLog (or OpenLog) to make it append-safe again.
+func RecoverLog(path string) ([]Batch, *LogRecoveryReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dynamic: recover update log: %w", err)
+	}
+	batches, rep := DecodeLogRecover(data)
+	return batches, rep, nil
+}
+
+// RepairLog truncates a damaged log to its replayable prefix, atomically
+// (temp file + rename + sync), and returns the recovery report. An
+// undamaged log is left untouched.
+func RepairLog(path string) (*LogRecoveryReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: repair update log: %w", err)
+	}
+	_, rep := DecodeLogRecover(data)
+	if !rep.Damaged {
+		return rep, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".updatelog-*")
+	if err != nil {
+		return nil, fmt.Errorf("dynamic: repair update log: %w", err)
+	}
+	if _, err := tmp.Write(data[:rep.ValidPrefixBytes]); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("dynamic: repair update log: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("dynamic: repair update log: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("dynamic: repair update log: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return nil, fmt.Errorf("dynamic: repair update log: %w", err)
+	}
+	return rep, nil
+}
+
+// OpenLog opens an update log for continued appending after a crash:
+// damage is repaired away (RepairLog), the replayable prefix is returned
+// for the caller to reconcile against its serving state, and the writer
+// continues the segment sequence from the last replayable batch. A missing
+// file starts a fresh log.
+func OpenLog(path string) (*LogWriter, []Batch, *LogRecoveryReport, error) {
+	if _, err := os.Stat(path); errors.Is(err, os.ErrNotExist) {
+		w, cerr := CreateLog(path)
+		if cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		return w, nil, &LogRecoveryReport{}, nil
+	}
+	rep, err := RepairLog(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	batches, err := ReadLog(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dynamic: open update log: repaired log still damaged: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("dynamic: open update log: %w", err)
+	}
+	return &LogWriter{f: f, seq: int64(len(batches))}, batches, rep, nil
+}

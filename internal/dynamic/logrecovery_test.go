@@ -1,0 +1,202 @@
+package dynamic
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// recLogBatches returns a few small, distinct batches.
+func recLogBatches() []Batch {
+	return []Batch{
+		{{Op: OpInsert, U: 1, V: 2}, {Op: OpInsert, U: 2, V: 3}},
+		{{Op: OpDelete, U: 1, V: 2}},
+		{{Op: OpInsert, U: 3, V: 9}, {Op: OpDelete, U: 2, V: 3}, {Op: OpInsert, U: 0, V: 7}},
+		{{Op: OpInsert, U: 5, V: 6}},
+	}
+}
+
+func writeRecLog(t *testing.T, dir string, batches []Batch) string {
+	t.Helper()
+	path := filepath.Join(dir, "updates.spanlog")
+	w, err := CreateLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := w.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRecoverCleanLog(t *testing.T) {
+	batches := recLogBatches()
+	path := writeRecLog(t, t.TempDir(), batches)
+	got, rep, err := RecoverLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged || rep.Cause != nil || rep.TornTail || rep.Salvaged != 0 {
+		t.Fatalf("clean log reported damage: %v", rep)
+	}
+	if !reflect.DeepEqual(got, batches) {
+		t.Fatalf("recovered %v, wrote %v", got, batches)
+	}
+	info, _ := os.Stat(path)
+	if rep.ValidPrefixBytes != info.Size() {
+		t.Fatalf("valid prefix %d, file %d", rep.ValidPrefixBytes, info.Size())
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	batches := recLogBatches()
+	dir := t.TempDir()
+	path := writeRecLog(t, dir, batches)
+	data, _ := os.ReadFile(path)
+	// Tear mid-final-segment (cut 5 bytes into it).
+	full, err := EncodeLog(batches[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := int64(len(full)) + 5
+	if err := os.Truncate(path, cut); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := RecoverLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged || !rep.TornTail || rep.Salvaged != 0 {
+		t.Fatalf("torn tail misclassified: %v", rep)
+	}
+	if rep.Replayable != 3 || !reflect.DeepEqual(got, batches[:3]) {
+		t.Fatalf("torn tail kept %d segments: %v", rep.Replayable, rep)
+	}
+	if rep.ValidPrefixBytes != int64(len(full)) {
+		t.Fatalf("valid prefix %d, want %d", rep.ValidPrefixBytes, len(full))
+	}
+
+	// RepairLog makes the file byte-identical to the valid prefix.
+	if _, err := RepairLog(path); err != nil {
+		t.Fatal(err)
+	}
+	repaired, _ := os.ReadFile(path)
+	if !bytes.Equal(repaired, data[:len(full)]) {
+		t.Fatal("repair did not restore the exact valid prefix")
+	}
+	if _, err := ReadLog(path); err != nil {
+		t.Fatalf("repaired log still damaged: %v", err)
+	}
+}
+
+func TestRecoverMidFileCorruption(t *testing.T) {
+	batches := recLogBatches()
+	path := writeRecLog(t, t.TempDir(), batches)
+	data, _ := os.ReadFile(path)
+	// Flip a payload bit inside segment 2 (headers are 3 words in).
+	seg1, _ := EncodeLog(batches[:1])
+	off := len(seg1) + 3*8 // first payload word of segment 2
+	data[off] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := RecoverLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged || rep.TornTail {
+		t.Fatalf("mid-file corruption misclassified as torn tail: %v", rep)
+	}
+	if !errors.Is(rep.Cause, ErrLogChecksum) {
+		t.Fatalf("cause %v, want checksum mismatch", rep.Cause)
+	}
+	if rep.Replayable != 1 || !reflect.DeepEqual(got, batches[:1]) {
+		t.Fatalf("kept %d segments, want 1: %v", rep.Replayable, rep)
+	}
+	// Segments 3 and 4 are intact behind the damage: salvageable, never
+	// replayed.
+	if rep.Salvaged != 2 {
+		t.Fatalf("salvaged %d segments, want 2: %v", rep.Salvaged, rep)
+	}
+}
+
+func TestOpenLogResumesAfterCrash(t *testing.T) {
+	batches := recLogBatches()
+	dir := t.TempDir()
+	path := writeRecLog(t, dir, batches)
+	// Tear the last segment, as a crash mid-append would.
+	full, _ := EncodeLog(batches[:3])
+	if err := os.Truncate(path, int64(len(full))+9); err != nil {
+		t.Fatal(err)
+	}
+	w, replay, rep, err := OpenLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged || rep.Replayable != 3 || len(replay) != 3 {
+		t.Fatalf("open-after-crash: %v (replay %d)", rep, len(replay))
+	}
+	// Appending continues the sequence; the final log replays clean with
+	// the original prefix plus the new batch.
+	extra := Batch{{Op: OpInsert, U: 10, V: 11}}
+	if err := w.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ReadLog(path)
+	if err != nil {
+		t.Fatalf("log damaged after resume: %v", err)
+	}
+	want := append(append([]Batch{}, batches[:3]...), extra)
+	if !reflect.DeepEqual(all, want) {
+		t.Fatalf("resumed log replays %v, want %v", all, want)
+	}
+
+	// OpenLog on a fresh path starts a new log.
+	fresh := filepath.Join(dir, "fresh.spanlog")
+	w2, replay2, rep2, err := OpenLog(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replay2) != 0 || rep2.Damaged {
+		t.Fatalf("fresh log: %v", rep2)
+	}
+	if err := w2.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+	if got, err := ReadLog(fresh); err != nil || len(got) != 1 {
+		t.Fatalf("fresh log replay: %v, %v", got, err)
+	}
+}
+
+func TestEncodeLogRoundTrip(t *testing.T) {
+	batches := recLogBatches()
+	data, err := EncodeLog(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLog(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batches) {
+		t.Fatalf("round trip %v != %v", got, batches)
+	}
+	// EncodeLog matches what LogWriter puts on disk.
+	path := writeRecLog(t, t.TempDir(), batches)
+	disk, _ := os.ReadFile(path)
+	if !bytes.Equal(disk, data) {
+		t.Fatal("EncodeLog diverges from LogWriter bytes")
+	}
+}

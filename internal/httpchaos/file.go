@@ -1,0 +1,72 @@
+package httpchaos
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// File-level chaos: the failure modes a crashed writer or decaying disk
+// inflicts on serving artifacts and update logs. Both injectors are
+// deterministic given (file size, seed), so recovery tests replay the
+// exact same damage.
+
+// TornWrite truncates the file at a seeded offset strictly inside
+// (0, size), simulating a writer that died mid-write without the
+// temp-file+rename discipline. Files smaller than two bytes cannot be
+// meaningfully torn and are truncated to zero.
+func TornWrite(path string, seed int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("httpchaos: torn write: %w", err)
+	}
+	size := info.Size()
+	var cut int64
+	if size >= 2 {
+		cut = 1 + rand.New(rand.NewSource(seed)).Int63n(size-1)
+	}
+	if err := os.Truncate(path, cut); err != nil {
+		return fmt.Errorf("httpchaos: torn write: %w", err)
+	}
+	return nil
+}
+
+// FlipBit flips one seeded bit of the file in place, simulating silent
+// single-bit rot under an intact length. Empty files are left unchanged.
+func FlipBit(path string, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("httpchaos: flip bit: %w", err)
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Intn(len(data))
+	data[idx] ^= 1 << uint(rng.Intn(8))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("httpchaos: flip bit: %w", err)
+	}
+	return nil
+}
+
+// FlipBits flips n distinct seeded bits (mid-file corruption deeper than a
+// single bit), for recovery paths that must survive multi-word damage.
+func FlipBits(path string, n int, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("httpchaos: flip bits: %w", err)
+	}
+	if len(data) == 0 || n <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		idx := rng.Intn(len(data))
+		data[idx] ^= 1 << uint(rng.Intn(8))
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("httpchaos: flip bits: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,493 @@
+// Package httpchaos extends the repo's seeded fault-injection discipline
+// (internal/faults for the build-time message layer) to the serving stack:
+// deterministic, plan-driven failure injection for HTTP servers, HTTP
+// clients and on-disk serving artifacts.
+//
+// Three injection surfaces share one seeded Plan:
+//
+//   - Middleware wraps an http.Handler and perturbs the server side of an
+//     exchange: connection resets (the handler aborts without a response),
+//     5xx bursts (a run of consecutive injected 500s, the shape a crashing
+//     replica produces behind a load balancer), truncated response bodies
+//     (the write stops mid-stream and the connection is torn down), latency
+//     spikes, and slow-loris response trickling.
+//   - Transport wraps an http.RoundTripper and perturbs the client side:
+//     refused/reset connections before the request leaves, latency spikes,
+//     and response bodies that fail mid-read with io.ErrUnexpectedEOF.
+//   - TornWrite and FlipBit corrupt files the way a crashed writer or
+//     decaying disk does — a prefix cut at a seeded offset, or a single
+//     seeded bit flip — for artifact and update-log recovery tests.
+//
+// Determinism: every decision draws from one RNG seeded by Plan.Seed, in
+// arrival order. A serial request sequence therefore meets an identical
+// fault sequence on every run; under concurrent clients the multiset of
+// injected faults is reproducible while their assignment to requests
+// follows arrival interleaving. Counters record what actually fired so
+// acceptance suites can assert coverage rather than hope for it.
+package httpchaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is a seeded serving-fault schedule. The zero value injects nothing.
+// Probabilities are per-exchange; at most one fault class fires per
+// exchange (drawing order: reset, 5xx, truncate, slow-loris), with a
+// latency spike drawn independently so delays compose with every class.
+type Plan struct {
+	// Seed seeds every probabilistic decision.
+	Seed int64
+	// Reset is the probability the exchange is torn down with no response
+	// (server middleware: the handler aborts the connection; client
+	// transport: the dial "fails" with a reset error before sending).
+	Reset float64
+	// Err5xx is the probability an exchange starts a 5xx burst: this
+	// response and the next BurstLen-1 are injected 500s.
+	Err5xx float64
+	// BurstLen is the length of a 5xx burst (default 4).
+	BurstLen int
+	// Truncate is the probability the body is cut short: the server writes
+	// a prefix and resets the connection; the client's response body fails
+	// mid-read with io.ErrUnexpectedEOF.
+	Truncate float64
+	// TruncateAfter is how many body bytes survive truncation (default 16).
+	TruncateAfter int
+	// SlowLoris is the probability the body is trickled in small chunks
+	// with a pause before each, holding the peer's read open.
+	SlowLoris float64
+	// SlowChunk is the trickle chunk size (default 64 bytes);
+	// SlowPause the per-chunk pause (default 2ms).
+	SlowChunk int
+	SlowPause time.Duration
+	// Delay is the probability of a latency spike of DelayFor (default
+	// 10ms), drawn independently of the fault classes above.
+	Delay    float64
+	DelayFor time.Duration
+
+	// Counters tally what actually fired (atomic; read with Stats).
+	resets    atomic.Int64
+	bursts    atomic.Int64
+	burstHits atomic.Int64
+	truncates atomic.Int64
+	slows     atomic.Int64
+	delays    atomic.Int64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	burst int // remaining injected 500s in the current burst
+}
+
+// Stats is a point-in-time snapshot of the plan's injection counters.
+type Stats struct {
+	// Resets is torn-down exchanges; Bursts is 5xx bursts started and
+	// BurstHits the total injected 500s; Truncates, Slows and Delays count
+	// the remaining classes.
+	Resets, Bursts, BurstHits, Truncates, Slows, Delays int64
+}
+
+// Total is the number of exchanges that met any injected fault.
+func (s Stats) Total() int64 {
+	return s.Resets + s.BurstHits + s.Truncates + s.Slows + s.Delays
+}
+
+// Stats snapshots the injection counters.
+func (p *Plan) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Resets:    p.resets.Load(),
+		Bursts:    p.bursts.Load(),
+		BurstHits: p.burstHits.Load(),
+		Truncates: p.truncates.Load(),
+		Slows:     p.slows.Load(),
+		Delays:    p.delays.Load(),
+	}
+}
+
+// IsZero reports whether the plan injects nothing.
+func (p *Plan) IsZero() bool {
+	return p == nil ||
+		(p.Reset == 0 && p.Err5xx == 0 && p.Truncate == 0 && p.SlowLoris == 0 && p.Delay == 0)
+}
+
+// String renders the plan compactly for logs.
+func (p *Plan) String() string {
+	if p.IsZero() {
+		return "httpchaos{none}"
+	}
+	return fmt.Sprintf("httpchaos{seed=%d reset=%g err5xx=%gx%d truncate=%g slowloris=%g delay=%g}",
+		p.Seed, p.Reset, p.Err5xx, p.burstLen(), p.Truncate, p.SlowLoris, p.Delay)
+}
+
+func (p *Plan) burstLen() int {
+	if p.BurstLen <= 0 {
+		return 4
+	}
+	return p.BurstLen
+}
+
+func (p *Plan) truncateAfter() int {
+	if p.TruncateAfter <= 0 {
+		return 16
+	}
+	return p.TruncateAfter
+}
+
+func (p *Plan) slowChunk() int {
+	if p.SlowChunk <= 0 {
+		return 64
+	}
+	return p.SlowChunk
+}
+
+func (p *Plan) slowPause() time.Duration {
+	if p.SlowPause <= 0 {
+		return 2 * time.Millisecond
+	}
+	return p.SlowPause
+}
+
+func (p *Plan) delayFor() time.Duration {
+	if p.DelayFor <= 0 {
+		return 10 * time.Millisecond
+	}
+	return p.DelayFor
+}
+
+func (p *Plan) validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{{"reset", p.Reset}, {"err5xx", p.Err5xx}, {"truncate", p.Truncate},
+		{"slowloris", p.SlowLoris}, {"delay", p.Delay}} {
+		if pr.v < 0 || pr.v > 1 {
+			return fmt.Errorf("httpchaos: %s probability %g outside [0,1]", pr.name, pr.v)
+		}
+	}
+	return nil
+}
+
+// fate is the plan's decision for one exchange.
+type fate struct {
+	reset    bool
+	err5xx   bool
+	truncate bool
+	slow     bool
+	delay    time.Duration
+}
+
+// decide draws one exchange's fate. Drawing order is fixed and draws are
+// skipped for zero probabilities, so the decision stream is deterministic
+// under any plan (the same discipline as faults.Injector.Fate).
+func (p *Plan) decide() fate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.Seed))
+	}
+	var f fate
+	if p.burst > 0 {
+		p.burst--
+		f.err5xx = true
+	} else {
+		switch {
+		case p.Reset > 0 && p.rng.Float64() < p.Reset:
+			f.reset = true
+		case p.Err5xx > 0 && p.rng.Float64() < p.Err5xx:
+			f.err5xx = true
+			p.burst = p.burstLen() - 1
+			p.bursts.Add(1)
+		case p.Truncate > 0 && p.rng.Float64() < p.Truncate:
+			f.truncate = true
+		case p.SlowLoris > 0 && p.rng.Float64() < p.SlowLoris:
+			f.slow = true
+		}
+	}
+	if p.Delay > 0 && p.rng.Float64() < p.Delay {
+		f.delay = p.delayFor()
+	}
+	return f
+}
+
+// Middleware wraps next with server-side fault injection. A nil or zero
+// plan returns next unchanged, so the fault-free path costs nothing.
+func (p *Plan) Middleware(next http.Handler) http.Handler {
+	if p.IsZero() {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		f := p.decide()
+		if f.delay > 0 {
+			p.delays.Add(1)
+			time.Sleep(f.delay)
+		}
+		switch {
+		case f.reset:
+			p.resets.Add(1)
+			// ErrAbortHandler is the stdlib's sanctioned way to tear down
+			// the connection without a response; the client observes EOF or
+			// a reset, never a status line.
+			panic(http.ErrAbortHandler)
+		case f.err5xx:
+			p.burstHits.Add(1)
+			http.Error(w, "httpchaos: injected server error", http.StatusInternalServerError)
+		case f.truncate:
+			p.truncates.Add(1)
+			next.ServeHTTP(&truncateWriter{w: w, budget: p.truncateAfter()}, r)
+		case f.slow:
+			p.slows.Add(1)
+			sw := &slowWriter{w: w, chunk: p.slowChunk(), pause: p.slowPause()}
+			next.ServeHTTP(sw, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// truncateWriter passes through up to budget body bytes, then aborts the
+// connection mid-stream — the peer sees a torn body, not a clean close.
+type truncateWriter struct {
+	w       http.ResponseWriter
+	budget  int
+	written int
+}
+
+func (t *truncateWriter) Header() http.Header { return t.w.Header() }
+
+func (t *truncateWriter) WriteHeader(code int) { t.w.WriteHeader(code) }
+
+func (t *truncateWriter) Write(b []byte) (int, error) {
+	rem := t.budget - t.written
+	if rem <= 0 {
+		panic(http.ErrAbortHandler)
+	}
+	if len(b) <= rem {
+		n, err := t.w.Write(b)
+		t.written += n
+		return n, err
+	}
+	t.w.Write(b[:rem])
+	t.written += rem
+	if f, ok := t.w.(http.Flusher); ok {
+		f.Flush() // push the torn prefix onto the wire before aborting
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// slowWriter trickles the response body in small flushed chunks with a
+// pause before each (slow-loris from the server side): the client's read
+// loop stays open far longer than the compute took.
+type slowWriter struct {
+	w     http.ResponseWriter
+	chunk int
+	pause time.Duration
+}
+
+func (s *slowWriter) Header() http.Header  { return s.w.Header() }
+func (s *slowWriter) WriteHeader(code int) { s.w.WriteHeader(code) }
+
+func (s *slowWriter) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		n := s.chunk
+		if n > len(b) {
+			n = len(b)
+		}
+		time.Sleep(s.pause)
+		w, err := s.w.Write(b[:n])
+		total += w
+		if err != nil {
+			return total, err
+		}
+		if f, ok := s.w.(http.Flusher); ok {
+			f.Flush()
+		}
+		b = b[n:]
+	}
+	return total, nil
+}
+
+// ErrInjectedReset is the transport-side connection failure; it unwraps
+// from the *url.Error the http.Client reports.
+var ErrInjectedReset = fmt.Errorf("httpchaos: injected connection reset")
+
+// Transport wraps base with client-side fault injection; a nil base means
+// http.DefaultTransport. A nil or zero plan returns base unchanged.
+func (p *Plan) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if p.IsZero() {
+		return base
+	}
+	return &chaosTransport{plan: p, base: base}
+}
+
+type chaosTransport struct {
+	plan *Plan
+	base http.RoundTripper
+}
+
+func (t *chaosTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	p := t.plan
+	f := p.decide()
+	if f.delay > 0 {
+		p.delays.Add(1)
+		time.Sleep(f.delay)
+	}
+	switch {
+	case f.reset:
+		p.resets.Add(1)
+		return nil, ErrInjectedReset
+	case f.err5xx:
+		p.burstHits.Add(1)
+		return &http.Response{
+			StatusCode: http.StatusInternalServerError,
+			Status:     "500 httpchaos injected",
+			Proto:      r.Proto, ProtoMajor: r.ProtoMajor, ProtoMinor: r.ProtoMinor,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("httpchaos: injected server error\n")),
+			Request: r,
+		}, nil
+	case f.truncate:
+		p.truncates.Add(1)
+		resp, err := t.base.RoundTrip(r)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncateBody{rc: resp.Body, budget: p.truncateAfter()}
+		return resp, nil
+	case f.slow:
+		p.slows.Add(1)
+		resp, err := t.base.RoundTrip(r)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &slowBody{rc: resp.Body, chunk: p.slowChunk(), pause: p.slowPause()}
+		return resp, nil
+	default:
+		return t.base.RoundTrip(r)
+	}
+}
+
+// truncateBody delivers up to budget bytes then fails the read the way a
+// torn TCP stream does.
+type truncateBody struct {
+	rc     io.ReadCloser
+	budget int
+	read   int
+}
+
+func (t *truncateBody) Read(b []byte) (int, error) {
+	rem := t.budget - t.read
+	if rem <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(b) > rem {
+		b = b[:rem]
+	}
+	n, err := t.rc.Read(b)
+	t.read += n
+	if err == io.EOF && t.read >= t.budget {
+		// The body genuinely ended inside the budget; pass EOF through.
+		return n, err
+	}
+	return n, err
+}
+
+func (t *truncateBody) Close() error { return t.rc.Close() }
+
+// slowBody trickles reads with a pause per chunk.
+type slowBody struct {
+	rc    io.ReadCloser
+	chunk int
+	pause time.Duration
+}
+
+func (s *slowBody) Read(b []byte) (int, error) {
+	if len(b) > s.chunk {
+		b = b[:s.chunk]
+	}
+	time.Sleep(s.pause)
+	return s.rc.Read(b)
+}
+
+func (s *slowBody) Close() error { return s.rc.Close() }
+
+// Parse builds a Plan from a compact comma-separated spec, the format the
+// spannerd -chaos flag accepts:
+//
+//	reset=0.05,err5xx=0.1,burst=4,truncate=0.05,slowloris=0.01,delay=0.1,delayfor=20ms,seed=7
+//
+// An empty spec yields a zero plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("httpchaos: bad spec element %q (want key=value)", part)
+		}
+		switch key {
+		case "reset", "err5xx", "truncate", "slowloris", "delay":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("httpchaos: bad %s value %q: %w", key, val, err)
+			}
+			switch key {
+			case "reset":
+				p.Reset = f
+			case "err5xx":
+				p.Err5xx = f
+			case "truncate":
+				p.Truncate = f
+			case "slowloris":
+				p.SlowLoris = f
+			case "delay":
+				p.Delay = f
+			}
+		case "burst":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("httpchaos: bad burst value %q", val)
+			}
+			p.BurstLen = n
+		case "truncafter":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("httpchaos: bad truncafter value %q", val)
+			}
+			p.TruncateAfter = n
+		case "delayfor":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("httpchaos: bad delayfor value %q", val)
+			}
+			p.DelayFor = d
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("httpchaos: bad seed value %q", val)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("httpchaos: unknown spec key %q", key)
+		}
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

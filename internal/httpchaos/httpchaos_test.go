@@ -1,0 +1,226 @@
+package httpchaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// okHandler answers a fixed body large enough to truncate.
+func okHandler() http.Handler {
+	body := strings.Repeat("spanner-serving-payload ", 16)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	})
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	var p *Plan
+	h := okHandler()
+	if p.Middleware(h) == nil {
+		t.Fatal("nil plan middleware must pass through")
+	}
+	p2 := &Plan{Seed: 1}
+	if got := p2.Middleware(h); got == nil {
+		t.Fatal("zero plan middleware must pass through")
+	}
+	ts := httptest.NewServer(p2.Middleware(h))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d through zero plan", resp.StatusCode)
+	}
+	if p2.Stats().Total() != 0 {
+		t.Fatalf("zero plan injected: %+v", p2.Stats())
+	}
+}
+
+func TestMiddlewareInjectsEveryClass(t *testing.T) {
+	p := &Plan{
+		Seed: 7, Reset: 0.15, Err5xx: 0.1, BurstLen: 3,
+		Truncate: 0.15, SlowLoris: 0.1, SlowPause: 100 * time.Microsecond,
+		Delay: 0.1, DelayFor: time.Millisecond,
+	}
+	ts := httptest.NewServer(p.Middleware(okHandler()))
+	defer ts.Close()
+
+	var ok, reset, err5xx, truncated int
+	for i := 0; i < 300; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			reset++
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusInternalServerError:
+			err5xx++
+		case rerr != nil || len(body) < 100:
+			truncated++
+		default:
+			ok++
+		}
+	}
+	st := p.Stats()
+	if reset == 0 || st.Resets == 0 {
+		t.Fatalf("no resets observed (client %d, plan %+v)", reset, st)
+	}
+	if err5xx == 0 || st.BurstHits == 0 {
+		t.Fatalf("no 5xx observed (client %d, plan %+v)", err5xx, st)
+	}
+	if st.Bursts > 0 && st.BurstHits < st.Bursts {
+		t.Fatalf("burst accounting: %d bursts but %d hits", st.Bursts, st.BurstHits)
+	}
+	if truncated == 0 || st.Truncates == 0 {
+		t.Fatalf("no truncations observed (client %d, plan %+v)", truncated, st)
+	}
+	if st.Delays == 0 {
+		t.Fatalf("no delays fired: %+v", st)
+	}
+	if ok == 0 {
+		t.Fatal("every request failed; plan probabilities should leave survivors")
+	}
+}
+
+// TestDeterministicFateSequence drives two identically seeded plans with a
+// serial request stream and expects identical injection counters.
+func TestDeterministicFateSequence(t *testing.T) {
+	run := func() Stats {
+		p := &Plan{Seed: 42, Reset: 0.2, Err5xx: 0.1, Truncate: 0.2, Delay: 0.3, DelayFor: time.Microsecond}
+		ts := httptest.NewServer(p.Middleware(okHandler()))
+		defer ts.Close()
+		cl := &http.Client{}
+		for i := 0; i < 120; i++ {
+			resp, err := cl.Get(ts.URL)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+		return p.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("seeded plans diverged: %+v vs %+v", a, b)
+	}
+	if a.Total() == 0 {
+		t.Fatal("plan injected nothing")
+	}
+}
+
+func TestTransportInjection(t *testing.T) {
+	backend := httptest.NewServer(okHandler())
+	defer backend.Close()
+	p := &Plan{Seed: 3, Reset: 0.2, Err5xx: 0.1, Truncate: 0.2}
+	cl := &http.Client{Transport: p.Transport(nil)}
+	var resets, err5xx, truncated, ok int
+	for i := 0; i < 200; i++ {
+		resp, err := cl.Get(backend.URL)
+		if err != nil {
+			resets++
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusInternalServerError:
+			err5xx++
+		case rerr != nil || len(body) < 100:
+			truncated++
+		default:
+			ok++
+		}
+	}
+	if resets == 0 || err5xx == 0 || truncated == 0 || ok == 0 {
+		t.Fatalf("transport classes: resets=%d err5xx=%d truncated=%d ok=%d", resets, err5xx, truncated, ok)
+	}
+}
+
+func TestParse(t *testing.T) {
+	p, err := Parse("reset=0.05,err5xx=0.1,burst=3,truncate=0.02,slowloris=0.01,delay=0.2,delayfor=20ms,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Reset != 0.05 || p.Err5xx != 0.1 || p.BurstLen != 3 || p.Truncate != 0.02 ||
+		p.SlowLoris != 0.01 || p.Delay != 0.2 || p.DelayFor != 20*time.Millisecond || p.Seed != 9 {
+		t.Fatalf("parsed plan %+v", p)
+	}
+	if q, err := Parse(""); err != nil || !q.IsZero() {
+		t.Fatalf("empty spec: %+v, %v", q, err)
+	}
+	for _, bad := range []string{"reset=2", "bogus=1", "reset", "burst=0", "delayfor=xx"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("spec %q must be rejected", bad)
+		}
+	}
+}
+
+func TestTornWriteAndFlipBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	orig := make([]byte, 1024)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TornWrite(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	torn, _ := os.ReadFile(path)
+	if len(torn) == 0 || len(torn) >= len(orig) {
+		t.Fatalf("torn write left %d of %d bytes", len(torn), len(orig))
+	}
+	// Determinism: same seed, same cut.
+	path2 := filepath.Join(dir, "blob2")
+	os.WriteFile(path2, orig, 0o644)
+	TornWrite(path2, 5)
+	torn2, _ := os.ReadFile(path2)
+	if len(torn) != len(torn2) {
+		t.Fatalf("torn write not deterministic: %d vs %d", len(torn), len(torn2))
+	}
+
+	path3 := filepath.Join(dir, "blob3")
+	os.WriteFile(path3, orig, 0o644)
+	if err := FlipBit(path3, 11); err != nil {
+		t.Fatal(err)
+	}
+	flipped, _ := os.ReadFile(path3)
+	if len(flipped) != len(orig) {
+		t.Fatalf("flip bit changed length: %d", len(flipped))
+	}
+	diff := 0
+	for i := range orig {
+		if orig[i] != flipped[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip bit changed %d bytes, want 1", diff)
+	}
+	os.WriteFile(path3, orig, 0o644)
+	if err := FlipBits(path3, 8, 13); err != nil {
+		t.Fatal(err)
+	}
+	multi, _ := os.ReadFile(path3)
+	diff = 0
+	for i := range orig {
+		if orig[i] != multi[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("FlipBits changed nothing")
+	}
+}

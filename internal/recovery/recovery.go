@@ -1,0 +1,231 @@
+// Package recovery is the serving stack's startup integrity scan. After a
+// crash (or a disk fault) an artifact directory can hold torn or bit-flipped
+// files: a partially renamed artifact, a delta whose checksum no longer
+// matches, an update log with a ragged tail. Scan walks the directory,
+// verifies every *.spanart and *.spandelta through the artifact codec's
+// checksummed decoders, moves the damaged ones into a quarantine
+// subdirectory, repairs the update log to its replayable prefix, and reports
+// the newest generation that is still fully intact — the generation a
+// supervised spannerd resumes from.
+//
+// Quarantine is deliberately non-destructive: corrupt files are renamed into
+// dir/quarantine/, never deleted, so an operator can inspect what the fault
+// injector (or the real world) did.
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"spanner/internal/artifact"
+	"spanner/internal/dynamic"
+)
+
+// QuarantineDir is the subdirectory damaged files are moved into.
+const QuarantineDir = "quarantine"
+
+// ArtifactInfo describes one verified artifact file.
+type ArtifactInfo struct {
+	Path     string
+	ModTime  time.Time
+	Checksum int64
+	// Art is the decoded artifact — verification requires a full decode, so
+	// Scan keeps the result rather than making callers pay for it twice.
+	Art *artifact.Artifact
+}
+
+// DeltaInfo describes one verified delta file.
+type DeltaInfo struct {
+	Path    string
+	ModTime time.Time
+	// BaseSum is the checksum of the generation the delta applies to.
+	BaseSum int64
+	Delta   *artifact.Delta
+}
+
+// Quarantined records one damaged file found by the scan.
+type Quarantined struct {
+	// Path is where the file was; To is where it went (empty when the scan
+	// ran with quarantine disabled and the file was left in place).
+	Path, To string
+	// Err is the typed decode error that condemned it.
+	Err error
+}
+
+// Report is the outcome of a directory scan.
+type Report struct {
+	Dir string
+	// Artifacts and Deltas are the files that decoded clean, sorted oldest
+	// to newest by modification time.
+	Artifacts []ArtifactInfo
+	Deltas    []DeltaInfo
+	// Quarantined lists every damaged file, in the order encountered.
+	Quarantined []Quarantined
+	// Log reports on the update log, when the directory has one (nil
+	// otherwise); LogPath is its location and LogBatches its replayable
+	// prefix.
+	Log        *dynamic.LogRecoveryReport
+	LogPath    string
+	LogBatches []dynamic.Batch
+}
+
+// LastGood returns the newest artifact that survived verification, or nil
+// when the directory holds no intact generation.
+func (r *Report) LastGood() *ArtifactInfo {
+	if len(r.Artifacts) == 0 {
+		return nil
+	}
+	return &r.Artifacts[len(r.Artifacts)-1]
+}
+
+// DeltasFor returns the verified deltas applying to the generation with the
+// given checksum, oldest first — the replay chain ApplyDelta wants.
+func (r *Report) DeltasFor(baseSum int64) []DeltaInfo {
+	var out []DeltaInfo
+	for _, d := range r.Deltas {
+		if d.BaseSum == baseSum {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders a one-line summary for startup logs.
+func (r *Report) String() string {
+	s := fmt.Sprintf("recovery{%s: %d artifacts, %d deltas, %d quarantined",
+		r.Dir, len(r.Artifacts), len(r.Deltas), len(r.Quarantined))
+	if r.Log != nil {
+		s += ", log " + r.Log.String()
+	}
+	return s + "}"
+}
+
+// Scan verifies every artifact, delta and update log under dir. With
+// quarantine set, damaged artifact and delta files are moved into
+// dir/quarantine/ and a damaged update log is repaired in place to its
+// replayable prefix; otherwise nothing on disk changes and the report only
+// describes what a repairing scan would do.
+//
+// Only IO failures (an unreadable directory, a rename that fails) return an
+// error; corrupt content never does — damage is what the scan is for.
+func Scan(dir string, quarantine bool) (*Report, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: scan %s: %w", dir, err)
+	}
+	rep := &Report{Dir: dir}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		switch {
+		case strings.HasSuffix(ent.Name(), ".spanart"):
+			a, lerr := artifact.Load(path)
+			if lerr != nil {
+				if qerr := rep.condemn(path, lerr, quarantine); qerr != nil {
+					return nil, qerr
+				}
+				continue
+			}
+			rep.Artifacts = append(rep.Artifacts, ArtifactInfo{
+				Path: path, ModTime: modTime(ent), Checksum: a.Checksum(), Art: a,
+			})
+		case strings.HasSuffix(ent.Name(), ".spandelta"):
+			d, lerr := artifact.LoadDelta(path)
+			if lerr != nil {
+				if qerr := rep.condemn(path, lerr, quarantine); qerr != nil {
+					return nil, qerr
+				}
+				continue
+			}
+			rep.Deltas = append(rep.Deltas, DeltaInfo{
+				Path: path, ModTime: modTime(ent), BaseSum: d.BaseSum, Delta: d,
+			})
+		case strings.HasSuffix(ent.Name(), ".spanlog"):
+			if rep.Log != nil {
+				// One log per directory; extras are operator error, not
+				// corruption — leave them alone but make them visible.
+				rep.Quarantined = append(rep.Quarantined, Quarantined{
+					Path: path, Err: errors.New("recovery: second update log ignored"),
+				})
+				continue
+			}
+			if err := rep.scanLog(path, quarantine); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(rep.Artifacts, func(i, j int) bool {
+		return rep.Artifacts[i].ModTime.Before(rep.Artifacts[j].ModTime)
+	})
+	sort.Slice(rep.Deltas, func(i, j int) bool {
+		return rep.Deltas[i].ModTime.Before(rep.Deltas[j].ModTime)
+	})
+	return rep, nil
+}
+
+// condemn records a damaged file, moving it into quarantine when asked.
+func (r *Report) condemn(path string, cause error, quarantine bool) error {
+	q := Quarantined{Path: path, Err: cause}
+	if quarantine {
+		dest, err := quarantineFile(r.Dir, path)
+		if err != nil {
+			return err
+		}
+		q.To = dest
+	}
+	r.Quarantined = append(r.Quarantined, q)
+	return nil
+}
+
+// scanLog recovers (and with quarantine set, repairs) the update log.
+func (r *Report) scanLog(path string, quarantine bool) error {
+	var err error
+	if quarantine {
+		if r.Log, err = dynamic.RepairLog(path); err != nil {
+			return fmt.Errorf("recovery: %w", err)
+		}
+		r.LogBatches, err = dynamic.ReadLog(path)
+	} else {
+		r.LogBatches, r.Log, err = dynamic.RecoverLog(path)
+	}
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	r.LogPath = path
+	return nil
+}
+
+// quarantineFile moves path into dir/quarantine/, dodging name collisions.
+func quarantineFile(dir, path string) (string, error) {
+	qdir := filepath.Join(dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("recovery: quarantine: %w", err)
+	}
+	dest := filepath.Join(qdir, filepath.Base(path))
+	for n := 1; ; n++ {
+		if _, err := os.Stat(dest); errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		dest = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), n))
+	}
+	if err := os.Rename(path, dest); err != nil {
+		return "", fmt.Errorf("recovery: quarantine %s: %w", path, err)
+	}
+	return dest, nil
+}
+
+func modTime(ent fs.DirEntry) time.Time {
+	info, err := ent.Info()
+	if err != nil {
+		return time.Time{}
+	}
+	return info.ModTime()
+}

@@ -110,6 +110,9 @@ func TestObservabilityOverhead(t *testing.T) {
 	if testing.Short() {
 		t.Skip("benchmark-backed; skipped in -short")
 	}
+	if raceDetectorEnabled {
+		t.Skip("throughput bar is not meaningful under the race detector; asserted unraced in make obscheck")
+	}
 	a := testArtifact(t, 2000, 42)
 	pairs := obsBenchPairs(int32(a.Graph.N()))
 	base := Config{Shards: 4, QueueDepth: 4096, CacheSize: 8192, Obs: obs.New(&countSink{})}
@@ -134,9 +137,12 @@ func TestObservabilityOverhead(t *testing.T) {
 	// isn't interfering". Rounds stop as soon as the bar is met; the test
 	// fails only if no clean measurement within the bar appears in any
 	// round.
+	// 12 rounds, not 8: the gate runs right after race-enabled suites and
+	// the first rounds can land on a still-busy machine; the loop exits on
+	// the first round that meets the bar, so quiet runs stay short.
 	const (
 		maxRatio  = 1.05
-		maxRounds = 8
+		maxRounds = 12
 	)
 	bare, full := math.MaxFloat64, math.MaxFloat64
 	var history []string

@@ -1,0 +1,6 @@
+//go:build !race
+
+package serve
+
+// See race_on_test.go.
+const raceDetectorEnabled = false

@@ -73,6 +73,38 @@ func ParseQueryType(s string) (QueryType, error) {
 	return 0, ErrBadQuery
 }
 
+// Priority classifies a request for load shedding. The zero value is
+// PriorityHigh, so callers that never think about priorities get the
+// protected class.
+type Priority uint8
+
+const (
+	// PriorityHigh is interactive traffic, served for as long as the engine
+	// can serve anything.
+	PriorityHigh Priority = iota
+	// PriorityLow is batch/backfill traffic, the first thing shed when the
+	// SLO monitor pages and the engine browns out.
+	PriorityLow
+)
+
+// ParsePriority parses "high"/"" or "low".
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "", "high":
+		return PriorityHigh, nil
+	case "low":
+		return PriorityLow, nil
+	}
+	return 0, errors.New("serve: unknown priority")
+}
+
+func (p Priority) String() string {
+	if p == PriorityLow {
+		return "low"
+	}
+	return "high"
+}
+
 // Typed rejection errors, matchable with errors.Is.
 var (
 	// ErrOverloaded reports a full shard queue (admission control).
@@ -88,12 +120,19 @@ var (
 	// ErrNoRoute reports a routing failure (disconnected endpoints or a
 	// corrupt header); wraps the routing package's error text.
 	ErrNoRoute = errors.New("serve: no route")
+	// ErrBrownout reports low-priority traffic shed while the engine is in
+	// brownout (the SLO monitor paged). Retrying immediately will not help;
+	// back off until the burn subsides.
+	ErrBrownout = errors.New("serve: brownout, low-priority traffic shed")
 )
 
 // Request is one query.
 type Request struct {
 	Type QueryType
 	U, V int32
+	// Priority classifies the request for brownout shedding; the zero value
+	// is PriorityHigh.
+	Priority Priority
 	// Deadline, when non-zero, rejects the request if it is still queued at
 	// that instant. The zero value applies Config.DefaultDeadline.
 	Deadline time.Time
@@ -121,6 +160,11 @@ type Reply struct {
 	Bound int32
 	// Cached reports whether the answer came from the shard's LRU.
 	Cached bool
+	// Degraded reports a brownout fallback answer: a landmark-distance upper
+	// bound computed inline instead of the exact oracle estimate, served when
+	// the shard queue is full rather than failing the request. Always
+	// explicitly flagged, never silently substituted.
+	Degraded bool
 	// SnapshotID identifies the artifact generation that answered.
 	SnapshotID int64
 	// Err is nil on success or one of the typed errors above.
@@ -154,6 +198,19 @@ type Config struct {
 	// engine-owned request (requests carrying a caller-owned Trace are the
 	// caller's to record, with the caller's notion of total latency).
 	SLO *obs.SLOMonitor
+	// MaxBatch is the batch-size limit the engine advertises via MaxBatch();
+	// 0 means 1024. The engine itself does not reject oversized QueryBatch
+	// calls — the serving front end enforces the advertised limit, which
+	// shrinks under brownout.
+	MaxBatch int
+	// BrownoutPoll, when positive and SLO is set, starts the brownout
+	// controller: a goroutine polling the SLO monitor every BrownoutPoll
+	// that enters brownout when the burn-rate status pages and leaves it
+	// after the burn has been back to "ok" for BrownoutHold.
+	BrownoutPoll time.Duration
+	// BrownoutHold is the minimum time after the last page before brownout
+	// lifts; 0 means 10×BrownoutPoll.
+	BrownoutHold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +222,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 4096
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.BrownoutHold <= 0 {
+		c.BrownoutHold = 10 * c.BrownoutPoll
 	}
 	return c
 }
@@ -205,6 +268,12 @@ type Engine struct {
 	mu     sync.RWMutex
 	closed bool
 
+	// brownout is the load-shedding flag: set by the controller goroutine
+	// when the SLO monitor pages (or by SetBrownout), read once per submit.
+	brownout atomic.Bool
+	// stop ends the brownout controller on Close (nil when no controller).
+	stop chan struct{}
+
 	// testHook, when non-nil, runs at the start of each task execution;
 	// tests use it to hold a worker busy and back up a queue
 	// deterministically.
@@ -221,6 +290,8 @@ type Engine struct {
 	misses    [numQueryTypes]*obs.Counter
 	latency   [numQueryTypes]*obs.Histogram
 	rejects   map[string]*obs.Counter
+	degraded  *obs.Counter
+	brownouts *obs.Counter
 	swaps     *obs.Counter
 	batches   *obs.Histogram
 	routeHops *obs.Histogram
@@ -253,9 +324,11 @@ func New(a *artifact.Artifact, cfg Config) (*Engine, error) {
 		e.misses[t] = reg.Counter("serve.cache.misses", lbl)
 		e.latency[t] = reg.Histogram("serve.latency_us", lbl)
 	}
-	for _, reason := range []string{"overload", "deadline", "vertex", "type", "closed"} {
+	for _, reason := range []string{"overload", "deadline", "vertex", "type", "closed", "brownout"} {
 		e.rejects[reason] = reg.Counter("serve.rejects", obs.Label{Key: "reason", Value: reason})
 	}
+	e.degraded = reg.Counter("serve.degraded")
+	e.brownouts = reg.Counter("serve.brownouts")
 	e.swaps = reg.Counter("serve.swaps")
 	e.updates = reg.Counter("serve.updates")
 	e.updateErrs = reg.Counter("serve.update.errors")
@@ -286,7 +359,74 @@ func New(a *artifact.Artifact, cfg Config) (*Engine, error) {
 		e.wg.Add(1)
 		go e.worker(s)
 	}
+	if cfg.SLO != nil && cfg.BrownoutPoll > 0 {
+		e.stop = make(chan struct{})
+		e.wg.Add(1)
+		go e.brownoutLoop()
+	}
 	return e, nil
+}
+
+// brownoutLoop is the brownout controller: enter brownout when the SLO
+// monitor's multi-window burn rate pages, leave once it has read "ok" for
+// BrownoutHold past the last page. "warn" holds the current state — the
+// hysteresis that keeps the engine from flapping between full service and
+// shedding at the page threshold.
+func (e *Engine) brownoutLoop() {
+	defer e.wg.Done()
+	tick := time.NewTicker(e.cfg.BrownoutPoll)
+	defer tick.Stop()
+	var lastPage time.Time
+	for {
+		select {
+		case <-e.stop:
+			return
+		case now := <-tick.C:
+			switch e.slo.Report().Status {
+			case "page":
+				lastPage = now
+				if !e.brownout.Load() {
+					e.brownout.Store(true)
+					e.brownouts.Inc()
+				}
+			case "ok":
+				if e.brownout.Load() && !lastPage.IsZero() && now.Sub(lastPage) >= e.cfg.BrownoutHold {
+					e.brownout.Store(false)
+				}
+			}
+		}
+	}
+}
+
+// Brownout reports whether the engine is currently shedding load.
+func (e *Engine) Brownout() bool { return e.brownout.Load() }
+
+// SetBrownout forces the brownout state — the operator override (and the
+// test hook). A running controller may later flip it again: it re-enters
+// brownout on the next page, and lifts a forced brownout only after a page
+// has occurred and cleared.
+func (e *Engine) SetBrownout(on bool) {
+	if on && !e.brownout.Swap(true) {
+		e.brownouts.Inc()
+		return
+	}
+	if !on {
+		e.brownout.Store(false)
+	}
+}
+
+// MaxBatch returns the batch-size limit the serving front end should
+// enforce right now: Config.MaxBatch normally, a quarter of it under
+// brownout (large batches are the cheapest demand to refuse — one rejection
+// sheds hundreds of queries without touching interactive traffic).
+func (e *Engine) MaxBatch() int {
+	max := e.cfg.MaxBatch
+	if e.brownout.Load() {
+		if max /= 4; max < 1 {
+			max = 1
+		}
+	}
+	return max
 }
 
 // Snapshot returns the current serving generation.
@@ -323,9 +463,11 @@ func sloFailed(err error) bool {
 	return err != nil && !errors.Is(err, ErrNoRoute)
 }
 
-// reject finishes a rejected request's observability: outcome into the
-// trace, the owned trace closed, and an SLO availability miss. Rejections
-// are off the hot path, so the clock read here is fine.
+// reject finishes a request answered (or refused) at admission time:
+// outcome into the trace, the owned trace closed, and the SLO observation.
+// A rejection records an availability miss; a degraded inline answer
+// (Err == nil) records a success — that is the point of serving it.
+// Admission completions are off the hot path, so the clock read is fine.
 func (e *Engine) reject(t *task) {
 	t.rt.Outcome(false, t.reply.Err)
 	if t.owned {
@@ -337,7 +479,7 @@ func (e *Engine) reject(t *task) {
 		if !t.t0.IsZero() {
 			lat = now.Sub(t.t0)
 		}
-		e.slo.RecordAt(true, lat, now)
+		e.slo.RecordAt(sloFailed(t.reply.Err), lat, now)
 	}
 }
 
@@ -362,6 +504,14 @@ func (e *Engine) submit(req Request, r *Reply, wg *sync.WaitGroup) bool {
 	if req.Type >= numQueryTypes {
 		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrBadQuery}
 		e.rejects["type"].Inc()
+		e.reject(&t)
+		return false
+	}
+	// Brownout shedding: one atomic load on the no-fault path (asserted
+	// within the resilience-overhead budget by TestResilienceOverhead).
+	if req.Priority == PriorityLow && e.brownout.Load() {
+		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrBrownout}
+		e.rejects["brownout"].Inc()
 		e.reject(&t)
 		return false
 	}
@@ -392,11 +542,39 @@ func (e *Engine) submit(req Request, r *Reply, wg *sync.WaitGroup) bool {
 		return true
 	default:
 		e.mu.RUnlock()
+		if e.brownout.Load() && req.Type == QueryDist {
+			// Brownout fallback: a full queue answers distance queries
+			// inline on the caller's goroutine from the snapshot's cached
+			// landmark arrays — an upper bound, flagged Degraded, instead
+			// of a 503. Worker compute stays reserved for exact answers.
+			e.degradedDist(&t)
+			return false
+		}
 		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrOverloaded}
 		e.rejects["overload"].Inc()
 		e.reject(&t)
 		return false
 	}
+}
+
+// degradedDist fills t.reply with the landmark-approximate distance, the
+// brownout fallback for QueryDist when the shard queue is full. The reply
+// has Err == nil and Degraded == true; bad vertices still reject.
+func (e *Engine) degradedDist(t *task) {
+	req := t.req
+	snap := e.snap.Load()
+	*t.reply = Reply{Type: req.Type, U: req.U, V: req.V, SnapshotID: snap.ID}
+	if n := int32(snap.N()); req.U < 0 || req.U >= n || req.V < 0 || req.V >= n {
+		t.reply.Err = ErrBadVertex
+		e.rejects["vertex"].Inc()
+		e.reject(t)
+		return
+	}
+	t.reply.Dist = snap.ApproxDist(req.U, req.V)
+	t.reply.Degraded = true
+	e.degraded.Inc()
+	e.queries[req.Type].Inc()
+	e.reject(t)
 }
 
 // Query answers one request, blocking until it completes or is rejected.
@@ -454,6 +632,9 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
+	if e.stop != nil {
+		close(e.stop)
+	}
 	for _, s := range e.shards {
 		close(s.ch)
 	}

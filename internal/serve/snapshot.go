@@ -63,6 +63,20 @@ func (s *Snapshot) RouteBound(u, v int32) int32 {
 	return du + dv
 }
 
+// ApproxDist returns the landmark-relay upper bound on dist(u,v): the
+// better of routing through v's landmark and through u's. It reads two
+// cached array entries per direction — no BFS, no oracle walk — which is
+// what lets the brownout path answer distance queries inline on the
+// caller's goroutine when the shard queues are full. graph.Unreachable when
+// neither relay connects the pair.
+func (s *Snapshot) ApproxDist(u, v int32) int32 {
+	b := s.RouteBound(u, v)
+	if rb := s.RouteBound(v, u); rb != graph.Unreachable && (b == graph.Unreachable || rb < b) {
+		b = rb
+	}
+	return b
+}
+
 // pathScratch is per-shard BFS state for Path queries, reused across
 // requests so the steady-state hot path allocates only the result slice.
 type pathScratch struct {
