@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck clustercheck check clean
 
 all: build vet test
 
@@ -97,9 +97,21 @@ chaoscheck:
 		./cmd/spannerd/... ./internal/dynamic/... ./internal/serve/...
 	$(GO) test -run TestResilienceOverhead -count=1 ./internal/serve/
 
+# The cluster-serving gate: the replica state machine, two-phase swap,
+# failover/hedging/catch-up and router surface tests under the race
+# detector, then the subprocess node-kill chaos suite (real spannerd and
+# spannerrouter processes, SIGKILLs landing mid-swap, mid-update and
+# under load: zero wrong answers, no generation divergence, rejoin at
+# the committed generation, quorum loss degrades instead of failing).
+clustercheck:
+	$(GO) vet ./internal/clusterserve/... ./cmd/spannerrouter/...
+	$(GO) test -race ./internal/clusterserve/... ./cmd/spannerrouter/...
+	$(GO) test -run 'Cluster|Replica|TwoPhase|Failover|CatchUp|Quorum|Hedged|NodeKill' -race -count=1 \
+		./internal/clusterserve/... ./cmd/spannerrouter/... ./client/...
+
 # The full gate: build, vet, unit tests, then the robustness, serving,
-# dynamic, observability and serving-resilience suites.
-check: build vet test faultcheck serve dynamic obscheck chaoscheck
+# dynamic, observability, serving-resilience and cluster-serving suites.
+check: build vet test faultcheck serve dynamic obscheck chaoscheck clustercheck
 
 clean:
 	$(GO) clean ./...

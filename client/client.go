@@ -10,15 +10,21 @@
 // decides (an /update retried blindly after an ambiguous failure could
 // apply a delta twice; the server's base-checksum check would catch it, but
 // only as a confusing 409). Rejections (429, the server's brownout shed)
-// are never retried on any endpoint: the server asked for less traffic, so
-// the client backs off and reports ErrRejected.
+// are normally never retried: the server asked for less traffic, so the
+// client backs off and reports ErrRejected. The one exception is a 429
+// carrying a Retry-After hint that fits inside MaxBackoff — the server
+// said exactly when to come back, so idempotent calls wait that long and
+// try again; hints beyond the ceiling surface immediately as a
+// *RejectedError the caller can pace itself by.
 //
 // All failures surface as typed errors matchable with errors.Is:
 // ErrUnavailable (breaker open, connection refused/reset, 5xx after
 // retries), ErrTimeout (deadline anywhere in the chain), ErrRejected
 // (server shedding), ErrBadRequest and ErrConflict. Degraded answers —
 // brownout fallbacks the server flags with "degraded": true — are
-// successes; callers that care inspect Reply.Degraded.
+// successes; callers that care inspect Reply.Degraded, use
+// Reply.ExactErr, or set Config.RequireExact to turn them into typed
+// ErrDegraded failures.
 package client
 
 import (
@@ -29,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -41,14 +48,38 @@ var (
 	// per-request timeout, or the server's own 504.
 	ErrTimeout = errors.New("client: request timed out")
 	// ErrRejected reports load shed by the server (429): valid request,
-	// server asking for less traffic. Back off before retrying.
+	// server asking for less traffic. Back off before retrying. Rejections
+	// that carried a Retry-After hint surface as a *RejectedError wrapping
+	// this sentinel, so errors.Is(err, ErrRejected) always matches.
 	ErrRejected = errors.New("client: request rejected by server")
 	// ErrBadRequest reports a request the server rejected as malformed.
 	ErrBadRequest = errors.New("client: bad request")
 	// ErrConflict reports a state conflict (409): an update bound to a
 	// generation that is no longer live. Re-diff and resubmit.
 	ErrConflict = errors.New("client: conflict")
+	// ErrDegraded reports an answer the server flagged Degraded: a landmark
+	// upper bound served under brownout or quorum loss, not the exact oracle
+	// estimate. Only surfaced by Reply.ExactErr and by clients configured
+	// with RequireExact — by default degraded answers are successes.
+	ErrDegraded = errors.New("client: degraded landmark-bound answer")
 )
+
+// RejectedError is a server rejection (429) that carried a Retry-After
+// hint. It unwraps to ErrRejected, so existing errors.Is checks keep
+// matching; callers that want the server's pacing read After.
+type RejectedError struct {
+	// After is the server's Retry-After hint (zero when the header carried
+	// "0" — retry immediately).
+	After time.Duration
+	// Detail is the server's error text.
+	Detail string
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v): %s", ErrRejected, e.After, e.Detail)
+}
+
+func (e *RejectedError) Unwrap() error { return ErrRejected }
 
 // Query is one query in wire form.
 type Query struct {
@@ -61,6 +92,10 @@ type Query struct {
 	// Priority is "" / "high" (protected) or "low" (shed first under
 	// brownout).
 	Priority string `json:"priority,omitempty"`
+	// AllowDegraded asks the server for the cheap landmark-bound answer
+	// (flagged Degraded) instead of the exact oracle estimate — the cluster
+	// router sets it when serving through a stale replica under quorum loss.
+	AllowDegraded bool `json:"allowDegraded,omitempty"`
 }
 
 // Reply is one query's answer in wire form.
@@ -74,7 +109,22 @@ type Reply struct {
 	Cached   bool    `json:"cached"`
 	Degraded bool    `json:"degraded,omitempty"`
 	Snapshot int64   `json:"snapshot"`
-	Err      string  `json:"err,omitempty"`
+	// Gen is the cluster generation that answered (0 outside cluster
+	// serving). Unlike Snapshot — a replica-local engine counter that
+	// resets on restart — Gen is assigned by the router's two-phase swap
+	// and comparable across replicas.
+	Gen int64  `json:"gen,omitempty"`
+	Err string `json:"err,omitempty"`
+}
+
+// ExactErr returns nil for an exact answer and an error matching
+// ErrDegraded for a flagged landmark-bound one, letting callers that need
+// exactness distinguish the two without inspecting the flag by hand.
+func (r Reply) ExactErr() error {
+	if r.Degraded {
+		return fmt.Errorf("%w: dist(%d,%d) ≤ %d", ErrDegraded, r.U, r.V, r.Dist)
+	}
+	return nil
 }
 
 // Config tunes a Client. The zero value (plus BaseURL) is production-ready.
@@ -102,6 +152,11 @@ type Config struct {
 	// (default 2s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+	// RequireExact makes Query and Dist refuse flagged landmark-bound
+	// answers: a Degraded reply returns the reply data plus an error
+	// matching ErrDegraded instead of a silent success. Batch replies are
+	// left to the caller (use Reply.ExactErr per entry).
+	RequireExact bool
 	// Now overrides the breaker's clock (tests; nil = time.Now).
 	Now func() time.Time
 }
@@ -197,6 +252,10 @@ type attemptErr struct {
 	err       error // typed error to surface if this is the last attempt
 	retryable bool  // may retry (when the call is idempotent)
 	breaker   bool  // counts as a breaker failure (server-down signal)
+	// after is the server's Retry-After hint, when the rejection carried
+	// one (nil otherwise). A hinted 429 is not retryable per se — do()
+	// promotes it when the hint fits inside the client's backoff ceiling.
+	after *time.Duration
 }
 
 // do runs one endpoint call under the retry/breaker discipline and returns
@@ -212,7 +271,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 	var last attemptErr
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			t := time.NewTimer(c.backoffFor(attempt))
+			d := c.backoffFor(attempt)
+			if last.after != nil && *last.after > 0 {
+				// The server said exactly when to come back; its pacing
+				// replaces the guesswork of jittered backoff.
+				d = *last.after
+			}
+			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				t.Stop()
@@ -229,7 +294,13 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 			c.br.failure()
 		}
 		last = *ae
-		if !ae.retryable || !idempotent {
+		// A 429 with a Retry-After within the client's backoff ceiling is
+		// worth honoring: the server asked for a pause it expects to be
+		// enough. Hints beyond the ceiling (or absent) surface immediately —
+		// the pre-existing never-retry-rejections discipline.
+		retryable := ae.retryable ||
+			(ae.after != nil && *ae.after <= c.cfg.MaxBackoff)
+		if !retryable || !idempotent {
 			break
 		}
 		if ctx.Err() != nil {
@@ -274,20 +345,26 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		// Truncated or reset mid-body: the response cannot be trusted.
 		return nil, &attemptErr{err: fmt.Errorf("%w: reading response: %v", ErrUnavailable, err), retryable: true, breaker: true}
 	}
-	if ae := classifyStatus(resp.StatusCode, data); ae != nil {
+	if ae := classifyStatus(resp.StatusCode, resp.Header, data); ae != nil {
 		return nil, ae
 	}
 	return data, nil
 }
 
 // classifyStatus maps a non-2xx answer to its typed error and retry class.
-func classifyStatus(status int, body []byte) *attemptErr {
+func classifyStatus(status int, hdr http.Header, body []byte) *attemptErr {
 	if status < 300 {
 		return nil
 	}
 	detail := serverErr(body)
 	switch {
 	case status == http.StatusTooManyRequests:
+		if after, ok := retryAfter(hdr); ok {
+			return &attemptErr{
+				err:   &RejectedError{After: after, Detail: detail},
+				after: &after,
+			}
+		}
 		return &attemptErr{err: fmt.Errorf("%w: %s", ErrRejected, detail)}
 	case status == http.StatusConflict:
 		return &attemptErr{err: fmt.Errorf("%w: %s", ErrConflict, detail)}
@@ -298,6 +375,20 @@ func classifyStatus(status int, body []byte) *attemptErr {
 	default: // remaining 4xx: the request is wrong, retrying cannot help
 		return &attemptErr{err: fmt.Errorf("%w: HTTP %d: %s", ErrBadRequest, status, detail)}
 	}
+}
+
+// retryAfter parses a Retry-After header as delay-seconds (the form the
+// server emits; HTTP-dates are ignored rather than guessed at).
+func retryAfter(hdr http.Header) (time.Duration, bool) {
+	v := hdr.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
 }
 
 // serverErr extracts the server's {"err": "..."} detail, if present.
@@ -327,6 +418,11 @@ func (c *Client) Query(ctx context.Context, q Query) (Reply, error) {
 	var r Reply
 	if err := json.Unmarshal(data, &r); err != nil {
 		return Reply{}, fmt.Errorf("%w: decoding reply: %v", ErrUnavailable, err)
+	}
+	if c.cfg.RequireExact {
+		if err := r.ExactErr(); err != nil {
+			return r, err
+		}
 	}
 	return r, nil
 }
@@ -402,8 +498,11 @@ type Health struct {
 	N        int    `json:"n"`
 }
 
-// Healthz reports server health. Idempotent: retried under backoff; a
-// paging server's 503 surfaces as ErrUnavailable after the retry budget.
+// Healthz reports server liveness. Idempotent: retried under backoff.
+// Since the liveness/readiness split, /healthz answers 200 whenever the
+// process serves (even paging or mid-swap) — a 503 here means the server
+// is truly gone and surfaces as ErrUnavailable after the retry budget;
+// readiness questions belong to /readyz.
 func (c *Client) Healthz(ctx context.Context) (Health, error) {
 	var h Health
 	data, err := c.do(ctx, http.MethodGet, "/healthz", nil, true)

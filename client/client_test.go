@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -320,5 +321,192 @@ func TestSeededBackoffDeterministic(t *testing.T) {
 	}
 	if !diverged {
 		t.Fatal("different seeds never diverged")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe pins the half-open contract under
+// concurrency: after cooldown exactly one caller becomes the probe and
+// reaches the server; every concurrent caller is shed locally with
+// ErrUnavailable while that probe is in flight. A thundering herd
+// re-arriving at a recovering server is the failure mode the breaker
+// exists to prevent, so this is tested with real concurrent callers, not
+// sequential allow() calls.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var serverCalls atomic.Int64
+	healthy := atomic.Bool{}
+	probeArrived := make(chan struct{}, 1)
+	probeRelease := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serverCalls.Add(1)
+		if !healthy.Load() {
+			http.Error(w, `{"err":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		// Healthy = the recovering server: hold the probe so losers race
+		// against an in-flight half-open probe, not a closed circuit.
+		probeArrived <- struct{}{}
+		<-probeRelease
+		okReply(w, 7)
+	}))
+	defer ts.Close()
+
+	clock := time.Unix(1000, 0)
+	var clockMu sync.Mutex
+	now := func() time.Time { clockMu.Lock(); defer clockMu.Unlock(); return clock }
+	advance := func(d time.Duration) { clockMu.Lock(); clock = clock.Add(d); clockMu.Unlock() }
+
+	cfg := fastCfg(ts.URL)
+	cfg.MaxRetries = -1 // single attempt per call: breaker transitions stay legible
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Second
+	cfg.Now = now
+	c := New(cfg)
+	ctx := context.Background()
+
+	// Trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Dist(ctx, 1, 2); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("tripping call %d: %v", i, err)
+		}
+	}
+	if got := c.Stats().Breaker; got != "open" {
+		t.Fatalf("breaker %q after threshold failures, want open", got)
+	}
+	// Open circuit sheds locally: no network traffic.
+	before := serverCalls.Load()
+	if _, err := c.Dist(ctx, 1, 2); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("shed call: %v", err)
+	}
+	if serverCalls.Load() != before {
+		t.Fatal("open breaker let a call reach the server")
+	}
+
+	// Cooldown elapses; the server recovers. The first caller becomes the
+	// half-open probe and blocks inside the server handler.
+	healthy.Store(true)
+	advance(cfg.BreakerCooldown + time.Millisecond)
+	probeErr := make(chan error, 1)
+	go func() {
+		_, err := c.Dist(ctx, 1, 2)
+		probeErr <- err
+	}()
+	select {
+	case <-probeArrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe never reached the server")
+	}
+
+	// Concurrent callers during the probe: all shed locally.
+	inFlight := serverCalls.Load()
+	var losers sync.WaitGroup
+	loserErrs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		losers.Add(1)
+		go func() {
+			defer losers.Done()
+			_, err := c.Dist(ctx, 1, 2)
+			loserErrs <- err
+		}()
+	}
+	losers.Wait()
+	close(loserErrs)
+	for err := range loserErrs {
+		if !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("loser during half-open probe: %v, want ErrUnavailable", err)
+		}
+	}
+	if got := serverCalls.Load(); got != inFlight {
+		t.Fatalf("%d callers reached the server during the probe, want only the probe", got-inFlight+1)
+	}
+
+	// Probe succeeds; the circuit closes and traffic flows again.
+	close(probeRelease)
+	if err := <-probeErr; err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if got := c.Stats().Breaker; got != "closed" {
+		t.Fatalf("breaker %q after successful probe, want closed", got)
+	}
+	if r, err := c.Dist(ctx, 1, 2); err != nil || r.Dist != 7 {
+		t.Fatalf("post-recovery call: %v dist %d", err, r.Dist)
+	}
+}
+
+// TestRetryAfterHonored pins the 429 pacing contract: a Retry-After hint
+// within MaxBackoff is honored (the idempotent call waits and retries), a
+// hint beyond it surfaces immediately as a *RejectedError carrying the
+// server's pacing.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"err":"brownout"}`, http.StatusTooManyRequests)
+			return
+		}
+		okReply(w, 3)
+	}))
+	defer ts.Close()
+	c := New(fastCfg(ts.URL))
+	r, err := c.Dist(context.Background(), 1, 2)
+	if err != nil || r.Dist != 3 {
+		t.Fatalf("hinted 429 not retried: %v dist %d", err, r.Dist)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2 (429 then success)", calls.Load())
+	}
+
+	// A hint beyond MaxBackoff is the server saying "much later": surface
+	// it immediately with the pacing attached instead of stalling.
+	var slowCalls atomic.Int64
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		slowCalls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, `{"err":"brownout"}`, http.StatusTooManyRequests)
+	}))
+	defer slow.Close()
+	c2 := New(fastCfg(slow.URL))
+	_, err = c2.Dist(context.Background(), 1, 2)
+	var rej *RejectedError
+	if !errors.As(err, &rej) || !errors.Is(err, ErrRejected) {
+		t.Fatalf("want *RejectedError wrapping ErrRejected, got %v", err)
+	}
+	if rej.After != 30*time.Second {
+		t.Fatalf("After = %v, want 30s", rej.After)
+	}
+	if slowCalls.Load() != 1 {
+		t.Fatalf("%d calls, want 1 (hint too far out to honor)", slowCalls.Load())
+	}
+}
+
+// TestRequireExactRefusesDegraded pins the ErrDegraded surface: flagged
+// landmark-bound answers are successes by default, opt-in failures with
+// RequireExact, and always detectable via Reply.ExactErr.
+func TestRequireExactRefusesDegraded(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(Reply{Type: "dist", U: 1, V: 2, Dist: 9, Degraded: true, Snapshot: 1})
+	}))
+	defer ts.Close()
+
+	// Default: degraded answers succeed, ExactErr flags them.
+	c := New(fastCfg(ts.URL))
+	r, err := c.Dist(context.Background(), 1, 2)
+	if err != nil || !r.Degraded {
+		t.Fatalf("default client: err %v degraded %v", err, r.Degraded)
+	}
+	if !errors.Is(r.ExactErr(), ErrDegraded) {
+		t.Fatalf("ExactErr = %v, want ErrDegraded", r.ExactErr())
+	}
+
+	// RequireExact: same reply comes back with a typed error attached.
+	cfg := fastCfg(ts.URL)
+	cfg.RequireExact = true
+	strict := New(cfg)
+	r, err = strict.Dist(context.Background(), 1, 2)
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("strict client: %v, want ErrDegraded", err)
+	}
+	if r.Dist != 9 {
+		t.Fatal("strict client must still return the degraded bound alongside the error")
 	}
 }

@@ -102,8 +102,11 @@ func TestDrainCompletesInflightBatch(t *testing.T) {
 	}
 	sigc := make(chan os.Signal, 1)
 	done := make(chan error, 1)
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
 	go func() {
-		done <- serveUntilSignal(&http.Server{Handler: handler}, ln, eng, sigc, 5*time.Second, discardLogger())
+		done <- serveUntilSignal(srv, errc, eng, sigc, 5*time.Second, discardLogger())
 	}()
 
 	type result struct {

@@ -1,15 +1,19 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"spanner/client"
 	"spanner/internal/artifact"
 	"spanner/internal/dynamic"
 	"spanner/internal/obs"
@@ -32,6 +36,103 @@ type loadConfig struct {
 	// churn runs are byte-reproducible like the query workload.
 	ChurnEach time.Duration
 	Churn     dynamic.StreamConfig
+
+	// Targets, when non-empty, points the workload at remote serving
+	// endpoints over HTTP instead of the embedded engine: one spannerrouter
+	// URL (-router) or a replica set balanced client-side (-replicas).
+	// Remote runs report failover events (the router's X-Failovers header)
+	// per query type; -swap-every and -churn-every need the embedded engine
+	// and are rejected.
+	Targets []string
+}
+
+// issuer abstracts where queries go: the embedded engine (the historical
+// loadgen) or a remote router / replica set over HTTP. Both return the
+// reply plus the number of failover events behind it, so the report's
+// taxonomy stays identical across local and remote runs.
+type issuer interface {
+	vertices() int32
+	issue(req serve.Request) (serve.Reply, int)
+}
+
+type engineIssuer struct{ eng *serve.Engine }
+
+func (e engineIssuer) vertices() int32 { return int32(e.eng.Snapshot().N()) }
+func (e engineIssuer) issue(req serve.Request) (serve.Reply, int) {
+	return e.eng.Query(req), 0
+}
+
+// httpIssuer drives one or more serving endpoints. Each call picks the
+// next target round-robin (with one router URL this is just that router;
+// with -replicas it is client-side balancing) and issues a single
+// attempt — no client-side retries, so the report shows the serving
+// path's own resilience (router failover, hedging) rather than the load
+// generator's.
+type httpIssuer struct {
+	targets []string
+	hc      *http.Client
+	rr      atomic.Int64
+	n       int32
+}
+
+func newHTTPIssuer(targets []string) (*httpIssuer, error) {
+	iss := &httpIssuer{targets: targets, hc: &http.Client{Timeout: 10 * time.Second}}
+	// Size the workload from whichever endpoint answers: a router's
+	// /statusz or a replica's /stats both carry the vertex count.
+	for _, t := range targets {
+		for _, path := range []string{"/statusz", "/stats"} {
+			resp, err := iss.hc.Get(t + path)
+			if err != nil {
+				continue
+			}
+			var body struct {
+				N int32 `json:"n"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil && resp.StatusCode == http.StatusOK && body.N > 0 {
+				iss.n = body.N
+				return iss, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("loadgen: no target of %d answered /statusz or /stats with a vertex count", len(targets))
+}
+
+func (h *httpIssuer) vertices() int32 { return h.n }
+
+func (h *httpIssuer) issue(req serve.Request) (serve.Reply, int) {
+	target := h.targets[int(h.rr.Add(1)-1)%len(h.targets)]
+	url := fmt.Sprintf("%s/query?type=%s&u=%d&v=%d", target, req.Type, req.U, req.V)
+	resp, err := h.hc.Get(url)
+	if err != nil {
+		return serve.Reply{U: req.U, V: req.V, Err: err}, 0
+	}
+	defer resp.Body.Close()
+	failovers, _ := strconv.Atoi(resp.Header.Get("X-Failovers"))
+	var wire client.Reply
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil && resp.StatusCode == http.StatusOK {
+		return serve.Reply{U: req.U, V: req.V, Err: err}, failovers
+	}
+	rep := serve.Reply{
+		U: wire.U, V: wire.V, Dist: wire.Dist, Path: wire.Path,
+		Cached: wire.Cached, Degraded: wire.Degraded, SnapshotID: wire.Snapshot,
+	}
+	// Fold HTTP statuses back into the engine's error taxonomy so the
+	// report buckets match a local run: 429 is shedding, 504 a deadline,
+	// anything else non-OK a transport-class fault.
+	switch {
+	case resp.StatusCode == http.StatusOK && wire.Err == "":
+	case resp.StatusCode == http.StatusOK && strings.Contains(wire.Err, "no route"):
+		rep.Err = serve.ErrNoRoute
+	case resp.StatusCode == http.StatusTooManyRequests:
+		rep.Err = serve.ErrBrownout
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		rep.Err = serve.ErrDeadline
+	default:
+		rep.Err = fmt.Errorf("status %d: %s", resp.StatusCode, wire.Err)
+	}
+	return rep, failovers
 }
 
 // parseMix parses "dist=8,path=1,route=1" into per-type weights. Omitted
@@ -84,6 +185,11 @@ type typeStats struct {
 	timeout   int64
 	rejected  int64
 	transport int64
+	// failover counts failover events behind answered queries (remote
+	// runs only: the router's X-Failovers attribution header). A non-zero
+	// column under chaos with zero transport errors is the resilience
+	// story in one line: replicas died, callers never saw it.
+	failover int64
 }
 
 // loadReport is the printable outcome of a run.
@@ -159,7 +265,20 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 	if cfg.Mode != "closed" && cfg.Mode != "open" {
 		return nil, fmt.Errorf("unknown loadgen mode %q", cfg.Mode)
 	}
-	snapN := int32(eng.Snapshot().N())
+	var iss issuer
+	if len(cfg.Targets) > 0 {
+		if cfg.SwapEach > 0 || cfg.ChurnEach > 0 {
+			return nil, errors.New("loadgen: -swap-every/-churn-every drive the embedded engine and cannot combine with -router/-replicas (swap through the router instead)")
+		}
+		remote, err := newHTTPIssuer(cfg.Targets)
+		if err != nil {
+			return nil, err
+		}
+		iss = remote
+	} else {
+		iss = engineIssuer{eng}
+	}
+	snapN := iss.vertices()
 	rep := newLoadReport(cfg)
 
 	stop := make(chan struct{})
@@ -242,9 +361,10 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 	}
 
 	type sample struct {
-		typ serve.QueryType
-		lat time.Duration
-		rep serve.Reply
+		typ       serve.QueryType
+		lat       time.Duration
+		rep       serve.Reply
+		failovers int
 	}
 	results := make(chan sample, 4096)
 	var collectWG sync.WaitGroup
@@ -263,6 +383,7 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 				if s.rep.Degraded {
 					st.degraded++
 				}
+				st.failover += int64(s.failovers)
 			case errors.Is(s.rep.Err, serve.ErrNoRoute):
 				st.noroute++
 				st.lat.Observe(s.lat.Nanoseconds())
@@ -291,8 +412,8 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 				for time.Now().Before(deadline) {
 					req := w.next()
 					t0 := time.Now()
-					r := eng.Query(req)
-					results <- sample{req.Type, time.Since(t0), r}
+					r, fo := iss.issue(req)
+					results <- sample{req.Type, time.Since(t0), r, fo}
 				}
 			}(i)
 		}
@@ -312,8 +433,8 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 			go func() {
 				defer inflight.Done()
 				t0 := time.Now()
-				r := eng.Query(req)
-				results <- sample{req.Type, time.Since(t0), r}
+				r, fo := iss.issue(req)
+				results <- sample{req.Type, time.Since(t0), r, fo}
 			}()
 		}
 		inflight.Wait()
@@ -345,9 +466,12 @@ func (r *loadReport) write(w io.Writer) {
 	if r.swaps > 0 {
 		fmt.Fprintf(w, " swaps=%d", r.swaps)
 	}
+	if len(r.cfg.Targets) > 0 {
+		fmt.Fprintf(w, " targets=%d", len(r.cfg.Targets))
+	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %8s %8s %9s %10s %10s %10s %12s\n",
-		"type", "queries", "cached", "degraded", "noroute", "timeout", "rejected", "transport", "p50", "p95", "p99", "qps")
+	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %8s %8s %9s %8s %10s %10s %10s %12s\n",
+		"type", "queries", "cached", "degraded", "noroute", "timeout", "rejected", "transport", "failover", "p50", "p95", "p99", "qps")
 	var total int64
 	for t := serve.QueryType(0); t < 3; t++ {
 		st := &r.stats[t]
@@ -358,8 +482,8 @@ func (r *loadReport) write(w io.Writer) {
 		}
 		total += n
 		qps := float64(snap.Count) / r.elapsed.Seconds()
-		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %8d %8d %9d %10v %10v %10v %12.0f\n",
-			t, n, st.cached, st.degraded, st.noroute, st.timeout, st.rejected, st.transport,
+		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %8d %8d %9d %8d %10v %10v %10v %12.0f\n",
+			t, n, st.cached, st.degraded, st.noroute, st.timeout, st.rejected, st.transport, st.failover,
 			pct(snap, 0.50).Round(time.Microsecond),
 			pct(snap, 0.95).Round(time.Microsecond),
 			pct(snap, 0.99).Round(time.Microsecond),

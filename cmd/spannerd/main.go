@@ -26,7 +26,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,10 +37,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"spanner/internal/artifact"
+	"spanner/internal/clusterserve"
 	"spanner/internal/dynamic"
 	"spanner/internal/httpchaos"
 	"spanner/internal/obs"
@@ -61,6 +67,13 @@ type daemonConfig struct {
 	addr            string
 	chaos           *httpchaos.Plan
 	drainTimeout    time.Duration
+
+	// cluster enables the replica control plane (/cluster/*; direct /swap
+	// and /update refused); joinURL, when set, announces this replica to a
+	// router at startup; advertise overrides the self-URL announced.
+	cluster   bool
+	joinURL   string
+	advertise string
 
 	engine engineFlags
 	logger *slog.Logger
@@ -124,6 +137,9 @@ func run() error {
 		addr    = flag.String("addr", ":8080", "HTTP listen address")
 
 		supervise = flag.Int("supervise", 0, "restart budget after server crashes (requires -artifact-dir; each restart rescans and resumes the last verified generation)")
+		cluster   = flag.Bool("cluster", false, "run as a cluster replica: install the /cluster control plane and refuse direct /swap and /update (generation changes go through spannerrouter's two-phase commit)")
+		join      = flag.String("join", "", "spannerrouter URL to register with at startup (implies -cluster)")
+		advertise = flag.String("advertise", "", "self URL announced to the router (default derived from -addr)")
 		chaosSpec = flag.String("chaos", "", "inject seeded serve-path faults, e.g. reset=0.01,err5xx=0.02,truncate=0.01,seed=7 (see internal/httpchaos)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
 
@@ -151,6 +167,8 @@ func run() error {
 		swapEach  = flag.Duration("swap-every", 0, "loadgen: hot-swap the artifact at this interval (0 = never)")
 		churnEach = flag.Duration("churn-every", 0, "loadgen: apply a dynamic update batch at this interval (0 = never)")
 		churnSpec = flag.String("churn", "", "loadgen churn stream spec, e.g. batches=16,size=32,insert=0.5 (seeded by -seed)")
+		router    = flag.String("router", "", "loadgen: drive a spannerrouter URL over HTTP instead of the embedded engine")
+		replicas  = flag.String("replicas", "", "loadgen: drive a comma-separated replica set directly, balanced client-side")
 	)
 	flag.Parse()
 
@@ -163,19 +181,33 @@ func run() error {
 	}
 
 	if *loadgen {
-		if *artPath == "" {
-			return errors.New("-artifact is required for -loadgen")
+		var targets []string
+		if *router != "" {
+			targets = append(targets, strings.TrimRight(*router, "/"))
 		}
-		art, err := artifact.Load(*artPath)
-		if err != nil {
-			return fmt.Errorf("loading artifact: %w", err)
+		for _, u := range strings.Split(*replicas, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				targets = append(targets, strings.TrimRight(u, "/"))
+			}
 		}
-		eng, _, _, _, err := ef.buildEngine(art, logger)
-		if err != nil {
-			return err
+		var eng *serve.Engine
+		var err error
+		if len(targets) == 0 {
+			if *artPath == "" {
+				return errors.New("-artifact is required for -loadgen (or point it at a cluster with -router/-replicas)")
+			}
+			art, err := artifact.Load(*artPath)
+			if err != nil {
+				return fmt.Errorf("loading artifact: %w", err)
+			}
+			eng, _, _, _, err = ef.buildEngine(art, logger)
+			if err != nil {
+				return err
+			}
+			defer eng.Close()
 		}
-		defer eng.Close()
 		cfg := loadConfig{
+			Targets:   targets,
 			Mode:      *mode,
 			Conc:      *conc,
 			Rate:      *rate,
@@ -220,6 +252,7 @@ func run() error {
 	cfg := daemonConfig{
 		artPath: *artPath, artDir: *artDir, addr: *addr,
 		chaos: chaosPlan, drainTimeout: *drain,
+		cluster: *cluster || *join != "", joinURL: *join, advertise: *advertise,
 		engine: ef, logger: logger,
 	}
 
@@ -298,46 +331,133 @@ func applyRecoveredDeltas(eng *serve.Engine, rep *recovery.Report, logger *slog.
 	}
 }
 
-// serveOnce runs one full server lifetime: load (or recover) the artifact,
-// build the engine, serve until a shutdown signal or a server error, drain.
-// Returns nil on a clean drain.
+// switchHandler is an atomically swappable http.Handler: the listener
+// binds (and answers liveness/readiness) before the recovery scan runs,
+// then the real routes swap in without dropping a connection.
+type switchHandler struct{ v atomic.Value }
+
+type handlerBox struct{ h http.Handler }
+
+func (s *switchHandler) Set(h http.Handler) { s.v.Store(handlerBox{h}) }
+func (s *switchHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.v.Load().(handlerBox).h.ServeHTTP(w, r)
+}
+
+// startingHandler answers while the startup recovery scan runs: the
+// process is alive (/healthz 200) but must not receive routed traffic
+// (/readyz 503 "recovering", everything else 503). Binding before the scan
+// lets supervisors and the cluster router tell "starting" from "dead" —
+// connection-refused means restart, not-ready means wait.
+func startingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "starting"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "reason": "recovering",
+		})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusServiceUnavailable, "starting: recovery scan in progress")
+	})
+	return mux
+}
+
+// advertiseURL resolves the self URL announced to the router: the explicit
+// -advertise, or one derived from the bound listener (unspecified bind
+// addresses advertise loopback — the single-host default).
+func advertiseURL(advertise string, ln net.Listener) string {
+	if advertise != "" {
+		return advertise
+	}
+	host := "127.0.0.1"
+	port := 0
+	if ta, ok := ln.Addr().(*net.TCPAddr); ok {
+		port = ta.Port
+		if !ta.IP.IsUnspecified() {
+			host = ta.IP.String()
+		}
+	}
+	return "http://" + net.JoinHostPort(host, strconv.Itoa(port))
+}
+
+// announceJoin registers this replica with the router. Registration is
+// idempotent and the router probes from then on, so one success is enough;
+// retries are bounded so a dead router does not leak the goroutine forever.
+func announceJoin(router, self string, logger *slog.Logger) {
+	body, _ := json.Marshal(map[string]string{"url": self})
+	for attempt := 0; attempt < 30; attempt++ {
+		resp, err := http.Post(router+"/join", "application/json", bytes.NewReader(body))
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code < 300 {
+				logger.Info("registered with router", "router", router, "self", self)
+				return
+			}
+			err = fmt.Errorf("HTTP %d", code)
+		}
+		logger.Warn("join announcement failed; retrying", "router", router, "err", err)
+		time.Sleep(2 * time.Second)
+	}
+	logger.Error("giving up on join announcements", "router", router)
+}
+
+// serveOnce runs one full server lifetime: bind the listener (answering
+// alive-but-not-ready), load (or recover) the artifact, build the engine,
+// swap the real routes in, serve until a shutdown signal or a server
+// error, drain. Returns nil on a clean drain.
 func serveOnce(cfg daemonConfig, sigc <-chan os.Signal) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	sw := &switchHandler{}
+	sw.Set(startingHandler())
+	srv := &http.Server{Handler: sw}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
 	art, rep, err := loadServingArtifact(cfg)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	eng, ob, tracer, slo, err := cfg.engine.buildEngine(art, cfg.logger)
 	if err != nil {
+		srv.Close()
 		return err
 	}
 	applyRecoveredDeltas(eng, rep, cfg.logger)
 	cfg.logger.Info("artifact loaded", "algo", art.Algo,
 		"n", art.Graph.N(), "spanner", art.Spanner.Len(), "generation", eng.SnapshotID())
 
+	var replica *clusterserve.Replica
+	if cfg.cluster {
+		replica = clusterserve.NewReplica(eng, cfg.logger)
+	}
 	var handler http.Handler = newServer(eng, ob, serverOpts{
-		tracer: tracer, slo: slo, logger: cfg.logger,
+		tracer: tracer, slo: slo, logger: cfg.logger, cluster: replica,
 	}).routes()
 	if cfg.chaos != nil {
 		handler = cfg.chaos.Middleware(handler)
 	}
-	ln, err := net.Listen("tcp", cfg.addr)
-	if err != nil {
-		eng.Close()
-		return err
+	sw.Set(handler)
+	cfg.logger.Info("serving", "addr", ln.Addr().String(), "cluster", cfg.cluster)
+	if cfg.joinURL != "" {
+		go announceJoin(cfg.joinURL, advertiseURL(cfg.advertise, ln), cfg.logger)
 	}
-	cfg.logger.Info("listening", "addr", ln.Addr().String())
-	return serveUntilSignal(&http.Server{Handler: handler}, ln, eng, sigc, cfg.drainTimeout, cfg.logger)
+	return serveUntilSignal(srv, errc, eng, sigc, cfg.drainTimeout, cfg.logger)
 }
 
-// serveUntilSignal serves until a shutdown signal or a server error, then
-// drains in the only safe order: the listener stops accepting and every
-// in-flight handler runs to completion (srv.Shutdown) BEFORE the engine
-// closes. Closing the engine first would answer "engine closed" to exactly
-// the requests a graceful drain exists to finish — the regression
-// TestDrainCompletesInflightBatch pins down.
-func serveUntilSignal(srv *http.Server, ln net.Listener, eng *serve.Engine, sigc <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+// serveUntilSignal waits out one server lifetime (errc carries the
+// srv.Serve result), then drains in the only safe order: the listener
+// stops accepting and every in-flight handler runs to completion
+// (srv.Shutdown) BEFORE the engine closes. Closing the engine first would
+// answer "engine closed" to exactly the requests a graceful drain exists
+// to finish — the regression TestDrainCompletesInflightBatch pins down.
+func serveUntilSignal(srv *http.Server, errc <-chan error, eng *serve.Engine, sigc <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
 	select {
 	case err := <-errc:
 		// The listener died on its own; nothing is accepting, so draining

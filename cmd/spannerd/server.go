@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"spanner/internal/artifact"
+	"spanner/internal/clusterserve"
 	"spanner/internal/graph"
 	"spanner/internal/obs"
 	"spanner/internal/serve"
@@ -18,11 +19,16 @@ import (
 
 // serverOpts carries the optional observability plumbing: the request
 // tracer (shared with the engine), the SLO monitor (shared with the engine,
-// which does the recording) and the structured logger.
+// which does the recording) and the structured logger. cluster, when
+// non-nil, makes this daemon a cluster replica: the /cluster control plane
+// is installed, replies are stamped with cluster generations, and direct
+// /swap + /update are refused (generation changes must go through the
+// router's two-phase commit, or replicas would silently diverge).
 type serverOpts struct {
-	tracer *obs.ReqTracer
-	slo    *obs.SLOMonitor
-	logger *slog.Logger
+	tracer  *obs.ReqTracer
+	slo     *obs.SLOMonitor
+	logger  *slog.Logger
+	cluster *clusterserve.Replica
 }
 
 // server wires the engine into HTTP handlers. All responses are JSON
@@ -55,10 +61,20 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/swap", s.handleSwap)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metricz", s.handleMetricz)
 	mux.HandleFunc("/slo", s.handleSLO)
+	if s.cluster != nil {
+		s.cluster.Register(mux)
+	}
 	return mux
 }
+
+// retryAfterHint is the Retry-After delay (seconds) sent with every 429:
+// brownouts lift on the SLO monitor's poll cadence (~seconds), so "come
+// back in 1s" is honest pacing, and well-behaved clients (see client's
+// RejectedError) use it instead of guessing.
+const retryAfterHint = "1"
 
 // queryJSON is the wire form of a request (POST /query and /batch entries).
 type queryJSON struct {
@@ -70,6 +86,10 @@ type queryJSON struct {
 	// Priority is ""/"high" (protected) or "low" (shed first when the
 	// server browns out).
 	Priority string `json:"priority,omitempty"`
+	// AllowDegraded asks for the inline landmark-bound estimate (flagged
+	// Degraded) instead of the exact queued oracle answer. Dist only. The
+	// cluster router sets it when quorum is lost.
+	AllowDegraded bool `json:"allowDegraded,omitempty"`
 }
 
 // replyJSON is the wire form of a reply.
@@ -83,7 +103,12 @@ type replyJSON struct {
 	Cached   bool    `json:"cached"`
 	Degraded bool    `json:"degraded,omitempty"`
 	Snapshot int64   `json:"snapshot"`
-	Err      string  `json:"err,omitempty"`
+	// Gen is the cluster generation of the snapshot that answered (0 when
+	// the daemon is not cluster-managed). Snapshot is replica-local and
+	// resets on restart; Gen is router-assigned and comparable across
+	// replicas — the chaos oracle validates answers against it.
+	Gen int64  `json:"gen,omitempty"`
+	Err string `json:"err,omitempty"`
 }
 
 func toWire(r serve.Reply) replyJSON {
@@ -103,6 +128,19 @@ func toWire(r serve.Reply) replyJSON {
 	}
 	if r.Err != nil {
 		w.Err = r.Err.Error()
+	}
+	return w
+}
+
+// wire converts a reply and, on a cluster replica, stamps the cluster
+// generation of the snapshot that answered. The replica records the
+// snapshot→generation mapping under the same lock that publishes a
+// commit, so a query that finished on the old snapshot during a cut-over
+// is stamped with the old generation — never mislabeled with the new one.
+func (s *server) wire(r serve.Reply) replyJSON {
+	w := toWire(r)
+	if s.cluster != nil {
+		w.Gen = s.cluster.GenOf(r.SnapshotID)
 	}
 	return w
 }
@@ -169,6 +207,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		q.U, q.V = int32(u), int32(v)
 		q.Priority = r.URL.Query().Get("priority")
+		q.AllowDegraded = r.URL.Query().Get("allowDegraded") == "1"
 		if d := r.URL.Query().Get("deadlineMs"); d != "" {
 			ms, err := strconv.ParseInt(d, 10, 64)
 			if err != nil {
@@ -191,6 +230,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if q.AllowDegraded {
+		// The caller asked for the cheap landmark bound — answered inline,
+		// never queued, always flagged Degraded. Only distance queries have
+		// a meaningful bound.
+		if req.Type != serve.QueryDist {
+			writeError(w, http.StatusBadRequest, "allowDegraded applies to dist queries only")
+			return
+		}
+		reply := s.eng.DegradedDist(req.U, req.V)
+		writeJSON(w, statusFor(reply.Err), s.wire(reply))
+		return
+	}
 	// Request-scoped trace with a propagated (or generated) request id. The
 	// engine stamps phases and the outcome; the handler owns start/finish,
 	// so the id flows from the HTTP layer through the shard worker.
@@ -202,7 +253,11 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	reply := s.eng.Query(req)
 	s.tracer.Finish(rt)
-	writeJSON(w, statusFor(reply.Err), toWire(reply))
+	status := statusFor(reply.Err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfterHint)
+	}
+	writeJSON(w, status, s.wire(reply))
 }
 
 // handleBatch answers a JSON array of queries in one round trip; replies
@@ -221,6 +276,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The advertised batch limit shrinks under brownout: refusing one large
 	// batch sheds hundreds of queries without touching interactive traffic.
 	if max := s.eng.MaxBatch(); len(qs) > max {
+		w.Header().Set("Retry-After", retryAfterHint)
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("batch of %d exceeds the current limit of %d", len(qs), max))
 		return
@@ -247,7 +303,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for j, rep := range s.eng.QueryBatch(sub) {
-		replies[idx[j]] = toWire(rep)
+		replies[idx[j]] = s.wire(rep)
 	}
 	writeJSON(w, http.StatusOK, replies)
 }
@@ -257,6 +313,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSwap(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.cluster != nil {
+		// A direct swap on one replica would fork it from the cluster
+		// generation history — exactly the divergence the two-phase commit
+		// exists to prevent.
+		writeError(w, http.StatusConflict, "cluster-managed replica: swap through the router")
 		return
 	}
 	var body struct {
@@ -295,6 +358,10 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
+	if s.cluster != nil {
+		writeError(w, http.StatusConflict, "cluster-managed replica: update through the router")
+		return
+	}
 	var body struct {
 		Delta string `json:"delta"`
 	}
@@ -328,23 +395,57 @@ func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleHealthz reports liveness plus the SLO verdict: a monitor in "page"
-// answers 503/degraded so load balancers shed before users notice.
+// handleHealthz is pure liveness: 200 whenever the process can answer at
+// all. SLO degradation, brownout and swap state belong to /readyz — a
+// supervisor restarting on liveness must not kill a replica that is merely
+// shedding load (that restart would turn a brownout into an outage).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.eng.Snapshot()
-	sloStatus := s.slo.Report().Status
-	status, state := http.StatusOK, "ok"
-	if sloStatus == "page" {
-		status, state = http.StatusServiceUnavailable, "degraded"
-	}
-	writeJSON(w, status, map[string]any{
-		"status":   state,
-		"slo":      sloStatus,
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"slo":      s.slo.Report().Status,
 		"brownout": s.eng.Brownout(),
 		"snapshot": snap.ID,
 		"algo":     snap.Art.Algo,
 		"n":        snap.N(),
 	})
+}
+
+// handleReadyz is readiness: whether this replica should receive routed
+// traffic right now. Not-ready (503) while a cluster swap prepare is
+// staged (the replica may cut over or roll back at any instant) and while
+// the SLO monitor pages (load balancers shed before users notice). The
+// startup recovery scan is covered too: until the scan finishes the
+// listener answers through the starting handler, whose /readyz is 503
+// "recovering".
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	sloStatus := s.slo.Report().Status
+	ready, reason := true, ""
+	if s.cluster != nil {
+		ready, reason = s.cluster.Ready()
+	}
+	if ready && sloStatus == "page" {
+		ready, reason = false, "slo-page"
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":    ready,
+		"reason":   reason,
+		"slo":      sloStatus,
+		"snapshot": s.eng.SnapshotID(),
+		"gen":      genOf(s.cluster),
+	})
+}
+
+// genOf is the nil-safe committed-generation read for status bodies.
+func genOf(c *clusterserve.Replica) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Gen()
 }
 
 // handleSLO serves the full multi-window burn-rate report.

@@ -187,7 +187,8 @@ func TestMetriczJSONCarriesHistSnapshots(t *testing.T) {
 }
 
 // TestSLOEndpointAndHealthDegradation forces a 100%-failure workload and
-// checks that /slo reports a paging burn rate and /healthz flips to 503.
+// checks that /slo reports a paging burn rate, /healthz stays live, and
+// /readyz flips to 503.
 func TestSLOEndpointAndHealthDegradation(t *testing.T) {
 	var logBuf bytes.Buffer
 	ts, _ := testObsServer(t, &logBuf)
@@ -228,17 +229,33 @@ func TestSLOEndpointAndHealthDegradation(t *testing.T) {
 		t.Fatalf("burn accounting: %+v", rep)
 	}
 
+	// Liveness stays 200 under a paging SLO — a supervisor restarting on
+	// /healthz must not kill a server that is merely degraded — while
+	// readiness flips to 503 so load balancers shed.
 	h, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer h.Body.Close()
-	if h.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz status %d under page, want 503", h.StatusCode)
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d under page, want 200 (liveness)", h.StatusCode)
 	}
 	var health map[string]any
 	json.NewDecoder(h.Body).Decode(&health)
-	if health["status"] != "degraded" || health["slo"] != "page" {
+	if health["status"] != "ok" || health["slo"] != "page" {
 		t.Fatalf("healthz body: %v", health)
+	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz status %d under page, want 503", rz.StatusCode)
+	}
+	var readiness map[string]any
+	json.NewDecoder(rz.Body).Decode(&readiness)
+	if readiness["ready"] != false || readiness["reason"] != "slo-page" {
+		t.Fatalf("readyz body: %v", readiness)
 	}
 }

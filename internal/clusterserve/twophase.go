@@ -1,0 +1,202 @@
+package clusterserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// ErrPrepare reports a two-phase mutation aborted in phase one: no replica
+// changed generation, the cluster still serves the old artifact. Wraps the
+// first underlying prepare failure; a delta whose base no longer matches
+// also matches client-style conflict handling via ErrConflictPrepare.
+var ErrPrepare = errors.New("clusterserve: prepare failed, mutation aborted")
+
+// ErrConflictPrepare reports a prepare refused as a state conflict (409):
+// a delta bound to a base generation the replicas no longer serve.
+// Unwraps to ErrPrepare.
+var ErrConflictPrepare = fmt.Errorf("%w: base generation conflict", ErrPrepare)
+
+// MutationResult reports a committed generation change.
+type MutationResult struct {
+	// Gen is the new committed cluster generation.
+	Gen int64 `json:"gen"`
+	// Checksum identifies the new artifact.
+	Checksum int64 `json:"checksum"`
+	// Prepared and Committed count replicas through each phase.
+	Prepared  int `json:"prepared"`
+	Committed int `json:"committed"`
+	// Ejected lists replicas dropped for failing commit after a successful
+	// prepare (they catch up via replay when they come back).
+	Ejected []string `json:"ejected,omitempty"`
+}
+
+// Swap advances the cluster to the artifact at path (a path every replica
+// can read) through a two-phase commit. Update does the same for a delta.
+//
+// Phase one (prepare) pushes the path to every ready replica; each loads
+// and verifies it — full checksum walk for artifacts, base-checksum match
+// plus apply for deltas — and stages the result without serving it. Any
+// prepare failure, or any checksum divergence between staged results,
+// aborts everywhere: replicas roll back by dropping the stage, and the
+// cluster generation does not advance. Two replicas can therefore never
+// commit different artifacts under one generation number.
+//
+// Phase two (commit) cuts every prepared replica over atomically. A
+// replica that dies between its prepare and its commit is ejected and
+// reconciled later by the prober's catch-up replay — whether it actually
+// applied the commit before dying (rejoins already at the new generation)
+// or not (replays to it). The generation record is written once any
+// replica can have committed, which keeps the committed history an upper
+// bound on what any replica serves: generation numbers never fork.
+func (c *Cluster) Swap(ctx context.Context, path string) (MutationResult, error) {
+	return c.mutate(ctx, "artifact", path)
+}
+
+// Update applies the delta at path cluster-wide; see Swap for the
+// two-phase protocol.
+func (c *Cluster) Update(ctx context.Context, path string) (MutationResult, error) {
+	return c.mutate(ctx, "delta", path)
+}
+
+func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+
+	ready := c.readyMembers()
+	if len(ready) < c.quorum() {
+		return MutationResult{}, fmt.Errorf("%w: %d ready < quorum %d — refusing a mutation that could not be verified on a majority",
+			ErrNoQuorum, len(ready), c.quorum())
+	}
+	c.mu.Lock()
+	target := c.gen + 1
+	c.mu.Unlock()
+	txn := fmt.Sprintf("g%d-%d", target, c.txnSeq.Add(1))
+
+	// Phase one: prepare everywhere, in parallel.
+	type prepRes struct {
+		m        *member
+		checksum int64
+		status   int
+		err      error
+	}
+	results := make([]prepRes, len(ready))
+	var wg sync.WaitGroup
+	for i, m := range ready {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			body := map[string]any{"txn": txn, "gen": target, kind: path}
+			var out struct {
+				Checksum int64 `json:"checksum"`
+			}
+			status, err := c.post(ctx, m, "/cluster/prepare", body, &out)
+			results[i] = prepRes{m: m, checksum: out.Checksum, status: status, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+
+	var prepErr error
+	conflict := false
+	checksum := int64(0)
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			if prepErr == nil {
+				prepErr = r.err
+			}
+			if r.status == http.StatusConflict {
+				conflict = true
+			}
+		case checksum == 0:
+			checksum = r.checksum
+		case r.checksum != checksum:
+			// Replicas verified different artifacts from the same path —
+			// divergent filesystems or a torn write. Nothing safe to commit.
+			if prepErr == nil {
+				prepErr = fmt.Errorf("staged checksum divergence: %d vs %d on %s",
+					checksum, r.checksum, r.m.url)
+			}
+		}
+	}
+	if prepErr != nil {
+		c.abortAll(ready, txn)
+		c.cfg.Logger.Warn("mutation aborted in prepare",
+			"txn", txn, "gen", target, "err", prepErr)
+		if conflict {
+			return MutationResult{}, fmt.Errorf("%w: %v", ErrConflictPrepare, prepErr)
+		}
+		return MutationResult{}, fmt.Errorf("%w: %v", ErrPrepare, prepErr)
+	}
+
+	// Point of no return: from the first commit call onward some replica
+	// may serve the new generation, so the record must exist before any
+	// answer can carry it.
+	c.mu.Lock()
+	c.records = append(c.records, genRecord{Gen: target, Checksum: checksum, Kind: kind, Path: path})
+	c.gen = target
+	c.mu.Unlock()
+
+	// Phase two: commit everywhere, in parallel. Failures eject (the
+	// prober replays them back in); successes route immediately.
+	res := MutationResult{Gen: target, Checksum: checksum, Prepared: len(ready)}
+	type comRes struct {
+		m   *member
+		err error
+	}
+	coms := make([]comRes, len(ready))
+	for i, m := range ready {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			_, err := c.post(ctx, m, "/cluster/commit", map[string]any{"txn": txn, "gen": target}, nil)
+			coms[i] = comRes{m: m, err: err}
+		}(i, m)
+	}
+	wg.Wait()
+	for _, r := range coms {
+		if r.err == nil {
+			res.Committed++
+			r.m.mu.Lock()
+			r.m.gen = target
+			r.m.checksum = checksum
+			r.m.mu.Unlock()
+			continue
+		}
+		res.Ejected = append(res.Ejected, r.m.url)
+		r.m.mu.Lock()
+		wasReady := r.m.ready
+		r.m.ready = false
+		r.m.consecOK = 0
+		r.m.lastErr = "commit failed: " + r.err.Error()
+		r.m.mu.Unlock()
+		if wasReady {
+			c.ejections.Add(1)
+		}
+		c.cfg.Logger.Warn("replica ejected: commit failed",
+			"url", r.m.url, "txn", txn, "gen", target, "err", r.err)
+	}
+	c.cfg.Logger.Info("mutation committed",
+		"txn", txn, "kind", kind, "gen", target, "checksum", checksum,
+		"committed", res.Committed, "ejected", len(res.Ejected))
+	return res, nil
+}
+
+// abortAll rolls back a failed prepare everywhere, best-effort: a replica
+// that misses the abort (crashed, partitioned) keeps an orphaned stage,
+// which the prober clears or the next prepare supersedes.
+func (c *Cluster) abortAll(members []*member, txn string) {
+	var wg sync.WaitGroup
+	for _, m := range members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ControlTimeout)
+			defer cancel()
+			_, _ = c.post(ctx, m, "/cluster/abort", map[string]string{"txn": txn}, nil)
+		}(m)
+	}
+	wg.Wait()
+}

@@ -211,8 +211,14 @@ func quarantineFile(dir, path string) (string, error) {
 	}
 	dest := filepath.Join(qdir, filepath.Base(path))
 	for n := 1; ; n++ {
-		if _, err := os.Stat(dest); errors.Is(err, os.ErrNotExist) {
+		_, err := os.Stat(dest)
+		if errors.Is(err, os.ErrNotExist) {
 			break
+		}
+		if err != nil {
+			// Any other Stat failure (permissions, I/O) would repeat for
+			// every candidate name — propagate instead of spinning forever.
+			return "", fmt.Errorf("recovery: quarantine %s: %w", path, err)
 		}
 		dest = filepath.Join(qdir, fmt.Sprintf("%s.%d", filepath.Base(path), n))
 	}

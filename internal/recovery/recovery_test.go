@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -214,5 +215,82 @@ func TestScanRepairsTornLog(t *testing.T) {
 	// The file itself was repaired: a plain read now succeeds.
 	if got, err := dynamic.ReadLog(logPath); err != nil || len(got) != 2 {
 		t.Fatalf("repaired log: %v, %v", got, err)
+	}
+}
+
+// TestQuarantineNameCollision: the same damaged file name arriving across
+// two scans (a supervisor redeploying the same corrupt artifact, or two
+// crash-loop iterations) must land as distinct quarantine entries — the
+// second move gets a numeric suffix instead of overwriting the first
+// incident's evidence.
+func TestQuarantineNameCollision(t *testing.T) {
+	dir := t.TempDir()
+	good := testArtifact(t, 120, 5)
+	writeGen(t, dir, "good.spanart", good, time.Hour)
+
+	corrupt := func() {
+		t.Helper()
+		bad := testArtifact(t, 120, 6)
+		p := writeGen(t, dir, "drop.spanart", bad, time.Minute)
+		if err := httpchaos.FlipBit(p, 33); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt()
+	rep1, err := Scan(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep1.Quarantined) != 1 {
+		t.Fatalf("first scan quarantined %d, want 1", len(rep1.Quarantined))
+	}
+	first := rep1.Quarantined[0].To
+
+	// Same name reappears damaged; the second scan must keep both.
+	corrupt()
+	rep2, err := Scan(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Quarantined) != 1 {
+		t.Fatalf("second scan quarantined %d, want 1", len(rep2.Quarantined))
+	}
+	second := rep2.Quarantined[0].To
+	if second == first {
+		t.Fatalf("second quarantine reused %s, destroying the first incident's evidence", first)
+	}
+	for _, p := range []string{first, second} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("quarantined file missing: %v", err)
+		}
+	}
+	if want := first + ".1"; second != want {
+		t.Fatalf("collision suffix: got %s, want %s", second, want)
+	}
+}
+
+// TestQuarantineStatErrorPropagates: a Stat failure other than not-exist
+// while probing for a collision-free name must surface as an error, not
+// spin forever trying suffix after suffix against the same failure.
+func TestQuarantineStatErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	// A name longer than NAME_MAX makes Stat fail with ENAMETOOLONG — an
+	// error that repeats for every ".1", ".2", ... candidate. Before the
+	// fix the collision loop treated any non-ENOENT result as "name
+	// taken" and spun forever.
+	long := strings.Repeat("x", 300) + ".spanart"
+	done := make(chan error, 1)
+	go func() {
+		_, err := quarantineFile(dir, filepath.Join(dir, long))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("stat error during collision probe must propagate")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("quarantineFile hung: collision probe looping on a persistent stat error")
 	}
 }

@@ -577,6 +577,27 @@ func (e *Engine) degradedDist(t *task) {
 	e.reject(t)
 }
 
+// DegradedDist answers a distance query inline on the caller's goroutine
+// from the snapshot's cached landmark arrays: an upper bound on the true
+// distance, flagged Degraded, never queued. This is the same estimator the
+// brownout queue-full fallback serves; the cluster router calls it (via the
+// daemon's allowDegraded request flag) when quorum is lost and an exact
+// committed-generation answer cannot be guaranteed.
+func (e *Engine) DegradedDist(u, v int32) Reply {
+	snap := e.snap.Load()
+	r := Reply{Type: QueryDist, U: u, V: v, SnapshotID: snap.ID}
+	if n := int32(snap.N()); u < 0 || u >= n || v < 0 || v >= n {
+		r.Err = ErrBadVertex
+		e.rejects["vertex"].Inc()
+		return r
+	}
+	r.Dist = snap.ApproxDist(u, v)
+	r.Degraded = true
+	e.degraded.Inc()
+	e.queries[QueryDist].Inc()
+	return r
+}
+
 // Query answers one request, blocking until it completes or is rejected.
 func (e *Engine) Query(req Request) Reply {
 	var r Reply
