@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck clustercheck check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck clustercheck partcheck check clean
 
 all: build vet test
 
@@ -54,6 +54,8 @@ faultcheck:
 	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=10s ./internal/artifact
 	$(GO) test -fuzz=FuzzDeltaDecode -fuzztime=10s ./internal/artifact
 	$(GO) test -fuzz=FuzzUpdateLogRecovery -fuzztime=10s ./internal/dynamic
+	$(GO) test -fuzz=FuzzPartDecode -fuzztime=10s ./internal/artifact
+	$(GO) test -fuzz=FuzzPartitionMapDecode -fuzztime=10s ./internal/artifact
 
 # The serving-layer gate: artifact codec, query engine and daemon tests
 # under the race detector, plus the root round-trip/hot-swap integration
@@ -109,9 +111,24 @@ clustercheck:
 	$(GO) test -run 'Cluster|Replica|TwoPhase|Failover|CatchUp|Quorum|Hedged|NodeKill' -race -count=1 \
 		./internal/clusterserve/... ./cmd/spannerrouter/... ./client/...
 
+# The partitioned-serving gate: the splitter, part/map codecs, partition
+# engine and scatter-gather/composed-swap cluster tests under the race
+# detector, then the subprocess partitioned node-kill chaos suite (3
+# partitions × 2 members as real processes, SIGKILLs landing mid-composed-
+# swap and under load: zero wrong answers, composed/degraded answers
+# bracket the truth, the composed generation never observed partially
+# committed).
+partcheck:
+	$(GO) vet ./internal/partition/... ./internal/clusterserve/... ./cmd/spannerrouter/...
+	$(GO) test -race ./internal/partition/...
+	$(GO) test -run 'Partition|ComposedSwap|Quorum|Part|Split|Covered|Compose' -race -count=1 \
+		./internal/partition/... ./internal/artifact/... ./internal/serve/... ./internal/clusterserve/...
+	$(GO) test -run TestPartitionedNodeKillChaos -race -count=1 -timeout 300s ./cmd/spannerrouter/
+
 # The full gate: build, vet, unit tests, then the robustness, serving,
-# dynamic, observability, serving-resilience and cluster-serving suites.
-check: build vet test faultcheck serve dynamic obscheck chaoscheck clustercheck
+# dynamic, observability, serving-resilience, cluster-serving and
+# partitioned-serving suites.
+check: build vet test faultcheck serve dynamic obscheck chaoscheck clustercheck partcheck
 
 clean:
 	$(GO) clean ./...

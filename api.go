@@ -16,6 +16,7 @@ import (
 	"spanner/internal/lower"
 	"spanner/internal/obs"
 	"spanner/internal/oracle"
+	"spanner/internal/partition"
 	"spanner/internal/reliable"
 	"spanner/internal/routing"
 	"spanner/internal/seq"
@@ -706,6 +707,54 @@ func MarshalArtifact(a *Artifact) []byte { return a.Marshal() }
 // UnmarshalArtifact decodes a MarshalArtifact blob, verifying magic,
 // version and checksum with the artifact package's typed errors.
 func UnmarshalArtifact(data []byte) (*Artifact, error) { return artifact.Unmarshal(data) }
+
+// --- Partitioned serving: shard one artifact across a cluster ---
+
+// ArtifactPart is one shard of a partitioned split: the induced subgraph
+// over its covered vertices (owned ∪ replicated boundary) plus the full
+// spanner and routing scheme, served by spannerd -partition. Queries
+// between covered vertices are answered exactly; cross-partition distances
+// compose through landmark relays as flagged upper bounds.
+type ArtifactPart = artifact.Part
+
+// PartitionMap is the versioned, checksummed description of a split: the
+// vertex→partition owner table plus a checksum-pinned reference to every
+// part file. spannerrouter -partition-map drives a cluster from it.
+type PartitionMap = artifact.PartitionMap
+
+// SplitResult bundles a split's map and its K parts.
+type SplitResult = partition.Result
+
+// SplitArtifact partitions an artifact into k parts by grouping vertices
+// around their nearest oracle landmark and replicating cut-edge endpoints
+// into both sides' boundary sets. Deterministic in (a, k); seed
+// distinguishes re-splits via the map's SplitID.
+func SplitArtifact(a *Artifact, k int, seed int64) (*SplitResult, error) {
+	return partition.Split(a, k, seed)
+}
+
+// SavePart writes one partition part to path atomically with a checksum
+// footer, like SaveArtifact.
+func SavePart(path string, p *ArtifactPart) error { return artifact.SavePart(path, p) }
+
+// LoadPart reads a part written by SavePart, verifying its checksum.
+func LoadPart(path string) (*ArtifactPart, error) { return artifact.LoadPart(path) }
+
+// SavePartitionMap writes a partition map to path atomically with a
+// checksum footer.
+func SavePartitionMap(path string, m *PartitionMap) error { return artifact.SavePartitionMap(path, m) }
+
+// LoadPartitionMap reads a map written by SavePartitionMap, verifying its
+// checksum.
+func LoadPartitionMap(path string) (*PartitionMap, error) { return artifact.LoadPartitionMap(path) }
+
+// NewPartServeEngine builds a ServeEngine over one partition part: distance
+// queries between covered vertices are bit-identical to the unpartitioned
+// oracle, distances with an uncovered endpoint come back as flagged
+// Composed landmark brackets, and path queries stay exact everywhere.
+func NewPartServeEngine(p *ArtifactPart, cfg ServeConfig) (*ServeEngine, error) {
+	return serve.NewPart(p, cfg)
+}
 
 // ServeEngine is the concurrent query engine over a loaded artifact:
 // sharded workers, per-shard LRU result caches, bounded queues with

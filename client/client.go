@@ -108,7 +108,12 @@ type Reply struct {
 	Bound    *int32  `json:"bound,omitempty"`
 	Cached   bool    `json:"cached"`
 	Degraded bool    `json:"degraded,omitempty"`
-	Snapshot int64   `json:"snapshot"`
+	// Composed marks a cross-partition distance answer: Dist is the min
+	// boundary-landmark relay (a true upper bound within the published
+	// exactness bound of the split) and Bound carries the matching lower
+	// certificate. Only partitioned deployments set it.
+	Composed bool  `json:"composed,omitempty"`
+	Snapshot int64 `json:"snapshot"`
 	// Gen is the cluster generation that answered (0 outside cluster
 	// serving). Unlike Snapshot — a replica-local engine counter that
 	// resets on restart — Gen is assigned by the router's two-phase swap

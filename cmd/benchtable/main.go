@@ -36,10 +36,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	sources := flag.Int("sources", 32, "BFS sources for stretch sampling")
 	perf := flag.Bool("perf", false, "measure the serving/codec/dynamic layers instead of Fig. 1")
+	partK := flag.Int("partition", 0, "with -perf: measure K-way scatter-gather partitioned serving against the whole-graph engine instead of the standard suites (0 = off)")
 	jsonOut := flag.String("json", "", "with -perf: also write a machine-readable report (suite x family x size, ns/op + percentiles) to this path")
 	flag.Parse()
 	if *perf {
-		if err := runPerf(parseSizes(*sizes), *family, *deg, *seed, *jsonOut); err != nil {
+		if err := runPerf(parseSizes(*sizes), *family, *deg, *seed, *jsonOut, *partK); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtable:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,136 @@
+package main
+
+// The -perf -partition K mode: scatter-gather partitioned serving measured
+// against the whole-graph engine. The same artifact is served two ways —
+// one engine over the full oracle, and K part engines with every query
+// routed to its owner partition (the router's owner-group fast path, minus
+// the network). Distance queries whose endpoints are both covered by the
+// owner part are bit-identical to the whole-graph oracle; the rest come
+// back as flagged Composed landmark brackets, and the composed fraction is
+// reported alongside the percentiles. Path queries stay exact on every
+// part because each part carries the full spanner.
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spanner"
+)
+
+// perfPartition measures one size of the scatter-gather vs whole-graph
+// comparison and returns its report entries.
+func perfPartition(n int, family string, deg float64, seed int64, k int) ([]perfEntry, error) {
+	g, err := spanner.MakeWorkload(family, n, deg, spanner.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	base, err := spanner.BaswanaSen(g, 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	art, err := spanner.BuildArtifact(g, base.Spanner, "baswana-sen", 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	res, err := spanner.SplitArtifact(art, k, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	whole, err := spanner.NewServeEngine(art, spanner.ServeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer whole.Close()
+	parts := make([]*spanner.ServeEngine, k)
+	for i, p := range res.Parts {
+		if parts[i], err = spanner.NewPartServeEngine(p, spanner.ServeConfig{}); err != nil {
+			return nil, err
+		}
+		defer parts[i].Close()
+	}
+	owner := res.Map.Owner
+
+	fmt.Printf("=== scatter-gather vs whole-graph serving (n=%d m=%d |S|=%d, k=%d, seed %d) ===\n",
+		g.N(), g.M(), base.Spanner.Len(), k, seed)
+	fmt.Printf("%-34s %14s   %s\n", "operation", "per op", "notes")
+
+	var entries []perfEntry
+	row := func(op, name string, r testing.BenchmarkResult, h *spanner.LatencyHistogram, notes string) {
+		fmt.Printf("%-34s %14v   %s\n", name, time.Duration(r.NsPerOp()), notes)
+		s := h.Snapshot()
+		entries = append(entries, perfEntry{
+			Suite: "partition", Op: op, Family: family, N: g.N(), M: g.M(),
+			NsPerOp: r.NsPerOp(), Ops: int64(r.N),
+			P50NS: s.Quantile(0.50), P95NS: s.Quantile(0.95), P99NS: s.Quantile(0.99),
+			Notes: notes,
+		})
+	}
+
+	// bench issues owner-routed concurrent queries: pick selects the engine
+	// for a query's first endpoint. Composed replies are counted so the
+	// cross-partition fraction lands in the notes; ErrNoRoute is a valid
+	// answer about the graph, not a failure.
+	bench := func(pick func(u int32) *spanner.ServeEngine, typ spanner.ServeQueryType) (testing.BenchmarkResult, *spanner.LatencyHistogram, float64, error) {
+		hist := spanner.NewLatencyHistogram()
+		var composed, total atomic.Int64
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			var seeds, fails atomic.Int64
+			nn := int32(g.N())
+			b.RunParallel(func(pb *testing.PB) {
+				rng := spanner.NewRand(100 + seeds.Add(1))
+				for pb.Next() {
+					u, v := rng.Int31n(nn), rng.Int31n(nn)
+					t0 := time.Now()
+					rep := pick(u).Query(spanner.ServeRequest{Type: typ, U: u, V: v})
+					hist.Observe(time.Since(t0).Nanoseconds())
+					total.Add(1)
+					if rep.Composed {
+						composed.Add(1)
+					}
+					if rep.Err != nil && !errors.Is(rep.Err, spanner.ErrServeNoRoute) {
+						fails.Add(1)
+					}
+				}
+			})
+			if f := fails.Load(); f > 0 && benchErr == nil {
+				benchErr = fmt.Errorf("%d of %d queries failed", f, b.N)
+			}
+		})
+		frac := 0.0
+		if t := total.Load(); t > 0 {
+			frac = float64(composed.Load()) / float64(t)
+		}
+		return r, hist, frac, benchErr
+	}
+
+	wholeOf := func(int32) *spanner.ServeEngine { return whole }
+	ownerOf := func(u int32) *spanner.ServeEngine { return parts[owner[u]] }
+
+	wres, whist, _, err := bench(wholeOf, spanner.ServeQueryDist)
+	if err != nil {
+		return nil, err
+	}
+	row("whole_graph_dist", "whole-graph: dist (parallel)", wres, whist,
+		fmt.Sprintf("%.2gM queries/s sustained", 1e3/float64(wres.NsPerOp())))
+
+	sres, shist, frac, err := bench(ownerOf, spanner.ServeQueryDist)
+	if err != nil {
+		return nil, err
+	}
+	row("scatter_gather_dist", "scatter-gather: dist (owner part)", sres, shist,
+		fmt.Sprintf("k=%d parts, %.1f%% composed brackets", k, 100*frac))
+
+	pres, phist, _, err := bench(ownerOf, spanner.ServeQueryPath)
+	if err != nil {
+		return nil, err
+	}
+	row("scatter_gather_path", "scatter-gather: path (owner part)", pres, phist,
+		"exact on every part (full spanner replicated)")
+	fmt.Println()
+	return entries, nil
+}

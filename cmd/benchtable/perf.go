@@ -51,7 +51,9 @@ type perfReport struct {
 // runPerf times every serving/codec/dynamic layer. The printed table uses
 // the first requested size; with -json every size in -sizes is measured
 // and the full suite × family × size grid is written to the given path.
-func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath string) error {
+// partK > 0 switches to the scatter-gather vs whole-graph comparison
+// (partperf.go) instead of the standard suites.
+func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath string, partK int) error {
 	if len(sizes) == 0 {
 		sizes = []int{2000}
 	}
@@ -59,9 +61,19 @@ func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath strin
 	if jsonPath != "" {
 		perfSizes = sizes
 	}
+	bench := "benchtable -perf"
+	if partK > 0 {
+		bench = fmt.Sprintf("benchtable -perf -partition %d", partK)
+	}
 	var entries []perfEntry
 	for _, n := range perfSizes {
-		es, err := perfSize(n, family, deg, seed)
+		var es []perfEntry
+		var err error
+		if partK > 0 {
+			es, err = perfPartition(n, family, deg, seed, partK)
+		} else {
+			es, err = perfSize(n, family, deg, seed)
+		}
 		if err != nil {
 			return err
 		}
@@ -71,7 +83,7 @@ func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath strin
 		return nil
 	}
 	rep := perfReport{
-		Benchmark:  "benchtable -perf",
+		Benchmark:  bench,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Seed:       seed,

@@ -7,6 +7,7 @@
 //	spanner -graph gnp -n 10000 -deg 16 -algo skeleton -d 4
 //	spanner -graph torus -n 4096 -algo fibonacci -order 3 -eps 0.5
 //	spanner -graph gnp -n 5000 -deg 20 -algo skeleton-dist -json
+//	spanner -graph gnp -n 20000 -algo baswana-sen -partition-out 3 -partition-dir parts/
 //	spanner -algo skeleton-dist -faults drop=0.1,delay=0.1 -reliable -slack 48
 //	spanner -algo skeleton-dist -checkpoint-dir /tmp/ckpt -checkpoint-every 32
 //	spanner -algo skeleton-dist -checkpoint-dir /tmp/ckpt -resume
@@ -17,10 +18,34 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 
 	"spanner"
 )
+
+// writePartition splits art into k parts and writes them into dir as
+// part-<i>.spanpart plus a parts.spanmap whose part references carry
+// checksums and dir-relative paths — the directory stays self-contained
+// and can be mounted anywhere (spannerrouter resolves paths against the
+// map's own location).
+func writePartition(art *spanner.Artifact, k int, seed int64, dir string) error {
+	res, err := spanner.SplitArtifact(art, k, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, p := range res.Parts {
+		name := fmt.Sprintf("part-%d.spanpart", p.ID)
+		if err := spanner.SavePart(filepath.Join(dir, name), p); err != nil {
+			return err
+		}
+		res.Map.Parts[i].Path = name
+	}
+	return spanner.SavePartitionMap(filepath.Join(dir, "parts.spanmap"), res.Map)
+}
 
 type output struct {
 	Graph       string  `json:"graph"`
@@ -85,6 +110,8 @@ func run() error {
 		saveArtifact   = flag.String("save-artifact", "", "write a serving artifact (graph + spanner + distance oracle + routing scheme) for cmd/spannerd")
 		loadArtifact   = flag.String("load-artifact", "", "skip building: load a saved artifact and re-measure it (ignores -graph/-algo)")
 		oracleK        = flag.Int("oracle-k", 3, "distance-oracle stretch parameter for -save-artifact")
+		partitionOut   = flag.Int("partition-out", 0, "split the artifact into K landmark-based parts plus a partition map for partitioned serving (spannerd -partition, spannerrouter -partition-map)")
+		partitionDir   = flag.String("partition-dir", "parts", "output directory for -partition-out (part-<i>.spanpart files and parts.spanmap)")
 		updateStream   = flag.String("update-stream", "", "after building, drive a seeded churn stream through the dynamic maintainer, e.g. batches=16,size=32,insert=0.5 (seeded by -seed)")
 		updateLog      = flag.String("update-log", "", "with -update-stream: append every generated batch to this checksummed replayable log")
 		saveDelta      = flag.String("save-delta", "", "with -update-stream: write the accumulated artifact delta (base = pre-churn build) to this file")
@@ -171,6 +198,11 @@ func run() error {
 		if *saveArtifact != "" {
 			if err := spanner.SaveArtifact(*saveArtifact, art); err != nil {
 				return fmt.Errorf("saving artifact: %w", err)
+			}
+		}
+		if *partitionOut > 0 {
+			if err := writePartition(art, *partitionOut, *seed, *partitionDir); err != nil {
+				return fmt.Errorf("writing partition: %w", err)
 			}
 		}
 		rep := spanner.Measure(art.Graph, art.Spanner, spanner.MeasureOptions{Sources: *sources, Rng: spanner.NewRand(*seed + 1)})
@@ -376,13 +408,20 @@ func run() error {
 		}
 	}
 
-	if *saveArtifact != "" {
+	if *saveArtifact != "" || *partitionOut > 0 {
 		art, err := spanner.BuildArtifact(g, edges, *algo, *oracleK, *seed)
 		if err != nil {
 			return fmt.Errorf("building artifact: %w", err)
 		}
-		if err := spanner.SaveArtifact(*saveArtifact, art); err != nil {
-			return fmt.Errorf("saving artifact: %w", err)
+		if *saveArtifact != "" {
+			if err := spanner.SaveArtifact(*saveArtifact, art); err != nil {
+				return fmt.Errorf("saving artifact: %w", err)
+			}
+		}
+		if *partitionOut > 0 {
+			if err := writePartition(art, *partitionOut, *seed, *partitionDir); err != nil {
+				return fmt.Errorf("writing partition: %w", err)
+			}
 		}
 	}
 

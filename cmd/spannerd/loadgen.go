@@ -116,7 +116,19 @@ func (h *httpIssuer) issue(req serve.Request) (serve.Reply, int) {
 	}
 	rep := serve.Reply{
 		U: wire.U, V: wire.V, Dist: wire.Dist, Path: wire.Path,
-		Cached: wire.Cached, Degraded: wire.Degraded, SnapshotID: wire.Snapshot,
+		Cached: wire.Cached, Degraded: wire.Degraded, Composed: wire.Composed,
+		SnapshotID: wire.Snapshot,
+	}
+	if wire.Bound != nil {
+		rep.Bound = *wire.Bound
+	}
+	// A composed (cross-partition) answer carries a [Bound, Dist] bracket
+	// on the true distance; an inverted bracket is a wrong answer, not a
+	// transport hiccup, so fail the query loudly.
+	if wire.Composed && wire.Bound != nil && *wire.Bound > wire.Dist {
+		rep.Err = fmt.Errorf("composed bound violation: lower %d > upper %d for (%d,%d)",
+			*wire.Bound, wire.Dist, wire.U, wire.V)
+		return rep, failovers
 	}
 	// Fold HTTP statuses back into the engine's error taxonomy so the
 	// report buckets match a local run: 429 is shedding, 504 a deadline,
@@ -177,10 +189,14 @@ func parseMix(s string) ([3]int, error) {
 // brownout — they are in ok and in the latency histogram, flagged here so a
 // sweep can see how much of its "availability" was approximate.
 type typeStats struct {
-	lat       *obs.Histogram
-	ok        int64
-	cached    int64
-	degraded  int64
+	lat      *obs.Histogram
+	ok       int64
+	cached   int64
+	degraded int64
+	// composed counts answers relayed across partitions (flagged upper
+	// bounds from a partitioned cluster); like degraded they are in ok and
+	// the latency histogram.
+	composed  int64
 	noroute   int64
 	timeout   int64
 	rejected  int64
@@ -383,6 +399,9 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 				if s.rep.Degraded {
 					st.degraded++
 				}
+				if s.rep.Composed {
+					st.composed++
+				}
 				st.failover += int64(s.failovers)
 			case errors.Is(s.rep.Err, serve.ErrNoRoute):
 				st.noroute++
@@ -470,8 +489,8 @@ func (r *loadReport) write(w io.Writer) {
 		fmt.Fprintf(w, " targets=%d", len(r.cfg.Targets))
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %8s %8s %9s %8s %10s %10s %10s %12s\n",
-		"type", "queries", "cached", "degraded", "noroute", "timeout", "rejected", "transport", "failover", "p50", "p95", "p99", "qps")
+	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %8s %8s %8s %9s %8s %10s %10s %10s %12s\n",
+		"type", "queries", "cached", "degraded", "composed", "noroute", "timeout", "rejected", "transport", "failover", "p50", "p95", "p99", "qps")
 	var total int64
 	for t := serve.QueryType(0); t < 3; t++ {
 		st := &r.stats[t]
@@ -482,8 +501,8 @@ func (r *loadReport) write(w io.Writer) {
 		}
 		total += n
 		qps := float64(snap.Count) / r.elapsed.Seconds()
-		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %8d %8d %9d %8d %10v %10v %10v %12.0f\n",
-			t, n, st.cached, st.degraded, st.noroute, st.timeout, st.rejected, st.transport, st.failover,
+		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %8d %8d %8d %9d %8d %10v %10v %10v %12.0f\n",
+			t, n, st.cached, st.degraded, st.composed, st.noroute, st.timeout, st.rejected, st.transport, st.failover,
 			pct(snap, 0.50).Round(time.Microsecond),
 			pct(snap, 0.95).Round(time.Microsecond),
 			pct(snap, 0.99).Round(time.Microsecond),

@@ -15,6 +15,12 @@
 //
 //	spannerd -artifact-dir /var/lib/spanner -supervise 3
 //
+// Serve one shard of a partitioned cluster (see spanner -partition-out and
+// spannerrouter -partition-map; cross-partition distances come back flagged
+// Composed with a bound):
+//
+//	spannerd -partition part-0.spanpart -addr :8081 -cluster
+//
 // Fault injection on the serve path (deterministic, seeded):
 //
 //	spannerd -artifact build.spanart -chaos 'reset=0.01,err5xx=0.02,truncate=0.01,seed=7'
@@ -64,9 +70,12 @@ func main() {
 // start.
 type daemonConfig struct {
 	artPath, artDir string
-	addr            string
-	chaos           *httpchaos.Plan
-	drainTimeout    time.Duration
+	// partPath serves one partition of a split instead of a whole-graph
+	// artifact (spannerd -partition; see spanner -partition-out).
+	partPath     string
+	addr         string
+	chaos        *httpchaos.Plan
+	drainTimeout time.Duration
 
 	// cluster enables the replica control plane (/cluster/*; direct /swap
 	// and /update refused); joinURL, when set, announces this replica to a
@@ -96,8 +105,9 @@ type engineFlags struct {
 }
 
 // buildEngine assembles the observability stack and the engine over an
-// artifact.
-func (ef engineFlags) buildEngine(art *artifact.Artifact, logger *slog.Logger) (*serve.Engine, *obs.Observer, *obs.ReqTracer, *obs.SLOMonitor, error) {
+// artifact, or — when part is non-nil — over one partition of a split
+// (spannerd -partition).
+func (ef engineFlags) buildEngine(art *artifact.Artifact, part *artifact.Part, logger *slog.Logger) (*serve.Engine, *obs.Observer, *obs.ReqTracer, *obs.SLOMonitor, error) {
 	ob := obs.New()
 	var tracer *obs.ReqTracer
 	if ef.traceSample > 0 || ef.slowQuery > 0 {
@@ -113,7 +123,7 @@ func (ef engineFlags) buildEngine(art *artifact.Artifact, logger *slog.Logger) (
 		LatencyThreshold: ef.sloLatTh,
 		Window:           ef.sloWindow,
 	})
-	eng, err := serve.New(art, serve.Config{
+	cfg := serve.Config{
 		Shards:          ef.shards,
 		QueueDepth:      ef.queue,
 		CacheSize:       ef.cache,
@@ -123,7 +133,14 @@ func (ef engineFlags) buildEngine(art *artifact.Artifact, logger *slog.Logger) (
 		Obs:             ob,
 		Tracer:          tracer,
 		SLO:             slo,
-	})
+	}
+	var eng *serve.Engine
+	var err error
+	if part != nil {
+		eng, err = serve.NewPart(part, cfg)
+	} else {
+		eng, err = serve.New(art, cfg)
+	}
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
@@ -132,9 +149,10 @@ func (ef engineFlags) buildEngine(art *artifact.Artifact, logger *slog.Logger) (
 
 func run() error {
 	var (
-		artPath = flag.String("artifact", "", "saved build artifact to serve")
-		artDir  = flag.String("artifact-dir", "", "serve from a directory: integrity-scan it, quarantine corrupt files, resume the newest intact generation")
-		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		artPath  = flag.String("artifact", "", "saved build artifact to serve")
+		artDir   = flag.String("artifact-dir", "", "serve from a directory: integrity-scan it, quarantine corrupt files, resume the newest intact generation")
+		partPath = flag.String("partition", "", "saved partition part (.spanpart, see spanner -partition-out) to serve as one shard of a partitioned cluster")
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
 
 		supervise = flag.Int("supervise", 0, "restart budget after server crashes (requires -artifact-dir; each restart rescans and resumes the last verified generation)")
 		cluster   = flag.Bool("cluster", false, "run as a cluster replica: install the /cluster control plane and refuse direct /swap and /update (generation changes go through spannerrouter's two-phase commit)")
@@ -200,7 +218,7 @@ func run() error {
 			if err != nil {
 				return fmt.Errorf("loading artifact: %w", err)
 			}
-			eng, _, _, _, err = ef.buildEngine(art, logger)
+			eng, _, _, _, err = ef.buildEngine(art, nil, logger)
 			if err != nil {
 				return err
 			}
@@ -234,8 +252,11 @@ func run() error {
 		return nil
 	}
 
-	if *artPath == "" && *artDir == "" {
-		return errors.New("-artifact or -artifact-dir is required")
+	if *artPath == "" && *artDir == "" && *partPath == "" {
+		return errors.New("-artifact, -artifact-dir or -partition is required")
+	}
+	if *partPath != "" && (*artPath != "" || *artDir != "") {
+		return errors.New("-partition is exclusive with -artifact/-artifact-dir (a replica serves either a whole graph or one shard)")
 	}
 	if *supervise > 0 && *artDir == "" {
 		return errors.New("-supervise requires -artifact-dir (restarts resume from the scanned directory)")
@@ -250,7 +271,7 @@ func run() error {
 		logger.Warn("serve-path chaos injection enabled", "spec", *chaosSpec)
 	}
 	cfg := daemonConfig{
-		artPath: *artPath, artDir: *artDir, addr: *addr,
+		artPath: *artPath, artDir: *artDir, partPath: *partPath, addr: *addr,
 		chaos: chaosPlan, drainTimeout: *drain,
 		cluster: *cluster || *join != "", joinURL: *join, advertise: *advertise,
 		engine: ef, logger: logger,
@@ -419,19 +440,38 @@ func serveOnce(cfg daemonConfig, sigc <-chan os.Signal) error {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 
-	art, rep, err := loadServingArtifact(cfg)
-	if err != nil {
+	var art *artifact.Artifact
+	var part *artifact.Part
+	var rep *recovery.Report
+	if cfg.partPath != "" {
+		part, err = artifact.LoadPart(cfg.partPath)
+		if err != nil {
+			srv.Close()
+			return fmt.Errorf("loading partition: %w", err)
+		}
+	} else if art, rep, err = loadServingArtifact(cfg); err != nil {
 		srv.Close()
 		return err
 	}
-	eng, ob, tracer, slo, err := cfg.engine.buildEngine(art, cfg.logger)
+	eng, ob, tracer, slo, err := cfg.engine.buildEngine(art, part, cfg.logger)
 	if err != nil {
 		srv.Close()
 		return err
 	}
 	applyRecoveredDeltas(eng, rep, cfg.logger)
-	cfg.logger.Info("artifact loaded", "algo", art.Algo,
-		"n", art.Graph.N(), "spanner", art.Spanner.Len(), "generation", eng.SnapshotID())
+	if part != nil {
+		owned := 0
+		for _, o := range part.Owned {
+			if o {
+				owned++
+			}
+		}
+		cfg.logger.Info("partition loaded", "partition", part.ID, "of", part.K,
+			"split_id", part.SplitID, "owned", owned, "generation", eng.SnapshotID())
+	} else {
+		cfg.logger.Info("artifact loaded", "algo", art.Algo,
+			"n", art.Graph.N(), "spanner", art.Spanner.Len(), "generation", eng.SnapshotID())
+	}
 
 	var replica *clusterserve.Replica
 	if cfg.cluster {

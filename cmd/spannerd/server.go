@@ -102,7 +102,11 @@ type replyJSON struct {
 	Bound    *int32  `json:"bound,omitempty"`
 	Cached   bool    `json:"cached"`
 	Degraded bool    `json:"degraded,omitempty"`
-	Snapshot int64   `json:"snapshot"`
+	// Composed marks a cross-partition distance from a partition replica:
+	// Dist is a landmark-relay upper bound, Bound the matching lower
+	// certificate.
+	Composed bool  `json:"composed,omitempty"`
+	Snapshot int64 `json:"snapshot"`
 	// Gen is the cluster generation of the snapshot that answered (0 when
 	// the daemon is not cluster-managed). Snapshot is replica-local and
 	// resets on restart; Gen is router-assigned and comparable across
@@ -120,9 +124,10 @@ func toWire(r serve.Reply) replyJSON {
 		Path:     r.Path,
 		Cached:   r.Cached,
 		Degraded: r.Degraded,
+		Composed: r.Composed,
 		Snapshot: r.SnapshotID,
 	}
-	if r.Type == serve.QueryRoute && r.Bound != graph.Unreachable {
+	if (r.Type == serve.QueryRoute && r.Bound != graph.Unreachable) || r.Composed {
 		b := r.Bound
 		w.Bound = &b
 	}

@@ -19,6 +19,13 @@
 // replays recorded swap/update steps to catch them up — before routing to
 // them. Losing quorum does not turn into 503s: distance queries degrade to
 // explicitly flagged landmark upper bounds until quorum returns.
+//
+// With -partition-map the router runs in partitioned mode instead: the
+// graph is sharded across K partition groups (spanner -partition-out K,
+// spannerd -partition part-i.spanpart), replicas are assigned to groups by
+// the partition they report, queries scatter to the owning group and fall
+// over to foreign groups with flagged Composed bounds, and /swap takes
+// {"map": path} to commit all K partitions as one composed generation.
 package main
 
 import (
@@ -58,6 +65,8 @@ func run() error {
 		queryTimeout = flag.Duration("query-timeout", 2*time.Second, "per-replica query attempt timeout")
 		ctrlTimeout  = flag.Duration("control-timeout", 5*time.Second, "control-plane call timeout (probes, prepare/commit)")
 		seed         = flag.Int64("seed", 1, "per-replica client jitter seed")
+
+		partitionMap = flag.String("partition-map", "", "partition map (.spanmap): run as a partitioned scatter-gather router")
 	)
 	flag.Parse()
 
@@ -71,8 +80,7 @@ func run() error {
 		return errors.New("-replicas is required (or start replicas with -join and pass at least one seed URL)")
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	cl := clusterserve.New(clusterserve.Config{
-		Replicas:       urls,
+	base := clusterserve.Config{
 		ProbeInterval:  *probeEvery,
 		ProbeTimeout:   *probeTimeout,
 		EjectAfter:     *ejectAfter,
@@ -83,15 +91,34 @@ func run() error {
 		ControlTimeout: *ctrlTimeout,
 		Seed:           *seed,
 		Logger:         logger,
-	})
-	defer cl.Close()
+	}
+
+	var handler http.Handler
+	if *partitionMap != "" {
+		pc, err := clusterserve.NewPartitioned(clusterserve.PartitionedConfig{
+			MapPath:  *partitionMap,
+			Replicas: urls,
+			Base:     base,
+		})
+		if err != nil {
+			return err
+		}
+		defer pc.Close()
+		handler = newPartitionServer(pc, logger).routes()
+	} else {
+		base.Replicas = urls
+		cl := clusterserve.New(base)
+		defer cl.Close()
+		handler = newRouterServer(cl, logger).routes()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	logger.Info("router listening", "addr", ln.Addr().String(), "replicas", len(urls))
-	srv := &http.Server{Handler: newRouterServer(cl, logger).routes()}
+	logger.Info("router listening", "addr", ln.Addr().String(),
+		"replicas", len(urls), "partitioned", *partitionMap != "")
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	sigc := make(chan os.Signal, 1)

@@ -78,34 +78,8 @@ func statusFor(err error) int {
 // X-Served-By / X-Failovers headers so chaos suites and the loadgen can
 // attribute answers without scraping /statusz.
 func (s *routerServer) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var q client.Query
-	switch r.Method {
-	case http.MethodGet:
-		q.Type = r.URL.Query().Get("type")
-		u, errU := strconv.ParseInt(r.URL.Query().Get("u"), 10, 32)
-		v, errV := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
-		if errU != nil || errV != nil {
-			writeError(w, http.StatusBadRequest, "u and v must be int32")
-			return
-		}
-		q.U, q.V = int32(u), int32(v)
-		q.Priority = r.URL.Query().Get("priority")
-		q.AllowDegraded = r.URL.Query().Get("allowDegraded") == "1"
-		if d := r.URL.Query().Get("deadlineMs"); d != "" {
-			ms, err := strconv.ParseInt(d, 10, 64)
-			if err != nil {
-				writeError(w, http.StatusBadRequest, "bad deadlineMs")
-				return
-			}
-			q.DeadlineMS = ms
-		}
-	case http.MethodPost:
-		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
-			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
-			return
-		}
-	default:
-		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	q, ok := decodeQuery(w, r)
+	if !ok {
 		return
 	}
 	rep, tr, err := s.cl.QueryTraced(r.Context(), q)
@@ -225,4 +199,179 @@ func (s *routerServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // counters.
 func (s *routerServer) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.cl.Status())
+}
+
+// partitionServer is routerServer's scatter-gather sibling for a
+// partitioned deployment (-partition-map): same wire surface, served by a
+// PartitionedCluster. Distance queries crossing partitions come back
+// flagged Composed; /swap takes {"map": path} and drives the composed
+// K-group two-phase commit.
+type partitionServer struct {
+	pc     *clusterserve.PartitionedCluster
+	logger *slog.Logger
+}
+
+func newPartitionServer(pc *clusterserve.PartitionedCluster, logger *slog.Logger) *partitionServer {
+	return &partitionServer{pc: pc, logger: logger}
+}
+
+func (s *partitionServer) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/swap", s.handleSwap)
+	mux.HandleFunc("/join", s.handleJoin)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	return mux
+}
+
+func (s *partitionServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, ok := decodeQuery(w, r)
+	if !ok {
+		return
+	}
+	rep, tr, err := s.pc.QueryTraced(r.Context(), q)
+	if tr.Replica != "" {
+		w.Header().Set("X-Served-By", tr.Replica)
+	}
+	if tr.Failovers > 0 {
+		w.Header().Set("X-Failovers", strconv.Itoa(tr.Failovers))
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *partitionServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var qs []client.Query
+	if err := json.NewDecoder(r.Body).Decode(&qs); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	rs, err := s.pc.Batch(r.Context(), qs)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, rs)
+}
+
+// handleSwap drives the composed K-group two-phase map swap.
+// POST {"map": "path"} — a partition map every replica can read, with part
+// paths resolvable relative to it.
+func (s *partitionServer) handleSwap(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var body map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body["map"] == "" {
+		writeError(w, http.StatusBadRequest, `want {"map":"path"}`)
+		return
+	}
+	res, err := s.pc.SwapMap(r.Context(), body["map"])
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		switch {
+		case errors.Is(err, clusterserve.ErrNoQuorum):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, clusterserve.ErrConflictPrepare):
+			status = http.StatusConflict
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	s.logger.Info("composed cluster mutation committed",
+		"gen", res.Gen, "split_id", res.SplitID)
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *partitionServer) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var body struct {
+		URL string `json:"url"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.URL == "" {
+		writeError(w, http.StatusBadRequest, `want {"url":"http://replica:port"}`)
+		return
+	}
+	s.pc.Add(body.URL)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "joined"})
+}
+
+func (s *partitionServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "gen": s.pc.Gen()})
+}
+
+// handleReadyz: a partitioned cluster is ready when every partition group
+// meets its quorum — a single unquorate partition already forces composed
+// (inexact) answers for its vertices.
+func (s *partitionServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.pc.Status()
+	ready := true
+	reason := ""
+	for _, g := range st.Groups {
+		if g.Status.ReadyCount < g.Status.Quorum {
+			ready = false
+			reason = fmt.Sprintf("partition %d: %d/%d ready, quorum %d",
+				g.Partition, g.Status.ReadyCount, len(g.Status.Members), g.Status.Quorum)
+			break
+		}
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "reason": reason, "gen": st.Gen})
+}
+
+func (s *partitionServer) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.pc.Status())
+}
+
+// decodeQuery parses the shared GET/POST query wire forms; it writes the
+// error response itself when the request is malformed.
+func decodeQuery(w http.ResponseWriter, r *http.Request) (client.Query, bool) {
+	var q client.Query
+	switch r.Method {
+	case http.MethodGet:
+		q.Type = r.URL.Query().Get("type")
+		u, errU := strconv.ParseInt(r.URL.Query().Get("u"), 10, 32)
+		v, errV := strconv.ParseInt(r.URL.Query().Get("v"), 10, 32)
+		if errU != nil || errV != nil {
+			writeError(w, http.StatusBadRequest, "u and v must be int32")
+			return q, false
+		}
+		q.U, q.V = int32(u), int32(v)
+		q.Priority = r.URL.Query().Get("priority")
+		q.AllowDegraded = r.URL.Query().Get("allowDegraded") == "1"
+		if d := r.URL.Query().Get("deadlineMs"); d != "" {
+			ms, err := strconv.ParseInt(d, 10, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "bad deadlineMs")
+				return q, false
+			}
+			q.DeadlineMS = ms
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+			return q, false
+		}
+	default:
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return q, false
+	}
+	return q, true
 }

@@ -10,6 +10,13 @@
 //
 //	spannertop -addr http://localhost:8080 -interval 2s
 //	spannertop -addr http://localhost:8080 -once      # one cumulative frame
+//
+// With -router the address is a spannerrouter instead: the dashboard walks
+// the router's /statusz topology (flat or partitioned) and scrapes every
+// member's /metricz, rendering per-member — and for a partitioned cluster
+// per-partition — interval QPS and latency percentiles:
+//
+//	spannertop -router -addr http://localhost:8090
 package main
 
 import (
@@ -39,8 +46,13 @@ func run() error {
 		interval = flag.Duration("interval", 2*time.Second, "poll interval")
 		once     = flag.Bool("once", false, "print one cumulative frame and exit (no screen clearing)")
 		frames   = flag.Int("frames", 0, "stop after this many frames (0 = run until interrupted)")
+		router   = flag.Bool("router", false, "treat -addr as a spannerrouter: render per-member (and, partitioned, per-partition) interval stats from its /statusz plus each replica's /metricz")
 	)
 	flag.Parse()
+
+	if *router {
+		return runRouter(*addr, *interval, *once, *frames)
+	}
 
 	cl := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 5 * time.Second}}
 	cur, err := cl.fetch()

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"spanner/internal/obs"
+)
+
+// Router mode (-router): -addr is a spannerrouter, flat or partitioned.
+// One frame scrapes the router's /statusz for topology (members, partition
+// groups, generations) and every member's /metricz for serving counters;
+// differencing consecutive frames yields per-member and per-partition
+// interval QPS and latency percentiles, same as the single-daemon view.
+
+// memberTopo is one member row out of the router's /statusz.
+type memberTopo struct {
+	URL      string `json:"url"`
+	Ready    bool   `json:"ready"`
+	Gen      int64  `json:"gen"`
+	Checksum int64  `json:"checksum"`
+}
+
+// clusterTopo is one cluster's /statusz shape (a flat router's whole
+// answer, or one group of a partitioned one).
+type clusterTopo struct {
+	Gen        int64        `json:"gen"`
+	Quorum     int          `json:"quorum"`
+	ReadyCount int          `json:"ready"`
+	Members    []memberTopo `json:"members"`
+	Failovers  int64        `json:"failovers"`
+	Degraded   int64        `json:"degraded"`
+}
+
+// groupTopo is one partition group of a partitioned router's /statusz.
+type groupTopo struct {
+	Partition int         `json:"partition"`
+	Vertices  int         `json:"vertices"`
+	Status    clusterTopo `json:"status"`
+}
+
+// routerTopo decodes both /statusz shapes: a flat cluster fills the
+// embedded clusterTopo fields, a partitioned one fills Groups.
+type routerTopo struct {
+	clusterTopo
+	K              int         `json:"k"`
+	SplitID        int64       `json:"split_id"`
+	Pending        []string    `json:"pending"`
+	Groups         []groupTopo `json:"groups"`
+	RemoteServed   int64       `json:"remoteServed"`
+	DegradedServed int64       `json:"degradedServed"`
+}
+
+// routerFrame is one scrape of the whole deployment: the router topology
+// plus each reachable member's metric frame, keyed by member URL.
+type routerFrame struct {
+	at      time.Time
+	topo    routerTopo
+	members map[string]*frame
+}
+
+type routerClient struct {
+	base string
+	http *http.Client
+}
+
+func (c *routerClient) fetch() (*routerFrame, error) {
+	resp, err := c.http.Get(c.base + "/statusz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	rf := &routerFrame{at: time.Now(), members: map[string]*frame{}}
+	if err := json.NewDecoder(resp.Body).Decode(&rf.topo); err != nil {
+		return nil, fmt.Errorf("decoding router /statusz: %w", err)
+	}
+	for _, m := range rf.topo.allMembers() {
+		// A member that fails to scrape renders as dashes; the router
+		// already tells us whether it is routable.
+		mc := &client{base: strings.TrimRight(m.URL, "/"), http: c.http}
+		if mf, err := mc.fetch(); err == nil {
+			rf.members[m.URL] = mf
+		}
+	}
+	return rf, nil
+}
+
+// allMembers flattens the topology to every member row, flat or grouped.
+func (t *routerTopo) allMembers() []memberTopo {
+	if len(t.Groups) == 0 {
+		return t.Members
+	}
+	var all []memberTopo
+	for _, g := range t.Groups {
+		all = append(all, g.Status.Members...)
+	}
+	return all
+}
+
+// memberInterval computes one member's interval traffic from its metric
+// frames: QPS summed over query types and the merged latency snapshot.
+func memberInterval(prev, cur *routerFrame, url string, secs float64) (qps float64, lat *obs.HistSnapshot, ok bool) {
+	cf := cur.members[url]
+	if cf == nil {
+		return 0, nil, false
+	}
+	var pf *frame
+	if prev != nil {
+		pf = prev.members[url]
+	}
+	lat = &obs.HistSnapshot{}
+	var q float64
+	for _, typ := range []string{"dist", "path", "route"} {
+		q += counterDelta(pf, cf, "serve.queries{type="+typ+"}")
+		lat.Merge(histDelta(pf, cf, "serve.latency_us{type="+typ+"}"))
+	}
+	return q / secs, lat, true
+}
+
+// renderMemberRows prints one table row per member of a cluster.
+func renderMemberRows(w io.Writer, prev, cur *routerFrame, members []memberTopo, secs float64) {
+	for _, m := range members {
+		state := "ready"
+		if !m.Ready {
+			state = "down"
+		}
+		qps, lat, ok := memberInterval(prev, cur, m.URL, secs)
+		if !ok {
+			fmt.Fprintf(w, "  %-28s %-6s gen=%-4d %10s %10s %10s %10s\n",
+				m.URL, state, m.Gen, "-", "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "  %-28s %-6s gen=%-4d %10.0f %10d %10d %10d\n",
+			m.URL, state, m.Gen, qps,
+			lat.Quantile(0.50), lat.Quantile(0.95), lat.Quantile(0.99))
+	}
+}
+
+// renderRouter draws one router-mode frame: the composed/cluster header,
+// then per-partition (or flat) member tables with interval percentiles.
+func renderRouter(w io.Writer, prev, cur *routerFrame) {
+	secs := 1.0
+	scope := "cumulative"
+	if prev != nil {
+		secs = cur.at.Sub(prev.at).Seconds()
+		if secs <= 0 {
+			secs = 1
+		}
+		scope = fmt.Sprintf("last %.1fs", secs)
+	}
+	t := &cur.topo
+	if len(t.Groups) == 0 {
+		fmt.Fprintf(w, "spannertop — router — %s — %s\n", scope, cur.at.Format("15:04:05"))
+		fmt.Fprintf(w, "cluster: gen=%d ready=%d/%d quorum=%d failovers=%d degraded=%d\n\n",
+			t.Gen, t.ReadyCount, len(t.Members), t.Quorum, t.Failovers, t.Degraded)
+		fmt.Fprintf(w, "  %-28s %-6s %-8s %10s %10s %10s %10s\n",
+			"member", "state", "", "qps", "p50 us", "p95 us", "p99 us")
+		renderMemberRows(w, prev, cur, t.Members, secs)
+		return
+	}
+	fmt.Fprintf(w, "spannertop — partitioned router — %s — %s\n", scope, cur.at.Format("15:04:05"))
+	fmt.Fprintf(w, "composed: gen=%d split=%x k=%d remote-served=%d degraded-served=%d pending=%d\n\n",
+		t.Gen, uint64(t.SplitID), t.K, t.RemoteServed, t.DegradedServed, len(t.Pending))
+	for _, g := range t.Groups {
+		st := g.Status
+		fmt.Fprintf(w, "partition %d: gen=%d ready=%d/%d quorum=%d vertices=%d\n",
+			g.Partition, st.Gen, st.ReadyCount, len(st.Members), st.Quorum, g.Vertices)
+		fmt.Fprintf(w, "  %-28s %-6s %-8s %10s %10s %10s %10s\n",
+			"member", "state", "", "qps", "p50 us", "p95 us", "p99 us")
+		renderMemberRows(w, prev, cur, st.Members, secs)
+		fmt.Fprintln(w)
+	}
+}
+
+// runRouter is run()'s -router twin: same frame/interval loop over
+// routerFrame scrapes.
+func runRouter(addr string, interval time.Duration, once bool, frames int) error {
+	cl := &routerClient{base: strings.TrimRight(addr, "/"), http: &http.Client{Timeout: 5 * time.Second}}
+	cur, err := cl.fetch()
+	if err != nil {
+		return err
+	}
+	if once {
+		renderRouter(os.Stdout, nil, cur)
+		return nil
+	}
+	var prev *routerFrame
+	for n := 0; frames == 0 || n < frames; n++ {
+		fmt.Print("\x1b[2J\x1b[H")
+		renderRouter(os.Stdout, prev, cur)
+		time.Sleep(interval)
+		prev = cur
+		if cur, err = cl.fetch(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"spanner/internal/obs"
+)
+
+// fakePartitionedRouter serves a partitioned /statusz over two groups whose
+// members are real fakeSpannerd scrape targets.
+func fakePartitionedRouter(t *testing.T, groups [][]string) *httptest.Server {
+	t.Helper()
+	topo := map[string]any{
+		"gen": 3, "split_id": int64(0x5eed), "k": len(groups), "n": 3,
+		"remoteServed": 11, "degradedServed": 2,
+		"pending": []string{"http://127.0.0.1:1"},
+	}
+	var gs []map[string]any
+	for p, urls := range groups {
+		var members []map[string]any
+		for _, u := range urls {
+			members = append(members, map[string]any{"url": u, "ready": true, "gen": 3})
+		}
+		gs = append(gs, map[string]any{
+			"partition": p, "vertices": 100 + p,
+			"status": map[string]any{
+				"gen": 3, "quorum": 1, "ready": len(urls), "members": members,
+			},
+		})
+	}
+	topo["groups"] = gs
+	mux := http.NewServeMux()
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(topo)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestRouterModePartitioned(t *testing.T) {
+	m0 := fakeSpannerd(t, 120, []int64{10, 20, 30})
+	m1 := fakeSpannerd(t, 60, []int64{100, 200, 300})
+	rt := fakePartitionedRouter(t, [][]string{{m0.URL}, {m1.URL}})
+
+	cl := &routerClient{base: rt.URL, http: rt.Client()}
+	f, err := cl.fetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.topo.Groups) != 2 || len(f.members) != 2 {
+		t.Fatalf("topology not scraped: %d groups, %d member frames", len(f.topo.Groups), len(f.members))
+	}
+	var buf bytes.Buffer
+	renderRouter(&buf, nil, f)
+	out := buf.String()
+	for _, want := range []string{
+		"partitioned router",
+		"gen=3 split=5eed k=2 remote-served=11 degraded-served=2 pending=1",
+		"partition 0:",
+		"partition 1:",
+		m0.URL,
+		m1.URL,
+		"p99 us",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("router dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRouterModeIntervalPercentiles pins the per-member interval math: a
+// member whose second scrape adds only slow observations must show the slow
+// percentile for the interval, not the since-boot mix.
+func TestRouterModeIntervalPercentiles(t *testing.T) {
+	mkMember := func(q float64, lat []int64) *frame {
+		h := obs.NewHistogram()
+		for _, v := range lat {
+			h.Observe(v)
+		}
+		return &frame{metrics: map[string]metric{
+			"serve.queries{type=dist}": {Kind: "counter", Series: "serve.queries{type=dist}", Value: q},
+			"serve.latency_us{type=dist}": {Kind: "histogram", Series: "serve.latency_us{type=dist}",
+				Count: h.Count(), Hist: h.Snapshot()},
+		}}
+	}
+	t0 := time.Unix(1_700_000_000, 0)
+	url := "http://member:1"
+	prev := &routerFrame{at: t0, members: map[string]*frame{url: mkMember(100, []int64{10, 10})}}
+	cur := &routerFrame{at: t0.Add(5 * time.Second),
+		members: map[string]*frame{url: mkMember(150, []int64{10, 10, 8000, 8000, 8000})}}
+
+	qps, lat, ok := memberInterval(prev, cur, url, 5)
+	if !ok {
+		t.Fatal("member frame not found")
+	}
+	if qps != 10 { // (150-100)/5s
+		t.Fatalf("interval qps = %v, want 10", qps)
+	}
+	if q := lat.Quantile(0.50); q < 7500 || q > 8500 {
+		t.Fatalf("interval p50 = %d, want ~8000 (not polluted by since-boot samples)", q)
+	}
+
+	// An unreachable member renders as dashes, not a crash.
+	var buf bytes.Buffer
+	renderMemberRows(&buf, prev, cur, []memberTopo{{URL: "http://gone:1", Ready: false, Gen: 2}}, 5)
+	if !strings.Contains(buf.String(), "down") || !strings.Contains(buf.String(), "-") {
+		t.Fatalf("unreachable member row: %q", buf.String())
+	}
+}

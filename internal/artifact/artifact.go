@@ -20,7 +20,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
 	"sort"
 
 	"spanner/internal/graph"
@@ -284,26 +283,7 @@ func Unmarshal(data []byte) (*Artifact, error) {
 // writer never leaves a torn file under the final name (the same discipline
 // as distsim.WriteWordsFile).
 func Save(path string, a *Artifact) error {
-	buf := a.Marshal()
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".artifact-*")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return writeAtomic(path, a.Marshal())
 }
 
 // Load memory-loads an artifact file written by Save.

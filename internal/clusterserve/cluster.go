@@ -147,7 +147,7 @@ func (m *member) noteQuerySuccess() {
 type genRecord struct {
 	Gen      int64  `json:"gen"`
 	Checksum int64  `json:"checksum"`
-	Kind     string `json:"kind"` // "boot" | "artifact" | "delta"
+	Kind     string `json:"kind"` // "boot" | "artifact" | "delta" | "part"
 	Path     string `json:"path,omitempty"`
 }
 
@@ -446,7 +446,9 @@ func (c *Cluster) catchUp(m *member, info replicaInfo) {
 	// checksum to match some record's.
 	start := -1 // index into records of the first record to replay
 	for i := len(records) - 1; i >= 0; i-- {
-		if records[i].Kind == "artifact" {
+		if records[i].Kind == "artifact" || records[i].Kind == "part" {
+			// Artifacts and parts are self-contained: either can start a
+			// replay cold, regardless of what the replica currently serves.
 			start = i
 			break
 		}
@@ -482,9 +484,12 @@ func (c *Cluster) catchUp(m *member, info replicaInfo) {
 func (c *Cluster) replayStep(ctx context.Context, m *member, r genRecord) error {
 	txn := fmt.Sprintf("catchup-g%d-%d", r.Gen, c.txnSeq.Add(1))
 	prep := map[string]any{"txn": txn, "gen": r.Gen}
-	if r.Kind == "artifact" {
+	switch r.Kind {
+	case "artifact":
 		prep["artifact"] = r.Path
-	} else {
+	case "part":
+		prep["part"] = r.Path
+	default:
 		prep["delta"] = r.Path
 	}
 	var prepOut struct {

@@ -113,13 +113,38 @@ func newFakeReplicaWith(t *testing.T, art *artifact.Artifact, mw func(http.Handl
 	}
 	f := &fakeReplica{t: t, addr: ln.Addr().String(), middleware: mw}
 	f.url = "http://" + f.addr
-	f.start(ln, art)
+	f.start(ln, art, nil)
 	t.Cleanup(f.stop)
 	return f
 }
 
-func (f *fakeReplica) start(ln net.Listener, art *artifact.Artifact) {
-	eng, err := serve.New(art, serve.Config{Shards: 2, CacheSize: 64})
+// newFakePartReplica is newFakeReplica serving one partition of a split
+// (the in-process analogue of spannerd -partition).
+func newFakePartReplica(t *testing.T, part *artifact.Part) *fakeReplica {
+	return newFakePartReplicaWith(t, part, nil)
+}
+
+func newFakePartReplicaWith(t *testing.T, part *artifact.Part, mw func(http.Handler) http.Handler) *fakeReplica {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeReplica{t: t, addr: ln.Addr().String(), middleware: mw}
+	f.url = "http://" + f.addr
+	f.start(ln, nil, part)
+	t.Cleanup(f.stop)
+	return f
+}
+
+func (f *fakeReplica) start(ln net.Listener, art *artifact.Artifact, part *artifact.Part) {
+	var eng *serve.Engine
+	var err error
+	if part != nil {
+		eng, err = serve.NewPart(part, serve.Config{Shards: 2, CacheSize: 64})
+	} else {
+		eng, err = serve.New(art, serve.Config{Shards: 2, CacheSize: 64})
+	}
 	if err != nil {
 		f.t.Fatal(err)
 	}
@@ -149,13 +174,49 @@ func (f *fakeReplica) start(ln net.Listener, art *artifact.Artifact) {
 		out := client.Reply{
 			Type: q.Type, U: rep2.U, V: rep2.V, Dist: rep2.Dist,
 			Path: rep2.Path, Cached: rep2.Cached, Degraded: rep2.Degraded,
-			Snapshot: rep2.SnapshotID, Gen: rep.GenOf(rep2.SnapshotID),
+			Composed: rep2.Composed, Snapshot: rep2.SnapshotID,
+			Gen: rep.GenOf(rep2.SnapshotID),
+		}
+		if rep2.Composed || rep2.Degraded {
+			b := rep2.Bound
+			out.Bound = &b
 		}
 		if rep2.Err != nil {
 			out.Err = rep2.Err.Error()
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/batch", func(w http.ResponseWriter, r *http.Request) {
+		var qs []client.Query
+		if err := json.NewDecoder(r.Body).Decode(&qs); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := make([]client.Reply, len(qs))
+		for i, q := range qs {
+			typ, err := serve.ParseQueryType(q.Type)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			rep2 := eng.Query(serve.Request{Type: typ, U: q.U, V: q.V})
+			out[i] = client.Reply{
+				Type: q.Type, U: rep2.U, V: rep2.V, Dist: rep2.Dist,
+				Path: rep2.Path, Cached: rep2.Cached, Degraded: rep2.Degraded,
+				Composed: rep2.Composed, Snapshot: rep2.SnapshotID,
+				Gen: rep.GenOf(rep2.SnapshotID),
+			}
+			if rep2.Composed || rep2.Degraded {
+				b := rep2.Bound
+				out[i].Bound = &b
+			}
+			if rep2.Err != nil {
+				out[i].Err = rep2.Err.Error()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
 	})
 	rep.Register(mux)
@@ -191,6 +252,17 @@ func (f *fakeReplica) stop() {
 // recovery scan's last-good result.
 func (f *fakeReplica) restart(art *artifact.Artifact) {
 	f.t.Helper()
+	f.start(f.rebind(), art, nil)
+}
+
+// restartPart is restart for a partition replica.
+func (f *fakeReplica) restartPart(part *artifact.Part) {
+	f.t.Helper()
+	f.start(f.rebind(), nil, part)
+}
+
+func (f *fakeReplica) rebind() net.Listener {
+	f.t.Helper()
 	f.stop()
 	var ln net.Listener
 	var err error
@@ -203,7 +275,7 @@ func (f *fakeReplica) restart(art *artifact.Artifact) {
 	if err != nil {
 		f.t.Fatalf("rebinding %s: %v", f.addr, err)
 	}
-	f.start(ln, art)
+	return ln
 }
 
 // testCluster spins up n fake replicas on one artifact plus a router with

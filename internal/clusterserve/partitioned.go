@@ -1,0 +1,668 @@
+package clusterserve
+
+// Partitioned serving: one coordinator over K replica groups, each group a
+// Cluster serving a single partition of a split graph (internal/partition).
+// The partition map pins the split: which partition owns each vertex and
+// the content checksum of every part. Queries scatter to the owning group
+// and fail over — first within the group, then across groups, where any
+// part can still answer (exactly for paths, as flagged composed landmark
+// bounds for distances). Mutations are composed: all K groups prepare
+// their new part, any failure anywhere aborts everywhere, and the K group
+// generations advance in lockstep as one composed cluster generation.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spanner/client"
+	"spanner/internal/artifact"
+)
+
+// ErrPartitionedRoute reports a route query sent to a partitioned cluster:
+// part graphs lack the foreign edges routing tables assume, so no member
+// can serve one. Clients should query an unpartitioned deployment.
+var ErrPartitionedRoute = errors.New("clusterserve: partitioned cluster does not serve route queries")
+
+// ErrComposedPrepare reports a composed mutation aborted in phase one: no
+// group advanced, every staged part was rolled back. Wraps ErrPrepare.
+var ErrComposedPrepare = fmt.Errorf("%w: composed mutation aborted across all partitions", ErrPrepare)
+
+// PartitionedConfig configures a PartitionedCluster.
+type PartitionedConfig struct {
+	// MapPath is the partition map file; it defines K, vertex ownership,
+	// and the pinned checksum of every part.
+	MapPath string
+	// Replicas are replica URLs in any order: each is probed for the
+	// partition it serves and assigned to that group. Members whose
+	// split id disagrees with the map are refused (and re-probed, in
+	// case an operator restarts them with the right part).
+	Replicas []string
+	// Base is the per-group cluster configuration (Base.Replicas is
+	// ignored; membership comes from partition assignment).
+	Base Config
+}
+
+// PartitionedCluster coordinates K partition groups. Create with
+// NewPartitioned, stop with Close. Safe for concurrent use.
+type PartitionedCluster struct {
+	base   Config
+	ctrl   *http.Client
+	logger *slog.Logger
+	groups []*Cluster // index = partition id
+
+	mu       sync.Mutex
+	pm       *artifact.PartitionMap
+	mapPath  string
+	pending  []string       // URLs not yet assigned to a group
+	assigned map[string]int // url → partition id
+
+	// mutMu serializes composed mutations; each group's own mutMu is
+	// additionally held across its prepare/commit so group-local replays
+	// cannot interleave.
+	mutMu  sync.Mutex
+	txnSeq atomic.Int64
+
+	rr             atomic.Uint64
+	remoteServed   atomic.Int64 // queries served by a non-owner group
+	degradedServed atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPartitioned loads the partition map at cfg.MapPath, builds one Cluster
+// per partition, and starts the assignment prober that sorts cfg.Replicas
+// into groups by the partition each reports serving.
+func NewPartitioned(cfg PartitionedConfig) (*PartitionedCluster, error) {
+	pm, err := artifact.LoadPartitionMap(cfg.MapPath)
+	if err != nil {
+		return nil, fmt.Errorf("clusterserve: loading partition map: %w", err)
+	}
+	base := cfg.Base
+	base.Replicas = nil
+	base = base.withDefaults()
+	pc := &PartitionedCluster{
+		base:     base,
+		ctrl:     &http.Client{Timeout: base.ProbeTimeout},
+		logger:   base.Logger,
+		pm:       pm,
+		mapPath:  cfg.MapPath,
+		pending:  append([]string(nil), cfg.Replicas...),
+		assigned: make(map[string]int),
+		stop:     make(chan struct{}),
+	}
+	for i := 0; i < pm.K; i++ {
+		g := base
+		g.Seed = base.Seed ^ int64(uint64(i+1)*0x9e3779b97f4a7c15)
+		pc.groups = append(pc.groups, New(g))
+	}
+	pc.wg.Add(1)
+	go pc.assignLoop()
+	return pc, nil
+}
+
+// Close stops the assignment prober and every group.
+func (pc *PartitionedCluster) Close() {
+	select {
+	case <-pc.stop:
+	default:
+		close(pc.stop)
+	}
+	pc.wg.Wait()
+	for _, g := range pc.groups {
+		g.Close()
+	}
+}
+
+// Add registers a replica URL (the /join path); the assignment prober
+// places it in its partition's group once it answers /cluster/info.
+func (pc *PartitionedCluster) Add(url string) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, ok := pc.assigned[url]; ok {
+		return
+	}
+	for _, u := range pc.pending {
+		if u == url {
+			return
+		}
+	}
+	pc.pending = append(pc.pending, url)
+}
+
+// Map returns the loaded partition map.
+func (pc *PartitionedCluster) Map() *artifact.PartitionMap {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.pm
+}
+
+// K returns the partition count.
+func (pc *PartitionedCluster) K() int { return len(pc.groups) }
+
+// Group returns partition id's cluster (status pages, tests).
+func (pc *PartitionedCluster) Group(id int) *Cluster { return pc.groups[id] }
+
+// Gen returns the composed cluster generation: the minimum committed
+// generation across groups, which by construction advances only when every
+// group has committed — a composed mutation is never observable as
+// partially committed here.
+func (pc *PartitionedCluster) Gen() int64 {
+	gen := int64(0)
+	for i, g := range pc.groups {
+		gg := g.Gen()
+		if i == 0 || gg < gen {
+			gen = gg
+		}
+	}
+	return gen
+}
+
+// ---- member assignment ----------------------------------------------------
+
+func (pc *PartitionedCluster) assignLoop() {
+	defer pc.wg.Done()
+	tick := time.NewTicker(pc.base.ProbeInterval)
+	defer tick.Stop()
+	pc.assignPending()
+	for {
+		select {
+		case <-pc.stop:
+			return
+		case <-tick.C:
+			pc.assignPending()
+		}
+	}
+}
+
+// assignPending probes every unassigned URL for the partition it serves.
+// Assignment requires the member's split id to match the map: seeding a
+// group's bootstrap generation from a member of a different split would
+// lock every correct member out, so mismatches stay pending (logged) until
+// an operator restarts them with the right part.
+func (pc *PartitionedCluster) assignPending() {
+	pc.mu.Lock()
+	urls := append([]string(nil), pc.pending...)
+	pm := pc.pm
+	pc.mu.Unlock()
+	for _, url := range urls {
+		select {
+		case <-pc.stop:
+			return
+		default:
+		}
+		info, err := pc.fetchInfo(url)
+		if err != nil {
+			continue // unreachable; retry next round
+		}
+		switch {
+		case !info.Partitioned:
+			pc.logger.Warn("replica is not partitioned, refusing assignment", "url", url)
+			continue
+		case info.Partition < 0 || info.Partition >= len(pc.groups):
+			pc.logger.Warn("replica reports partition out of range",
+				"url", url, "partition", info.Partition, "k", len(pc.groups))
+			continue
+		case info.SplitID != pm.SplitID:
+			pc.logger.Warn("replica split id disagrees with map, refusing assignment",
+				"url", url, "partition", info.Partition,
+				"replica_split", info.SplitID, "map_split", pm.SplitID)
+			continue
+		}
+		pc.groups[info.Partition].Add(url)
+		pc.mu.Lock()
+		pc.assigned[url] = info.Partition
+		for i, u := range pc.pending {
+			if u == url {
+				pc.pending = append(pc.pending[:i], pc.pending[i+1:]...)
+				break
+			}
+		}
+		pc.mu.Unlock()
+		pc.logger.Info("replica assigned to partition group",
+			"url", url, "partition", info.Partition)
+	}
+}
+
+func (pc *PartitionedCluster) fetchInfo(url string) (replicaInfo, error) {
+	var info replicaInfo
+	ctx, cancel := context.WithTimeout(context.Background(), pc.base.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/cluster/info", nil)
+	if err != nil {
+		return info, err
+	}
+	resp, err := pc.ctrl.Do(req)
+	if err != nil {
+		return info, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("probe: HTTP %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, err
+	}
+	return info, nil
+}
+
+// ---- query routing --------------------------------------------------------
+
+// quorate reports whether group g currently meets its quorum, returning
+// its ready members when it does.
+func (pc *PartitionedCluster) quorate(g *Cluster) ([]*member, bool) {
+	ready := g.readyMembers()
+	return ready, len(ready) >= g.quorum()
+}
+
+// Query scatter-routes one query; see QueryTraced.
+func (pc *PartitionedCluster) Query(ctx context.Context, q client.Query) (client.Reply, error) {
+	rep, _, err := pc.QueryTraced(ctx, q)
+	return rep, err
+}
+
+// QueryTraced routes one query across the partition groups:
+//
+//   - dist/path with both endpoints in one partition go to that group,
+//     failing over within it; its members answer exactly.
+//   - cross-partition dist goes to the owner of either endpoint; the
+//     serving replica flags the answer Composed with the landmark-relay
+//     bracket unless boundary replication happens to cover the pair.
+//   - when every owning group is below quorum, any other quorate group
+//     still serves: exactly for paths (every part carries the full
+//     spanner), as Composed bounds for dist.
+//   - with no quorate group at all, dist degrades to flagged landmark
+//     bounds from any reachable member; everything else is ErrNoQuorum.
+//   - route queries are refused with ErrPartitionedRoute.
+func (pc *PartitionedCluster) QueryTraced(ctx context.Context, q client.Query) (client.Reply, QueryTrace, error) {
+	if q.Type == "route" {
+		return client.Reply{}, QueryTrace{}, fmt.Errorf("%w: %w", client.ErrBadRequest, ErrPartitionedRoute)
+	}
+	pc.mu.Lock()
+	pm := pc.pm
+	pc.mu.Unlock()
+	if q.U < 0 || int(q.U) >= pm.N || q.V < 0 || int(q.V) >= pm.N {
+		return client.Reply{}, QueryTrace{}, fmt.Errorf("%w: vertex out of range [0,%d)", client.ErrBadRequest, pm.N)
+	}
+	owner := pc.groups[pm.Owner[q.U]]
+	cands, nOwn := pc.candidates(int(pm.Owner[q.U]), int(pm.Owner[q.V]))
+	if len(cands) == 0 {
+		return pc.degraded(ctx, q)
+	}
+	rep, tr, err := owner.raceQuery(ctx, cands, q)
+	if err == nil && tr.Attempts > nOwn {
+		pc.remoteServed.Add(1)
+	}
+	return rep, tr, err
+}
+
+// candidates builds the ordered failover list for a pair owned by gu/gv:
+// owner groups' ready members first (rotated for load spread), then every
+// other quorate group's. nOwn is how many candidates belong to the owner
+// groups — attempts beyond it were served remotely. Groups below quorum
+// contribute nothing: their members may sit on an uncommitted generation.
+func (pc *PartitionedCluster) candidates(gu, gv int) (cands []*member, nOwn int) {
+	appendGroup := func(id int) {
+		ready, ok := pc.quorate(pc.groups[id])
+		if !ok {
+			return
+		}
+		start := int(pc.rr.Add(1))
+		for i := range ready {
+			cands = append(cands, ready[(start+i)%len(ready)])
+		}
+	}
+	appendGroup(gu)
+	if gv != gu {
+		appendGroup(gv)
+	}
+	nOwn = len(cands)
+	for id := range pc.groups {
+		if id != gu && id != gv {
+			appendGroup(id)
+		}
+	}
+	return cands, nOwn
+}
+
+// degraded is the total-quorum-loss path: like Cluster.degradedQuery but
+// over every member of every group — any reachable replica's landmark
+// bound is a true upper bound on every generation of every part.
+func (pc *PartitionedCluster) degraded(ctx context.Context, q client.Query) (client.Reply, QueryTrace, error) {
+	tr := QueryTrace{Degraded: true}
+	if q.Type != "dist" {
+		return client.Reply{}, tr, fmt.Errorf("%w: no partition group is quorate; only dist degrades", ErrNoQuorum)
+	}
+	q.AllowDegraded = true
+	var members []*member
+	for _, g := range pc.groups {
+		members = append(members, g.snapshotMembers()...)
+	}
+	if len(members) == 0 {
+		return client.Reply{}, tr, fmt.Errorf("%w: no members assigned", ErrNoReplicas)
+	}
+	start := int(pc.rr.Add(1))
+	var lastErr error
+	for i := range members {
+		m := members[(start+i)%len(members)]
+		tr.Attempts++
+		rep, err := m.cl.Query(ctx, q)
+		if err == nil {
+			pc.degradedServed.Add(1)
+			tr.Replica = m.url
+			return rep, tr, nil
+		}
+		lastErr = err
+		if i < len(members)-1 {
+			tr.Failovers++
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return client.Reply{}, tr, fmt.Errorf("%w: degraded fallback exhausted: %v", ErrNoQuorum, lastErr)
+}
+
+// Batch splits a batch by owning partition, sends each sub-batch to its
+// group (falling back to any other quorate group — composed for dist,
+// still exact for path), and merges replies back into input order.
+func (pc *PartitionedCluster) Batch(ctx context.Context, qs []client.Query) ([]client.Reply, error) {
+	pc.mu.Lock()
+	pm := pc.pm
+	pc.mu.Unlock()
+	buckets := make(map[int][]int)
+	for i, q := range qs {
+		if q.Type == "route" {
+			return nil, fmt.Errorf("%w: %w", client.ErrBadRequest, ErrPartitionedRoute)
+		}
+		if q.U < 0 || int(q.U) >= pm.N || q.V < 0 || int(q.V) >= pm.N {
+			return nil, fmt.Errorf("%w: vertex out of range [0,%d)", client.ErrBadRequest, pm.N)
+		}
+		g := int(pm.Owner[q.U])
+		buckets[g] = append(buckets[g], i)
+	}
+	out := make([]client.Reply, len(qs))
+	type subRes struct {
+		idx []int
+		rs  []client.Reply
+		err error
+	}
+	resc := make(chan subRes, len(buckets))
+	for g, idx := range buckets {
+		sub := make([]client.Query, len(idx))
+		for j, i := range idx {
+			sub[j] = qs[i]
+		}
+		go func(g int, idx []int, sub []client.Query) {
+			rs, err := pc.subBatch(ctx, g, sub)
+			resc <- subRes{idx: idx, rs: rs, err: err}
+		}(g, idx, sub)
+	}
+	for range buckets {
+		r := <-resc
+		if r.err != nil {
+			return nil, r.err
+		}
+		for j, i := range r.idx {
+			out[i] = r.rs[j]
+		}
+	}
+	return out, nil
+}
+
+// subBatch sends one owner's sub-batch to its group, falling over to the
+// other quorate groups when the owner cannot serve.
+func (pc *PartitionedCluster) subBatch(ctx context.Context, owner int, sub []client.Query) ([]client.Reply, error) {
+	rs, err := pc.groups[owner].Batch(ctx, sub)
+	if err == nil {
+		return rs, nil
+	}
+	if errors.Is(err, client.ErrBadRequest) || errors.Is(err, client.ErrConflict) {
+		return nil, err
+	}
+	for id, g := range pc.groups {
+		if id == owner {
+			continue
+		}
+		if _, ok := pc.quorate(g); !ok {
+			continue
+		}
+		if rs, err2 := g.Batch(ctx, sub); err2 == nil {
+			pc.remoteServed.Add(1)
+			return rs, nil
+		}
+	}
+	return nil, err
+}
+
+// ---- composed mutation ----------------------------------------------------
+
+// ComposedResult reports a committed composed generation change.
+type ComposedResult struct {
+	// Gen is the composed cluster generation every group now serves.
+	Gen int64 `json:"gen"`
+	// SplitID identifies the split now being served.
+	SplitID int64 `json:"split_id"`
+	// Groups holds each partition's mutation result, indexed by partition.
+	Groups []MutationResult `json:"groups"`
+}
+
+// SwapMap advances the whole partitioned cluster to the split described by
+// the partition map at mapPath, as one composed two-phase commit:
+//
+// Phase one prepares every group's new part (resolved from the map's part
+// references, relative to the map file) on all its ready members, and
+// checks each staged checksum against the checksum the map pins for that
+// part. Any prepare failure, checksum divergence, or map/part mismatch in
+// ANY group aborts the stage in EVERY group; no generation moves.
+//
+// Phase two appends all K generation records first — the composed point of
+// no return — then commits every group. The composed generation (Gen, the
+// minimum across groups) therefore advances only once all groups hold
+// their record, and members that miss a commit are replayed forward by
+// their group's prober, so the composed generation is never observable as
+// partially committed.
+//
+// The new map must have the same partition count as the current one; each
+// replica additionally refuses a part whose partition id differs from the
+// one it serves, so a swap can change the split (new SplitID) but never
+// silently reshuffle which group owns which partition id.
+func (pc *PartitionedCluster) SwapMap(ctx context.Context, mapPath string) (ComposedResult, error) {
+	pm, err := artifact.LoadPartitionMap(mapPath)
+	if err != nil {
+		return ComposedResult{}, fmt.Errorf("clusterserve: loading partition map: %w", err)
+	}
+	if pm.K != len(pc.groups) {
+		return ComposedResult{}, fmt.Errorf("clusterserve: map has %d partitions, cluster has %d — partition count is fixed at deployment",
+			pm.K, len(pc.groups))
+	}
+	paths := make([]string, pm.K)
+	for _, ref := range pm.Parts {
+		if ref.Path == "" {
+			return ComposedResult{}, fmt.Errorf("clusterserve: map pins no path for partition %d", ref.ID)
+		}
+		p := ref.Path
+		if !filepath.IsAbs(p) {
+			p = filepath.Join(filepath.Dir(mapPath), p)
+		}
+		paths[ref.ID] = p
+	}
+
+	pc.mutMu.Lock()
+	defer pc.mutMu.Unlock()
+	for _, g := range pc.groups {
+		g.mutMu.Lock()
+		defer g.mutMu.Unlock()
+	}
+
+	// Every group must be quorate before anything is staged anywhere.
+	readySets := make([][]*member, pm.K)
+	targets := make([]int64, pm.K)
+	for i, g := range pc.groups {
+		ready, ok := pc.quorate(g)
+		if !ok {
+			return ComposedResult{}, fmt.Errorf("%w: partition %d has %d ready < quorum %d",
+				ErrNoQuorum, i, len(ready), g.quorum())
+		}
+		readySets[i] = ready
+		g.mu.Lock()
+		targets[i] = g.gen + 1
+		g.mu.Unlock()
+	}
+	txn := fmt.Sprintf("part-%d", pc.txnSeq.Add(1))
+
+	// Phase one: prepare all groups in parallel; verify every staged part
+	// against the checksum the map pins for it.
+	results := make([][]prepRes, pm.K)
+	var wg sync.WaitGroup
+	for i, g := range pc.groups {
+		wg.Add(1)
+		go func(i int, g *Cluster) {
+			defer wg.Done()
+			results[i] = g.preparePhase(ctx, readySets[i], txn, targets[i], "part", paths[i])
+		}(i, g)
+	}
+	wg.Wait()
+	checksums := make([]int64, pm.K)
+	var prepErr error
+	conflict := false
+	for i := range pc.groups {
+		sum, conf, err := evalPrepare(results[i])
+		if err != nil {
+			if prepErr == nil {
+				prepErr = fmt.Errorf("partition %d: %v", i, err)
+			}
+			conflict = conflict || conf
+			continue
+		}
+		if sum != pm.Parts[i].Checksum && prepErr == nil {
+			prepErr = fmt.Errorf("partition %d: staged checksum %d diverges from map's pinned %d",
+				i, sum, pm.Parts[i].Checksum)
+		}
+		checksums[i] = sum
+	}
+	if prepErr != nil {
+		for i, g := range pc.groups {
+			g.abortAll(readySets[i], txn)
+		}
+		pc.logger.Warn("composed mutation aborted in prepare", "txn", txn, "err", prepErr)
+		if conflict {
+			return ComposedResult{}, fmt.Errorf("%w: %w: %v", ErrConflictPrepare, ErrComposedPrepare, prepErr)
+		}
+		return ComposedResult{}, fmt.Errorf("%w: %v", ErrComposedPrepare, prepErr)
+	}
+
+	// Composed point of no return: every group's record exists before any
+	// commit, so a coordinator crash here leaves replay material for all
+	// partitions and the composed generation still advances everywhere.
+	for i, g := range pc.groups {
+		g.recordCommit(genRecord{Gen: targets[i], Checksum: checksums[i], Kind: "part", Path: paths[i]})
+	}
+	pc.mu.Lock()
+	pc.pm = pm
+	pc.mapPath = mapPath
+	pc.mu.Unlock()
+
+	res := ComposedResult{SplitID: pm.SplitID, Groups: make([]MutationResult, pm.K)}
+	for i := range pc.groups {
+		res.Groups[i] = MutationResult{Gen: targets[i], Checksum: checksums[i], Prepared: len(readySets[i])}
+	}
+	for i, g := range pc.groups {
+		wg.Add(1)
+		go func(i int, g *Cluster) {
+			defer wg.Done()
+			g.commitPhase(ctx, readySets[i], txn, targets[i], checksums[i], &res.Groups[i])
+		}(i, g)
+	}
+	wg.Wait()
+	res.Gen = pc.Gen()
+	pc.logger.Info("composed mutation committed",
+		"txn", txn, "gen", res.Gen, "split_id", pm.SplitID)
+	return res, nil
+}
+
+// ---- status ---------------------------------------------------------------
+
+// PartitionStatus is one partition group's row in PartitionedStatus.
+type PartitionStatus struct {
+	Partition int `json:"partition"`
+	// Vertices is the partition's owned-vertex count from the map.
+	Vertices int    `json:"vertices"`
+	Status   Status `json:"status"`
+}
+
+// PartitionedStatus is a point-in-time view of the whole partitioned
+// cluster.
+type PartitionedStatus struct {
+	// Gen is the composed generation (min across groups: advanced only
+	// when every group committed).
+	Gen     int64 `json:"gen"`
+	SplitID int64 `json:"split_id"`
+	K       int   `json:"k"`
+	N       int   `json:"n"`
+	// Pending lists replicas not yet assigned to a partition group.
+	Pending []string          `json:"pending,omitempty"`
+	Groups  []PartitionStatus `json:"groups"`
+	// RemoteServed counts queries served by a non-owner group;
+	// DegradedServed counts total-quorum-loss landmark-bound answers.
+	RemoteServed   int64 `json:"remoteServed"`
+	DegradedServed int64 `json:"degradedServed"`
+}
+
+// Status reports the composed cluster view, groups ordered by partition id.
+func (pc *PartitionedCluster) Status() PartitionedStatus {
+	pc.mu.Lock()
+	pm := pc.pm
+	pending := append([]string(nil), pc.pending...)
+	pc.mu.Unlock()
+	st := PartitionedStatus{
+		Gen:            pc.Gen(),
+		SplitID:        pm.SplitID,
+		K:              pm.K,
+		N:              pm.N,
+		Pending:        pending,
+		RemoteServed:   pc.remoteServed.Load(),
+		DegradedServed: pc.degradedServed.Load(),
+	}
+	for i, g := range pc.groups {
+		st.Groups = append(st.Groups, PartitionStatus{
+			Partition: i,
+			Vertices:  pm.Parts[i].Vertices,
+			Status:    g.Status(),
+		})
+	}
+	return st
+}
+
+// WaitQuorate blocks until every partition group meets its quorum with at
+// least want members ready (startup and test helper).
+func (pc *PartitionedCluster) WaitQuorate(ctx context.Context, want int) error {
+	for {
+		ok := true
+		for _, g := range pc.groups {
+			ready, quorate := pc.quorate(g)
+			if !quorate || len(ready) < want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			st := pc.Status()
+			b, _ := json.Marshal(st.Pending)
+			return fmt.Errorf("clusterserve: partition groups not quorate (pending %s): %v", b, ctx.Err())
+		case <-time.After(pc.base.ProbeInterval / 4):
+		}
+	}
+}

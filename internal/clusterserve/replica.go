@@ -54,6 +54,13 @@ type replicaInfo struct {
 	// Reason says why not ("unadopted", "swap-prepare").
 	Ready  bool   `json:"ready"`
 	Reason string `json:"reason,omitempty"`
+	// Partitioned marks a replica serving one partition of a split graph;
+	// Partition is its id and SplitID names the split it belongs to. The
+	// partition router groups members by Partition and refuses members
+	// whose SplitID disagrees with the loaded map.
+	Partitioned bool  `json:"partitioned,omitempty"`
+	Partition   int   `json:"partition,omitempty"`
+	SplitID     int64 `json:"split_id,omitempty"`
 }
 
 // genMapMax bounds the snapshot→generation translation map; snapshots
@@ -69,12 +76,15 @@ type Replica struct {
 	eng    *serve.Engine
 	logger *slog.Logger
 
-	mu        sync.Mutex
-	staged    *artifact.Artifact
-	stagedTxn string
-	stagedGen int64
-	gen       int64           // committed cluster generation; 0 = unadopted
-	byEngine  map[int64]int64 // engine snapshot id → cluster generation
+	mu         sync.Mutex
+	stagedArt  *artifact.Artifact
+	stagedPart *artifact.Part
+	stagedSum  int64 // checksum of whichever stage is pending
+	stagedTxn  string
+	stagedGen  int64
+	gen        int64           // committed cluster generation; 0 = unadopted
+	byEngine   map[int64]int64 // engine snapshot id → cluster generation
+	sums       map[int64]int64 // engine snapshot id → content checksum (probe cache)
 }
 
 // NewReplica builds the cluster agent for eng. A nil logger discards.
@@ -82,7 +92,8 @@ func NewReplica(eng *serve.Engine, logger *slog.Logger) *Replica {
 	if logger == nil {
 		logger = slog.New(discardHandler{})
 	}
-	return &Replica{eng: eng, logger: logger, byEngine: make(map[int64]int64)}
+	return &Replica{eng: eng, logger: logger,
+		byEngine: make(map[int64]int64), sums: make(map[int64]int64)}
 }
 
 // Gen returns the committed cluster generation (0 before adoption).
@@ -110,27 +121,66 @@ func (r *Replica) Ready() (bool, string) {
 	switch {
 	case r.gen == 0:
 		return false, "unadopted"
-	case r.staged != nil:
+	case r.stagedArt != nil || r.stagedPart != nil:
 		return false, "swap-prepare"
 	}
 	return true, ""
 }
 
+// checksumOf returns the content checksum identifying what snap serves —
+// the part checksum for a partition snapshot (what the partition map pins),
+// the artifact checksum otherwise — memoized per engine snapshot id so the
+// probe loop doesn't refold the FNV every round.
+func (r *Replica) checksumOf(snap *serve.Snapshot) int64 {
+	r.mu.Lock()
+	if sum, ok := r.sums[snap.ID]; ok {
+		r.mu.Unlock()
+		return sum
+	}
+	r.mu.Unlock()
+	var sum int64
+	if p := snap.Part(); p != nil {
+		sum = p.Checksum()
+	} else {
+		sum = snap.Art.Checksum()
+	}
+	r.mu.Lock()
+	r.sums[snap.ID] = sum
+	for len(r.sums) > genMapMax {
+		min := int64(-1)
+		for k := range r.sums {
+			if min < 0 || k < min {
+				min = k
+			}
+		}
+		delete(r.sums, min)
+	}
+	r.mu.Unlock()
+	return sum
+}
+
 // info snapshots the probe answer.
 func (r *Replica) info() replicaInfo {
 	snap := r.eng.Snapshot()
+	checksum := r.checksumOf(snap)
 	ready, reason := r.Ready()
 	r.mu.Lock()
 	gen := r.gen
 	r.mu.Unlock()
-	return replicaInfo{
+	info := replicaInfo{
 		Gen:      gen,
-		Checksum: snap.Art.Checksum(),
+		Checksum: checksum,
 		Snapshot: snap.ID,
 		N:        snap.N(),
 		Ready:    ready,
 		Reason:   reason,
 	}
+	if p := snap.Part(); p != nil {
+		info.Partitioned = true
+		info.Partition = p.ID
+		info.SplitID = p.SplitID
+	}
+	return info
 }
 
 // mapGen records engine snapshot id → cluster generation, pruning the
@@ -177,7 +227,7 @@ func (r *Replica) handleAdopt(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	snap := r.eng.Snapshot()
-	if got := snap.Art.Checksum(); got != body.Checksum {
+	if got := r.checksumOf(snap); got != body.Checksum {
 		writeJSON(w, http.StatusConflict, map[string]any{
 			"err":      "clusterserve: adopt checksum mismatch",
 			"checksum": got,
@@ -193,24 +243,35 @@ func (r *Replica) handleAdopt(w http.ResponseWriter, req *http.Request) {
 }
 
 // handlePrepare is phase one of the two-phase swap: load and verify the
-// new artifact (or apply a delta to the live one), then stage the result
-// without serving it. While a stage is pending the replica reports
-// not-ready. A replica killed here loses only the in-memory stage — its
-// served generation is untouched, which is what makes abort a no-op
-// rollback.
+// new artifact or partition part (or apply a delta to the live one), then
+// stage the result without serving it. While a stage is pending the
+// replica reports not-ready. A replica killed here loses only the
+// in-memory stage — its served generation is untouched, which is what
+// makes abort a no-op rollback.
 func (r *Replica) handlePrepare(w http.ResponseWriter, req *http.Request) {
 	var body struct {
 		Txn      string `json:"txn"`
 		Gen      int64  `json:"gen"`
 		Artifact string `json:"artifact,omitempty"`
 		Delta    string `json:"delta,omitempty"`
+		Part     string `json:"part,omitempty"`
 	}
-	if err := json.NewDecoder(req.Body).Decode(&body); err != nil ||
-		body.Txn == "" || body.Gen <= 0 || (body.Artifact == "") == (body.Delta == "") {
-		writeErr(w, http.StatusBadRequest, `want {"txn":t,"gen":g,"artifact":p}|{"txn":t,"gen":g,"delta":p}`)
+	set := 0
+	if err := json.NewDecoder(req.Body).Decode(&body); err == nil {
+		for _, p := range []string{body.Artifact, body.Delta, body.Part} {
+			if p != "" {
+				set++
+			}
+		}
+	}
+	if body.Txn == "" || body.Gen <= 0 || set != 1 {
+		writeErr(w, http.StatusBadRequest,
+			`want {"txn":t,"gen":g} with exactly one of "artifact"|"delta"|"part"`)
 		return
 	}
-	var staged *artifact.Artifact
+	var stagedArt *artifact.Artifact
+	var stagedPart *artifact.Part
+	var checksum int64
 	switch {
 	case body.Artifact != "":
 		a, err := artifact.Load(body.Artifact)
@@ -218,7 +279,24 @@ func (r *Replica) handlePrepare(w http.ResponseWriter, req *http.Request) {
 			writeErr(w, http.StatusUnprocessableEntity, "loading artifact: "+err.Error())
 			return
 		}
-		staged = a
+		stagedArt, checksum = a, a.Checksum()
+	case body.Part != "":
+		p, err := artifact.LoadPart(body.Part)
+		if err != nil {
+			writeErr(w, http.StatusUnprocessableEntity, "loading part: "+err.Error())
+			return
+		}
+		// A partitioned replica must stay on its own shard: committing a
+		// foreign part would silently reshuffle ownership under the router's
+		// feet. Moving between splits (different SplitID) is fine — that is
+		// exactly what a composed resplit swap does — but the partition id
+		// is pinned.
+		if cur := r.eng.Snapshot().Part(); cur != nil && cur.ID != p.ID {
+			writeErr(w, http.StatusConflict, fmt.Sprintf(
+				"clusterserve: replica serves partition %d, refusing part %d", cur.ID, p.ID))
+			return
+		}
+		stagedPart, checksum = p, p.Checksum()
 	default:
 		d, err := artifact.LoadDelta(body.Delta)
 		if err != nil {
@@ -234,23 +312,25 @@ func (r *Replica) handlePrepare(w http.ResponseWriter, req *http.Request) {
 			writeErr(w, status, err.Error())
 			return
 		}
-		staged = next
+		stagedArt, checksum = next, next.Checksum()
 	}
 	r.mu.Lock()
-	if r.staged != nil && r.stagedTxn != body.Txn {
+	if (r.stagedArt != nil || r.stagedPart != nil) && r.stagedTxn != body.Txn {
 		// A crashed coordinator's orphaned stage; the new transaction
 		// supersedes it (equivalent to an abort of the old one).
 		r.logger.Warn("replacing orphaned staged generation",
 			"old_txn", r.stagedTxn, "new_txn", body.Txn)
 	}
-	r.staged = staged
+	r.stagedArt = stagedArt
+	r.stagedPart = stagedPart
+	r.stagedSum = checksum
 	r.stagedTxn = body.Txn
 	r.stagedGen = body.Gen
 	r.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"txn":      body.Txn,
 		"gen":      body.Gen,
-		"checksum": staged.Checksum(),
+		"checksum": checksum,
 	})
 }
 
@@ -268,14 +348,20 @@ func (r *Replica) handleCommit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	r.mu.Lock()
-	if r.staged == nil || r.stagedTxn != body.Txn {
+	if (r.stagedArt == nil && r.stagedPart == nil) || r.stagedTxn != body.Txn {
 		r.mu.Unlock()
 		writeErr(w, http.StatusConflict,
 			fmt.Sprintf("clusterserve: no staged generation for txn %q", body.Txn))
 		return
 	}
-	staged, gen := r.staged, r.stagedGen
-	snapID, err := r.eng.Swap(staged)
+	gen, sum := r.stagedGen, r.stagedSum
+	var snapID int64
+	var err error
+	if r.stagedPart != nil {
+		snapID, err = r.eng.SwapPart(r.stagedPart)
+	} else {
+		snapID, err = r.eng.Swap(r.stagedArt)
+	}
 	if err != nil {
 		r.mu.Unlock()
 		writeErr(w, http.StatusUnprocessableEntity, err.Error())
@@ -283,7 +369,8 @@ func (r *Replica) handleCommit(w http.ResponseWriter, req *http.Request) {
 	}
 	r.gen = gen
 	r.mapGen(snapID, gen)
-	r.staged, r.stagedTxn, r.stagedGen = nil, "", 0
+	r.sums[snapID] = sum // seed the probe cache; pruned alongside byEngine
+	r.stagedArt, r.stagedPart, r.stagedSum, r.stagedTxn, r.stagedGen = nil, nil, 0, "", 0
 	r.mu.Unlock()
 	r.logger.Info("committed cluster generation", "gen", gen, "snapshot", snapID)
 	writeJSON(w, http.StatusOK, map[string]any{"gen": gen, "snapshot": snapID})
@@ -302,8 +389,8 @@ func (r *Replica) handleAbort(w http.ResponseWriter, req *http.Request) {
 	}
 	r.mu.Lock()
 	aborted := false
-	if r.staged != nil && (body.Txn == "" || r.stagedTxn == body.Txn) {
-		r.staged, r.stagedTxn, r.stagedGen = nil, "", 0
+	if (r.stagedArt != nil || r.stagedPart != nil) && (body.Txn == "" || r.stagedTxn == body.Txn) {
+		r.stagedArt, r.stagedPart, r.stagedSum, r.stagedTxn, r.stagedGen = nil, nil, 0, "", 0
 		aborted = true
 	}
 	r.mu.Unlock()

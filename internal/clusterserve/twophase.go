@@ -61,34 +61,26 @@ func (c *Cluster) Update(ctx context.Context, path string) (MutationResult, erro
 	return c.mutate(ctx, "delta", path)
 }
 
-func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult, error) {
-	c.mutMu.Lock()
-	defer c.mutMu.Unlock()
+// prepRes is one replica's phase-one outcome.
+type prepRes struct {
+	m        *member
+	checksum int64
+	status   int
+	err      error
+}
 
-	ready := c.readyMembers()
-	if len(ready) < c.quorum() {
-		return MutationResult{}, fmt.Errorf("%w: %d ready < quorum %d — refusing a mutation that could not be verified on a majority",
-			ErrNoQuorum, len(ready), c.quorum())
-	}
-	c.mu.Lock()
-	target := c.gen + 1
-	c.mu.Unlock()
-	txn := fmt.Sprintf("g%d-%d", target, c.txnSeq.Add(1))
-
-	// Phase one: prepare everywhere, in parallel.
-	type prepRes struct {
-		m        *member
-		checksum int64
-		status   int
-		err      error
-	}
-	results := make([]prepRes, len(ready))
+// preparePhase pushes {kind: path} to every member in parallel and collects
+// each staged checksum. It does not interpret the results — evalPrepare
+// does, and composed (multi-partition) mutations apply their own stricter
+// checks against the partition map.
+func (c *Cluster) preparePhase(ctx context.Context, members []*member, txn string, gen int64, kind, path string) []prepRes {
+	results := make([]prepRes, len(members))
 	var wg sync.WaitGroup
-	for i, m := range ready {
+	for i, m := range members {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			body := map[string]any{"txn": txn, "gen": target, kind: path}
+			body := map[string]any{"txn": txn, "gen": gen, kind: path}
 			var out struct {
 				Checksum int64 `json:"checksum"`
 			}
@@ -97,15 +89,19 @@ func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult
 		}(i, m)
 	}
 	wg.Wait()
+	return results
+}
 
-	var prepErr error
-	conflict := false
-	checksum := int64(0)
+// evalPrepare folds phase-one results into a single staged checksum,
+// reporting the first failure and whether any replica refused with a state
+// conflict (409). Checksum divergence between replicas that read the same
+// path is a failure: nothing is safe to commit.
+func evalPrepare(results []prepRes) (checksum int64, conflict bool, err error) {
 	for _, r := range results {
 		switch {
 		case r.err != nil:
-			if prepErr == nil {
-				prepErr = r.err
+			if err == nil {
+				err = r.err
 			}
 			if r.status == http.StatusConflict {
 				conflict = true
@@ -115,43 +111,41 @@ func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult
 		case r.checksum != checksum:
 			// Replicas verified different artifacts from the same path —
 			// divergent filesystems or a torn write. Nothing safe to commit.
-			if prepErr == nil {
-				prepErr = fmt.Errorf("staged checksum divergence: %d vs %d on %s",
+			if err == nil {
+				err = fmt.Errorf("staged checksum divergence: %d vs %d on %s",
 					checksum, r.checksum, r.m.url)
 			}
 		}
 	}
-	if prepErr != nil {
-		c.abortAll(ready, txn)
-		c.cfg.Logger.Warn("mutation aborted in prepare",
-			"txn", txn, "gen", target, "err", prepErr)
-		if conflict {
-			return MutationResult{}, fmt.Errorf("%w: %v", ErrConflictPrepare, prepErr)
-		}
-		return MutationResult{}, fmt.Errorf("%w: %v", ErrPrepare, prepErr)
-	}
+	return checksum, conflict, err
+}
 
-	// Point of no return: from the first commit call onward some replica
-	// may serve the new generation, so the record must exist before any
-	// answer can carry it.
+// recordCommit appends the generation record and advances the committed
+// generation — the point of no return: from the first commit call onward
+// some replica may serve the new generation, so the record must exist
+// before any answer can carry it.
+func (c *Cluster) recordCommit(rec genRecord) {
 	c.mu.Lock()
-	c.records = append(c.records, genRecord{Gen: target, Checksum: checksum, Kind: kind, Path: path})
-	c.gen = target
+	c.records = append(c.records, rec)
+	c.gen = rec.Gen
 	c.mu.Unlock()
+}
 
-	// Phase two: commit everywhere, in parallel. Failures eject (the
-	// prober replays them back in); successes route immediately.
-	res := MutationResult{Gen: target, Checksum: checksum, Prepared: len(ready)}
+// commitPhase cuts every prepared member over in parallel. Failures eject
+// (the prober replays them back in); successes route immediately. The
+// committed/ejected tallies are folded into res.
+func (c *Cluster) commitPhase(ctx context.Context, members []*member, txn string, gen, checksum int64, res *MutationResult) {
 	type comRes struct {
 		m   *member
 		err error
 	}
-	coms := make([]comRes, len(ready))
-	for i, m := range ready {
+	coms := make([]comRes, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			_, err := c.post(ctx, m, "/cluster/commit", map[string]any{"txn": txn, "gen": target}, nil)
+			_, err := c.post(ctx, m, "/cluster/commit", map[string]any{"txn": txn, "gen": gen}, nil)
 			coms[i] = comRes{m: m, err: err}
 		}(i, m)
 	}
@@ -160,7 +154,7 @@ func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult
 		if r.err == nil {
 			res.Committed++
 			r.m.mu.Lock()
-			r.m.gen = target
+			r.m.gen = gen
 			r.m.checksum = checksum
 			r.m.mu.Unlock()
 			continue
@@ -176,8 +170,42 @@ func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult
 			c.ejections.Add(1)
 		}
 		c.cfg.Logger.Warn("replica ejected: commit failed",
-			"url", r.m.url, "txn", txn, "gen", target, "err", r.err)
+			"url", r.m.url, "txn", txn, "gen", gen, "err", r.err)
 	}
+}
+
+func (c *Cluster) mutate(ctx context.Context, kind, path string) (MutationResult, error) {
+	c.mutMu.Lock()
+	defer c.mutMu.Unlock()
+
+	ready := c.readyMembers()
+	if len(ready) < c.quorum() {
+		return MutationResult{}, fmt.Errorf("%w: %d ready < quorum %d — refusing a mutation that could not be verified on a majority",
+			ErrNoQuorum, len(ready), c.quorum())
+	}
+	c.mu.Lock()
+	target := c.gen + 1
+	c.mu.Unlock()
+	txn := fmt.Sprintf("g%d-%d", target, c.txnSeq.Add(1))
+
+	// Phase one: prepare everywhere, in parallel.
+	results := c.preparePhase(ctx, ready, txn, target, kind, path)
+	checksum, conflict, prepErr := evalPrepare(results)
+	if prepErr != nil {
+		c.abortAll(ready, txn)
+		c.cfg.Logger.Warn("mutation aborted in prepare",
+			"txn", txn, "gen", target, "err", prepErr)
+		if conflict {
+			return MutationResult{}, fmt.Errorf("%w: %v", ErrConflictPrepare, prepErr)
+		}
+		return MutationResult{}, fmt.Errorf("%w: %v", ErrPrepare, prepErr)
+	}
+
+	c.recordCommit(genRecord{Gen: target, Checksum: checksum, Kind: kind, Path: path})
+
+	// Phase two: commit everywhere, in parallel.
+	res := MutationResult{Gen: target, Checksum: checksum, Prepared: len(ready)}
+	c.commitPhase(ctx, ready, txn, target, checksum, &res)
 	c.cfg.Logger.Info("mutation committed",
 		"txn", txn, "kind", kind, "gen", target, "checksum", checksum,
 		"committed", res.Committed, "ejected", len(res.Ejected))

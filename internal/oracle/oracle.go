@@ -226,3 +226,37 @@ func (o *Oracle) Size() int {
 // Spanner returns the union of the oracle's shortest-path forests and
 // bunch paths: a (2k−1)-spanner of expected size O(k·n^{1+1/k}).
 func (o *Oracle) Spanner() *graph.EdgeSet { return o.spanner }
+
+// PruneBunches returns a copy of the oracle whose bunches are kept only for
+// vertices where keep[v] is true; every other bunch becomes nil. The witness
+// and distance tables are shared (they are never mutated after New), so the
+// copy costs O(n) plus the retained bunch maps. Query(u,v) on the pruned
+// copy is bit-identical to the original whenever both endpoints' bunches
+// were kept — the Thorup–Zwick walk reads only bunch[u], bunch[v] and the
+// global witness/distance rows of u and v. Queries touching a pruned
+// endpoint are not meaningful (the nil-map lookups are safe but can report
+// Unreachable for connected pairs); callers must route such pairs elsewhere.
+func (o *Oracle) PruneBunches(keep []bool) *Oracle {
+	n := o.g.N()
+	p := &Oracle{
+		g:       o.g,
+		k:       o.k,
+		level:   o.level,
+		witness: o.witness,
+		distTo:  o.distTo,
+		bunch:   make([]map[int32]int32, n),
+		spanner: o.spanner,
+	}
+	for v := 0; v < n; v++ {
+		if v < len(keep) && keep[v] {
+			p.bunch[v] = o.bunch[v]
+		}
+	}
+	return p
+}
+
+// Covered reports whether vertex v's bunch is present (i.e. survived any
+// PruneBunches call); only pairs of covered vertices get exact answers.
+func (o *Oracle) Covered(v int32) bool {
+	return v >= 0 && int(v) < len(o.bunch) && o.bunch[v] != nil
+}

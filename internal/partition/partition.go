@@ -1,0 +1,196 @@
+// Package partition splits a built serving artifact into K per-partition
+// artifacts plus a partition map, so a cluster of daemons can each hold a
+// slice of a graph too large for one machine.
+//
+// The cut follows the structure the paper's construction already provides:
+// every vertex belongs to the cluster of its nearest landmark (the routing
+// scheme's sampled landmark set, the same hierarchy the spanner and the
+// Thorup–Zwick oracle are built on), so whole landmark clusters are
+// assigned to partitions — queries between vertices of the same cluster
+// never cross a partition. Each partition replicates a boundary set: every
+// endpoint of a cut edge is copied into the partitions on the other side,
+// together with its oracle bunch, so distance queries between a partition's
+// own vertices and its immediate neighborhood stay bit-identical to the
+// unpartitioned oracle. Cross-partition distances are answered through the
+// landmark distance rows (carried in full by every part) as a certified
+// upper/lower bound pair — the same boundary-certificate idea as the
+// connectivity certificates of Bezdrighin et al.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"spanner/internal/artifact"
+	"spanner/internal/graph"
+)
+
+// Result is a complete split: the map plus the K parts, in id order. The
+// map's part refs carry checksums but empty paths; callers that save the
+// parts fill in the file names before saving the map.
+type Result struct {
+	Map   *artifact.PartitionMap
+	Parts []*artifact.Part
+}
+
+// Split partitions art into k parts. Assignment is deterministic in
+// (art, k): vertices are grouped by their nearest landmark, groups are
+// packed onto partitions greedily (largest group first, onto the currently
+// lightest partition), and the seed participates only in the SplitID so
+// re-splitting with a different seed is distinguishable downstream.
+func Split(art *artifact.Artifact, k int, seed int64) (*Result, error) {
+	if art == nil {
+		return nil, fmt.Errorf("partition: nil artifact")
+	}
+	n := art.Graph.N()
+	if k < 1 {
+		return nil, fmt.Errorf("partition: k must be >= 1, got %d", k)
+	}
+	owner, err := assign(art, k, n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Boundary replication: every endpoint of a cut edge joins the boundary
+	// set of the partition on the other side. With the boundary in place,
+	// each partition's covered set (owned ∪ boundary) is closed under "one
+	// hop from an owned vertex", so any query between an owned vertex and a
+	// direct neighbor is answered exactly.
+	owned := make([][]bool, k)
+	boundary := make([][]bool, k)
+	for p := 0; p < k; p++ {
+		owned[p] = make([]bool, n)
+		boundary[p] = make([]bool, n)
+	}
+	for v := 0; v < n; v++ {
+		owned[owner[v]][v] = true
+	}
+	art.Graph.ForEachEdge(func(u, v int32) {
+		pu, pv := owner[u], owner[v]
+		if pu == pv {
+			return
+		}
+		boundary[pv][u] = true
+		boundary[pu][v] = true
+	})
+	for p := 0; p < k; p++ {
+		for v := 0; v < n; v++ {
+			if owned[p][v] {
+				boundary[p][v] = false
+			}
+		}
+	}
+
+	baseSum := art.Checksum()
+	splitID := artifact.ComputeSplitID(baseSum, k, seed)
+	parts := make([]*artifact.Part, k)
+	refs := make([]artifact.PartRef, k)
+	for p := 0; p < k; p++ {
+		part, err := buildPart(art, p, k, splitID, owned[p], boundary[p])
+		if err != nil {
+			return nil, err
+		}
+		parts[p] = part
+		verts := 0
+		for v := 0; v < n; v++ {
+			if owned[p][v] {
+				verts++
+			}
+		}
+		refs[p] = artifact.PartRef{ID: p, Checksum: part.Checksum(), Vertices: verts}
+	}
+	m := &artifact.PartitionMap{
+		K:            k,
+		SplitID:      splitID,
+		BaseChecksum: baseSum,
+		N:            n,
+		Owner:        owner,
+		Parts:        refs,
+	}
+	return &Result{Map: m, Parts: parts}, nil
+}
+
+// assign maps every vertex to a partition by packing whole landmark
+// clusters: groups sorted by (size desc, landmark asc) go one at a time to
+// the currently lightest partition (ties to the lowest id). Deterministic,
+// and balanced to within the largest group size.
+func assign(art *artifact.Artifact, k, n int) ([]int32, error) {
+	groups := make(map[int32][]int32)
+	for v := int32(0); int(v) < n; v++ {
+		lm := art.Routing.AddressOf(v).Landmark
+		groups[lm] = append(groups[lm], v)
+	}
+	if len(groups) < k {
+		return nil, fmt.Errorf("partition: %d landmark clusters cannot fill %d partitions", len(groups), k)
+	}
+	type group struct {
+		lm      int32
+		members []int32
+	}
+	ordered := make([]group, 0, len(groups))
+	for lm, members := range groups {
+		ordered = append(ordered, group{lm: lm, members: members})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if len(ordered[i].members) != len(ordered[j].members) {
+			return len(ordered[i].members) > len(ordered[j].members)
+		}
+		return ordered[i].lm < ordered[j].lm
+	})
+	owner := make([]int32, n)
+	load := make([]int, k)
+	for _, g := range ordered {
+		best := 0
+		for p := 1; p < k; p++ {
+			if load[p] < load[best] {
+				best = p
+			}
+		}
+		load[best] += len(g.members)
+		for _, v := range g.members {
+			owner[v] = int32(best)
+		}
+	}
+	return owner, nil
+}
+
+// buildPart assembles one partition's self-contained artifact: the graph
+// induced on the covered set plus the full spanner (path queries stay exact
+// everywhere), the oracle with bunches pruned to the covered set, and the
+// full routing scheme (landmark trees feed the composed cross-partition
+// bounds). The global vertex count is preserved so vertex ids need no
+// translation anywhere in the serving path.
+func buildPart(art *artifact.Artifact, id, k int, splitID int64, owned, boundary []bool) (*artifact.Part, error) {
+	n := art.Graph.N()
+	covered := make([]bool, n)
+	for v := 0; v < n; v++ {
+		covered[v] = owned[v] || boundary[v]
+	}
+	edges := graph.NewEdgeSet(art.Spanner.Len())
+	art.Graph.ForEachEdge(func(u, v int32) {
+		if covered[u] && covered[v] {
+			edges.Add(u, v)
+		}
+	})
+	for _, key := range art.Spanner.Keys() {
+		edges.AddKey(key)
+	}
+	pg := edges.ToGraph(n)
+	pa := &artifact.Artifact{
+		Algo:    art.Algo,
+		Seed:    art.Seed,
+		K:       art.K,
+		Graph:   pg,
+		Spanner: art.Spanner,
+		Oracle:  art.Oracle.PruneBunches(covered),
+		Routing: art.Routing,
+	}
+	return &artifact.Part{
+		ID:       id,
+		K:        k,
+		SplitID:  splitID,
+		Owned:    owned,
+		Boundary: boundary,
+		Art:      pa,
+	}, nil
+}

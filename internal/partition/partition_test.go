@@ -1,0 +1,271 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"spanner/internal/artifact"
+	"spanner/internal/graph"
+)
+
+func testArtifact(t testing.TB, n int, seed int64) *artifact.Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.ConnectedGnp(n, 10/float64(n), rng)
+	sp := graph.NewEdgeSet(g.N())
+	for v := int32(0); int(v) < g.N(); v++ {
+		_, parent := g.BFSWithParents(v)
+		for u := int32(0); int(u) < g.N(); u++ {
+			if parent[u] != graph.Unreachable && parent[u] != u {
+				sp.Add(u, parent[u])
+			}
+		}
+		break // one BFS tree from vertex 0 is enough on a connected graph
+	}
+	a, err := artifact.Build(g, sp, "test", 3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSplitInvariants(t *testing.T) {
+	a := testArtifact(t, 200, 5)
+	n := a.Graph.N()
+	res, err := Split(a, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 3 || res.Map.K != 3 || res.Map.N != n {
+		t.Fatalf("wrong shape: %d parts, K=%d", len(res.Parts), res.Map.K)
+	}
+
+	// Every vertex owned by exactly the partition the map says.
+	for v := int32(0); int(v) < n; v++ {
+		ownerCount := 0
+		for _, p := range res.Parts {
+			if p.Owns(v) {
+				ownerCount++
+				if int32(p.ID) != res.Map.Owner[v] {
+					t.Fatalf("part %d owns %d but map says %d", p.ID, v, res.Map.Owner[v])
+				}
+			}
+		}
+		if ownerCount != 1 {
+			t.Fatalf("vertex %d owned by %d partitions", v, ownerCount)
+		}
+	}
+
+	// No partition is empty, and ref vertex counts match.
+	for i, ref := range res.Map.Parts {
+		if ref.Vertices == 0 {
+			t.Fatalf("partition %d owns no vertices", i)
+		}
+		count := 0
+		for v := int32(0); int(v) < n; v++ {
+			if res.Parts[i].Owns(v) {
+				count++
+			}
+		}
+		if count != ref.Vertices {
+			t.Fatalf("partition %d: ref says %d vertices, part owns %d", i, ref.Vertices, count)
+		}
+	}
+
+	// Landmark clusters never straddle partitions.
+	for v := int32(0); int(v) < n; v++ {
+		lm := a.Routing.AddressOf(v).Landmark
+		if lm >= 0 && res.Map.Owner[v] != res.Map.Owner[lm] {
+			t.Fatalf("vertex %d (owner %d) split from its landmark %d (owner %d)",
+				v, res.Map.Owner[v], lm, res.Map.Owner[lm])
+		}
+	}
+
+	// Boundary = cut-edge endpoints: every cut edge's far endpoint is
+	// covered on the near side, so the part graph retains every edge
+	// incident to an owned vertex.
+	a.Graph.ForEachEdge(func(u, v int32) {
+		pu, pv := res.Map.Owner[u], res.Map.Owner[v]
+		if pu == pv {
+			return
+		}
+		if !res.Parts[pu].Covered(v) || !res.Parts[pv].Covered(u) {
+			t.Fatalf("cut edge (%d,%d) endpoint not replicated", u, v)
+		}
+	})
+	for _, p := range res.Parts {
+		pg := p.Art.Graph
+		a.Graph.ForEachEdge(func(u, v int32) {
+			if (p.Owns(u) || p.Owns(v)) && !pg.HasEdge(u, v) {
+				t.Fatalf("part %d dropped incident edge (%d,%d)", p.ID, u, v)
+			}
+		})
+		// Full spanner present in every part (exact paths everywhere).
+		for _, key := range a.Spanner.Keys() {
+			su, sv := graph.UnpackEdgeKey(key)
+			if !pg.HasEdge(su, sv) {
+				t.Fatalf("part %d dropped spanner edge (%d,%d)", p.ID, su, sv)
+			}
+		}
+	}
+
+	// Map verifies every part; parts carry the split identity.
+	for _, p := range res.Parts {
+		if err := res.Map.Verify(p); err != nil {
+			t.Fatalf("part %d fails verification: %v", p.ID, err)
+		}
+		if p.SplitID != res.Map.SplitID {
+			t.Fatal("split id mismatch")
+		}
+	}
+}
+
+func TestSplitAnswerEquivalence(t *testing.T) {
+	a := testArtifact(t, 150, 7)
+	n := a.Graph.N()
+	res, err := Split(a, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Covered pairs answer bit-identically to the unpartitioned oracle —
+	// including after a codec round trip, which is how serving loads parts.
+	for _, p := range res.Parts {
+		q, err := artifact.UnmarshalPart(p.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := int32(0); int(u) < n; u += 2 {
+			if !q.Covered(u) {
+				continue
+			}
+			for v := int32(0); int(v) < n; v += 3 {
+				if !q.Covered(v) {
+					continue
+				}
+				if got, want := q.Art.Oracle.Query(u, v), a.Oracle.Query(u, v); got != want {
+					t.Fatalf("part %d: oracle(%d,%d)=%d, unpartitioned says %d", p.ID, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitComposedBounds(t *testing.T) {
+	a := testArtifact(t, 120, 9)
+	n := a.Graph.N()
+	if _, err := Split(a, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The composed cross-partition estimate min_t(d(u,t)+d(t,v)) over the
+	// landmark trees is an upper bound on the true distance, the
+	// certificate max_t|d(u,t)−d(t,v)| a lower bound, and the upper bound
+	// is within 2·min(δ(u,L), δ(v,L)) of the truth — the bound the README
+	// publishes for Composed answers.
+	lm := a.Routing.LandmarkDistances()
+	for u := int32(0); int(u) < n; u += 7 {
+		dist, _ := a.Graph.BFSWithParents(u)
+		for v := int32(0); int(v) < n; v += 5 {
+			if u == v {
+				continue
+			}
+			const inf = int32(1<<31 - 1)
+			upper, lower := inf, int32(0)
+			radiusU, radiusV := inf, inf
+			for t2 := range lm {
+				du, dv := lm[t2][u], lm[t2][v]
+				if du == graph.Unreachable || dv == graph.Unreachable {
+					continue
+				}
+				if du+dv < upper {
+					upper = du + dv
+				}
+				diff := du - dv
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > lower {
+					lower = diff
+				}
+				if du < radiusU {
+					radiusU = du
+				}
+				if dv < radiusV {
+					radiusV = dv
+				}
+			}
+			truth := dist[v]
+			if truth == graph.Unreachable {
+				continue
+			}
+			if upper == inf {
+				t.Fatalf("no landmark bound for connected pair (%d,%d)", u, v)
+			}
+			if upper < truth || lower > truth {
+				t.Fatalf("(%d,%d): bounds [%d,%d] do not sandwich %d", u, v, lower, upper, truth)
+			}
+			slack := 2 * radiusU
+			if 2*radiusV < slack {
+				slack = 2 * radiusV
+			}
+			if upper > truth+slack {
+				t.Fatalf("(%d,%d): upper %d exceeds published bound %d+%d", u, v, upper, truth, slack)
+			}
+		}
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := testArtifact(t, 100, 13)
+	r1, err := Split(a, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Split(a, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Map.Checksum() != r2.Map.Checksum() {
+		t.Fatal("map not deterministic")
+	}
+	for i := range r1.Parts {
+		if r1.Parts[i].Checksum() != r2.Parts[i].Checksum() {
+			t.Fatalf("part %d not deterministic", i)
+		}
+	}
+	// A different seed is a different split identity (but same assignment).
+	r3, err := Split(a, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Map.SplitID == r1.Map.SplitID {
+		t.Fatal("seed does not feed the split id")
+	}
+	for v := 0; v < r1.Map.N; v++ {
+		if r1.Map.Owner[v] != r3.Map.Owner[v] {
+			t.Fatal("assignment must not depend on the seed")
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	a := testArtifact(t, 60, 1)
+	if _, err := Split(a, 0, 0); err == nil {
+		t.Fatal("k=0 must error")
+	}
+	if _, err := Split(nil, 2, 0); err == nil {
+		t.Fatal("nil artifact must error")
+	}
+	if _, err := Split(a, 10_000, 0); err == nil {
+		t.Fatal("k beyond cluster count must error")
+	}
+	// K=1 degenerates to one full-coverage part.
+	res, err := Split(a, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < a.Graph.N(); v++ {
+		if !res.Parts[0].Owns(v) {
+			t.Fatalf("k=1 part does not own vertex %d", v)
+		}
+	}
+}

@@ -19,10 +19,11 @@ type lruEntry struct {
 // cacheVal is a memoized query outcome (everything except per-request
 // bookkeeping like latency and snapshot id).
 type cacheVal struct {
-	dist  int32
-	bound int32
-	path  []int32
-	err   error
+	dist     int32
+	bound    int32
+	path     []int32
+	err      error
+	composed bool
 }
 
 func newLRU(capacity int) *lruCache {

@@ -124,6 +124,11 @@ var (
 	// brownout (the SLO monitor paged). Retrying immediately will not help;
 	// back off until the burn subsides.
 	ErrBrownout = errors.New("serve: brownout, low-priority traffic shed")
+	// ErrPartitioned reports a query type a partition member cannot serve:
+	// route queries need the full graph's edges to validate hops, which a
+	// part snapshot does not hold. Ask an unpartitioned engine (or the
+	// router, which refuses it with the same error).
+	ErrPartitioned = errors.New("serve: query not served by a partition member")
 )
 
 // Request is one query.
@@ -156,7 +161,9 @@ type Reply struct {
 	// QueryDist or unreachable pairs).
 	Path []int32
 	// Bound is QueryRoute's cached-landmark-distance upper bound on the
-	// landmark route (graph.Unreachable when undefined).
+	// landmark route, or — for Composed distance replies — the certified
+	// lower bound max_t |d(u,t)−d(t,v)| ≤ dist(u,v) (graph.Unreachable when
+	// undefined).
 	Bound int32
 	// Cached reports whether the answer came from the shard's LRU.
 	Cached bool
@@ -165,6 +172,11 @@ type Reply struct {
 	// the shard queue is full rather than failing the request. Always
 	// explicitly flagged, never silently substituted.
 	Degraded bool
+	// Composed reports a cross-partition distance answer on a part snapshot:
+	// Dist is the landmark-relay upper bound min_t(d(u,t)+d(t,v)) and Bound
+	// carries the matching lower bound, because at least one endpoint's
+	// oracle bunch lives in another partition. Always explicitly flagged.
+	Composed bool
 	// SnapshotID identifies the artifact generation that answered.
 	SnapshotID int64
 	// Err is nil on success or one of the typed errors above.
@@ -291,6 +303,7 @@ type Engine struct {
 	latency   [numQueryTypes]*obs.Histogram
 	rejects   map[string]*obs.Counter
 	degraded  *obs.Counter
+	composed  *obs.Counter
 	brownouts *obs.Counter
 	swaps     *obs.Counter
 	batches   *obs.Histogram
@@ -324,10 +337,11 @@ func New(a *artifact.Artifact, cfg Config) (*Engine, error) {
 		e.misses[t] = reg.Counter("serve.cache.misses", lbl)
 		e.latency[t] = reg.Histogram("serve.latency_us", lbl)
 	}
-	for _, reason := range []string{"overload", "deadline", "vertex", "type", "closed", "brownout"} {
+	for _, reason := range []string{"overload", "deadline", "vertex", "type", "closed", "brownout", "partition"} {
 		e.rejects[reason] = reg.Counter("serve.rejects", obs.Label{Key: "reason", Value: reason})
 	}
 	e.degraded = reg.Counter("serve.degraded")
+	e.composed = reg.Counter("serve.composed")
 	e.brownouts = reg.Counter("serve.brownouts")
 	e.swaps = reg.Counter("serve.swaps")
 	e.updates = reg.Counter("serve.updates")
@@ -449,6 +463,38 @@ func (e *Engine) Swap(a *artifact.Artifact) (int64, error) {
 	return snap.ID, nil
 }
 
+// NewPart builds an engine serving one partition of a split artifact:
+// distance queries between covered vertices are bit-identical to the
+// unpartitioned oracle, distance queries with an uncovered endpoint come
+// back as flagged Composed landmark brackets, path queries stay exact
+// everywhere (every part carries the full spanner), and route queries are
+// refused with ErrPartitioned.
+func NewPart(p *artifact.Part, cfg Config) (*Engine, error) {
+	if p == nil || p.Art == nil {
+		return nil, errors.New("serve: nil part")
+	}
+	e, err := New(p.Art, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Reinstall the initial snapshot with the part metadata attached — no
+	// queries have run yet, so reusing the generation id is safe.
+	e.snap.Store(newPartSnapshot(p, e.snap.Load().ID))
+	return e, nil
+}
+
+// SwapPart atomically installs a new partition generation under live
+// traffic, the part-snapshot counterpart of Swap.
+func (e *Engine) SwapPart(p *artifact.Part) (int64, error) {
+	if p == nil || p.Art == nil || p.Art.Graph == nil || p.Art.Spanner == nil || p.Art.Oracle == nil || p.Art.Routing == nil {
+		return 0, errors.New("serve: incomplete part")
+	}
+	snap := newPartSnapshot(p, e.snapSeq.Add(1))
+	e.snap.Store(snap)
+	e.swaps.Inc()
+	return snap.ID, nil
+}
+
 // shardFor hashes an endpoint pair to a shard, so repeated queries for the
 // same pair land on the same cache.
 func (e *Engine) shardFor(u, v int32) *shard {
@@ -458,9 +504,11 @@ func (e *Engine) shardFor(u, v int32) *shard {
 }
 
 // sloFailed reports whether a reply counts against the availability
-// objective. ErrNoRoute is a valid answer about the graph, not a failure.
+// objective. ErrNoRoute is a valid answer about the graph, and
+// ErrPartitioned a correct refusal of a query type this member does not
+// serve — neither is an availability failure.
 func sloFailed(err error) bool {
-	return err != nil && !errors.Is(err, ErrNoRoute)
+	return err != nil && !errors.Is(err, ErrNoRoute) && !errors.Is(err, ErrPartitioned)
 }
 
 // reject finishes a request answered (or refused) at admission time:
@@ -744,6 +792,7 @@ func (e *Engine) process(s *shard, t task) {
 	if c := s.caches[req.Type]; c != nil {
 		if cv, ok := c.get(key); ok {
 			r.Dist, r.Bound, r.Path, r.Err = cv.dist, cv.bound, cv.path, cv.err
+			r.Composed = cv.composed
 			r.Cached = true
 			e.hits[req.Type].Inc()
 			e.queries[req.Type].Inc()
@@ -769,7 +818,17 @@ func (e *Engine) process(s *shard, t task) {
 	cv.bound = graph.Unreachable
 	switch req.Type {
 	case QueryDist:
-		cv.dist = snap.Art.Oracle.Query(req.U, req.V)
+		if req.U != req.V && (!snap.Covered(req.U) || !snap.Covered(req.V)) {
+			// Part snapshot, endpoint bunch pruned away: the exact oracle
+			// walk is not available here, so answer the landmark-relay
+			// bracket, explicitly flagged Composed with its lower-bound
+			// certificate in Bound.
+			cv.dist, cv.bound = snap.ComposeDist(req.U, req.V)
+			cv.composed = true
+			e.composed.Inc()
+		} else {
+			cv.dist = snap.Art.Oracle.Query(req.U, req.V)
+		}
 	case QueryPath:
 		cv.path = snap.spannerPath(req.U, req.V, &s.scratch)
 		if cv.path == nil {
@@ -778,6 +837,15 @@ func (e *Engine) process(s *shard, t task) {
 			cv.dist = int32(len(cv.path) - 1)
 		}
 	case QueryRoute:
+		if snap.part != nil {
+			// The part graph lacks foreign edges, so the routing tables'
+			// hop validation would fail spuriously; refuse instead of
+			// producing unusable routes.
+			cv.dist = graph.Unreachable
+			cv.err = ErrPartitioned
+			e.rejects["partition"].Inc()
+			break
+		}
 		path, err := snap.Art.Routing.Route(req.U, req.V)
 		cv.bound = snap.RouteBound(req.U, req.V)
 		if err != nil {
@@ -803,6 +871,7 @@ func (e *Engine) process(s *shard, t task) {
 		c.put(key, cv)
 	}
 	r.Dist, r.Bound, r.Path, r.Err = cv.dist, cv.bound, cv.path, cv.err
+	r.Composed = cv.composed
 	e.queries[req.Type].Inc()
 	end := time.Now()
 	if traced {

@@ -26,6 +26,11 @@ type Snapshot struct {
 	// computed once here so Route replies can attach the landmark-route
 	// bound without per-query tree walks.
 	lmDist [][]int32
+	// part, when non-nil, marks this snapshot as one partition of a split:
+	// distance queries with an uncovered endpoint are answered as composed
+	// landmark bounds, and route queries are refused (the part graph lacks
+	// the foreign edges routing tables assume).
+	part *artifact.Part
 }
 
 func newSnapshot(a *artifact.Artifact, id int64) *Snapshot {
@@ -35,6 +40,55 @@ func newSnapshot(a *artifact.Artifact, id int64) *Snapshot {
 		spanner: a.Spanner.ToGraph(a.Graph.N()),
 		lmDist:  a.Routing.LandmarkDistances(),
 	}
+}
+
+func newPartSnapshot(p *artifact.Part, id int64) *Snapshot {
+	s := newSnapshot(p.Art, id)
+	s.part = p
+	return s
+}
+
+// Part returns the partition this snapshot serves, or nil for a whole-graph
+// snapshot.
+func (s *Snapshot) Part() *artifact.Part { return s.part }
+
+// Covered reports whether dist queries touching v are exact on this
+// snapshot: always for whole-graph snapshots, only for the partition's
+// owned ∪ boundary set on part snapshots.
+func (s *Snapshot) Covered(v int32) bool {
+	return s.part == nil || s.part.Covered(v)
+}
+
+// ComposeDist returns the landmark-relay bracket on dist(u,v): upper is
+// min over every landmark tree t of d(u,t)+d(t,v) — a true upper bound,
+// within 2·min(δ(u,L), δ(v,L)) of the exact distance — and lower is the
+// triangle-inequality certificate max_t |d(u,t)−d(t,v)| ≤ dist(u,v). The
+// landmark distance rows are global (every part carries the full routing
+// scheme), so the bracket is exact even on a pruned part snapshot. Returns
+// (graph.Unreachable, 0) when no landmark reaches both endpoints.
+func (s *Snapshot) ComposeDist(u, v int32) (upper, lower int32) {
+	const inf = int32(1<<31 - 1)
+	upper, lower = inf, 0
+	for t := range s.lmDist {
+		du, dv := s.lmDist[t][u], s.lmDist[t][v]
+		if du == graph.Unreachable || dv == graph.Unreachable {
+			continue
+		}
+		if du+dv < upper {
+			upper = du + dv
+		}
+		diff := du - dv
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > lower {
+			lower = diff
+		}
+	}
+	if upper == inf {
+		return graph.Unreachable, 0
+	}
+	return upper, lower
 }
 
 // N returns the vertex count of the snapshot's graph.
