@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck clustercheck partcheck check clean
+.PHONY: all build test test-short race bench experiments fuzz fmt fmtcheck vet faultcheck serve dynamic obscheck chaoscheck clustercheck partcheck wirecheck check clean
 
 all: build vet test
 
@@ -56,6 +56,7 @@ faultcheck:
 	$(GO) test -fuzz=FuzzUpdateLogRecovery -fuzztime=10s ./internal/dynamic
 	$(GO) test -fuzz=FuzzPartDecode -fuzztime=10s ./internal/artifact
 	$(GO) test -fuzz=FuzzPartitionMapDecode -fuzztime=10s ./internal/artifact
+	$(GO) test -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wire
 
 # The serving-layer gate: artifact codec, query engine and daemon tests
 # under the race detector, plus the root round-trip/hot-swap integration
@@ -125,10 +126,24 @@ partcheck:
 		./internal/partition/... ./internal/artifact/... ./internal/serve/... ./internal/clusterserve/...
 	$(GO) test -run TestPartitionedNodeKillChaos -race -count=1 -timeout 300s ./cmd/spannerrouter/
 
+# The binary-transport gate: the wire codec and server plus the pooled,
+# pipelined binary client under the race detector (pipelining, coalescing,
+# pooling/scavenging, breaker and retry semantics), the cross-transport
+# equivalence suite (identical query streams over HTTP/JSON and binary wire
+# return byte-identical answers, including degraded/composed flags and
+# typed-error parity), and the unraced zero-alloc bar on the client's
+# steady-state point-query path.
+wirecheck:
+	$(GO) vet ./internal/wire/... ./client/...
+	$(GO) test -race ./internal/wire/...
+	$(GO) test -run 'Wire' -race ./client/... ./cmd/spannerd/... .
+	$(GO) test -run 'CrossTransport|LoadgenWire' -race -count=1 ./cmd/spannerd/
+	$(GO) test -run TestWireDistZeroAlloc -count=1 ./client/
+
 # The full gate: build, vet, unit tests, then the robustness, serving,
-# dynamic, observability, serving-resilience, cluster-serving and
-# partitioned-serving suites.
-check: build vet test faultcheck serve dynamic obscheck chaoscheck clustercheck partcheck
+# dynamic, observability, serving-resilience, cluster-serving,
+# partitioned-serving and binary-transport suites.
+check: build vet test faultcheck serve dynamic obscheck chaoscheck clustercheck partcheck wirecheck
 
 clean:
 	$(GO) clean ./...

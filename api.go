@@ -24,6 +24,7 @@ import (
 	"spanner/internal/stream"
 	"spanner/internal/verify"
 	"spanner/internal/wgraph"
+	"spanner/internal/wire"
 )
 
 // Graph is an immutable simple undirected unweighted graph in CSR form;
@@ -801,6 +802,19 @@ var (
 func NewServeEngine(a *Artifact, cfg ServeConfig) (*ServeEngine, error) {
 	return serve.New(a, cfg)
 }
+
+// WireServer serves the length-prefixed binary wire protocol over a TCP
+// listener, sharing a ServeEngine (and its admission control, brownout and
+// tracing) with whatever other transports front the same engine. The
+// matching client lives in the public client package (client.NewWire).
+type WireServer = wire.Server
+
+// WireServerConfig configures a WireServer; Engine is required.
+type WireServerConfig = wire.ServerConfig
+
+// NewWireServer builds a wire-protocol server around cfg.Engine. Serve it
+// on a listener with Serve and drain it with Shutdown.
+func NewWireServer(cfg WireServerConfig) (*WireServer, error) { return wire.NewServer(cfg) }
 
 // --- Dynamic updates: batched edge churn over a maintained spanner ---
 

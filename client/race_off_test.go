@@ -1,0 +1,6 @@
+//go:build !race
+
+package client
+
+// See race_on_test.go.
+const raceDetectorEnabled = false

@@ -37,10 +37,11 @@ func main() {
 	sources := flag.Int("sources", 32, "BFS sources for stretch sampling")
 	perf := flag.Bool("perf", false, "measure the serving/codec/dynamic layers instead of Fig. 1")
 	partK := flag.Int("partition", 0, "with -perf: measure K-way scatter-gather partitioned serving against the whole-graph engine instead of the standard suites (0 = off)")
+	wireCmp := flag.Bool("wire", false, "with -perf: measure HTTP/JSON vs binary wire transport round trips over loopback instead of the standard suites")
 	jsonOut := flag.String("json", "", "with -perf: also write a machine-readable report (suite x family x size, ns/op + percentiles) to this path")
 	flag.Parse()
 	if *perf {
-		if err := runPerf(parseSizes(*sizes), *family, *deg, *seed, *jsonOut, *partK); err != nil {
+		if err := runPerf(parseSizes(*sizes), *family, *deg, *seed, *jsonOut, *partK, *wireCmp); err != nil {
 			fmt.Fprintln(os.Stderr, "benchtable:", err)
 			os.Exit(1)
 		}

@@ -52,8 +52,9 @@ type perfReport struct {
 // the first requested size; with -json every size in -sizes is measured
 // and the full suite × family × size grid is written to the given path.
 // partK > 0 switches to the scatter-gather vs whole-graph comparison
-// (partperf.go) instead of the standard suites.
-func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath string, partK int) error {
+// (partperf.go), wireCmp to the HTTP/JSON vs binary wire transport
+// comparison (transportperf.go), instead of the standard suites.
+func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath string, partK int, wireCmp bool) error {
 	if len(sizes) == 0 {
 		sizes = []int{2000}
 	}
@@ -62,16 +63,22 @@ func runPerf(sizes []int, family string, deg float64, seed int64, jsonPath strin
 		perfSizes = sizes
 	}
 	bench := "benchtable -perf"
-	if partK > 0 {
+	switch {
+	case partK > 0:
 		bench = fmt.Sprintf("benchtable -perf -partition %d", partK)
+	case wireCmp:
+		bench = "benchtable -perf -wire"
 	}
 	var entries []perfEntry
 	for _, n := range perfSizes {
 		var es []perfEntry
 		var err error
-		if partK > 0 {
+		switch {
+		case partK > 0:
 			es, err = perfPartition(n, family, deg, seed, partK)
-		} else {
+		case wireCmp:
+			es, err = perfTransport(n, family, deg, seed)
+		default:
 			es, err = perfSize(n, family, deg, seed)
 		}
 		if err != nil {

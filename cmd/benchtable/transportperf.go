@@ -1,0 +1,216 @@
+package main
+
+// The -perf -wire mode: the same engine measured through both serving
+// transports — HTTP/JSON (a minimal /query handler mirroring spannerd's
+// endpoint, driven by the pooled HTTP client) and the binary wire protocol
+// (the wire server driven by the pooled, pipelined binary client). Both
+// paths cross a real loopback TCP connection, so the difference between
+// the rows is exactly the transport: JSON marshalling and HTTP framing
+// versus the length-prefixed binary codec. A third row measures the wire
+// client's batch coalescing over the same pipe.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spanner"
+	"spanner/client"
+)
+
+// perfTransport measures one size of the JSON-vs-binary comparison and
+// returns its report entries.
+func perfTransport(n int, family string, deg float64, seed int64) ([]perfEntry, error) {
+	g, err := spanner.MakeWorkload(family, n, deg, spanner.NewRand(seed))
+	if err != nil {
+		return nil, err
+	}
+	base, err := spanner.BaswanaSen(g, 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	art, err := spanner.BuildArtifact(g, base.Spanner, "baswana-sen", 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := spanner.NewServeEngine(art, spanner.ServeConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	// JSON side: the same wire shape spannerd speaks (POST /query with a
+	// client.Query body, client.Reply back), minus the daemon's middleware
+	// so the row isolates transport cost rather than tracing cost.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		var q client.Query
+		if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		typ := spanner.ServeQueryDist
+		switch q.Type {
+		case "path":
+			typ = spanner.ServeQueryPath
+		case "route":
+			typ = spanner.ServeQueryRoute
+		}
+		rep := eng.Query(spanner.ServeRequest{Type: typ, U: q.U, V: q.V})
+		out := client.Reply{
+			Type: q.Type, U: rep.U, V: rep.V, Dist: rep.Dist, Path: rep.Path,
+			Cached: rep.Cached, Degraded: rep.Degraded, Composed: rep.Composed,
+			Snapshot: rep.SnapshotID,
+		}
+		if rep.Err != nil {
+			out.Err = rep.Err.Error()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	hln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hsrv := &http.Server{Handler: mux}
+	go hsrv.Serve(hln)
+	defer hsrv.Close()
+
+	wsrv, err := spanner.NewWireServer(spanner.WireServerConfig{Engine: eng})
+	if err != nil {
+		return nil, err
+	}
+	wln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	wdone := make(chan error, 1)
+	go func() { wdone <- wsrv.Serve(wln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		wsrv.Shutdown(ctx)
+		<-wdone
+	}()
+
+	hc := client.New(client.Config{BaseURL: "http://" + hln.Addr().String(), MaxRetries: -1})
+	wc, err := client.NewWire(client.WireConfig{Addr: wln.Addr().String(), MaxRetries: -1})
+	if err != nil {
+		return nil, err
+	}
+	defer wc.Close()
+
+	fmt.Printf("=== transport: HTTP/JSON vs binary wire (n=%d m=%d |S|=%d, seed %d) ===\n",
+		g.N(), g.M(), base.Spanner.Len(), seed)
+	fmt.Printf("%-34s %14s   %s\n", "operation", "per op", "notes")
+
+	var entries []perfEntry
+	row := func(op, name string, r testing.BenchmarkResult, h *spanner.LatencyHistogram, notes string) {
+		fmt.Printf("%-34s %14v   %s\n", name, time.Duration(r.NsPerOp()), notes)
+		s := h.Snapshot()
+		entries = append(entries, perfEntry{
+			Suite: "transport", Op: op, Family: family, N: g.N(), M: g.M(),
+			NsPerOp: r.NsPerOp(), Ops: int64(r.N),
+			P50NS: s.Quantile(0.50), P95NS: s.Quantile(0.95), P99NS: s.Quantile(0.99),
+			Notes: notes,
+		})
+	}
+
+	// bench issues concurrent point queries through the given client path.
+	// ErrNoRoute comes back as a reply-level Err string on both transports
+	// and is a valid answer about the graph, not a failure.
+	bench := func(issue func(u, v int32) error) (testing.BenchmarkResult, *spanner.LatencyHistogram, error) {
+		hist := spanner.NewLatencyHistogram()
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			var seeds, fails atomic.Int64
+			nn := int32(g.N())
+			b.RunParallel(func(pb *testing.PB) {
+				rng := spanner.NewRand(100 + seeds.Add(1))
+				for pb.Next() {
+					u, v := rng.Int31n(nn), rng.Int31n(nn)
+					t0 := time.Now()
+					err := issue(u, v)
+					hist.Observe(time.Since(t0).Nanoseconds())
+					if err != nil {
+						fails.Add(1)
+					}
+				}
+			})
+			if f := fails.Load(); f > 0 && benchErr == nil {
+				benchErr = fmt.Errorf("%d of %d queries failed", f, b.N)
+			}
+		})
+		return r, hist, benchErr
+	}
+
+	ctx := context.Background()
+	jres, jhist, err := bench(func(u, v int32) error {
+		_, err := hc.Dist(ctx, u, v)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	row("json_dist_rtt", "http/json: dist round trip", jres, jhist,
+		fmt.Sprintf("%.2gM queries/s sustained", 1e3/float64(jres.NsPerOp())))
+
+	wres, whist, err := bench(func(u, v int32) error {
+		_, err := wc.Dist(ctx, u, v)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	speedup := float64(jres.NsPerOp()) / float64(wres.NsPerOp())
+	row("wire_dist_rtt", "binary wire: dist round trip", wres, whist,
+		fmt.Sprintf("%.2fx vs json", speedup))
+
+	// Batch coalescing: 16 queries per call through the explicit batch
+	// frame; per-op time is per query, not per call.
+	const batchN = 16
+	bhist := spanner.NewLatencyHistogram()
+	var bErr error
+	bres := testing.Benchmark(func(b *testing.B) {
+		var seeds, fails atomic.Int64
+		nn := int32(g.N())
+		b.RunParallel(func(pb *testing.PB) {
+			rng := spanner.NewRand(200 + seeds.Add(1))
+			qs := make([]client.Query, batchN)
+			for pb.Next() {
+				for i := range qs {
+					qs[i] = client.Query{Type: "dist", U: rng.Int31n(nn), V: rng.Int31n(nn)}
+				}
+				t0 := time.Now()
+				_, err := wc.Batch(ctx, qs)
+				bhist.Observe(time.Since(t0).Nanoseconds() / batchN)
+				if err != nil {
+					fails.Add(1)
+				}
+			}
+		})
+		if f := fails.Load(); f > 0 && bErr == nil {
+			bErr = fmt.Errorf("%d of %d batches failed", f, b.N)
+		}
+	})
+	if bErr != nil {
+		return nil, bErr
+	}
+	perQuery := bres.NsPerOp() / batchN
+	fmt.Printf("%-34s %14v   %s\n", "binary wire: batch dist (amortized)", time.Duration(perQuery),
+		fmt.Sprintf("%d queries per frame", batchN))
+	s := bhist.Snapshot()
+	entries = append(entries, perfEntry{
+		Suite: "transport", Op: "wire_batch_dist_amortized", Family: family, N: g.N(), M: g.M(),
+		NsPerOp: perQuery, Ops: int64(bres.N) * batchN,
+		P50NS: s.Quantile(0.50), P95NS: s.Quantile(0.95), P99NS: s.Quantile(0.99),
+		Notes: fmt.Sprintf("%d queries per frame", batchN),
+	})
+	fmt.Println()
+	return entries, nil
+}

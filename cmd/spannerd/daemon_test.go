@@ -106,7 +106,7 @@ func TestDrainCompletesInflightBatch(t *testing.T) {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	go func() {
-		done <- serveUntilSignal(srv, errc, eng, sigc, 5*time.Second, discardLogger())
+		done <- serveUntilSignal(srv, nil, errc, eng, sigc, 5*time.Second, discardLogger())
 	}()
 
 	type result struct {

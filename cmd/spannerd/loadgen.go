@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,12 @@ type loadConfig struct {
 	// per query type; -swap-every and -churn-every need the embedded engine
 	// and are rejected.
 	Targets []string
+
+	// Wire, when non-empty, drives a spannerd binary wire-protocol listener
+	// (-wire-addr) instead of the embedded engine or an HTTP target. Like
+	// Targets it is a remote run: single-attempt issues, no client-side
+	// retries, and -swap-every/-churn-every are rejected.
+	Wire string
 }
 
 // issuer abstracts where queries go: the embedded engine (the historical
@@ -147,6 +154,76 @@ func (h *httpIssuer) issue(req serve.Request) (serve.Reply, int) {
 	return rep, failovers
 }
 
+// wireIssuer drives a spannerd binary wire-protocol listener through the
+// pooled client. Retries are disabled for the same reason the HTTP issuer
+// issues single attempts: the report should show the serving path's
+// behavior, not the load generator's persistence. Replies and errors are
+// folded back into the engine's taxonomy so the report buckets match a
+// local run.
+type wireIssuer struct {
+	wc *client.WireClient
+	n  int32
+}
+
+func newWireIssuer(addr string) (*wireIssuer, error) {
+	wc, err := client.NewWire(client.WireConfig{Addr: addr, MaxRetries: -1, Timeout: 10 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	h, err := wc.Healthz(context.Background())
+	if err != nil {
+		wc.Close()
+		return nil, fmt.Errorf("loadgen: wire target %s: %w", addr, err)
+	}
+	if h.N <= 0 {
+		wc.Close()
+		return nil, fmt.Errorf("loadgen: wire target %s reported %d vertices", addr, h.N)
+	}
+	return &wireIssuer{wc: wc, n: int32(h.N)}, nil
+}
+
+func (wi *wireIssuer) vertices() int32 { return wi.n }
+func (wi *wireIssuer) close()          { wi.wc.Close() }
+
+func (wi *wireIssuer) issue(req serve.Request) (serve.Reply, int) {
+	r, err := wi.wc.Query(context.Background(), client.Query{Type: req.Type.String(), U: req.U, V: req.V})
+	if err != nil {
+		rep := serve.Reply{U: req.U, V: req.V}
+		switch {
+		case errors.Is(err, client.ErrTimeout):
+			rep.Err = serve.ErrDeadline
+		case errors.Is(err, client.ErrRejected):
+			rep.Err = serve.ErrBrownout
+		default:
+			rep.Err = err
+		}
+		return rep, 0
+	}
+	rep := serve.Reply{
+		U: r.U, V: r.V, Dist: r.Dist, Path: r.Path,
+		Cached: r.Cached, Degraded: r.Degraded, Composed: r.Composed,
+		SnapshotID: r.Snapshot,
+	}
+	if r.Bound != nil {
+		rep.Bound = *r.Bound
+	}
+	// Same bracket check the HTTP issuer applies: an inverted composed
+	// bound is a wrong answer, not a transport hiccup.
+	if r.Composed && r.Bound != nil && *r.Bound > r.Dist {
+		rep.Err = fmt.Errorf("composed bound violation: lower %d > upper %d for (%d,%d)",
+			*r.Bound, r.Dist, r.U, r.V)
+		return rep, 0
+	}
+	if r.Err != "" {
+		if strings.Contains(r.Err, "no route") {
+			rep.Err = serve.ErrNoRoute
+		} else {
+			rep.Err = errors.New(r.Err)
+		}
+	}
+	return rep, 0
+}
+
 // parseMix parses "dist=8,path=1,route=1" into per-type weights. Omitted
 // types get weight 0; at least one weight must be positive.
 func parseMix(s string) ([3]int, error) {
@@ -184,7 +261,9 @@ func parseMix(s string) ([3]int, error) {
 // Failures are split by the error taxonomy the resilience layer acts on:
 // timeout (deadline expired while queued), rejected (admission control —
 // overload, brownout shed, engine closed) and transport (everything else:
-// faults that are neither the client's pacing nor the server's shedding).
+// faults that are neither the client's pacing nor the server's shedding;
+// printed as the "faults" column now that a "transport" column labels
+// which transport — engine, json or wire — carried the run).
 // Degraded counts successful answers served as landmark upper bounds under
 // brownout — they are in ok and in the latency histogram, flagged here so a
 // sweep can see how much of its "availability" was approximate.
@@ -214,6 +293,10 @@ type loadReport struct {
 	elapsed time.Duration
 	stats   [3]typeStats
 	swaps   int
+
+	// transport labels every row of the table with how the queries
+	// traveled: "engine" (embedded), "json" (HTTP) or "wire" (binary).
+	transport string
 
 	// Churn accounting (ChurnEach > 0 only).
 	updates    int
@@ -282,7 +365,23 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 		return nil, fmt.Errorf("unknown loadgen mode %q", cfg.Mode)
 	}
 	var iss issuer
-	if len(cfg.Targets) > 0 {
+	transport := "engine"
+	switch {
+	case cfg.Wire != "":
+		if len(cfg.Targets) > 0 {
+			return nil, errors.New("loadgen: -wire is exclusive with -router/-replicas (one transport per run keeps the table comparable)")
+		}
+		if cfg.SwapEach > 0 || cfg.ChurnEach > 0 {
+			return nil, errors.New("loadgen: -swap-every/-churn-every drive the embedded engine and cannot combine with -wire")
+		}
+		wi, err := newWireIssuer(cfg.Wire)
+		if err != nil {
+			return nil, err
+		}
+		defer wi.close()
+		iss = wi
+		transport = "wire"
+	case len(cfg.Targets) > 0:
 		if cfg.SwapEach > 0 || cfg.ChurnEach > 0 {
 			return nil, errors.New("loadgen: -swap-every/-churn-every drive the embedded engine and cannot combine with -router/-replicas (swap through the router instead)")
 		}
@@ -291,11 +390,13 @@ func runLoad(eng *serve.Engine, cfg loadConfig) (*loadReport, error) {
 			return nil, err
 		}
 		iss = remote
-	} else {
+		transport = "json"
+	default:
 		iss = engineIssuer{eng}
 	}
 	snapN := iss.vertices()
 	rep := newLoadReport(cfg)
+	rep.transport = transport
 
 	stop := make(chan struct{})
 	var swapWG sync.WaitGroup
@@ -489,8 +590,8 @@ func (r *loadReport) write(w io.Writer) {
 		fmt.Fprintf(w, " targets=%d", len(r.cfg.Targets))
 	}
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-6s %10s %8s %8s %8s %8s %8s %8s %9s %8s %10s %10s %10s %12s\n",
-		"type", "queries", "cached", "degraded", "composed", "noroute", "timeout", "rejected", "transport", "failover", "p50", "p95", "p99", "qps")
+	fmt.Fprintf(w, "%-9s %-6s %10s %8s %8s %8s %8s %8s %8s %9s %8s %10s %10s %10s %12s\n",
+		"transport", "type", "queries", "cached", "degraded", "composed", "noroute", "timeout", "rejected", "faults", "failover", "p50", "p95", "p99", "qps")
 	var total int64
 	for t := serve.QueryType(0); t < 3; t++ {
 		st := &r.stats[t]
@@ -501,8 +602,8 @@ func (r *loadReport) write(w io.Writer) {
 		}
 		total += n
 		qps := float64(snap.Count) / r.elapsed.Seconds()
-		fmt.Fprintf(w, "%-6s %10d %8d %8d %8d %8d %8d %8d %9d %8d %10v %10v %10v %12.0f\n",
-			t, n, st.cached, st.degraded, st.composed, st.noroute, st.timeout, st.rejected, st.transport, st.failover,
+		fmt.Fprintf(w, "%-9s %-6s %10d %8d %8d %8d %8d %8d %8d %9d %8d %10v %10v %10v %12.0f\n",
+			r.transport, t, n, st.cached, st.degraded, st.composed, st.noroute, st.timeout, st.rejected, st.transport, st.failover,
 			pct(snap, 0.50).Round(time.Microsecond),
 			pct(snap, 0.95).Round(time.Microsecond),
 			pct(snap, 0.99).Round(time.Microsecond),

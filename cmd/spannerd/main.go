@@ -56,6 +56,7 @@ import (
 	"spanner/internal/obs"
 	"spanner/internal/recovery"
 	"spanner/internal/serve"
+	"spanner/internal/wire"
 )
 
 func main() {
@@ -72,8 +73,11 @@ type daemonConfig struct {
 	artPath, artDir string
 	// partPath serves one partition of a split instead of a whole-graph
 	// artifact (spannerd -partition; see spanner -partition-out).
-	partPath     string
-	addr         string
+	partPath string
+	addr     string
+	// wireAddr, when non-empty, adds a binary wire-protocol listener
+	// (internal/wire) next to the HTTP one, serving the same engine.
+	wireAddr     string
 	chaos        *httpchaos.Plan
 	drainTimeout time.Duration
 
@@ -153,6 +157,7 @@ func run() error {
 		artDir   = flag.String("artifact-dir", "", "serve from a directory: integrity-scan it, quarantine corrupt files, resume the newest intact generation")
 		partPath = flag.String("partition", "", "saved partition part (.spanpart, see spanner -partition-out) to serve as one shard of a partitioned cluster")
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		wireAddr = flag.String("wire-addr", "", "binary wire-protocol listen address (empty = disabled), e.g. :9090")
 
 		supervise = flag.Int("supervise", 0, "restart budget after server crashes (requires -artifact-dir; each restart rescans and resumes the last verified generation)")
 		cluster   = flag.Bool("cluster", false, "run as a cluster replica: install the /cluster control plane and refuse direct /swap and /update (generation changes go through spannerrouter's two-phase commit)")
@@ -187,6 +192,7 @@ func run() error {
 		churnSpec = flag.String("churn", "", "loadgen churn stream spec, e.g. batches=16,size=32,insert=0.5 (seeded by -seed)")
 		router    = flag.String("router", "", "loadgen: drive a spannerrouter URL over HTTP instead of the embedded engine")
 		replicas  = flag.String("replicas", "", "loadgen: drive a comma-separated replica set directly, balanced client-side")
+		wireDst   = flag.String("wire", "", "loadgen: drive a spannerd binary wire-protocol address (host:port, see -wire-addr) instead of the embedded engine")
 	)
 	flag.Parse()
 
@@ -210,9 +216,9 @@ func run() error {
 		}
 		var eng *serve.Engine
 		var err error
-		if len(targets) == 0 {
+		if len(targets) == 0 && *wireDst == "" {
 			if *artPath == "" {
-				return errors.New("-artifact is required for -loadgen (or point it at a cluster with -router/-replicas)")
+				return errors.New("-artifact is required for -loadgen (or point it at a cluster with -router/-replicas, or a binary listener with -wire)")
 			}
 			art, err := artifact.Load(*artPath)
 			if err != nil {
@@ -226,6 +232,7 @@ func run() error {
 		}
 		cfg := loadConfig{
 			Targets:   targets,
+			Wire:      *wireDst,
 			Mode:      *mode,
 			Conc:      *conc,
 			Rate:      *rate,
@@ -272,7 +279,8 @@ func run() error {
 	}
 	cfg := daemonConfig{
 		artPath: *artPath, artDir: *artDir, partPath: *partPath, addr: *addr,
-		chaos: chaosPlan, drainTimeout: *drain,
+		wireAddr: *wireAddr,
+		chaos:    chaosPlan, drainTimeout: *drain,
 		cluster: *cluster || *join != "", joinURL: *join, advertise: *advertise,
 		engine: ef, logger: logger,
 	}
@@ -485,23 +493,70 @@ func serveOnce(cfg daemonConfig, sigc <-chan os.Signal) error {
 	}
 	sw.Set(handler)
 	cfg.logger.Info("serving", "addr", ln.Addr().String(), "cluster", cfg.cluster)
+
+	// The binary wire listener shares the engine (and with it admission
+	// control, brownout and tracing); its metrics land under the same
+	// observer labeled transport=wire.
+	var wsrv *wire.Server
+	if cfg.wireAddr != "" {
+		wcfg := wire.ServerConfig{Engine: eng, Obs: ob, Logger: cfg.logger}
+		if replica != nil {
+			wcfg.GenOf = replica.GenOf
+		}
+		if slo != nil {
+			wcfg.SLOStatus = func() string { return slo.Report().Status }
+		}
+		ws, err := wire.NewServer(wcfg)
+		if err != nil {
+			srv.Close()
+			eng.Close()
+			return err
+		}
+		wln, err := net.Listen("tcp", cfg.wireAddr)
+		if err != nil {
+			srv.Close()
+			eng.Close()
+			return fmt.Errorf("wire listener: %w", err)
+		}
+		wsrv = ws
+		go func() {
+			if err := ws.Serve(wln); err != nil {
+				cfg.logger.Error("wire listener died", "err", err)
+			}
+		}()
+		cfg.logger.Info("serving wire protocol", "addr", wln.Addr().String())
+	}
+
 	if cfg.joinURL != "" {
 		go announceJoin(cfg.joinURL, advertiseURL(cfg.advertise, ln), cfg.logger)
 	}
-	return serveUntilSignal(srv, errc, eng, sigc, cfg.drainTimeout, cfg.logger)
+	return serveUntilSignal(srv, wsrv, errc, eng, sigc, cfg.drainTimeout, cfg.logger)
 }
 
 // serveUntilSignal waits out one server lifetime (errc carries the
-// srv.Serve result), then drains in the only safe order: the listener
-// stops accepting and every in-flight handler runs to completion
-// (srv.Shutdown) BEFORE the engine closes. Closing the engine first would
-// answer "engine closed" to exactly the requests a graceful drain exists
-// to finish — the regression TestDrainCompletesInflightBatch pins down.
-func serveUntilSignal(srv *http.Server, errc <-chan error, eng *serve.Engine, sigc <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
+// srv.Serve result), then drains in the only safe order: both listeners
+// stop accepting and every in-flight request runs to completion
+// (srv.Shutdown, then wsrv.Shutdown) BEFORE the engine closes. Closing the
+// engine first would answer "engine closed" to exactly the requests a
+// graceful drain exists to finish — the regression
+// TestDrainCompletesInflightBatch pins down.
+func serveUntilSignal(srv *http.Server, wsrv *wire.Server, errc <-chan error, eng *serve.Engine, sigc <-chan os.Signal, drain time.Duration, logger *slog.Logger) error {
+	shutdownWire := func(ctx context.Context) {
+		if wsrv == nil {
+			return
+		}
+		if err := wsrv.Shutdown(ctx); err != nil {
+			logger.Warn("wire drain incomplete", "err", err)
+		}
+	}
 	select {
 	case err := <-errc:
-		// The listener died on its own; nothing is accepting, so draining
-		// the engine is safe and keeps queued replies from being lost.
+		// The HTTP listener died on its own; stop the wire listener too,
+		// then draining the engine is safe and keeps queued replies from
+		// being lost.
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		shutdownWire(ctx)
 		eng.Close()
 		return err
 	case sig := <-sigc:
@@ -509,7 +564,8 @@ func serveUntilSignal(srv *http.Server, errc <-chan error, eng *serve.Engine, si
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		err := srv.Shutdown(ctx)
-		// Only now — with no handler left in flight — drain the workers.
+		shutdownWire(ctx)
+		// Only now — with no request left in flight — drain the workers.
 		eng.Close()
 		return err
 	}

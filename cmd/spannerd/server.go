@@ -190,7 +190,10 @@ func (q queryJSON) toRequest() (serve.Request, error) {
 	if err != nil {
 		return serve.Request{}, fmt.Errorf("bad priority %q", q.Priority)
 	}
-	req := serve.Request{Type: typ, U: q.U, V: q.V, Priority: prio}
+	// Every request built here arrived over the HTTP/JSON transport; the
+	// engine stamps the label into the request trace so span trees and the
+	// slow-query log can tell the transports apart.
+	req := serve.Request{Type: typ, U: q.U, V: q.V, Priority: prio, Transport: "json"}
 	if q.DeadlineMS > 0 {
 		req.Deadline = time.Now().Add(time.Duration(q.DeadlineMS) * time.Millisecond)
 	}

@@ -69,6 +69,11 @@ type ReqTrace struct {
 	Cached bool
 	// Err is the terminal error string ("" on success).
 	Err string
+	// Transport labels the transport that carried the request ("json",
+	// "wire"; "" for embedded callers). The engine stamps it from
+	// Request.Transport so span trees and slow-query records attribute
+	// latency to the delivering transport.
+	Transport string
 	// PhaseNS holds the per-phase durations in nanoseconds.
 	PhaseNS [NumReqPhases]int64
 
@@ -210,6 +215,9 @@ func (t *ReqTracer) FinishAt(rt *ReqTrace, end time.Time) time.Duration {
 	if rt.sampled && t.obs != nil {
 		t.traced.Inc()
 		startAttrs := []Attr{S(AttrReqID, rt.ID), S("type", rt.Kind), I("u", int64(rt.U)), I("v", int64(rt.V))}
+		if rt.Transport != "" {
+			startAttrs = append(startAttrs, S("transport", rt.Transport))
+		}
 		cached := int64(0)
 		if rt.Cached {
 			cached = 1
@@ -233,6 +241,7 @@ func (t *ReqTracer) FinishAt(rt *ReqTrace, end time.Time) time.Duration {
 		t.cfg.Logger.Warn("slow query",
 			"req_id", rt.ID,
 			"type", rt.Kind,
+			"transport", rt.Transport,
 			"u", rt.U,
 			"v", rt.V,
 			"total_us", total.Microseconds(),

@@ -147,6 +147,11 @@ type Request struct {
 	// does. When nil and Config.Tracer is set, the engine starts and
 	// finishes its own trace for the request.
 	Trace *obs.ReqTrace
+	// Transport labels which transport delivered the request ("json",
+	// "wire"; "" for embedded callers). Stamped into the request trace so
+	// span trees and the slow-query log attribute latency to the transport
+	// that carried it.
+	Transport string
 }
 
 // Reply is one query's outcome.
@@ -548,6 +553,9 @@ func (e *Engine) submit(req Request, r *Reply, wg *sync.WaitGroup) bool {
 		t.rt = rt
 		t.owned = true
 		t.t0 = rt.Start()
+	}
+	if t.rt != nil && req.Transport != "" {
+		t.rt.Transport = req.Transport
 	}
 	if req.Type >= numQueryTypes {
 		*r = Reply{Type: req.Type, U: req.U, V: req.V, Err: ErrBadQuery}

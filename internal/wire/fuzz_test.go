@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireDecode drives the stream reader and every payload decoder with
+// arbitrary bytes. The contract under fuzz: typed errors only (never a
+// panic), and no allocation beyond the configured frame cap — enforced here
+// by handing the reader a small cap so an adversarial length prefix that
+// slipped past validation would fail the cap check, not OOM the process.
+func FuzzWireDecode(f *testing.F) {
+	var seed []byte
+	seed = AppendHelloFrame(seed, Hello{Version: Version, Features: Features})
+	seed = AppendQueryFrame(seed, 1, Query{Type: TypeDist, U: 3, V: 9, DeadlineMS: 50})
+	seed = AppendBatchFrame(seed, 2, []Query{{Type: TypeDist, U: 1, V: 2}, {Type: TypePath, U: 3, V: 4}})
+	rep := Reply{Type: TypePath, U: 3, V: 4, Dist: 2, Path: []int32{3, 7, 4}, Detail: ""}
+	seed = AppendReplyFrame(seed, 1, &rep)
+	seed = AppendBatchReplyFrame(seed, 2, []Reply{rep, {Type: TypeDist, Code: CodeNoRoute, Detail: "no route"}})
+	seed = AppendHealthzReplyFrame(seed, 3, HealthzReply{N: 10, Status: "ok", SLO: "meeting"})
+	seed = AppendErrorFrame(seed, 0, ErrorFrame{Code: CodeOverloaded, RetryAfterMS: 250, Detail: "queues full"})
+	f.Add(seed)
+	f.Add(seed[:len(seed)-5]) // mid-frame truncation
+	f.Add(seed[:HeaderSize])  // header only
+	f.Add([]byte{})
+	flip := append([]byte(nil), seed...)
+	flip[HeaderSize+2] ^= 0xff // payload corruption
+	f.Add(flip)
+	big := append([]byte(nil), seed...)
+	big[4], big[5], big[6] = 0xff, 0xff, 0xff // inflate declared length
+	f.Add(big)
+
+	typedOK := func(err error) bool {
+		for _, typed := range []error{ErrMagic, ErrTruncated, ErrChecksum, ErrTooLarge, ErrCorrupt} {
+			if errors.Is(err, typed) {
+				return true
+			}
+		}
+		return false
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewReader(bytes.NewReader(data), 1<<16)
+		for {
+			hdr, payload, err := fr.Next()
+			if err != nil {
+				if err != io.EOF && !typedOK(err) {
+					t.Fatalf("untyped reader error: %v", err)
+				}
+				return
+			}
+			// Whatever the frame claims to be, run the matching decoder —
+			// and the mismatched ones too, since a confused peer might.
+			var (
+				h  Hello
+				a  HelloAck
+				q  Query
+				r  Reply
+				hz HealthzReply
+				e  ErrorFrame
+			)
+			decoders := []func([]byte) error{
+				func(p []byte) error { return DecodeHello(p, &h) },
+				func(p []byte) error { return DecodeHelloAck(p, &a) },
+				func(p []byte) error { return DecodeQuery(p, &q) },
+				func(p []byte) error { _, err := DecodeBatch(p, nil); return err },
+				func(p []byte) error { return DecodeReply(p, &r) },
+				func(p []byte) error { _, err := DecodeBatchReply(p, nil); return err },
+				func(p []byte) error { return DecodeHealthzReply(p, &hz) },
+				func(p []byte) error { return DecodeError(p, &e) },
+				func(p []byte) error {
+					it, err := IterBatchReply(p)
+					if err != nil {
+						return err
+					}
+					var rep Reply
+					for i := 0; i < it.N; i++ {
+						if err := it.Next(&rep); err != nil {
+							return err
+						}
+					}
+					return it.Err()
+				},
+			}
+			for i, dec := range decoders {
+				if err := dec(payload); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("decoder %d: untyped error %v (frame type %d)", i, err, hdr.Type)
+				}
+			}
+		}
+	})
+}
