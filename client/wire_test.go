@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"net"
 	"strings"
@@ -392,10 +393,10 @@ func TestWireCoalescing(t *testing.T) {
 		err error
 	}
 	results := make(chan result, 4)
-	issue := func(u, v int32) {
+	issue := func(u, v int32, degraded bool) {
 		call := cl.getCall()
 		call.kind = ckQuery
-		call.q = wire.Query{Type: wire.TypeDist, U: u, V: v}
+		call.q = wire.Query{Type: wire.TypeDist, U: u, V: v, AllowDegraded: degraded}
 		if err := cn.enqueue(call); err != nil {
 			results <- result{err: err}
 			return
@@ -412,7 +413,7 @@ func TestWireCoalescing(t *testing.T) {
 		}
 	}
 
-	go issue(1, 2) // becomes the flusher, blocks in the pipe write
+	go issue(1, 2, false) // becomes the flusher, blocks in the pipe write
 	waitFor := func(cond func() bool) {
 		t.Helper()
 		deadline := time.Now().Add(5 * time.Second)
@@ -428,9 +429,12 @@ func TestWireCoalescing(t *testing.T) {
 		defer cn.mu.Unlock()
 		return cn.flushing && len(cn.queue) == 0
 	})
-	go issue(3, 4)
-	go issue(5, 6)
-	go issue(7, 8)
+	// One of the piled-up queries asks for the degraded landmark bound: it
+	// must be coalesced like any other point query, flag intact (the server
+	// batch path serves it via DegradedDist, same as a lone query).
+	go issue(3, 4, false)
+	go issue(5, 6, true)
+	go issue(7, 8, false)
 	waitFor(func() bool {
 		cn.mu.Lock()
 		defer cn.mu.Unlock()
@@ -462,6 +466,15 @@ func TestWireCoalescing(t *testing.T) {
 	if len(qs) != 3 {
 		t.Fatalf("coalesced %d queries, want 3", len(qs))
 	}
+	degraded := 0
+	for _, bq := range qs {
+		if bq.AllowDegraded {
+			degraded++
+		}
+	}
+	if degraded != 1 {
+		t.Fatalf("%d coalesced queries carry AllowDegraded, want 1", degraded)
+	}
 
 	// Answer both frames: echo U+V as the distance so each caller can be
 	// checked against its own query.
@@ -485,6 +498,51 @@ func TestWireCoalescing(t *testing.T) {
 		if r.rep.Dist != r.rep.U+r.rep.V {
 			t.Fatalf("caller %d: reply %+v not matched to its query", i, r.rep)
 		}
+	}
+}
+
+// TestWireConcurrentDegraded fires concurrent AllowDegraded dist queries —
+// the exact traffic the cluster router emits during quorum loss — through a
+// single pooled connection, so runs of them are coalesced into MsgBatch
+// frames. Every answer must be the same flagged landmark bound a lone query
+// gets, whether or not it rode in a batch.
+func TestWireConcurrentDegraded(t *testing.T) {
+	addr, eng, _ := startWireServer(t, serve.Config{Shards: 2, CacheSize: 64})
+	cfg := fastWireCfg(addr)
+	cfg.Conns = 1
+	cl := newWireClient(t, cfg)
+	n := int32(eng.Snapshot().N())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				u, v := int32(g*25+i)%n, (int32(g)*7+int32(i)*3+1)%n
+				rep, err := cl.Query(context.Background(),
+					Query{Type: "dist", U: u, V: v, AllowDegraded: true})
+				if err != nil {
+					errs <- fmt.Errorf("degraded dist(%d,%d): %v", u, v, err)
+					return
+				}
+				if !rep.Degraded || rep.Err != "" {
+					errs <- fmt.Errorf("degraded dist(%d,%d) not flagged: %+v", u, v, rep)
+					return
+				}
+				if want := eng.DegradedDist(u, v); rep.Dist != want.Dist {
+					errs <- fmt.Errorf("degraded dist(%d,%d) = %d, engine says %d",
+						u, v, rep.Dist, want.Dist)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
 	}
 }
 

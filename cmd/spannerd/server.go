@@ -291,21 +291,35 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	reqs := make([]serve.Request, len(qs))
 	replies := make([]replyJSON, len(qs))
-	bad := make([]bool, len(qs))
+	done := make([]bool, len(qs))
 	for i, q := range qs {
 		req, err := q.toRequest()
 		if err != nil {
-			bad[i] = true
+			done[i] = true
 			replies[i] = replyJSON{Type: q.Type, U: q.U, V: q.V, Err: err.Error()}
+			continue
+		}
+		if q.AllowDegraded {
+			// Same per-entry semantics as the single-query path (and the
+			// wire server's batch path): dist entries get the inline
+			// landmark bound, flagged Degraded; anything else fails in its
+			// slot.
+			done[i] = true
+			if req.Type != serve.QueryDist {
+				replies[i] = replyJSON{Type: q.Type, U: q.U, V: q.V,
+					Err: "allowDegraded applies to dist queries only"}
+			} else {
+				replies[i] = s.wire(s.eng.DegradedDist(req.U, req.V))
+			}
 			continue
 		}
 		reqs[i] = req
 	}
-	// Engine-side batch for the parseable entries.
+	// Engine-side batch for the entries not already answered above.
 	idx := make([]int, 0, len(qs))
 	sub := make([]serve.Request, 0, len(qs))
 	for i := range reqs {
-		if !bad[i] {
+		if !done[i] {
 			idx = append(idx, i)
 			sub = append(sub, reqs[i])
 		}

@@ -170,6 +170,14 @@ func TestCrossTransportBatchEquivalence(t *testing.T) {
 		{Type: "route", U: 5, V: 6},
 		{Type: "dist", U: 0, V: 4096}, // bad vertex, fails in its slot
 		{Type: "dist", U: 7, V: 8, Priority: "low"},
+		// AllowDegraded entries: a dist one is served via the inline
+		// landmark bound (flagged Degraded) on both transports — the wire
+		// client also coalesces concurrent point queries into batch frames,
+		// so batch entries must mean what lone queries mean — while non-dist
+		// and bad-vertex ones fail in their slots.
+		{Type: "dist", U: 9, V: 10, AllowDegraded: true},
+		{Type: "path", U: 9, V: 10, AllowDegraded: true},
+		{Type: "dist", U: 0, V: 4096, AllowDegraded: true},
 	}
 	hr, herr := hc.Batch(ctx, batch)
 	wr, werr := wc.Batch(ctx, batch)
@@ -185,6 +193,12 @@ func TestCrossTransportBatchEquivalence(t *testing.T) {
 		if hj != wj {
 			t.Fatalf("entry %d:\n http: %s\n wire: %s", i, hj, wj)
 		}
+	}
+	if !hr[5].Degraded || hr[5].Err != "" {
+		t.Fatalf("AllowDegraded dist entry not served degraded: %+v", hr[5])
+	}
+	if hr[6].Err == "" || hr[7].Err == "" {
+		t.Fatalf("invalid AllowDegraded entries did not fail in their slots: %+v / %+v", hr[6], hr[7])
 	}
 }
 

@@ -255,6 +255,19 @@ func (s *Server) handleConn(c net.Conn) {
 		return
 	}
 	c.SetReadDeadline(time.Time{})
+	// The clear above may have erased a Shutdown read-deadline abort that
+	// fired mid-handshake. Shutdown flips closed (under the lock) before
+	// touching deadlines, so re-checking here closes the window: either we
+	// see closed and bail, or Shutdown's abort lands after our clear and
+	// sticks. Without this a client that handshakes but never sends a frame
+	// could stall a no-deadline Shutdown forever.
+	s.mu.Lock()
+	closing := s.closed
+	s.mu.Unlock()
+	if closing {
+		cn.writeError(0, CodeClosed, 0, "server shutting down")
+		return
+	}
 	snap := s.cfg.Engine.Snapshot()
 	ack := HelloAck{
 		Version:  Version,
@@ -451,7 +464,7 @@ func (s *Server) processBatch(cn *sconn, t *stask) error {
 		t.reqs = make([]serve.Request, len(t.qs))
 	}
 	t.reqs = t.reqs[:len(t.qs)]
-	bad := false
+	mixed := false
 	for i := range t.qs {
 		q := &t.qs[i]
 		t.reqs[i] = serve.Request{
@@ -465,25 +478,31 @@ func (s *Server) processBatch(cn *sconn, t *stask) error {
 			t.reqs[i].Deadline = time.Now().Add(time.Duration(q.DeadlineMS) * time.Millisecond)
 		}
 		if q.AllowDegraded || q.Priority > uint8(serve.PriorityLow) {
-			bad = true
+			mixed = true
 		}
 	}
 	if cap(t.wreps) < len(t.qs) {
 		t.wreps = make([]Reply, len(t.qs))
 	}
 	t.wreps = t.wreps[:len(t.qs)]
-	if bad {
-		// Per-entry validation errors surface per reply, like the HTTP
-		// batch handler's per-entry err fields.
+	if mixed {
+		// Mixed batch: answer entry by entry so each slot gets the exact
+		// semantics of the single-query path — validation errors surface per
+		// reply (like the HTTP batch handler's per-entry err fields) and
+		// AllowDegraded dist entries get the inline landmark bound. The
+		// client coalesces concurrent point queries into MsgBatch frames, so
+		// a query must mean the same thing in a batch as it does alone.
 		for i := range t.reqs {
 			q := &t.qs[i]
 			switch {
 			case q.Priority > uint8(serve.PriorityLow):
 				t.wreps[i] = Reply{Type: q.Type, U: q.U, V: q.V,
 					Code: CodeBadQuery, Detail: "bad priority"}
-			case q.AllowDegraded:
+			case q.AllowDegraded && serve.QueryType(q.Type) != serve.QueryDist:
 				t.wreps[i] = Reply{Type: q.Type, U: q.U, V: q.V,
 					Code: CodeBadQuery, Detail: "allowDegraded applies to dist queries only"}
+			case q.AllowDegraded:
+				s.fillReply(&t.wreps[i], eng.DegradedDist(q.U, q.V))
 			default:
 				s.fillReply(&t.wreps[i], eng.Query(t.reqs[i]))
 			}

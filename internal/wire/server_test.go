@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -283,6 +284,45 @@ func TestServerBatch(t *testing.T) {
 	}
 }
 
+// TestServerBatchDegraded pins the batch path's AllowDegraded semantics:
+// dist entries are served via the inline landmark bound, flagged Degraded,
+// exactly like a lone query — the client coalesces concurrent point queries
+// into MsgBatch frames, so a degraded query must not change meaning when it
+// rides in a batch — and non-dist entries fail per slot with the HTTP
+// handler's exact wording.
+func TestServerBatchDegraded(t *testing.T) {
+	addr, eng := startWire(t, serve.Config{Shards: 1}, ServerConfig{})
+	rc := dialRaw(t, addr)
+	rc.handshake()
+	qs := []Query{
+		{Type: TypeDist, U: 1, V: 5, AllowDegraded: true},
+		{Type: TypeDist, U: 2, V: 6},
+		{Type: TypePath, U: 1, V: 5, AllowDegraded: true},
+	}
+	rc.send(AppendBatchFrame(nil, 7, qs))
+	hdr, payload := rc.recv()
+	if hdr.Type != MsgBatchReply || hdr.Corr != 7 {
+		t.Fatalf("frame type %d corr %d", hdr.Type, hdr.Corr)
+	}
+	rs, err := DecodeBatchReply(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(qs) {
+		t.Fatalf("len = %d", len(rs))
+	}
+	want := eng.DegradedDist(1, 5)
+	if rs[0].Code != CodeOK || !rs[0].Degraded || rs[0].Dist != want.Dist {
+		t.Fatalf("degraded entry: %+v, want Degraded dist %d", rs[0], want.Dist)
+	}
+	if rs[1].Code != CodeOK || rs[1].Degraded {
+		t.Fatalf("exact entry: %+v", rs[1])
+	}
+	if rs[2].Code != CodeBadQuery || rs[2].Detail != "allowDegraded applies to dist queries only" {
+		t.Fatalf("non-dist degraded entry: %+v", rs[2])
+	}
+}
+
 func TestServerBatchOverLimit(t *testing.T) {
 	addr, eng := startWire(t, serve.Config{Shards: 1, MaxBatch: 2}, ServerConfig{})
 	rc := dialRaw(t, addr)
@@ -444,6 +484,88 @@ func TestServerShutdownUnblocksClients(t *testing.T) {
 	}
 	if err == nil {
 		t.Fatal("stream still open after shutdown goodbye")
+	}
+}
+
+// TestServerShutdownRacesHandshake races Shutdown against connections that
+// complete the handshake and then go quiet. handleConn clears the handshake
+// read deadline right where Shutdown's abort would land, so without the
+// post-handshake closed re-check a quiet client could erase the abort and
+// stall Shutdown until its context expired (or forever, with no deadline).
+// Shutdown here must always finish on its own, never via the 5s force-close.
+func TestServerShutdownRacesHandshake(t *testing.T) {
+	a := testArtifact(t, 40, 1)
+	eng, err := serve.New(a, serve.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 30; i++ {
+		srv, err := NewServer(ServerConfig{Engine: eng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		// Wait for Serve to register the listener so Shutdown races the
+		// handshake, not server startup.
+		for deadline := time.Now().Add(2 * time.Second); ; {
+			srv.mu.Lock()
+			serving := srv.ln != nil
+			srv.mu.Unlock()
+			if serving {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("iteration %d: Serve never registered the listener", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		// The client handshakes concurrently with Shutdown and then never
+		// sends a frame; it reads until the server ends the stream.
+		hello := make(chan struct{})
+		var cwg sync.WaitGroup
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			c, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+			if err != nil {
+				close(hello)
+				return
+			}
+			defer c.Close()
+			c.SetDeadline(time.Now().Add(10 * time.Second))
+			_, werr := c.Write(AppendHelloFrame(nil, Hello{Version: Version, Features: Features}))
+			close(hello)
+			if werr != nil {
+				return
+			}
+			fr := NewReader(c, 0)
+			for {
+				if _, _, err := fr.Next(); err != nil {
+					return
+				}
+			}
+		}()
+		// Shutdown starts with the Hello in flight, concurrent with the
+		// server-side handshake processing.
+		<-hello
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := srv.Shutdown(ctx); err != nil {
+			cancel()
+			t.Fatalf("iteration %d: Shutdown waited on a handshaking connection: %v", i, err)
+		}
+		cancel()
+		if err := <-done; err != nil {
+			t.Fatalf("iteration %d: Serve returned %v", i, err)
+		}
+		cwg.Wait()
 	}
 }
 
